@@ -1,0 +1,50 @@
+//! Baseline queue implementations for the paper's evaluation (§4).
+//!
+//! Three queues the DSS queue is measured against:
+//!
+//! * [`MsQueue`] — the classic Michael & Scott lock-free queue (PODC
+//!   1996), entirely volatile: no flushes at all. The paper obtains it
+//!   from the non-detectable DSS queue "by removing flushes in enqueue and
+//!   dequeue"; this crate implements it the same way. Upper bound in
+//!   Figure 5a.
+//! * [`DurableQueue`] — Friedman, Herlihy, Marathe & Petrank's durable
+//!   queue (PPoPP 2018): recoverable (flushes in the right places, a
+//!   `deqThreadID` mark per node, a `returnedValues` array filled by a
+//!   centralized recovery procedure) but **not** detectable in the DSS
+//!   sense — a thread cannot ask about an operation it merely *intended*
+//!   to run.
+//! * [`LogQueue`] — our own implementation of Friedman et al.'s
+//!   *detectable* log queue: every operation allocates a log entry; a
+//!   dequeuer claims a node by CAS-ing a pointer to its log entry into the
+//!   node, and any helper can then complete the transfer of the dequeued
+//!   value into that log entry. The extra allocation and the shared log
+//!   objects are exactly the overheads the paper credits for the DSS
+//!   queue's ≤1.7× win in Figure 5b.
+//!
+//! All three share the `dss-pmem` substrate, 4-word line-aligned nodes,
+//! per-thread node pools and epoch-based reclamation, so measured
+//! differences come from the algorithms, not the plumbing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod durable;
+mod log_queue;
+mod ms;
+
+pub use durable::DurableQueue;
+pub use log_queue::{LogQueue, LogResolved};
+pub use durable::{RV_EMPTY, RV_PENDING};
+pub use ms::MsQueue;
+
+/// The pre-allocated node pool of a baseline queue is exhausted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QueueFull;
+
+impl std::fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("queue node pool exhausted")
+    }
+}
+
+impl std::error::Error for QueueFull {}

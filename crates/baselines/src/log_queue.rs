@@ -1,0 +1,603 @@
+//! Friedman et al.'s detectable **log queue** — per-operation log entries.
+//!
+//! The paper (§4) describes it as follows: "our own implementation of
+//! Friedman et al.'s detectable log queue algorithm, which uses per-thread
+//! logs. Operation arguments and return values are stored directly in the
+//! logs, and are accessed by other threads via helping mechanisms." And the
+//! two structural costs the evaluation attributes its deficit to: "the log
+//! queue dynamically allocates log objects in addition to queue nodes, and
+//! these objects are shared during concurrent execution of dequeue."
+//!
+//! Both properties are reproduced here: every operation allocates a fresh
+//! log entry (double allocation), a dequeuer claims a queue node by CAS-ing
+//! a pointer to *its log entry* into the node, and any helper completes the
+//! dequeue by writing the value and the done flag into that (shared) log
+//! entry before advancing the head.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dss_pmem::{tag, Ebr, NodePool, PAddr, PmemPool};
+use dss_spec::types::QueueResp;
+
+use crate::QueueFull;
+
+// Queue node: {value, next, deqLog, enqLog}.
+const N_VALUE: u64 = 0;
+const N_NEXT: u64 = 1;
+const N_DEQ_LOG: u64 = 2;
+const N_ENQ_LOG: u64 = 3;
+const NODE_WORDS: u64 = 4;
+
+// Log entry: {kind, payload, node, status}.
+const L_KIND: u64 = 0;
+const L_PAYLOAD: u64 = 1; // enqueue: the argument; dequeue: the result
+const L_NODE: u64 = 2;
+const L_STATUS: u64 = 3;
+const LOG_WORDS: u64 = 4;
+
+const KIND_ENQ: u64 = 1;
+const KIND_DEQ: u64 = 2;
+
+const STATUS_PENDING: u64 = 0;
+const STATUS_DONE: u64 = 1;
+
+/// Payload sentinel for a dequeue that observed an empty queue.
+const PAYLOAD_EMPTY: u64 = u64::MAX;
+
+const A_HEAD: u64 = 1;
+const A_TAIL: u64 = 2;
+const A_LOG_BASE: u64 = 3; // logPtr[tid]: the thread's current log entry
+
+/// What [`LogQueue::resolve`] reports about a thread's last announced
+/// operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LogResolved {
+    /// `Some(Some(v))` — an enqueue of `v`; `Some(None)` — a dequeue;
+    /// `None` — no operation announced.
+    pub op: Option<Option<u64>>,
+    /// The operation's response, if it completed (directly or via
+    /// recovery).
+    pub resp: Option<QueueResp>,
+}
+
+/// Friedman et al.'s detectable log queue.
+///
+/// # Examples
+///
+/// ```
+/// use dss_baselines::LogQueue;
+/// use dss_spec::types::QueueResp;
+///
+/// let q = LogQueue::new(1, 16);
+/// q.enqueue(0, 5).unwrap();
+/// assert_eq!(q.dequeue(0).unwrap(), QueueResp::Value(5));
+/// let r = q.resolve(0);
+/// assert_eq!(r.resp, Some(QueueResp::Value(5)));
+/// ```
+pub struct LogQueue {
+    pool: Arc<PmemPool>,
+    nodes: NodePool,
+    logs: NodePool,
+    ebr: Ebr,      // queue nodes
+    ebr_logs: Ebr, // log entries
+    nthreads: usize,
+}
+
+impl LogQueue {
+    /// Creates a queue for `nthreads` threads, with `nodes_per_thread`
+    /// queue nodes *and* as many log entries pre-allocated per thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        assert!(nthreads > 0 && nodes_per_thread > 0);
+        let lp_end = A_LOG_BASE + nthreads as u64;
+        let sentinel = lp_end.next_multiple_of(NODE_WORDS);
+        let node_region = sentinel + NODE_WORDS;
+        let node_words = nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let log_region = node_region + node_words;
+        let log_words = nodes_per_thread * nthreads as u64 * LOG_WORDS;
+        let words = log_region + log_words;
+        let pool = Arc::new(PmemPool::with_capacity(words as usize));
+        let nodes = NodePool::new(
+            PAddr::from_index(node_region),
+            NODE_WORDS,
+            nodes_per_thread,
+            nthreads,
+        );
+        let logs = NodePool::new(
+            PAddr::from_index(log_region),
+            LOG_WORDS,
+            nodes_per_thread,
+            nthreads,
+        );
+        let q = LogQueue {
+            pool,
+            nodes,
+            logs,
+            ebr: Ebr::new(nthreads),
+            ebr_logs: Ebr::new(nthreads),
+            nthreads,
+        };
+        let s = PAddr::from_index(sentinel);
+        q.pool.store(s.offset(N_VALUE), 0);
+        q.pool.store(s.offset(N_NEXT), 0);
+        q.pool.store(s.offset(N_DEQ_LOG), 0);
+        q.pool.store(s.offset(N_ENQ_LOG), 0);
+        q.pool.flush(s);
+        q.pool.store(q.head(), s.to_word());
+        q.pool.flush(q.head());
+        q.pool.store(q.tail(), s.to_word());
+        q.pool.flush(q.tail());
+        for i in 0..nthreads {
+            q.pool.store(q.log_ptr(i), 0);
+            q.pool.flush(q.log_ptr(i));
+        }
+        q
+    }
+
+    fn head(&self) -> PAddr {
+        PAddr::from_index(A_HEAD)
+    }
+
+    fn tail(&self) -> PAddr {
+        PAddr::from_index(A_TAIL)
+    }
+
+    fn log_ptr(&self, tid: usize) -> PAddr {
+        assert!(tid < self.nthreads, "thread ID {tid} out of range");
+        PAddr::from_index(A_LOG_BASE + tid as u64)
+    }
+
+    /// The queue's pool.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    /// Number of threads the queue was built for.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    fn alloc_node(&self, tid: usize) -> Result<PAddr, QueueFull> {
+        if let Some(a) = self.nodes.alloc(tid) {
+            return Ok(a);
+        }
+        for _ in 0..64 {
+            for a in self.ebr.collect_all(tid) {
+                self.nodes.free(tid, a);
+            }
+            if let Some(a) = self.nodes.alloc(tid) {
+                return Ok(a);
+            }
+            std::thread::yield_now();
+        }
+        Err(QueueFull)
+    }
+
+    fn alloc_log(&self, tid: usize) -> Result<PAddr, QueueFull> {
+        if let Some(a) = self.logs.alloc(tid) {
+            return Ok(a);
+        }
+        for _ in 0..64 {
+            for a in self.ebr_logs.collect_all(tid) {
+                self.logs.free(tid, a);
+            }
+            if let Some(a) = self.logs.alloc(tid) {
+                return Ok(a);
+            }
+            std::thread::yield_now();
+        }
+        Err(QueueFull)
+    }
+
+    /// Writes and announces a fresh log entry; retires the previous one.
+    fn publish_log(
+        &self,
+        tid: usize,
+        kind: u64,
+        payload: u64,
+        node: PAddr,
+    ) -> Result<PAddr, QueueFull> {
+        let old = tag::addr_of(self.pool.load(self.log_ptr(tid)));
+        let log = self.alloc_log(tid)?;
+        self.pool.store(log.offset(L_KIND), kind);
+        self.pool.store(log.offset(L_PAYLOAD), payload);
+        self.pool.store(log.offset(L_NODE), node.to_word());
+        self.pool.store(log.offset(L_STATUS), STATUS_PENDING);
+        self.pool.flush(log);
+        self.pool.store(self.log_ptr(tid), log.to_word());
+        self.pool.flush(self.log_ptr(tid));
+        if !old.is_null() {
+            self.ebr_logs.retire(tid, old);
+        }
+        Ok(log)
+    }
+
+    /// Detectable enqueue: log entry, node, link, completion flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when a node or log pool is exhausted.
+    pub fn enqueue(&self, tid: usize, val: u64) -> Result<(), QueueFull> {
+        let node = self.alloc_node(tid)?;
+        let log = self.publish_log(tid, KIND_ENQ, val, node)?;
+        self.pool.store(node.offset(N_VALUE), val);
+        self.pool.store(node.offset(N_NEXT), 0);
+        self.pool.store(node.offset(N_DEQ_LOG), 0);
+        self.pool.store(node.offset(N_ENQ_LOG), log.to_word());
+        self.pool.flush(node);
+        let _g = self.ebr.pin(tid);
+        loop {
+            let last_w = self.pool.load(self.tail());
+            let last = tag::addr_of(last_w);
+            let next_w = self.pool.load(last.offset(N_NEXT));
+            if self.pool.load(self.tail()) == last_w {
+                if tag::addr_of(next_w).is_null() {
+                    if self.pool.cas(last.offset(N_NEXT), 0, node.to_word()).is_ok() {
+                        self.pool.flush(last.offset(N_NEXT));
+                        self.pool.store(log.offset(L_STATUS), STATUS_DONE);
+                        self.pool.flush(log.offset(L_STATUS));
+                        let _ = self.pool.cas(self.tail(), last_w, node.to_word());
+                        return Ok(());
+                    }
+                } else {
+                    self.pool.flush(last.offset(N_NEXT));
+                    let _ = self.pool.cas(self.tail(), last_w, next_w);
+                }
+            }
+        }
+    }
+
+    /// Completes a claimed dequeue by writing the value and done flag into
+    /// the claimer's (shared) log entry.
+    fn complete_dequeue(&self, node: PAddr, log: PAddr) {
+        let val = self.pool.load(node.offset(N_VALUE));
+        self.pool.store(log.offset(L_PAYLOAD), val);
+        self.pool.flush(log.offset(L_PAYLOAD));
+        self.pool.store(log.offset(L_STATUS), STATUS_DONE);
+        self.pool.flush(log.offset(L_STATUS));
+    }
+
+    /// Detectable dequeue through a fresh log entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when the log pool is exhausted.
+    pub fn dequeue(&self, tid: usize) -> Result<QueueResp, QueueFull> {
+        let log = self.publish_log(tid, KIND_DEQ, 0, PAddr::NULL)?;
+        let _g = self.ebr.pin(tid);
+        let _gl = self.ebr_logs.pin(tid);
+        loop {
+            let first_w = self.pool.load(self.head());
+            let last_w = self.pool.load(self.tail());
+            let first = tag::addr_of(first_w);
+            let next_w = self.pool.load(first.offset(N_NEXT));
+            let next = tag::addr_of(next_w);
+            if self.pool.load(self.head()) != first_w {
+                continue;
+            }
+            if first_w == last_w {
+                if next.is_null() {
+                    self.pool.store(log.offset(L_PAYLOAD), PAYLOAD_EMPTY);
+                    self.pool.flush(log.offset(L_PAYLOAD));
+                    self.pool.store(log.offset(L_STATUS), STATUS_DONE);
+                    self.pool.flush(log.offset(L_STATUS));
+                    return Ok(QueueResp::Empty);
+                }
+                self.pool.flush(first.offset(N_NEXT));
+                let _ = self.pool.cas(self.tail(), last_w, next_w);
+            } else if self.pool.cas(next.offset(N_DEQ_LOG), 0, log.to_word()).is_ok() {
+                self.pool.flush(next.offset(N_DEQ_LOG));
+                self.complete_dequeue(next, log);
+                if self.pool.cas(self.head(), first_w, next_w).is_ok() {
+                    if self.nodes.contains(first) {
+                        self.ebr.retire(tid, first);
+                    }
+                }
+                let val = self.pool.load(log.offset(L_PAYLOAD));
+                return Ok(QueueResp::Value(val));
+            } else if self.pool.load(self.head()) == first_w {
+                // Helping: persist the claim, complete the *claimer's* log
+                // entry, then advance head.
+                self.pool.flush(next.offset(N_DEQ_LOG));
+                let claim_log = tag::addr_of(self.pool.load(next.offset(N_DEQ_LOG)));
+                if !claim_log.is_null() {
+                    self.complete_dequeue(next, claim_log);
+                }
+                if self.pool.cas(self.head(), first_w, next_w).is_ok() {
+                    if self.nodes.contains(first) {
+                        self.ebr.retire(tid, first);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Detectability: reports the thread's last announced operation and,
+    /// if it completed, its response. Run [`recover`](Self::recover)
+    /// first after a crash.
+    pub fn resolve(&self, tid: usize) -> LogResolved {
+        let log = tag::addr_of(self.pool.load(self.log_ptr(tid)));
+        if log.is_null() {
+            return LogResolved { op: None, resp: None };
+        }
+        let kind = self.pool.load(log.offset(L_KIND));
+        let status = self.pool.load(log.offset(L_STATUS));
+        let payload = self.pool.load(log.offset(L_PAYLOAD));
+        match kind {
+            KIND_ENQ => LogResolved {
+                op: Some(Some(payload)),
+                resp: (status == STATUS_DONE).then_some(QueueResp::Ok),
+            },
+            KIND_DEQ => LogResolved {
+                op: Some(None),
+                resp: if status == STATUS_DONE {
+                    Some(if payload == PAYLOAD_EMPTY {
+                        QueueResp::Empty
+                    } else {
+                        QueueResp::Value(payload)
+                    })
+                } else {
+                    None
+                },
+            },
+            k => unreachable!("corrupt log kind {k}"),
+        }
+    }
+
+    /// Centralized recovery: repairs tail/head, completes claimed dequeue
+    /// logs, and completes enqueue logs whose nodes persisted.
+    pub fn recover(&self) {
+        let old_head = tag::addr_of(self.pool.load(self.head()));
+        // Collect the chain; repair tail.
+        let mut chain = vec![old_head];
+        loop {
+            let next = tag::addr_of(self.pool.load(chain.last().unwrap().offset(N_NEXT)));
+            if next.is_null() {
+                break;
+            }
+            chain.push(next);
+        }
+        let last = *chain.last().unwrap();
+        self.pool.store(self.tail(), last.to_word());
+        self.pool.flush(self.tail());
+        // Complete claimed dequeues in the marked prefix; advance head.
+        let mut new_head = old_head;
+        for pair in chain.windows(2) {
+            let node = pair[1];
+            let claim_log = tag::addr_of(self.pool.load(node.offset(N_DEQ_LOG)));
+            if claim_log.is_null() {
+                break;
+            }
+            self.complete_dequeue(node, claim_log);
+            new_head = node;
+        }
+        self.pool.store(self.head(), new_head.to_word());
+        self.pool.flush(self.head());
+        // Complete enqueue logs whose node persisted in (or through) the list.
+        let in_chain: std::collections::HashSet<PAddr> = chain.iter().copied().collect();
+        for tid in 0..self.nthreads {
+            let log = tag::addr_of(self.pool.load(self.log_ptr(tid)));
+            if log.is_null() || self.pool.load(log.offset(L_KIND)) != KIND_ENQ {
+                continue;
+            }
+            if self.pool.load(log.offset(L_STATUS)) == STATUS_DONE {
+                continue;
+            }
+            let node = tag::addr_of(self.pool.load(log.offset(L_NODE)));
+            let effective = in_chain.contains(&node)
+                || !tag::addr_of(self.pool.load(node.offset(N_DEQ_LOG))).is_null();
+            if effective {
+                self.pool.store(log.offset(L_STATUS), STATUS_DONE);
+                self.pool.flush(log.offset(L_STATUS));
+            }
+        }
+    }
+
+    /// Rebuilds the volatile allocators after a crash.
+    pub fn rebuild_allocator(&self) {
+        let mut live_nodes = Vec::new();
+        let mut live_logs = Vec::new();
+        let mut cur = tag::addr_of(self.pool.load(self.head()));
+        loop {
+            live_nodes.push(cur);
+            let el = tag::addr_of(self.pool.load(cur.offset(N_ENQ_LOG)));
+            if !el.is_null() {
+                live_logs.push(el);
+            }
+            let dl = tag::addr_of(self.pool.load(cur.offset(N_DEQ_LOG)));
+            if !dl.is_null() {
+                live_logs.push(dl);
+            }
+            let next = tag::addr_of(self.pool.load(cur.offset(N_NEXT)));
+            if next.is_null() {
+                break;
+            }
+            cur = next;
+        }
+        for tid in 0..self.nthreads {
+            let log = tag::addr_of(self.pool.load(self.log_ptr(tid)));
+            if !log.is_null() {
+                live_logs.push(log);
+                let node = tag::addr_of(self.pool.load(log.offset(L_NODE)));
+                if !node.is_null() {
+                    live_nodes.push(node);
+                }
+            }
+        }
+        self.nodes.rebuild(live_nodes);
+        self.logs.rebuild(live_logs);
+        self.ebr.reset();
+        self.ebr_logs.reset();
+    }
+
+    /// Volatile snapshot of queued (unclaimed) values (test helper).
+    pub fn snapshot_values(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = tag::addr_of(self.pool.peek(self.head()));
+        loop {
+            let next = tag::addr_of(self.pool.peek(cur.offset(N_NEXT)));
+            if next.is_null() {
+                return out;
+            }
+            if tag::addr_of(self.pool.peek(next.offset(N_DEQ_LOG))).is_null() {
+                out.push(self.pool.peek(next.offset(N_VALUE)));
+            }
+            cur = next;
+        }
+    }
+}
+
+impl fmt::Debug for LogQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogQueue")
+            .field("nthreads", &self.nthreads)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_pmem::{CrashSignal, WritebackAdversary};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_empty() {
+        let q = LogQueue::new(1, 8);
+        q.enqueue(0, 1).unwrap();
+        q.enqueue(0, 2).unwrap();
+        assert_eq!(q.dequeue(0).unwrap(), QueueResp::Value(1));
+        assert_eq!(q.dequeue(0).unwrap(), QueueResp::Value(2));
+        assert_eq!(q.dequeue(0).unwrap(), QueueResp::Empty);
+    }
+
+    #[test]
+    fn resolve_reports_last_op() {
+        let q = LogQueue::new(1, 8);
+        q.enqueue(0, 9).unwrap();
+        assert_eq!(
+            q.resolve(0),
+            LogResolved { op: Some(Some(9)), resp: Some(QueueResp::Ok) }
+        );
+        q.dequeue(0).unwrap();
+        assert_eq!(
+            q.resolve(0),
+            LogResolved { op: Some(None), resp: Some(QueueResp::Value(9)) }
+        );
+    }
+
+    #[test]
+    fn crash_sweep_enqueue_detects_consistently() {
+        for adv in [WritebackAdversary::None, WritebackAdversary::All] {
+            for k in 1..60 {
+                let q = LogQueue::new(1, 8);
+                q.pool().arm_crash_after(k);
+                let r = catch_unwind(AssertUnwindSafe(|| q.enqueue(0, 42)));
+                q.pool().disarm_crash();
+                let crashed = match r {
+                    Ok(_) => false,
+                    Err(p) if p.downcast_ref::<CrashSignal>().is_some() => true,
+                    Err(p) => std::panic::resume_unwind(p),
+                };
+                if !crashed {
+                    break;
+                }
+                q.pool().crash(&adv);
+                q.recover();
+                q.rebuild_allocator();
+                let in_queue = q.snapshot_values() == vec![42];
+                match q.resolve(0) {
+                    LogResolved { op: None, resp: None } => assert!(!in_queue, "k={k}"),
+                    LogResolved { op: Some(Some(42)), resp: Some(QueueResp::Ok) } => {
+                        assert!(in_queue, "k={k} {adv:?}")
+                    }
+                    LogResolved { op: Some(Some(42)), resp: None } => {
+                        assert!(!in_queue, "k={k} {adv:?}")
+                    }
+                    other => panic!("k={k} {adv:?}: impossible resolution {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_sweep_dequeue_detects_consistently() {
+        for adv in [WritebackAdversary::None, WritebackAdversary::All] {
+            for k in 1..60 {
+                let q = LogQueue::new(1, 8);
+                q.enqueue(0, 7).unwrap();
+                q.pool().arm_crash_after(k);
+                let r = catch_unwind(AssertUnwindSafe(|| q.dequeue(0)));
+                q.pool().disarm_crash();
+                let crashed = match r {
+                    Ok(_) => false,
+                    Err(p) if p.downcast_ref::<CrashSignal>().is_some() => true,
+                    Err(p) => std::panic::resume_unwind(p),
+                };
+                if !crashed {
+                    break;
+                }
+                q.pool().crash(&adv);
+                q.recover();
+                q.rebuild_allocator();
+                let still_there = q.snapshot_values() == vec![7];
+                match q.resolve(0) {
+                    // The pre-crash enqueue's log may still be announced.
+                    LogResolved { op: Some(Some(7)), resp: Some(QueueResp::Ok) } => {
+                        assert!(still_there, "k={k} {adv:?}")
+                    }
+                    LogResolved { op: Some(None), resp: Some(QueueResp::Value(7)) } => {
+                        assert!(!still_there, "k={k} {adv:?}")
+                    }
+                    LogResolved { op: Some(None), resp: None } => {
+                        assert!(still_there, "k={k} {adv:?}")
+                    }
+                    other => panic!("k={k} {adv:?}: impossible resolution {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_stress_conserves_values() {
+        let q = Arc::new(LogQueue::new(4, 64));
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..300u64 {
+                        q.enqueue(tid, (tid as u64) << 32 | (i + 1)).unwrap();
+                        if let QueueResp::Value(v) = q.dequeue(tid).unwrap() {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.extend(q.snapshot_values());
+        all.sort_unstable();
+        let mut expected: Vec<u64> = (0..4u64)
+            .flat_map(|t| (1..=300).map(move |i| t << 32 | i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn log_allocation_doubles_per_op_allocations() {
+        // The structural cost the paper highlights: one log entry per op.
+        let q = LogQueue::new(1, 16);
+        q.enqueue(0, 1).unwrap();
+        assert_eq!(q.logs.total_nodes() - q.logs.free_count(), 1);
+        let _ = q.dequeue(0).unwrap();
+        assert_eq!(q.logs.total_nodes() - q.logs.free_count(), 2);
+    }
+}

@@ -1,0 +1,261 @@
+//! The Michael & Scott lock-free queue — the volatile baseline.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dss_pmem::{tag, Ebr, NodePool, PAddr, PmemPool};
+use dss_spec::types::QueueResp;
+
+const F_VALUE: u64 = 0;
+const F_NEXT: u64 = 1;
+const NODE_WORDS: u64 = 4;
+
+const A_HEAD: u64 = 1;
+const A_TAIL: u64 = 2;
+
+/// The classic MS queue (Michael & Scott, PODC 1996), with **no** flush
+/// instructions: its state does not survive a crash, which is exactly the
+/// point of comparing against it (paper Figure 5a's upper bound).
+///
+/// Structurally it is the non-detectable DSS queue with the flushes
+/// removed, as the paper describes; it runs on the same simulated pool so
+/// throughput comparisons isolate the cost of persistence.
+///
+/// # Examples
+///
+/// ```
+/// use dss_baselines::MsQueue;
+/// use dss_spec::types::QueueResp;
+///
+/// let q = MsQueue::new(1, 16);
+/// q.enqueue(0, 9).unwrap();
+/// assert_eq!(q.dequeue(0), QueueResp::Value(9));
+/// assert_eq!(q.dequeue(0), QueueResp::Empty);
+/// ```
+pub struct MsQueue {
+    pool: Arc<PmemPool>,
+    nodes: NodePool,
+    ebr: Ebr,
+    nthreads: usize,
+}
+
+use crate::QueueFull;
+
+impl MsQueue {
+    /// Creates a queue for `nthreads` threads with `nodes_per_thread`
+    /// pre-allocated nodes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        assert!(nthreads > 0 && nodes_per_thread > 0);
+        let sentinel = (A_TAIL + 1).next_multiple_of(NODE_WORDS);
+        let region = sentinel + NODE_WORDS;
+        let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let pool = Arc::new(PmemPool::with_capacity(words as usize));
+        let nodes = NodePool::new(
+            PAddr::from_index(region),
+            NODE_WORDS,
+            nodes_per_thread,
+            nthreads,
+        );
+        let q = MsQueue { pool, nodes, ebr: Ebr::new(nthreads), nthreads };
+        let s = PAddr::from_index(sentinel);
+        q.pool.store(s.offset(F_VALUE), 0);
+        q.pool.store(s.offset(F_NEXT), 0);
+        q.pool.store(PAddr::from_index(A_HEAD), s.to_word());
+        q.pool.store(PAddr::from_index(A_TAIL), s.to_word());
+        q
+    }
+
+    /// The queue's pool (for op counting in experiments).
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    /// Number of threads the queue was built for.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    fn head(&self) -> PAddr {
+        PAddr::from_index(A_HEAD)
+    }
+
+    fn tail(&self) -> PAddr {
+        PAddr::from_index(A_TAIL)
+    }
+
+    fn alloc(&self, tid: usize) -> Result<PAddr, QueueFull> {
+        if let Some(a) = self.nodes.alloc(tid) {
+            return Ok(a);
+        }
+        for _ in 0..64 {
+            for a in self.ebr.collect_all(tid) {
+                self.nodes.free(tid, a);
+            }
+            if let Some(a) = self.nodes.alloc(tid) {
+                return Ok(a);
+            }
+            std::thread::yield_now();
+        }
+        Err(QueueFull)
+    }
+
+    /// Appends `val` at the tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueueFull`] when the node pool is exhausted.
+    pub fn enqueue(&self, tid: usize, val: u64) -> Result<(), QueueFull> {
+        let node = self.alloc(tid)?;
+        self.pool.store(node.offset(F_VALUE), val);
+        self.pool.store(node.offset(F_NEXT), 0);
+        let _g = self.ebr.pin(tid);
+        loop {
+            let last_w = self.pool.load(self.tail());
+            let last = tag::addr_of(last_w);
+            let next_w = self.pool.load(last.offset(F_NEXT));
+            if self.pool.load(self.tail()) == last_w {
+                if tag::addr_of(next_w).is_null() {
+                    if self.pool.cas(last.offset(F_NEXT), 0, node.to_word()).is_ok() {
+                        let _ = self.pool.cas(self.tail(), last_w, node.to_word());
+                        return Ok(());
+                    }
+                } else {
+                    let _ = self.pool.cas(self.tail(), last_w, next_w);
+                }
+            }
+        }
+    }
+
+    /// Removes and returns the value at the head, or
+    /// [`QueueResp::Empty`].
+    pub fn dequeue(&self, tid: usize) -> QueueResp {
+        let _g = self.ebr.pin(tid);
+        loop {
+            let first_w = self.pool.load(self.head());
+            let last_w = self.pool.load(self.tail());
+            let first = tag::addr_of(first_w);
+            let next_w = self.pool.load(first.offset(F_NEXT));
+            let next = tag::addr_of(next_w);
+            if self.pool.load(self.head()) != first_w {
+                continue;
+            }
+            if first_w == last_w {
+                if next.is_null() {
+                    return QueueResp::Empty;
+                }
+                let _ = self.pool.cas(self.tail(), last_w, next_w);
+            } else {
+                // Read the value *before* swinging head (the classic MS
+                // subtlety: after the CAS another thread may free `next`).
+                let val = self.pool.load(next.offset(F_VALUE));
+                if self.pool.cas(self.head(), first_w, next_w).is_ok() {
+                    if self.nodes.contains(first) {
+                        self.ebr.retire(tid, first);
+                    }
+                    return QueueResp::Value(val);
+                }
+            }
+        }
+    }
+
+    /// Volatile snapshot of queued values (test helper).
+    pub fn snapshot_values(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = tag::addr_of(self.pool.peek(self.head()));
+        loop {
+            let next = tag::addr_of(self.pool.peek(cur.offset(F_NEXT)));
+            if next.is_null() {
+                return out;
+            }
+            out.push(self.pool.peek(next.offset(F_VALUE)));
+            cur = next;
+        }
+    }
+}
+
+impl fmt::Debug for MsQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MsQueue")
+            .field("nthreads", &self.nthreads)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_pmem::WritebackAdversary;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = MsQueue::new(1, 8);
+        for v in [1, 2, 3] {
+            q.enqueue(0, v).unwrap();
+        }
+        assert_eq!(q.dequeue(0), QueueResp::Value(1));
+        assert_eq!(q.dequeue(0), QueueResp::Value(2));
+        assert_eq!(q.dequeue(0), QueueResp::Value(3));
+        assert_eq!(q.dequeue(0), QueueResp::Empty);
+    }
+
+    #[test]
+    fn no_flushes_issued() {
+        let q = MsQueue::new(1, 8);
+        q.pool().reset_stats();
+        q.enqueue(0, 1).unwrap();
+        q.dequeue(0);
+        assert_eq!(q.pool().stats().flushes, 0, "the MS queue never flushes");
+    }
+
+    #[test]
+    fn state_does_not_survive_crash() {
+        let q = MsQueue::new(1, 8);
+        q.enqueue(0, 1).unwrap();
+        q.pool().crash(&WritebackAdversary::None);
+        // Everything, including head/tail, reverted to zero: the queue is
+        // simply gone. (This is why the durable/DSS queues exist.)
+        assert_eq!(q.pool().peek(PAddr::from_index(A_HEAD)), 0);
+    }
+
+    #[test]
+    fn concurrent_stress() {
+        let q = Arc::new(MsQueue::new(4, 64));
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..500u64 {
+                        q.enqueue(tid, (tid as u64) << 32 | i).unwrap();
+                        if let QueueResp::Value(v) = q.dequeue(tid) {
+                            got.push(v);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.extend(q.snapshot_values());
+        all.sort_unstable();
+        let mut expected: Vec<u64> = (0..4u64)
+            .flat_map(|t| (0..500).map(move |i| t << 32 | i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn recycles_through_small_pool() {
+        let q = MsQueue::new(1, 4);
+        for i in 0..200 {
+            q.enqueue(0, i).unwrap();
+            assert_eq!(q.dequeue(0), QueueResp::Value(i));
+        }
+    }
+}

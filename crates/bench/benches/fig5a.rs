@@ -1,0 +1,24 @@
+//! Regenerates Figure 5a (scaled down) under `cargo bench`.
+//!
+//! For a longer, fully configurable run use:
+//! `cargo run -p dss-harness --release --bin fig5a`.
+
+use std::time::Duration;
+
+use dss_harness::adapter::QueueKind;
+use dss_harness::throughput::{print_series, ThroughputConfig};
+
+fn main() {
+    // `cargo bench` passes --bench; ignore all flags.
+    let base = ThroughputConfig {
+        duration: Duration::from_millis(100),
+        repeats: 2,
+        ..Default::default()
+    };
+    print_series(
+        "Figure 5a (bench-scale): detectability and persistence levels (Mops/s)",
+        &QueueKind::figure_5a(),
+        &[1, 2, 4],
+        &base,
+    );
+}

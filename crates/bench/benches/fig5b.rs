@@ -1,0 +1,23 @@
+//! Regenerates Figure 5b (scaled down) under `cargo bench`.
+//!
+//! For a longer, fully configurable run use:
+//! `cargo run -p dss-harness --release --bin fig5b`.
+
+use std::time::Duration;
+
+use dss_harness::adapter::QueueKind;
+use dss_harness::throughput::{print_series, ThroughputConfig};
+
+fn main() {
+    let base = ThroughputConfig {
+        duration: Duration::from_millis(100),
+        repeats: 2,
+        ..Default::default()
+    };
+    print_series(
+        "Figure 5b (bench-scale): detectable queue implementations (Mops/s)",
+        &QueueKind::figure_5b(),
+        &[1, 2, 4],
+        &base,
+    );
+}

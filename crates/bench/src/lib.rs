@@ -1,0 +1,14 @@
+//! Benchmark targets for the DSS reproduction.
+//!
+//! `cargo bench --workspace` runs:
+//!
+//! * `queue_ops` — Criterion micro-benchmarks: one enqueue+dequeue pair
+//!   per implementation (the per-operation cost behind Figures 5a/5b).
+//! * `pmem_ops` — Criterion micro-benchmarks of the simulator primitives
+//!   (load/store/CAS/flush at both granularities).
+//! * `fig5a`, `fig5b` — custom-harness benches that regenerate the
+//!   paper's two figures as text series (scaled-down defaults; the
+//!   `dss-harness` binaries expose the full parameter space).
+//!
+//! This crate intentionally has no library API; it exists to host the
+//! bench targets.

@@ -1,0 +1,209 @@
+//! Concurrent histories with crash markers.
+
+use dss_spec::ProcId;
+
+/// Identifies an operation within a [`History`] (the index of its invoke
+/// event).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct OpId(pub usize);
+
+/// One event of a concurrent history.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Event<O, R> {
+    /// Process `pid` invokes `op`.
+    Invoke {
+        /// The invoking process.
+        pid: ProcId,
+        /// The invoked operation.
+        op: O,
+    },
+    /// The operation identified by `of` returns `resp`.
+    Return {
+        /// The invoke event this response matches.
+        of: OpId,
+        /// The observed response.
+        resp: R,
+    },
+    /// A system-wide crash: every pending operation is cut short and no
+    /// process takes another step until it re-invokes after recovery.
+    Crash,
+}
+
+/// A sequence of invoke/return/crash events in real-time order.
+///
+/// Well-formedness rules (checked by [`History::validate`]):
+///
+/// * a `Return` refers to an earlier `Invoke` of the same history, at most
+///   once;
+/// * a process has at most one operation pending at a time;
+/// * no `Return` matches an `Invoke` from before an intervening `Crash`
+///   (the crash killed it — system-wide failures stop every process).
+///
+/// Build histories either manually (tests) or with the concurrent
+/// [`Recorder`](crate::Recorder).
+///
+/// # Examples
+///
+/// ```
+/// use dss_checker::History;
+/// use dss_spec::types::{RegisterOp, RegisterResp};
+///
+/// let mut h = History::new();
+/// let w = h.invoke(0, RegisterOp::Write(1));
+/// h.ret(w, RegisterResp::Ok);
+/// assert!(h.validate().is_ok());
+/// assert_eq!(h.events().len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct History<O, R> {
+    events: Vec<Event<O, R>>,
+}
+
+impl<O: Clone, R: Clone> History<O, R> {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History { events: Vec::new() }
+    }
+
+    /// Appends an invoke event, returning the new operation's ID.
+    pub fn invoke(&mut self, pid: ProcId, op: O) -> OpId {
+        self.events.push(Event::Invoke { pid, op });
+        OpId(self.events.len() - 1)
+    }
+
+    /// Appends a return event for operation `of`.
+    pub fn ret(&mut self, of: OpId, resp: R) {
+        self.events.push(Event::Return { of, resp });
+    }
+
+    /// Appends a system-wide crash marker.
+    pub fn crash(&mut self) {
+        self.events.push(Event::Crash);
+    }
+
+    /// The events in real-time order.
+    pub fn events(&self) -> &[Event<O, R>] {
+        &self.events
+    }
+
+    /// Returns `true` if the history contains a crash marker.
+    pub fn has_crash(&self) -> bool {
+        self.events.iter().any(|e| matches!(e, Event::Crash))
+    }
+
+    /// Checks the well-formedness rules listed on [`History`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed event.
+    pub fn validate(&self) -> Result<(), String> {
+        // For every pid: pending op (if any) and the index of the last crash.
+        let mut pending: std::collections::HashMap<ProcId, OpId> = Default::default();
+        let mut matched: std::collections::HashSet<OpId> = Default::default();
+        let mut last_crash: Option<usize> = None;
+        for (i, e) in self.events.iter().enumerate() {
+            match e {
+                Event::Invoke { pid, .. } => {
+                    if let Some(prev) = pending.get(pid) {
+                        return Err(format!(
+                            "event {i}: process {pid} invokes while operation {prev:?} is pending"
+                        ));
+                    }
+                    pending.insert(*pid, OpId(i));
+                }
+                Event::Return { of, .. } => {
+                    let Some(Event::Invoke { pid, .. }) = self.events.get(of.0) else {
+                        return Err(format!("event {i}: return does not match an invoke"));
+                    };
+                    if matched.contains(of) {
+                        return Err(format!("event {i}: operation {of:?} returned twice"));
+                    }
+                    if let Some(c) = last_crash {
+                        if of.0 < c {
+                            return Err(format!(
+                                "event {i}: operation {of:?} returns across the crash at {c}"
+                            ));
+                        }
+                    }
+                    if pending.remove(pid) != Some(*of) {
+                        return Err(format!(
+                            "event {i}: return for {of:?} but process {pid} has a different pending op"
+                        ));
+                    }
+                    matched.insert(*of);
+                }
+                Event::Crash => {
+                    last_crash = Some(i);
+                    pending.clear(); // the crash kills all pending operations
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_spec::types::{RegisterOp, RegisterResp};
+
+    type H = History<RegisterOp, RegisterResp>;
+
+    #[test]
+    fn simple_history_is_well_formed() {
+        let mut h = H::new();
+        let a = h.invoke(0, RegisterOp::Write(1));
+        let b = h.invoke(1, RegisterOp::Read);
+        h.ret(b, RegisterResp::Value(0));
+        h.ret(a, RegisterResp::Ok);
+        assert!(h.validate().is_ok());
+        assert!(!h.has_crash());
+    }
+
+    #[test]
+    fn double_invoke_rejected() {
+        let mut h = H::new();
+        h.invoke(0, RegisterOp::Read);
+        h.invoke(0, RegisterOp::Read);
+        assert!(h.validate().unwrap_err().contains("pending"));
+    }
+
+    #[test]
+    fn double_return_rejected() {
+        let mut h = H::new();
+        let a = h.invoke(0, RegisterOp::Read);
+        h.ret(a, RegisterResp::Value(0));
+        h.ret(a, RegisterResp::Value(0));
+        let err = h.validate().unwrap_err();
+        assert!(err.contains("twice") || err.contains("different pending"), "{err}");
+    }
+
+    #[test]
+    fn return_across_crash_rejected() {
+        let mut h = H::new();
+        let a = h.invoke(0, RegisterOp::Write(1));
+        h.crash();
+        h.ret(a, RegisterResp::Ok);
+        assert!(h.validate().unwrap_err().contains("across the crash"));
+    }
+
+    #[test]
+    fn reinvoke_after_crash_is_fine() {
+        let mut h = H::new();
+        let _a = h.invoke(0, RegisterOp::Write(1));
+        h.crash();
+        let b = h.invoke(0, RegisterOp::Write(1));
+        h.ret(b, RegisterResp::Ok);
+        assert!(h.validate().is_ok());
+        assert!(h.has_crash());
+    }
+
+    #[test]
+    fn return_matching_a_return_rejected() {
+        let mut h = H::new();
+        let a = h.invoke(0, RegisterOp::Read);
+        h.ret(a, RegisterResp::Value(0));
+        h.events.push(Event::Return { of: OpId(1), resp: RegisterResp::Ok });
+        assert!(h.validate().unwrap_err().contains("does not match"));
+    }
+}

@@ -1,0 +1,230 @@
+//! From histories to interval-ordered operation records.
+//!
+//! Each correctness condition differs only in the **deadline** it assigns to
+//! an operation that was pending when a crash hit, and in whether that
+//! operation may be dropped:
+//!
+//! | condition | completed op | crashed op |
+//! |---|---|---|
+//! | linearizability | \[inv, ret+1), must appear | (crashes not allowed) |
+//! | strict linearizability | \[inv, ret+1), must appear | \[inv, crash), droppable |
+//! | persistent atomicity | \[inv, ret+1), must appear | \[inv, next invoke by same pid), droppable |
+//! | recoverable linearizability | same as persistent atomicity on a single object | same |
+//!
+//! The checker then needs no knowledge of crashes at all: it searches for a
+//! linearization of interval-ordered records.
+
+use dss_spec::ProcId;
+
+use crate::history::{Event, History, OpId};
+use crate::wgl::Violation;
+
+/// A correctness condition for concurrent objects under crash failures
+/// (paper §2.2 lists these "in order from strongest to weakest").
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Condition {
+    /// Herlihy–Wing linearizability; the history must be crash-free.
+    Linearizability,
+    /// Aguilera–Frølund: a crashed operation takes effect before the crash
+    /// or never.
+    StrictLinearizability,
+    /// Guerraoui–Levy: a crashed operation takes effect before the same
+    /// process's next invocation, or never.
+    PersistentAtomicity,
+    /// Berryhill–Golab–Tripunitara. On single-object histories (the only
+    /// kind this crate checks) it coincides with persistent atomicity,
+    /// because program-order inversion "only applies to operations on
+    /// distinct objects" (paper §2.2).
+    RecoverableLinearizability,
+    /// Izraelevitz–Mendes–Scott: thread identifiers are *not* reused
+    /// after a crash, which merges persistent atomicity, recoverable
+    /// linearizability and plain linearizability into one condition; a
+    /// crashed pending operation may take effect at any later point (or
+    /// never). The DSS itself is "inherently incompatible" with this
+    /// model (paper §2.2) because `resolve` requires recovering under the
+    /// same ID — the condition is provided for checking the *plain*
+    /// operations of recoverable objects.
+    DurableLinearizability,
+}
+
+/// One operation, reduced to an interval plus expectations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct OpRecord<O, R> {
+    /// The operation's ID in the source history.
+    pub id: OpId,
+    /// Invoking process.
+    pub pid: ProcId,
+    /// The operation.
+    pub op: O,
+    /// The observed response; `None` for an operation cut short by a crash
+    /// (any response the spec produces is acceptable if it linearizes).
+    pub resp: Option<R>,
+    /// Earliest point (inclusive) at which the operation may take effect.
+    pub inv: u64,
+    /// Latest point (exclusive) by which it must have taken effect.
+    pub deadline: u64,
+    /// Whether the linearization may omit this operation entirely.
+    pub droppable: bool,
+}
+
+/// Converts a history into interval records under `condition`.
+///
+/// # Errors
+///
+/// Returns a [`Violation`] if the history is malformed, or contains a crash
+/// under [`Condition::Linearizability`].
+pub fn records_for<O: Clone, R: Clone>(
+    history: &History<O, R>,
+    condition: Condition,
+) -> Result<Vec<OpRecord<O, R>>, Violation> {
+    history.validate().map_err(Violation::malformed)?;
+    if condition == Condition::Linearizability && history.has_crash() {
+        return Err(Violation::malformed(
+            "linearizability is defined for crash-free histories; \
+             use StrictLinearizability or weaker",
+        ));
+    }
+
+    let events = history.events();
+    let mut records: Vec<OpRecord<O, R>> = Vec::new();
+    // Operations currently pending: (history id, index into `records`).
+    let mut pending: Vec<(OpId, usize)> = Vec::new();
+
+    for (i, e) in events.iter().enumerate() {
+        let i = i as u64;
+        match e {
+            Event::Invoke { pid, op } => {
+                records.push(OpRecord {
+                    id: OpId(i as usize),
+                    pid: *pid,
+                    op: op.clone(),
+                    resp: None,
+                    inv: i,
+                    deadline: u64::MAX,
+                    droppable: true, // refined on return/crash
+                });
+                pending.push((OpId(i as usize), records.len() - 1));
+            }
+            Event::Return { of, resp } => {
+                let pos = pending
+                    .iter()
+                    .position(|(id, _)| id == of)
+                    .expect("validated history");
+                let (_, ridx) = pending.swap_remove(pos);
+                let r = &mut records[ridx];
+                r.resp = Some(resp.clone());
+                r.deadline = i + 1;
+                r.droppable = false;
+            }
+            Event::Crash => {
+                for (_, ridx) in pending.drain(..) {
+                    let r = &mut records[ridx];
+                    r.droppable = true;
+                    match condition {
+                        Condition::Linearizability => unreachable!("checked above"),
+                        Condition::StrictLinearizability => r.deadline = i,
+                        Condition::PersistentAtomicity
+                        | Condition::RecoverableLinearizability => {
+                            r.deadline = next_invoke_by(events, r.pid, i as usize);
+                        }
+                        Condition::DurableLinearizability => r.deadline = u64::MAX,
+                    }
+                }
+            }
+        }
+    }
+
+    // Operations still pending at the end of the history (no crash): they
+    // may have taken effect at any point after invocation, or not at all.
+    // Their records already say exactly that (deadline = MAX, droppable).
+    Ok(records)
+}
+
+fn next_invoke_by<O, R>(events: &[Event<O, R>], pid: ProcId, after: usize) -> u64 {
+    events
+        .iter()
+        .enumerate()
+        .skip(after + 1)
+        .find_map(|(j, e)| match e {
+            Event::Invoke { pid: p, .. } if *p == pid => Some(j as u64),
+            _ => None,
+        })
+        .unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_spec::types::{QueueOp, QueueResp};
+
+    type H = History<QueueOp, QueueResp>;
+
+    #[test]
+    fn completed_op_gets_tight_interval() {
+        let mut h = H::new();
+        let a = h.invoke(0, QueueOp::Enqueue(1));
+        h.ret(a, QueueResp::Ok);
+        let r = records_for(&h, Condition::Linearizability).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!((r[0].inv, r[0].deadline), (0, 2));
+        assert!(!r[0].droppable);
+        assert_eq!(r[0].resp, Some(QueueResp::Ok));
+    }
+
+    #[test]
+    fn crash_deadline_strict_vs_persistent() {
+        let mut h = H::new();
+        let _a = h.invoke(0, QueueOp::Enqueue(1)); // event 0
+        h.crash(); // event 1
+        let b = h.invoke(0, QueueOp::Dequeue); // event 2
+        h.ret(b, QueueResp::Empty); // event 3
+
+        let strict = records_for(&h, Condition::StrictLinearizability).unwrap();
+        assert_eq!(strict[0].deadline, 1, "must take effect before the crash");
+        assert!(strict[0].droppable);
+
+        let pa = records_for(&h, Condition::PersistentAtomicity).unwrap();
+        assert_eq!(pa[0].deadline, 2, "until process 0's next invocation");
+
+        let rl = records_for(&h, Condition::RecoverableLinearizability).unwrap();
+        assert_eq!(rl[0].deadline, pa[0].deadline);
+    }
+
+    #[test]
+    fn crashed_op_with_no_reinvocation_has_open_deadline_under_pa() {
+        let mut h = H::new();
+        let _a = h.invoke(0, QueueOp::Enqueue(1));
+        h.crash();
+        let pa = records_for(&h, Condition::PersistentAtomicity).unwrap();
+        assert_eq!(pa[0].deadline, u64::MAX);
+    }
+
+    #[test]
+    fn durable_linearizability_leaves_deadline_open() {
+        let mut h = H::new();
+        let _a = h.invoke(0, QueueOp::Enqueue(1));
+        h.crash();
+        let b = h.invoke(0, QueueOp::Dequeue);
+        h.ret(b, QueueResp::Empty);
+        let dl = records_for(&h, Condition::DurableLinearizability).unwrap();
+        assert_eq!(dl[0].deadline, u64::MAX);
+        assert!(dl[0].droppable);
+    }
+
+    #[test]
+    fn linearizability_rejects_crash_histories() {
+        let mut h = H::new();
+        h.crash();
+        assert!(records_for(&h, Condition::Linearizability).is_err());
+    }
+
+    #[test]
+    fn pending_without_crash_is_droppable_and_open() {
+        let mut h = H::new();
+        let _a = h.invoke(0, QueueOp::Enqueue(1));
+        let r = records_for(&h, Condition::Linearizability).unwrap();
+        assert!(r[0].droppable);
+        assert_eq!(r[0].deadline, u64::MAX);
+        assert_eq!(r[0].resp, None);
+    }
+}

@@ -1,0 +1,125 @@
+//! Concurrent history recording.
+
+use std::sync::Mutex;
+
+use dss_spec::ProcId;
+
+use crate::{History, OpId};
+
+/// A thread-safe [`History`] builder.
+///
+/// Worker threads call [`invoke`](Recorder::invoke) immediately before
+/// starting an operation on the object under test and
+/// [`ret`](Recorder::ret) immediately after it completes; the recorder's
+/// internal lock acquisition order then yields a valid real-time order (an
+/// operation's invoke is recorded before its effect, its return after).
+///
+/// The mutex is deliberately coarse: recording is for correctness tests,
+/// not benchmarks.
+///
+/// # Examples
+///
+/// ```
+/// use dss_checker::{Condition, Recorder, check_history};
+/// use dss_spec::types::{QueueOp, QueueResp, QueueSpec};
+///
+/// let rec = Recorder::new();
+/// let id = rec.invoke(0, QueueOp::Enqueue(3));
+/// rec.ret(id, QueueResp::Ok);
+/// let h = rec.into_history();
+/// assert!(check_history(&QueueSpec, &h, Condition::Linearizability).is_ok());
+/// ```
+#[derive(Debug, Default)]
+pub struct Recorder<O, R> {
+    inner: Mutex<History<O, R>>,
+}
+
+impl<O: Clone, R: Clone> Recorder<O, R> {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Recorder { inner: Mutex::new(History::new()) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, History<O, R>> {
+        // A panicking worker (e.g. a simulated CrashSignal) may poison the
+        // lock; the history it guards is still consistent, since each append
+        // is a single push.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records an invocation by `pid`; returns the operation ID to pass to
+    /// [`ret`](Recorder::ret).
+    pub fn invoke(&self, pid: ProcId, op: O) -> OpId {
+        self.lock().invoke(pid, op)
+    }
+
+    /// Records the response of operation `of`.
+    pub fn ret(&self, of: OpId, resp: R) {
+        self.lock().ret(of, resp)
+    }
+
+    /// Records a system-wide crash marker. Call only once all worker
+    /// threads have stopped.
+    pub fn crash(&self) {
+        self.lock().crash()
+    }
+
+    /// Consumes the recorder and returns the history.
+    pub fn into_history(self) -> History<O, R> {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Returns a copy of the history recorded so far.
+    pub fn snapshot(&self) -> History<O, R> {
+        self.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_spec::types::{QueueOp, QueueResp};
+    use std::sync::Arc;
+
+    #[test]
+    fn concurrent_recording_is_well_formed() {
+        let rec = Arc::new(Recorder::<QueueOp, QueueResp>::new());
+        let handles: Vec<_> = (0..4)
+            .map(|pid| {
+                let rec = Arc::clone(&rec);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let id = rec.invoke(pid, QueueOp::Enqueue(i));
+                        rec.ret(id, QueueResp::Ok);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let h = Arc::try_unwrap(rec).unwrap().into_history();
+        assert!(h.validate().is_ok());
+        assert_eq!(h.events().len(), 400);
+    }
+
+    #[test]
+    fn crash_marker_recorded() {
+        let rec = Recorder::<QueueOp, QueueResp>::new();
+        let _id = rec.invoke(0, QueueOp::Dequeue);
+        rec.crash();
+        let h = rec.into_history();
+        assert!(h.has_crash());
+        assert!(h.validate().is_ok());
+    }
+
+    #[test]
+    fn snapshot_does_not_consume() {
+        let rec = Recorder::<QueueOp, QueueResp>::new();
+        let id = rec.invoke(0, QueueOp::Enqueue(1));
+        let snap = rec.snapshot();
+        rec.ret(id, QueueResp::Ok);
+        assert_eq!(snap.events().len(), 1);
+        assert_eq!(rec.into_history().events().len(), 2);
+    }
+}

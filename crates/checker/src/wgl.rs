@@ -1,0 +1,321 @@
+//! The Wing–Gong linearization search over interval-ordered records.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use dss_spec::SequentialSpec;
+
+use crate::interval::OpRecord;
+
+/// Why a history failed a check.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Violation {
+    message: String,
+}
+
+impl Violation {
+    pub(crate) fn malformed(msg: impl Into<String>) -> Self {
+        Violation { message: format!("malformed history: {}", msg.into()) }
+    }
+
+    fn no_linearization(best: usize, total: usize) -> Self {
+        Violation {
+            message: format!(
+                "no valid linearization: best prefix covered {best} of {total} operations"
+            ),
+        }
+    }
+
+    /// Human-readable description of the failure.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Violation {}
+
+/// Maximum number of operations per check (records are tracked in a `u64`
+/// bitmask).
+pub const MAX_OPS: usize = 63;
+
+/// Searches for a linearization of `records` that the `spec` accepts.
+///
+/// A linearization processes every record exactly once, either *applying*
+/// it (the spec transition must exist and, when the record carries an
+/// observed response, reproduce it) or *dropping* it (allowed only for
+/// [`droppable`](OpRecord::droppable) records). Applied records must respect
+/// the interval order: if `deadline(a) <= inv(b)`, then `a` is applied
+/// before `b`.
+///
+/// The search memoizes (set of processed records, abstract state) pairs —
+/// the classic Wing–Gong optimization — so repeated interleavings of
+/// commuting operations are explored once.
+///
+/// # Errors
+///
+/// Returns [`Violation`] if no linearization exists or `records` exceeds
+/// [`MAX_OPS`].
+pub fn check<T: SequentialSpec>(
+    spec: &T,
+    records: &[OpRecord<T::Op, T::Resp>],
+) -> Result<(), Violation> {
+    let n = records.len();
+    if n > MAX_OPS {
+        return Err(Violation::malformed(format!(
+            "{n} operations exceed the checker limit of {MAX_OPS}"
+        )));
+    }
+    let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+    let mut memo: HashSet<(u64, T::State)> = HashSet::new();
+    let mut best = 0usize;
+    let init = spec.initial();
+    if dfs(spec, records, 0, &init, full, &mut memo, &mut best) {
+        Ok(())
+    } else {
+        Err(Violation::no_linearization(best, n))
+    }
+}
+
+fn dfs<T: SequentialSpec>(
+    spec: &T,
+    records: &[OpRecord<T::Op, T::Resp>],
+    done: u64,
+    state: &T::State,
+    full: u64,
+    memo: &mut HashSet<(u64, T::State)>,
+    best: &mut usize,
+) -> bool {
+    if done == full {
+        return true;
+    }
+    if !memo.insert((done, state.clone())) {
+        return false;
+    }
+    *best = (*best).max(done.count_ones() as usize);
+
+    for (i, r) in records.iter().enumerate() {
+        let bit = 1u64 << i;
+        if done & bit != 0 {
+            continue;
+        }
+        // Interval-order constraint: another unprocessed record whose
+        // deadline precedes r's invocation must be handled first (it can
+        // still be dropped first if droppable — that is a separate branch).
+        let forced_later = records.iter().enumerate().any(|(j, o)| {
+            j != i && done & (1 << j) == 0 && o.deadline <= r.inv
+        });
+        if !forced_later {
+            if let Some((next, resp)) = spec.apply(state, &r.op, r.pid) {
+                let resp_ok = match &r.resp {
+                    Some(expected) => *expected == resp,
+                    None => true,
+                };
+                if resp_ok && dfs(spec, records, done | bit, &next, full, memo, best) {
+                    return true;
+                }
+            }
+        }
+        // Dropping has no ordering precondition.
+        if r.droppable && dfs(spec, records, done | bit, state, full, memo, best) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_history, records_for, Condition, History};
+    use dss_spec::types::{
+        QueueOp, QueueResp, QueueSpec, RegisterOp, RegisterResp, RegisterSpec,
+    };
+
+    type QH = History<QueueOp, QueueResp>;
+    type RH = History<RegisterOp, RegisterResp>;
+
+    #[test]
+    fn sequential_queue_history_linearizable() {
+        let mut h = QH::new();
+        let a = h.invoke(0, QueueOp::Enqueue(1));
+        h.ret(a, QueueResp::Ok);
+        let b = h.invoke(0, QueueOp::Dequeue);
+        h.ret(b, QueueResp::Value(1));
+        assert!(check_history(&QueueSpec, &h, Condition::Linearizability).is_ok());
+    }
+
+    #[test]
+    fn wrong_value_not_linearizable() {
+        let mut h = QH::new();
+        let a = h.invoke(0, QueueOp::Enqueue(1));
+        h.ret(a, QueueResp::Ok);
+        let b = h.invoke(0, QueueOp::Dequeue);
+        h.ret(b, QueueResp::Value(2));
+        let err = check_history(&QueueSpec, &h, Condition::Linearizability).unwrap_err();
+        assert!(err.message().contains("no valid linearization"));
+    }
+
+    #[test]
+    fn concurrent_overlapping_ops_reorder_freely() {
+        // enqueue(1) and enqueue(2) overlap; dequeues can see either order.
+        let mut h = QH::new();
+        let a = h.invoke(0, QueueOp::Enqueue(1));
+        let b = h.invoke(1, QueueOp::Enqueue(2));
+        h.ret(b, QueueResp::Ok);
+        h.ret(a, QueueResp::Ok);
+        let c = h.invoke(0, QueueOp::Dequeue);
+        h.ret(c, QueueResp::Value(2)); // 2 first: legal, the enqueues overlapped
+        let d = h.invoke(0, QueueOp::Dequeue);
+        h.ret(d, QueueResp::Value(1));
+        assert!(check_history(&QueueSpec, &h, Condition::Linearizability).is_ok());
+    }
+
+    #[test]
+    fn real_time_order_is_enforced() {
+        // enqueue(1) completes before enqueue(2) begins; dequeuing 2 first
+        // violates FIFO under real-time order.
+        let mut h = QH::new();
+        let a = h.invoke(0, QueueOp::Enqueue(1));
+        h.ret(a, QueueResp::Ok);
+        let b = h.invoke(1, QueueOp::Enqueue(2));
+        h.ret(b, QueueResp::Ok);
+        let c = h.invoke(0, QueueOp::Dequeue);
+        h.ret(c, QueueResp::Value(2));
+        assert!(check_history(&QueueSpec, &h, Condition::Linearizability).is_err());
+    }
+
+    #[test]
+    fn register_new_old_inversion_rejected() {
+        // Classic anomaly: read returns new value, later read returns old.
+        let mut h = RH::new();
+        let w = h.invoke(0, RegisterOp::Write(1));
+        h.ret(w, RegisterResp::Ok);
+        let r1 = h.invoke(1, RegisterOp::Read);
+        h.ret(r1, RegisterResp::Value(1));
+        let r2 = h.invoke(1, RegisterOp::Read);
+        h.ret(r2, RegisterResp::Value(0));
+        assert!(check_history(&RegisterSpec, &h, Condition::Linearizability).is_err());
+    }
+
+    #[test]
+    fn pending_op_may_take_effect_or_not() {
+        // A pending enqueue can explain a dequeue that returns its value...
+        let mut h = QH::new();
+        let _a = h.invoke(0, QueueOp::Enqueue(9)); // never returns
+        let b = h.invoke(1, QueueOp::Dequeue);
+        h.ret(b, QueueResp::Value(9));
+        assert!(check_history(&QueueSpec, &h, Condition::Linearizability).is_ok());
+
+        // ...or be dropped when the dequeue finds the queue empty.
+        let mut h = QH::new();
+        let _a = h.invoke(0, QueueOp::Enqueue(9));
+        let b = h.invoke(1, QueueOp::Dequeue);
+        h.ret(b, QueueResp::Empty);
+        assert!(check_history(&QueueSpec, &h, Condition::Linearizability).is_ok());
+    }
+
+    #[test]
+    fn strict_forbids_effect_after_crash() {
+        // Enqueue crashes; after recovery an empty dequeue, then a dequeue
+        // sees the value. Strict linearizability forbids (effect after the
+        // crash), persistent atomicity forbids it too (effect after next
+        // invocation of the same process).
+        let mut h = QH::new();
+        let _a = h.invoke(0, QueueOp::Enqueue(5));
+        h.crash();
+        let b = h.invoke(0, QueueOp::Dequeue);
+        h.ret(b, QueueResp::Empty);
+        let c = h.invoke(0, QueueOp::Dequeue);
+        h.ret(c, QueueResp::Value(5));
+        assert!(check_history(&QueueSpec, &h, Condition::StrictLinearizability).is_err());
+        assert!(check_history(&QueueSpec, &h, Condition::PersistentAtomicity).is_err());
+    }
+
+    #[test]
+    fn persistent_atomicity_accepts_late_effect_strict_rejects() {
+        // The crashed enqueue's value surfaces in a dequeue by *another*
+        // process before process 0 re-invokes: the enqueue linearized after
+        // the crash but before p0's next invocation. Legal under persistent
+        // atomicity, illegal under strict linearizability... but only if the
+        // effect provably happened after the crash. We force that by having
+        // p1 observe Empty before the crash.
+        let mut h = QH::new();
+        let e0 = h.invoke(1, QueueOp::Dequeue);
+        h.ret(e0, QueueResp::Empty);
+        let _a = h.invoke(0, QueueOp::Enqueue(5)); // starts...
+        let probe = h.invoke(1, QueueOp::Dequeue);
+        h.ret(probe, QueueResp::Empty); // ...not yet visible...
+        h.crash(); // ...and the crash hits.
+        let b = h.invoke(1, QueueOp::Dequeue);
+        h.ret(b, QueueResp::Value(5));
+
+        // Strict: enqueue must linearize before the crash, but the probe
+        // pinned the queue empty right up to the crash... actually the probe
+        // overlaps the enqueue, so the enqueue may still slot between probe
+        // and crash. Strict accepts this one:
+        assert!(check_history(&QueueSpec, &h, Condition::StrictLinearizability).is_ok());
+
+        // To separate the conditions, complete the probe *after* the
+        // enqueue's invocation with the crash immediately following the
+        // probe's return, and make the probe *not* overlap: p1 probes in a
+        // window that ends the era.
+        let mut h = QH::new();
+        let _a = h.invoke(0, QueueOp::Enqueue(5));
+        h.crash();
+        // A fresh probe by p1 after the crash still sees empty:
+        let p = h.invoke(1, QueueOp::Dequeue);
+        h.ret(p, QueueResp::Empty);
+        // Then the value appears:
+        let b = h.invoke(1, QueueOp::Dequeue);
+        h.ret(b, QueueResp::Value(5));
+        // Strict: effect strictly before the crash would make the first
+        // post-crash dequeue return the value, contradiction → rejected.
+        assert!(check_history(&QueueSpec, &h, Condition::StrictLinearizability).is_err());
+        // Persistent atomicity: p0 never re-invokes, so the enqueue may
+        // linearize between the two dequeues → accepted.
+        assert!(check_history(&QueueSpec, &h, Condition::PersistentAtomicity).is_ok());
+        assert!(
+            check_history(&QueueSpec, &h, Condition::RecoverableLinearizability).is_ok()
+        );
+    }
+
+    #[test]
+    fn durable_lin_accepts_effect_after_next_invocation() {
+        // The crashed enqueue surfaces only after the same process has
+        // re-invoked: persistent atomicity rejects, durable accepts
+        // (under durable linearizability the "same process" is formally a
+        // different thread after the crash).
+        let mut h = QH::new();
+        let _a = h.invoke(0, QueueOp::Enqueue(5));
+        h.crash();
+        let b = h.invoke(0, QueueOp::Dequeue);
+        h.ret(b, QueueResp::Empty);
+        let c = h.invoke(0, QueueOp::Dequeue);
+        h.ret(c, QueueResp::Value(5));
+        assert!(check_history(&QueueSpec, &h, Condition::PersistentAtomicity).is_err());
+        assert!(check_history(&QueueSpec, &h, Condition::DurableLinearizability).is_ok());
+    }
+
+    #[test]
+    fn too_many_ops_rejected() {
+        let mut h = QH::new();
+        for _ in 0..64 {
+            let a = h.invoke(0, QueueOp::Enqueue(1));
+            h.ret(a, QueueResp::Ok);
+        }
+        let recs = records_for(&h, Condition::Linearizability).unwrap();
+        assert!(check(&QueueSpec, &recs).is_err());
+    }
+
+    #[test]
+    fn empty_history_trivially_ok() {
+        let h = QH::new();
+        assert!(check_history(&QueueSpec, &h, Condition::Linearizability).is_ok());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the linearizability checkers: soundness on
+//! histories generated from genuine sequential executions, and rejection
+//! when responses are corrupted.
+
+use proptest::prelude::*;
+
+use dss_checker::{check_history, Condition, Event, History, OpId};
+use dss_spec::types::{QueueOp, QueueResp, QueueSpec};
+use dss_spec::SequentialSpec;
+
+fn arb_queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![(0u64..20).prop_map(QueueOp::Enqueue), Just(QueueOp::Dequeue)]
+}
+
+/// Builds a history by *actually executing* the ops sequentially: such a
+/// history is linearizable by construction.
+fn sequential_history(script: &[(QueueOp, usize)]) -> History<QueueOp, QueueResp> {
+    let spec = QueueSpec;
+    let mut state = spec.initial();
+    let mut h = History::new();
+    for (op, pid) in script {
+        let (next, resp) = spec.apply(&state, op, *pid).unwrap();
+        let id = h.invoke(*pid, *op);
+        h.ret(id, resp);
+        state = next;
+    }
+    h
+}
+
+proptest! {
+    /// Every history from a genuine sequential execution passes.
+    #[test]
+    fn sequential_executions_are_linearizable(
+        script in prop::collection::vec((arb_queue_op(), 0..3usize), 0..15)
+    ) {
+        let h = sequential_history(&script);
+        prop_assert!(h.validate().is_ok());
+        prop_assert!(check_history(&QueueSpec, &h, Condition::Linearizability).is_ok());
+        // The strongest crash condition degenerates to plain
+        // linearizability on crash-free histories.
+        prop_assert!(check_history(&QueueSpec, &h, Condition::StrictLinearizability).is_ok());
+    }
+
+    /// Relaxing responses to overlap-free reorderings: swapping the
+    /// *return order* of two operations whose executions overlap never
+    /// breaks linearizability (the checker must not be order-brittle).
+    #[test]
+    fn overlapping_ops_commute_in_the_record(
+        values in prop::collection::vec(1u64..50, 2..6)
+    ) {
+        // All enqueues overlap: invoke all, then return all.
+        let mut h = History::new();
+        let ids: Vec<OpId> =
+            values.iter().enumerate().map(|(i, v)| h.invoke(i, QueueOp::Enqueue(*v))).collect();
+        for id in &ids {
+            h.ret(*id, QueueResp::Ok);
+        }
+        // Dequeue them in reverse value order by one process — legal,
+        // since every enqueue pair overlapped.
+        let spec_pid = values.len();
+        for v in values.iter().rev() {
+            let d = h.invoke(spec_pid, QueueOp::Dequeue);
+            h.ret(d, QueueResp::Value(*v));
+        }
+        prop_assert!(check_history(&QueueSpec, &h, Condition::Linearizability).is_ok());
+    }
+
+    /// Corrupting the value of any dequeue response to a never-enqueued
+    /// value must be rejected.
+    #[test]
+    fn corrupted_dequeue_value_rejected(
+        script in prop::collection::vec((arb_queue_op(), 0..3usize), 1..12)
+    ) {
+        let h = sequential_history(&script);
+        let mut events: Vec<Event<QueueOp, QueueResp>> = h.events().to_vec();
+        let mut tampered = false;
+        for e in events.iter_mut() {
+            if let Event::Return { resp: QueueResp::Value(v), .. } = e {
+                *v = 999; // never enqueued (values are < 20)
+                tampered = true;
+                break;
+            }
+        }
+        prop_assume!(tampered);
+        let mut h2 = History::new();
+        for e in events {
+            match e {
+                Event::Invoke { pid, op } => {
+                    h2.invoke(pid, op);
+                }
+                Event::Return { of, resp } => h2.ret(of, resp),
+                Event::Crash => h2.crash(),
+            }
+        }
+        prop_assert!(check_history(&QueueSpec, &h2, Condition::Linearizability).is_err());
+    }
+
+    /// A crashed pending operation never *has* to take effect: dropping
+    /// it is always an admissible linearization under every crash-aware
+    /// condition.
+    #[test]
+    fn crashed_pending_op_may_always_be_dropped(
+        script in prop::collection::vec((arb_queue_op(), 0..3usize), 0..10),
+        pending in arb_queue_op(),
+    ) {
+        let mut h = sequential_history(&script);
+        let _ = h.invoke(0, pending); // never returns
+        h.crash();
+        for cond in [
+            Condition::StrictLinearizability,
+            Condition::PersistentAtomicity,
+            Condition::RecoverableLinearizability,
+        ] {
+            prop_assert!(check_history(&QueueSpec, &h, cond).is_ok(), "{cond:?}");
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! A bespoke implementation of `D⟨CAS⟩`.
+//!
+//! The second base-object type of the §2.2 nesting discussion. Like the
+//! [`DetectableRegister`](crate::DetectableRegister) it uses value-node
+//! indirection with persisted `superseded` flags, so a thread can prove —
+//! across crashes and later overwrites — whether its compare-and-swap ever
+//! installed. Note the contrast the paper draws with NRL-like objects:
+//! Ben-Baruch et al. prove NRL-like detectable CAS *requires* auxiliary
+//! external state, while this DSS-based object needs none — the `prep`
+//! announcement carries everything.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dss_pmem::{tag, Ebr, FlushGranularity, NodePool, PAddr, PmemPool};
+
+// Node layout (4 words, line-aligned).
+const F_NEW: u64 = 0;
+const F_EXPECTED: u64 = 1;
+const F_WRITER_SEQ: u64 = 2;
+const F_SUPERSEDED: u64 = 3;
+const NODE_WORDS: u64 = 4;
+
+// X-word tags (above the 48 address bits; this object never shares an X
+// word with another type, so bit positions may be reused).
+const C_PREP: u64 = tag::ENQ_PREP;
+const C_COMPL: u64 = tag::ENQ_COMPL;
+const C_FAILED: u64 = tag::DEQ_PREP;
+
+// Fixed layout: [0:NULL][1:cur][2..2+n:X][initial node][region].
+const A_CUR: u64 = 1;
+const A_X_BASE: u64 = 2;
+
+/// The outcome reported by [`DetectableCas::resolve`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ResolvedCas {
+    /// The prepared operation `(expected, new, seq)`, if any.
+    pub op: Option<(u64, u64, u64)>,
+    /// `Some(true)` — the CAS took effect and succeeded; `Some(false)` —
+    /// it took effect and failed (value mismatch); `None` — it did not
+    /// take effect.
+    pub resp: Option<bool>,
+}
+
+/// A detectable recoverable compare-and-swap object (`D⟨CAS⟩`).
+///
+/// # Examples
+///
+/// ```
+/// use dss_core::DetectableCas;
+///
+/// let c = DetectableCas::new(2, 16);
+/// c.prep_cas(0, 0, 5, 1);
+/// assert!(c.exec_cas(0));
+/// assert_eq!(c.read(1), 5);
+/// let r = c.resolve(0);
+/// assert_eq!(r.op, Some((0, 5, 1)));
+/// assert_eq!(r.resp, Some(true));
+/// ```
+pub struct DetectableCas {
+    pool: Arc<PmemPool>,
+    nodes: NodePool,
+    ebr: Ebr,
+    nthreads: usize,
+    pending: Box<[std::sync::Mutex<Vec<PAddr>>]>,
+}
+
+impl DetectableCas {
+    /// Creates a CAS object (initial value 0) for `nthreads` threads with
+    /// `nodes_per_thread` pre-allocated value nodes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        assert!(nthreads > 0 && nodes_per_thread > 0);
+        let x_end = A_X_BASE + nthreads as u64;
+        let init_node = x_end.next_multiple_of(NODE_WORDS);
+        let region = init_node + NODE_WORDS;
+        let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let pool = Arc::new(PmemPool::with_granularity(
+            words as usize,
+            FlushGranularity::Line,
+        ));
+        let nodes = NodePool::new(
+            PAddr::from_index(region),
+            NODE_WORDS,
+            nodes_per_thread,
+            nthreads,
+        );
+        let c = DetectableCas {
+            pool,
+            nodes,
+            ebr: Ebr::new(nthreads),
+            nthreads,
+            pending: (0..nthreads).map(|_| std::sync::Mutex::new(Vec::new())).collect(),
+        };
+        let init = PAddr::from_index(init_node);
+        c.pool.store(init.offset(F_NEW), 0);
+        c.pool.store(init.offset(F_EXPECTED), 0);
+        c.pool.store(init.offset(F_WRITER_SEQ), u64::MAX);
+        c.pool.store(init.offset(F_SUPERSEDED), 0);
+        c.pool.flush(init);
+        c.pool.store(c.cur_addr(), init.to_word());
+        c.pool.flush(c.cur_addr());
+        for i in 0..nthreads {
+            c.pool.store(c.x_addr(i), 0);
+            c.pool.flush(c.x_addr(i));
+        }
+        c
+    }
+
+    fn cur_addr(&self) -> PAddr {
+        PAddr::from_index(A_CUR)
+    }
+
+    fn x_addr(&self, tid: usize) -> PAddr {
+        assert!(tid < self.nthreads, "thread ID {tid} out of range");
+        PAddr::from_index(A_X_BASE + tid as u64)
+    }
+
+    /// The object's persistent-memory pool.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    fn alloc(&self, tid: usize) -> PAddr {
+        if let Some(a) = self.nodes.alloc(tid) {
+            return a;
+        }
+        // Epoch advancement needs every pinned thread to pass through an
+        // unpinned state; retry with yields so transient pins don't turn
+        // into spurious exhaustion.
+        for _ in 0..64 {
+            for a in self.ebr.collect_all(tid) {
+                self.nodes.free(tid, a);
+            }
+            if let Some(a) = self.nodes.alloc(tid) {
+                return a;
+            }
+            std::thread::yield_now();
+        }
+        panic!("CAS node pool exhausted (size it for the workload)");
+    }
+
+    fn sweep_pending(&self, tid: usize) {
+        let mut pending = self.pending[tid].lock().unwrap_or_else(|e| e.into_inner());
+        let cur = self.pool.peek(self.cur_addr());
+        let x = tag::addr_of(self.pool.peek(self.x_addr(tid)));
+        pending.retain(|&p| {
+            if p.to_word() != cur && p != x {
+                self.ebr.retire(tid, p);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    fn push_pending(&self, tid: usize, node: PAddr) {
+        self.pending[tid]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(node);
+    }
+
+    /// **prep-cas(expected, new, seq)**: allocates and persists a value
+    /// node, then announces it in `X[tid]`. `seq` is the §2.1
+    /// disambiguation tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node pool is exhausted.
+    pub fn prep_cas(&self, tid: usize, expected: u64, new: u64, seq: u64) {
+        self.sweep_pending(tid);
+        let old = tag::addr_of(self.pool.load(self.x_addr(tid)));
+        let node = self.alloc(tid);
+        self.pool.store(node.offset(F_NEW), new);
+        self.pool.store(node.offset(F_EXPECTED), expected);
+        self.pool.store(node.offset(F_WRITER_SEQ), ((tid as u64) << 48) | (seq & tag::ADDR_MASK));
+        self.pool.store(node.offset(F_SUPERSEDED), 0);
+        self.pool.flush(node);
+        self.pool.store(self.x_addr(tid), tag::set(node.to_word(), C_PREP));
+        self.pool.flush(self.x_addr(tid));
+        if !old.is_null() {
+            self.push_pending(tid, old);
+        }
+    }
+
+    /// **exec-cas()**: attempts the prepared compare-and-swap, returning
+    /// whether it succeeded. Success installs the prepared node (marking
+    /// the incumbent superseded first); failure is recorded in `X[tid]`
+    /// with the `FAILED` tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no CAS is prepared for `tid` (or it already executed —
+    /// Axiom 2's precondition `R[pᵢ] = ⊥`).
+    pub fn exec_cas(&self, tid: usize) -> bool {
+        let _g = self.ebr.pin(tid);
+        let xa = self.x_addr(tid);
+        let x = self.pool.load(xa);
+        assert!(
+            tag::has(x, C_PREP) && !tag::has(x, C_COMPL),
+            "exec-cas without a pending prepared CAS (X[{tid}] = {x:#x})"
+        );
+        let node = tag::addr_of(x);
+        let expected = self.pool.load(node.offset(F_EXPECTED));
+        loop {
+            let cur_w = self.pool.load(self.cur_addr());
+            let cur = tag::addr_of(cur_w);
+            let cur_val = self.pool.load(cur.offset(F_NEW));
+            if cur_val != expected {
+                // The CAS takes effect (fails) at this read.
+                self.pool.store(xa, tag::set(x, C_COMPL | C_FAILED));
+                self.pool.flush(xa);
+                return false;
+            }
+            self.pool.store(cur.offset(F_SUPERSEDED), 1);
+            self.pool.flush(cur.offset(F_SUPERSEDED));
+            if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
+                self.pool.flush(self.cur_addr());
+                self.pool.store(xa, tag::set(x, C_COMPL));
+                self.pool.flush(xa);
+                return true;
+            }
+        }
+    }
+
+    /// Non-detectable **cas(expected, new)** (Axiom 4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node pool is exhausted.
+    pub fn cas(&self, tid: usize, expected: u64, new: u64) -> bool {
+        let _g = self.ebr.pin(tid);
+        self.sweep_pending(tid);
+        let node = self.alloc(tid);
+        self.pool.store(node.offset(F_NEW), new);
+        self.pool.store(node.offset(F_EXPECTED), expected);
+        self.pool.store(node.offset(F_WRITER_SEQ), u64::MAX);
+        self.pool.store(node.offset(F_SUPERSEDED), 0);
+        self.pool.flush(node);
+        loop {
+            let cur_w = self.pool.load(self.cur_addr());
+            let cur = tag::addr_of(cur_w);
+            let cur_val = self.pool.load(cur.offset(F_NEW));
+            if cur_val != expected {
+                // The node was never exposed; free it directly.
+                self.nodes.free(tid, node);
+                return false;
+            }
+            self.pool.store(cur.offset(F_SUPERSEDED), 1);
+            self.pool.flush(cur.offset(F_SUPERSEDED));
+            if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
+                self.pool.flush(self.cur_addr());
+                self.push_pending(tid, node);
+                return true;
+            }
+        }
+    }
+
+    /// **read()** (plain): the current value.
+    pub fn read(&self, tid: usize) -> u64 {
+        let _g = self.ebr.pin(tid);
+        let cur = tag::addr_of(self.pool.load(self.cur_addr()));
+        self.pool.load(cur.offset(F_NEW))
+    }
+
+    /// **resolve()**: reports the most recently prepared CAS and whether
+    /// it took effect, and with which outcome. Needs no recovery phase;
+    /// idempotent.
+    pub fn resolve(&self, tid: usize) -> ResolvedCas {
+        let x = self.pool.load(self.x_addr(tid));
+        if !tag::has(x, C_PREP) {
+            return ResolvedCas { op: None, resp: None };
+        }
+        let node = tag::addr_of(x);
+        let op = Some((
+            self.pool.load(node.offset(F_EXPECTED)),
+            self.pool.load(node.offset(F_NEW)),
+            self.pool.load(node.offset(F_WRITER_SEQ)) & tag::ADDR_MASK,
+        ));
+        if tag::has(x, C_COMPL) {
+            return ResolvedCas { op, resp: Some(!tag::has(x, C_FAILED)) };
+        }
+        let installed = self.pool.load(self.cur_addr()) == node.to_word()
+            || self.pool.load(node.offset(F_SUPERSEDED)) == 1;
+        ResolvedCas { op, resp: if installed { Some(true) } else { None } }
+    }
+
+    /// Rebuilds the volatile allocator after a crash.
+    pub fn rebuild_allocator(&self) {
+        let mut live = vec![tag::addr_of(self.pool.load(self.cur_addr()))];
+        for i in 0..self.nthreads {
+            let d = tag::addr_of(self.pool.load(self.x_addr(i)));
+            if !d.is_null() {
+                live.push(d);
+            }
+        }
+        self.nodes.rebuild(live);
+        self.ebr.reset();
+        for p in self.pending.iter() {
+            p.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+}
+
+impl fmt::Debug for DetectableCas {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DetectableCas")
+            .field("nthreads", &self.nthreads)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_pmem::WritebackAdversary;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    fn run_crash_at<F: FnOnce()>(c: &DetectableCas, k: u64, f: F) -> bool {
+        c.pool().arm_crash_after(k);
+        let res = catch_unwind(AssertUnwindSafe(f));
+        c.pool().disarm_crash();
+        match res {
+            Ok(()) => false,
+            Err(p) if p.downcast_ref::<dss_pmem::CrashSignal>().is_some() => true,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let c = DetectableCas::new(2, 8);
+        assert!(c.cas(0, 0, 5));
+        assert!(!c.cas(1, 0, 9), "expected value is stale");
+        assert_eq!(c.read(0), 5);
+        assert!(c.cas(1, 5, 9));
+        assert_eq!(c.read(0), 9);
+    }
+
+    #[test]
+    fn detectable_cas_resolves_success() {
+        let c = DetectableCas::new(1, 8);
+        c.prep_cas(0, 0, 7, 3);
+        assert_eq!(c.resolve(0), ResolvedCas { op: Some((0, 7, 3)), resp: None });
+        assert!(c.exec_cas(0));
+        assert_eq!(c.resolve(0), ResolvedCas { op: Some((0, 7, 3)), resp: Some(true) });
+    }
+
+    #[test]
+    fn detectable_cas_resolves_failure() {
+        let c = DetectableCas::new(1, 8);
+        c.cas(0, 0, 1);
+        c.prep_cas(0, 0, 7, 0); // expected 0, but value is 1
+        assert!(!c.exec_cas(0));
+        assert_eq!(c.resolve(0), ResolvedCas { op: Some((0, 7, 0)), resp: Some(false) });
+        assert_eq!(c.read(0), 1, "failed CAS has no effect");
+    }
+
+    #[test]
+    fn overwritten_success_still_resolves_true() {
+        let c = DetectableCas::new(2, 8);
+        c.prep_cas(0, 0, 5, 0);
+        assert!(c.exec_cas(0));
+        assert!(c.cas(1, 5, 6)); // supersedes thread 0's node
+        assert_eq!(c.resolve(0), ResolvedCas { op: Some((0, 5, 0)), resp: Some(true) });
+    }
+
+    #[test]
+    #[should_panic(expected = "without a pending prepared")]
+    fn double_exec_panics() {
+        let c = DetectableCas::new(1, 8);
+        c.prep_cas(0, 0, 1, 0);
+        assert!(c.exec_cas(0));
+        let _ = c.exec_cas(0); // Axiom 2: R[pᵢ] ≠ ⊥
+    }
+
+    #[test]
+    fn crash_sweep_successful_cas() {
+        for adv in [
+            WritebackAdversary::None,
+            WritebackAdversary::All,
+            WritebackAdversary::Random { seed: 11, prob: 0.5 },
+        ] {
+            for k in 1..40 {
+                let c = DetectableCas::new(1, 8);
+                let crashed = run_crash_at(&c, k, || {
+                    c.prep_cas(0, 0, 5, 2);
+                    c.exec_cas(0);
+                });
+                if !crashed {
+                    break;
+                }
+                c.pool().crash(&adv);
+                c.rebuild_allocator();
+                let now = c.read(0);
+                match c.resolve(0) {
+                    ResolvedCas { op: None, resp: None } => assert_eq!(now, 0, "k={k} {adv:?}"),
+                    ResolvedCas { op: Some((0, 5, 2)), resp: Some(true) } => {
+                        assert_eq!(now, 5, "k={k} {adv:?}")
+                    }
+                    ResolvedCas { op: Some((0, 5, 2)), resp: None } => {
+                        assert_eq!(now, 0, "k={k} {adv:?}")
+                    }
+                    other => panic!("k={k} {adv:?}: impossible resolution {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crash_sweep_failing_cas_never_reports_success() {
+        for k in 1..40 {
+            let c = DetectableCas::new(1, 8);
+            let crashed = run_crash_at(&c, k, || {
+                c.prep_cas(0, 3, 5, 0); // object holds 0: must fail
+                c.exec_cas(0);
+            });
+            if !crashed {
+                break;
+            }
+            c.pool().crash(&WritebackAdversary::All);
+            c.rebuild_allocator();
+            assert_eq!(c.read(0), 0, "k={k}: failing CAS must never change the value");
+            match c.resolve(0) {
+                ResolvedCas { resp: Some(true), .. } => {
+                    panic!("k={k}: failing CAS resolved as success")
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_counter_via_cas() {
+        // Increment a counter with detectable CAS retry loops: total must
+        // equal the number of successful increments.
+        let c = Arc::new(DetectableCas::new(4, 128));
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    let mut seq = 0;
+                    for _ in 0..100 {
+                        loop {
+                            let v = c.read(tid);
+                            c.prep_cas(tid, v, v + 1, seq);
+                            seq += 1;
+                            if c.exec_cas(tid) {
+                                break;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.read(0), 400);
+    }
+}

@@ -1,0 +1,337 @@
+//! The DSS queue (paper §3): layout, construction, and detection.
+
+mod ops;
+mod recovery;
+#[cfg(test)]
+mod tests;
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use dss_pmem::{tag, Ebr, NodePool, PAddr, PmemPool, FlushGranularity};
+use dss_spec::types::QueueResp;
+
+/// Node field offsets (a queue node is `{ value, next, deqThreadID }`,
+/// padded to 4 words so a node never straddles a cache line and the paper's
+/// whole-node `FLUSH(node)` is a single flush under line granularity).
+pub(crate) const F_VALUE: u64 = 0;
+pub(crate) const F_NEXT: u64 = 1;
+pub(crate) const F_DEQ_TID: u64 = 2;
+pub(crate) const NODE_WORDS: u64 = 4;
+
+/// The paper's `deqThreadID = −1`: no thread has dequeued this node.
+pub(crate) const NO_DEQUEUER: u64 = u64::MAX;
+
+/// The enqueue-side error: the pre-allocated node pool is exhausted.
+///
+/// The paper's setup pre-allocates a fixed pool per thread; running out is
+/// an explicit, recoverable condition rather than a panic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QueueFull;
+
+impl fmt::Display for QueueFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("queue node pool exhausted")
+    }
+}
+
+impl std::error::Error for QueueFull {}
+
+/// The operation reported by [`DssQueue::resolve`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ResolvedOp {
+    /// The last prepared operation was `enqueue(value)`.
+    Enqueue(u64),
+    /// The last prepared operation was `dequeue()`.
+    Dequeue,
+}
+
+/// The answer of [`DssQueue::resolve`]: the DSS `(A[pᵢ], R[pᵢ])` pair.
+///
+/// `op == None` means no operation was ever prepared (`(⊥, ⊥)`).
+/// `resp == None` means the prepared operation did not take effect.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Resolved {
+    /// The most recently prepared operation, if any.
+    pub op: Option<ResolvedOp>,
+    /// Its response, if it took effect.
+    pub resp: Option<QueueResp>,
+}
+
+/// The DSS queue: a lock-free, strictly linearizable, detectable
+/// recoverable MPMC FIFO queue (paper §3, Figures 3, 4 and 6).
+///
+/// The queue is a Michael–Scott singly-linked list in persistent memory,
+/// extended with
+///
+/// * flush instructions in the style of Friedman et al.'s durable queue;
+/// * a `deqThreadID` field per node identifying the dequeuer;
+/// * a per-thread detectability word `X[tid]` holding a tagged node
+///   pointer (`ENQ_PREP`/`ENQ_COMPL`/`DEQ_PREP`/`EMPTY` in the pointer's
+///   high bits — footnote 5's "borrowed" bits).
+///
+/// Detectable operations go through `prep-*`/`exec-*` pairs; plain
+/// [`enqueue`](Self::enqueue)/[`dequeue`](Self::dequeue) skip every access
+/// to `X` (Axiom 4's non-detectable path). After a crash, run either the
+/// centralized [`recover`](Self::recover) (Figure 6) or the per-thread
+/// [`recover_thread`](Self::recover_thread) (§3.3), then ask
+/// [`resolve`](Self::resolve) what happened.
+///
+/// Thread IDs must be `0..nthreads`, each used by at most one OS thread at
+/// a time, and survive crashes (paper §2's recover-under-the-same-ID
+/// assumption).
+pub struct DssQueue {
+    pool: Arc<PmemPool>,
+    pub(crate) nodes: NodePool,
+    ebr: Ebr,
+    nthreads: usize,
+    /// Monotone per-thread counters of completed operations (volatile;
+    /// used by workloads and tests, never by the algorithm).
+    ops_done: Box<[AtomicU64]>,
+}
+
+// Fixed low-address layout.
+pub(crate) const A_HEAD: u64 = 1;
+pub(crate) const A_TAIL: u64 = 2;
+pub(crate) const A_X_BASE: u64 = 3;
+
+impl DssQueue {
+    /// Creates a queue for `nthreads` threads with `nodes_per_thread`
+    /// pre-allocated nodes each, on a fresh line-granular pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        Self::with_granularity(nthreads, nodes_per_thread, FlushGranularity::Line)
+    }
+
+    /// Creates a queue on a pool with the given flush granularity
+    /// (experiment E7 sweeps this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn with_granularity(
+        nthreads: usize,
+        nodes_per_thread: u64,
+        granularity: FlushGranularity,
+    ) -> Self {
+        assert!(nthreads > 0, "need at least one thread");
+        assert!(nodes_per_thread > 0, "need at least one node per thread");
+        // Layout: [0:NULL][1:head][2:tail][3..3+n: X][sentinel][region...],
+        // with the sentinel and region aligned to NODE_WORDS so each node
+        // sits within one cache line.
+        let x_end = A_X_BASE + nthreads as u64;
+        let sentinel = x_end.next_multiple_of(NODE_WORDS);
+        let region = sentinel + NODE_WORDS;
+        let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let pool = Arc::new(PmemPool::with_granularity(words as usize, granularity));
+        let nodes = NodePool::new(
+            PAddr::from_index(region),
+            NODE_WORDS,
+            nodes_per_thread,
+            nthreads,
+        );
+        let q = DssQueue {
+            pool,
+            nodes,
+            ebr: Ebr::new(nthreads),
+            nthreads,
+            ops_done: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
+        };
+        // Initial state: head = tail = sentinel; sentinel.next = NULL,
+        // sentinel unmarked; X[i] = NULL for all i. Persist everything.
+        let s = PAddr::from_index(sentinel);
+        q.pool.store(s.offset(F_VALUE), 0);
+        q.pool.store(s.offset(F_NEXT), PAddr::NULL.to_word());
+        q.pool.store(s.offset(F_DEQ_TID), NO_DEQUEUER);
+        q.flush_node(s);
+        q.pool.store(q.head_addr(), s.to_word());
+        q.pool.flush(q.head_addr());
+        q.pool.store(q.tail_addr(), s.to_word());
+        q.pool.flush(q.tail_addr());
+        for i in 0..nthreads {
+            q.pool.store(q.x_addr(i), 0);
+            q.pool.flush(q.x_addr(i));
+        }
+        q
+    }
+
+    /// The queue's persistent-memory pool (crash it, inspect it, count its
+    /// operations).
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    /// Number of threads the queue was built for.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    pub(crate) fn head_addr(&self) -> PAddr {
+        PAddr::from_index(A_HEAD)
+    }
+
+    pub(crate) fn tail_addr(&self) -> PAddr {
+        PAddr::from_index(A_TAIL)
+    }
+
+    pub(crate) fn x_addr(&self, tid: usize) -> PAddr {
+        assert!(tid < self.nthreads, "thread ID {tid} out of range");
+        PAddr::from_index(A_X_BASE + tid as u64)
+    }
+
+    /// `FLUSH(node)`: persists a whole node. One flush under line
+    /// granularity (nodes are line-aligned), one per field under word
+    /// granularity.
+    pub(crate) fn flush_node(&self, node: PAddr) {
+        match self.pool.granularity() {
+            FlushGranularity::Line => self.pool.flush(node),
+            FlushGranularity::Word => {
+                self.pool.flush(node.offset(F_VALUE));
+                self.pool.flush(node.offset(F_NEXT));
+                self.pool.flush(node.offset(F_DEQ_TID));
+            }
+        }
+    }
+
+    /// Allocates a node, recycling retired nodes through EBR when the free
+    /// lists run dry.
+    pub(crate) fn alloc_node(&self, tid: usize) -> Result<PAddr, QueueFull> {
+        if let Some(a) = self.nodes.alloc(tid) {
+            return Ok(a);
+        }
+        // Recycle: each collect() advances the epoch at most once, and an
+        // advance needs every pinned thread to pass through an unpinned
+        // state, so retry with yields before declaring exhaustion.
+        for _ in 0..64 {
+            for a in self.ebr.collect_all(tid) {
+                self.nodes.free(tid, a);
+            }
+            if let Some(a) = self.nodes.alloc(tid) {
+                return Ok(a);
+            }
+            std::thread::yield_now();
+        }
+        Err(QueueFull)
+    }
+
+    pub(crate) fn pin(&self, tid: usize) -> dss_pmem::EbrGuard<'_> {
+        self.ebr.pin(tid)
+    }
+
+    /// Retires a dequeued predecessor node (ignored for the static initial
+    /// sentinel, which is not part of the node region).
+    pub(crate) fn retire_node(&self, tid: usize, node: PAddr) {
+        if self.nodes.contains(node) {
+            self.ebr.retire(tid, node);
+        }
+    }
+
+    pub(crate) fn bump_ops(&self, tid: usize) {
+        self.ops_done[tid].fetch_add(1, Relaxed);
+    }
+
+    /// Total completed operations (volatile; for workloads and tests).
+    pub fn ops_completed(&self) -> u64 {
+        self.ops_done.iter().map(|c| c.load(Relaxed)).sum()
+    }
+
+    /// **resolve** (Figure 3, lines 20–27): reports the status of the
+    /// calling thread's most recently prepared operation.
+    ///
+    /// Idempotent and total: call it any number of times, from any state,
+    /// including immediately after recovery from a crash.
+    pub fn resolve(&self, tid: usize) -> Resolved {
+        let x = self.pool.load(self.x_addr(tid)); // inspect X[TID]
+        if tag::has(x, tag::ENQ_PREP) {
+            // line 21-22
+            let (value, resp) = self.resolve_enqueue(x);
+            Resolved { op: Some(ResolvedOp::Enqueue(value)), resp }
+        } else if tag::has(x, tag::DEQ_PREP) {
+            // line 23-25
+            let resp = self.resolve_dequeue(tid, x);
+            Resolved { op: Some(ResolvedOp::Dequeue), resp }
+        } else {
+            // line 26-27: no operation was prepared
+            Resolved { op: None, resp: None }
+        }
+    }
+
+    /// **resolve-enqueue** (Figure 3, lines 28–31).
+    fn resolve_enqueue(&self, x: u64) -> (u64, Option<QueueResp>) {
+        let node = tag::addr_of(x);
+        let value = self.pool.load(node.offset(F_VALUE));
+        if tag::has(x, tag::ENQ_COMPL) {
+            // enqueue was prepared and took effect (line 29)
+            (value, Some(QueueResp::Ok))
+        } else {
+            // enqueue was prepared and did not take effect (line 31)
+            (value, None)
+        }
+    }
+
+    /// **resolve-dequeue** (Figure 4, lines 56–63).
+    fn resolve_dequeue(&self, tid: usize, x: u64) -> Option<QueueResp> {
+        let ptr = tag::addr_of(x);
+        if ptr.is_null() {
+            if tag::has(x, tag::EMPTY) {
+                // dequeue took effect on an empty queue (lines 58-59)
+                Some(QueueResp::Empty)
+            } else {
+                // prepared but did not take effect (lines 56-57)
+                None
+            }
+        } else {
+            // X holds the predecessor of the node this thread tried to
+            // claim (written at lines 47-48).
+            let next = tag::addr_of(self.pool.load(ptr.offset(F_NEXT)));
+            if next.is_null() {
+                // The claimed node's linkage never persisted, so the claim
+                // cannot have persisted either (the paper's flush order
+                // guarantees next is persisted before any claim on it).
+                return None;
+            }
+            if self.pool.load(next.offset(F_DEQ_TID)) == tid as u64 {
+                // dequeue took effect on a non-empty queue (lines 60-61)
+                Some(QueueResp::Value(self.pool.load(next.offset(F_VALUE))))
+            } else {
+                // crashed between announcing the predecessor and the claim
+                // (lines 62-63); the node may be claimed by someone else,
+                // by this thread's *non-detectable* dequeue, or unclaimed.
+                None
+            }
+        }
+    }
+
+    /// Volatile inspection helper: the values currently in the queue, head
+    /// to tail (test/debug only — not atomic with respect to concurrent
+    /// operations).
+    pub fn snapshot_values(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = tag::addr_of(self.pool.peek(self.head_addr()));
+        loop {
+            let next = tag::addr_of(self.pool.peek(cur.offset(F_NEXT)));
+            if next.is_null() {
+                break;
+            }
+            // A marked successor has been dequeued already.
+            if self.pool.peek(next.offset(F_DEQ_TID)) == NO_DEQUEUER {
+                out.push(self.pool.peek(next.offset(F_VALUE)));
+            }
+            cur = next;
+        }
+        out
+    }
+}
+
+impl fmt::Debug for DssQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DssQueue")
+            .field("nthreads", &self.nthreads)
+            .field("total_nodes", &self.nodes.total_nodes())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,138 @@
+//! Post-crash recovery (paper Appendix A, Figure 6) and its independent
+//! per-thread variant (§3.3), plus the leak-preventing allocator rebuild
+//! the evaluation section describes.
+
+use std::collections::HashSet;
+
+use dss_pmem::{tag, PAddr};
+
+use super::{DssQueue, F_DEQ_TID, F_NEXT, NO_DEQUEUER};
+
+impl DssQueue {
+    /// Walks the linked list from `start`, returning every reachable node.
+    fn reachable_from(&self, start: PAddr) -> Vec<PAddr> {
+        let mut out = Vec::new();
+        let mut cur = start;
+        loop {
+            out.push(cur);
+            let next = tag::addr_of(self.pool.load(cur.offset(F_NEXT)));
+            if next.is_null() {
+                return out;
+            }
+            cur = next;
+        }
+    }
+
+    /// **recovery()** (Figure 6): the centralized single-threaded recovery
+    /// procedure, run after [`PmemPool::crash`](dss_pmem::PmemPool::crash)
+    /// and before application threads resume.
+    ///
+    /// 1. Recomputes and persists the `tail` pointer (lines 65–66).
+    /// 2. Advances and persists the `head` pointer to the last *marked*
+    ///    (already dequeued) node (lines 67–69).
+    /// 3. Completes the detectability state of pending enqueues: any
+    ///    `X[i]` holding `ENQ_PREP` without `ENQ_COMPL` whose node either
+    ///    is still in the list, or left it already marked, gains
+    ///    `ENQ_COMPL` (lines 70–76).
+    ///
+    /// Idempotent: running it twice (e.g. after a crash *during* recovery)
+    /// is safe, which the tests exercise.
+    pub fn recover(&self) {
+        // line 64: AllNodes := nodes reachable from head
+        let old_head = tag::addr_of(self.pool.load(self.head_addr()));
+        let chain = self.reachable_from(old_head);
+        let all_nodes: HashSet<PAddr> = chain.iter().copied().collect();
+
+        // lines 65–66: tail := last reachable node
+        let last = *chain.last().expect("chain contains at least head");
+        self.pool.store(self.tail_addr(), last.to_word());
+        self.pool.flush(self.tail_addr());
+
+        // lines 67–69: head := last marked node reachable from oldHead
+        let last_marked = chain
+            .iter()
+            .copied()
+            .filter(|n| self.pool.load(n.offset(F_DEQ_TID)) != NO_DEQUEUER)
+            .last();
+        if let Some(m) = last_marked {
+            self.pool.store(self.head_addr(), m.to_word());
+        }
+        self.pool.flush(self.head_addr());
+
+        // lines 70–76: complete detectability state of effective enqueues.
+        for i in 0..self.nthreads() {
+            self.recover_x_entry(i, &all_nodes);
+        }
+    }
+
+    /// Independent per-thread recovery (§3.3): thread `tid` repairs only
+    /// its own `X[tid]` entry by scanning the list itself; no centralized
+    /// phase, and with it "the last trace of auxiliary state" disappears.
+    ///
+    /// The queue's head and tail pointers are *not* repaired here — the
+    /// MS-queue helping paths advance a lagging tail, and the dequeue path
+    /// advances a head that points at marked nodes, so ordinary operations
+    /// restore them lazily.
+    pub fn recover_thread(&self, tid: usize) {
+        let old_head = tag::addr_of(self.pool.load(self.head_addr()));
+        let all_nodes: HashSet<PAddr> = self.reachable_from(old_head).into_iter().collect();
+        self.recover_x_entry(tid, &all_nodes);
+    }
+
+    fn recover_x_entry(&self, i: usize, all_nodes: &HashSet<PAddr>) {
+        let xa = self.x_addr(i);
+        let x = self.pool.load(xa);
+        if !tag::has(x, tag::ENQ_PREP) || tag::has(x, tag::ENQ_COMPL) {
+            return;
+        }
+        let d = tag::addr_of(x);
+        if d.is_null() {
+            return;
+        }
+        let effective = if all_nodes.contains(&d) {
+            // lines 71–74: enqueued and still in the linked list
+            true
+        } else {
+            // lines 75–76: enqueued and no longer in the list — it must
+            // have been dequeued, i.e. marked
+            self.pool.load(d.offset(F_DEQ_TID)) != NO_DEQUEUER
+        };
+        if effective {
+            self.pool.store(xa, tag::set(x, tag::ENQ_COMPL));
+            self.pool.flush(xa);
+        }
+    }
+
+    /// Rebuilds the volatile allocator and reclamation state after a
+    /// crash, preventing the memory leaks the paper's §4 mentions (e.g. "a
+    /// crash in prep-enqueue").
+    ///
+    /// A node survives (stays allocated) iff it is reachable from the
+    /// head, or referenced by some thread's detectability word `X[i]`
+    /// (directly or as that node's successor — `resolve` may still
+    /// dereference both). Everything else returns to the free lists.
+    ///
+    /// Call after [`recover`](Self::recover) (or after every thread's
+    /// [`recover_thread`](Self::recover_thread)); threads may resolve
+    /// before or after, since `X`-referenced nodes are preserved.
+    pub fn rebuild_allocator(&self) {
+        let mut live: Vec<PAddr> = Vec::new();
+        let head = tag::addr_of(self.pool.load(self.head_addr()));
+        live.extend(self.reachable_from(head));
+        for i in 0..self.nthreads() {
+            let x = self.pool.load(self.x_addr(i));
+            let d = tag::addr_of(x);
+            if !d.is_null() {
+                live.push(d);
+                let next = tag::addr_of(self.pool.load(d.offset(F_NEXT)));
+                if !next.is_null() {
+                    live.push(next);
+                }
+            }
+        }
+        self.nodes.rebuild(live);
+        // The EBR limbo lists are volatile and reference pre-crash nodes
+        // that rebuild() has already re-classified; drop them wholesale.
+        self.ebr.reset();
+    }
+}

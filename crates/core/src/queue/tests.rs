@@ -1,0 +1,487 @@
+//! Unit tests for the DSS queue, including crash-point sweeps that check
+//! the Figure 2 detectability semantics against the persisted queue state.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use dss_pmem::{CrashSignal, WritebackAdversary};
+use dss_spec::types::QueueResp;
+
+use super::{DssQueue, QueueFull, Resolved, ResolvedOp};
+
+/// Runs `f` with a crash armed after `k` pmem operations. Returns `true`
+/// if the crash fired (and was caught), `false` if `f` completed first.
+fn run_crash_at<F: FnOnce()>(q: &DssQueue, k: u64, f: F) -> bool {
+    q.pool().arm_crash_after(k);
+    let r = catch_unwind(AssertUnwindSafe(f));
+    q.pool().disarm_crash();
+    match r {
+        Ok(()) => false,
+        Err(p) if p.downcast_ref::<CrashSignal>().is_some() => true,
+        Err(p) => resume_unwind(p),
+    }
+}
+
+#[test]
+fn fifo_order_non_detectable() {
+    let q = DssQueue::new(1, 16);
+    for v in [10, 20, 30] {
+        q.enqueue(0, v).unwrap();
+    }
+    assert_eq!(q.dequeue(0), QueueResp::Value(10));
+    assert_eq!(q.dequeue(0), QueueResp::Value(20));
+    assert_eq!(q.dequeue(0), QueueResp::Value(30));
+    assert_eq!(q.dequeue(0), QueueResp::Empty);
+}
+
+#[test]
+fn fifo_order_detectable() {
+    let q = DssQueue::new(1, 16);
+    for v in [1, 2] {
+        q.prep_enqueue(0, v).unwrap();
+        q.exec_enqueue(0);
+    }
+    q.prep_dequeue(0);
+    assert_eq!(q.exec_dequeue(0), QueueResp::Value(1));
+    q.prep_dequeue(0);
+    assert_eq!(q.exec_dequeue(0), QueueResp::Value(2));
+    q.prep_dequeue(0);
+    assert_eq!(q.exec_dequeue(0), QueueResp::Empty);
+}
+
+#[test]
+fn resolve_without_prep_is_bottom_bottom() {
+    let q = DssQueue::new(2, 4);
+    assert_eq!(q.resolve(0), Resolved { op: None, resp: None });
+    assert_eq!(q.resolve(1), Resolved { op: None, resp: None });
+}
+
+#[test]
+fn resolve_after_prep_enqueue_only() {
+    let q = DssQueue::new(1, 4);
+    q.prep_enqueue(0, 9).unwrap();
+    assert_eq!(
+        q.resolve(0),
+        Resolved { op: Some(ResolvedOp::Enqueue(9)), resp: None }
+    );
+}
+
+#[test]
+fn resolve_after_exec_enqueue() {
+    let q = DssQueue::new(1, 4);
+    q.prep_enqueue(0, 9).unwrap();
+    q.exec_enqueue(0);
+    assert_eq!(
+        q.resolve(0),
+        Resolved { op: Some(ResolvedOp::Enqueue(9)), resp: Some(QueueResp::Ok) }
+    );
+    // resolve is idempotent (a process "may call [it] arbitrarily many
+    // times", §2.2).
+    assert_eq!(q.resolve(0), q.resolve(0));
+}
+
+#[test]
+fn resolve_after_prep_dequeue_only() {
+    let q = DssQueue::new(1, 4);
+    q.enqueue(0, 5).unwrap();
+    q.prep_dequeue(0);
+    assert_eq!(q.resolve(0), Resolved { op: Some(ResolvedOp::Dequeue), resp: None });
+}
+
+#[test]
+fn resolve_after_dequeue_value_and_empty() {
+    let q = DssQueue::new(1, 4);
+    q.enqueue(0, 5).unwrap();
+    q.prep_dequeue(0);
+    assert_eq!(q.exec_dequeue(0), QueueResp::Value(5));
+    assert_eq!(
+        q.resolve(0),
+        Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(QueueResp::Value(5)) }
+    );
+    q.prep_dequeue(0);
+    assert_eq!(q.exec_dequeue(0), QueueResp::Empty);
+    assert_eq!(
+        q.resolve(0),
+        Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(QueueResp::Empty) }
+    );
+}
+
+#[test]
+fn non_detectable_ops_do_not_disturb_detection_state() {
+    // Axiom 4: plain operations leave A and R untouched.
+    let q = DssQueue::new(2, 8);
+    q.prep_enqueue(0, 1).unwrap();
+    q.exec_enqueue(0);
+    let before = q.resolve(0);
+    q.enqueue(1, 2).unwrap();
+    q.dequeue(1);
+    q.dequeue(1);
+    assert_eq!(q.resolve(0), before);
+}
+
+#[test]
+fn nondetectable_dequeue_claim_never_resolves_as_detectable() {
+    // A thread prep-dequeues, loses interest (crash in our story), and the
+    // *same thread* later dequeues the node non-detectably. resolve must
+    // not confuse the NONDET claim with a detectable one (§3.2).
+    let q = DssQueue::new(1, 8);
+    q.enqueue(0, 7).unwrap();
+    q.prep_dequeue(0);
+    // Interrupt exec-dequeue right after it announces the predecessor in X
+    // (store X, flush X = the 6th and 7th pmem ops: head, tail, next, head
+    // again, store X, flush X — crash on the claim CAS, op #8).
+    let crashed = run_crash_at(&q, 8, || {
+        let _ = q.exec_dequeue(0);
+    });
+    assert!(crashed, "expected to interrupt the claim CAS");
+    q.pool().crash(&WritebackAdversary::None);
+    q.recover();
+    assert_eq!(
+        q.resolve(0),
+        Resolved { op: Some(ResolvedOp::Dequeue), resp: None }
+    );
+    // Now the same thread dequeues non-detectably.
+    assert_eq!(q.dequeue(0), QueueResp::Value(7));
+    // The detectable dequeue still resolves as "did not take effect".
+    assert_eq!(
+        q.resolve(0),
+        Resolved { op: Some(ResolvedOp::Dequeue), resp: None }
+    );
+}
+
+#[test]
+#[should_panic(expected = "without a prepared enqueue")]
+fn exec_enqueue_without_prep_panics() {
+    let q = DssQueue::new(1, 4);
+    q.exec_enqueue(0);
+}
+
+#[test]
+fn queue_full_and_ebr_recycling() {
+    let q = DssQueue::new(1, 3);
+    // Fill the pool.
+    for v in 0..3 {
+        q.enqueue(0, v).unwrap();
+    }
+    assert_eq!(q.enqueue(0, 99), Err(QueueFull));
+    // Dequeue two; the nodes go to EBR limbo and must eventually recycle.
+    assert_eq!(q.dequeue(0), QueueResp::Value(0));
+    assert_eq!(q.dequeue(0), QueueResp::Value(1));
+    // alloc_node retries through EBR collection:
+    q.enqueue(0, 100).expect("recycled node");
+    assert_eq!(q.snapshot_values(), vec![2, 100]);
+}
+
+#[test]
+fn many_ops_through_small_pool() {
+    // Far more operations than nodes: recycling must sustain it.
+    let q = DssQueue::new(1, 8);
+    for i in 0..1000 {
+        q.enqueue(0, i).unwrap();
+        assert_eq!(q.dequeue(0), QueueResp::Value(i));
+    }
+    assert_eq!(q.dequeue(0), QueueResp::Empty);
+}
+
+#[test]
+fn concurrent_stress_conserves_values() {
+    const THREADS: usize = 4;
+    const PER_THREAD: u64 = 300;
+    let q = Arc::new(DssQueue::new(THREADS, 64));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|tid| {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut got = Vec::new();
+                for i in 0..PER_THREAD {
+                    let v = (tid as u64) << 32 | i;
+                    if i % 2 == 0 {
+                        q.prep_enqueue(tid, v).unwrap();
+                        q.exec_enqueue(tid);
+                    } else {
+                        q.enqueue(tid, v).unwrap();
+                    }
+                    q.prep_dequeue(tid);
+                    match q.exec_dequeue(tid) {
+                        QueueResp::Value(x) => got.push(x),
+                        QueueResp::Empty => {}
+                        QueueResp::Ok => unreachable!(),
+                    }
+                }
+                got
+            })
+        })
+        .collect();
+    let mut dequeued: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    let mut remaining = q.snapshot_values();
+    dequeued.append(&mut remaining);
+    dequeued.sort_unstable();
+    let mut expected: Vec<u64> = (0..THREADS as u64)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| t << 32 | i))
+        .collect();
+    expected.sort_unstable();
+    assert_eq!(dequeued, expected, "every value dequeued or remaining exactly once");
+}
+
+// ---------------------------------------------------------------------------
+// Crash-point sweeps (Figure 2 semantics, small-scale version of E4)
+// ---------------------------------------------------------------------------
+
+fn adversaries() -> Vec<WritebackAdversary> {
+    vec![
+        WritebackAdversary::None,
+        WritebackAdversary::All,
+        WritebackAdversary::Random { seed: 7, prob: 0.5 },
+    ]
+}
+
+#[test]
+fn enqueue_crash_sweep_resolves_consistently() {
+    for adv in adversaries() {
+        for k in 1..60 {
+            let q = DssQueue::new(1, 8);
+            let crashed = run_crash_at(&q, k, || {
+                q.prep_enqueue(0, 42).unwrap();
+                q.exec_enqueue(0);
+            });
+            if !crashed {
+                break; // the whole operation ran; later ks are identical
+            }
+            q.pool().crash(&adv);
+            q.recover();
+            q.rebuild_allocator();
+            let in_queue = q.snapshot_values() == vec![42];
+            match q.resolve(0) {
+                Resolved { op: None, resp: None } => {
+                    assert!(!in_queue, "k={k} {adv:?}: unprepared but enqueued")
+                }
+                Resolved { op: Some(ResolvedOp::Enqueue(42)), resp } => match resp {
+                    Some(QueueResp::Ok) => {
+                        assert!(in_queue, "k={k} {adv:?}: resolved Ok but value missing")
+                    }
+                    None => assert!(!in_queue, "k={k} {adv:?}: resolved ⊥ but value present"),
+                    other => panic!("k={k} {adv:?}: impossible enqueue response {other:?}"),
+                },
+                other => panic!("k={k} {adv:?}: impossible resolution {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn dequeue_crash_sweep_resolves_consistently() {
+    for adv in adversaries() {
+        for k in 1..60 {
+            let q = DssQueue::new(1, 8);
+            q.enqueue(0, 7).unwrap();
+            let pre_ops = q.pool().stats().total(); // skip init + enqueue ops
+            let _ = pre_ops;
+            let crashed = run_crash_at(&q, k, || {
+                q.prep_dequeue(0);
+                let _ = q.exec_dequeue(0);
+            });
+            if !crashed {
+                break;
+            }
+            q.pool().crash(&adv);
+            q.recover();
+            q.rebuild_allocator();
+            let still_there = q.snapshot_values() == vec![7];
+            match q.resolve(0) {
+                Resolved { op: None, resp: None } => {
+                    assert!(still_there, "k={k} {adv:?}: no prep but value gone")
+                }
+                Resolved { op: Some(ResolvedOp::Dequeue), resp } => match resp {
+                    Some(QueueResp::Value(7)) => {
+                        assert!(!still_there, "k={k} {adv:?}: dequeued but still present")
+                    }
+                    None => assert!(still_there, "k={k} {adv:?}: no effect but value gone"),
+                    other => panic!("k={k} {adv:?}: impossible dequeue response {other:?}"),
+                },
+                other => panic!("k={k} {adv:?}: impossible resolution {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_dequeue_crash_sweep() {
+    for adv in adversaries() {
+        for k in 1..30 {
+            let q = DssQueue::new(1, 4);
+            let crashed = run_crash_at(&q, k, || {
+                q.prep_dequeue(0);
+                let _ = q.exec_dequeue(0);
+            });
+            if !crashed {
+                break;
+            }
+            q.pool().crash(&adv);
+            q.recover();
+            q.rebuild_allocator();
+            assert!(q.snapshot_values().is_empty(), "k={k}: queue must stay empty");
+            match q.resolve(0) {
+                Resolved { op: None, resp: None }
+                | Resolved { op: Some(ResolvedOp::Dequeue), resp: None }
+                | Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(QueueResp::Empty) } => {}
+                other => panic!("k={k} {adv:?}: impossible resolution {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn recovery_completes_interrupted_enqueue_detectability() {
+    // Crash exactly between the link flush (line 12) and the X completion
+    // store (line 13): the enqueue took effect but X lacks ENQ_COMPL.
+    // Recovery must add the tag (Figure 6 lines 71-74).
+    let q = DssQueue::new(1, 8);
+    q.prep_enqueue(0, 11).unwrap();
+    // exec-enqueue ops: load X, load tail, load last.next, load tail,
+    // CAS link, flush link, [crash here].
+    let crashed = run_crash_at(&q, 7, || q.exec_enqueue(0));
+    assert!(crashed);
+    q.pool().crash(&WritebackAdversary::None);
+    q.recover();
+    assert_eq!(
+        q.resolve(0),
+        Resolved { op: Some(ResolvedOp::Enqueue(11)), resp: Some(QueueResp::Ok) },
+        "recovery must detect the persisted link"
+    );
+    assert_eq!(q.snapshot_values(), vec![11]);
+}
+
+#[test]
+fn recovery_repairs_lagging_tail_and_head() {
+    let q = DssQueue::new(2, 16);
+    for v in [1, 2, 3] {
+        q.enqueue(0, v).unwrap();
+    }
+    assert_eq!(q.dequeue(1), QueueResp::Value(1));
+    q.pool().crash(&WritebackAdversary::All); // everything persists
+    q.recover();
+    q.rebuild_allocator();
+    assert_eq!(q.snapshot_values(), vec![2, 3]);
+    // The queue is fully operational after recovery.
+    assert_eq!(q.dequeue(0), QueueResp::Value(2));
+    q.enqueue(1, 4).unwrap();
+    assert_eq!(q.snapshot_values(), vec![3, 4]);
+}
+
+#[test]
+fn recovery_is_idempotent() {
+    let q = DssQueue::new(1, 8);
+    q.prep_enqueue(0, 5).unwrap();
+    let crashed = run_crash_at(&q, 7, || q.exec_enqueue(0));
+    assert!(crashed);
+    q.pool().crash(&WritebackAdversary::None);
+    q.recover();
+    let r1 = q.resolve(0);
+    let v1 = q.snapshot_values();
+    q.recover(); // e.g. a crash hit during the first recovery's epilogue
+    assert_eq!(q.resolve(0), r1);
+    assert_eq!(q.snapshot_values(), v1);
+}
+
+#[test]
+fn independent_recovery_matches_centralized_for_x_state() {
+    for k in 1..40 {
+        // Two identical queues, crashed at the same point; one recovers
+        // centrally, the other per-thread. resolve must agree.
+        let run = |central: bool| {
+            let q = DssQueue::new(1, 8);
+            let crashed = run_crash_at(&q, k, || {
+                q.prep_enqueue(0, 13).unwrap();
+                q.exec_enqueue(0);
+            });
+            if !crashed {
+                return None;
+            }
+            q.pool().crash(&WritebackAdversary::None);
+            if central {
+                q.recover();
+            } else {
+                q.recover_thread(0);
+            }
+            Some(q.resolve(0))
+        };
+        match (run(true), run(false)) {
+            (Some(a), Some(b)) => assert_eq!(a, b, "k={k}"),
+            (None, None) => break,
+            _ => unreachable!("same deterministic schedule"),
+        }
+    }
+}
+
+#[test]
+fn queue_usable_after_independent_recovery() {
+    let q = DssQueue::new(2, 16);
+    q.enqueue(0, 1).unwrap();
+    q.enqueue(0, 2).unwrap();
+    assert_eq!(q.dequeue(1), QueueResp::Value(1));
+    q.pool().crash(&WritebackAdversary::All);
+    // No centralized phase: threads recover on their own and proceed; the
+    // stale head/tail are repaired lazily by the helping paths.
+    q.recover_thread(0);
+    q.recover_thread(1);
+    q.rebuild_allocator();
+    assert_eq!(q.dequeue(0), QueueResp::Value(2));
+    q.enqueue(1, 3).unwrap();
+    assert_eq!(q.dequeue(0), QueueResp::Value(3));
+    assert_eq!(q.dequeue(0), QueueResp::Empty);
+}
+
+#[test]
+fn rebuild_allocator_reclaims_dead_nodes_and_keeps_live_ones() {
+    let q = DssQueue::new(1, 4);
+    // Crash during prep-enqueue, after the X announcement store (op 5) but
+    // before its flush (op 6): the fresh node is referenced only by X.
+    let crashed = run_crash_at(&q, 6, || {
+        q.prep_enqueue(0, 50).unwrap();
+    });
+    assert!(crashed);
+    q.pool().crash(&WritebackAdversary::All); // X persisted
+    q.recover();
+    q.rebuild_allocator();
+    // The X-referenced node must stay allocated (resolve may read it)...
+    assert_eq!(
+        q.resolve(0),
+        Resolved { op: Some(ResolvedOp::Enqueue(50)), resp: None }
+    );
+    // ...and the remaining 3 nodes are free.
+    assert_eq!(q.nodes.free_count(), 3);
+}
+
+#[test]
+fn crash_during_recovery_then_recovery_again() {
+    let q = DssQueue::new(1, 8);
+    q.prep_enqueue(0, 21).unwrap();
+    let crashed = run_crash_at(&q, 7, || q.exec_enqueue(0));
+    assert!(crashed);
+    q.pool().crash(&WritebackAdversary::None);
+    // Recovery itself crashes at every possible point; a second, complete
+    // recovery must still land in a correct state.
+    for k in 1..40 {
+        let crashed = run_crash_at(&q, k, || q.recover());
+        if !crashed {
+            break;
+        }
+        q.pool().crash(&WritebackAdversary::None);
+    }
+    q.recover();
+    assert_eq!(
+        q.resolve(0),
+        Resolved { op: Some(ResolvedOp::Enqueue(21)), resp: Some(QueueResp::Ok) }
+    );
+    assert_eq!(q.snapshot_values(), vec![21]);
+}
+
+#[test]
+fn ops_completed_counts() {
+    let q = DssQueue::new(2, 8);
+    q.enqueue(0, 1).unwrap();
+    q.prep_enqueue(1, 2).unwrap();
+    q.exec_enqueue(1);
+    q.dequeue(0);
+    assert_eq!(q.ops_completed(), 3);
+}

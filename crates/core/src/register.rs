@@ -1,0 +1,470 @@
+//! A bespoke implementation of `D⟨read/write register⟩` — the object of the
+//! paper's Figure 2.
+//!
+//! A recoverable register cannot keep provenance in a bare 64-bit cell: if a
+//! thread's write is overwritten before the thread persists its completion
+//! tag, no amount of post-crash inspection of the cell can tell whether the
+//! write ever took effect. This implementation therefore uses the standard
+//! indirection idiom (shared with [`DetectableCas`](crate::DetectableCas)):
+//! the register is a pointer to an immutable *value node* `{value, writer,
+//! seq, superseded}`, and an installer marks its predecessor's `superseded`
+//! flag (persisted) *before* swinging the pointer. A thread's write
+//! provably took effect iff its node is current **or** superseded — both
+//! survive crashes.
+//!
+//! This is also the first half of the §2.2 nesting demonstration: the DSS
+//! queue's base objects (registers and CAS) can themselves be detectable.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dss_pmem::{tag, FlushGranularity, NodePool, PAddr, PmemPool, Ebr};
+use dss_spec::types::RegisterResp;
+
+// Node layout (4 words, line-aligned like the queue's nodes).
+const F_VALUE: u64 = 0;
+const F_WRITER_SEQ: u64 = 1;
+const F_SUPERSEDED: u64 = 2;
+const NODE_WORDS: u64 = 4;
+
+// Register-local tags (same bit positions as the queue's enqueue tags; the
+// objects never share an X word, so reuse is safe and keeps all tags above
+// the 48 address bits).
+const W_PREP: u64 = tag::ENQ_PREP;
+const W_COMPL: u64 = tag::ENQ_COMPL;
+
+// Fixed layout: [0:NULL][1:cur][2..2+n:X][initial node][region].
+const A_CUR: u64 = 1;
+const A_X_BASE: u64 = 2;
+
+/// The outcome reported by [`DetectableRegister::resolve`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ResolvedWrite {
+    /// The prepared write's value and the application-chosen sequence tag
+    /// (the §2.1 disambiguation argument), if a write was ever prepared.
+    pub op: Option<(u64, u64)>,
+    /// `Some(Ok)` if the write took effect.
+    pub resp: Option<RegisterResp>,
+}
+
+/// A detectable recoverable multi-writer register (`D⟨register⟩`).
+///
+/// Detectable writes go through [`prep_write`](Self::prep_write) /
+/// [`exec_write`](Self::exec_write); plain [`write`](Self::write) and
+/// [`read`](Self::read) are the non-detectable operations (Axiom 4). After
+/// a crash no recovery phase is needed: [`resolve`](Self::resolve) inspects
+/// persisted state only — the register recovers independently, like the
+/// §3.3 queue variant.
+///
+/// Values are limited to 48 bits (they share a word with nothing, but this
+/// keeps the example honest about tag budgets; larger payloads belong in
+/// multi-word nodes like the queue's).
+///
+/// # Examples
+///
+/// ```
+/// use dss_core::DetectableRegister;
+/// use dss_spec::types::RegisterResp;
+///
+/// let r = DetectableRegister::new(2, 16);
+/// r.prep_write(0, 7, 1);
+/// r.exec_write(0);
+/// assert_eq!(r.read(1), 7);
+/// let res = r.resolve(0);
+/// assert_eq!(res.op, Some((7, 1)));
+/// assert_eq!(res.resp, Some(RegisterResp::Ok));
+/// ```
+pub struct DetectableRegister {
+    pool: Arc<PmemPool>,
+    nodes: NodePool,
+    ebr: Ebr,
+    nthreads: usize,
+    /// Per-thread nodes this thread created that are awaiting retirement.
+    /// A node may be retired once it is neither the register's current
+    /// node nor referenced by the owner's `X` entry; only the owner ever
+    /// retires its nodes, so `resolve` can always dereference `X` safely.
+    pending: Box<[std::sync::Mutex<Vec<PAddr>>]>,
+}
+
+impl DetectableRegister {
+    /// Creates a register (initial value 0) for `nthreads` threads with
+    /// `nodes_per_thread` pre-allocated value nodes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        assert!(nthreads > 0 && nodes_per_thread > 0);
+        let x_end = A_X_BASE + nthreads as u64;
+        let init_node = x_end.next_multiple_of(NODE_WORDS);
+        let region = init_node + NODE_WORDS;
+        let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let pool = Arc::new(PmemPool::with_granularity(
+            words as usize,
+            FlushGranularity::Line,
+        ));
+        let nodes = NodePool::new(
+            PAddr::from_index(region),
+            NODE_WORDS,
+            nodes_per_thread,
+            nthreads,
+        );
+        let r = DetectableRegister {
+            pool,
+            nodes,
+            ebr: Ebr::new(nthreads),
+            nthreads,
+            pending: (0..nthreads).map(|_| std::sync::Mutex::new(Vec::new())).collect(),
+        };
+        let init = PAddr::from_index(init_node);
+        r.pool.store(init.offset(F_VALUE), 0);
+        r.pool.store(init.offset(F_WRITER_SEQ), u64::MAX); // no writer
+        r.pool.store(init.offset(F_SUPERSEDED), 0);
+        r.pool.flush(init);
+        r.pool.store(r.cur_addr(), init.to_word());
+        r.pool.flush(r.cur_addr());
+        for i in 0..nthreads {
+            r.pool.store(r.x_addr(i), 0);
+            r.pool.flush(r.x_addr(i));
+        }
+        r
+    }
+
+    fn cur_addr(&self) -> PAddr {
+        PAddr::from_index(A_CUR)
+    }
+
+    fn x_addr(&self, tid: usize) -> PAddr {
+        assert!(tid < self.nthreads, "thread ID {tid} out of range");
+        PAddr::from_index(A_X_BASE + tid as u64)
+    }
+
+    /// The register's persistent-memory pool.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    fn alloc(&self, tid: usize) -> PAddr {
+        if let Some(a) = self.nodes.alloc(tid) {
+            return a;
+        }
+        // Epoch advancement needs every pinned thread to pass through an
+        // unpinned state; retry with yields so transient pins don't turn
+        // into spurious exhaustion.
+        for _ in 0..64 {
+            for a in self.ebr.collect_all(tid) {
+                self.nodes.free(tid, a);
+            }
+            if let Some(a) = self.nodes.alloc(tid) {
+                return a;
+            }
+            std::thread::yield_now();
+        }
+        panic!("register node pool exhausted (size it for the workload)");
+    }
+
+    /// Retires the caller's past nodes that are no longer the current node
+    /// (nor the caller's `X` node, which is excluded at push time); called
+    /// from `prep_write`/`write` so retirement needs no extra API.
+    fn sweep_pending(&self, tid: usize) {
+        let mut pending = self.pending[tid].lock().unwrap_or_else(|e| e.into_inner());
+        let cur = self.pool.peek(self.cur_addr());
+        let x = tag::addr_of(self.pool.peek(self.x_addr(tid)));
+        pending.retain(|&p| {
+            if p.to_word() != cur && p != x {
+                self.ebr.retire(tid, p);
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    fn push_pending(&self, tid: usize, node: PAddr) {
+        self.pending[tid]
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(node);
+    }
+
+    /// **prep-write(val, seq)**: allocates and persists a value node, then
+    /// announces it in `X[tid]` with the prepared tag. `seq` is the
+    /// application's disambiguation tag (§2.1); a parity bit suffices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `val` exceeds 48 bits or the node pool is exhausted.
+    pub fn prep_write(&self, tid: usize, val: u64, seq: u64) {
+        assert!(val <= tag::ADDR_MASK, "register values are limited to 48 bits");
+        self.sweep_pending(tid);
+        let old = tag::addr_of(self.pool.load(self.x_addr(tid)));
+        let node = self.alloc(tid);
+        self.pool.store(node.offset(F_VALUE), val);
+        self.pool.store(node.offset(F_WRITER_SEQ), pack(tid, seq));
+        self.pool.store(node.offset(F_SUPERSEDED), 0);
+        self.pool.flush(node);
+        self.pool.store(self.x_addr(tid), tag::set(node.to_word(), W_PREP));
+        self.pool.flush(self.x_addr(tid));
+        // The previous announcement node is no longer referenced by X[tid];
+        // it becomes retirable once it also stops being the current node.
+        if !old.is_null() {
+            self.push_pending(tid, old);
+        }
+    }
+
+    /// **exec-write()**: installs the prepared node, marking the previous
+    /// node superseded (persisted) first, so every installed node remains
+    /// provably installed across crashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no write is prepared for `tid`.
+    pub fn exec_write(&self, tid: usize) {
+        let _g = self.ebr.pin(tid);
+        let xa = self.x_addr(tid);
+        let x = self.pool.load(xa);
+        assert!(tag::has(x, W_PREP), "exec-write without a prepared write");
+        let node = tag::addr_of(x);
+        loop {
+            let cur_w = self.pool.load(self.cur_addr());
+            let cur = tag::addr_of(cur_w);
+            // Mark the incumbent superseded *before* replacing it: its
+            // owner must be able to prove installation even after we win.
+            self.pool.store(cur.offset(F_SUPERSEDED), 1);
+            self.pool.flush(cur.offset(F_SUPERSEDED));
+            if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
+                self.pool.flush(self.cur_addr());
+                self.pool.store(xa, tag::set(x, W_COMPL));
+                self.pool.flush(xa);
+                return;
+            }
+        }
+    }
+
+    /// Non-detectable **write(val)** (Axiom 4): the same installation loop
+    /// with every access to `X` omitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `val` exceeds 48 bits or the node pool is exhausted.
+    pub fn write(&self, tid: usize, val: u64) {
+        assert!(val <= tag::ADDR_MASK, "register values are limited to 48 bits");
+        let _g = self.ebr.pin(tid);
+        self.sweep_pending(tid);
+        let node = self.alloc(tid);
+        self.pool.store(node.offset(F_VALUE), val);
+        self.pool.store(node.offset(F_WRITER_SEQ), u64::MAX);
+        self.pool.store(node.offset(F_SUPERSEDED), 0);
+        self.pool.flush(node);
+        loop {
+            let cur_w = self.pool.load(self.cur_addr());
+            let cur = tag::addr_of(cur_w);
+            self.pool.store(cur.offset(F_SUPERSEDED), 1);
+            self.pool.flush(cur.offset(F_SUPERSEDED));
+            if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
+                self.pool.flush(self.cur_addr());
+                // X never references a plain write's node, so it joins the
+                // owner's pending list right away; it is retired by a later
+                // sweep once it stops being the current node.
+                self.push_pending(tid, node);
+                return;
+            }
+        }
+    }
+
+    /// **read()** (plain): the current value.
+    pub fn read(&self, tid: usize) -> u64 {
+        let _g = self.ebr.pin(tid);
+        let cur = tag::addr_of(self.pool.load(self.cur_addr()));
+        self.pool.load(cur.offset(F_VALUE))
+    }
+
+    /// **resolve()**: reports the most recently prepared write and whether
+    /// it took effect. Needs no prior recovery phase; callable any time,
+    /// idempotent.
+    pub fn resolve(&self, tid: usize) -> ResolvedWrite {
+        let x = self.pool.load(self.x_addr(tid));
+        if !tag::has(x, W_PREP) {
+            return ResolvedWrite { op: None, resp: None };
+        }
+        let node = tag::addr_of(x);
+        let (_, seq) = unpack(self.pool.load(node.offset(F_WRITER_SEQ)));
+        let val = self.pool.load(node.offset(F_VALUE));
+        let effective = tag::has(x, W_COMPL)
+            || self.pool.load(self.cur_addr()) == node.to_word()
+            || self.pool.load(node.offset(F_SUPERSEDED)) == 1;
+        ResolvedWrite {
+            op: Some((val, seq)),
+            resp: if effective { Some(RegisterResp::Ok) } else { None },
+        }
+    }
+
+    /// Rebuilds the volatile allocator after a crash: the current node and
+    /// every `X`-referenced node stay allocated.
+    pub fn rebuild_allocator(&self) {
+        let mut live = vec![tag::addr_of(self.pool.load(self.cur_addr()))];
+        for i in 0..self.nthreads {
+            let d = tag::addr_of(self.pool.load(self.x_addr(i)));
+            if !d.is_null() {
+                live.push(d);
+            }
+        }
+        self.nodes.rebuild(live);
+        self.ebr.reset();
+        for p in self.pending.iter() {
+            p.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
+}
+
+fn pack(pid: usize, seq: u64) -> u64 {
+    ((pid as u64) << 48) | (seq & tag::ADDR_MASK)
+}
+
+fn unpack(w: u64) -> (usize, u64) {
+    ((w >> 48) as usize, w & tag::ADDR_MASK)
+}
+
+impl fmt::Debug for DetectableRegister {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DetectableRegister")
+            .field("nthreads", &self.nthreads)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_pmem::WritebackAdversary;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn run_crash_at<F: FnOnce()>(r: &DetectableRegister, k: u64, f: F) -> bool {
+        r.pool().arm_crash_after(k);
+        let res = catch_unwind(AssertUnwindSafe(f));
+        r.pool().disarm_crash();
+        match res {
+            Ok(()) => false,
+            Err(p) if p.downcast_ref::<dss_pmem::CrashSignal>().is_some() => true,
+            Err(p) => std::panic::resume_unwind(p),
+        }
+    }
+
+    #[test]
+    fn read_write_basic() {
+        let r = DetectableRegister::new(2, 8);
+        assert_eq!(r.read(0), 0);
+        r.write(0, 5);
+        assert_eq!(r.read(1), 5);
+        r.write(1, 9);
+        assert_eq!(r.read(0), 9);
+    }
+
+    #[test]
+    fn detectable_write_resolves_ok() {
+        let r = DetectableRegister::new(1, 8);
+        r.prep_write(0, 3, 0);
+        assert_eq!(r.resolve(0), ResolvedWrite { op: Some((3, 0)), resp: None });
+        r.exec_write(0);
+        assert_eq!(
+            r.resolve(0),
+            ResolvedWrite { op: Some((3, 0)), resp: Some(RegisterResp::Ok) }
+        );
+        assert_eq!(r.read(0), 3);
+    }
+
+    #[test]
+    fn overwritten_write_still_resolves_ok() {
+        // The superseded flag preserves provenance after an overwrite.
+        let r = DetectableRegister::new(2, 8);
+        r.prep_write(0, 3, 1);
+        r.exec_write(0);
+        r.write(1, 4); // overwrites
+        assert_eq!(r.read(0), 4);
+        assert_eq!(
+            r.resolve(0),
+            ResolvedWrite { op: Some((3, 1)), resp: Some(RegisterResp::Ok) }
+        );
+    }
+
+    #[test]
+    fn figure2_sweep_over_crash_points() {
+        // prep-write(1); exec-write(1) with a crash at every pmem-op index:
+        // resolve must answer exactly per Figure 2's allowed outcomes.
+        for adv in [
+            WritebackAdversary::None,
+            WritebackAdversary::All,
+            WritebackAdversary::Random { seed: 3, prob: 0.5 },
+        ] {
+            for k in 1..40 {
+                let r = DetectableRegister::new(1, 8);
+                let crashed = run_crash_at(&r, k, || {
+                    r.prep_write(0, 1, 9);
+                    r.exec_write(0);
+                });
+                if !crashed {
+                    break;
+                }
+                r.pool().crash(&adv);
+                r.rebuild_allocator();
+                let value_now = r.read(0);
+                match r.resolve(0) {
+                    ResolvedWrite { op: None, resp: None } => {
+                        assert_eq!(value_now, 0, "k={k} {adv:?}")
+                    }
+                    ResolvedWrite { op: Some((1, 9)), resp: Some(RegisterResp::Ok) } => {
+                        assert_eq!(value_now, 1, "k={k} {adv:?}: effect means value persisted")
+                    }
+                    ResolvedWrite { op: Some((1, 9)), resp: None } => {
+                        assert_eq!(value_now, 0, "k={k} {adv:?}: no effect means old value")
+                    }
+                    other => panic!("k={k} {adv:?}: impossible resolution {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seq_tag_disambiguates_identical_writes() {
+        let r = DetectableRegister::new(1, 8);
+        r.prep_write(0, 5, 0);
+        r.exec_write(0);
+        r.prep_write(0, 5, 1); // same value, new op
+        assert_eq!(r.resolve(0), ResolvedWrite { op: Some((5, 1)), resp: None });
+    }
+
+    #[test]
+    fn concurrent_writers_last_value_is_someones() {
+        use std::sync::Arc;
+        let r = Arc::new(DetectableRegister::new(4, 64));
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..200 {
+                        r.prep_write(tid, (tid as u64) << 16 | i, i);
+                        r.exec_write(tid);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let v = r.read(0);
+        let tid = v >> 16;
+        assert!(tid < 4 && (v & 0xffff) == 199, "final value {v:#x} is someone's last write");
+        // Every thread's last write resolves as effective.
+        for tid in 0..4 {
+            assert_eq!(r.resolve(tid).resp, Some(RegisterResp::Ok));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "48 bits")]
+    fn oversized_value_rejected() {
+        let r = DetectableRegister::new(1, 4);
+        r.write(0, 1 << 50);
+    }
+}
+

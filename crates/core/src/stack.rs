@@ -1,0 +1,651 @@
+//! A DSS-based detectable recoverable Treiber stack (`D⟨stack⟩`).
+//!
+//! The paper presents one algorithm (the queue) as proof of concept; this
+//! module demonstrates that the DSS recipe transfers to another container
+//! with the same ingredients and no new assumptions:
+//!
+//! * per-thread detectability word `X[tid]` holding a tagged node pointer
+//!   (`PUSH_PREP`/`PUSH_COMPL`/`POP_PREP`/`EMPTY` in the high bits);
+//! * a per-node claim field (`popper`, the stack's analogue of the
+//!   queue's `deqThreadID`) written by CAS and flushed before the top
+//!   pointer moves, so pops are detectable and helpers can finish them;
+//! * a recovery scan that advances `top` past the claimed prefix and
+//!   completes the `PUSH_COMPL` tags of pushes whose linkage persisted —
+//!   the stack's Figure 6.
+//!
+//! Like the queue, the stack is lock-free: a failed CAS always means some
+//! other thread's operation completed.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dss_pmem::{tag, Ebr, FlushGranularity, NodePool, PAddr, PmemPool};
+use dss_spec::types::StackResp;
+
+// Node layout: {value, next, popper, pad}, line-aligned.
+const F_VALUE: u64 = 0;
+const F_NEXT: u64 = 1;
+const F_POPPER: u64 = 2;
+const NODE_WORDS: u64 = 4;
+
+/// `popper` sentinel: nobody has popped this node.
+const NO_POPPER: u64 = u64::MAX;
+
+// X tags (same bit positions as the queue's; the objects never share an X
+// word).
+const PUSH_PREP: u64 = tag::ENQ_PREP;
+const PUSH_COMPL: u64 = tag::ENQ_COMPL;
+const POP_PREP: u64 = tag::DEQ_PREP;
+const EMPTY: u64 = tag::EMPTY;
+
+// Layout: [0:NULL][1:top][2..2+n:X][node region].
+const A_TOP: u64 = 1;
+const A_X_BASE: u64 = 2;
+
+/// Push-side error: the pre-allocated node pool is exhausted.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StackFull;
+
+impl fmt::Display for StackFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("stack node pool exhausted")
+    }
+}
+
+impl std::error::Error for StackFull {}
+
+/// The operation reported by [`DssStack::resolve`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StackResolvedOp {
+    /// The last prepared operation was `push(value)`.
+    Push(u64),
+    /// The last prepared operation was `pop()`.
+    Pop,
+}
+
+/// The `(A[pᵢ], R[pᵢ])` answer of [`DssStack::resolve`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StackResolved {
+    /// The most recently prepared operation, if any.
+    pub op: Option<StackResolvedOp>,
+    /// Its response, if it took effect.
+    pub resp: Option<StackResp>,
+}
+
+/// A lock-free detectable recoverable LIFO stack on persistent memory.
+///
+/// # Examples
+///
+/// ```
+/// use dss_core::{DssStack, StackResolved, StackResolvedOp};
+/// use dss_spec::types::StackResp;
+///
+/// let s = DssStack::new(2, 32);
+/// s.prep_push(0, 7).unwrap();
+/// s.exec_push(0);
+/// assert_eq!(
+///     s.resolve(0),
+///     StackResolved { op: Some(StackResolvedOp::Push(7)), resp: Some(StackResp::Ok) }
+/// );
+/// s.prep_pop(1);
+/// assert_eq!(s.exec_pop(1), StackResp::Value(7));
+/// ```
+pub struct DssStack {
+    pool: Arc<PmemPool>,
+    nodes: NodePool,
+    ebr: Ebr,
+    nthreads: usize,
+}
+
+impl DssStack {
+    /// Creates a stack for `nthreads` threads with `nodes_per_thread`
+    /// pre-allocated nodes each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        assert!(nthreads > 0 && nodes_per_thread > 0);
+        let x_end = A_X_BASE + nthreads as u64;
+        let region = x_end.next_multiple_of(NODE_WORDS);
+        let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let pool = Arc::new(PmemPool::with_granularity(
+            words as usize,
+            FlushGranularity::Line,
+        ));
+        let nodes = NodePool::new(
+            PAddr::from_index(region),
+            NODE_WORDS,
+            nodes_per_thread,
+            nthreads,
+        );
+        let s = DssStack { pool, nodes, ebr: Ebr::new(nthreads), nthreads };
+        s.pool.store(s.top_addr(), PAddr::NULL.to_word());
+        s.pool.flush(s.top_addr());
+        for i in 0..nthreads {
+            s.pool.store(s.x_addr(i), 0);
+            s.pool.flush(s.x_addr(i));
+        }
+        s
+    }
+
+    fn top_addr(&self) -> PAddr {
+        PAddr::from_index(A_TOP)
+    }
+
+    fn x_addr(&self, tid: usize) -> PAddr {
+        assert!(tid < self.nthreads, "thread ID {tid} out of range");
+        PAddr::from_index(A_X_BASE + tid as u64)
+    }
+
+    /// The stack's persistent-memory pool.
+    pub fn pool(&self) -> &Arc<PmemPool> {
+        &self.pool
+    }
+
+    /// Number of threads the stack was built for.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    fn alloc(&self, tid: usize) -> Result<PAddr, StackFull> {
+        if let Some(a) = self.nodes.alloc(tid) {
+            return Ok(a);
+        }
+        for _ in 0..64 {
+            for a in self.ebr.collect_all(tid) {
+                self.nodes.free(tid, a);
+            }
+            if let Some(a) = self.nodes.alloc(tid) {
+                return Ok(a);
+            }
+            std::thread::yield_now();
+        }
+        Err(StackFull)
+    }
+
+    /// The live top: skips the claimed prefix, helping claimed pops along
+    /// (persist the claim, advance `top`).
+    fn find_top(&self, _tid: usize) -> PAddr {
+        loop {
+            let top_w = self.pool.load(self.top_addr());
+            let top = tag::addr_of(top_w);
+            if top.is_null() {
+                return top;
+            }
+            if self.pool.load(top.offset(F_POPPER)) == NO_POPPER {
+                return top;
+            }
+            // Claimed node at the top: help complete the pop.
+            self.pool.flush(top.offset(F_POPPER));
+            let next = self.pool.load(top.offset(F_NEXT));
+            let _ = self.pool.cas(self.top_addr(), top_w, next);
+        }
+    }
+
+    /// **prep-push(val)**: allocates and persists a node, announcing it in
+    /// `X[tid]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StackFull`] when the node pool is exhausted.
+    pub fn prep_push(&self, tid: usize, val: u64) -> Result<(), StackFull> {
+        let node = self.alloc(tid)?;
+        self.pool.store(node.offset(F_VALUE), val);
+        self.pool.store(node.offset(F_NEXT), PAddr::NULL.to_word());
+        self.pool.store(node.offset(F_POPPER), NO_POPPER);
+        self.flush_node(node);
+        self.pool.store(self.x_addr(tid), tag::set(node.to_word(), PUSH_PREP));
+        self.pool.flush(self.x_addr(tid));
+        Ok(())
+    }
+
+    fn flush_node(&self, node: PAddr) {
+        match self.pool.granularity() {
+            FlushGranularity::Line => self.pool.flush(node),
+            FlushGranularity::Word => {
+                self.pool.flush(node.offset(F_VALUE));
+                self.pool.flush(node.offset(F_NEXT));
+                self.pool.flush(node.offset(F_POPPER));
+            }
+        }
+    }
+
+    /// **exec-push()**: links the prepared node as the new top and records
+    /// completion in `X[tid]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no push is prepared for `tid`.
+    pub fn exec_push(&self, tid: usize) {
+        let _g = self.ebr.pin(tid);
+        let xa = self.x_addr(tid);
+        let x = self.pool.load(xa);
+        assert!(tag::has(x, PUSH_PREP), "exec-push without a prepared push");
+        let node = tag::addr_of(x);
+        loop {
+            let top = self.find_top(tid);
+            self.pool.store(node.offset(F_NEXT), top.to_word());
+            self.pool.flush(node.offset(F_NEXT));
+            if self.pool.cas(self.top_addr(), top.to_word(), node.to_word()).is_ok() {
+                self.pool.flush(self.top_addr());
+                self.pool.store(xa, tag::set(x, PUSH_COMPL));
+                self.pool.flush(xa);
+                return;
+            }
+        }
+    }
+
+    /// Non-detectable **push(val)** (Axiom 4): `prep` + `exec` with the
+    /// `X` accesses omitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StackFull`] when the node pool is exhausted.
+    pub fn push(&self, tid: usize, val: u64) -> Result<(), StackFull> {
+        let node = self.alloc(tid)?;
+        self.pool.store(node.offset(F_VALUE), val);
+        self.pool.store(node.offset(F_NEXT), PAddr::NULL.to_word());
+        self.pool.store(node.offset(F_POPPER), NO_POPPER);
+        self.flush_node(node);
+        let _g = self.ebr.pin(tid);
+        loop {
+            let top = self.find_top(tid);
+            self.pool.store(node.offset(F_NEXT), top.to_word());
+            self.pool.flush(node.offset(F_NEXT));
+            if self.pool.cas(self.top_addr(), top.to_word(), node.to_word()).is_ok() {
+                self.pool.flush(self.top_addr());
+                return Ok(());
+            }
+        }
+    }
+
+    /// **prep-pop()**.
+    pub fn prep_pop(&self, tid: usize) {
+        self.pool.store(self.x_addr(tid), POP_PREP);
+        self.pool.flush(self.x_addr(tid));
+    }
+
+    /// **exec-pop()**: claims the top node by CAS-ing the thread ID into
+    /// its `popper` field — having first announced the node in `X[tid]`,
+    /// which is what makes the pop detectable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no pop is prepared for `tid`.
+    pub fn exec_pop(&self, tid: usize) -> StackResp {
+        let _g = self.ebr.pin(tid);
+        let xa = self.x_addr(tid);
+        loop {
+            let top = self.find_top(tid);
+            if top.is_null() {
+                self.pool.store(xa, POP_PREP | EMPTY);
+                self.pool.flush(xa);
+                return StackResp::Empty;
+            }
+            // Announce the node we are about to claim (cf. queue line 47).
+            self.pool.store(xa, tag::set(top.to_word(), POP_PREP));
+            self.pool.flush(xa);
+            if self.pool.cas(top.offset(F_POPPER), NO_POPPER, tid as u64).is_ok() {
+                self.pool.flush(top.offset(F_POPPER));
+                let next = self.pool.load(top.offset(F_NEXT));
+                if self.pool.cas(self.top_addr(), top.to_word(), next).is_ok() {
+                    self.retire(tid, top);
+                }
+                return StackResp::Value(self.pool.load(top.offset(F_VALUE)));
+            }
+            // Lost the claim race; find_top will help the winner.
+        }
+    }
+
+    /// Non-detectable **pop()**: the claim combines the thread ID with the
+    /// `NONDET_DEQ` tag so detection never mistakes it for a detectable
+    /// claim by the same thread (cf. queue §3.2).
+    pub fn pop(&self, tid: usize) -> StackResp {
+        let _g = self.ebr.pin(tid);
+        loop {
+            let top = self.find_top(tid);
+            if top.is_null() {
+                return StackResp::Empty;
+            }
+            if self
+                .pool
+                .cas(top.offset(F_POPPER), NO_POPPER, tid as u64 | tag::NONDET_DEQ)
+                .is_ok()
+            {
+                self.pool.flush(top.offset(F_POPPER));
+                let next = self.pool.load(top.offset(F_NEXT));
+                if self.pool.cas(self.top_addr(), top.to_word(), next).is_ok() {
+                    self.retire(tid, top);
+                }
+                return StackResp::Value(self.pool.load(top.offset(F_VALUE)));
+            }
+        }
+    }
+
+    fn retire(&self, tid: usize, node: PAddr) {
+        if self.nodes.contains(node) {
+            self.ebr.retire(tid, node);
+        }
+    }
+
+    /// **resolve()**: the `(A[pᵢ], R[pᵢ])` pair for the stack.
+    pub fn resolve(&self, tid: usize) -> StackResolved {
+        let x = self.pool.load(self.x_addr(tid));
+        if tag::has(x, PUSH_PREP) {
+            let node = tag::addr_of(x);
+            let value = self.pool.load(node.offset(F_VALUE));
+            StackResolved {
+                op: Some(StackResolvedOp::Push(value)),
+                resp: tag::has(x, PUSH_COMPL).then_some(StackResp::Ok),
+            }
+        } else if tag::has(x, POP_PREP) {
+            let node = tag::addr_of(x);
+            let resp = if node.is_null() {
+                tag::has(x, EMPTY).then_some(StackResp::Empty)
+            } else if self.pool.load(node.offset(F_POPPER)) == tid as u64 {
+                Some(StackResp::Value(self.pool.load(node.offset(F_VALUE))))
+            } else {
+                None
+            };
+            StackResolved { op: Some(StackResolvedOp::Pop), resp }
+        } else {
+            StackResolved { op: None, resp: None }
+        }
+    }
+
+    /// Post-crash recovery (the stack's Figure 6): advance `top` past the
+    /// claimed prefix, then complete `PUSH_COMPL` tags for pushes whose
+    /// node is reachable or already claimed.
+    pub fn recover(&self) {
+        // Advance top past claimed nodes.
+        loop {
+            let top_w = self.pool.load(self.top_addr());
+            let top = tag::addr_of(top_w);
+            if top.is_null() || self.pool.load(top.offset(F_POPPER)) == NO_POPPER {
+                break;
+            }
+            let next = self.pool.load(top.offset(F_NEXT));
+            self.pool.store(self.top_addr(), next);
+        }
+        self.pool.flush(self.top_addr());
+        // Completion tags for effective pushes.
+        let reachable: std::collections::HashSet<PAddr> = {
+            let mut set = std::collections::HashSet::new();
+            let mut cur = tag::addr_of(self.pool.load(self.top_addr()));
+            while !cur.is_null() {
+                set.insert(cur);
+                cur = tag::addr_of(self.pool.load(cur.offset(F_NEXT)));
+            }
+            set
+        };
+        for i in 0..self.nthreads {
+            let xa = self.x_addr(i);
+            let x = self.pool.load(xa);
+            if !tag::has(x, PUSH_PREP) || tag::has(x, PUSH_COMPL) {
+                continue;
+            }
+            let d = tag::addr_of(x);
+            if d.is_null() {
+                continue;
+            }
+            let effective =
+                reachable.contains(&d) || self.pool.load(d.offset(F_POPPER)) != NO_POPPER;
+            if effective {
+                self.pool.store(xa, tag::set(x, PUSH_COMPL));
+                self.pool.flush(xa);
+            }
+        }
+    }
+
+    /// Rebuilds the volatile allocator after a crash (`X`-referenced
+    /// nodes stay allocated for `resolve`).
+    pub fn rebuild_allocator(&self) {
+        let mut live = Vec::new();
+        let mut cur = tag::addr_of(self.pool.load(self.top_addr()));
+        while !cur.is_null() {
+            live.push(cur);
+            cur = tag::addr_of(self.pool.load(cur.offset(F_NEXT)));
+        }
+        for i in 0..self.nthreads {
+            let d = tag::addr_of(self.pool.load(self.x_addr(i)));
+            if !d.is_null() {
+                live.push(d);
+            }
+        }
+        self.nodes.rebuild(live);
+        self.ebr.reset();
+    }
+
+    /// Volatile snapshot, top first (test helper; skips claimed nodes).
+    pub fn snapshot_values(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        let mut cur = tag::addr_of(self.pool.peek(self.top_addr()));
+        while !cur.is_null() {
+            if self.pool.peek(cur.offset(F_POPPER)) == NO_POPPER {
+                out.push(self.pool.peek(cur.offset(F_VALUE)));
+            }
+            cur = tag::addr_of(self.pool.peek(cur.offset(F_NEXT)));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for DssStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DssStack")
+            .field("nthreads", &self.nthreads)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_pmem::{CrashSignal, WritebackAdversary};
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+    use std::sync::Arc;
+
+    fn run_crash_at<F: FnOnce()>(s: &DssStack, k: u64, f: F) -> bool {
+        s.pool().arm_crash_after(k);
+        let r = catch_unwind(AssertUnwindSafe(f));
+        s.pool().disarm_crash();
+        match r {
+            Ok(()) => false,
+            Err(p) if p.downcast_ref::<CrashSignal>().is_some() => true,
+            Err(p) => resume_unwind(p),
+        }
+    }
+
+    #[test]
+    fn lifo_order_detectable_and_plain() {
+        let s = DssStack::new(1, 16);
+        s.prep_push(0, 1).unwrap();
+        s.exec_push(0);
+        s.push(0, 2).unwrap();
+        s.prep_pop(0);
+        assert_eq!(s.exec_pop(0), StackResp::Value(2));
+        assert_eq!(s.pop(0), StackResp::Value(1));
+        assert_eq!(s.pop(0), StackResp::Empty);
+        s.prep_pop(0);
+        assert_eq!(s.exec_pop(0), StackResp::Empty);
+    }
+
+    #[test]
+    fn resolve_round_trip() {
+        let s = DssStack::new(1, 16);
+        assert_eq!(s.resolve(0), StackResolved { op: None, resp: None });
+        s.prep_push(0, 9).unwrap();
+        assert_eq!(
+            s.resolve(0),
+            StackResolved { op: Some(StackResolvedOp::Push(9)), resp: None }
+        );
+        s.exec_push(0);
+        assert_eq!(
+            s.resolve(0),
+            StackResolved { op: Some(StackResolvedOp::Push(9)), resp: Some(StackResp::Ok) }
+        );
+        s.prep_pop(0);
+        assert_eq!(s.resolve(0), StackResolved { op: Some(StackResolvedOp::Pop), resp: None });
+        assert_eq!(s.exec_pop(0), StackResp::Value(9));
+        assert_eq!(
+            s.resolve(0),
+            StackResolved {
+                op: Some(StackResolvedOp::Pop),
+                resp: Some(StackResp::Value(9))
+            }
+        );
+    }
+
+    #[test]
+    fn push_crash_sweep_resolves_consistently() {
+        for adv in [
+            WritebackAdversary::None,
+            WritebackAdversary::All,
+            WritebackAdversary::Random { seed: 9, prob: 0.5 },
+        ] {
+            for k in 1..50 {
+                let s = DssStack::new(1, 8);
+                let crashed = run_crash_at(&s, k, || {
+                    s.prep_push(0, 42).unwrap();
+                    s.exec_push(0);
+                });
+                if !crashed {
+                    break;
+                }
+                s.pool().crash(&adv);
+                s.recover();
+                s.rebuild_allocator();
+                let present = s.snapshot_values() == vec![42];
+                match s.resolve(0) {
+                    StackResolved { op: None, resp: None } => {
+                        assert!(!present, "k={k} {adv:?}")
+                    }
+                    StackResolved {
+                        op: Some(StackResolvedOp::Push(42)),
+                        resp: Some(StackResp::Ok),
+                    } => assert!(present, "k={k} {adv:?}"),
+                    StackResolved { op: Some(StackResolvedOp::Push(42)), resp: None } => {
+                        assert!(!present, "k={k} {adv:?}")
+                    }
+                    other => panic!("k={k} {adv:?}: impossible {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pop_crash_sweep_resolves_consistently() {
+        for adv in [WritebackAdversary::None, WritebackAdversary::All] {
+            for k in 1..50 {
+                let s = DssStack::new(1, 8);
+                s.push(0, 7).unwrap();
+                let crashed = run_crash_at(&s, k, || {
+                    s.prep_pop(0);
+                    let _ = s.exec_pop(0);
+                });
+                if !crashed {
+                    break;
+                }
+                s.pool().crash(&adv);
+                s.recover();
+                s.rebuild_allocator();
+                let still_there = s.snapshot_values() == vec![7];
+                match s.resolve(0) {
+                    StackResolved { op: None, resp: None } => {
+                        assert!(still_there, "k={k} {adv:?}")
+                    }
+                    StackResolved {
+                        op: Some(StackResolvedOp::Pop),
+                        resp: Some(StackResp::Value(7)),
+                    } => assert!(!still_there, "k={k} {adv:?}"),
+                    StackResolved { op: Some(StackResolvedOp::Pop), resp: None } => {
+                        assert!(still_there, "k={k} {adv:?}")
+                    }
+                    other => panic!("k={k} {adv:?}: impossible {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_stress_conserves_values() {
+        let s = Arc::new(DssStack::new(4, 64));
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    for i in 0..250u64 {
+                        let v = (tid as u64) << 32 | (i + 1);
+                        if i % 2 == 0 {
+                            s.prep_push(tid, v).unwrap();
+                            s.exec_push(tid);
+                        } else {
+                            s.push(tid, v).unwrap();
+                        }
+                        s.prep_pop(tid);
+                        if let StackResp::Value(x) = s.exec_pop(tid) {
+                            got.push(x);
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.extend(s.snapshot_values());
+        all.sort_unstable();
+        let mut expected: Vec<u64> = (0..4u64)
+            .flat_map(|t| (1..=250).map(move |i| t << 32 | i))
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn recovery_advances_top_past_claimed_prefix() {
+        let s = DssStack::new(2, 16);
+        s.push(0, 1).unwrap();
+        s.push(0, 2).unwrap();
+        // Claim the top but crash before the top CAS. Op count:
+        // prep (store X, flush X) = 2; find_top (load top, load popper)
+        // = 4; announce (store X, flush X) = 6; claim CAS = 7 — crash on
+        // op 8 (the claim's flush; the All adversary persists the claim).
+        let crashed = run_crash_at(&s, 8, || {
+            s.prep_pop(1);
+            let _ = s.exec_pop(1);
+        });
+        assert!(crashed);
+        s.pool().crash(&WritebackAdversary::All);
+        s.recover();
+        s.rebuild_allocator();
+        // The claim persisted: resolve delivers the value, and the stack
+        // exposes only the remaining element.
+        assert_eq!(
+            s.resolve(1),
+            StackResolved {
+                op: Some(StackResolvedOp::Pop),
+                resp: Some(StackResp::Value(2))
+            }
+        );
+        assert_eq!(s.snapshot_values(), vec![1]);
+        assert_eq!(s.pop(0), StackResp::Value(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "without a prepared push")]
+    fn exec_push_without_prep_panics() {
+        let s = DssStack::new(1, 4);
+        s.exec_push(0);
+    }
+
+    #[test]
+    fn many_ops_through_small_pool() {
+        let s = DssStack::new(1, 4);
+        for i in 0..500 {
+            s.push(0, i).unwrap();
+            assert_eq!(s.pop(0), StackResp::Value(i));
+        }
+    }
+}

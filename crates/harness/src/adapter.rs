@@ -1,0 +1,230 @@
+//! A single interface over every queue in the evaluation.
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use dss_baselines::{DurableQueue, LogQueue, MsQueue};
+use dss_core::DssQueue;
+use dss_pmem::PmemPool;
+use dss_pmwcas::CasWithEffectQueue;
+use dss_spec::types::QueueResp;
+
+/// The queue implementations of the paper's Figures 5a and 5b.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum QueueKind {
+    /// Michael–Scott queue (volatile; Figure 5a).
+    Ms,
+    /// DSS queue, operations applied non-detectably (Figure 5a).
+    DssNonDetectable,
+    /// DSS queue, operations applied detectably via prep/exec (both
+    /// figures).
+    DssDetectable,
+    /// Friedman et al.'s durable queue (recoverable, not detectable).
+    Durable,
+    /// Friedman et al.'s log queue (detectable; Figure 5b).
+    Log,
+    /// General CASWithEffect queue over PMwCAS (Figure 5b).
+    CweGeneral,
+    /// Fast CASWithEffect queue over PMwCAS (Figure 5b).
+    CweFast,
+}
+
+impl QueueKind {
+    /// The label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            QueueKind::Ms => "MS queue",
+            QueueKind::DssNonDetectable => "DSS queue non-detectable",
+            QueueKind::DssDetectable => "DSS queue detectable",
+            QueueKind::Durable => "Durable queue",
+            QueueKind::Log => "Log queue",
+            QueueKind::CweGeneral => "General CASWithEffect queue",
+            QueueKind::CweFast => "Fast CASWithEffect queue",
+        }
+    }
+
+    /// Builds the queue for `nthreads` threads with `nodes_per_thread`
+    /// pre-allocated nodes each.
+    pub fn build(self, nthreads: usize, nodes_per_thread: u64) -> Box<dyn QueueUnderTest> {
+        match self {
+            QueueKind::Ms => Box::new(MsQueue::new(nthreads, nodes_per_thread)),
+            QueueKind::DssNonDetectable => {
+                Box::new(DssPlain(DssQueue::new(nthreads, nodes_per_thread)))
+            }
+            QueueKind::DssDetectable => {
+                Box::new(DssDet(DssQueue::new(nthreads, nodes_per_thread)))
+            }
+            QueueKind::Durable => Box::new(DurableQueue::new(nthreads, nodes_per_thread)),
+            QueueKind::Log => Box::new(LogQueue::new(nthreads, nodes_per_thread)),
+            QueueKind::CweGeneral => {
+                Box::new(Cwe(CasWithEffectQueue::new_general(nthreads, nodes_per_thread)))
+            }
+            QueueKind::CweFast => {
+                Box::new(Cwe(CasWithEffectQueue::new_fast(nthreads, nodes_per_thread)))
+            }
+        }
+    }
+
+    /// The queues of Figure 5a, in the paper's legend order.
+    pub fn figure_5a() -> [QueueKind; 3] {
+        [QueueKind::Ms, QueueKind::DssNonDetectable, QueueKind::DssDetectable]
+    }
+
+    /// The queues of Figure 5b, in the paper's legend order.
+    pub fn figure_5b() -> [QueueKind; 4] {
+        [QueueKind::DssDetectable, QueueKind::Log, QueueKind::CweFast, QueueKind::CweGeneral]
+    }
+
+    /// Every kind (for sweeps like E3).
+    pub fn all() -> [QueueKind; 7] {
+        [
+            QueueKind::Ms,
+            QueueKind::DssNonDetectable,
+            QueueKind::DssDetectable,
+            QueueKind::Durable,
+            QueueKind::Log,
+            QueueKind::CweGeneral,
+            QueueKind::CweFast,
+        ]
+    }
+}
+
+/// A queue as the workload driver sees it: enqueue and dequeue by thread
+/// ID, plus access to the underlying pool for stats and flush penalties.
+///
+/// Detectable implementations run their full prep/exec protocol inside
+/// `enqueue`/`dequeue`, exactly as the paper's "detectable" series do.
+pub trait QueueUnderTest: Send + Sync + Debug {
+    /// Enqueues `val` on behalf of `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node pool is exhausted (size the pools for the
+    /// workload; the driver keeps queues short).
+    fn enqueue(&self, tid: usize, val: u64);
+
+    /// Dequeues on behalf of `tid`.
+    fn dequeue(&self, tid: usize) -> QueueResp;
+
+    /// The underlying persistent-memory pool.
+    fn pool(&self) -> &Arc<PmemPool>;
+}
+
+impl QueueUnderTest for MsQueue {
+    fn enqueue(&self, tid: usize, val: u64) {
+        MsQueue::enqueue(self, tid, val).expect("node pool exhausted");
+    }
+    fn dequeue(&self, tid: usize) -> QueueResp {
+        MsQueue::dequeue(self, tid)
+    }
+    fn pool(&self) -> &Arc<PmemPool> {
+        MsQueue::pool(self)
+    }
+}
+
+impl QueueUnderTest for DurableQueue {
+    fn enqueue(&self, tid: usize, val: u64) {
+        DurableQueue::enqueue(self, tid, val).expect("node pool exhausted");
+    }
+    fn dequeue(&self, tid: usize) -> QueueResp {
+        DurableQueue::dequeue(self, tid)
+    }
+    fn pool(&self) -> &Arc<PmemPool> {
+        DurableQueue::pool(self)
+    }
+}
+
+impl QueueUnderTest for LogQueue {
+    fn enqueue(&self, tid: usize, val: u64) {
+        LogQueue::enqueue(self, tid, val).expect("node pool exhausted");
+    }
+    fn dequeue(&self, tid: usize) -> QueueResp {
+        LogQueue::dequeue(self, tid).expect("log pool exhausted")
+    }
+    fn pool(&self) -> &Arc<PmemPool> {
+        LogQueue::pool(self)
+    }
+}
+
+/// DSS queue through the non-detectable fast path.
+#[derive(Debug)]
+struct DssPlain(DssQueue);
+
+impl QueueUnderTest for DssPlain {
+    fn enqueue(&self, tid: usize, val: u64) {
+        self.0.enqueue(tid, val).expect("node pool exhausted");
+    }
+    fn dequeue(&self, tid: usize) -> QueueResp {
+        self.0.dequeue(tid)
+    }
+    fn pool(&self) -> &Arc<PmemPool> {
+        self.0.pool()
+    }
+}
+
+/// DSS queue through the detectable prep/exec protocol.
+#[derive(Debug)]
+struct DssDet(DssQueue);
+
+impl QueueUnderTest for DssDet {
+    fn enqueue(&self, tid: usize, val: u64) {
+        self.0.prep_enqueue(tid, val).expect("node pool exhausted");
+        self.0.exec_enqueue(tid);
+    }
+    fn dequeue(&self, tid: usize) -> QueueResp {
+        self.0.prep_dequeue(tid);
+        self.0.exec_dequeue(tid)
+    }
+    fn pool(&self) -> &Arc<PmemPool> {
+        self.0.pool()
+    }
+}
+
+/// Either CASWithEffect variant (always detectable).
+#[derive(Debug)]
+struct Cwe(CasWithEffectQueue);
+
+impl QueueUnderTest for Cwe {
+    fn enqueue(&self, tid: usize, val: u64) {
+        self.0.prep_enqueue(tid, val).expect("node pool exhausted");
+        self.0.exec_enqueue(tid);
+    }
+    fn dequeue(&self, tid: usize) -> QueueResp {
+        self.0.prep_dequeue(tid);
+        self.0.exec_dequeue(tid)
+    }
+    fn pool(&self) -> &Arc<PmemPool> {
+        self.0.pool()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kind_round_trips() {
+        for kind in QueueKind::all() {
+            let q = kind.build(2, 32);
+            q.enqueue(0, 5);
+            q.enqueue(1, 6);
+            assert_eq!(q.dequeue(0), QueueResp::Value(5), "{}", kind.label());
+            assert_eq!(q.dequeue(1), QueueResp::Value(6), "{}", kind.label());
+            assert_eq!(q.dequeue(0), QueueResp::Empty, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            QueueKind::all().iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), QueueKind::all().len());
+    }
+
+    #[test]
+    fn figure_sets_are_subsets_of_all() {
+        for k in QueueKind::figure_5a().iter().chain(QueueKind::figure_5b().iter()) {
+            assert!(QueueKind::all().contains(k));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Experiment E1 — reproduces **Figure 5a**: the cost of detectability.
+//!
+//! Compares the MS queue, the non-detectable DSS queue, and the
+//! detectable DSS queue on the paper's alternating enqueue/dequeue
+//! workload across thread counts.
+//!
+//! ```text
+//! cargo run -p dss-harness --release --bin fig5a -- \
+//!     --threads 8 --ms 200 --repeats 3 --penalty 20
+//! ```
+
+use std::time::Duration;
+
+use dss_harness::adapter::QueueKind;
+use dss_harness::cli;
+use dss_harness::throughput::{print_series, ThroughputConfig};
+
+fn main() {
+    let args = cli::parse();
+    let base = ThroughputConfig {
+        duration: Duration::from_millis(args.ms),
+        repeats: args.repeats,
+        flush_penalty: args.penalty,
+        ..Default::default()
+    };
+    let threads: Vec<usize> = (1..=args.threads).collect();
+    print_series(
+        "Figure 5a: different levels of detectability and persistence (Mops/s)",
+        &QueueKind::figure_5a(),
+        &threads,
+        &base,
+    );
+}

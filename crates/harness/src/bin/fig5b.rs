@@ -1,0 +1,33 @@
+//! Experiment E2 — reproduces **Figure 5b**: detectable queue
+//! implementations compared.
+//!
+//! DSS queue vs log queue vs Fast/General CASWithEffect queues, same
+//! workload as Figure 5a.
+//!
+//! ```text
+//! cargo run -p dss-harness --release --bin fig5b -- \
+//!     --threads 8 --ms 200 --repeats 3 --penalty 20
+//! ```
+
+use std::time::Duration;
+
+use dss_harness::adapter::QueueKind;
+use dss_harness::cli;
+use dss_harness::throughput::{print_series, ThroughputConfig};
+
+fn main() {
+    let args = cli::parse();
+    let base = ThroughputConfig {
+        duration: Duration::from_millis(args.ms),
+        repeats: args.repeats,
+        flush_penalty: args.penalty,
+        ..Default::default()
+    };
+    let threads: Vec<usize> = (1..=args.threads).collect();
+    print_series(
+        "Figure 5b: different detectable queue implementations (Mops/s)",
+        &QueueKind::figure_5b(),
+        &threads,
+        &base,
+    );
+}

@@ -1,0 +1,47 @@
+//! Experiment E5 — recovery latency vs queue length: centralized
+//! (Figure 6) vs independent per-thread (§3.3) recovery.
+//!
+//! ```text
+//! cargo run -p dss-harness --release --bin recovery_time
+//! ```
+
+use std::time::Instant;
+
+use dss_core::DssQueue;
+use dss_pmem::WritebackAdversary;
+
+fn main() {
+    println!("# E5: recovery latency vs queue length (microseconds, mean of 5)");
+    println!("{:>10} {:>18} {:>18}", "length", "centralized-us", "independent-us");
+    for exp in 4..=14 {
+        let len = 1u64 << exp;
+        let mut central = 0.0;
+        let mut indep = 0.0;
+        const REPS: u32 = 5;
+        for _ in 0..REPS {
+            let q = DssQueue::new(4, len + 64);
+            for i in 0..len {
+                q.enqueue(0, i + 1).unwrap();
+            }
+            q.pool().crash(&WritebackAdversary::All);
+            let t = Instant::now();
+            q.recover();
+            central += t.elapsed().as_secs_f64() * 1e6;
+
+            let q = DssQueue::new(4, len + 64);
+            for i in 0..len {
+                q.enqueue(0, i + 1).unwrap();
+            }
+            q.pool().crash(&WritebackAdversary::All);
+            let t = Instant::now();
+            for tid in 0..4 {
+                q.recover_thread(tid);
+            }
+            indep += t.elapsed().as_secs_f64() * 1e6;
+        }
+        println!("{:>10} {:>18.1} {:>18.1}", len, central / REPS as f64, indep / REPS as f64);
+    }
+    println!();
+    println!("# Centralized recovery walks the list once and repairs head/tail;");
+    println!("# independent recovery is run per thread (4x here) and repairs only X.");
+}

@@ -1,0 +1,103 @@
+//! Minimal flag parsing shared by the experiment binaries (keeps the
+//! workspace inside the sanctioned dependency set — no clap).
+
+/// Common knobs of the experiment binaries.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Maximum thread count of a sweep (x-axis of the figures).
+    pub threads: usize,
+    /// Per-point measurement duration in milliseconds.
+    pub ms: u64,
+    /// Runs averaged per point.
+    pub repeats: usize,
+    /// Flush penalty in spin iterations (see
+    /// [`PmemPool::set_flush_penalty`](dss_pmem::PmemPool::set_flush_penalty)).
+    pub penalty: u64,
+    /// Flush granularity: `"line"` or `"word"` (experiment E7).
+    pub granularity: String,
+    /// Writeback adversary: `"none"`, `"all"`, or `"random"` (E4/E7).
+    pub adversary: String,
+    /// Random seed where applicable.
+    pub seed: u64,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            threads: 8,
+            ms: 200,
+            repeats: 3,
+            penalty: 20,
+            granularity: "line".into(),
+            adversary: "none".into(),
+            seed: 1,
+        }
+    }
+}
+
+/// Parses `std::env::args`.
+///
+/// # Panics
+///
+/// Panics with a usage hint on unknown flags or malformed values.
+pub fn parse() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--threads" => args.threads = val().parse().expect("--threads <usize>"),
+            "--ms" => args.ms = val().parse().expect("--ms <u64>"),
+            "--repeats" => args.repeats = val().parse().expect("--repeats <usize>"),
+            "--penalty" => args.penalty = val().parse().expect("--penalty <u64>"),
+            "--granularity" => args.granularity = val(),
+            "--adversary" => args.adversary = val(),
+            "--seed" => args.seed = val().parse().expect("--seed <u64>"),
+            other => panic!(
+                "unknown flag {other}; known: --threads --ms --repeats --penalty \
+                 --granularity --adversary --seed"
+            ),
+        }
+    }
+    args
+}
+
+impl Args {
+    /// The configured flush granularity.
+    pub fn flush_granularity(&self) -> dss_pmem::FlushGranularity {
+        match self.granularity.as_str() {
+            "line" => dss_pmem::FlushGranularity::Line,
+            "word" => dss_pmem::FlushGranularity::Word,
+            g => panic!("unknown granularity {g} (line|word)"),
+        }
+    }
+
+    /// The configured writeback adversary.
+    pub fn writeback_adversary(&self) -> dss_pmem::WritebackAdversary {
+        match self.adversary.as_str() {
+            "none" => dss_pmem::WritebackAdversary::None,
+            "all" => dss_pmem::WritebackAdversary::All,
+            "random" => dss_pmem::WritebackAdversary::Random { seed: self.seed, prob: 0.5 },
+            a => panic!("unknown adversary {a} (none|all|random)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = Args::default();
+        assert_eq!(a.flush_granularity(), dss_pmem::FlushGranularity::Line);
+        assert_eq!(a.writeback_adversary(), dss_pmem::WritebackAdversary::None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown granularity")]
+    fn bad_granularity_panics() {
+        let a = Args { granularity: "nibble".into(), ..Default::default() };
+        let _ = a.flush_granularity();
+    }
+}

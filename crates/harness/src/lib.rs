@@ -1,0 +1,31 @@
+//! Workloads, measurement, crash sweeps, and experiment plumbing.
+//!
+//! This crate turns the queue implementations into the paper's evaluation
+//! (§4) and the extended experiments listed in `DESIGN.md`:
+//!
+//! * [`adapter`] — one [`QueueUnderTest`](adapter::QueueUnderTest) trait
+//!   over every queue (MS, DSS detectable/non-detectable, durable, log,
+//!   General/Fast CASWithEffect), selected by
+//!   [`QueueKind`](adapter::QueueKind).
+//! * [`throughput`] — the paper's workload: the queue starts with 16
+//!   nodes, every thread runs alternating enqueue/dequeue pairs for a
+//!   fixed duration, and the metric is Mops/s averaged over repeats.
+//! * [`crashsim`] — the crash matrix (experiment E4): inject a crash at
+//!   *every* pmem-operation index of a detectable operation, under several
+//!   writeback adversaries, recover, resolve, and validate the outcome
+//!   against what `D⟨queue⟩` permits.
+//! * [`record`] — record real concurrent executions of the DSS queue as
+//!   `D⟨queue⟩` histories and machine-check them against the correctness
+//!   conditions of `dss-checker` (experiment E6, Theorem 1).
+//!
+//! The `src/bin` executables print the tables/series for Figures 5a and
+//! 5b and the extended experiments; see `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+pub mod adapter;
+pub mod cli;
+pub mod crashsim;
+pub mod record;
+pub mod throughput;

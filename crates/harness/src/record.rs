@@ -1,0 +1,236 @@
+//! Recording real DSS-queue executions as `D⟨queue⟩` histories and
+//! machine-checking them (experiment E6 — empirical evidence for
+//! Theorem 1: "the DSS queue is lock-free and strictly linearizable with
+//! respect to D⟨queue⟩").
+//!
+//! Worker threads drive a [`DssQueue`] through its detectable and plain
+//! operations while a [`Recorder`] captures the invocations and responses
+//! as operations of the *specification* `D⟨queue⟩` (`Prep`, `Exec`,
+//! `Resolve`, `Plain`). The resulting history is checked against
+//! [`Detectable<QueueSpec>`](dss_spec::Detectable) under strict
+//! linearizability — with and without injected crashes.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use dss_checker::{check_history, Condition, History, Recorder, Violation};
+use dss_core::{DssQueue, Resolved, ResolvedOp};
+use dss_pmem::{CrashSignal, WritebackAdversary};
+use dss_spec::types::{QueueOp, QueueResp, QueueSpec};
+use dss_spec::{DetOp, DetResp, Detectable};
+
+/// The specification ops/responses a recorded history is made of.
+pub type RecordedHistory = History<DetOp<QueueOp>, DetResp<QueueOp, QueueResp>>;
+
+fn resolved_to_resp(r: Resolved) -> DetResp<QueueOp, QueueResp> {
+    let op = r.op.map(|o| match o {
+        ResolvedOp::Enqueue(v) => (QueueOp::Enqueue(v), 0),
+        ResolvedOp::Dequeue => (QueueOp::Dequeue, 0),
+    });
+    DetResp::Resolved(op, r.resp)
+}
+
+/// One pseudo-random step plan for a worker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Step {
+    DetEnqueue(u64),
+    DetDequeue,
+    PlainEnqueue(u64),
+    PlainDequeue,
+    Resolve,
+}
+
+fn plan(tid: usize, ops: usize, seed: u64) -> Vec<Step> {
+    let mut state = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(tid as u64 + 1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..ops)
+        .map(|i| {
+            let v = ((tid as u64) << 32) | (i as u64 + 1);
+            match next() % 5 {
+                0 => Step::DetEnqueue(v),
+                1 => Step::DetDequeue,
+                2 => Step::PlainEnqueue(v),
+                3 => Step::PlainDequeue,
+                _ => Step::Resolve,
+            }
+        })
+        .collect()
+}
+
+fn run_step(q: &DssQueue, rec: &Recorder<DetOp<QueueOp>, DetResp<QueueOp, QueueResp>>, tid: usize, step: Step) {
+    match step {
+        Step::DetEnqueue(v) => {
+            let id = rec.invoke(tid, DetOp::Prep { op: QueueOp::Enqueue(v), seq: 0 });
+            q.prep_enqueue(tid, v).unwrap();
+            rec.ret(id, DetResp::Ack);
+            let id = rec.invoke(tid, DetOp::Exec);
+            q.exec_enqueue(tid);
+            rec.ret(id, DetResp::Ret(QueueResp::Ok));
+        }
+        Step::DetDequeue => {
+            let id = rec.invoke(tid, DetOp::Prep { op: QueueOp::Dequeue, seq: 0 });
+            q.prep_dequeue(tid);
+            rec.ret(id, DetResp::Ack);
+            let id = rec.invoke(tid, DetOp::Exec);
+            let resp = q.exec_dequeue(tid);
+            rec.ret(id, DetResp::Ret(resp));
+        }
+        Step::PlainEnqueue(v) => {
+            let id = rec.invoke(tid, DetOp::Plain(QueueOp::Enqueue(v)));
+            q.enqueue(tid, v).unwrap();
+            rec.ret(id, DetResp::Ret(QueueResp::Ok));
+        }
+        Step::PlainDequeue => {
+            let id = rec.invoke(tid, DetOp::Plain(QueueOp::Dequeue));
+            let resp = q.dequeue(tid);
+            rec.ret(id, DetResp::Ret(resp));
+        }
+        Step::Resolve => {
+            let id = rec.invoke(tid, DetOp::Resolve);
+            let resp = resolved_to_resp(q.resolve(tid));
+            rec.ret(id, resp);
+        }
+    }
+}
+
+/// Records a crash-free concurrent execution.
+pub fn record_execution(threads: usize, ops_per_thread: usize, seed: u64) -> RecordedHistory {
+    let q = DssQueue::new(threads, 64);
+    let rec = Recorder::new();
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let q = &q;
+            let rec = &rec;
+            scope.spawn(move || {
+                for step in plan(tid, ops_per_thread, seed) {
+                    run_step(q, rec, tid, step);
+                }
+            });
+        }
+    });
+    rec.into_history()
+}
+
+/// Records an execution in which every thread is interrupted by a
+/// system-wide crash mid-run; after recovery, each thread resolves.
+pub fn record_crash_execution(
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+) -> RecordedHistory {
+    let q = DssQueue::new(threads, 64);
+    let rec = Recorder::new();
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let q = &q;
+            let rec = &rec;
+            scope.spawn(move || {
+                let crash_after = 5 + (seed.wrapping_add(tid as u64 * 31)) % 60;
+                q.pool().arm_crash_after(crash_after);
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    for step in plan(tid, ops_per_thread, seed) {
+                        run_step(q, rec, tid, step);
+                    }
+                }));
+                q.pool().disarm_crash();
+                if let Err(p) = r {
+                    if p.downcast_ref::<CrashSignal>().is_none() {
+                        resume_unwind(p);
+                    }
+                }
+            });
+        }
+    });
+    // System-wide crash: volatile state reverts, recovery runs, and every
+    // thread resolves its interrupted operation.
+    rec.crash();
+    q.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
+    q.recover();
+    q.rebuild_allocator();
+    for tid in 0..threads {
+        let id = rec.invoke(tid, DetOp::Resolve);
+        let resp = resolved_to_resp(q.resolve(tid));
+        rec.ret(id, resp);
+    }
+    rec.into_history()
+}
+
+/// Checks a recorded history under `condition`.
+///
+/// # Errors
+///
+/// Propagates the checker's [`Violation`] — a real failure here means the
+/// queue implementation (or the recording) violates Theorem 1.
+pub fn check_recorded(history: &RecordedHistory, condition: Condition) -> Result<(), Violation> {
+    // The checker needs the number of processes; derive it generously.
+    let spec = Detectable::new(QueueSpec, 8);
+    check_history(&spec, history, condition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_free_executions_are_linearizable() {
+        for seed in 0..10 {
+            let h = record_execution(2, 5, seed);
+            assert!(h.validate().is_ok());
+            check_recorded(&h, Condition::Linearizability)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn crash_executions_are_strictly_linearizable() {
+        for seed in 0..10 {
+            let h = record_crash_execution(2, 8, seed);
+            assert!(h.validate().is_ok());
+            check_recorded(&h, Condition::StrictLinearizability)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn strict_implies_weaker_conditions_hold_too() {
+        let h = record_crash_execution(2, 6, 3);
+        assert!(check_recorded(&h, Condition::PersistentAtomicity).is_ok());
+        assert!(check_recorded(&h, Condition::RecoverableLinearizability).is_ok());
+    }
+
+    #[test]
+    fn a_corrupted_response_is_rejected() {
+        // Sanity-check that the checker has teeth: tamper with a recorded
+        // response and expect a violation.
+        use dss_checker::Event;
+        let h = record_execution(2, 5, 1);
+        let mut events: Vec<_> = h.events().to_vec();
+        let tampered = events.iter_mut().rev().find_map(|e| match e {
+            Event::Return { resp: DetResp::Ret(QueueResp::Value(v)), .. } => {
+                *v = v.wrapping_add(1);
+                Some(())
+            }
+            _ => None,
+        });
+        if tampered.is_none() {
+            return; // this seed dequeued nothing; other tests cover it
+        }
+        let mut h2 = RecordedHistory::new();
+        for e in events {
+            match e {
+                Event::Invoke { pid, op } => {
+                    h2.invoke(pid, op);
+                }
+                Event::Return { of, resp } => h2.ret(of, resp),
+                Event::Crash => h2.crash(),
+            }
+        }
+        assert!(check_recorded(&h2, Condition::Linearizability).is_err());
+    }
+}

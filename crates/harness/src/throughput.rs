@@ -1,0 +1,182 @@
+//! The paper's throughput workload (§4).
+//!
+//! "In each experiment, the queue is initialized with 16 queue nodes, and
+//! each thread executes alternating pairs of enqueue and dequeue
+//! operations for 30 seconds. Each point plotted in the graphs is the mean
+//! throughput value (millions of operations per second) computed over a
+//! sample of ten runs."
+//!
+//! Durations and repeat counts are parameters here (the defaults in the
+//! experiment binaries are scaled down for a 1-vCPU host), but the
+//! workload shape is identical.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::time::{Duration, Instant};
+
+use crate::adapter::QueueKind;
+
+/// Parameters of one throughput measurement.
+#[derive(Clone, Debug)]
+pub struct ThroughputConfig {
+    /// Number of worker threads (each with its own queue thread ID).
+    pub threads: usize,
+    /// Wall-clock duration of each run.
+    pub duration: Duration,
+    /// Number of measured runs to average (the paper uses 10).
+    pub repeats: usize,
+    /// Initial queue length (the paper uses 16).
+    pub prefill: u64,
+    /// Pre-allocated nodes per thread.
+    pub nodes_per_thread: u64,
+    /// Artificial flush latency in spin iterations (models the
+    /// CLWB+SFENCE cost on Optane; 0 = flushes cost the same as stores).
+    pub flush_penalty: u64,
+}
+
+impl Default for ThroughputConfig {
+    fn default() -> Self {
+        ThroughputConfig {
+            threads: 1,
+            duration: Duration::from_millis(200),
+            repeats: 3,
+            prefill: 16,
+            nodes_per_thread: 4096,
+            flush_penalty: 20,
+        }
+    }
+}
+
+/// The result of one measurement: mean and standard deviation of Mops/s
+/// over the configured repeats.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Throughput {
+    /// Mean millions of operations per second.
+    pub mops_mean: f64,
+    /// Sample standard deviation of Mops/s.
+    pub mops_stddev: f64,
+}
+
+/// Runs the paper's alternating enqueue/dequeue workload on `kind`.
+///
+/// Each repeat builds a fresh queue, pre-fills it, then launches
+/// `config.threads` workers; every worker alternates `enqueue(v)` /
+/// `dequeue()` pairs until the stop flag flips. Throughput counts both
+/// operations of a pair.
+pub fn measure(kind: QueueKind, config: &ThroughputConfig) -> Throughput {
+    let mut samples = Vec::with_capacity(config.repeats);
+    for _ in 0..config.repeats {
+        samples.push(run_once(kind, config));
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = if samples.len() > 1 {
+        samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64
+    } else {
+        0.0
+    };
+    Throughput { mops_mean: mean, mops_stddev: var.sqrt() }
+}
+
+fn run_once(kind: QueueKind, config: &ThroughputConfig) -> f64 {
+    let queue = kind.build(config.threads, config.nodes_per_thread);
+    queue.pool().set_flush_penalty(config.flush_penalty);
+    for i in 0..config.prefill {
+        queue.enqueue(0, i + 1);
+    }
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let elapsed = std::sync::Mutex::new(Duration::ZERO);
+
+    std::thread::scope(|scope| {
+        let queue = &queue;
+        let stop = &stop;
+        let total_ops = &total_ops;
+        for tid in 0..config.threads {
+            scope.spawn(move || {
+                let mut ops = 0u64;
+                let mut i = 0u64;
+                while !stop.load(Relaxed) {
+                    i += 1;
+                    queue.enqueue(tid, (tid as u64) << 32 | i);
+                    let _ = queue.dequeue(tid);
+                    ops += 2;
+                }
+                total_ops.fetch_add(ops, Relaxed);
+            });
+        }
+        let start = Instant::now();
+        std::thread::sleep(config.duration);
+        stop.store(true, Relaxed);
+        *elapsed.lock().unwrap() = start.elapsed();
+    });
+
+    let secs = elapsed.into_inner().unwrap().as_secs_f64();
+    total_ops.into_inner() as f64 / secs / 1e6
+}
+
+/// Prints one figure series (threads on the x-axis, Mops/s per queue) as
+/// an aligned text table, in the paper's layout.
+pub fn print_series(
+    title: &str,
+    kinds: &[QueueKind],
+    thread_counts: &[usize],
+    base: &ThroughputConfig,
+) {
+    println!("# {title}");
+    println!(
+        "# duration={:?} repeats={} prefill={} flush_penalty={}",
+        base.duration, base.repeats, base.prefill, base.flush_penalty
+    );
+    print!("{:>8}", "threads");
+    for kind in kinds {
+        print!("  {:>28}", kind.label());
+    }
+    println!();
+    for &threads in thread_counts {
+        print!("{threads:>8}");
+        for kind in kinds {
+            let config = ThroughputConfig { threads, ..base.clone() };
+            let t = measure(*kind, &config);
+            print!("  {:>20.3} ±{:>5.3}", t.mops_mean, t.mops_stddev);
+        }
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ThroughputConfig {
+        ThroughputConfig {
+            threads: 2,
+            duration: Duration::from_millis(30),
+            repeats: 2,
+            nodes_per_thread: 512,
+            flush_penalty: 0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn every_kind_measures_nonzero_throughput() {
+        for kind in QueueKind::all() {
+            let t = measure(kind, &quick());
+            assert!(t.mops_mean > 0.0, "{}: no progress", kind.label());
+        }
+    }
+
+    #[test]
+    fn flush_penalty_slows_persistent_queues() {
+        let fast = measure(QueueKind::DssDetectable, &quick());
+        let slow = measure(
+            QueueKind::DssDetectable,
+            &ThroughputConfig { flush_penalty: 3000, ..quick() },
+        );
+        assert!(
+            slow.mops_mean < fast.mops_mean,
+            "a costly flush must reduce throughput ({} vs {})",
+            slow.mops_mean,
+            fast.mops_mean
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Word addresses in a [`PmemPool`](crate::PmemPool).
+
+use std::fmt;
+
+/// Address of a 64-bit word in a [`PmemPool`](crate::PmemPool).
+///
+/// Addresses are word *indices*, not byte offsets. Index `0` is reserved as
+/// the NULL address, mirroring a NULL pointer in the paper's pseudocode; the
+/// pool never hands it out and algorithms use [`PAddr::NULL`] to represent
+/// "no node".
+///
+/// Only the low [`tag::ADDR_BITS`](crate::tag::ADDR_BITS) bits are
+/// significant, matching x86-64's 48 implemented address bits; the top 16
+/// bits are available for tags (see the [`tag`](crate::tag) module), exactly
+/// as the DSS queue repurposes pointer bits for `ENQ_PREP_TAG` et al.
+///
+/// # Examples
+///
+/// ```
+/// use dss_pmem::PAddr;
+///
+/// let a = PAddr::from_index(42);
+/// assert_eq!(a.index(), 42);
+/// assert!(!a.is_null());
+/// assert!(PAddr::NULL.is_null());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PAddr(u64);
+
+impl PAddr {
+    /// The NULL address (word index 0).
+    pub const NULL: PAddr = PAddr(0);
+
+    /// Creates an address from a word index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in the 48-bit address space.
+    #[inline]
+    pub fn from_index(index: u64) -> Self {
+        assert!(
+            index <= crate::tag::ADDR_MASK,
+            "word index {index} exceeds the 48-bit address space"
+        );
+        PAddr(index)
+    }
+
+    /// Returns the word index of this address.
+    #[inline]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+
+    /// Returns `true` if this is the NULL address.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the address `offset` words past `self`.
+    ///
+    /// Used to reach the fields of a multi-word record, e.g. a queue node's
+    /// `next` pointer at offset 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result leaves the 48-bit address space, or if `self` is
+    /// NULL (offsetting NULL is always a bug).
+    #[inline]
+    pub fn offset(self, offset: u64) -> Self {
+        assert!(!self.is_null(), "cannot offset the NULL address");
+        PAddr::from_index(self.0 + offset)
+    }
+
+    /// Reinterprets a raw word value as an address, discarding tag bits.
+    ///
+    /// This is how algorithms turn a value loaded from persistent memory
+    /// back into a pointer; see [`tag::addr_of`](crate::tag::addr_of).
+    #[inline]
+    pub fn from_word(word: u64) -> Self {
+        PAddr(word & crate::tag::ADDR_MASK)
+    }
+
+    /// Returns this address as a raw (untagged) word value.
+    #[inline]
+    pub fn to_word(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "PAddr(NULL)")
+        } else {
+            write!(f, "PAddr({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for PAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_index_zero() {
+        assert_eq!(PAddr::NULL.index(), 0);
+        assert!(PAddr::NULL.is_null());
+        assert!(!PAddr::from_index(1).is_null());
+    }
+
+    #[test]
+    fn offset_reaches_fields() {
+        let base = PAddr::from_index(10);
+        assert_eq!(base.offset(0), base);
+        assert_eq!(base.offset(2).index(), 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "NULL")]
+    fn offset_null_panics() {
+        let _ = PAddr::NULL.offset(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "48-bit")]
+    fn from_index_rejects_tagged_range() {
+        let _ = PAddr::from_index(1 << 48);
+    }
+
+    #[test]
+    fn from_word_strips_tags() {
+        let word = 42 | crate::tag::ENQ_PREP;
+        assert_eq!(PAddr::from_word(word), PAddr::from_index(42));
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let a = PAddr::from_index(12345);
+        assert_eq!(PAddr::from_word(a.to_word()), a);
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", PAddr::NULL), "PAddr(NULL)");
+        assert_eq!(format!("{:?}", PAddr::from_index(3)), "PAddr(3)");
+    }
+}

@@ -1,0 +1,115 @@
+//! Crash-point injection.
+//!
+//! A crash sweep ("inject a crash at every instruction boundary") needs a way
+//! to stop a thread mid-operation without instrumenting algorithm code. The
+//! pool primitives call [`step`] once per memory operation; when the current
+//! thread has an armed plan the counter decrements and, on reaching zero, the
+//! thread unwinds with a [`CrashSignal`] panic payload. The harness catches
+//! the unwind (`std::panic::catch_unwind`), then calls
+//! [`PmemPool::crash`](crate::PmemPool::crash) to discard volatile state.
+//!
+//! The plan is thread-local: only the thread that called
+//! [`arm_crash_after`](crate::PmemPool::arm_crash_after) is interrupted,
+//! which is exactly what a sweep over one victim operation needs. A
+//! system-wide crash is then simulated by stopping the remaining threads
+//! cooperatively and calling `crash` on the pool.
+
+use std::cell::Cell;
+
+thread_local! {
+    /// Remaining pmem operations before this thread crashes; 0 = disarmed.
+    static CRASH_COUNTDOWN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Panic payload used to simulate a crash of the current thread.
+///
+/// Algorithms never observe this type; it exists so a harness can tell a
+/// simulated crash apart from a genuine bug:
+///
+/// ```
+/// use dss_pmem::{CrashSignal, PmemPool, PAddr};
+///
+/// let pool = PmemPool::with_capacity(8);
+/// pool.arm_crash_after(1);
+/// let unwind = std::panic::catch_unwind(|| {
+///     pool.store(PAddr::from_index(1), 5); // 1st op: crashes here
+/// });
+/// let payload = unwind.unwrap_err();
+/// assert!(payload.downcast_ref::<CrashSignal>().is_some());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSignal;
+
+/// Arms the current thread to crash after `ops` more pmem operations.
+pub(crate) fn arm(ops: u64) {
+    silence_crash_signal_reports();
+    CRASH_COUNTDOWN.with(|c| c.set(ops));
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the default
+/// "thread panicked" report for [`CrashSignal`] payloads — simulated
+/// crashes are expected and caught, and their traces would drown real
+/// failures in harness output. All other panics report as usual.
+fn silence_crash_signal_reports() {
+    use std::sync::Once;
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<CrashSignal>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Disarms any pending crash plan for the current thread.
+pub(crate) fn disarm() {
+    CRASH_COUNTDOWN.with(|c| c.set(0));
+}
+
+/// Returns the number of operations remaining before the armed crash, or 0.
+pub(crate) fn remaining() -> u64 {
+    CRASH_COUNTDOWN.with(|c| c.get())
+}
+
+/// Called by every pool primitive; panics with [`CrashSignal`] when the
+/// armed countdown expires.
+#[inline]
+pub(crate) fn step() {
+    CRASH_COUNTDOWN.with(|c| {
+        let n = c.get();
+        if n > 0 {
+            if n == 1 {
+                c.set(0);
+                std::panic::panic_any(CrashSignal);
+            }
+            c.set(n - 1);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn countdown_fires_exactly_once() {
+        arm(3);
+        step();
+        step();
+        let r = std::panic::catch_unwind(step);
+        assert!(r.unwrap_err().downcast_ref::<CrashSignal>().is_some());
+        // Disarmed afterwards: further steps are harmless.
+        step();
+        step();
+    }
+
+    #[test]
+    fn disarm_cancels() {
+        arm(1);
+        disarm();
+        step(); // must not panic
+        assert_eq!(remaining(), 0);
+    }
+}

@@ -1,0 +1,73 @@
+//! Software persistent-memory simulator.
+//!
+//! This crate emulates the memory system assumed by Li & Golab's *Detectable
+//! Sequential Specifications for Recoverable Shared Objects* (DISC 2021): a
+//! byte-addressable persistent main memory (Intel Optane DCPMM in the paper)
+//! sitting below a **volatile** CPU cache, accessed with sequentially
+//! consistent 64-bit atomic operations and explicit persistence instructions
+//! (`CLWB` + `SFENCE`, wrapped by PMDK's `pmem_persist`).
+//!
+//! The simulator models exactly the ordering contract those instructions
+//! provide, and nothing more:
+//!
+//! * Every 64-bit word in a [`PmemPool`] has a *volatile* value — what
+//!   [`PmemPool::load`], [`PmemPool::store`] and [`PmemPool::cas`] observe —
+//!   and a *persisted* shadow — what survives a crash.
+//! * [`PmemPool::flush`] copies volatile → persisted for the addressed word
+//!   (or its whole 64-byte cache line, see [`FlushGranularity`]), modelling
+//!   `pmem_persist`.
+//! * [`PmemPool::crash`] discards all unflushed state: volatile values revert
+//!   to the persisted shadows. A [`WritebackAdversary`] may first persist an
+//!   arbitrary subset of dirty words, modelling spontaneous cache-line
+//!   eviction, which real hardware is always permitted to perform.
+//!
+//! On top of the raw pool the crate provides the pieces a recoverable data
+//! structure needs:
+//!
+//! * [`PAddr`] — word addresses with NULL, plus [`tag`] helpers for packing
+//!   16 tag bits above a 48-bit address, as the DSS queue does (the paper's
+//!   footnote 5).
+//! * Crash-point injection ([`PmemPool::arm_crash_after`]) so a test harness
+//!   can enumerate *every* instruction boundary as a crash point without
+//!   instrumenting algorithm code.
+//! * Operation statistics ([`Stats`]) for flush-count ablations.
+//! * A fixed-size node allocator with per-thread pools ([`NodePool`]) and
+//!   epoch-based reclamation ([`Ebr`]), mirroring the paper's evaluation
+//!   setup ("each thread pre-allocates a fixed size pool of queue nodes …
+//!   dequeued nodes are returned to the free pool using epoch-based
+//!   reclamation").
+//!
+//! # Quick example
+//!
+//! ```
+//! use dss_pmem::{PmemPool, PAddr, WritebackAdversary};
+//!
+//! let pool = PmemPool::with_capacity(64);
+//! let a = PAddr::from_index(1);
+//! pool.store(a, 7);          // volatile only
+//! let b = PAddr::from_index(9); // a different cache line than `a`
+//! pool.store(b, 9);
+//! pool.flush(b);             // persisted
+//! pool.crash(&WritebackAdversary::None);
+//! assert_eq!(pool.load(a), 0);   // lost
+//! assert_eq!(pool.load(b), 9);   // survived
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod addr;
+mod alloc;
+mod ebr;
+mod hook;
+mod pool;
+mod stats;
+
+pub mod tag;
+
+pub use addr::PAddr;
+pub use alloc::NodePool;
+pub use ebr::{Ebr, EbrGuard};
+pub use hook::CrashSignal;
+pub use pool::{FlushGranularity, PmemPool, WritebackAdversary, WORDS_PER_LINE};
+pub use stats::{Stats, StatsSnapshot};

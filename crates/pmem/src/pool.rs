@@ -1,0 +1,540 @@
+//! The persistent-memory pool.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{hook, PAddr, Stats, StatsSnapshot};
+
+/// Number of 64-bit words per 64-byte cache line.
+pub const WORDS_PER_LINE: u64 = 8;
+
+/// Granularity at which [`PmemPool::flush`] persists data.
+///
+/// Real `CLWB` writes back a whole 64-byte cache line, so adjacent words are
+/// persisted together ([`FlushGranularity::Line`], the default). Word
+/// granularity is *stricter*: an algorithm that accidentally relies on a
+/// neighbouring field sharing a cache line with a flushed field will pass
+/// line-granular crash tests but fail word-granular ones. Experiment E7 runs
+/// the crash matrix under both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FlushGranularity {
+    /// Flush persists the whole 64-byte line containing the address
+    /// (faithful to CLWB).
+    #[default]
+    Line,
+    /// Flush persists only the addressed word (adversarial).
+    Word,
+}
+
+/// Decides which *dirty* (written but unflushed) words spontaneously reach
+/// the persistence domain at a crash.
+///
+/// Hardware may evict a dirty cache line at any time, persisting it without
+/// any flush instruction. A correct recoverable algorithm must tolerate
+/// every such schedule, so crash tests sweep over adversaries:
+///
+/// * [`WritebackAdversary::None`] — nothing unflushed survives (the
+///   "fresh cache" extreme).
+/// * [`WritebackAdversary::All`] — everything written survives (as if the
+///   cache were write-through).
+/// * [`WritebackAdversary::Random`] — each dirty word independently survives
+///   with probability `prob` under a seeded RNG (reproducible middle
+///   ground).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WritebackAdversary {
+    /// No spontaneous writeback: only explicitly flushed data survives.
+    None,
+    /// Full writeback: every dirty word is persisted before the crash.
+    All,
+    /// Each dirty word survives independently with probability `prob`.
+    Random {
+        /// RNG seed, so a failing schedule can be replayed.
+        seed: u64,
+        /// Survival probability in `[0.0, 1.0]`.
+        prob: f64,
+    },
+}
+
+struct Word {
+    volatile: AtomicU64,
+    persisted: AtomicU64,
+    dirty: AtomicBool,
+}
+
+impl Word {
+    fn new() -> Self {
+        Word {
+            volatile: AtomicU64::new(0),
+            persisted: AtomicU64::new(0),
+            dirty: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A pool of 64-bit persistent-memory words with a volatile-cache model.
+///
+/// All accessors take `&self` and are safe to call from many threads; the
+/// volatile values behave as sequentially consistent atomics, matching the
+/// paper's evaluation setup ("standard C++ atomic operations configured with
+/// sequentially consistent ordering").
+///
+/// The exception is [`PmemPool::crash`], which logically stops the machine:
+/// it must not race with ordinary operations. Harnesses stop or join worker
+/// threads first (a thread interrupted by an armed crash plan has already
+/// unwound and performs no further operations).
+///
+/// # Examples
+///
+/// ```
+/// use dss_pmem::{PmemPool, PAddr, WritebackAdversary};
+///
+/// let pool = PmemPool::with_capacity(16);
+/// let a = PAddr::from_index(3);
+/// assert_eq!(pool.cas(a, 0, 10), Ok(0));
+/// pool.flush(a);
+/// pool.store(a, 11); // dirty again
+/// pool.crash(&WritebackAdversary::None);
+/// assert_eq!(pool.load(a), 10); // the unflushed 11 was lost
+/// ```
+pub struct PmemPool {
+    words: Box<[Word]>,
+    granularity: FlushGranularity,
+    stats: Stats,
+    generation: AtomicU64,
+    flush_penalty: AtomicU64,
+}
+
+impl PmemPool {
+    /// Creates a zero-initialized pool of `words` 64-bit words with
+    /// line-granular flushes.
+    ///
+    /// Word 0 is the NULL address and is never meaningfully used; `words`
+    /// must therefore be at least 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is 0 or exceeds the 48-bit address space.
+    pub fn with_capacity(words: usize) -> Self {
+        Self::with_granularity(words, FlushGranularity::default())
+    }
+
+    /// Creates a pool with an explicit [`FlushGranularity`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is 0 or exceeds the 48-bit address space.
+    pub fn with_granularity(words: usize, granularity: FlushGranularity) -> Self {
+        assert!(words >= 1, "pool must contain at least the NULL word");
+        assert!(
+            (words as u64) <= crate::tag::ADDR_MASK,
+            "pool exceeds the 48-bit address space"
+        );
+        PmemPool {
+            words: (0..words).map(|_| Word::new()).collect(),
+            granularity,
+            stats: Stats::new(),
+            generation: AtomicU64::new(0),
+            flush_penalty: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the artificial latency of a flush, in spin-loop iterations
+    /// (default 0).
+    ///
+    /// On real hardware `CLWB` + `SFENCE` to an Optane DIMM costs hundreds
+    /// of nanoseconds while a cached store costs a few; that asymmetry —
+    /// not the raw instruction count — is what separates the queue variants
+    /// in the paper's Figure 5. Benchmarks set a penalty so the simulator
+    /// reproduces the cost *shape*; correctness tests leave it at 0.
+    pub fn set_flush_penalty(&self, spins: u64) {
+        self.flush_penalty.store(spins, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// The current flush penalty in spin-loop iterations.
+    pub fn flush_penalty(&self) -> u64 {
+        self.flush_penalty.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of words in the pool.
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// The pool's flush granularity.
+    pub fn granularity(&self) -> FlushGranularity {
+        self.granularity
+    }
+
+    /// Number of crashes this pool has survived.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(SeqCst)
+    }
+
+    #[inline]
+    fn word(&self, addr: PAddr) -> &Word {
+        &self.words[addr.index() as usize]
+    }
+
+    /// Atomically loads the volatile value at `addr`.
+    #[inline]
+    pub fn load(&self, addr: PAddr) -> u64 {
+        hook::step();
+        self.stats.count_load();
+        self.word(addr).volatile.load(SeqCst)
+    }
+
+    /// Atomically stores `value` at `addr` (volatile only; call
+    /// [`flush`](Self::flush) to persist).
+    #[inline]
+    pub fn store(&self, addr: PAddr, value: u64) {
+        hook::step();
+        self.stats.count_store();
+        let w = self.word(addr);
+        w.volatile.store(value, SeqCst);
+        w.dirty.store(true, SeqCst);
+    }
+
+    /// Atomically compares-and-swaps the volatile value at `addr`.
+    ///
+    /// Returns `Ok(expected)` on success and `Err(actual)` on failure,
+    /// mirroring [`std::sync::atomic::AtomicU64::compare_exchange`].
+    #[inline]
+    pub fn cas(&self, addr: PAddr, expected: u64, new: u64) -> Result<u64, u64> {
+        hook::step();
+        let w = self.word(addr);
+        let r = w.volatile.compare_exchange(expected, new, SeqCst, SeqCst);
+        if r.is_ok() {
+            w.dirty.store(true, SeqCst);
+        }
+        self.stats.count_cas(r.is_ok());
+        r
+    }
+
+    /// Persists the data at `addr`, modelling PMDK's `pmem_persist`
+    /// (CLWB + SFENCE): after `flush` returns, the value most recently
+    /// written to `addr` (and, under line granularity, its cache-line
+    /// neighbours) survives any subsequent crash.
+    #[inline]
+    pub fn flush(&self, addr: PAddr) {
+        hook::step();
+        self.stats.count_flush();
+        let penalty = self.flush_penalty.load(std::sync::atomic::Ordering::Relaxed);
+        for _ in 0..penalty {
+            std::hint::spin_loop();
+        }
+        match self.granularity {
+            FlushGranularity::Word => self.writeback(addr.index()),
+            FlushGranularity::Line => {
+                let base = addr.index() / WORDS_PER_LINE * WORDS_PER_LINE;
+                let end = (base + WORDS_PER_LINE).min(self.words.len() as u64);
+                for i in base..end {
+                    self.writeback(i);
+                }
+            }
+        }
+    }
+
+    /// An explicit store fence.
+    ///
+    /// In this simulator [`flush`](Self::flush) is synchronous, so the fence
+    /// is a counted no-op; it exists so algorithms that issue a standalone
+    /// `SFENCE` (e.g. PMwCAS) keep their instruction sequence — and their
+    /// crash-point indices — faithful to the original.
+    #[inline]
+    pub fn fence(&self) {
+        hook::step();
+        self.stats.count_fence();
+    }
+
+    fn writeback(&self, index: u64) {
+        let w = &self.words[index as usize];
+        // Snapshot-then-store: a racing store may or may not be included,
+        // which is exactly the latitude real hardware has for a value
+        // written after the flush began. Equal values skip the stores —
+        // storing an identical persisted value is a no-op, and this keeps
+        // whole-line flushes cheap (most words of a line are clean).
+        let v = w.volatile.load(SeqCst);
+        if w.persisted.load(SeqCst) != v {
+            w.persisted.store(v, SeqCst);
+        }
+        w.dirty.store(false, SeqCst);
+    }
+
+    /// Simulates a system-wide crash: volatile state reverts to the
+    /// persistence domain.
+    ///
+    /// First the `adversary` decides, for every dirty word, whether a
+    /// spontaneous cache eviction persisted it; then every volatile value is
+    /// replaced by its persisted shadow and the pool's
+    /// [`generation`](Self::generation) increments.
+    ///
+    /// The caller must ensure no thread is concurrently operating on the
+    /// pool (the machine has, after all, crashed).
+    pub fn crash(&self, adversary: &WritebackAdversary) {
+        let mut rng = match adversary {
+            WritebackAdversary::Random { seed, prob } => {
+                assert!((0.0..=1.0).contains(prob), "probability out of range");
+                Some((StdRng::seed_from_u64(*seed), *prob))
+            }
+            _ => None,
+        };
+        for w in self.words.iter() {
+            if w.dirty.load(SeqCst) {
+                let persist = match adversary {
+                    WritebackAdversary::None => false,
+                    WritebackAdversary::All => true,
+                    WritebackAdversary::Random { .. } => {
+                        let (rng, prob) = rng.as_mut().expect("rng initialized");
+                        rng.gen_bool(*prob)
+                    }
+                };
+                if persist {
+                    w.persisted.store(w.volatile.load(SeqCst), SeqCst);
+                }
+                w.dirty.store(false, SeqCst);
+            }
+            w.volatile.store(w.persisted.load(SeqCst), SeqCst);
+        }
+        self.generation.fetch_add(1, SeqCst);
+    }
+
+    /// Arms the **current thread** to crash (unwind with
+    /// [`CrashSignal`](crate::CrashSignal)) after `ops` more pmem
+    /// operations. See the crate docs for the harness protocol.
+    pub fn arm_crash_after(&self, ops: u64) {
+        hook::arm(ops);
+    }
+
+    /// Cancels any crash plan armed on the current thread.
+    pub fn disarm_crash(&self) {
+        hook::disarm();
+    }
+
+    /// Operations remaining before the current thread's armed crash fires
+    /// (0 when disarmed). Lets a sweep detect that an operation completed
+    /// without reaching the requested crash point.
+    pub fn crash_countdown(&self) -> u64 {
+        hook::remaining()
+    }
+
+    /// The pool's operation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Resets the pool's operation counters.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Test/inspection helper: the persisted shadow of `addr` (what a crash
+    /// right now would preserve), bypassing hooks and stats.
+    pub fn persisted_value(&self, addr: PAddr) -> u64 {
+        self.word(addr).persisted.load(SeqCst)
+    }
+
+    /// Test/inspection helper: the volatile value of `addr`, bypassing hooks
+    /// and stats.
+    pub fn peek(&self, addr: PAddr) -> u64 {
+        self.word(addr).volatile.load(SeqCst)
+    }
+
+    /// Test/inspection helper: whether `addr` has been written since its
+    /// last flush.
+    pub fn is_dirty(&self, addr: PAddr) -> bool {
+        self.word(addr).dirty.load(SeqCst)
+    }
+}
+
+impl fmt::Debug for PmemPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PmemPool")
+            .field("capacity", &self.words.len())
+            .field("granularity", &self.granularity)
+            .field("generation", &self.generation.load(SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(i: u64) -> PAddr {
+        PAddr::from_index(i)
+    }
+
+    #[test]
+    fn store_is_volatile_until_flushed() {
+        let p = PmemPool::with_capacity(32);
+        p.store(addr(1), 42);
+        assert_eq!(p.load(addr(1)), 42);
+        assert_eq!(p.persisted_value(addr(1)), 0);
+        assert!(p.is_dirty(addr(1)));
+        p.flush(addr(1));
+        assert_eq!(p.persisted_value(addr(1)), 42);
+        assert!(!p.is_dirty(addr(1)));
+    }
+
+    #[test]
+    fn crash_discards_unflushed_state() {
+        let p = PmemPool::with_capacity(32);
+        p.store(addr(1), 1);
+        p.flush(addr(1));
+        p.store(addr(1), 2); // unflushed overwrite
+        p.store(addr(9), 3); // different line, unflushed
+        p.crash(&WritebackAdversary::None);
+        assert_eq!(p.load(addr(1)), 1);
+        assert_eq!(p.load(addr(9)), 0);
+        assert_eq!(p.generation(), 1);
+    }
+
+    #[test]
+    fn adversary_all_persists_everything() {
+        let p = PmemPool::with_capacity(32);
+        p.store(addr(1), 7);
+        p.store(addr(20), 8);
+        p.crash(&WritebackAdversary::All);
+        assert_eq!(p.load(addr(1)), 7);
+        assert_eq!(p.load(addr(20)), 8);
+    }
+
+    #[test]
+    fn adversary_random_is_reproducible() {
+        let outcome = |seed| {
+            let p = PmemPool::with_capacity(256);
+            for i in 1..256 {
+                p.store(addr(i), i);
+            }
+            p.crash(&WritebackAdversary::Random { seed, prob: 0.5 });
+            (1..256).map(|i| p.load(addr(i))).collect::<Vec<_>>()
+        };
+        assert_eq!(outcome(12), outcome(12));
+        assert_ne!(outcome(12), outcome(13), "distinct seeds should differ");
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let p = PmemPool::with_capacity(8);
+        assert_eq!(p.cas(addr(1), 0, 5), Ok(0));
+        assert_eq!(p.cas(addr(1), 0, 6), Err(5));
+        assert_eq!(p.load(addr(1)), 5);
+        let s = p.stats();
+        assert_eq!(s.cas_ok, 1);
+        assert_eq!(s.cas_fail, 1);
+    }
+
+    #[test]
+    fn line_granularity_persists_neighbours() {
+        let p = PmemPool::with_granularity(32, FlushGranularity::Line);
+        p.store(addr(8), 1); // line 1 spans words 8..16
+        p.store(addr(15), 2);
+        p.flush(addr(8));
+        p.crash(&WritebackAdversary::None);
+        assert_eq!(p.load(addr(8)), 1);
+        assert_eq!(p.load(addr(15)), 2, "same line flushed together");
+    }
+
+    #[test]
+    fn word_granularity_persists_only_the_word() {
+        let p = PmemPool::with_granularity(32, FlushGranularity::Word);
+        p.store(addr(8), 1);
+        p.store(addr(9), 2);
+        p.flush(addr(8));
+        p.crash(&WritebackAdversary::None);
+        assert_eq!(p.load(addr(8)), 1);
+        assert_eq!(p.load(addr(9)), 0, "neighbour not flushed");
+    }
+
+    #[test]
+    fn armed_crash_unwinds_with_signal() {
+        let p = PmemPool::with_capacity(8);
+        p.arm_crash_after(2);
+        p.store(addr(1), 1);
+        assert_eq!(p.crash_countdown(), 1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.store(addr(2), 2);
+        }));
+        assert!(r.unwrap_err().downcast_ref::<crate::CrashSignal>().is_some());
+        // The interrupted store never executed.
+        assert_eq!(p.peek(addr(2)), 0);
+        p.disarm_crash();
+    }
+
+    #[test]
+    fn stats_count_all_primitives() {
+        let p = PmemPool::with_capacity(8);
+        p.reset_stats();
+        p.load(addr(1));
+        p.store(addr(1), 1);
+        let _ = p.cas(addr(1), 1, 2);
+        p.flush(addr(1));
+        p.fence();
+        let s = p.stats();
+        assert_eq!((s.loads, s.stores, s.cas_ok, s.flushes, s.fences), (1, 1, 1, 1, 1));
+    }
+
+    #[test]
+    fn flush_last_partial_line_in_bounds() {
+        // Capacity not a multiple of the line size: flushing the last line
+        // must not index out of bounds.
+        let p = PmemPool::with_granularity(10, FlushGranularity::Line);
+        p.store(addr(9), 3);
+        p.flush(addr(9));
+        p.crash(&WritebackAdversary::None);
+        assert_eq!(p.load(addr(9)), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn zero_capacity_rejected() {
+        let _ = PmemPool::with_capacity(0);
+    }
+
+    #[test]
+    fn flush_penalty_round_trip() {
+        let p = PmemPool::with_capacity(8);
+        assert_eq!(p.flush_penalty(), 0);
+        p.set_flush_penalty(10);
+        assert_eq!(p.flush_penalty(), 10);
+        p.store(addr(1), 1);
+        p.flush(addr(1)); // still correct, just slower
+        assert_eq!(p.persisted_value(addr(1)), 1);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let p = PmemPool::with_capacity(8);
+        assert!(format!("{p:?}").contains("PmemPool"));
+    }
+
+    #[test]
+    fn concurrent_cas_is_atomic() {
+        use std::sync::Arc;
+        let p = Arc::new(PmemPool::with_capacity(8));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    let mut wins = 0u64;
+                    for _ in 0..1000 {
+                        loop {
+                            let cur = p.load(addr(1));
+                            if p.cas(addr(1), cur, cur + 1).is_ok() {
+                                wins += 1;
+                                break;
+                            }
+                        }
+                    }
+                    wins
+                })
+            })
+            .collect();
+        let total: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(total, 4000);
+        assert_eq!(p.load(addr(1)), 4000);
+    }
+}

@@ -1,0 +1,172 @@
+//! Memory-operation statistics.
+//!
+//! The paper attributes the cost of detectability to specific extra memory
+//! operations (flushes and stores on the `X` array at lines 3–4, 13–14,
+//! 32–33, 47–48). [`Stats`] counts every primitive a [`PmemPool`] executes so
+//! experiment E3 can measure those costs directly instead of inferring them
+//! from throughput.
+//!
+//! [`PmemPool`]: crate::PmemPool
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Running counters of pmem primitives executed on a pool.
+///
+/// Counters use relaxed atomics: they are monotone event counts, never used
+/// for synchronization. Snapshot with [`Stats::snapshot`]; reset between
+/// measurement phases with [`Stats::reset`].
+#[derive(Debug, Default)]
+pub struct Stats {
+    loads: AtomicU64,
+    stores: AtomicU64,
+    cas_ok: AtomicU64,
+    cas_fail: AtomicU64,
+    flushes: AtomicU64,
+    fences: AtomicU64,
+}
+
+impl Stats {
+    /// Creates a zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub(crate) fn count_load(&self) {
+        self.loads.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn count_store(&self) {
+        self.stores.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn count_cas(&self, ok: bool) {
+        if ok {
+            self.cas_ok.fetch_add(1, Relaxed);
+        } else {
+            self.cas_fail.fetch_add(1, Relaxed);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn count_flush(&self) {
+        self.flushes.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    pub(crate) fn count_fence(&self) {
+        self.fences.fetch_add(1, Relaxed);
+    }
+
+    /// Returns a point-in-time copy of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            loads: self.loads.load(Relaxed),
+            stores: self.stores.load(Relaxed),
+            cas_ok: self.cas_ok.load(Relaxed),
+            cas_fail: self.cas_fail.load(Relaxed),
+            flushes: self.flushes.load(Relaxed),
+            fences: self.fences.load(Relaxed),
+        }
+    }
+
+    /// Zeroes all counters.
+    pub fn reset(&self) {
+        self.loads.store(0, Relaxed);
+        self.stores.store(0, Relaxed);
+        self.cas_ok.store(0, Relaxed);
+        self.cas_fail.store(0, Relaxed);
+        self.flushes.store(0, Relaxed);
+        self.fences.store(0, Relaxed);
+    }
+}
+
+/// Immutable snapshot of a [`Stats`] counter set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Atomic loads executed.
+    pub loads: u64,
+    /// Atomic stores executed.
+    pub stores: u64,
+    /// Successful compare-and-swap operations.
+    pub cas_ok: u64,
+    /// Failed compare-and-swap operations.
+    pub cas_fail: u64,
+    /// Flush (`pmem_persist`) operations.
+    pub flushes: u64,
+    /// Explicit store fences.
+    pub fences: u64,
+}
+
+impl StatsSnapshot {
+    /// Total primitives executed.
+    pub fn total(&self) -> u64 {
+        self.loads + self.stores + self.cas_ok + self.cas_fail + self.flushes + self.fences
+    }
+
+    /// Difference `self - earlier`, counter-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not actually earlier (any
+    /// counter would underflow).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            loads: self.loads - earlier.loads,
+            stores: self.stores - earlier.stores,
+            cas_ok: self.cas_ok - earlier.cas_ok,
+            cas_fail: self.cas_fail - earlier.cas_fail,
+            flushes: self.flushes - earlier.flushes,
+            fences: self.fences - earlier.fences,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_snapshot() {
+        let s = Stats::new();
+        s.count_load();
+        s.count_load();
+        s.count_store();
+        s.count_cas(true);
+        s.count_cas(false);
+        s.count_flush();
+        s.count_fence();
+        let snap = s.snapshot();
+        assert_eq!(snap.loads, 2);
+        assert_eq!(snap.stores, 1);
+        assert_eq!(snap.cas_ok, 1);
+        assert_eq!(snap.cas_fail, 1);
+        assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.fences, 1);
+        assert_eq!(snap.total(), 7);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = Stats::new();
+        s.count_flush();
+        s.reset();
+        assert_eq!(s.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let s = Stats::new();
+        s.count_store();
+        let a = s.snapshot();
+        s.count_store();
+        s.count_flush();
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.stores, 1);
+        assert_eq!(d.flushes, 1);
+        assert_eq!(d.loads, 0);
+    }
+}

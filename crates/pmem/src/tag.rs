@@ -1,0 +1,133 @@
+//! Tagged-pointer helpers.
+//!
+//! The DSS queue "borrows the most significant bits of this pointer to
+//! record tags that indicate whether or not the detectable … operation was
+//! prepared and then took effect" (paper §3.1, footnote 5: x86-64 implements
+//! 48 address bits, leaving 16 bits for tags). This module fixes the same
+//! layout — the low [`ADDR_BITS`] bits hold a word address, the top 16 bits
+//! hold flags — and names the tag constants used by the queue algorithms.
+//!
+//! A tagged word is an ordinary `u64`, stored in and loaded from persistent
+//! memory with single-word atomics, so every tag update is failure-atomic,
+//! which is the whole point of the encoding.
+//!
+//! # Examples
+//!
+//! ```
+//! use dss_pmem::{tag, PAddr};
+//!
+//! let node = PAddr::from_index(99);
+//! let word = tag::set(node.to_word(), tag::ENQ_PREP);
+//! assert!(tag::has(word, tag::ENQ_PREP));
+//! assert!(!tag::has(word, tag::ENQ_COMPL));
+//! assert_eq!(tag::addr_of(word), node);
+//! ```
+
+use crate::PAddr;
+
+/// Number of significant address bits (x86-64 implements 48).
+pub const ADDR_BITS: u32 = 48;
+
+/// Mask selecting the address bits of a tagged word.
+pub const ADDR_MASK: u64 = (1 << ADDR_BITS) - 1;
+
+/// Mask selecting the tag bits of a tagged word.
+pub const TAG_MASK: u64 = !ADDR_MASK;
+
+/// A detectable enqueue was prepared (`prep-enqueue` ran).
+pub const ENQ_PREP: u64 = 1 << 63;
+
+/// A prepared enqueue took effect (`exec-enqueue` linked the node).
+pub const ENQ_COMPL: u64 = 1 << 62;
+
+/// A detectable dequeue was prepared (`prep-dequeue` ran).
+pub const DEQ_PREP: u64 = 1 << 61;
+
+/// A prepared dequeue took effect on an **empty** queue.
+pub const EMPTY: u64 = 1 << 60;
+
+/// Marks a `deqThreadID` claimed by a *non-detectable* dequeue (§3.2: the
+/// non-detectable path combines the TID "with another special tag" so that
+/// detection never confuses it with a detectable claim by the same thread).
+pub const NONDET_DEQ: u64 = 1 << 59;
+
+/// Marks a word that currently holds a PMwCAS descriptor pointer rather
+/// than an application value (Wang et al.'s descriptor-flag bit).
+pub const PMWCAS_DESC: u64 = 1 << 58;
+
+/// PMwCAS "dirty" bit: the value may not have been flushed yet and readers
+/// must persist it before use.
+pub const PMWCAS_DIRTY: u64 = 1 << 57;
+
+/// Returns `word` with `tags` set.
+#[inline]
+pub fn set(word: u64, tags: u64) -> u64 {
+    debug_assert_eq!(tags & ADDR_MASK, 0, "tags must live above the address bits");
+    word | tags
+}
+
+/// Returns `word` with `tags` cleared.
+#[inline]
+pub fn clear(word: u64, tags: u64) -> u64 {
+    word & !tags
+}
+
+/// Returns `true` if **all** of `tags` are set in `word`.
+#[inline]
+pub fn has(word: u64, tags: u64) -> bool {
+    word & tags == tags
+}
+
+/// Extracts the address portion of a tagged word.
+#[inline]
+pub fn addr_of(word: u64) -> PAddr {
+    PAddr::from_word(word)
+}
+
+/// Extracts only the tag bits of a word.
+#[inline]
+pub fn tags_of(word: u64) -> u64 {
+    word & TAG_MASK
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_disjoint_and_above_addr_bits() {
+        let all = [ENQ_PREP, ENQ_COMPL, DEQ_PREP, EMPTY, NONDET_DEQ, PMWCAS_DESC, PMWCAS_DIRTY];
+        for (i, &a) in all.iter().enumerate() {
+            assert_eq!(a & ADDR_MASK, 0, "tag {i} overlaps address bits");
+            for &b in &all[i + 1..] {
+                assert_eq!(a & b, 0, "tags overlap");
+            }
+        }
+    }
+
+    #[test]
+    fn set_clear_has_round_trip() {
+        let w = set(5, ENQ_PREP | ENQ_COMPL);
+        assert!(has(w, ENQ_PREP));
+        assert!(has(w, ENQ_COMPL));
+        assert!(has(w, ENQ_PREP | ENQ_COMPL));
+        assert!(!has(w, DEQ_PREP));
+        let w = clear(w, ENQ_COMPL);
+        assert!(has(w, ENQ_PREP));
+        assert!(!has(w, ENQ_COMPL));
+        assert_eq!(addr_of(w).index(), 5);
+    }
+
+    #[test]
+    fn addr_and_tags_partition_the_word() {
+        let w = set(123, DEQ_PREP | EMPTY);
+        assert_eq!(addr_of(w).to_word() | tags_of(w), w);
+        assert_eq!(tags_of(w), DEQ_PREP | EMPTY);
+    }
+
+    #[test]
+    fn has_requires_all_tags() {
+        let w = set(0, ENQ_PREP);
+        assert!(!has(w, ENQ_PREP | ENQ_COMPL));
+    }
+}

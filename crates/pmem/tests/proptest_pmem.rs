@@ -1,0 +1,167 @@
+//! Property-based tests of the persistent-memory simulator's crash
+//! semantics — the foundation every algorithm above it relies on.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dss_pmem::{FlushGranularity, PAddr, PmemPool, WritebackAdversary, WORDS_PER_LINE};
+
+const WORDS: u64 = 64;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Store(u64, u64),
+    Cas(u64, u64, u64),
+    Flush(u64),
+    Fence,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1..WORDS, 0u64..50).prop_map(|(a, v)| Op::Store(a, v)),
+        (1..WORDS, 0u64..50, 0u64..50).prop_map(|(a, e, n)| Op::Cas(a, e, n)),
+        (1..WORDS).prop_map(Op::Flush),
+        Just(Op::Fence),
+    ]
+}
+
+/// A word-level reference model of the volatile/persisted contract.
+#[derive(Default)]
+struct Model {
+    volatile: HashMap<u64, u64>,
+    persisted: HashMap<u64, u64>,
+}
+
+impl Model {
+    fn apply(&mut self, op: Op, granularity: FlushGranularity) {
+        match op {
+            Op::Store(a, v) => {
+                self.volatile.insert(a, v);
+            }
+            Op::Cas(a, e, n) => {
+                let cur = self.volatile.get(&a).copied().unwrap_or(0);
+                if cur == e {
+                    self.volatile.insert(a, n);
+                }
+            }
+            Op::Flush(a) => match granularity {
+                FlushGranularity::Word => {
+                    let v = self.volatile.get(&a).copied().unwrap_or(0);
+                    self.persisted.insert(a, v);
+                }
+                FlushGranularity::Line => {
+                    let base = a / WORDS_PER_LINE * WORDS_PER_LINE;
+                    for i in base..(base + WORDS_PER_LINE).min(WORDS) {
+                        let v = self.volatile.get(&i).copied().unwrap_or(0);
+                        self.persisted.insert(i, v);
+                    }
+                }
+            },
+            Op::Fence => {}
+        }
+    }
+}
+
+proptest! {
+    /// Single-threaded runs agree with the reference model before and
+    /// after a crash with no spontaneous writeback.
+    #[test]
+    fn matches_reference_model(
+        ops in prop::collection::vec(arb_op(), 0..80),
+        line in proptest::bool::ANY,
+    ) {
+        let granularity = if line { FlushGranularity::Line } else { FlushGranularity::Word };
+        let pool = PmemPool::with_granularity(WORDS as usize, granularity);
+        let mut model = Model::default();
+        for op in &ops {
+            match *op {
+                Op::Store(a, v) => pool.store(PAddr::from_index(a), v),
+                Op::Cas(a, e, n) => {
+                    let _ = pool.cas(PAddr::from_index(a), e, n);
+                }
+                Op::Flush(a) => pool.flush(PAddr::from_index(a)),
+                Op::Fence => pool.fence(),
+            }
+            model.apply(*op, granularity);
+        }
+        // Volatile state agrees.
+        for a in 1..WORDS {
+            prop_assert_eq!(
+                pool.load(PAddr::from_index(a)),
+                model.volatile.get(&a).copied().unwrap_or(0),
+                "volatile mismatch at {}", a
+            );
+        }
+        // Crash: only the persisted shadows survive.
+        pool.crash(&WritebackAdversary::None);
+        for a in 1..WORDS {
+            prop_assert_eq!(
+                pool.load(PAddr::from_index(a)),
+                model.persisted.get(&a).copied().unwrap_or(0),
+                "persisted mismatch at {}", a
+            );
+        }
+    }
+
+    /// Under ANY adversary, each post-crash value is either the persisted
+    /// shadow or the last volatile value — never anything else — and a
+    /// second crash with no writes in between changes nothing.
+    #[test]
+    fn adversary_only_picks_between_old_and_new(
+        ops in prop::collection::vec(arb_op(), 0..60),
+        seed in 0u64..1000,
+        prob in 0.0f64..=1.0,
+    ) {
+        let pool = PmemPool::with_capacity(WORDS as usize);
+        let mut model = Model::default();
+        for op in &ops {
+            match *op {
+                Op::Store(a, v) => pool.store(PAddr::from_index(a), v),
+                Op::Cas(a, e, n) => {
+                    let _ = pool.cas(PAddr::from_index(a), e, n);
+                }
+                Op::Flush(a) => pool.flush(PAddr::from_index(a)),
+                Op::Fence => pool.fence(),
+            }
+            model.apply(*op, FlushGranularity::Line);
+        }
+        pool.crash(&WritebackAdversary::Random { seed, prob });
+        let mut after = Vec::new();
+        for a in 1..WORDS {
+            let got = pool.load(PAddr::from_index(a));
+            let old = model.persisted.get(&a).copied().unwrap_or(0);
+            let new = model.volatile.get(&a).copied().unwrap_or(0);
+            prop_assert!(
+                got == old || got == new,
+                "word {}: {} is neither persisted {} nor volatile {}", a, got, old, new
+            );
+            after.push(got);
+        }
+        // Idempotence of crash when nothing was written in between.
+        pool.crash(&WritebackAdversary::Random { seed: seed + 1, prob });
+        for (i, a) in (1..WORDS).enumerate() {
+            prop_assert_eq!(pool.load(PAddr::from_index(a)), after[i]);
+        }
+    }
+
+    /// Flush-then-crash round trip: a flushed word always survives,
+    /// whatever else happened.
+    #[test]
+    fn flushed_words_always_survive(
+        writes in prop::collection::vec((1..WORDS, 0u64..100), 1..20),
+        seed in 0u64..100,
+    ) {
+        let pool = PmemPool::with_granularity(WORDS as usize, FlushGranularity::Word);
+        let mut last_flushed: HashMap<u64, u64> = HashMap::new();
+        for (a, v) in &writes {
+            pool.store(PAddr::from_index(*a), *v);
+            pool.flush(PAddr::from_index(*a));
+            last_flushed.insert(*a, *v);
+        }
+        pool.crash(&WritebackAdversary::Random { seed, prob: 0.5 });
+        for (a, v) in last_flushed {
+            prop_assert_eq!(pool.load(PAddr::from_index(a)), v);
+        }
+    }
+}

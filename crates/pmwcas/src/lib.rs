@@ -1,0 +1,34 @@
+//! Persistent multi-word compare-and-swap and the CASWithEffect queues.
+//!
+//! The paper's Figure 5b compares the DSS queue against two detectable
+//! queues built on Wang, Levandoski & Larson's **PMwCAS** (ICDE 2018) —
+//! "a simple queue algorithm where the linked list and detectability state
+//! (analogous to X in DSS queue) are manipulated using PMwCAS":
+//!
+//! * [`CasWithEffectQueue::new_general`] — every word, including the
+//!   per-thread detectability word, goes through the full PMwCAS protocol
+//!   (descriptor reservation, helping, persistence).
+//! * [`CasWithEffectQueue::new_fast`] — PMwCAS "optimized for multi-word
+//!   operations that access a combination of shared variables (queue head,
+//!   tail, and next pointers) and private variables (detectability
+//!   state)": private words skip the reservation CAS and are written
+//!   directly at commit, saving one install CAS + flush per word.
+//!
+//! [`PmwcasArena`] is the underlying multi-word CAS: a descriptor-based,
+//! lock-free, persistent protocol. This implementation is the *eager-flush*
+//! conservative variant — every installed word and every final value is
+//! flushed immediately rather than lazily via Wang et al.'s dirty-bit — and
+//! it resolves conflicts without RDCSS, which can fail a descriptor that
+//! races with a concurrent writer but never produces an unsafe outcome
+//! (callers retry, exactly as the queues do). Descriptors live in
+//! persistent memory, so [`PmwcasArena::recover`] can roll every in-flight
+//! descriptor forward (decided) or back (undecided) after a crash.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod arena;
+mod queue;
+
+pub use arena::{PmwcasArena, MAX_PRIVATE, MAX_SHARED};
+pub use queue::{CasWithEffectQueue, CweFull, CweResolved, CweResolvedOp};

@@ -1,0 +1,389 @@
+//! The detectable transformation `T ↦ D⟨T⟩` (paper §2.1, Figure 1).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::{ProcId, SequentialSpec};
+
+/// Operations of `D⟨T⟩`: the original operations plus the auxiliary
+/// `prep-op`, `exec-op`, and `resolve`.
+///
+/// `Prep` carries the auxiliary disambiguation argument the paper
+/// recommends (§2.1, last paragraph): when a process applies the *same*
+/// operation repeatedly, `resolve`'s answer would be ambiguous; a sequence
+/// tag "saved in the state component `A[pᵢ]` but ignored in the computation
+/// of the state transition" removes the ambiguity. (A single parity bit
+/// suffices; we carry a full `u64` for convenience.)
+///
+/// `Exec` takes no operation argument: Axiom 2's precondition
+/// `A[pᵢ] = op` already pins down which operation executes, namely the one
+/// most recently prepared by the calling process.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum DetOp<O> {
+    /// `prep-op` (Axiom 1): record the intent to apply `op` detectably.
+    Prep {
+        /// The operation being prepared.
+        op: O,
+        /// Disambiguation tag, stored in `A[pᵢ]`, ignored by `δ`.
+        seq: u64,
+    },
+    /// `exec-op` (Axiom 2): apply the prepared operation.
+    Exec,
+    /// `resolve` (Axiom 3): report the prepared operation's status.
+    Resolve,
+    /// The original, non-detectable operation (Axiom 4).
+    Plain(O),
+}
+
+/// Responses of `D⟨T⟩`: `R̄ = R ∪ {(op, r) | op ∈ OP ∪ {⊥} ∧ r ∈ R ∪ {⊥}}`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum DetResp<O, R> {
+    /// The `⊥` acknowledgement returned by `prep-op`.
+    Ack,
+    /// An ordinary response of the base type (from `exec-op` or a plain
+    /// operation).
+    Ret(R),
+    /// `resolve`'s answer `(A[pᵢ], R[pᵢ])`: the prepared operation (with its
+    /// tag) if any, and its response if it took effect.
+    Resolved(Option<(O, u64)>, Option<R>),
+}
+
+impl<O, R> DetResp<O, R> {
+    /// Returns `true` for `Resolved(_, Some(_))` — the prepared operation
+    /// took effect.
+    pub fn took_effect(&self) -> bool {
+        matches!(self, DetResp::Resolved(_, Some(_)))
+    }
+}
+
+/// Abstract state of `D⟨T⟩`: a tuple `(s, A, R)` where `A` maps each process
+/// to its prepared operation (or `⊥`) and `R` to that operation's response
+/// (or `⊥`).
+pub struct DetState<T: SequentialSpec> {
+    /// The base object's state `s`.
+    pub inner: T::State,
+    /// `A`: the operation (and tag) each process most recently prepared.
+    pub prepared: Vec<Option<(T::Op, u64)>>,
+    /// `R`: the response of each process's prepared operation, once it has
+    /// taken effect.
+    pub result: Vec<Option<T::Resp>>,
+}
+
+// Manual impls: `derive` would demand the bounds on `T` itself rather than
+// on `T::State`/`T::Op`/`T::Resp`.
+impl<T: SequentialSpec> Clone for DetState<T> {
+    fn clone(&self) -> Self {
+        DetState {
+            inner: self.inner.clone(),
+            prepared: self.prepared.clone(),
+            result: self.result.clone(),
+        }
+    }
+}
+
+impl<T: SequentialSpec> PartialEq for DetState<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+            && self.prepared == other.prepared
+            && self.result == other.result
+    }
+}
+
+impl<T: SequentialSpec> Eq for DetState<T> {}
+
+impl<T: SequentialSpec> Hash for DetState<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.inner.hash(state);
+        self.prepared.hash(state);
+        self.result.hash(state);
+    }
+}
+
+impl<T: SequentialSpec> fmt::Debug for DetState<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DetState")
+            .field("inner", &self.inner)
+            .field("prepared", &self.prepared)
+            .field("result", &self.result)
+            .finish()
+    }
+}
+
+/// The detectable embodiment `D⟨T⟩` of a base type `T` (paper Figure 1).
+///
+/// `Detectable<T>` is itself a [`SequentialSpec`], so it can be nested, fed
+/// to checkers, or transformed again — the transformation is generic and
+/// closed over the trait. The number of processes is fixed at construction
+/// because the abstract state carries per-process recovery components `A`
+/// and `R` (which is also why DSS-based objects need linear space, §2.2).
+///
+/// # Examples
+///
+/// ```
+/// use dss_spec::{Detectable, DetOp, DetResp, SequentialSpec};
+/// use dss_spec::types::{QueueOp, QueueResp, QueueSpec};
+///
+/// let d = Detectable::new(QueueSpec, 1);
+/// let s0 = d.initial();
+/// // resolve before any prep returns (⊥, ⊥):
+/// let (_, r) = d.apply(&s0, &DetOp::Resolve, 0).unwrap();
+/// assert_eq!(r, DetResp::Resolved(None, None));
+/// // exec without prep violates Axiom 2's precondition:
+/// assert!(d.apply(&s0, &DetOp::Exec, 0).is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Detectable<T> {
+    inner: T,
+    nprocs: usize,
+}
+
+impl<T: SequentialSpec> Detectable<T> {
+    /// Wraps `inner` for a system of `nprocs` processes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs` is zero.
+    pub fn new(inner: T, nprocs: usize) -> Self {
+        assert!(nprocs > 0, "need at least one process");
+        Detectable { inner, nprocs }
+    }
+
+    /// The wrapped base specification.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Number of processes `|Π|`.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+}
+
+impl<T: SequentialSpec> SequentialSpec for Detectable<T> {
+    type State = DetState<T>;
+    type Op = DetOp<T::Op>;
+    type Resp = DetResp<T::Op, T::Resp>;
+
+    fn initial(&self) -> Self::State {
+        DetState {
+            inner: self.inner.initial(),
+            prepared: vec![None; self.nprocs],
+            result: vec![None; self.nprocs],
+        }
+    }
+
+    fn apply(
+        &self,
+        state: &Self::State,
+        op: &Self::Op,
+        pid: ProcId,
+    ) -> Option<(Self::State, Self::Resp)> {
+        assert!(pid < self.nprocs, "process ID {pid} out of range");
+        match op {
+            // Axiom 1: {true} prep-op / pᵢ / ⊥ {A'[pᵢ]=op ∧ R'[pᵢ]=⊥}
+            DetOp::Prep { op, seq } => {
+                let mut s = state.clone();
+                s.prepared[pid] = Some((op.clone(), *seq));
+                s.result[pid] = None;
+                Some((s, DetResp::Ack))
+            }
+            // Axiom 2: {A[pᵢ]=op ∧ R[pᵢ]=⊥} exec-op / pᵢ / ρ(s,op,pᵢ)
+            //          {s'=δ(s,op,pᵢ) ∧ R'[pᵢ]=ρ(s,op,pᵢ)}
+            DetOp::Exec => {
+                let (prepared_op, _seq) = state.prepared[pid].as_ref()?;
+                if state.result[pid].is_some() {
+                    return None; // already took effect: precondition R[pᵢ]=⊥ fails
+                }
+                let (inner2, resp) = self.inner.apply(&state.inner, prepared_op, pid)?;
+                let mut s = state.clone();
+                s.inner = inner2;
+                s.result[pid] = Some(resp.clone());
+                Some((s, DetResp::Ret(resp)))
+            }
+            // Axiom 3: {true} resolve / pᵢ / (A[pᵢ], R[pᵢ]) {}
+            DetOp::Resolve => Some((
+                state.clone(),
+                DetResp::Resolved(state.prepared[pid].clone(), state.result[pid].clone()),
+            )),
+            // Axiom 4: {true} op / pᵢ / ρ(s,op,pᵢ) {s'=δ(s,op,pᵢ)}
+            DetOp::Plain(op) => {
+                let (inner2, resp) = self.inner.apply(&state.inner, op, pid)?;
+                let mut s = state.clone();
+                s.inner = inner2;
+                Some((s, DetResp::Ret(resp)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{QueueOp, QueueResp, QueueSpec, RegisterOp, RegisterResp, RegisterSpec};
+
+    type DReg = Detectable<RegisterSpec>;
+
+    fn dreg() -> DReg {
+        Detectable::new(RegisterSpec, 2)
+    }
+
+    #[test]
+    fn figure2a_prep_exec_resolve() {
+        let d = dreg();
+        let s0 = d.initial();
+        let w1 = DetOp::Prep { op: RegisterOp::Write(1), seq: 0 };
+        let (s1, r) = d.apply(&s0, &w1, 0).unwrap();
+        assert_eq!(r, DetResp::Ack);
+        let (s2, r) = d.apply(&s1, &DetOp::Exec, 0).unwrap();
+        assert_eq!(r, DetResp::Ret(RegisterResp::Ok));
+        assert_eq!(s2.inner, 1, "write took effect on the base state");
+        let (s3, r) = d.apply(&s2, &DetOp::Resolve, 0).unwrap();
+        assert_eq!(
+            r,
+            DetResp::Resolved(Some((RegisterOp::Write(1), 0)), Some(RegisterResp::Ok))
+        );
+        assert!(r.took_effect());
+        assert_eq!(s3, s2, "resolve has no side-effect");
+    }
+
+    #[test]
+    fn figure2c_prep_without_exec_resolves_to_bottom_response() {
+        let d = dreg();
+        let s0 = d.initial();
+        let (s1, _) =
+            d.apply(&s0, &DetOp::Prep { op: RegisterOp::Write(1), seq: 7 }, 0).unwrap();
+        let (_, r) = d.apply(&s1, &DetOp::Resolve, 0).unwrap();
+        assert_eq!(r, DetResp::Resolved(Some((RegisterOp::Write(1), 7)), None));
+        assert!(!r.took_effect());
+    }
+
+    #[test]
+    fn resolve_before_any_prep_returns_bottom_bottom() {
+        let d = dreg();
+        let (_, r) = d.apply(&d.initial(), &DetOp::Resolve, 1).unwrap();
+        assert_eq!(r, DetResp::Resolved(None, None));
+    }
+
+    #[test]
+    fn exec_without_prep_is_illegal() {
+        let d = dreg();
+        assert!(d.apply(&d.initial(), &DetOp::Exec, 0).is_none());
+    }
+
+    #[test]
+    fn double_exec_is_illegal() {
+        let d = dreg();
+        let s0 = d.initial();
+        let (s1, _) =
+            d.apply(&s0, &DetOp::Prep { op: RegisterOp::Write(3), seq: 0 }, 0).unwrap();
+        let (s2, _) = d.apply(&s1, &DetOp::Exec, 0).unwrap();
+        assert!(d.apply(&s2, &DetOp::Exec, 0).is_none(), "R[pᵢ] ≠ ⊥");
+    }
+
+    #[test]
+    fn prep_is_idempotent() {
+        let d = dreg();
+        let s0 = d.initial();
+        let p = DetOp::Prep { op: RegisterOp::Write(1), seq: 4 };
+        let (s1, _) = d.apply(&s0, &p, 0).unwrap();
+        let (s2, _) = d.apply(&s1, &p, 0).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn re_prep_resets_result() {
+        let d = dreg();
+        let s0 = d.initial();
+        let (s, _) = d.apply(&s0, &DetOp::Prep { op: RegisterOp::Write(1), seq: 0 }, 0).unwrap();
+        let (s, _) = d.apply(&s, &DetOp::Exec, 0).unwrap();
+        let (s, _) = d.apply(&s, &DetOp::Prep { op: RegisterOp::Write(2), seq: 1 }, 0).unwrap();
+        let (_, r) = d.apply(&s, &DetOp::Resolve, 0).unwrap();
+        assert_eq!(r, DetResp::Resolved(Some((RegisterOp::Write(2), 1)), None));
+    }
+
+    #[test]
+    fn resolve_is_idempotent() {
+        let d = dreg();
+        let s0 = d.initial();
+        let (s, _) = d.apply(&s0, &DetOp::Prep { op: RegisterOp::Write(1), seq: 0 }, 0).unwrap();
+        let (s, _) = d.apply(&s, &DetOp::Exec, 0).unwrap();
+        let (s1, r1) = d.apply(&s, &DetOp::Resolve, 0).unwrap();
+        let (s2, r2) = d.apply(&s1, &DetOp::Resolve, 0).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn per_process_state_is_independent() {
+        let d = dreg();
+        let s0 = d.initial();
+        let (s, _) = d.apply(&s0, &DetOp::Prep { op: RegisterOp::Write(9), seq: 0 }, 0).unwrap();
+        let (_, r) = d.apply(&s, &DetOp::Resolve, 1).unwrap();
+        assert_eq!(r, DetResp::Resolved(None, None), "process 1 never prepared");
+    }
+
+    #[test]
+    fn plain_ops_do_not_touch_detection_state() {
+        let d = dreg();
+        let s0 = d.initial();
+        let (s, r) = d.apply(&s0, &DetOp::Plain(RegisterOp::Write(5)), 0).unwrap();
+        assert_eq!(r, DetResp::Ret(RegisterResp::Ok));
+        assert_eq!(s.inner, 5);
+        assert_eq!(s.prepared, vec![None, None]);
+        assert_eq!(s.result, vec![None, None]);
+    }
+
+    #[test]
+    fn exec_observes_interleaved_plain_ops() {
+        // prep read; another process writes; exec returns the *new* value —
+        // exec takes effect at its own point in the sequential order.
+        let d = dreg();
+        let s0 = d.initial();
+        let (s, _) = d.apply(&s0, &DetOp::Prep { op: RegisterOp::Read, seq: 0 }, 0).unwrap();
+        let (s, _) = d.apply(&s, &DetOp::Plain(RegisterOp::Write(42)), 1).unwrap();
+        let (_, r) = d.apply(&s, &DetOp::Exec, 0).unwrap();
+        assert_eq!(r, DetResp::Ret(RegisterResp::Value(42)));
+    }
+
+    #[test]
+    fn detectable_queue_end_to_end() {
+        let d = Detectable::new(QueueSpec, 2);
+        let s0 = d.initial();
+        let (s, _) = d.apply(&s0, &DetOp::Prep { op: QueueOp::Enqueue(10), seq: 0 }, 0).unwrap();
+        let (s, r) = d.apply(&s, &DetOp::Exec, 0).unwrap();
+        assert_eq!(r, DetResp::Ret(QueueResp::Ok));
+        let (s, _) = d.apply(&s, &DetOp::Prep { op: QueueOp::Dequeue, seq: 0 }, 1).unwrap();
+        let (s, r) = d.apply(&s, &DetOp::Exec, 1).unwrap();
+        assert_eq!(r, DetResp::Ret(QueueResp::Value(10)));
+        let (_, r) = d.apply(&s, &DetOp::Resolve, 1).unwrap();
+        assert_eq!(
+            r,
+            DetResp::Resolved(Some((QueueOp::Dequeue, 0)), Some(QueueResp::Value(10)))
+        );
+    }
+
+    #[test]
+    fn nesting_detectable_of_detectable_composes() {
+        // D⟨D⟨register⟩⟩ is a perfectly good sequential spec: the
+        // transformation is closed over the trait (the "no N in DSS"
+        // discussion of §2.2).
+        let dd = Detectable::new(Detectable::new(RegisterSpec, 2), 2);
+        let s0 = dd.initial();
+        let inner_op = DetOp::Prep { op: RegisterOp::Write(1), seq: 0 };
+        let (s, _) = dd
+            .apply(&s0, &DetOp::Prep { op: inner_op.clone(), seq: 0 }, 0)
+            .unwrap();
+        let (s, r) = dd.apply(&s, &DetOp::Exec, 0).unwrap();
+        // Executing the outer exec performs the inner *prep*.
+        assert_eq!(r, DetResp::Ret(DetResp::Ack));
+        let (_, r) = dd.apply(&s, &DetOp::Resolve, 0).unwrap();
+        assert_eq!(r, DetResp::Resolved(Some((inner_op, 0)), Some(DetResp::Ack)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pid_out_of_range_panics() {
+        let d = dreg();
+        let _ = d.apply(&d.initial(), &DetOp::Resolve, 5);
+    }
+}

@@ -1,0 +1,57 @@
+//! Sequential specifications and the detectable transformation `D⟨T⟩`.
+//!
+//! This crate is the formal heart of the reproduction of Li & Golab,
+//! *Detectable Sequential Specifications for Recoverable Shared Objects*
+//! (DISC 2021). The paper models an object type `T` as a sequential
+//! specification `(S, s0, OP, R, δ, ρ)` and defines a *transformation*
+//! `T ↦ D⟨T⟩` (§2.1, Figure 1) that augments `T` with auxiliary operations:
+//!
+//! * `prep-op` — declare the intent to apply `op` detectably (Axiom 1);
+//! * `exec-op` — apply the prepared operation (Axiom 2);
+//! * `resolve` — report the prepared operation and, if it took effect, its
+//!   response (Axiom 3);
+//! * every original `op` remains available non-detectably (Axiom 4).
+//!
+//! Here [`SequentialSpec`] encodes `(S, s0, OP, R, δ, ρ)` and
+//! [`Detectable`] implements the transformation generically, for *any*
+//! sequential type. The [`types`] module provides the canonical base types
+//! used throughout the paper and its experiments: read/write register,
+//! compare-and-swap object, fetch-and-add counter, FIFO queue, and stack.
+//!
+//! Concurrent correctness (linearizability and its crash-aware relatives)
+//! lives in the companion `dss-checker` crate; per the paper's approach, the
+//! DSS is "used in tandem with an off-the-shelf correctness condition".
+//!
+//! # Example: the DSS of a register (paper Figure 2)
+//!
+//! ```
+//! use dss_spec::{Detectable, DetOp, DetResp, SequentialSpec};
+//! use dss_spec::types::{RegisterOp, RegisterResp, RegisterSpec};
+//!
+//! let spec = Detectable::new(RegisterSpec, 2);
+//! let s0 = spec.initial();
+//!
+//! // Process 0 prepares and executes write(1), then resolves (Fig. 2a).
+//! let (s1, r) = spec
+//!     .apply(&s0, &DetOp::Prep { op: RegisterOp::Write(1), seq: 0 }, 0)
+//!     .expect("prep is total");
+//! assert_eq!(r, DetResp::Ack);
+//! let (s2, r) = spec.apply(&s1, &DetOp::Exec, 0).expect("prepared");
+//! assert_eq!(r, DetResp::Ret(RegisterResp::Ok));
+//! let (_s3, r) = spec.apply(&s2, &DetOp::Resolve, 0).expect("resolve is total");
+//! assert_eq!(
+//!     r,
+//!     DetResp::Resolved(Some((RegisterOp::Write(1), 0)), Some(RegisterResp::Ok))
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs, missing_debug_implementations)]
+
+mod detectable;
+mod seq;
+
+pub mod types;
+
+pub use detectable::{DetOp, DetResp, DetState, Detectable};
+pub use seq::{ProcId, SequentialSpec};

@@ -1,0 +1,122 @@
+//! The sequential-specification trait.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Process (thread) identifier.
+///
+/// The paper assumes "a set Π of processes … where each process pᵢ has a
+/// distinct ID i", and that a process recovers under the same ID (§2). IDs
+/// are small dense integers, used to index per-process recovery state.
+pub type ProcId = usize;
+
+/// A sequential specification `T = (S, s0, OP, R, δ, ρ)` (paper §2.1).
+///
+/// * [`State`](Self::State) is `S`; [`initial`](Self::initial) is `s0`.
+/// * [`Op`](Self::Op) is `OP`; [`Resp`](Self::Resp) is `R`.
+/// * [`apply`](Self::apply) combines the transition function `δ` and the
+///   response function `ρ`; both take the process ID because "a detectable
+///   type encodes special recovery state for each process, and some of the
+///   operations query this state directly" (footnote 2).
+///
+/// `apply` returns `None` when no axiom of the specification permits `op` in
+/// `state` (a violated precondition). Base types are typically total and
+/// never return `None`; the detectable transformation
+/// [`Detectable`](crate::Detectable) is partial (e.g. `exec` without a
+/// pending `prep` is illegal).
+///
+/// Specifications are value objects: implementations are usually unit
+/// structs, but `&self` allows parameterized types (bounded queues, etc.).
+///
+/// # Examples
+///
+/// ```
+/// use dss_spec::{ProcId, SequentialSpec};
+///
+/// /// A saturating 8-bit counter.
+/// #[derive(Debug)]
+/// struct SatCounter;
+///
+/// impl SequentialSpec for SatCounter {
+///     type State = u8;
+///     type Op = ();
+///     type Resp = u8;
+///     fn initial(&self) -> u8 { 0 }
+///     fn apply(&self, s: &u8, _op: &(), _p: ProcId) -> Option<(u8, u8)> {
+///         Some((s.saturating_add(1), *s))
+///     }
+/// }
+///
+/// let c = SatCounter;
+/// let (s1, old) = c.apply(&c.initial(), &(), 0).unwrap();
+/// assert_eq!((s1, old), (1, 0));
+/// ```
+pub trait SequentialSpec {
+    /// Abstract states `S`.
+    type State: Clone + Eq + Hash + Debug;
+    /// Operations `OP`.
+    type Op: Clone + Eq + Hash + Debug;
+    /// Responses `R`.
+    type Resp: Clone + Eq + Hash + Debug;
+
+    /// The initial state `s0`.
+    fn initial(&self) -> Self::State;
+
+    /// Applies `op` by process `pid` in `state`, returning the new state
+    /// `δ(s, op, pid)` and response `ρ(s, op, pid)`, or `None` when the
+    /// operation's precondition does not hold in `state`.
+    fn apply(
+        &self,
+        state: &Self::State,
+        op: &Self::Op,
+        pid: ProcId,
+    ) -> Option<(Self::State, Self::Resp)>;
+
+    /// Runs a whole sequence of `(op, pid)` pairs from the initial state,
+    /// returning the responses, or `None` if any step is illegal.
+    ///
+    /// Convenience for tests and reference executions.
+    fn run<'a, I>(&self, script: I) -> Option<Vec<Self::Resp>>
+    where
+        Self::Op: 'a,
+        I: IntoIterator<Item = (&'a Self::Op, ProcId)>,
+    {
+        let mut state = self.initial();
+        let mut out = Vec::new();
+        for (op, pid) in script {
+            let (next, resp) = self.apply(&state, op, pid)?;
+            state = next;
+            out.push(resp);
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{QueueOp, QueueResp, QueueSpec};
+
+    #[test]
+    fn run_threads_state_through() {
+        let q = QueueSpec;
+        let script = [
+            (QueueOp::Enqueue(1), 0),
+            (QueueOp::Enqueue(2), 1),
+            (QueueOp::Dequeue, 0),
+            (QueueOp::Dequeue, 1),
+            (QueueOp::Dequeue, 0),
+        ];
+        let resps = q.run(script.iter().map(|(op, p)| (op, *p))).unwrap();
+        assert_eq!(
+            resps,
+            vec![
+                QueueResp::Ok,
+                QueueResp::Ok,
+                QueueResp::Value(1),
+                QueueResp::Value(2),
+                QueueResp::Empty,
+            ]
+        );
+    }
+}

@@ -1,0 +1,364 @@
+//! Canonical sequential object types.
+//!
+//! Values are `u64` throughout — the natural width of the persistent-memory
+//! simulator's words and of the 64-bit failure-atomic writes current
+//! hardware offers (paper footnote 1). Each type is total: every operation
+//! is legal in every state (`apply` never returns `None`), so partiality
+//! only ever comes from the detectable transformation's preconditions.
+
+use crate::{ProcId, SequentialSpec};
+use std::collections::VecDeque;
+
+// ---------------------------------------------------------------------------
+// Read/write register
+// ---------------------------------------------------------------------------
+
+/// Operations of a read/write register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegisterOp {
+    /// Return the current value.
+    Read,
+    /// Replace the current value.
+    Write(u64),
+}
+
+/// Responses of a read/write register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum RegisterResp {
+    /// Acknowledgement of a write.
+    Ok,
+    /// The value returned by a read.
+    Value(u64),
+}
+
+/// A multi-reader multi-writer register initialized to 0 (the base object of
+/// paper Figure 2).
+///
+/// # Examples
+///
+/// ```
+/// use dss_spec::SequentialSpec;
+/// use dss_spec::types::{RegisterOp, RegisterResp, RegisterSpec};
+///
+/// let r = RegisterSpec;
+/// let (s, _) = r.apply(&r.initial(), &RegisterOp::Write(3), 0).unwrap();
+/// let (_, v) = r.apply(&s, &RegisterOp::Read, 1).unwrap();
+/// assert_eq!(v, RegisterResp::Value(3));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RegisterSpec;
+
+impl SequentialSpec for RegisterSpec {
+    type State = u64;
+    type Op = RegisterOp;
+    type Resp = RegisterResp;
+
+    fn initial(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, s: &u64, op: &RegisterOp, _pid: ProcId) -> Option<(u64, RegisterResp)> {
+        Some(match op {
+            RegisterOp::Read => (*s, RegisterResp::Value(*s)),
+            RegisterOp::Write(v) => (*v, RegisterResp::Ok),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compare-and-swap object
+// ---------------------------------------------------------------------------
+
+/// Operations of a compare-and-swap object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CasOp {
+    /// Return the current value.
+    Read,
+    /// If the current value equals `expected`, replace it with `new`.
+    Cas {
+        /// Value the object must currently hold.
+        expected: u64,
+        /// Replacement value on success.
+        new: u64,
+    },
+}
+
+/// Responses of a compare-and-swap object.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CasResp {
+    /// The value returned by a read.
+    Value(u64),
+    /// Whether a CAS succeeded.
+    Done(bool),
+}
+
+/// A CAS object initialized to 0 — the second base-object type of the DSS
+/// queue ("an implementation of a DSS-based detectable queue from
+/// read/write register and Compare-And-Swap base objects", §2.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CasSpec;
+
+impl SequentialSpec for CasSpec {
+    type State = u64;
+    type Op = CasOp;
+    type Resp = CasResp;
+
+    fn initial(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, s: &u64, op: &CasOp, _pid: ProcId) -> Option<(u64, CasResp)> {
+        Some(match op {
+            CasOp::Read => (*s, CasResp::Value(*s)),
+            CasOp::Cas { expected, new } => {
+                if s == expected {
+                    (*new, CasResp::Done(true))
+                } else {
+                    (*s, CasResp::Done(false))
+                }
+            }
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fetch-and-add counter
+// ---------------------------------------------------------------------------
+
+/// Operations of a fetch-and-add counter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CounterOp {
+    /// Return the current count.
+    Read,
+    /// Add `u64` to the count, returning the previous value (wrapping).
+    FetchAdd(u64),
+}
+
+/// Responses of a fetch-and-add counter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CounterResp {
+    /// The current or previous count.
+    Value(u64),
+}
+
+/// A wrapping fetch-and-add counter initialized to 0.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct CounterSpec;
+
+impl SequentialSpec for CounterSpec {
+    type State = u64;
+    type Op = CounterOp;
+    type Resp = CounterResp;
+
+    fn initial(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, s: &u64, op: &CounterOp, _pid: ProcId) -> Option<(u64, CounterResp)> {
+        Some(match op {
+            CounterOp::Read => (*s, CounterResp::Value(*s)),
+            CounterOp::FetchAdd(d) => (s.wrapping_add(*d), CounterResp::Value(*s)),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FIFO queue
+// ---------------------------------------------------------------------------
+
+/// Operations of a FIFO queue.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum QueueOp {
+    /// Append a value at the tail.
+    Enqueue(u64),
+    /// Remove the value at the head.
+    Dequeue,
+}
+
+/// Responses of a FIFO queue.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum QueueResp {
+    /// Acknowledgement of an enqueue.
+    Ok,
+    /// The dequeued value.
+    Value(u64),
+    /// The queue was empty (the paper's special `EMPTY` response).
+    Empty,
+}
+
+/// An unbounded FIFO queue — the type whose detectable embodiment
+/// `D⟨queue⟩` the DSS queue algorithm implements (paper §3).
+///
+/// # Examples
+///
+/// ```
+/// use dss_spec::SequentialSpec;
+/// use dss_spec::types::{QueueOp, QueueResp, QueueSpec};
+///
+/// let q = QueueSpec;
+/// let (s, _) = q.apply(&q.initial(), &QueueOp::Enqueue(7), 0).unwrap();
+/// let (s, r) = q.apply(&s, &QueueOp::Dequeue, 1).unwrap();
+/// assert_eq!(r, QueueResp::Value(7));
+/// let (_, r) = q.apply(&s, &QueueOp::Dequeue, 1).unwrap();
+/// assert_eq!(r, QueueResp::Empty);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct QueueSpec;
+
+impl SequentialSpec for QueueSpec {
+    type State = VecDeque<u64>;
+    type Op = QueueOp;
+    type Resp = QueueResp;
+
+    fn initial(&self) -> VecDeque<u64> {
+        VecDeque::new()
+    }
+
+    fn apply(
+        &self,
+        s: &VecDeque<u64>,
+        op: &QueueOp,
+        _pid: ProcId,
+    ) -> Option<(VecDeque<u64>, QueueResp)> {
+        let mut s = s.clone();
+        Some(match op {
+            QueueOp::Enqueue(v) => {
+                s.push_back(*v);
+                (s, QueueResp::Ok)
+            }
+            QueueOp::Dequeue => match s.pop_front() {
+                Some(v) => (s, QueueResp::Value(v)),
+                None => (s, QueueResp::Empty),
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LIFO stack
+// ---------------------------------------------------------------------------
+
+/// Operations of a LIFO stack.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StackOp {
+    /// Push a value.
+    Push(u64),
+    /// Pop the most recently pushed value.
+    Pop,
+}
+
+/// Responses of a LIFO stack.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum StackResp {
+    /// Acknowledgement of a push.
+    Ok,
+    /// The popped value.
+    Value(u64),
+    /// The stack was empty.
+    Empty,
+}
+
+/// An unbounded LIFO stack, used to exercise the universal construction on a
+/// second container type.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StackSpec;
+
+impl SequentialSpec for StackSpec {
+    type State = Vec<u64>;
+    type Op = StackOp;
+    type Resp = StackResp;
+
+    fn initial(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    fn apply(&self, s: &Vec<u64>, op: &StackOp, _pid: ProcId) -> Option<(Vec<u64>, StackResp)> {
+        let mut s = s.clone();
+        Some(match op {
+            StackOp::Push(v) => {
+                s.push(*v);
+                (s, StackResp::Ok)
+            }
+            StackOp::Pop => match s.pop() {
+                Some(v) => (s, StackResp::Value(v)),
+                None => (s, StackResp::Empty),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_read_write() {
+        let r = RegisterSpec;
+        assert_eq!(r.initial(), 0);
+        let (s, resp) = r.apply(&0, &RegisterOp::Read, 0).unwrap();
+        assert_eq!((s, resp), (0, RegisterResp::Value(0)));
+        let (s, resp) = r.apply(&0, &RegisterOp::Write(5), 0).unwrap();
+        assert_eq!((s, resp), (5, RegisterResp::Ok));
+    }
+
+    #[test]
+    fn cas_success_failure_and_read() {
+        let c = CasSpec;
+        let (s, r) = c.apply(&0, &CasOp::Cas { expected: 0, new: 3 }, 0).unwrap();
+        assert_eq!((s, r), (3, CasResp::Done(true)));
+        let (s, r) = c.apply(&3, &CasOp::Cas { expected: 0, new: 9 }, 1).unwrap();
+        assert_eq!((s, r), (3, CasResp::Done(false)));
+        let (_, r) = c.apply(&3, &CasOp::Read, 0).unwrap();
+        assert_eq!(r, CasResp::Value(3));
+    }
+
+    #[test]
+    fn counter_fetch_add_returns_old_value() {
+        let c = CounterSpec;
+        let (s, r) = c.apply(&10, &CounterOp::FetchAdd(5), 0).unwrap();
+        assert_eq!((s, r), (15, CounterResp::Value(10)));
+        let (s, r) = c.apply(&u64::MAX, &CounterOp::FetchAdd(1), 0).unwrap();
+        assert_eq!((s, r), (0, CounterResp::Value(u64::MAX)), "wraps");
+    }
+
+    #[test]
+    fn queue_fifo_order_and_empty() {
+        let q = QueueSpec;
+        let mut s = q.initial();
+        for v in [1, 2, 3] {
+            s = q.apply(&s, &QueueOp::Enqueue(v), 0).unwrap().0;
+        }
+        for expect in [1, 2, 3] {
+            let (next, r) = q.apply(&s, &QueueOp::Dequeue, 1).unwrap();
+            assert_eq!(r, QueueResp::Value(expect));
+            s = next;
+        }
+        let (_, r) = q.apply(&s, &QueueOp::Dequeue, 1).unwrap();
+        assert_eq!(r, QueueResp::Empty);
+    }
+
+    #[test]
+    fn stack_lifo_order_and_empty() {
+        let st = StackSpec;
+        let mut s = st.initial();
+        for v in [1, 2, 3] {
+            s = st.apply(&s, &StackOp::Push(v), 0).unwrap().0;
+        }
+        for expect in [3, 2, 1] {
+            let (next, r) = st.apply(&s, &StackOp::Pop, 0).unwrap();
+            assert_eq!(r, StackResp::Value(expect));
+            s = next;
+        }
+        let (_, r) = st.apply(&s, &StackOp::Pop, 0).unwrap();
+        assert_eq!(r, StackResp::Empty);
+    }
+
+    #[test]
+    fn specs_are_pid_agnostic() {
+        // Base types ignore the process ID; only D⟨T⟩ uses it.
+        let q = QueueSpec;
+        let a = q.apply(&q.initial(), &QueueOp::Enqueue(1), 0).unwrap();
+        let b = q.apply(&q.initial(), &QueueOp::Enqueue(1), 7).unwrap();
+        assert_eq!(a, b);
+    }
+}

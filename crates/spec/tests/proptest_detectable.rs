@@ -1,0 +1,168 @@
+//! Property-based tests for the detectable transformation.
+//!
+//! These check the DSS axioms (paper Figure 1) against randomly generated
+//! operation scripts over `D⟨queue⟩` with several processes.
+
+use proptest::prelude::*;
+
+use dss_spec::types::{QueueOp, QueueSpec};
+use dss_spec::{DetOp, DetResp, Detectable, SequentialSpec};
+
+const NPROCS: usize = 3;
+
+fn arb_queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![
+        (0u64..100).prop_map(QueueOp::Enqueue),
+        Just(QueueOp::Dequeue),
+    ]
+}
+
+fn arb_det_op() -> impl Strategy<Value = DetOp<QueueOp>> {
+    prop_oneof![
+        (arb_queue_op(), 0u64..4).prop_map(|(op, seq)| DetOp::Prep { op, seq }),
+        Just(DetOp::Exec),
+        Just(DetOp::Resolve),
+        arb_queue_op().prop_map(DetOp::Plain),
+    ]
+}
+
+fn arb_script() -> impl Strategy<Value = Vec<(DetOp<QueueOp>, usize)>> {
+    prop::collection::vec((arb_det_op(), 0..NPROCS), 0..40)
+}
+
+/// Runs a script, skipping steps whose preconditions fail (an application
+/// would never issue them), and returns the trace of applied steps.
+fn run_legal(
+    spec: &Detectable<QueueSpec>,
+    script: &[(DetOp<QueueOp>, usize)],
+) -> Vec<(DetOp<QueueOp>, usize, DetResp<QueueOp, <QueueSpec as SequentialSpec>::Resp>)> {
+    let mut state = spec.initial();
+    let mut trace = Vec::new();
+    for (op, pid) in script {
+        if let Some((next, resp)) = spec.apply(&state, op, *pid) {
+            state = next;
+            trace.push((op.clone(), *pid, resp));
+        }
+    }
+    trace
+}
+
+proptest! {
+    /// Plain operations on D⟨T⟩ behave exactly like T.
+    #[test]
+    fn plain_ops_mirror_base_type(ops in prop::collection::vec((arb_queue_op(), 0..NPROCS), 0..40)) {
+        let base = QueueSpec;
+        let det = Detectable::new(QueueSpec, NPROCS);
+        let mut bs = base.initial();
+        let mut ds = det.initial();
+        for (op, pid) in &ops {
+            let (bs2, br) = base.apply(&bs, op, *pid).unwrap();
+            let (ds2, dr) = det.apply(&ds, &DetOp::Plain(*op), *pid).unwrap();
+            prop_assert_eq!(DetResp::Ret(br), dr);
+            bs = bs2;
+            ds = ds2;
+            prop_assert_eq!(&bs, &ds.inner);
+        }
+    }
+
+    /// After any legal script, each process's resolve answer reflects its
+    /// most recent prep and whether an exec followed it.
+    #[test]
+    fn resolve_reports_last_prep_and_effect(script in arb_script()) {
+        let det = Detectable::new(QueueSpec, NPROCS);
+        let mut state = det.initial();
+        // Shadow bookkeeping maintained independently from the spec.
+        let mut last_prep: Vec<Option<(QueueOp, u64)>> = vec![None; NPROCS];
+        let mut last_result: Vec<Option<_>> = vec![None; NPROCS];
+        for (op, pid) in &script {
+            let Some((next, resp)) = det.apply(&state, op, *pid) else { continue };
+            match op {
+                DetOp::Prep { op, seq } => {
+                    last_prep[*pid] = Some((*op, *seq));
+                    last_result[*pid] = None;
+                }
+                DetOp::Exec => {
+                    let DetResp::Ret(r) = &resp else { panic!("exec returns Ret") };
+                    last_result[*pid] = Some(r.clone());
+                }
+                DetOp::Resolve => {
+                    prop_assert_eq!(
+                        &resp,
+                        &DetResp::Resolved(last_prep[*pid], last_result[*pid].clone())
+                    );
+                }
+                DetOp::Plain(_) => {}
+            }
+            state = next;
+        }
+        // Final resolves agree with the bookkeeping for every process.
+        for pid in 0..NPROCS {
+            let (_, resp) = det.apply(&state, &DetOp::Resolve, pid).unwrap();
+            prop_assert_eq!(
+                resp,
+                DetResp::Resolved(last_prep[pid], last_result[pid].clone())
+            );
+        }
+    }
+
+    /// The base state reached through D⟨T⟩ equals the base state reached by
+    /// applying the effective operations (execs resolve to their prepared
+    /// op) directly to T: the transformation adds bookkeeping, never new
+    /// base behaviour.
+    #[test]
+    fn projection_to_base_type(script in arb_script()) {
+        let det = Detectable::new(QueueSpec, NPROCS);
+        let base = QueueSpec;
+        let trace = run_legal(&det, &script);
+
+        // Replay the trace through the detectable spec.
+        let mut ds = det.initial();
+        for (op, pid, _) in &trace {
+            ds = det.apply(&ds, op, *pid).unwrap().0;
+        }
+
+        // Project: Prep/Resolve vanish, Exec becomes its prepared op.
+        let mut bs = base.initial();
+        let mut pending: Vec<Option<QueueOp>> = vec![None; NPROCS];
+        for (op, pid, _) in &trace {
+            match op {
+                DetOp::Prep { op, .. } => pending[*pid] = Some(*op),
+                DetOp::Exec => {
+                    let op = pending[*pid].expect("exec only legal after prep");
+                    bs = base.apply(&bs, &op, *pid).unwrap().0;
+                }
+                DetOp::Plain(op) => bs = base.apply(&bs, op, *pid).unwrap().0,
+                DetOp::Resolve => {}
+            }
+        }
+        prop_assert_eq!(bs, ds.inner);
+    }
+
+    /// Exec is never legal twice without an intervening prep (Axiom 2's
+    /// precondition R[pᵢ] = ⊥).
+    #[test]
+    fn no_double_exec(script in arb_script()) {
+        let det = Detectable::new(QueueSpec, NPROCS);
+        let mut state = det.initial();
+        let mut executed: Vec<bool> = vec![false; NPROCS];
+        for (op, pid) in &script {
+            match det.apply(&state, op, *pid) {
+                Some((next, _)) => {
+                    match op {
+                        DetOp::Exec => {
+                            prop_assert!(!executed[*pid], "double exec permitted");
+                            executed[*pid] = true;
+                        }
+                        DetOp::Prep { .. } => executed[*pid] = false,
+                        _ => {}
+                    }
+                    state = next;
+                }
+                None => {
+                    // Illegal exec must be exactly the no-prep / double-exec case.
+                    prop_assert!(matches!(op, DetOp::Exec));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Application-managed nesting of DSS-based objects (paper §2.2) and the
+//! universal construction.
+//!
+//! The paper's answer to "DSS does not support nesting": there is no "N"
+//! in DSS because nesting is the *application's* job — and this example is
+//! that application. It composes three detectable objects:
+//!
+//! * a [`DetectableRegister`] (`D⟨register⟩`, the object of Figure 2),
+//! * a [`DetectableCas`] (`D⟨CAS⟩`),
+//! * a [`Universal`] construction instantiating `D⟨counter⟩` — the
+//!   "wait-free recoverable implementation of D⟨T⟩ for any conventional
+//!   type T" route of §2.2,
+//!
+//! into a tiny crash-safe configuration service: a config epoch (CAS), the
+//! active config value (register), and an audit counter (universal),
+//! updated in a fixed order with per-object detection driving redo logic
+//! after a crash at every possible point.
+//!
+//! ```text
+//! cargo run --example nested_objects
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use dss::core::{DetectableCas, DetectableRegister, Universal};
+use dss::pmem::{CrashSignal, WritebackAdversary};
+use dss::spec::types::{CounterOp, CounterSpec};
+
+/// One "publish configuration" transaction over the three nested objects:
+/// bump the epoch (CAS old→new), write the config value, count the audit
+/// event. Each step is detectable, so a crash anywhere is recoverable.
+fn publish(
+    tid: usize,
+    seq: u64,
+    epoch: &DetectableCas,
+    config: &DetectableRegister,
+    audit: &Universal<CounterSpec>,
+    old_epoch: u64,
+    value: u64,
+) {
+    epoch.prep_cas(tid, old_epoch, old_epoch + 1, seq);
+    assert!(epoch.exec_cas(tid), "single publisher: the CAS cannot fail");
+    config.prep_write(tid, value, seq);
+    config.exec_write(tid);
+    audit.prep(tid, CounterOp::FetchAdd(1), seq);
+    audit.exec(tid);
+}
+
+/// After a crash: resolve each object in program order and redo exactly
+/// the steps that did not take effect. Returns how many steps were redone.
+fn recover_publish(
+    tid: usize,
+    seq: u64,
+    epoch: &DetectableCas,
+    config: &DetectableRegister,
+    audit: &Universal<CounterSpec>,
+    old_epoch: u64,
+    value: u64,
+) -> usize {
+    let mut redone = 0;
+
+    // Step 1: the epoch CAS. (op, resp): resp None ⇒ no effect ⇒ redo.
+    let r = epoch.resolve(tid);
+    if r.op != Some((old_epoch, old_epoch + 1, seq)) || r.resp.is_none() {
+        epoch.prep_cas(tid, old_epoch, old_epoch + 1, seq);
+        assert!(epoch.exec_cas(tid));
+        redone += 1;
+    }
+
+    // Step 2: the config write.
+    let r = config.resolve(tid);
+    if r.op != Some((value, seq)) || r.resp.is_none() {
+        config.prep_write(tid, value, seq);
+        config.exec_write(tid);
+        redone += 1;
+    }
+
+    // Step 3: the audit increment.
+    let (op, resp) = audit.resolve(tid);
+    if op != Some((CounterOp::FetchAdd(1), seq)) || resp.is_none() {
+        audit.prep(tid, CounterOp::FetchAdd(1), seq);
+        audit.exec(tid);
+        redone += 1;
+    }
+
+    redone
+}
+
+fn main() {
+    const TID: usize = 0;
+
+    // Sweep a crash over *every* memory-operation index of the composite
+    // transaction. Each iteration uses fresh objects (sharing a pool would
+    // need a shared crash, which the per-object pools make awkward; the
+    // protocol is identical either way).
+    let mut k = 1;
+    let mut covered = 0;
+    loop {
+        let epoch = DetectableCas::new(1, 16);
+        let config = DetectableRegister::new(1, 16);
+        let audit = Universal::new(CounterSpec, 1, 16);
+
+        // Arm the same countdown on all three pools: whichever object the
+        // k-th operation lands in crashes the "machine".
+        epoch.pool().arm_crash_after(k);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            publish(TID, 1, &epoch, &config, &audit, 0, 0xC0FFEE);
+        }));
+        epoch.pool().disarm_crash();
+
+        let crashed = match r {
+            Ok(()) => false,
+            Err(p) if p.downcast_ref::<CrashSignal>().is_some() => true,
+            Err(p) => std::panic::resume_unwind(p),
+        };
+        if crashed {
+            covered += 1;
+            // The shared countdown crossed object boundaries, so crash all
+            // three pools (a system-wide failure).
+            epoch.pool().crash(&WritebackAdversary::None);
+            config.pool().crash(&WritebackAdversary::None);
+            audit.pool().crash(&WritebackAdversary::None);
+            epoch.rebuild_allocator();
+            config.rebuild_allocator();
+            audit.rebuild_allocator();
+
+            let redone = recover_publish(TID, 1, &epoch, &config, &audit, 0, 0xC0FFEE);
+            if k % 8 == 1 {
+                println!("crash at op {k:>3}: redid {redone} of 3 steps");
+            }
+        }
+
+        // The composite state must be fully published exactly once.
+        assert_eq!(epoch.read(TID), 1, "k={k}");
+        assert_eq!(config.read(TID), 0xC0FFEE, "k={k}");
+        assert_eq!(audit.state(), 1, "k={k}");
+
+        if !crashed {
+            break; // the whole transaction ran before reaching k
+        }
+        k += 1;
+    }
+    println!(
+        "ok: nested detectable objects recovered exactly-once at all {covered} crash points"
+    );
+}

@@ -1,0 +1,21 @@
+//! Facade crate for the DSS reproduction workspace.
+//!
+//! Re-exports every sub-crate under one roof so the repository-level
+//! examples and integration tests have a single dependency. See the
+//! individual crates for the real documentation:
+//!
+//! * [`pmem`] — persistent-memory simulator (volatile cache, flush, crash).
+//! * [`spec`] — sequential specifications and the `D⟨T⟩` transformation.
+//! * [`checker`] — histories and (crash-aware) linearizability checkers.
+//! * [`core`] — the DSS queue and other detectable recoverable objects.
+//! * [`pmwcas`] — persistent multi-word CAS and the CASWithEffect queues.
+//! * [`baselines`] — MS queue, durable queue, log queue.
+//! * [`harness`] — workloads, throughput runner, crash sweeps, experiments.
+
+pub use dss_baselines as baselines;
+pub use dss_checker as checker;
+pub use dss_core as core;
+pub use dss_harness as harness;
+pub use dss_pmem as pmem;
+pub use dss_pmwcas as pmwcas;
+pub use dss_spec as spec;

@@ -1,0 +1,206 @@
+//! Property-based crash testing of the DSS queue.
+//!
+//! For arbitrary operation scripts, crash points, writeback adversaries,
+//! and flush granularities: after crash + recovery, `resolve` must answer
+//! consistently with the persisted queue state, and no value may be lost,
+//! duplicated, or invented.
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use proptest::prelude::*;
+
+use dss::core::{DssQueue, Resolved, ResolvedOp};
+use dss::pmem::{CrashSignal, FlushGranularity, WritebackAdversary};
+use dss::spec::types::QueueResp;
+
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    DetEnqueue,
+    DetDequeue,
+    PlainEnqueue,
+    PlainDequeue,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::DetEnqueue),
+        Just(Op::DetDequeue),
+        Just(Op::PlainEnqueue),
+        Just(Op::PlainDequeue),
+    ]
+}
+
+fn arb_adversary() -> impl Strategy<Value = WritebackAdversary> {
+    prop_oneof![
+        Just(WritebackAdversary::None),
+        Just(WritebackAdversary::All),
+        (0u64..1000, 0.0f64..=1.0)
+            .prop_map(|(seed, prob)| WritebackAdversary::Random { seed, prob }),
+    ]
+}
+
+fn arb_granularity() -> impl Strategy<Value = FlushGranularity> {
+    prop_oneof![Just(FlushGranularity::Line), Just(FlushGranularity::Word)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-threaded script with a crash at an arbitrary pmem-op index:
+    /// the post-crash resolution and queue contents are exactly consistent
+    /// with the pre-crash bookkeeping.
+    #[test]
+    fn crash_anywhere_never_loses_or_duplicates(
+        script in prop::collection::vec(arb_op(), 1..25),
+        crash_after in 1u64..600,
+        adversary in arb_adversary(),
+        granularity in arb_granularity(),
+    ) {
+        let q = DssQueue::with_granularity(1, 64, granularity);
+        // Bookkeeping that survives the unwind (the "application journal"),
+        // including which operation was in flight when the crash hit.
+        let enq_done: std::cell::RefCell<Vec<u64>> = Default::default();
+        let deq_done: std::cell::RefCell<Vec<u64>> = Default::default();
+        let in_flight: std::cell::RefCell<Option<(Op, u64)>> = Default::default();
+
+        q.pool().arm_crash_after(crash_after);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            for (i, op) in script.iter().enumerate() {
+                let v = 1000 + i as u64;
+                *in_flight.borrow_mut() = Some((*op, v));
+                match op {
+                    Op::DetEnqueue => {
+                        q.prep_enqueue(0, v).unwrap();
+                        q.exec_enqueue(0);
+                        enq_done.borrow_mut().push(v);
+                    }
+                    Op::PlainEnqueue => {
+                        q.enqueue(0, v).unwrap();
+                        enq_done.borrow_mut().push(v);
+                    }
+                    Op::DetDequeue => {
+                        q.prep_dequeue(0);
+                        if let QueueResp::Value(x) = q.exec_dequeue(0) {
+                            deq_done.borrow_mut().push(x);
+                        }
+                    }
+                    Op::PlainDequeue => {
+                        if let QueueResp::Value(x) = q.dequeue(0) {
+                            deq_done.borrow_mut().push(x);
+                        }
+                    }
+                }
+                *in_flight.borrow_mut() = None;
+            }
+        }));
+        q.pool().disarm_crash();
+        let crashed = match r {
+            Ok(()) => false,
+            Err(p) if p.downcast_ref::<CrashSignal>().is_some() => true,
+            Err(p) => resume_unwind(p),
+        };
+
+        if crashed {
+            q.pool().crash(&adversary);
+            q.recover();
+            q.rebuild_allocator();
+        }
+
+        let mut effective_enq: HashSet<u64> = enq_done.borrow().iter().copied().collect();
+        let mut effective_deq: HashSet<u64> = deq_done.borrow().iter().copied().collect();
+        if crashed {
+            match q.resolve(0) {
+                Resolved { op: Some(ResolvedOp::Enqueue(v)), resp: Some(QueueResp::Ok) } => {
+                    effective_enq.insert(v);
+                }
+                Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(QueueResp::Value(v)) } => {
+                    effective_deq.insert(v);
+                }
+                _ => {}
+            }
+        }
+
+        let remaining: Vec<u64> = q.snapshot_values();
+        let remaining_set: HashSet<u64> = remaining.iter().copied().collect();
+        prop_assert_eq!(remaining.len(), remaining_set.len(), "duplicate values in queue");
+
+        // A *plain* operation interrupted by the crash is exactly the case
+        // detectability exists for: the application cannot know whether it
+        // took effect, so the invariant grants it the benefit of the doubt.
+        let interrupted = if crashed { in_flight.borrow().clone() } else { None };
+        if let Some((Op::PlainEnqueue, v)) = interrupted {
+            if remaining_set.contains(&v) {
+                effective_enq.insert(v);
+            }
+        }
+        let plain_dequeue_interrupted = matches!(interrupted, Some((Op::PlainDequeue, _)));
+
+        for v in &effective_deq {
+            prop_assert!(effective_enq.contains(v), "dequeued {v} never enqueued");
+            prop_assert!(!remaining_set.contains(v), "{v} dequeued yet still present");
+        }
+        for v in &remaining_set {
+            prop_assert!(effective_enq.contains(v), "queued {v} never enqueued");
+        }
+        let vanished: Vec<u64> = effective_enq
+            .iter()
+            .filter(|v| !remaining_set.contains(v) && !effective_deq.contains(v))
+            .copied()
+            .collect();
+        if plain_dequeue_interrupted {
+            prop_assert!(
+                vanished.len() <= 1,
+                "at most the plain-dequeue victim may vanish: {vanished:?}"
+            );
+        } else {
+            prop_assert!(vanished.is_empty(), "effective enqueues vanished: {vanished:?}");
+        }
+
+        // FIFO order of the surviving prefix: remaining values must appear
+        // in increasing enqueue order (values increase with script index).
+        let mut sorted = remaining.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(remaining, sorted, "FIFO order violated after crash");
+    }
+
+    /// Without a crash, resolve always reports the last prepared operation
+    /// with its true outcome, no matter what preceded it.
+    #[test]
+    fn resolve_tracks_last_prepared_op(
+        script in prop::collection::vec(arb_op(), 1..30),
+    ) {
+        let q = DssQueue::new(1, 64);
+        let mut last: Option<Resolved> = None;
+        for (i, op) in script.iter().enumerate() {
+            let v = 1000 + i as u64;
+            match op {
+                Op::DetEnqueue => {
+                    q.prep_enqueue(0, v).unwrap();
+                    q.exec_enqueue(0);
+                    last = Some(Resolved {
+                        op: Some(ResolvedOp::Enqueue(v)),
+                        resp: Some(QueueResp::Ok),
+                    });
+                }
+                Op::DetDequeue => {
+                    q.prep_dequeue(0);
+                    let resp = q.exec_dequeue(0);
+                    last = Some(Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(resp) });
+                }
+                // Plain ops must not disturb detection state (Axiom 4).
+                Op::PlainEnqueue => {
+                    q.enqueue(0, v).unwrap();
+                }
+                Op::PlainDequeue => {
+                    let _ = q.dequeue(0);
+                }
+            }
+            if let Some(expected) = last {
+                prop_assert_eq!(q.resolve(0), expected, "step {}", i);
+            } else {
+                prop_assert_eq!(q.resolve(0), Resolved { op: None, resp: None });
+            }
+        }
+    }
+}
