@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Repository CI gate. Run from the workspace root; exits non-zero on the
+# first failure. The build environment is fully offline — everything here
+# works without network access.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> fig5a smoke (both backends, minimal sizes)"
+cargo run -q -p dss-harness --release --bin fig5a -- \
+    --threads 1 --ms 20 --repeats 1 \
+    --backend pmem --backend dram >/dev/null
+
+echo "CI green."

@@ -4,7 +4,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, NodePool, PAddr, PmemPool};
+use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
 use dss_spec::types::QueueResp;
 
 use crate::QueueFull;
@@ -50,8 +50,8 @@ const A_RV_BASE: u64 = 3;
 /// assert_eq!(q.dequeue(0), QueueResp::Value(7));
 /// assert_eq!(q.last_returned(0), Some(QueueResp::Value(7)));
 /// ```
-pub struct DurableQueue {
-    pool: Arc<PmemPool>,
+pub struct DurableQueue<M: Memory = PmemPool> {
+    pool: Arc<M>,
     nodes: NodePool,
     ebr: Ebr,
     nthreads: usize,
@@ -59,24 +59,33 @@ pub struct DurableQueue {
 
 impl DurableQueue {
     /// Creates a queue for `nthreads` threads with `nodes_per_thread`
-    /// pre-allocated nodes each.
+    /// pre-allocated nodes each, on a fresh line-granular [`PmemPool`].
     ///
     /// # Panics
     ///
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        Self::new_in(nthreads, nodes_per_thread)
+    }
+}
+
+impl<M: Memory> DurableQueue<M> {
+    /// Creates a queue on a freshly created backend of type `M`
+    /// ([`Memory::create`]) — the backend-generic constructor behind
+    /// [`new`](DurableQueue::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn new_in(nthreads: usize, nodes_per_thread: u64) -> Self {
         assert!(nthreads > 0 && nodes_per_thread > 0);
         let rv_end = A_RV_BASE + nthreads as u64;
         let sentinel = rv_end.next_multiple_of(NODE_WORDS);
         let region = sentinel + NODE_WORDS;
         let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
-        let pool = Arc::new(PmemPool::with_capacity(words as usize));
-        let nodes = NodePool::new(
-            PAddr::from_index(region),
-            NODE_WORDS,
-            nodes_per_thread,
-            nthreads,
-        );
+        let pool = Arc::new(M::create(words as usize, FlushGranularity::default()));
+        let nodes =
+            NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
         let q = DurableQueue { pool, nodes, ebr: Ebr::new(nthreads), nthreads };
         let s = PAddr::from_index(sentinel);
         q.pool.store(s.offset(F_VALUE), 0);
@@ -108,7 +117,7 @@ impl DurableQueue {
     }
 
     /// The queue's pool.
-    pub fn pool(&self) -> &Arc<PmemPool> {
+    pub fn pool(&self) -> &Arc<M> {
         &self.pool
     }
 
@@ -194,19 +203,14 @@ impl DurableQueue {
                 }
                 self.pool.flush(first.offset(F_NEXT));
                 let _ = self.pool.cas(self.tail(), last_w, next_w);
-            } else if self
-                .pool
-                .cas(next.offset(F_DEQ_TID), NO_DEQUEUER, tid as u64)
-                .is_ok()
-            {
+            } else if self.pool.cas(next.offset(F_DEQ_TID), NO_DEQUEUER, tid as u64).is_ok() {
                 self.pool.flush(next.offset(F_DEQ_TID));
                 let val = self.pool.load(next.offset(F_VALUE));
                 self.pool.store(self.rv(tid), val);
                 self.pool.flush(self.rv(tid));
-                if self.pool.cas(self.head(), first_w, next_w).is_ok() {
-                    if self.nodes.contains(first) {
-                        self.ebr.retire(tid, first);
-                    }
+                if self.pool.cas(self.head(), first_w, next_w).is_ok() && self.nodes.contains(first)
+                {
+                    self.ebr.retire(tid, first);
                 }
                 return QueueResp::Value(val);
             } else if self.pool.load(self.head()) == first_w {
@@ -220,10 +224,9 @@ impl DurableQueue {
                     self.pool.store(self.rv(claimer), val);
                     self.pool.flush(self.rv(claimer));
                 }
-                if self.pool.cas(self.head(), first_w, next_w).is_ok() {
-                    if self.nodes.contains(first) {
-                        self.ebr.retire(tid, first);
-                    }
+                if self.pool.cas(self.head(), first_w, next_w).is_ok() && self.nodes.contains(first)
+                {
+                    self.ebr.retire(tid, first);
                 }
             }
         }
@@ -312,11 +315,9 @@ impl DurableQueue {
     }
 }
 
-impl fmt::Debug for DurableQueue {
+impl<M: Memory> fmt::Debug for DurableQueue<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("DurableQueue")
-            .field("nthreads", &self.nthreads)
-            .finish_non_exhaustive()
+        f.debug_struct("DurableQueue").field("nthreads", &self.nthreads).finish_non_exhaustive()
     }
 }
 
@@ -409,9 +410,8 @@ mod tests {
         let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
         all.extend(q.snapshot_values());
         all.sort_unstable();
-        let mut expected: Vec<u64> = (0..4u64)
-            .flat_map(|t| (1..=300).map(move |i| t << 32 | i))
-            .collect();
+        let mut expected: Vec<u64> =
+            (0..4u64).flat_map(|t| (1..=300).map(move |i| t << 32 | i)).collect();
         expected.sort_unstable();
         assert_eq!(all, expected);
     }

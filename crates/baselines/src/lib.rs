@@ -33,8 +33,8 @@ mod log_queue;
 mod ms;
 
 pub use durable::DurableQueue;
-pub use log_queue::{LogQueue, LogResolved};
 pub use durable::{RV_EMPTY, RV_PENDING};
+pub use log_queue::{LogQueue, LogResolved};
 pub use ms::MsQueue;
 
 /// The pre-allocated node pool of a baseline queue is exhausted.

@@ -17,7 +17,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, NodePool, PAddr, PmemPool};
+use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
 use dss_spec::types::QueueResp;
 
 use crate::QueueFull;
@@ -75,8 +75,8 @@ pub struct LogResolved {
 /// let r = q.resolve(0);
 /// assert_eq!(r.resp, Some(QueueResp::Value(5)));
 /// ```
-pub struct LogQueue {
-    pool: Arc<PmemPool>,
+pub struct LogQueue<M: Memory = PmemPool> {
+    pool: Arc<M>,
     nodes: NodePool,
     logs: NodePool,
     ebr: Ebr,      // queue nodes
@@ -86,12 +86,26 @@ pub struct LogQueue {
 
 impl LogQueue {
     /// Creates a queue for `nthreads` threads, with `nodes_per_thread`
-    /// queue nodes *and* as many log entries pre-allocated per thread.
+    /// queue nodes *and* as many log entries pre-allocated per thread, on
+    /// a fresh line-granular [`PmemPool`].
     ///
     /// # Panics
     ///
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        Self::new_in(nthreads, nodes_per_thread)
+    }
+}
+
+impl<M: Memory> LogQueue<M> {
+    /// Creates a queue on a freshly created backend of type `M`
+    /// ([`Memory::create`]) — the backend-generic constructor behind
+    /// [`new`](LogQueue::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn new_in(nthreads: usize, nodes_per_thread: u64) -> Self {
         assert!(nthreads > 0 && nodes_per_thread > 0);
         let lp_end = A_LOG_BASE + nthreads as u64;
         let sentinel = lp_end.next_multiple_of(NODE_WORDS);
@@ -100,19 +114,11 @@ impl LogQueue {
         let log_region = node_region + node_words;
         let log_words = nodes_per_thread * nthreads as u64 * LOG_WORDS;
         let words = log_region + log_words;
-        let pool = Arc::new(PmemPool::with_capacity(words as usize));
-        let nodes = NodePool::new(
-            PAddr::from_index(node_region),
-            NODE_WORDS,
-            nodes_per_thread,
-            nthreads,
-        );
-        let logs = NodePool::new(
-            PAddr::from_index(log_region),
-            LOG_WORDS,
-            nodes_per_thread,
-            nthreads,
-        );
+        let pool = Arc::new(M::create(words as usize, FlushGranularity::default()));
+        let nodes =
+            NodePool::new(PAddr::from_index(node_region), NODE_WORDS, nodes_per_thread, nthreads);
+        let logs =
+            NodePool::new(PAddr::from_index(log_region), LOG_WORDS, nodes_per_thread, nthreads);
         let q = LogQueue {
             pool,
             nodes,
@@ -152,7 +158,7 @@ impl LogQueue {
     }
 
     /// The queue's pool.
-    pub fn pool(&self) -> &Arc<PmemPool> {
+    pub fn pool(&self) -> &Arc<M> {
         &self.pool
     }
 
@@ -292,10 +298,9 @@ impl LogQueue {
             } else if self.pool.cas(next.offset(N_DEQ_LOG), 0, log.to_word()).is_ok() {
                 self.pool.flush(next.offset(N_DEQ_LOG));
                 self.complete_dequeue(next, log);
-                if self.pool.cas(self.head(), first_w, next_w).is_ok() {
-                    if self.nodes.contains(first) {
-                        self.ebr.retire(tid, first);
-                    }
+                if self.pool.cas(self.head(), first_w, next_w).is_ok() && self.nodes.contains(first)
+                {
+                    self.ebr.retire(tid, first);
                 }
                 let val = self.pool.load(log.offset(L_PAYLOAD));
                 return Ok(QueueResp::Value(val));
@@ -307,10 +312,9 @@ impl LogQueue {
                 if !claim_log.is_null() {
                     self.complete_dequeue(next, claim_log);
                 }
-                if self.pool.cas(self.head(), first_w, next_w).is_ok() {
-                    if self.nodes.contains(first) {
-                        self.ebr.retire(tid, first);
-                    }
+                if self.pool.cas(self.head(), first_w, next_w).is_ok() && self.nodes.contains(first)
+                {
+                    self.ebr.retire(tid, first);
                 }
             }
         }
@@ -451,11 +455,9 @@ impl LogQueue {
     }
 }
 
-impl fmt::Debug for LogQueue {
+impl<M: Memory> fmt::Debug for LogQueue<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("LogQueue")
-            .field("nthreads", &self.nthreads)
-            .finish_non_exhaustive()
+        f.debug_struct("LogQueue").field("nthreads", &self.nthreads).finish_non_exhaustive()
     }
 }
 
@@ -480,15 +482,9 @@ mod tests {
     fn resolve_reports_last_op() {
         let q = LogQueue::new(1, 8);
         q.enqueue(0, 9).unwrap();
-        assert_eq!(
-            q.resolve(0),
-            LogResolved { op: Some(Some(9)), resp: Some(QueueResp::Ok) }
-        );
+        assert_eq!(q.resolve(0), LogResolved { op: Some(Some(9)), resp: Some(QueueResp::Ok) });
         q.dequeue(0).unwrap();
-        assert_eq!(
-            q.resolve(0),
-            LogResolved { op: Some(None), resp: Some(QueueResp::Value(9)) }
-        );
+        assert_eq!(q.resolve(0), LogResolved { op: Some(None), resp: Some(QueueResp::Value(9)) });
     }
 
     #[test]
@@ -584,9 +580,8 @@ mod tests {
         let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
         all.extend(q.snapshot_values());
         all.sort_unstable();
-        let mut expected: Vec<u64> = (0..4u64)
-            .flat_map(|t| (1..=300).map(move |i| t << 32 | i))
-            .collect();
+        let mut expected: Vec<u64> =
+            (0..4u64).flat_map(|t| (1..=300).map(move |i| t << 32 | i)).collect();
         expected.sort_unstable();
         assert_eq!(all, expected);
     }

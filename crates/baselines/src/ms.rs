@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, NodePool, PAddr, PmemPool};
+use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
 use dss_spec::types::QueueResp;
 
 const F_VALUE: u64 = 0;
@@ -32,8 +32,8 @@ const A_TAIL: u64 = 2;
 /// assert_eq!(q.dequeue(0), QueueResp::Value(9));
 /// assert_eq!(q.dequeue(0), QueueResp::Empty);
 /// ```
-pub struct MsQueue {
-    pool: Arc<PmemPool>,
+pub struct MsQueue<M: Memory = PmemPool> {
+    pool: Arc<M>,
     nodes: NodePool,
     ebr: Ebr,
     nthreads: usize,
@@ -43,23 +43,32 @@ use crate::QueueFull;
 
 impl MsQueue {
     /// Creates a queue for `nthreads` threads with `nodes_per_thread`
-    /// pre-allocated nodes each.
+    /// pre-allocated nodes each, on a fresh line-granular [`PmemPool`].
     ///
     /// # Panics
     ///
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        Self::new_in(nthreads, nodes_per_thread)
+    }
+}
+
+impl<M: Memory> MsQueue<M> {
+    /// Creates a queue on a freshly created backend of type `M`
+    /// ([`Memory::create`]) — the backend-generic constructor behind
+    /// [`new`](MsQueue::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn new_in(nthreads: usize, nodes_per_thread: u64) -> Self {
         assert!(nthreads > 0 && nodes_per_thread > 0);
         let sentinel = (A_TAIL + 1).next_multiple_of(NODE_WORDS);
         let region = sentinel + NODE_WORDS;
         let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
-        let pool = Arc::new(PmemPool::with_capacity(words as usize));
-        let nodes = NodePool::new(
-            PAddr::from_index(region),
-            NODE_WORDS,
-            nodes_per_thread,
-            nthreads,
-        );
+        let pool = Arc::new(M::create(words as usize, FlushGranularity::default()));
+        let nodes =
+            NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
         let q = MsQueue { pool, nodes, ebr: Ebr::new(nthreads), nthreads };
         let s = PAddr::from_index(sentinel);
         q.pool.store(s.offset(F_VALUE), 0);
@@ -70,7 +79,7 @@ impl MsQueue {
     }
 
     /// The queue's pool (for op counting in experiments).
-    pub fn pool(&self) -> &Arc<PmemPool> {
+    pub fn pool(&self) -> &Arc<M> {
         &self.pool
     }
 
@@ -177,11 +186,9 @@ impl MsQueue {
     }
 }
 
-impl fmt::Debug for MsQueue {
+impl<M: Memory> fmt::Debug for MsQueue<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("MsQueue")
-            .field("nthreads", &self.nthreads)
-            .finish_non_exhaustive()
+        f.debug_struct("MsQueue").field("nthreads", &self.nthreads).finish_non_exhaustive()
     }
 }
 
@@ -243,9 +250,8 @@ mod tests {
         let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
         all.extend(q.snapshot_values());
         all.sort_unstable();
-        let mut expected: Vec<u64> = (0..4u64)
-            .flat_map(|t| (0..500).map(move |i| t << 32 | i))
-            .collect();
+        let mut expected: Vec<u64> =
+            (0..4u64).flat_map(|t| (0..500).map(move |i| t << 32 | i)).collect();
         expected.sort_unstable();
         assert_eq!(all, expected);
     }

@@ -10,11 +10,8 @@ use dss_harness::throughput::{print_series, ThroughputConfig};
 
 fn main() {
     // `cargo bench` passes --bench; ignore all flags.
-    let base = ThroughputConfig {
-        duration: Duration::from_millis(100),
-        repeats: 2,
-        ..Default::default()
-    };
+    let base =
+        ThroughputConfig { duration: Duration::from_millis(100), repeats: 2, ..Default::default() };
     print_series(
         "Figure 5a (bench-scale): detectability and persistence levels (Mops/s)",
         &QueueKind::figure_5a(),

@@ -9,11 +9,8 @@ use dss_harness::adapter::QueueKind;
 use dss_harness::throughput::{print_series, ThroughputConfig};
 
 fn main() {
-    let base = ThroughputConfig {
-        duration: Duration::from_millis(100),
-        repeats: 2,
-        ..Default::default()
-    };
+    let base =
+        ThroughputConfig { duration: Duration::from_millis(100), repeats: 2, ..Default::default() };
     print_series(
         "Figure 5b (bench-scale): detectable queue implementations (Mops/s)",
         &QueueKind::figure_5b(),

@@ -1,58 +1,42 @@
 //! Microscopic cost of the persistent-memory simulator primitives.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
 
+use dss_bench::Runner;
 use dss_pmem::{FlushGranularity, PAddr, PmemPool};
 
-fn bench_primitives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pmem");
-    group
-        .sample_size(50)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(600));
+fn main() {
+    let r = Runner::new("pmem").sample_size(50);
 
     let pool = PmemPool::with_capacity(1024);
     let a = PAddr::from_index(8);
 
-    group.bench_function("load", |b| b.iter(|| black_box(pool.load(black_box(a)))));
-    group.bench_function("store", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            pool.store(black_box(a), i)
-        })
+    r.bench("load", || {
+        black_box(pool.load(black_box(a)));
     });
-    group.bench_function("cas_success", |b| {
-        b.iter(|| {
-            let cur = pool.load(a);
-            black_box(pool.cas(a, cur, cur.wrapping_add(1)).is_ok())
-        })
+    let mut i = 0u64;
+    r.bench("store", || {
+        i += 1;
+        pool.store(black_box(a), i);
     });
-    group.bench_function("flush_line_dirty", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            pool.store(a, i);
-            pool.flush(a)
-        })
+    r.bench("cas_success", || {
+        let cur = pool.load(a);
+        black_box(pool.cas(a, cur, cur.wrapping_add(1)).is_ok());
     });
-    group.bench_function("flush_line_clean", |b| {
+    let mut i = 0u64;
+    r.bench("flush_line_dirty", || {
+        i += 1;
+        pool.store(a, i);
         pool.flush(a);
-        b.iter(|| pool.flush(black_box(a)))
     });
-    let word_pool = PmemPool::with_granularity(1024, FlushGranularity::Word);
-    group.bench_function("flush_word_dirty", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            word_pool.store(a, i);
-            word_pool.flush(a)
-        })
-    });
-    group.finish();
-}
+    pool.flush(a);
+    r.bench("flush_line_clean", || pool.flush(black_box(a)));
 
-criterion_group!(benches, bench_primitives);
-criterion_main!(benches);
+    let word_pool = PmemPool::with_granularity(1024, FlushGranularity::Word);
+    let mut i = 0u64;
+    r.bench("flush_word_dirty", || {
+        i += 1;
+        word_pool.store(a, i);
+        word_pool.flush(a);
+    });
+}

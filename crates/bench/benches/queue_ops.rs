@@ -2,34 +2,29 @@
 //! uncontended): one enqueue+dequeue pair per iteration.
 //!
 //! This is the microscopic view of Figures 5a/5b — the same ordering must
-//! appear here as in the throughput series.
+//! appear here as in the throughput series. Pass `--backend dram` (or both
+//! `--backend pmem --backend dram`) to switch the memory substrate; other
+//! flags are ignored because `cargo bench` forwards its own.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
 
+use dss_bench::{backends_from_args, Runner};
 use dss_harness::adapter::QueueKind;
 
-fn bench_pairs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("enq_deq_pair");
-    group
-        .sample_size(30)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(800));
-    for kind in QueueKind::all() {
-        let q = kind.build(1, 4096);
-        q.pool().set_flush_penalty(20);
-        let mut i = 0u64;
-        group.bench_function(kind.label(), |b| {
-            b.iter(|| {
+fn main() {
+    for backend in backends_from_args() {
+        let r = Runner::new(&format!("enq_deq_pair/{}", backend.label()))
+            .warm_up_time(std::time::Duration::from_millis(300))
+            .measurement_time(std::time::Duration::from_millis(800));
+        for kind in QueueKind::all() {
+            let q = kind.build_on(backend, 1, 4096);
+            q.set_flush_penalty(20);
+            let mut i = 0u64;
+            r.bench(kind.label(), || {
                 i += 1;
                 q.enqueue(0, black_box(i));
                 black_box(q.dequeue(0));
-            })
-        });
+            });
+        }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_pairs);
-criterion_main!(benches);

@@ -106,10 +106,7 @@ pub fn records_for<O: Clone, R: Clone>(
                 pending.push((OpId(i as usize), records.len() - 1));
             }
             Event::Return { of, resp } => {
-                let pos = pending
-                    .iter()
-                    .position(|(id, _)| id == of)
-                    .expect("validated history");
+                let pos = pending.iter().position(|(id, _)| id == of).expect("validated history");
                 let (_, ridx) = pending.swap_remove(pos);
                 let r = &mut records[ridx];
                 r.resp = Some(resp.clone());
@@ -123,8 +120,7 @@ pub fn records_for<O: Clone, R: Clone>(
                     match condition {
                         Condition::Linearizability => unreachable!("checked above"),
                         Condition::StrictLinearizability => r.deadline = i,
-                        Condition::PersistentAtomicity
-                        | Condition::RecoverableLinearizability => {
+                        Condition::PersistentAtomicity | Condition::RecoverableLinearizability => {
                             r.deadline = next_invoke_by(events, r.pid, i as usize);
                         }
                         Condition::DurableLinearizability => r.deadline = u64::MAX,

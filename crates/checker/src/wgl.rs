@@ -107,9 +107,10 @@ fn dfs<T: SequentialSpec>(
         // Interval-order constraint: another unprocessed record whose
         // deadline precedes r's invocation must be handled first (it can
         // still be dropped first if droppable — that is a separate branch).
-        let forced_later = records.iter().enumerate().any(|(j, o)| {
-            j != i && done & (1 << j) == 0 && o.deadline <= r.inv
-        });
+        let forced_later = records
+            .iter()
+            .enumerate()
+            .any(|(j, o)| j != i && done & (1 << j) == 0 && o.deadline <= r.inv);
         if !forced_later {
             if let Some((next, resp)) = spec.apply(state, &r.op, r.pid) {
                 let resp_ok = match &r.resp {
@@ -133,9 +134,7 @@ fn dfs<T: SequentialSpec>(
 mod tests {
     use super::*;
     use crate::{check_history, records_for, Condition, History};
-    use dss_spec::types::{
-        QueueOp, QueueResp, QueueSpec, RegisterOp, RegisterResp, RegisterSpec,
-    };
+    use dss_spec::types::{QueueOp, QueueResp, QueueSpec, RegisterOp, RegisterResp, RegisterSpec};
 
     type QH = History<QueueOp, QueueResp>;
     type RH = History<RegisterOp, RegisterResp>;
@@ -280,9 +279,7 @@ mod tests {
         // Persistent atomicity: p0 never re-invokes, so the enqueue may
         // linearize between the two dequeues → accepted.
         assert!(check_history(&QueueSpec, &h, Condition::PersistentAtomicity).is_ok());
-        assert!(
-            check_history(&QueueSpec, &h, Condition::RecoverableLinearizability).is_ok()
-        );
+        assert!(check_history(&QueueSpec, &h, Condition::RecoverableLinearizability).is_ok());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, FlushGranularity, NodePool, PAddr, PmemPool};
+use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
 
 // Node layout (4 words, line-aligned).
 const F_NEW: u64 = 0;
@@ -57,8 +57,8 @@ pub struct ResolvedCas {
 /// assert_eq!(r.op, Some((0, 5, 1)));
 /// assert_eq!(r.resp, Some(true));
 /// ```
-pub struct DetectableCas {
-    pool: Arc<PmemPool>,
+pub struct DetectableCas<M: Memory = PmemPool> {
+    pool: Arc<M>,
     nodes: NodePool,
     ebr: Ebr,
     nthreads: usize,
@@ -67,27 +67,34 @@ pub struct DetectableCas {
 
 impl DetectableCas {
     /// Creates a CAS object (initial value 0) for `nthreads` threads with
-    /// `nodes_per_thread` pre-allocated value nodes each.
+    /// `nodes_per_thread` pre-allocated value nodes each, on a fresh
+    /// line-granular [`PmemPool`].
     ///
     /// # Panics
     ///
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        Self::new_in(nthreads, nodes_per_thread, FlushGranularity::Line)
+    }
+}
+
+impl<M: Memory> DetectableCas<M> {
+    /// Creates a CAS object on a freshly created backend of type `M`
+    /// ([`Memory::create`]) — the backend-generic constructor behind
+    /// [`new`](DetectableCas::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn new_in(nthreads: usize, nodes_per_thread: u64, granularity: FlushGranularity) -> Self {
         assert!(nthreads > 0 && nodes_per_thread > 0);
         let x_end = A_X_BASE + nthreads as u64;
         let init_node = x_end.next_multiple_of(NODE_WORDS);
         let region = init_node + NODE_WORDS;
         let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
-        let pool = Arc::new(PmemPool::with_granularity(
-            words as usize,
-            FlushGranularity::Line,
-        ));
-        let nodes = NodePool::new(
-            PAddr::from_index(region),
-            NODE_WORDS,
-            nodes_per_thread,
-            nthreads,
-        );
+        let pool = Arc::new(M::create(words as usize, granularity));
+        let nodes =
+            NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
         let c = DetectableCas {
             pool,
             nodes,
@@ -120,7 +127,7 @@ impl DetectableCas {
     }
 
     /// The object's persistent-memory pool.
-    pub fn pool(&self) -> &Arc<PmemPool> {
+    pub fn pool(&self) -> &Arc<M> {
         &self.pool
     }
 
@@ -158,10 +165,7 @@ impl DetectableCas {
     }
 
     fn push_pending(&self, tid: usize, node: PAddr) {
-        self.pending[tid]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(node);
+        self.pending[tid].lock().unwrap_or_else(|e| e.into_inner()).push(node);
     }
 
     /// **prep-cas(expected, new, seq)**: allocates and persists a value
@@ -306,11 +310,9 @@ impl DetectableCas {
     }
 }
 
-impl fmt::Debug for DetectableCas {
+impl<M: Memory> fmt::Debug for DetectableCas<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("DetectableCas")
-            .field("nthreads", &self.nthreads)
-            .finish_non_exhaustive()
+        f.debug_struct("DetectableCas").field("nthreads", &self.nthreads).finish_non_exhaustive()
     }
 }
 
@@ -426,11 +428,8 @@ mod tests {
             c.pool().crash(&WritebackAdversary::All);
             c.rebuild_allocator();
             assert_eq!(c.read(0), 0, "k={k}: failing CAS must never change the value");
-            match c.resolve(0) {
-                ResolvedCas { resp: Some(true), .. } => {
-                    panic!("k={k}: failing CAS resolved as success")
-                }
-                _ => {}
+            if let ResolvedCas { resp: Some(true), .. } = c.resolve(0) {
+                panic!("k={k}: failing CAS resolved as success");
             }
         }
     }

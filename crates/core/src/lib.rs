@@ -61,4 +61,4 @@ pub use cas::DetectableCas;
 pub use queue::{DssQueue, QueueFull, Resolved, ResolvedOp};
 pub use register::DetectableRegister;
 pub use stack::{DssStack, StackFull, StackResolved, StackResolvedOp};
-pub use universal::{OpWords, Universal};
+pub use universal::{OpWords, UniResolved, Universal};

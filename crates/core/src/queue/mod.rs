@@ -9,7 +9,7 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, NodePool, PAddr, PmemPool, FlushGranularity};
+use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
 use dss_spec::types::QueueResp;
 
 /// Node field offsets (a queue node is `{ value, next, deqThreadID }`,
@@ -81,8 +81,13 @@ pub struct Resolved {
 /// Thread IDs must be `0..nthreads`, each used by at most one OS thread at
 /// a time, and survive crashes (paper §2's recover-under-the-same-ID
 /// assumption).
-pub struct DssQueue {
-    pool: Arc<PmemPool>,
+///
+/// The queue is generic over its [`Memory`] backend: the default
+/// [`PmemPool`] simulates persistence and supports crash injection, while
+/// [`DramPool`](dss_pmem::DramPool) (via [`new_in`](Self::new_in)) runs the
+/// identical instruction sequence on plain atomics.
+pub struct DssQueue<M: Memory = PmemPool> {
+    pool: Arc<M>,
     pub(crate) nodes: NodePool,
     ebr: Ebr,
     nthreads: usize,
@@ -118,6 +123,19 @@ impl DssQueue {
         nodes_per_thread: u64,
         granularity: FlushGranularity,
     ) -> Self {
+        Self::new_in(nthreads, nodes_per_thread, granularity)
+    }
+}
+
+impl<M: Memory> DssQueue<M> {
+    /// Creates a queue on a freshly created backend of type `M`
+    /// ([`Memory::create`]) — the backend-generic constructor behind
+    /// [`new`](DssQueue::new)/[`with_granularity`](DssQueue::with_granularity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn new_in(nthreads: usize, nodes_per_thread: u64, granularity: FlushGranularity) -> Self {
         assert!(nthreads > 0, "need at least one thread");
         assert!(nodes_per_thread > 0, "need at least one node per thread");
         // Layout: [0:NULL][1:head][2:tail][3..3+n: X][sentinel][region...],
@@ -127,13 +145,9 @@ impl DssQueue {
         let sentinel = x_end.next_multiple_of(NODE_WORDS);
         let region = sentinel + NODE_WORDS;
         let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
-        let pool = Arc::new(PmemPool::with_granularity(words as usize, granularity));
-        let nodes = NodePool::new(
-            PAddr::from_index(region),
-            NODE_WORDS,
-            nodes_per_thread,
-            nthreads,
-        );
+        let pool = Arc::new(M::create(words as usize, granularity));
+        let nodes =
+            NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
         let q = DssQueue {
             pool,
             nodes,
@@ -159,9 +173,9 @@ impl DssQueue {
         q
     }
 
-    /// The queue's persistent-memory pool (crash it, inspect it, count its
-    /// operations).
-    pub fn pool(&self) -> &Arc<PmemPool> {
+    /// The queue's memory backend (on [`PmemPool`]: crash it, inspect it,
+    /// count its operations).
+    pub fn pool(&self) -> &Arc<M> {
         &self.pool
     }
 
@@ -327,7 +341,7 @@ impl DssQueue {
     }
 }
 
-impl fmt::Debug for DssQueue {
+impl<M: Memory> fmt::Debug for DssQueue<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DssQueue")
             .field("nthreads", &self.nthreads)

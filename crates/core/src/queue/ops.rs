@@ -6,12 +6,12 @@
 //! thread ID "with another special tag" (`NONDET_DEQ`) so detection never
 //! confuses a non-detectable claim with a detectable one.
 
-use dss_pmem::{tag, PAddr};
+use dss_pmem::{tag, Memory, PAddr};
 use dss_spec::types::QueueResp;
 
 use super::{DssQueue, QueueFull, F_DEQ_TID, F_NEXT, F_VALUE, NO_DEQUEUER};
 
-impl DssQueue {
+impl<M: Memory> DssQueue<M> {
     /// **prep-enqueue(val)** (Figure 3, lines 1–4): allocates and persists
     /// a node holding `val`, then announces it in `X[tid]` with
     /// `ENQ_PREP`.
@@ -160,11 +160,7 @@ impl DssQueue {
                 // save predecessor of the node to be dequeued
                 self.pool.store(xa, tag::set(first.to_word(), tag::DEQ_PREP)); // line 47
                 self.pool.flush(xa); // line 48
-                if self
-                    .pool
-                    .cas(next.offset(F_DEQ_TID), NO_DEQUEUER, tid as u64)
-                    .is_ok()
-                {
+                if self.pool.cas(next.offset(F_DEQ_TID), NO_DEQUEUER, tid as u64).is_ok() {
                     // line 49 succeeded
                     self.pool.flush(next.offset(F_DEQ_TID)); // line 50
                     if self.pool.cas(self.head_addr(), first_w, next_w).is_ok() {
@@ -210,11 +206,7 @@ impl DssQueue {
             } else {
                 if self
                     .pool
-                    .cas(
-                        next.offset(F_DEQ_TID),
-                        NO_DEQUEUER,
-                        tid as u64 | tag::NONDET_DEQ,
-                    )
+                    .cas(next.offset(F_DEQ_TID), NO_DEQUEUER, tid as u64 | tag::NONDET_DEQ)
                     .is_ok()
                 {
                     self.pool.flush(next.offset(F_DEQ_TID));

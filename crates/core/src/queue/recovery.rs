@@ -4,11 +4,11 @@
 
 use std::collections::HashSet;
 
-use dss_pmem::{tag, PAddr};
+use dss_pmem::{tag, Memory, PAddr};
 
 use super::{DssQueue, F_DEQ_TID, F_NEXT, NO_DEQUEUER};
 
-impl DssQueue {
+impl<M: Memory> DssQueue<M> {
     /// Walks the linked list from `start`, returning every reachable node.
     fn reachable_from(&self, start: PAddr) -> Vec<PAddr> {
         let mut out = Vec::new();

@@ -60,10 +60,7 @@ fn resolve_without_prep_is_bottom_bottom() {
 fn resolve_after_prep_enqueue_only() {
     let q = DssQueue::new(1, 4);
     q.prep_enqueue(0, 9).unwrap();
-    assert_eq!(
-        q.resolve(0),
-        Resolved { op: Some(ResolvedOp::Enqueue(9)), resp: None }
-    );
+    assert_eq!(q.resolve(0), Resolved { op: Some(ResolvedOp::Enqueue(9)), resp: None });
 }
 
 #[test]
@@ -136,17 +133,11 @@ fn nondetectable_dequeue_claim_never_resolves_as_detectable() {
     assert!(crashed, "expected to interrupt the claim CAS");
     q.pool().crash(&WritebackAdversary::None);
     q.recover();
-    assert_eq!(
-        q.resolve(0),
-        Resolved { op: Some(ResolvedOp::Dequeue), resp: None }
-    );
+    assert_eq!(q.resolve(0), Resolved { op: Some(ResolvedOp::Dequeue), resp: None });
     // Now the same thread dequeues non-detectably.
     assert_eq!(q.dequeue(0), QueueResp::Value(7));
     // The detectable dequeue still resolves as "did not take effect".
-    assert_eq!(
-        q.resolve(0),
-        Resolved { op: Some(ResolvedOp::Dequeue), resp: None }
-    );
+    assert_eq!(q.resolve(0), Resolved { op: Some(ResolvedOp::Dequeue), resp: None });
 }
 
 #[test]
@@ -216,9 +207,8 @@ fn concurrent_stress_conserves_values() {
     let mut remaining = q.snapshot_values();
     dequeued.append(&mut remaining);
     dequeued.sort_unstable();
-    let mut expected: Vec<u64> = (0..THREADS as u64)
-        .flat_map(|t| (0..PER_THREAD).map(move |i| t << 32 | i))
-        .collect();
+    let mut expected: Vec<u64> =
+        (0..THREADS as u64).flat_map(|t| (0..PER_THREAD).map(move |i| t << 32 | i)).collect();
     expected.sort_unstable();
     assert_eq!(dequeued, expected, "every value dequeued or remaining exactly once");
 }
@@ -444,10 +434,7 @@ fn rebuild_allocator_reclaims_dead_nodes_and_keeps_live_ones() {
     q.recover();
     q.rebuild_allocator();
     // The X-referenced node must stay allocated (resolve may read it)...
-    assert_eq!(
-        q.resolve(0),
-        Resolved { op: Some(ResolvedOp::Enqueue(50)), resp: None }
-    );
+    assert_eq!(q.resolve(0), Resolved { op: Some(ResolvedOp::Enqueue(50)), resp: None });
     // ...and the remaining 3 nodes are free.
     assert_eq!(q.nodes.free_count(), 3);
 }

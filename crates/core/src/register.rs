@@ -18,7 +18,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use dss_pmem::{tag, FlushGranularity, NodePool, PAddr, PmemPool, Ebr};
+use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
 use dss_spec::types::RegisterResp;
 
 // Node layout (4 words, line-aligned like the queue's nodes).
@@ -74,8 +74,8 @@ pub struct ResolvedWrite {
 /// assert_eq!(res.op, Some((7, 1)));
 /// assert_eq!(res.resp, Some(RegisterResp::Ok));
 /// ```
-pub struct DetectableRegister {
-    pool: Arc<PmemPool>,
+pub struct DetectableRegister<M: Memory = PmemPool> {
+    pool: Arc<M>,
     nodes: NodePool,
     ebr: Ebr,
     nthreads: usize,
@@ -88,27 +88,34 @@ pub struct DetectableRegister {
 
 impl DetectableRegister {
     /// Creates a register (initial value 0) for `nthreads` threads with
-    /// `nodes_per_thread` pre-allocated value nodes each.
+    /// `nodes_per_thread` pre-allocated value nodes each, on a fresh
+    /// line-granular [`PmemPool`].
     ///
     /// # Panics
     ///
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        Self::new_in(nthreads, nodes_per_thread, FlushGranularity::Line)
+    }
+}
+
+impl<M: Memory> DetectableRegister<M> {
+    /// Creates a register on a freshly created backend of type `M`
+    /// ([`Memory::create`]) — the backend-generic constructor behind
+    /// [`new`](DetectableRegister::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn new_in(nthreads: usize, nodes_per_thread: u64, granularity: FlushGranularity) -> Self {
         assert!(nthreads > 0 && nodes_per_thread > 0);
         let x_end = A_X_BASE + nthreads as u64;
         let init_node = x_end.next_multiple_of(NODE_WORDS);
         let region = init_node + NODE_WORDS;
         let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
-        let pool = Arc::new(PmemPool::with_granularity(
-            words as usize,
-            FlushGranularity::Line,
-        ));
-        let nodes = NodePool::new(
-            PAddr::from_index(region),
-            NODE_WORDS,
-            nodes_per_thread,
-            nthreads,
-        );
+        let pool = Arc::new(M::create(words as usize, granularity));
+        let nodes =
+            NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
         let r = DetectableRegister {
             pool,
             nodes,
@@ -140,7 +147,7 @@ impl DetectableRegister {
     }
 
     /// The register's persistent-memory pool.
-    pub fn pool(&self) -> &Arc<PmemPool> {
+    pub fn pool(&self) -> &Arc<M> {
         &self.pool
     }
 
@@ -181,10 +188,7 @@ impl DetectableRegister {
     }
 
     fn push_pending(&self, tid: usize, node: PAddr) {
-        self.pending[tid]
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(node);
+        self.pending[tid].lock().unwrap_or_else(|e| e.into_inner()).push(node);
     }
 
     /// **prep-write(val, seq)**: allocates and persists a value node, then
@@ -325,7 +329,7 @@ fn unpack(w: u64) -> (usize, u64) {
     ((w >> 48) as usize, w & tag::ADDR_MASK)
 }
 
-impl fmt::Debug for DetectableRegister {
+impl<M: Memory> fmt::Debug for DetectableRegister<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DetectableRegister")
             .field("nthreads", &self.nthreads)
@@ -366,10 +370,7 @@ mod tests {
         r.prep_write(0, 3, 0);
         assert_eq!(r.resolve(0), ResolvedWrite { op: Some((3, 0)), resp: None });
         r.exec_write(0);
-        assert_eq!(
-            r.resolve(0),
-            ResolvedWrite { op: Some((3, 0)), resp: Some(RegisterResp::Ok) }
-        );
+        assert_eq!(r.resolve(0), ResolvedWrite { op: Some((3, 0)), resp: Some(RegisterResp::Ok) });
         assert_eq!(r.read(0), 3);
     }
 
@@ -381,10 +382,7 @@ mod tests {
         r.exec_write(0);
         r.write(1, 4); // overwrites
         assert_eq!(r.read(0), 4);
-        assert_eq!(
-            r.resolve(0),
-            ResolvedWrite { op: Some((3, 1)), resp: Some(RegisterResp::Ok) }
-        );
+        assert_eq!(r.resolve(0), ResolvedWrite { op: Some((3, 1)), resp: Some(RegisterResp::Ok) });
     }
 
     #[test]
@@ -467,4 +465,3 @@ mod tests {
         r.write(0, 1 << 50);
     }
 }
-

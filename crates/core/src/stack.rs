@@ -19,7 +19,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, FlushGranularity, NodePool, PAddr, PmemPool};
+use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
 use dss_spec::types::StackResp;
 
 // Node layout: {value, next, popper, pad}, line-aligned.
@@ -90,8 +90,8 @@ pub struct StackResolved {
 /// s.prep_pop(1);
 /// assert_eq!(s.exec_pop(1), StackResp::Value(7));
 /// ```
-pub struct DssStack {
-    pool: Arc<PmemPool>,
+pub struct DssStack<M: Memory = PmemPool> {
+    pool: Arc<M>,
     nodes: NodePool,
     ebr: Ebr,
     nthreads: usize,
@@ -99,26 +99,32 @@ pub struct DssStack {
 
 impl DssStack {
     /// Creates a stack for `nthreads` threads with `nodes_per_thread`
-    /// pre-allocated nodes each.
+    /// pre-allocated nodes each, on a fresh line-granular [`PmemPool`].
     ///
     /// # Panics
     ///
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        Self::new_in(nthreads, nodes_per_thread, FlushGranularity::Line)
+    }
+}
+
+impl<M: Memory> DssStack<M> {
+    /// Creates a stack on a freshly created backend of type `M`
+    /// ([`Memory::create`]) — the backend-generic constructor behind
+    /// [`new`](DssStack::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn new_in(nthreads: usize, nodes_per_thread: u64, granularity: FlushGranularity) -> Self {
         assert!(nthreads > 0 && nodes_per_thread > 0);
         let x_end = A_X_BASE + nthreads as u64;
         let region = x_end.next_multiple_of(NODE_WORDS);
         let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
-        let pool = Arc::new(PmemPool::with_granularity(
-            words as usize,
-            FlushGranularity::Line,
-        ));
-        let nodes = NodePool::new(
-            PAddr::from_index(region),
-            NODE_WORDS,
-            nodes_per_thread,
-            nthreads,
-        );
+        let pool = Arc::new(M::create(words as usize, granularity));
+        let nodes =
+            NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
         let s = DssStack { pool, nodes, ebr: Ebr::new(nthreads), nthreads };
         s.pool.store(s.top_addr(), PAddr::NULL.to_word());
         s.pool.flush(s.top_addr());
@@ -139,7 +145,7 @@ impl DssStack {
     }
 
     /// The stack's persistent-memory pool.
-    pub fn pool(&self) -> &Arc<PmemPool> {
+    pub fn pool(&self) -> &Arc<M> {
         &self.pool
     }
 
@@ -308,10 +314,7 @@ impl DssStack {
             if top.is_null() {
                 return StackResp::Empty;
             }
-            if self
-                .pool
-                .cas(top.offset(F_POPPER), NO_POPPER, tid as u64 | tag::NONDET_DEQ)
-                .is_ok()
+            if self.pool.cas(top.offset(F_POPPER), NO_POPPER, tid as u64 | tag::NONDET_DEQ).is_ok()
             {
                 self.pool.flush(top.offset(F_POPPER));
                 let next = self.pool.load(top.offset(F_NEXT));
@@ -431,11 +434,9 @@ impl DssStack {
     }
 }
 
-impl fmt::Debug for DssStack {
+impl<M: Memory> fmt::Debug for DssStack<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("DssStack")
-            .field("nthreads", &self.nthreads)
-            .finish_non_exhaustive()
+        f.debug_struct("DssStack").field("nthreads", &self.nthreads).finish_non_exhaustive()
     }
 }
 
@@ -476,10 +477,7 @@ mod tests {
         let s = DssStack::new(1, 16);
         assert_eq!(s.resolve(0), StackResolved { op: None, resp: None });
         s.prep_push(0, 9).unwrap();
-        assert_eq!(
-            s.resolve(0),
-            StackResolved { op: Some(StackResolvedOp::Push(9)), resp: None }
-        );
+        assert_eq!(s.resolve(0), StackResolved { op: Some(StackResolvedOp::Push(9)), resp: None });
         s.exec_push(0);
         assert_eq!(
             s.resolve(0),
@@ -490,10 +488,7 @@ mod tests {
         assert_eq!(s.exec_pop(0), StackResp::Value(9));
         assert_eq!(
             s.resolve(0),
-            StackResolved {
-                op: Some(StackResolvedOp::Pop),
-                resp: Some(StackResp::Value(9))
-            }
+            StackResolved { op: Some(StackResolvedOp::Pop), resp: Some(StackResp::Value(9)) }
         );
     }
 
@@ -596,9 +591,8 @@ mod tests {
         let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
         all.extend(s.snapshot_values());
         all.sort_unstable();
-        let mut expected: Vec<u64> = (0..4u64)
-            .flat_map(|t| (1..=250).map(move |i| t << 32 | i))
-            .collect();
+        let mut expected: Vec<u64> =
+            (0..4u64).flat_map(|t| (1..=250).map(move |i| t << 32 | i)).collect();
         expected.sort_unstable();
         assert_eq!(all, expected);
     }
@@ -624,10 +618,7 @@ mod tests {
         // exposes only the remaining element.
         assert_eq!(
             s.resolve(1),
-            StackResolved {
-                op: Some(StackResolvedOp::Pop),
-                resp: Some(StackResp::Value(2))
-            }
+            StackResolved { op: Some(StackResolvedOp::Pop), resp: Some(StackResp::Value(2)) }
         );
         assert_eq!(s.snapshot_values(), vec![1]);
         assert_eq!(s.pop(0), StackResp::Value(1));

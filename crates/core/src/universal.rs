@@ -32,10 +32,10 @@
 use std::fmt;
 use std::sync::Arc;
 
-use dss_pmem::{tag, FlushGranularity, PAddr, PmemPool};
+use dss_pmem::{tag, FlushGranularity, Memory, PAddr, PmemPool};
 use dss_spec::types::{
-    CasOp, CasSpec, CounterOp, CounterSpec, QueueOp, QueueSpec, RegisterOp, RegisterSpec,
-    StackOp, StackSpec,
+    CasOp, CasSpec, CounterOp, CounterSpec, QueueOp, QueueSpec, RegisterOp, RegisterSpec, StackOp,
+    StackSpec,
 };
 use dss_spec::{ProcId, SequentialSpec};
 
@@ -53,6 +53,12 @@ pub trait OpWords: SequentialSpec {
     /// May panic on words not produced by [`encode`](Self::encode).
     fn decode(words: [u64; 3]) -> Self::Op;
 }
+
+/// What [`Universal::resolve`] reports: the announced `(op, seq)` pair if
+/// one persisted, and the operation's recomputed response if its history
+/// link persisted too.
+pub type UniResolved<T> =
+    (Option<(<T as SequentialSpec>::Op, u64)>, Option<<T as SequentialSpec>::Resp>);
 
 // Node layout: 8 words (one cache line).
 const F_NEXT: u64 = 0;
@@ -88,9 +94,9 @@ const A_X_BASE: u64 = 2;
 /// assert_eq!(op, Some((StackOp::Push(7), 0)));
 /// assert_eq!(resp, Some(StackResp::Ok));
 /// ```
-pub struct Universal<T: SequentialSpec> {
+pub struct Universal<T: SequentialSpec, M: Memory = PmemPool> {
     spec: T,
-    pool: Arc<PmemPool>,
+    pool: Arc<M>,
     nthreads: usize,
     origin: PAddr,
     slots_base: u64,
@@ -101,21 +107,31 @@ pub struct Universal<T: SequentialSpec> {
 impl<T: OpWords> Universal<T> {
     /// Creates the object for `nthreads` threads with capacity for
     /// `max_ops` operations over its lifetime (the history list is never
-    /// reclaimed).
+    /// reclaimed), on a fresh line-granular [`PmemPool`].
     ///
     /// # Panics
     ///
     /// Panics if `nthreads` or `max_ops` is zero.
     pub fn new(spec: T, nthreads: usize, max_ops: u64) -> Self {
+        Self::new_in(spec, nthreads, max_ops, FlushGranularity::Line)
+    }
+}
+
+impl<T: OpWords, M: Memory> Universal<T, M> {
+    /// Creates the object on a freshly created backend of type `M`
+    /// ([`Memory::create`]) — the backend-generic constructor behind
+    /// [`new`](Universal::new).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `max_ops` is zero.
+    pub fn new_in(spec: T, nthreads: usize, max_ops: u64, granularity: FlushGranularity) -> Self {
         assert!(nthreads > 0 && max_ops > 0);
         let x_end = A_X_BASE + nthreads as u64;
         let origin = x_end.next_multiple_of(NODE_WORDS);
         let slots_base = origin + NODE_WORDS;
         let words = slots_base + max_ops * NODE_WORDS;
-        let pool = Arc::new(PmemPool::with_granularity(
-            words as usize,
-            FlushGranularity::Line,
-        ));
+        let pool = Arc::new(M::create(words as usize, granularity));
         let u = Universal {
             spec,
             pool,
@@ -142,7 +158,7 @@ impl<T: OpWords> Universal<T> {
     }
 
     /// The object's persistent-memory pool.
-    pub fn pool(&self) -> &Arc<PmemPool> {
+    pub fn pool(&self) -> &Arc<M> {
         &self.pool
     }
 
@@ -283,7 +299,7 @@ impl<T: OpWords> Universal<T> {
 
     /// **resolve()**: reports the announced operation and, if its link
     /// persisted (it is reachable in the history), its recomputed response.
-    pub fn resolve(&self, tid: usize) -> (Option<(T::Op, u64)>, Option<T::Resp>) {
+    pub fn resolve(&self, tid: usize) -> UniResolved<T> {
         let x = self.pool.load(self.x_addr(tid));
         if !tag::has(x, U_PREP) {
             return (None, None);
@@ -305,7 +321,7 @@ impl<T: OpWords> Universal<T> {
     }
 }
 
-impl<T: SequentialSpec> fmt::Debug for Universal<T> {
+impl<T: SequentialSpec, M: Memory> fmt::Debug for Universal<T, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Universal")
             .field("nthreads", &self.nthreads)
@@ -419,10 +435,7 @@ mod tests {
         let c = Universal::new(CounterSpec, 1, 16);
         c.prep(0, CounterOp::FetchAdd(5), 0);
         assert_eq!(c.exec(0), CounterResp::Value(0));
-        assert_eq!(
-            c.resolve(0),
-            (Some((CounterOp::FetchAdd(5), 0)), Some(CounterResp::Value(0)))
-        );
+        assert_eq!(c.resolve(0), (Some((CounterOp::FetchAdd(5), 0)), Some(CounterResp::Value(0))));
         assert_eq!(c.state(), 5);
     }
 

@@ -1,11 +1,19 @@
 //! A single interface over every queue in the evaluation.
+//!
+//! Two axes select an implementation under test:
+//!
+//! * [`QueueKind`] — *which algorithm* (the queues of Figures 5a/5b);
+//! * [`Backend`] — *which memory* ([`PmemPool`] simulator or
+//!   [`DramPool`] plain atomics, experiment E8's ablation axis).
+//!
+//! [`QueueKind::build`] keeps the historical pmem-only behaviour;
+//! [`QueueKind::build_on`] picks the backend explicitly.
 
 use std::fmt::Debug;
-use std::sync::Arc;
 
 use dss_baselines::{DurableQueue, LogQueue, MsQueue};
 use dss_core::DssQueue;
-use dss_pmem::PmemPool;
+use dss_pmem::{DramPool, FlushGranularity, Memory, PmemPool, StatsSnapshot};
 use dss_pmwcas::CasWithEffectQueue;
 use dss_spec::types::QueueResp;
 
@@ -29,6 +37,45 @@ pub enum QueueKind {
     CweFast,
 }
 
+/// The memory backend a queue under test runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum Backend {
+    /// The crash-testable persistent-memory simulator ([`PmemPool`]).
+    #[default]
+    Pmem,
+    /// Plain DRAM atomics ([`DramPool`]): no shadow state, no stats, and
+    /// flush/fence are no-ops.
+    Dram,
+}
+
+impl Backend {
+    /// The label used in tables and flags (`pmem`/`dram`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Backend::Pmem => "pmem",
+            Backend::Dram => "dram",
+        }
+    }
+
+    /// Parses a `--backend` flag value.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a usage hint on anything but `pmem`/`dram`.
+    pub fn parse(s: &str) -> Backend {
+        match s {
+            "pmem" => Backend::Pmem,
+            "dram" => Backend::Dram,
+            b => panic!("unknown backend {b} (pmem|dram)"),
+        }
+    }
+
+    /// Both backends, in flag order.
+    pub fn all() -> [Backend; 2] {
+        [Backend::Pmem, Backend::Dram]
+    }
+}
+
 impl QueueKind {
     /// The label used in the paper's figures.
     pub fn label(self) -> &'static str {
@@ -44,23 +91,49 @@ impl QueueKind {
     }
 
     /// Builds the queue for `nthreads` threads with `nodes_per_thread`
-    /// pre-allocated nodes each.
+    /// pre-allocated nodes each, on the default [`Backend::Pmem`].
     pub fn build(self, nthreads: usize, nodes_per_thread: u64) -> Box<dyn QueueUnderTest> {
+        self.build_on(Backend::Pmem, nthreads, nodes_per_thread)
+    }
+
+    /// Builds the queue on an explicit [`Backend`].
+    pub fn build_on(
+        self,
+        backend: Backend,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Box<dyn QueueUnderTest> {
+        match backend {
+            Backend::Pmem => self.build_in::<PmemPool>(nthreads, nodes_per_thread),
+            Backend::Dram => self.build_in::<DramPool>(nthreads, nodes_per_thread),
+        }
+    }
+
+    /// Builds the queue on a backend chosen at the type level.
+    pub fn build_in<M: Memory>(
+        self,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Box<dyn QueueUnderTest> {
         match self {
-            QueueKind::Ms => Box::new(MsQueue::new(nthreads, nodes_per_thread)),
-            QueueKind::DssNonDetectable => {
-                Box::new(DssPlain(DssQueue::new(nthreads, nodes_per_thread)))
-            }
-            QueueKind::DssDetectable => {
-                Box::new(DssDet(DssQueue::new(nthreads, nodes_per_thread)))
-            }
-            QueueKind::Durable => Box::new(DurableQueue::new(nthreads, nodes_per_thread)),
-            QueueKind::Log => Box::new(LogQueue::new(nthreads, nodes_per_thread)),
+            QueueKind::Ms => Box::new(MsQueue::<M>::new_in(nthreads, nodes_per_thread)),
+            QueueKind::DssNonDetectable => Box::new(DssPlain(DssQueue::<M>::new_in(
+                nthreads,
+                nodes_per_thread,
+                FlushGranularity::Line,
+            ))),
+            QueueKind::DssDetectable => Box::new(DssDet(DssQueue::<M>::new_in(
+                nthreads,
+                nodes_per_thread,
+                FlushGranularity::Line,
+            ))),
+            QueueKind::Durable => Box::new(DurableQueue::<M>::new_in(nthreads, nodes_per_thread)),
+            QueueKind::Log => Box::new(LogQueue::<M>::new_in(nthreads, nodes_per_thread)),
             QueueKind::CweGeneral => {
-                Box::new(Cwe(CasWithEffectQueue::new_general(nthreads, nodes_per_thread)))
+                Box::new(Cwe(CasWithEffectQueue::<M>::new_general_in(nthreads, nodes_per_thread)))
             }
             QueueKind::CweFast => {
-                Box::new(Cwe(CasWithEffectQueue::new_fast(nthreads, nodes_per_thread)))
+                Box::new(Cwe(CasWithEffectQueue::<M>::new_fast_in(nthreads, nodes_per_thread)))
             }
         }
     }
@@ -90,7 +163,9 @@ impl QueueKind {
 }
 
 /// A queue as the workload driver sees it: enqueue and dequeue by thread
-/// ID, plus access to the underlying pool for stats and flush penalties.
+/// ID, plus the backend knobs the experiments use (flush penalty and
+/// operation statistics), exposed backend-agnostically so a driver never
+/// needs the concrete pool type.
 ///
 /// Detectable implementations run their full prep/exec protocol inside
 /// `enqueue`/`dequeue`, exactly as the paper's "detectable" series do.
@@ -106,67 +181,99 @@ pub trait QueueUnderTest: Send + Sync + Debug {
     /// Dequeues on behalf of `tid`.
     fn dequeue(&self, tid: usize) -> QueueResp;
 
-    /// The underlying persistent-memory pool.
-    fn pool(&self) -> &Arc<PmemPool>;
+    /// Sets the backend's artificial flush latency (no-op on backends
+    /// without a persistence domain).
+    fn set_flush_penalty(&self, spins: u64);
+
+    /// The backend's operation counters (all-zero on uninstrumented
+    /// backends).
+    fn stats(&self) -> StatsSnapshot;
+
+    /// Resets the backend's operation counters, if any.
+    fn reset_stats(&self);
 }
 
-impl QueueUnderTest for MsQueue {
+impl<M: Memory> QueueUnderTest for MsQueue<M> {
     fn enqueue(&self, tid: usize, val: u64) {
         MsQueue::enqueue(self, tid, val).expect("node pool exhausted");
     }
     fn dequeue(&self, tid: usize) -> QueueResp {
         MsQueue::dequeue(self, tid)
     }
-    fn pool(&self) -> &Arc<PmemPool> {
-        MsQueue::pool(self)
+    fn set_flush_penalty(&self, spins: u64) {
+        self.pool().set_flush_penalty(spins);
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.pool().stats()
+    }
+    fn reset_stats(&self) {
+        self.pool().reset_stats();
     }
 }
 
-impl QueueUnderTest for DurableQueue {
+impl<M: Memory> QueueUnderTest for DurableQueue<M> {
     fn enqueue(&self, tid: usize, val: u64) {
         DurableQueue::enqueue(self, tid, val).expect("node pool exhausted");
     }
     fn dequeue(&self, tid: usize) -> QueueResp {
         DurableQueue::dequeue(self, tid)
     }
-    fn pool(&self) -> &Arc<PmemPool> {
-        DurableQueue::pool(self)
+    fn set_flush_penalty(&self, spins: u64) {
+        self.pool().set_flush_penalty(spins);
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.pool().stats()
+    }
+    fn reset_stats(&self) {
+        self.pool().reset_stats();
     }
 }
 
-impl QueueUnderTest for LogQueue {
+impl<M: Memory> QueueUnderTest for LogQueue<M> {
     fn enqueue(&self, tid: usize, val: u64) {
         LogQueue::enqueue(self, tid, val).expect("node pool exhausted");
     }
     fn dequeue(&self, tid: usize) -> QueueResp {
         LogQueue::dequeue(self, tid).expect("log pool exhausted")
     }
-    fn pool(&self) -> &Arc<PmemPool> {
-        LogQueue::pool(self)
+    fn set_flush_penalty(&self, spins: u64) {
+        self.pool().set_flush_penalty(spins);
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.pool().stats()
+    }
+    fn reset_stats(&self) {
+        self.pool().reset_stats();
     }
 }
 
 /// DSS queue through the non-detectable fast path.
 #[derive(Debug)]
-struct DssPlain(DssQueue);
+struct DssPlain<M: Memory>(DssQueue<M>);
 
-impl QueueUnderTest for DssPlain {
+impl<M: Memory> QueueUnderTest for DssPlain<M> {
     fn enqueue(&self, tid: usize, val: u64) {
         self.0.enqueue(tid, val).expect("node pool exhausted");
     }
     fn dequeue(&self, tid: usize) -> QueueResp {
         self.0.dequeue(tid)
     }
-    fn pool(&self) -> &Arc<PmemPool> {
-        self.0.pool()
+    fn set_flush_penalty(&self, spins: u64) {
+        self.0.pool().set_flush_penalty(spins);
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.0.pool().stats()
+    }
+    fn reset_stats(&self) {
+        self.0.pool().reset_stats();
     }
 }
 
 /// DSS queue through the detectable prep/exec protocol.
 #[derive(Debug)]
-struct DssDet(DssQueue);
+struct DssDet<M: Memory>(DssQueue<M>);
 
-impl QueueUnderTest for DssDet {
+impl<M: Memory> QueueUnderTest for DssDet<M> {
     fn enqueue(&self, tid: usize, val: u64) {
         self.0.prep_enqueue(tid, val).expect("node pool exhausted");
         self.0.exec_enqueue(tid);
@@ -175,16 +282,22 @@ impl QueueUnderTest for DssDet {
         self.0.prep_dequeue(tid);
         self.0.exec_dequeue(tid)
     }
-    fn pool(&self) -> &Arc<PmemPool> {
-        self.0.pool()
+    fn set_flush_penalty(&self, spins: u64) {
+        self.0.pool().set_flush_penalty(spins);
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.0.pool().stats()
+    }
+    fn reset_stats(&self) {
+        self.0.pool().reset_stats();
     }
 }
 
 /// Either CASWithEffect variant (always detectable).
 #[derive(Debug)]
-struct Cwe(CasWithEffectQueue);
+struct Cwe<M: Memory>(CasWithEffectQueue<M>);
 
-impl QueueUnderTest for Cwe {
+impl<M: Memory> QueueUnderTest for Cwe<M> {
     fn enqueue(&self, tid: usize, val: u64) {
         self.0.prep_enqueue(tid, val).expect("node pool exhausted");
         self.0.exec_enqueue(tid);
@@ -193,8 +306,14 @@ impl QueueUnderTest for Cwe {
         self.0.prep_dequeue(tid);
         self.0.exec_dequeue(tid)
     }
-    fn pool(&self) -> &Arc<PmemPool> {
-        self.0.pool()
+    fn set_flush_penalty(&self, spins: u64) {
+        self.0.pool().set_flush_penalty(spins);
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.0.pool().stats()
+    }
+    fn reset_stats(&self) {
+        self.0.pool().reset_stats();
     }
 }
 
@@ -215,6 +334,19 @@ mod tests {
     }
 
     #[test]
+    fn every_kind_round_trips_on_dram() {
+        for kind in QueueKind::all() {
+            let q = kind.build_on(Backend::Dram, 2, 32);
+            q.enqueue(0, 5);
+            q.enqueue(1, 6);
+            assert_eq!(q.dequeue(0), QueueResp::Value(5), "{}", kind.label());
+            assert_eq!(q.dequeue(1), QueueResp::Value(6), "{}", kind.label());
+            assert_eq!(q.dequeue(0), QueueResp::Empty, "{}", kind.label());
+            assert_eq!(q.stats().total(), 0, "dram counts nothing: {}", kind.label());
+        }
+    }
+
+    #[test]
     fn labels_are_distinct() {
         let labels: std::collections::HashSet<_> =
             QueueKind::all().iter().map(|k| k.label()).collect();
@@ -225,6 +357,13 @@ mod tests {
     fn figure_sets_are_subsets_of_all() {
         for k in QueueKind::figure_5a().iter().chain(QueueKind::figure_5b().iter()) {
             assert!(QueueKind::all().contains(k));
+        }
+    }
+
+    #[test]
+    fn backend_labels_parse_back() {
+        for b in Backend::all() {
+            assert_eq!(Backend::parse(b.label()), b);
         }
     }
 }

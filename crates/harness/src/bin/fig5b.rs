@@ -8,6 +8,9 @@
 //! cargo run -p dss-harness --release --bin fig5b -- \
 //!     --threads 8 --ms 200 --repeats 3 --penalty 20
 //! ```
+//!
+//! `--backend pmem --backend dram` repeats the sweep per memory backend
+//! (experiment E8's axis); the default is the pmem simulator only.
 
 use std::time::Duration;
 
@@ -17,17 +20,20 @@ use dss_harness::throughput::{print_series, ThroughputConfig};
 
 fn main() {
     let args = cli::parse();
-    let base = ThroughputConfig {
-        duration: Duration::from_millis(args.ms),
-        repeats: args.repeats,
-        flush_penalty: args.penalty,
-        ..Default::default()
-    };
     let threads: Vec<usize> = (1..=args.threads).collect();
-    print_series(
-        "Figure 5b: different detectable queue implementations (Mops/s)",
-        &QueueKind::figure_5b(),
-        &threads,
-        &base,
-    );
+    for backend in args.parsed_backends() {
+        let base = ThroughputConfig {
+            duration: Duration::from_millis(args.ms),
+            repeats: args.repeats,
+            flush_penalty: args.penalty,
+            backend,
+            ..Default::default()
+        };
+        print_series(
+            "Figure 5b: different detectable queue implementations (Mops/s)",
+            &QueueKind::figure_5b(),
+            &threads,
+            &base,
+        );
+    }
 }

@@ -10,27 +10,44 @@
 //! ```text
 //! cargo run -p dss-harness --release --bin flush_counts
 //! ```
+//!
+//! `--backend pmem --backend dram` repeats the table per memory backend;
+//! the dram table is all zeros by construction (no instrumentation), which
+//! is exactly the point of experiment E8. The default pmem-only invocation
+//! prints the historical output unchanged.
 
-use dss_harness::adapter::QueueKind;
+use dss_harness::adapter::{Backend, QueueKind};
 
 fn main() {
+    let args = dss_harness::cli::parse();
+    let backends = args.parsed_backends();
+    let annotate = backends.len() > 1 || backends != [Backend::Pmem];
+    for backend in backends {
+        if annotate {
+            println!("# backend = {}", backend.label());
+        }
+        run(backend);
+    }
+}
+
+fn run(backend: Backend) {
     println!("# E3: pmem primitives per enqueue+dequeue pair (single thread, uncontended)");
     println!(
         "{:<30} {:>7} {:>7} {:>7} {:>9} {:>8} {:>7}",
         "queue", "loads", "stores", "cas", "cas-fail", "flushes", "fences"
     );
     for kind in QueueKind::all() {
-        let q = kind.build(1, 64);
+        let q = kind.build_on(backend, 1, 64);
         // Warm up (first ops touch the sentinel path differently).
         q.enqueue(0, 1);
         let _ = q.dequeue(0);
-        q.pool().reset_stats();
+        q.reset_stats();
         const PAIRS: u64 = 100;
         for i in 0..PAIRS {
             q.enqueue(0, i + 2);
             let _ = q.dequeue(0);
         }
-        let s = q.pool().stats();
+        let s = q.stats();
         println!(
             "{:<30} {:>7.1} {:>7.1} {:>7.1} {:>9.1} {:>8.1} {:>7.1}",
             kind.label(),

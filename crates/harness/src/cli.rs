@@ -19,6 +19,9 @@ pub struct Args {
     pub adversary: String,
     /// Random seed where applicable.
     pub seed: u64,
+    /// Memory backends to run (`--backend pmem --backend dram`; empty
+    /// means the default pmem-only run, keeping historical output stable).
+    pub backends: Vec<String>,
 }
 
 impl Default for Args {
@@ -31,6 +34,7 @@ impl Default for Args {
             granularity: "line".into(),
             adversary: "none".into(),
             seed: 1,
+            backends: Vec::new(),
         }
     }
 }
@@ -53,9 +57,10 @@ pub fn parse() -> Args {
             "--granularity" => args.granularity = val(),
             "--adversary" => args.adversary = val(),
             "--seed" => args.seed = val().parse().expect("--seed <u64>"),
+            "--backend" => args.backends.push(val()),
             other => panic!(
                 "unknown flag {other}; known: --threads --ms --repeats --penalty \
-                 --granularity --adversary --seed"
+                 --granularity --adversary --seed --backend"
             ),
         }
     }
@@ -69,6 +74,16 @@ impl Args {
             "line" => dss_pmem::FlushGranularity::Line,
             "word" => dss_pmem::FlushGranularity::Word,
             g => panic!("unknown granularity {g} (line|word)"),
+        }
+    }
+
+    /// The configured memory backends, in flag order; defaults to
+    /// pmem-only when no `--backend` flag was given.
+    pub fn parsed_backends(&self) -> Vec<crate::adapter::Backend> {
+        if self.backends.is_empty() {
+            vec![crate::adapter::Backend::Pmem]
+        } else {
+            self.backends.iter().map(|b| crate::adapter::Backend::parse(b)).collect()
         }
     }
 

@@ -165,25 +165,28 @@ fn classify(q: &DssQueue, op: VictimOp, resolved: Resolved, out: &mut SweepOutco
             }
             _ => false,
         },
-        (VictimOp::EmptyDequeue, Resolved { op: Some(ResolvedOp::Dequeue), resp }) => {
-            match resp {
-                Some(QueueResp::Empty) => {
-                    out.effect += 1;
-                    snapshot.is_empty()
-                }
-                None => {
-                    out.no_effect += 1;
-                    snapshot.is_empty()
-                }
-                _ => false,
+        (VictimOp::EmptyDequeue, Resolved { op: Some(ResolvedOp::Dequeue), resp }) => match resp {
+            Some(QueueResp::Empty) => {
+                out.effect += 1;
+                snapshot.is_empty()
             }
-        }
+            None => {
+                out.no_effect += 1;
+                snapshot.is_empty()
+            }
+            _ => false,
+        },
         _ => false,
     };
     if !consistent {
         out.violations += 1;
     }
 }
+
+/// One worker's surviving bookkeeping from a [`concurrent_crash_run`]:
+/// values it enqueued, values it dequeued, and the operation in flight
+/// when its crash hit (`(is_enqueue, value)`).
+type ThreadJournal = (Vec<u64>, Vec<u64>, Option<(bool, u64)>);
 
 /// A multi-threaded crash test: `threads` workers run detectable
 /// enqueue/dequeue pairs; each is armed to crash after a
@@ -202,13 +205,14 @@ pub fn concurrent_crash_run(threads: usize, seed: u64) -> Result<usize, String> 
     use std::collections::HashSet;
 
     let q = DssQueue::new(threads, 256);
-    let results: Vec<(Vec<u64>, Vec<u64>, Option<(bool, u64)>)> = std::thread::scope(|scope| {
+    let results: Vec<ThreadJournal> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|tid| {
                 let q = &q;
                 scope.spawn(move || {
                     // Deterministic per-thread crash point derived from the seed.
-                    let crash_after = 20 + (seed.wrapping_mul(2654435761).wrapping_add(tid as u64 * 97)) % 400;
+                    let crash_after =
+                        20 + (seed.wrapping_mul(2654435761).wrapping_add(tid as u64 * 97)) % 400;
                     q.pool().arm_crash_after(crash_after);
                     let enqueued = std::cell::RefCell::new(Vec::new());
                     let dequeued = std::cell::RefCell::new(Vec::new());
@@ -300,10 +304,9 @@ mod tests {
 
     #[test]
     fn sweeps_have_no_violations_under_adversaries_and_granularities() {
-        for adversary in [
-            WritebackAdversary::All,
-            WritebackAdversary::Random { seed: 5, prob: 0.3 },
-        ] {
+        for adversary in
+            [WritebackAdversary::All, WritebackAdversary::Random { seed: 5, prob: 0.3 }]
+        {
             for granularity in [FlushGranularity::Line, FlushGranularity::Word] {
                 for independent in [false, true] {
                     let config = SweepConfig {
@@ -313,10 +316,7 @@ mod tests {
                     };
                     for op in VictimOp::all() {
                         let out = sweep(op, &config);
-                        assert_eq!(
-                            out.violations, 0,
-                            "{op} under {config:?}: {out:?}"
-                        );
+                        assert_eq!(out.violations, 0, "{op} under {config:?}: {out:?}");
                     }
                 }
             }

@@ -40,9 +40,7 @@ enum Step {
 }
 
 fn plan(tid: usize, ops: usize, seed: u64) -> Vec<Step> {
-    let mut state = seed
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-        .wrapping_add(tid as u64 + 1);
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(tid as u64 + 1);
     let mut next = move || {
         state ^= state << 13;
         state ^= state >> 7;
@@ -63,7 +61,12 @@ fn plan(tid: usize, ops: usize, seed: u64) -> Vec<Step> {
         .collect()
 }
 
-fn run_step(q: &DssQueue, rec: &Recorder<DetOp<QueueOp>, DetResp<QueueOp, QueueResp>>, tid: usize, step: Step) {
+fn run_step(
+    q: &DssQueue,
+    rec: &Recorder<DetOp<QueueOp>, DetResp<QueueOp, QueueResp>>,
+    tid: usize,
+    step: Step,
+) {
     match step {
         Step::DetEnqueue(v) => {
             let id = rec.invoke(tid, DetOp::Prep { op: QueueOp::Enqueue(v), seq: 0 });
@@ -119,11 +122,7 @@ pub fn record_execution(threads: usize, ops_per_thread: usize, seed: u64) -> Rec
 
 /// Records an execution in which every thread is interrupted by a
 /// system-wide crash mid-run; after recovery, each thread resolves.
-pub fn record_crash_execution(
-    threads: usize,
-    ops_per_thread: usize,
-    seed: u64,
-) -> RecordedHistory {
+pub fn record_crash_execution(threads: usize, ops_per_thread: usize, seed: u64) -> RecordedHistory {
     let q = DssQueue::new(threads, 64);
     let rec = Recorder::new();
     std::thread::scope(|scope| {

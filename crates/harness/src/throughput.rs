@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::time::{Duration, Instant};
 
-use crate::adapter::QueueKind;
+use crate::adapter::{Backend, QueueKind};
 
 /// Parameters of one throughput measurement.
 #[derive(Clone, Debug)]
@@ -31,6 +31,8 @@ pub struct ThroughputConfig {
     /// Artificial flush latency in spin iterations (models the
     /// CLWB+SFENCE cost on Optane; 0 = flushes cost the same as stores).
     pub flush_penalty: u64,
+    /// Memory backend the queue runs on (E8's ablation axis).
+    pub backend: Backend,
 }
 
 impl Default for ThroughputConfig {
@@ -42,6 +44,7 @@ impl Default for ThroughputConfig {
             prefill: 16,
             nodes_per_thread: 4096,
             flush_penalty: 20,
+            backend: Backend::Pmem,
         }
     }
 }
@@ -77,8 +80,8 @@ pub fn measure(kind: QueueKind, config: &ThroughputConfig) -> Throughput {
 }
 
 fn run_once(kind: QueueKind, config: &ThroughputConfig) -> f64 {
-    let queue = kind.build(config.threads, config.nodes_per_thread);
-    queue.pool().set_flush_penalty(config.flush_penalty);
+    let queue = kind.build_on(config.backend, config.threads, config.nodes_per_thread);
+    queue.set_flush_penalty(config.flush_penalty);
     for i in 0..config.prefill {
         queue.enqueue(0, i + 1);
     }
@@ -123,8 +126,12 @@ pub fn print_series(
 ) {
     println!("# {title}");
     println!(
-        "# duration={:?} repeats={} prefill={} flush_penalty={}",
-        base.duration, base.repeats, base.prefill, base.flush_penalty
+        "# duration={:?} repeats={} prefill={} flush_penalty={} backend={}",
+        base.duration,
+        base.repeats,
+        base.prefill,
+        base.flush_penalty,
+        base.backend.label()
     );
     print!("{:>8}", "threads");
     for kind in kinds {
@@ -168,10 +175,8 @@ mod tests {
     #[test]
     fn flush_penalty_slows_persistent_queues() {
         let fast = measure(QueueKind::DssDetectable, &quick());
-        let slow = measure(
-            QueueKind::DssDetectable,
-            &ThroughputConfig { flush_penalty: 3000, ..quick() },
-        );
+        let slow =
+            measure(QueueKind::DssDetectable, &ThroughputConfig { flush_penalty: 3000, ..quick() });
         assert!(
             slow.mops_mean < fast.mops_mean,
             "a costly flush must reduce throughput ({} vs {})",

@@ -13,7 +13,7 @@
 //! paper's recovery procedure is "extended straightforwardly to prevent
 //! memory leaks" (§4).
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::PAddr;
 
@@ -93,7 +93,7 @@ impl NodePool {
         let i = addr.index();
         i >= self.base
             && i < self.base + self.region_words()
-            && (i - self.base) % self.node_words == 0
+            && (i - self.base).is_multiple_of(self.node_words)
     }
 
     /// Allocates a node for thread `tid`, stealing from other threads'

@@ -37,7 +37,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::PAddr;
 

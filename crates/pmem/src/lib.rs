@@ -1,56 +1,82 @@
-//! Software persistent-memory simulator.
+//! The layered memory substrate: pluggable [`Memory`] backends under every
+//! algorithm in this workspace.
 //!
-//! This crate emulates the memory system assumed by Li & Golab's *Detectable
-//! Sequential Specifications for Recoverable Shared Objects* (DISC 2021): a
-//! byte-addressable persistent main memory (Intel Optane DCPMM in the paper)
-//! sitting below a **volatile** CPU cache, accessed with sequentially
-//! consistent 64-bit atomic operations and explicit persistence instructions
-//! (`CLWB` + `SFENCE`, wrapped by PMDK's `pmem_persist`).
+//! Li & Golab's *Detectable Sequential Specifications for Recoverable
+//! Shared Objects* (DISC 2021) assumes a byte-addressable persistent main
+//! memory (Intel Optane DCPMM in the paper) below a **volatile** CPU cache,
+//! accessed with sequentially consistent 64-bit atomics and explicit
+//! persistence instructions (`CLWB` + `SFENCE`, wrapped by PMDK's
+//! `pmem_persist`). This crate provides that memory model as three layers:
 //!
-//! The simulator models exactly the ordering contract those instructions
-//! provide, and nothing more:
+//! # Layer 1 — the [`Memory`] trait
 //!
-//! * Every 64-bit word in a [`PmemPool`] has a *volatile* value — what
-//!   [`PmemPool::load`], [`PmemPool::store`] and [`PmemPool::cas`] observe —
-//!   and a *persisted* shadow — what survives a crash.
-//! * [`PmemPool::flush`] copies volatile → persisted for the addressed word
-//!   (or its whole 64-byte cache line, see [`FlushGranularity`]), modelling
-//!   `pmem_persist`.
-//! * [`PmemPool::crash`] discards all unflushed state: volatile values revert
-//!   to the persisted shadows. A [`WritebackAdversary`] may first persist an
-//!   arbitrary subset of dirty words, modelling spontaneous cache-line
-//!   eviction, which real hardware is always permitted to perform.
+//! The primitive contract (`load`/`store`/`cas`/`flush`/`fence`, capacity
+//! and reservation hooks) every backend implements, with two
+//! implementations:
 //!
-//! On top of the raw pool the crate provides the pieces a recoverable data
-//! structure needs:
+//! * [`PmemPool`] — the crash-testable simulator. Every word has a
+//!   *volatile* value and a *persisted* shadow; [`PmemPool::flush`] copies
+//!   volatile → persisted (whole cache lines under
+//!   [`FlushGranularity::Line`]); [`PmemPool::crash`] discards unflushed
+//!   state after a [`WritebackAdversary`] persists an arbitrary subset of
+//!   dirty words (spontaneous cache eviction, which hardware may always
+//!   perform).
+//! * [`DramPool`] — plain `AtomicU64`s with no shadow, no dirty bits, no
+//!   hooks, no stats; `flush`/`fence` are no-ops. Running the same
+//!   algorithm on both backends separates algorithmic cost from simulator
+//!   cost.
+//!
+//! Crash simulation is deliberately **not** in the trait: arming crash
+//! points, adversarial writeback, and persisted-state inspection are
+//! inherent [`PmemPool`] APIs, used by harnesses that pick the concrete
+//! simulator type.
+//!
+//! # Layer 2 — pool internals
+//!
+//! * **Growth**: both backends store words in a lock-free directory of
+//!   doubling segments, so pools grow on demand instead of panicking past
+//!   a preallocation guess; established words never move.
+//! * **Sharded statistics**: operation counters ([`Stats`]) are per-thread
+//!   cache-line-padded shards aggregated on snapshot, so counting doesn't
+//!   bounce a shared cache line between cores.
+//! * **Instrumentation as a mode**: crash-point hooks and statistics are a
+//!   [`PoolMode`]; a [`PoolMode::Raw`] pool pays zero per-operation
+//!   instrumentation cost.
+//!
+//! # Layer 3 — allocation and reclamation
 //!
 //! * [`PAddr`] — word addresses with NULL, plus [`tag`] helpers for packing
 //!   16 tag bits above a 48-bit address, as the DSS queue does (the paper's
 //!   footnote 5).
-//! * Crash-point injection ([`PmemPool::arm_crash_after`]) so a test harness
-//!   can enumerate *every* instruction boundary as a crash point without
-//!   instrumenting algorithm code.
-//! * Operation statistics ([`Stats`]) for flush-count ablations.
-//! * A fixed-size node allocator with per-thread pools ([`NodePool`]) and
-//!   epoch-based reclamation ([`Ebr`]), mirroring the paper's evaluation
-//!   setup ("each thread pre-allocates a fixed size pool of queue nodes …
-//!   dequeued nodes are returned to the free pool using epoch-based
-//!   reclamation").
+//! * [`NodePool`] — a fixed-size node allocator with per-thread free lists,
+//!   and [`Ebr`] — epoch-based reclamation, mirroring the paper's
+//!   evaluation setup ("each thread pre-allocates a fixed size pool of
+//!   queue nodes … dequeued nodes are returned to the free pool using
+//!   epoch-based reclamation").
 //!
 //! # Quick example
 //!
 //! ```
-//! use dss_pmem::{PmemPool, PAddr, WritebackAdversary};
+//! use dss_pmem::{Memory, PmemPool, DramPool, FlushGranularity, PAddr, WritebackAdversary};
 //!
-//! let pool = PmemPool::with_capacity(64);
+//! // Backend-generic code sees only the Memory trait:
+//! fn bump<M: Memory>(mem: &M, a: PAddr) -> u64 {
+//!     let v = mem.load(a) + 1;
+//!     mem.store(a, v);
+//!     mem.flush(a);
+//!     v
+//! }
+//!
+//! let pmem = PmemPool::with_capacity(64);
+//! let dram = DramPool::new(64);
 //! let a = PAddr::from_index(1);
-//! pool.store(a, 7);          // volatile only
-//! let b = PAddr::from_index(9); // a different cache line than `a`
-//! pool.store(b, 9);
-//! pool.flush(b);             // persisted
-//! pool.crash(&WritebackAdversary::None);
-//! assert_eq!(pool.load(a), 0);   // lost
-//! assert_eq!(pool.load(b), 9);   // survived
+//! assert_eq!(bump(&pmem, a), 1);
+//! assert_eq!(bump(&dram, a), 1);
+//!
+//! // Crash testing is pmem-specific:
+//! pmem.store(a, 9); // unflushed
+//! pmem.crash(&WritebackAdversary::None);
+//! assert_eq!(pmem.load(a), 1); // the flushed 1 survived, the 9 did not
 //! ```
 
 #![forbid(unsafe_code)]
@@ -58,16 +84,22 @@
 
 mod addr;
 mod alloc;
+mod dram;
 mod ebr;
 mod hook;
+mod memory;
 mod pool;
+mod seg;
 mod stats;
+mod sync;
 
 pub mod tag;
 
 pub use addr::PAddr;
 pub use alloc::NodePool;
+pub use dram::DramPool;
 pub use ebr::{Ebr, EbrGuard};
 pub use hook::CrashSignal;
-pub use pool::{FlushGranularity, PmemPool, WritebackAdversary, WORDS_PER_LINE};
+pub use memory::Memory;
+pub use pool::{FlushGranularity, PmemPool, PoolMode, WritebackAdversary, WORDS_PER_LINE};
 pub use stats::{Stats, StatsSnapshot};

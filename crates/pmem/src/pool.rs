@@ -1,12 +1,28 @@
 //! The persistent-memory pool.
+//!
+//! # Memory-ordering policy
+//!
+//! Every field states its ordering explicitly rather than mixing silently:
+//!
+//! * **Word state** (`volatile`, `persisted`, `dirty`) — `SeqCst`. The
+//!   paper's evaluation uses "standard C++ atomic operations configured
+//!   with sequentially consistent ordering", and crash correctness depends
+//!   on the store→dirty and writeback orderings being globally agreed.
+//! * **`generation`** — `SeqCst`. Rare (once per crash) and read by
+//!   recovery code as a synchronisation point; not worth a weaker contract.
+//! * **`flush_penalty`** — `Relaxed`, deliberately. It is a tuning knob
+//!   read at the top of every flush: no other memory depends on its value,
+//!   so the monotone-visible `Relaxed` read is sufficient and keeps the
+//!   knob free on the hot path.
+//! * **Statistics counters** — `Relaxed` (see [`crate::stats`]): monotone
+//!   event counts, only ever read in aggregate.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::OnceLock;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use crate::{hook, PAddr, Stats, StatsSnapshot};
+use crate::seg::{self, Layout};
+use crate::{hook, Memory, PAddr, Stats, StatsSnapshot};
 
 /// Number of 64-bit words per 64-byte cache line.
 pub const WORDS_PER_LINE: u64 = 8;
@@ -27,6 +43,27 @@ pub enum FlushGranularity {
     Line,
     /// Flush persists only the addressed word (adversarial).
     Word,
+}
+
+/// Whether a pool pays for crash hooks and statistics on every primitive.
+///
+/// Instrumentation is what makes the simulator *testable* — crash-point
+/// injection steps a per-thread countdown and the flush-count ablation (E3)
+/// needs per-primitive counters — but both cost cycles on every single
+/// load/store/CAS/flush. Peak-throughput measurements construct the pool in
+/// [`PoolMode::Raw`], where the primitives compile down to the bare atomic
+/// operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PoolMode {
+    /// Crash-point hooks and operation statistics on every primitive
+    /// (the default; required by crash tests and flush-count experiments).
+    #[default]
+    Instrumented,
+    /// No hooks, no stats: primitives are bare atomics plus persistence
+    /// bookkeeping. [`PmemPool::stats`] reports zeros and
+    /// [`PmemPool::arm_crash_after`] plans never fire from this pool's
+    /// operations.
+    Raw,
 }
 
 /// Decides which *dirty* (written but unflushed) words spontaneously reach
@@ -58,6 +95,27 @@ pub enum WritebackAdversary {
     },
 }
 
+/// Minimal splitmix64 generator for the [`WritebackAdversary::Random`]
+/// schedule: deterministic per seed, which is all reproducibility needs.
+struct CrashRng(u64);
+
+impl CrashRng {
+    fn new(seed: u64) -> Self {
+        CrashRng(seed.wrapping_add(0x9E37_79B9_7F4A_7C15))
+    }
+
+    fn survives(&mut self, prob: f64) -> bool {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        ((z >> 11) as f64 / (1u64 << 53) as f64) < prob
+    }
+}
+
+/// One simulated word: the volatile value caches see, the persisted shadow
+/// a crash reverts to, and whether the two may differ.
 struct Word {
     volatile: AtomicU64,
     persisted: AtomicU64,
@@ -81,6 +139,12 @@ impl Word {
 /// paper's evaluation setup ("standard C++ atomic operations configured with
 /// sequentially consistent ordering").
 ///
+/// The pool **grows on demand**: words live in a fixed directory of
+/// doubling segments (see [`crate::seg`]), so addressing past the initial
+/// capacity materialises a new zero-initialised segment lock-free instead
+/// of panicking. Crash semantics are unaffected — a crash visits every
+/// materialised segment.
+///
 /// The exception is [`PmemPool::crash`], which logically stops the machine:
 /// it must not race with ordinary operations. Harnesses stop or join worker
 /// threads first (a thread interrupted by an armed crash plan has already
@@ -100,8 +164,10 @@ impl Word {
 /// assert_eq!(pool.load(a), 10); // the unflushed 11 was lost
 /// ```
 pub struct PmemPool {
-    words: Box<[Word]>,
+    layout: Layout,
+    segments: Box<[OnceLock<Box<[Word]>>]>,
     granularity: FlushGranularity,
+    instrumented: bool,
     stats: Stats,
     generation: AtomicU64,
     flush_penalty: AtomicU64,
@@ -109,10 +175,10 @@ pub struct PmemPool {
 
 impl PmemPool {
     /// Creates a zero-initialized pool of `words` 64-bit words with
-    /// line-granular flushes.
+    /// line-granular flushes, instrumented (see [`PoolMode`]).
     ///
     /// Word 0 is the NULL address and is never meaningfully used; `words`
-    /// must therefore be at least 1.
+    /// must therefore be at least 1. The pool grows on demand past `words`.
     ///
     /// # Panics
     ///
@@ -121,23 +187,43 @@ impl PmemPool {
         Self::with_granularity(words, FlushGranularity::default())
     }
 
-    /// Creates a pool with an explicit [`FlushGranularity`].
+    /// Creates an instrumented pool with an explicit [`FlushGranularity`].
     ///
     /// # Panics
     ///
     /// Panics if `words` is 0 or exceeds the 48-bit address space.
     pub fn with_granularity(words: usize, granularity: FlushGranularity) -> Self {
-        assert!(words >= 1, "pool must contain at least the NULL word");
-        assert!(
-            (words as u64) <= crate::tag::ADDR_MASK,
-            "pool exceeds the 48-bit address space"
-        );
-        PmemPool {
-            words: (0..words).map(|_| Word::new()).collect(),
+        Self::with_mode(words, granularity, PoolMode::Instrumented)
+    }
+
+    /// Creates a pool with explicit [`FlushGranularity`] and [`PoolMode`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is 0 or exceeds the 48-bit address space.
+    pub fn with_mode(words: usize, granularity: FlushGranularity, mode: PoolMode) -> Self {
+        let layout = Layout::new(words);
+        let pool = PmemPool {
+            layout,
+            segments: (0..seg::SLOTS).map(|_| OnceLock::new()).collect(),
             granularity,
+            instrumented: mode == PoolMode::Instrumented,
             stats: Stats::new(),
             generation: AtomicU64::new(0),
             flush_penalty: AtomicU64::new(0),
+        };
+        // Materialise the initial capacity eagerly: constructors are cold,
+        // and the common case never grows.
+        pool.segment(0);
+        pool
+    }
+
+    /// The pool's instrumentation mode.
+    pub fn mode(&self) -> PoolMode {
+        if self.instrumented {
+            PoolMode::Instrumented
+        } else {
+            PoolMode::Raw
         }
     }
 
@@ -149,6 +235,9 @@ impl PmemPool {
     /// not the raw instruction count — is what separates the queue variants
     /// in the paper's Figure 5. Benchmarks set a penalty so the simulator
     /// reproduces the cost *shape*; correctness tests leave it at 0.
+    ///
+    /// `Relaxed` ordering: the knob synchronises nothing (see the module
+    /// docs' ordering policy).
     pub fn set_flush_penalty(&self, spins: u64) {
         self.flush_penalty.store(spins, std::sync::atomic::Ordering::Relaxed);
     }
@@ -158,9 +247,28 @@ impl PmemPool {
         self.flush_penalty.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Number of words in the pool.
+    /// Currently materialised number of words. At least the initial
+    /// capacity rounded up to whole cache lines; grows as higher addresses
+    /// are touched.
     pub fn capacity(&self) -> usize {
-        self.words.len()
+        let mut cap = 0u64;
+        for slot in 0..seg::SLOTS {
+            if self.segments[slot].get().is_some() {
+                cap = cap.max(self.layout.end(slot));
+            }
+        }
+        cap as usize
+    }
+
+    /// Materialises backing storage for all words in `[0, words)`.
+    pub fn reserve(&self, words: usize) {
+        if words == 0 {
+            return;
+        }
+        let last = self.layout.slot_of(words as u64 - 1);
+        for slot in 0..=last {
+            self.segment(slot);
+        }
     }
 
     /// The pool's flush granularity.
@@ -173,16 +281,38 @@ impl PmemPool {
         self.generation.load(SeqCst)
     }
 
+    /// The segment for directory `slot`, materialising it if needed.
+    ///
+    /// `OnceLock` makes materialisation race-free without locking readers:
+    /// losers of an init race drop their allocation and use the winner's,
+    /// and established segments are never moved, so word references remain
+    /// stable for the pool's lifetime.
+    #[inline]
+    fn segment(&self, slot: usize) -> &[Word] {
+        self.segments[slot]
+            .get_or_init(|| (0..self.layout.len(slot)).map(|_| Word::new()).collect())
+    }
+
     #[inline]
     fn word(&self, addr: PAddr) -> &Word {
-        &self.words[addr.index() as usize]
+        let i = addr.index();
+        let slot = self.layout.slot_of(i);
+        &self.segment(slot)[(i - self.layout.start(slot)) as usize]
+    }
+
+    /// Crash hook + statistics, skipped entirely in [`PoolMode::Raw`].
+    #[inline]
+    fn instrument(&self, count: impl FnOnce(&Stats)) {
+        if self.instrumented {
+            hook::step();
+            count(&self.stats);
+        }
     }
 
     /// Atomically loads the volatile value at `addr`.
     #[inline]
     pub fn load(&self, addr: PAddr) -> u64 {
-        hook::step();
-        self.stats.count_load();
+        self.instrument(Stats::count_load);
         self.word(addr).volatile.load(SeqCst)
     }
 
@@ -190,8 +320,7 @@ impl PmemPool {
     /// [`flush`](Self::flush) to persist).
     #[inline]
     pub fn store(&self, addr: PAddr, value: u64) {
-        hook::step();
-        self.stats.count_store();
+        self.instrument(Stats::count_store);
         let w = self.word(addr);
         w.volatile.store(value, SeqCst);
         w.dirty.store(true, SeqCst);
@@ -203,13 +332,17 @@ impl PmemPool {
     /// mirroring [`std::sync::atomic::AtomicU64::compare_exchange`].
     #[inline]
     pub fn cas(&self, addr: PAddr, expected: u64, new: u64) -> Result<u64, u64> {
-        hook::step();
+        if self.instrumented {
+            hook::step();
+        }
         let w = self.word(addr);
         let r = w.volatile.compare_exchange(expected, new, SeqCst, SeqCst);
         if r.is_ok() {
             w.dirty.store(true, SeqCst);
         }
-        self.stats.count_cas(r.is_ok());
+        if self.instrumented {
+            self.stats.count_cas(r.is_ok());
+        }
         r
     }
 
@@ -219,19 +352,22 @@ impl PmemPool {
     /// neighbours) survives any subsequent crash.
     #[inline]
     pub fn flush(&self, addr: PAddr) {
-        hook::step();
-        self.stats.count_flush();
+        self.instrument(Stats::count_flush);
         let penalty = self.flush_penalty.load(std::sync::atomic::Ordering::Relaxed);
         for _ in 0..penalty {
             std::hint::spin_loop();
         }
         match self.granularity {
-            FlushGranularity::Word => self.writeback(addr.index()),
+            FlushGranularity::Word => self.writeback(self.word(addr)),
             FlushGranularity::Line => {
+                // Segment boundaries are line-aligned (see `crate::seg`),
+                // so the whole line lives in `addr`'s segment.
                 let base = addr.index() / WORDS_PER_LINE * WORDS_PER_LINE;
-                let end = (base + WORDS_PER_LINE).min(self.words.len() as u64);
-                for i in base..end {
-                    self.writeback(i);
+                let slot = self.layout.slot_of(base);
+                let seg = self.segment(slot);
+                let off = (base - self.layout.start(slot)) as usize;
+                for w in &seg[off..off + WORDS_PER_LINE as usize] {
+                    self.writeback(w);
                 }
             }
         }
@@ -245,12 +381,10 @@ impl PmemPool {
     /// crash-point indices — faithful to the original.
     #[inline]
     pub fn fence(&self) {
-        hook::step();
-        self.stats.count_fence();
+        self.instrument(Stats::count_fence);
     }
 
-    fn writeback(&self, index: u64) {
-        let w = &self.words[index as usize];
+    fn writeback(&self, w: &Word) {
         // Snapshot-then-store: a racing store may or may not be included,
         // which is exactly the latitude real hardware has for a value
         // written after the flush began. Equal values skip the stores —
@@ -269,7 +403,8 @@ impl PmemPool {
     /// First the `adversary` decides, for every dirty word, whether a
     /// spontaneous cache eviction persisted it; then every volatile value is
     /// replaced by its persisted shadow and the pool's
-    /// [`generation`](Self::generation) increments.
+    /// [`generation`](Self::generation) increments. Every materialised
+    /// segment is visited, so growth never exempts words from the crash.
     ///
     /// The caller must ensure no thread is concurrently operating on the
     /// pool (the machine has, after all, crashed).
@@ -277,26 +412,29 @@ impl PmemPool {
         let mut rng = match adversary {
             WritebackAdversary::Random { seed, prob } => {
                 assert!((0.0..=1.0).contains(prob), "probability out of range");
-                Some((StdRng::seed_from_u64(*seed), *prob))
+                Some((CrashRng::new(*seed), *prob))
             }
             _ => None,
         };
-        for w in self.words.iter() {
-            if w.dirty.load(SeqCst) {
-                let persist = match adversary {
-                    WritebackAdversary::None => false,
-                    WritebackAdversary::All => true,
-                    WritebackAdversary::Random { .. } => {
-                        let (rng, prob) = rng.as_mut().expect("rng initialized");
-                        rng.gen_bool(*prob)
+        for slot in 0..seg::SLOTS {
+            let Some(seg) = self.segments[slot].get() else { continue };
+            for w in seg.iter() {
+                if w.dirty.load(SeqCst) {
+                    let persist = match adversary {
+                        WritebackAdversary::None => false,
+                        WritebackAdversary::All => true,
+                        WritebackAdversary::Random { .. } => {
+                            let (rng, prob) = rng.as_mut().expect("rng initialized");
+                            rng.survives(*prob)
+                        }
+                    };
+                    if persist {
+                        w.persisted.store(w.volatile.load(SeqCst), SeqCst);
                     }
-                };
-                if persist {
-                    w.persisted.store(w.volatile.load(SeqCst), SeqCst);
+                    w.dirty.store(false, SeqCst);
                 }
-                w.dirty.store(false, SeqCst);
+                w.volatile.store(w.persisted.load(SeqCst), SeqCst);
             }
-            w.volatile.store(w.persisted.load(SeqCst), SeqCst);
         }
         self.generation.fetch_add(1, SeqCst);
     }
@@ -304,6 +442,8 @@ impl PmemPool {
     /// Arms the **current thread** to crash (unwind with
     /// [`CrashSignal`](crate::CrashSignal)) after `ops` more pmem
     /// operations. See the crate docs for the harness protocol.
+    ///
+    /// Only [`PoolMode::Instrumented`] pools step the countdown.
     pub fn arm_crash_after(&self, ops: u64) {
         hook::arm(ops);
     }
@@ -320,7 +460,7 @@ impl PmemPool {
         hook::remaining()
     }
 
-    /// The pool's operation counters.
+    /// The pool's operation counters (all zero in [`PoolMode::Raw`]).
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
     }
@@ -349,11 +489,70 @@ impl PmemPool {
     }
 }
 
+impl Memory for PmemPool {
+    fn create(words: usize, granularity: FlushGranularity) -> Self {
+        PmemPool::with_granularity(words, granularity)
+    }
+
+    fn load(&self, addr: PAddr) -> u64 {
+        PmemPool::load(self, addr)
+    }
+
+    fn store(&self, addr: PAddr, value: u64) {
+        PmemPool::store(self, addr, value)
+    }
+
+    fn cas(&self, addr: PAddr, expected: u64, new: u64) -> Result<u64, u64> {
+        PmemPool::cas(self, addr, expected, new)
+    }
+
+    fn flush(&self, addr: PAddr) {
+        PmemPool::flush(self, addr)
+    }
+
+    fn fence(&self) {
+        PmemPool::fence(self)
+    }
+
+    fn granularity(&self) -> FlushGranularity {
+        PmemPool::granularity(self)
+    }
+
+    fn capacity(&self) -> usize {
+        PmemPool::capacity(self)
+    }
+
+    fn reserve(&self, words: usize) {
+        PmemPool::reserve(self, words)
+    }
+
+    fn peek(&self, addr: PAddr) -> u64 {
+        PmemPool::peek(self, addr)
+    }
+
+    fn set_flush_penalty(&self, spins: u64) {
+        PmemPool::set_flush_penalty(self, spins)
+    }
+
+    fn flush_penalty(&self) -> u64 {
+        PmemPool::flush_penalty(self)
+    }
+
+    fn stats(&self) -> StatsSnapshot {
+        PmemPool::stats(self)
+    }
+
+    fn reset_stats(&self) {
+        PmemPool::reset_stats(self)
+    }
+}
+
 impl fmt::Debug for PmemPool {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PmemPool")
-            .field("capacity", &self.words.len())
+            .field("capacity", &self.capacity())
             .field("granularity", &self.granularity)
+            .field("mode", &self.mode())
             .field("generation", &self.generation.load(SeqCst))
             .finish_non_exhaustive()
     }
@@ -478,9 +677,26 @@ mod tests {
     }
 
     #[test]
+    fn raw_mode_counts_nothing_and_never_crashes() {
+        let p = PmemPool::with_mode(32, FlushGranularity::Line, PoolMode::Raw);
+        assert_eq!(p.mode(), PoolMode::Raw);
+        p.arm_crash_after(1); // must never fire: raw pools don't step hooks
+        p.store(addr(1), 7);
+        p.load(addr(1));
+        let _ = p.cas(addr(1), 7, 8);
+        p.flush(addr(1));
+        p.fence();
+        p.disarm_crash();
+        assert_eq!(p.stats(), StatsSnapshot::default());
+        // Persistence semantics are unchanged by the mode.
+        p.crash(&WritebackAdversary::None);
+        assert_eq!(p.load(addr(1)), 8, "flushed value survives in raw mode");
+    }
+
+    #[test]
     fn flush_last_partial_line_in_bounds() {
         // Capacity not a multiple of the line size: flushing the last line
-        // must not index out of bounds.
+        // must not index out of bounds (the layout rounds up to a line).
         let p = PmemPool::with_granularity(10, FlushGranularity::Line);
         p.store(addr(9), 3);
         p.flush(addr(9));
@@ -492,6 +708,44 @@ mod tests {
     #[should_panic(expected = "at least")]
     fn zero_capacity_rejected() {
         let _ = PmemPool::with_capacity(0);
+    }
+
+    #[test]
+    fn grows_past_initial_capacity_without_panicking() {
+        let p = PmemPool::with_capacity(16);
+        let initial = p.capacity();
+        assert!(initial >= 16);
+        // Address far past the initial capacity: materialises on demand.
+        let far = addr(10 * initial as u64);
+        p.store(far, 77);
+        assert_eq!(p.load(far), 77);
+        assert!(p.capacity() > 10 * initial, "capacity grew to cover the access");
+        // Untouched words in between read as zero without materialising
+        // their own values.
+        assert_eq!(p.load(addr(initial as u64 + 1)), 0);
+    }
+
+    #[test]
+    fn crash_semantics_unchanged_under_growth() {
+        let p = PmemPool::with_capacity(16);
+        let far = addr(1000); // well past the initial 16 words
+        p.store(far, 5);
+        p.flush(far);
+        p.store(far, 6); // unflushed overwrite in a grown segment
+        p.store(addr(1), 9); // unflushed in the initial segment
+        p.crash(&WritebackAdversary::None);
+        assert_eq!(p.load(far), 5, "grown segment participates in the crash");
+        assert_eq!(p.load(addr(1)), 0);
+    }
+
+    #[test]
+    fn reserve_materialises_capacity_up_front() {
+        let p = PmemPool::with_capacity(8);
+        let before = p.capacity();
+        p.reserve(before * 6);
+        assert!(p.capacity() >= before * 6);
+        p.reserve(1); // idempotent, never shrinks
+        assert!(p.capacity() >= before * 6);
     }
 
     #[test]
@@ -536,5 +790,36 @@ mod tests {
         let total: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
         assert_eq!(total, 4000);
         assert_eq!(p.load(addr(1)), 4000);
+    }
+
+    #[test]
+    fn concurrent_growth_is_consistent() {
+        use std::sync::Arc;
+        let p = Arc::new(PmemPool::with_capacity(8));
+        // All threads race to touch the same far segment: exactly one
+        // materialisation wins and every increment lands.
+        let far = 4096u64;
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let p = Arc::clone(&p);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let a = addr(far + (i % 64));
+                        loop {
+                            let cur = p.load(a);
+                            if p.cas(a, cur, cur + 1).is_ok() {
+                                break;
+                            }
+                        }
+                        let _ = t;
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let total: u64 = (0..64).map(|i| p.load(addr(far + i))).sum();
+        assert_eq!(total, 2000);
     }
 }

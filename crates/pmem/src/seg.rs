@@ -1,0 +1,136 @@
+//! Address layout of a growable segmented pool.
+//!
+//! A pool's words live in up to [`SLOTS`] independently-allocated segments
+//! listed in a fixed directory, so the pool can grow lock-free: segment 0
+//! has the initial capacity (rounded up to whole cache lines) and each
+//! subsequent segment doubles the total, the classic segmented-vector
+//! layout. A word address maps to (slot, offset) with two shifts and no
+//! locks, existing segments are never moved (so `&Word` references stay
+//! valid forever), and the directory is small enough to scan when a crash
+//! or capacity query needs to visit every materialised word.
+//!
+//! Because segment 0's length is a multiple of
+//! [`WORDS_PER_LINE`](crate::WORDS_PER_LINE) and every later segment's
+//! length is `base << k`, segment boundaries always fall on cache-line
+//! boundaries: a line flush never straddles two segments.
+
+use crate::WORDS_PER_LINE;
+
+/// Number of directory slots. Segment 0 holds at least one cache line
+/// (8 words) and capacity doubles per slot, so 48 slots cover the entire
+/// 48-bit address space with room to spare.
+pub(crate) const SLOTS: usize = 48;
+
+/// The address→segment mapping for a pool with a given initial capacity.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Layout {
+    /// Words in segment 0: the requested initial capacity rounded up to a
+    /// whole number of cache lines (minimum one line).
+    base: u64,
+}
+
+impl Layout {
+    /// Creates the layout for an initial capacity of `words`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is 0 or exceeds the 48-bit address space.
+    pub(crate) fn new(words: usize) -> Self {
+        assert!(words >= 1, "pool must contain at least the NULL word");
+        assert!((words as u64) <= crate::tag::ADDR_MASK, "pool exceeds the 48-bit address space");
+        let base = (words as u64).div_ceil(WORDS_PER_LINE) * WORDS_PER_LINE;
+        Layout { base }
+    }
+
+    /// Initial capacity (segment 0 length) in words.
+    #[cfg(test)]
+    pub(crate) fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Directory slot containing word index `i`.
+    #[inline]
+    pub(crate) fn slot_of(&self, i: u64) -> usize {
+        let q = i / self.base;
+        if q == 0 {
+            0
+        } else {
+            // Slot s ≥ 1 covers [base·2^(s−1), base·2^s): s = ⌊log₂ q⌋ + 1.
+            (64 - q.leading_zeros()) as usize
+        }
+    }
+
+    /// First word index of segment `slot`.
+    #[inline]
+    pub(crate) fn start(&self, slot: usize) -> u64 {
+        if slot == 0 {
+            0
+        } else {
+            self.base << (slot - 1)
+        }
+    }
+
+    /// Length of segment `slot` in words.
+    #[inline]
+    pub(crate) fn len(&self, slot: usize) -> u64 {
+        if slot == 0 {
+            self.base
+        } else {
+            self.base << (slot - 1)
+        }
+    }
+
+    /// One past the last word index of segment `slot`.
+    #[inline]
+    pub(crate) fn end(&self, slot: usize) -> u64 {
+        self.base << slot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_initial_capacity_to_lines() {
+        assert_eq!(Layout::new(1).base(), WORDS_PER_LINE);
+        assert_eq!(Layout::new(8).base(), 8);
+        assert_eq!(Layout::new(10).base(), 16);
+        assert_eq!(Layout::new(64).base(), 64);
+    }
+
+    #[test]
+    fn slots_partition_the_address_space() {
+        let l = Layout::new(64);
+        // Every index maps to exactly the slot whose [start, end) contains it.
+        for i in [0, 1, 63, 64, 65, 127, 128, 255, 256, 1_000_000, 1 << 40] {
+            let s = l.slot_of(i);
+            assert!(l.start(s) <= i && i < l.end(s), "index {i} slot {s}");
+            assert_eq!(l.end(s) - l.start(s), l.len(s));
+        }
+    }
+
+    #[test]
+    fn segments_double() {
+        let l = Layout::new(64);
+        assert_eq!((l.start(0), l.len(0)), (0, 64));
+        assert_eq!((l.start(1), l.len(1)), (64, 64));
+        assert_eq!((l.start(2), l.len(2)), (128, 128));
+        assert_eq!((l.start(3), l.len(3)), (256, 256));
+    }
+
+    #[test]
+    fn segment_boundaries_are_line_aligned() {
+        let l = Layout::new(10); // base rounds to 16
+        for s in 0..12 {
+            assert_eq!(l.start(s) % WORDS_PER_LINE, 0);
+            assert_eq!(l.len(s) % WORDS_PER_LINE, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn zero_capacity_rejected() {
+        let _ = Layout::new(0);
+    }
+}

@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, NodePool, PAddr, PmemPool};
+use dss_pmem::{tag, Ebr, Memory, NodePool, PAddr, PmemPool};
 
 /// Maximum shared (reserved via CAS) words per PMwCAS.
 pub const MAX_SHARED: usize = 3;
@@ -50,13 +50,21 @@ const ST_FAILED: u64 = 3;
 /// assert!(!arena.pmwcas(1, &[(a, 0, 7), (b, 6, 8)], &[]), "a is 5, not 0");
 /// assert_eq!(arena.read(1, b), 6, "failed PMwCAS rolls back completely");
 /// ```
-pub struct PmwcasArena {
-    pool: Arc<PmemPool>,
+pub struct PmwcasArena<M: Memory = PmemPool> {
+    pool: Arc<M>,
     descs: NodePool,
     ebr: Ebr,
 }
 
 impl PmwcasArena {
+    /// Words needed for a descriptor region (pool-sizing helper;
+    /// backend-independent).
+    pub fn region_words(descs_per_thread: u64, nthreads: usize) -> u64 {
+        descs_per_thread * nthreads as u64 * DESC_WORDS
+    }
+}
+
+impl<M: Memory> PmwcasArena<M> {
     /// Creates an arena whose descriptors occupy
     /// `descs_per_thread * nthreads * 16` words starting at `base`.
     ///
@@ -64,20 +72,10 @@ impl PmwcasArena {
     ///
     /// Panics if the region is empty or `base` is not 16-word aligned
     /// (descriptors must not straddle flush lines unpredictably).
-    pub fn new(
-        pool: Arc<PmemPool>,
-        base: PAddr,
-        descs_per_thread: u64,
-        nthreads: usize,
-    ) -> Self {
+    pub fn new(pool: Arc<M>, base: PAddr, descs_per_thread: u64, nthreads: usize) -> Self {
         assert_eq!(base.index() % DESC_WORDS, 0, "descriptor region must be 16-word aligned");
         let descs = NodePool::new(base, DESC_WORDS, descs_per_thread, nthreads);
         PmwcasArena { pool, descs, ebr: Ebr::new(nthreads) }
-    }
-
-    /// Words needed for a descriptor region (pool-sizing helper).
-    pub fn region_words(descs_per_thread: u64, nthreads: usize) -> u64 {
-        descs_per_thread * nthreads as u64 * DESC_WORDS
     }
 
     fn alloc_desc(&self, tid: usize) -> PAddr {
@@ -211,9 +209,7 @@ impl PmwcasArena {
                     }
                     Err(_) => {
                         // Genuine value mismatch.
-                        let _ = self
-                            .pool
-                            .cas(desc.offset(D_STATUS), ST_UNDECIDED, ST_FAILED);
+                        let _ = self.pool.cas(desc.offset(D_STATUS), ST_UNDECIDED, ST_FAILED);
                         self.pool.flush(desc.offset(D_STATUS));
                         break 'entries;
                     }
@@ -313,7 +309,7 @@ impl PmwcasArena {
     }
 }
 
-impl fmt::Debug for PmwcasArena {
+impl<M: Memory> fmt::Debug for PmwcasArena<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("PmwcasArena")
             .field("descriptors", &self.descs.total_nodes())
@@ -330,8 +326,7 @@ mod tests {
     fn setup(nthreads: usize) -> (Arc<PmemPool>, PmwcasArena) {
         let region = PmwcasArena::region_words(8, nthreads);
         let pool = Arc::new(PmemPool::with_capacity((64 + region) as usize));
-        let arena =
-            PmwcasArena::new(Arc::clone(&pool), PAddr::from_index(64), 8, nthreads);
+        let arena = PmwcasArena::new(Arc::clone(&pool), PAddr::from_index(64), 8, nthreads);
         (pool, arena)
     }
 
@@ -391,8 +386,7 @@ mod tests {
             }
             pool.crash(&WritebackAdversary::None);
             arena.recover();
-            let (v1, v9, v17) =
-                (pool.peek(a(1)), pool.peek(a(9)), pool.peek(a(17)));
+            let (v1, v9, v17) = (pool.peek(a(1)), pool.peek(a(9)), pool.peek(a(17)));
             // All-or-nothing across every crash point:
             assert!(
                 (v1, v9, v17) == (0, 0, 0) || (v1, v9, v17) == (10, 20, 5),
@@ -442,11 +436,7 @@ mod tests {
                     while done < 100 {
                         let x = arena.read(tid, a(1));
                         let y = arena.read(tid, a(9));
-                        let (nx, ny) = if tid % 2 == 0 {
-                            (x - 1, y + 1)
-                        } else {
-                            (x + 1, y - 1)
-                        };
+                        let (nx, ny) = if tid % 2 == 0 { (x - 1, y + 1) } else { (x + 1, y - 1) };
                         if arena.pmwcas(tid, &[(a(1), x, nx), (a(9), y, ny)], &[]) {
                             done += 1;
                         }

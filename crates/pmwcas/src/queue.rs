@@ -3,7 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, NodePool, PAddr, PmemPool};
+use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
 use dss_spec::types::QueueResp;
 
 use crate::PmwcasArena;
@@ -81,9 +81,9 @@ pub struct CweResolved {
 /// assert_eq!(q.exec_dequeue(1), QueueResp::Value(7));
 /// assert_eq!(q.resolve(1).resp, Some(QueueResp::Value(7)));
 /// ```
-pub struct CasWithEffectQueue {
-    pool: Arc<PmemPool>,
-    arena: PmwcasArena,
+pub struct CasWithEffectQueue<M: Memory = PmemPool> {
+    pool: Arc<M>,
+    arena: PmwcasArena<M>,
     nodes: NodePool,
     ebr: Ebr,
     nthreads: usize,
@@ -92,22 +92,44 @@ pub struct CasWithEffectQueue {
 
 impl CasWithEffectQueue {
     /// Creates the **General** variant (detectability word treated as a
-    /// shared word of the PMwCAS).
+    /// shared word of the PMwCAS) on a fresh [`PmemPool`].
     ///
     /// # Panics
     ///
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new_general(nthreads: usize, nodes_per_thread: u64) -> Self {
-        Self::build(nthreads, nodes_per_thread, false)
+        Self::new_general_in(nthreads, nodes_per_thread)
     }
 
     /// Creates the **Fast** variant (detectability word written as a
-    /// private word at commit).
+    /// private word at commit) on a fresh [`PmemPool`].
     ///
     /// # Panics
     ///
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new_fast(nthreads: usize, nodes_per_thread: u64) -> Self {
+        Self::new_fast_in(nthreads, nodes_per_thread)
+    }
+}
+
+impl<M: Memory> CasWithEffectQueue<M> {
+    /// Backend-generic constructor for the **General** variant
+    /// ([`Memory::create`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn new_general_in(nthreads: usize, nodes_per_thread: u64) -> Self {
+        Self::build(nthreads, nodes_per_thread, false)
+    }
+
+    /// Backend-generic constructor for the **Fast** variant
+    /// ([`Memory::create`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn new_fast_in(nthreads: usize, nodes_per_thread: u64) -> Self {
         Self::build(nthreads, nodes_per_thread, true)
     }
 
@@ -122,27 +144,16 @@ impl CasWithEffectQueue {
         let desc_region = (node_region + node_words).next_multiple_of(16);
         let descs_per_thread = 128;
         let words = desc_region + PmwcasArena::region_words(descs_per_thread, nthreads);
-        let pool = Arc::new(PmemPool::with_capacity(words as usize));
+        let pool = Arc::new(M::create(words as usize, FlushGranularity::default()));
         let arena = PmwcasArena::new(
             Arc::clone(&pool),
             PAddr::from_index(desc_region),
             descs_per_thread,
             nthreads,
         );
-        let nodes = NodePool::new(
-            PAddr::from_index(node_region),
-            NODE_WORDS,
-            nodes_per_thread,
-            nthreads,
-        );
-        let q = CasWithEffectQueue {
-            pool,
-            arena,
-            nodes,
-            ebr: Ebr::new(nthreads),
-            nthreads,
-            fast,
-        };
+        let nodes =
+            NodePool::new(PAddr::from_index(node_region), NODE_WORDS, nodes_per_thread, nthreads);
+        let q = CasWithEffectQueue { pool, arena, nodes, ebr: Ebr::new(nthreads), nthreads, fast };
         let s = PAddr::from_index(sentinel);
         q.pool.store(s.offset(F_VALUE), 0);
         q.pool.store(s.offset(F_NEXT), 0);
@@ -173,7 +184,7 @@ impl CasWithEffectQueue {
     }
 
     /// The queue's pool.
-    pub fn pool(&self) -> &Arc<PmemPool> {
+    pub fn pool(&self) -> &Arc<M> {
         &self.pool
     }
 
@@ -265,10 +276,7 @@ impl CasWithEffectQueue {
             }
             if self.update(
                 tid,
-                &[
-                    (last.offset(F_NEXT), 0, node.to_word()),
-                    (self.tail(), last_w, node.to_word()),
-                ],
+                &[(last.offset(F_NEXT), 0, node.to_word()), (self.tail(), last_w, node.to_word())],
                 x,
                 tag::set(x, tag::ENQ_COMPL),
             ) {
@@ -312,11 +320,8 @@ impl CasWithEffectQueue {
                         self.pool.flush(self.x(tid));
                         return QueueResp::Empty;
                     }
-                    if self.arena.pmwcas(
-                        tid,
-                        &[(self.x(tid), x, tag::DEQ_PREP | tag::EMPTY)],
-                        &[],
-                    ) {
+                    if self.arena.pmwcas(tid, &[(self.x(tid), x, tag::DEQ_PREP | tag::EMPTY)], &[])
+                    {
                         return QueueResp::Empty;
                     }
                 }
@@ -360,9 +365,7 @@ impl CasWithEffectQueue {
                 // predecessor pointer implies effect; the check is kept
                 // defensive.
                 let next = tag::addr_of(self.pool.load(ptr.offset(F_NEXT)));
-                if !next.is_null()
-                    && self.pool.load(next.offset(F_DEQ_TID)) == tid as u64 + 1
-                {
+                if !next.is_null() && self.pool.load(next.offset(F_DEQ_TID)) == tid as u64 + 1 {
                     Some(QueueResp::Value(self.pool.load(next.offset(F_VALUE))))
                 } else {
                     None
@@ -428,7 +431,7 @@ impl CasWithEffectQueue {
     }
 }
 
-impl fmt::Debug for CasWithEffectQueue {
+impl<M: Memory> fmt::Debug for CasWithEffectQueue<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("CasWithEffectQueue")
             .field("nthreads", &self.nthreads)
@@ -445,10 +448,7 @@ mod tests {
     use std::sync::Arc;
 
     fn both() -> Vec<CasWithEffectQueue> {
-        vec![
-            CasWithEffectQueue::new_general(2, 32),
-            CasWithEffectQueue::new_fast(2, 32),
-        ]
+        vec![CasWithEffectQueue::new_general(2, 32), CasWithEffectQueue::new_fast(2, 32)]
     }
 
     #[test]
@@ -481,17 +481,11 @@ mod tests {
                 CweResolved { op: Some(CweResolvedOp::Enqueue(9)), resp: Some(QueueResp::Ok) }
             );
             q.prep_dequeue(0);
-            assert_eq!(
-                q.resolve(0),
-                CweResolved { op: Some(CweResolvedOp::Dequeue), resp: None }
-            );
+            assert_eq!(q.resolve(0), CweResolved { op: Some(CweResolvedOp::Dequeue), resp: None });
             assert_eq!(q.exec_dequeue(0), QueueResp::Value(9));
             assert_eq!(
                 q.resolve(0),
-                CweResolved {
-                    op: Some(CweResolvedOp::Dequeue),
-                    resp: Some(QueueResp::Value(9))
-                }
+                CweResolved { op: Some(CweResolvedOp::Dequeue), resp: Some(QueueResp::Value(9)) }
             );
         }
     }
@@ -528,15 +522,13 @@ mod tests {
                         CweResolved { op: None, resp: None } => {
                             assert!(!in_queue, "fast={fast} k={k} {adv:?}")
                         }
-                        CweResolved { op: Some(CweResolvedOp::Enqueue(42)), resp } => {
-                            match resp {
-                                Some(QueueResp::Ok) => {
-                                    assert!(in_queue, "fast={fast} k={k} {adv:?}")
-                                }
-                                None => assert!(!in_queue, "fast={fast} k={k} {adv:?}"),
-                                other => panic!("impossible response {other:?}"),
+                        CweResolved { op: Some(CweResolvedOp::Enqueue(42)), resp } => match resp {
+                            Some(QueueResp::Ok) => {
+                                assert!(in_queue, "fast={fast} k={k} {adv:?}")
                             }
-                        }
+                            None => assert!(!in_queue, "fast={fast} k={k} {adv:?}"),
+                            other => panic!("impossible response {other:?}"),
+                        },
                         other => panic!("fast={fast} k={k}: impossible {other:?}"),
                     }
                 }
@@ -620,13 +612,11 @@ mod tests {
                     })
                 })
                 .collect();
-            let mut all: Vec<u64> =
-                handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+            let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
             all.extend(q.snapshot_values());
             all.sort_unstable();
-            let mut expected: Vec<u64> = (0..4u64)
-                .flat_map(|t| (1..=150).map(move |i| t << 32 | i))
-                .collect();
+            let mut expected: Vec<u64> =
+                (0..4u64).flat_map(|t| (1..=150).map(move |i| t << 32 | i)).collect();
             expected.sort_unstable();
             assert_eq!(all, expected, "fast={fast}");
         }
@@ -644,9 +634,6 @@ mod tests {
         };
         let general = CasWithEffectQueue::new_general(1, 8);
         let fast = CasWithEffectQueue::new_fast(1, 8);
-        assert!(
-            measure(&fast) < measure(&general),
-            "the Fast variant must do less work per op"
-        );
+        assert!(measure(&fast) < measure(&general), "the Fast variant must do less work per op");
     }
 }

@@ -1,0 +1,541 @@
+//! Minimal in-tree stand-in for the [proptest](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment for this repository has no network access and no
+//! vendored registry, so external crates cannot be fetched. This crate
+//! implements the subset of proptest's API that the workspace's tests
+//! actually use — seeded random [`Strategy`] values, the [`proptest!`]
+//! runner macro, [`prop_oneof!`], `prop::collection::vec`, and the
+//! `prop_assert*` macros — with the same surface syntax, so test code is
+//! written exactly as it would be against the real crate.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated inputs and the
+//!   case seed verbatim; minimisation is manual. Repository convention is to
+//!   copy the reported inputs into an explicit regression `#[test]` (see
+//!   `tests/proptest_crash.rs`) and note them in the sibling
+//!   `*.proptest-regressions` file.
+//! * **Deterministic by default.** Case seeds derive from the test's module
+//!   path and name, so runs are reproducible in CI. Set `PROPTEST_SEED` to
+//!   explore a different portion of the input space, and `PROPTEST_CASES`
+//!   to override the case count.
+
+use std::env;
+use std::ops::{Range, RangeInclusive};
+
+/// Splitmix64 pseudo-random generator: tiny, fast, and plenty for test-case
+/// generation (not cryptographic).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform boolean.
+    pub fn bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+/// A source of random values of one type; the stand-in's equivalent of
+/// proptest's `Strategy` (sampling only — no value tree, no shrinking).
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<T: std::fmt::Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Type-erases this strategy so strategies of different concrete types
+    /// can share a container (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased [`Strategy`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, T: std::fmt::Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.strategy.sample(rng))
+    }
+}
+
+/// Uniform choice between same-valued strategies; built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: std::fmt::Debug> Union<T> {
+    /// Creates a union of the given arms; must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> std::fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union").field("arms", &self.arms.len()).finish()
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width range: any value.
+                    rng.next_u64() as $t
+                } else {
+                    lo + rng.below(span) as $t
+                }
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        // The closed upper end is reachable in principle; for test
+        // generation the distinction from the half-open range is moot.
+        self.start() + rng.unit_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+}
+
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use super::{Strategy, TestRng};
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.bool()
+        }
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for vectors with a length drawn from `len` and elements
+    /// drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates `Vec`s of `element` values with lengths in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.len.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(96);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: skip the case without counting it as a pass.
+    Reject,
+    /// `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+/// Support machinery used by the [`proptest!`] expansion; not public API.
+#[doc(hidden)]
+pub mod runner {
+    use super::{ProptestConfig, TestCaseError, TestRng};
+
+    /// Derives the deterministic base seed for one property function.
+    pub fn base_seed(test_path: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325; // FNV-1a
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        if let Ok(s) = std::env::var("PROPTEST_SEED") {
+            if let Ok(s) = s.parse::<u64>() {
+                h ^= s.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+        }
+        h
+    }
+
+    /// Runs the property closure over `config.cases` generated cases.
+    ///
+    /// `case` receives a fresh RNG and returns `(inputs, result)` where
+    /// `inputs` is a rendering of the generated values for failure reports.
+    pub fn run<F>(test_path: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> (String, std::thread::Result<Result<(), TestCaseError>>),
+    {
+        let base = base_seed(test_path);
+        let mut passed: u32 = 0;
+        let mut attempts: u64 = 0;
+        let max_attempts = config.cases as u64 * 20 + 100;
+        while passed < config.cases {
+            let seed = base ^ attempts.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            attempts += 1;
+            assert!(
+                attempts <= max_attempts,
+                "{test_path}: too many rejected cases ({attempts} attempts for \
+                 {passed}/{} passes)",
+                config.cases
+            );
+            let mut rng = TestRng::new(seed);
+            let (inputs, outcome) = case(&mut rng);
+            match outcome {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Reject)) => {}
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!(
+                        "property failed: {msg}\n— case seed: {seed:#x}\n— inputs:\n{inputs}\
+                         (no shrinking in the in-tree proptest stand-in; add a regression \
+                         test with these inputs)"
+                    );
+                }
+                Err(payload) => {
+                    eprintln!("property panicked — case seed: {seed:#x}\n— inputs:\n{inputs}");
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// Declares property tests: each `fn` runs its body over many generated
+/// inputs. Mirrors proptest's macro of the same name (sans shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let path = concat!(module_path!(), "::", stringify!($name));
+            $crate::runner::run(path, &config, |rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), rng);)+
+                let inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(s.push_str(&format!(
+                        "    {} = {:?}\n", stringify!($arg), &$arg
+                    ));)+
+                    s
+                };
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                (inputs, outcome)
+            });
+        }
+        $crate::__proptest_impl! { @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Property-test assertion: fails the current case (with its inputs
+/// reported) rather than aborting the whole test binary.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The glob-import surface test files use (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = Strategy::sample(&(3u64..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let u = Strategy::sample(&(0usize..4), &mut rng);
+            assert!(u < 4);
+            let f = Strategy::sample(&(0.0f64..=1.0), &mut rng);
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let sample = |seed| {
+            let mut rng = TestRng::new(seed);
+            (0..20).map(|_| rng.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(sample(5), sample(5));
+        assert_ne!(sample(5), sample(6));
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![Just(0u64), (1u64..5).prop_map(|v| v * 100),];
+        let mut rng = TestRng::new(11);
+        let mut saw_zero = false;
+        let mut saw_mapped = false;
+        for _ in 0..200 {
+            match strat.sample(&mut rng) {
+                0 => saw_zero = true,
+                v => {
+                    assert!(v % 100 == 0 && (1..5).contains(&(v / 100)));
+                    saw_mapped = true;
+                }
+            }
+        }
+        assert!(saw_zero && saw_mapped);
+    }
+
+    #[test]
+    fn vec_lengths_respect_range() {
+        let strat = prop::collection::vec(0u64..3, 2..6);
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro pipeline end-to-end: generation, assertion, assume.
+        #[test]
+        fn macro_roundtrip(a in 0u64..50, flip in super::bool::ANY) {
+            prop_assume!(a != 13);
+            prop_assert!(a < 50);
+            let b = if flip { a } else { a + 1 - 1 };
+            prop_assert_eq!(a, b, "identity at {}", a);
+        }
+    }
+}

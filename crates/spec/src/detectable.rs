@@ -83,9 +83,7 @@ impl<T: SequentialSpec> Clone for DetState<T> {
 
 impl<T: SequentialSpec> PartialEq for DetState<T> {
     fn eq(&self, other: &Self) -> bool {
-        self.inner == other.inner
-            && self.prepared == other.prepared
-            && self.result == other.result
+        self.inner == other.inner && self.prepared == other.prepared && self.result == other.result
     }
 }
 
@@ -238,10 +236,7 @@ mod tests {
         assert_eq!(r, DetResp::Ret(RegisterResp::Ok));
         assert_eq!(s2.inner, 1, "write took effect on the base state");
         let (s3, r) = d.apply(&s2, &DetOp::Resolve, 0).unwrap();
-        assert_eq!(
-            r,
-            DetResp::Resolved(Some((RegisterOp::Write(1), 0)), Some(RegisterResp::Ok))
-        );
+        assert_eq!(r, DetResp::Resolved(Some((RegisterOp::Write(1), 0)), Some(RegisterResp::Ok)));
         assert!(r.took_effect());
         assert_eq!(s3, s2, "resolve has no side-effect");
     }
@@ -250,8 +245,7 @@ mod tests {
     fn figure2c_prep_without_exec_resolves_to_bottom_response() {
         let d = dreg();
         let s0 = d.initial();
-        let (s1, _) =
-            d.apply(&s0, &DetOp::Prep { op: RegisterOp::Write(1), seq: 7 }, 0).unwrap();
+        let (s1, _) = d.apply(&s0, &DetOp::Prep { op: RegisterOp::Write(1), seq: 7 }, 0).unwrap();
         let (_, r) = d.apply(&s1, &DetOp::Resolve, 0).unwrap();
         assert_eq!(r, DetResp::Resolved(Some((RegisterOp::Write(1), 7)), None));
         assert!(!r.took_effect());
@@ -274,8 +268,7 @@ mod tests {
     fn double_exec_is_illegal() {
         let d = dreg();
         let s0 = d.initial();
-        let (s1, _) =
-            d.apply(&s0, &DetOp::Prep { op: RegisterOp::Write(3), seq: 0 }, 0).unwrap();
+        let (s1, _) = d.apply(&s0, &DetOp::Prep { op: RegisterOp::Write(3), seq: 0 }, 0).unwrap();
         let (s2, _) = d.apply(&s1, &DetOp::Exec, 0).unwrap();
         assert!(d.apply(&s2, &DetOp::Exec, 0).is_none(), "R[pᵢ] ≠ ⊥");
     }
@@ -356,10 +349,7 @@ mod tests {
         let (s, r) = d.apply(&s, &DetOp::Exec, 1).unwrap();
         assert_eq!(r, DetResp::Ret(QueueResp::Value(10)));
         let (_, r) = d.apply(&s, &DetOp::Resolve, 1).unwrap();
-        assert_eq!(
-            r,
-            DetResp::Resolved(Some((QueueOp::Dequeue, 0)), Some(QueueResp::Value(10)))
-        );
+        assert_eq!(r, DetResp::Resolved(Some((QueueOp::Dequeue, 0)), Some(QueueResp::Value(10))));
     }
 
     #[test]
@@ -370,9 +360,7 @@ mod tests {
         let dd = Detectable::new(Detectable::new(RegisterSpec, 2), 2);
         let s0 = dd.initial();
         let inner_op = DetOp::Prep { op: RegisterOp::Write(1), seq: 0 };
-        let (s, _) = dd
-            .apply(&s0, &DetOp::Prep { op: inner_op.clone(), seq: 0 }, 0)
-            .unwrap();
+        let (s, _) = dd.apply(&s0, &DetOp::Prep { op: inner_op.clone(), seq: 0 }, 0).unwrap();
         let (s, r) = dd.apply(&s, &DetOp::Exec, 0).unwrap();
         // Executing the outer exec performs the inner *prep*.
         assert_eq!(r, DetResp::Ret(DetResp::Ack));

@@ -11,10 +11,7 @@ use dss_spec::{DetOp, DetResp, Detectable, SequentialSpec};
 const NPROCS: usize = 3;
 
 fn arb_queue_op() -> impl Strategy<Value = QueueOp> {
-    prop_oneof![
-        (0u64..100).prop_map(QueueOp::Enqueue),
-        Just(QueueOp::Dequeue),
-    ]
+    prop_oneof![(0u64..100).prop_map(QueueOp::Enqueue), Just(QueueOp::Dequeue),]
 }
 
 fn arb_det_op() -> impl Strategy<Value = DetOp<QueueOp>> {
@@ -32,10 +29,12 @@ fn arb_script() -> impl Strategy<Value = Vec<(DetOp<QueueOp>, usize)>> {
 
 /// Runs a script, skipping steps whose preconditions fail (an application
 /// would never issue them), and returns the trace of applied steps.
+type QueueDetResp = DetResp<QueueOp, <QueueSpec as SequentialSpec>::Resp>;
+
 fn run_legal(
     spec: &Detectable<QueueSpec>,
     script: &[(DetOp<QueueOp>, usize)],
-) -> Vec<(DetOp<QueueOp>, usize, DetResp<QueueOp, <QueueSpec as SequentialSpec>::Resp>)> {
+) -> Vec<(DetOp<QueueOp>, usize, QueueDetResp)> {
     let mut state = spec.initial();
     let mut trace = Vec::new();
     for (op, pid) in script {
@@ -83,12 +82,12 @@ proptest! {
                 }
                 DetOp::Exec => {
                     let DetResp::Ret(r) = &resp else { panic!("exec returns Ret") };
-                    last_result[*pid] = Some(r.clone());
+                    last_result[*pid] = Some(*r);
                 }
                 DetOp::Resolve => {
                     prop_assert_eq!(
                         &resp,
-                        &DetResp::Resolved(last_prep[*pid], last_result[*pid].clone())
+                        &DetResp::Resolved(last_prep[*pid], last_result[*pid])
                     );
                 }
                 DetOp::Plain(_) => {}
@@ -100,7 +99,7 @@ proptest! {
             let (_, resp) = det.apply(&state, &DetOp::Resolve, pid).unwrap();
             prop_assert_eq!(
                 resp,
-                DetResp::Resolved(last_prep[pid], last_result[pid].clone())
+                DetResp::Resolved(last_prep[pid], last_result[pid])
             );
         }
     }

@@ -60,8 +60,7 @@ fn main() {
                         for i in 0..ORDERS_PER_TELLER {
                             let from = (tid as u64 + i) % ACCOUNTS as u64;
                             let to = (from + 1 + i % 3) % ACCOUNTS as u64;
-                            let order =
-                                pack(from, to, (tid as u64) << 8 | i, 1 + i % 9);
+                            let order = pack(from, to, (tid as u64) << 8 | i, 1 + i % 9);
                             queue.prep_enqueue(tid, order).expect("pool sized");
                             queue.exec_enqueue(tid);
                             acked.borrow_mut().push(order);
@@ -129,10 +128,6 @@ fn main() {
     let total: i64 = balances.iter().sum();
     println!("settled {settled} orders; balances = {balances:?}; total = {total}");
     assert_eq!(settled as usize, effective.len(), "every effective order settles exactly once");
-    assert_eq!(
-        total,
-        OPENING_BALANCE * ACCOUNTS as i64,
-        "money is conserved across the crash"
-    );
+    assert_eq!(total, OPENING_BALANCE * ACCOUNTS as i64, "money is conserved across the crash");
     println!("ok: exactly-once settlement across a crash, money conserved");
 }

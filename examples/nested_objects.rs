@@ -140,7 +140,5 @@ fn main() {
         }
         k += 1;
     }
-    println!(
-        "ok: nested detectable objects recovered exactly-once at all {covered} crash points"
-    );
+    println!("ok: nested detectable objects recovered exactly-once at all {covered} crash points");
 }

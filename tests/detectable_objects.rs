@@ -69,8 +69,8 @@ fn cas_contention_only_one_winner_per_generation() {
     let v = c.read(0);
     assert!(v == 10 || v == 11);
     // Both threads can resolve their outcome after the fact.
-    for tid in 0..2 {
-        assert_eq!(c.resolve(tid).resp, Some(winners[tid]));
+    for (tid, won) in winners.iter().enumerate() {
+        assert_eq!(c.resolve(tid).resp, Some(*won));
     }
 }
 

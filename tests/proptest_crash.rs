@@ -44,19 +44,18 @@ fn arb_granularity() -> impl Strategy<Value = FlushGranularity> {
     prop_oneof![Just(FlushGranularity::Line), Just(FlushGranularity::Word)]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Single-threaded script with a crash at an arbitrary pmem-op index:
-    /// the post-crash resolution and queue contents are exactly consistent
-    /// with the pre-crash bookkeeping.
-    #[test]
-    fn crash_anywhere_never_loses_or_duplicates(
-        script in prop::collection::vec(arb_op(), 1..25),
-        crash_after in 1u64..600,
-        adversary in arb_adversary(),
-        granularity in arb_granularity(),
-    ) {
+/// The crash property, shared between the generated cases below and the
+/// explicit regression tests at the bottom of this file: run `script` with a
+/// crash armed after `crash_after` pmem operations, then check that the
+/// post-crash resolution and queue contents are exactly consistent with the
+/// pre-crash bookkeeping.
+fn check_crash_case(
+    script: &[Op],
+    crash_after: u64,
+    adversary: WritebackAdversary,
+    granularity: FlushGranularity,
+) -> Result<(), TestCaseError> {
+    {
         let q = DssQueue::with_granularity(1, 64, granularity);
         // Bookkeeping that survives the unwind (the "application journal"),
         // including which operation was in flight when the crash hit.
@@ -128,7 +127,7 @@ proptest! {
         // A *plain* operation interrupted by the crash is exactly the case
         // detectability exists for: the application cannot know whether it
         // took effect, so the invariant grants it the benefit of the doubt.
-        let interrupted = if crashed { in_flight.borrow().clone() } else { None };
+        let interrupted = if crashed { *in_flight.borrow() } else { None };
         if let Some((Op::PlainEnqueue, v)) = interrupted {
             if remaining_set.contains(&v) {
                 effective_enq.insert(v);
@@ -162,6 +161,23 @@ proptest! {
         let mut sorted = remaining.clone();
         sorted.sort_unstable();
         prop_assert_eq!(remaining, sorted, "FIFO order violated after crash");
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Single-threaded script with a crash at an arbitrary pmem-op index:
+    /// see [`check_crash_case`].
+    #[test]
+    fn crash_anywhere_never_loses_or_duplicates(
+        script in prop::collection::vec(arb_op(), 1..25),
+        crash_after in 1u64..600,
+        adversary in arb_adversary(),
+        granularity in arb_granularity(),
+    ) {
+        check_crash_case(&script, crash_after, adversary, granularity)?;
     }
 
     /// Without a crash, resolve always reports the last prepared operation
@@ -201,6 +217,55 @@ proptest! {
             } else {
                 prop_assert_eq!(q.resolve(0), Resolved { op: None, resp: None });
             }
+        }
+    }
+}
+
+/// The exact shrink recorded in `proptest_crash.proptest-regressions`: a
+/// detectable/plain interleaving whose crash lands inside the sixth
+/// operation's exec phase while the writeback adversary drops every
+/// unflushed line. (The in-tree proptest stand-in does not replay the
+/// regressions file, so the case is pinned here explicitly.)
+#[test]
+fn regression_det_plain_interleaving_crash_at_75() {
+    use Op::*;
+    let script = [
+        DetEnqueue,
+        PlainEnqueue,
+        PlainEnqueue,
+        PlainDequeue,
+        PlainDequeue,
+        DetEnqueue,
+        PlainEnqueue,
+        DetEnqueue,
+    ];
+    check_crash_case(&script, 75, WritebackAdversary::All, FlushGranularity::Line)
+        .unwrap_or_else(|e| panic!("regression case failed: {e:?}"));
+}
+
+/// The same script as the recorded shrink, swept over every crash point it
+/// can reach and both flush granularities, against the all-dropping
+/// adversary. Broadens the pinned case so nearby crash points cannot
+/// silently regress.
+#[test]
+fn regression_script_all_crash_points() {
+    use Op::*;
+    let script = [
+        DetEnqueue,
+        PlainEnqueue,
+        PlainEnqueue,
+        PlainDequeue,
+        PlainDequeue,
+        DetEnqueue,
+        PlainEnqueue,
+        DetEnqueue,
+    ];
+    for granularity in [FlushGranularity::Line, FlushGranularity::Word] {
+        for crash_after in 1..300 {
+            check_crash_case(&script, crash_after, WritebackAdversary::All, granularity)
+                .unwrap_or_else(|e| {
+                    panic!("crash_after={crash_after} {granularity:?} failed: {e:?}")
+                });
         }
     }
 }
