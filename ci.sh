@@ -22,4 +22,8 @@ cargo run -q -p dss-harness --release --bin fig5a -- \
     --threads 1 --ms 20 --repeats 1 \
     --backend pmem --backend dram >/dev/null
 
+echo "==> contention bench smoke (2 threads, coalesce/backoff grid)"
+cargo bench -q -p dss-bench --bench contention -- \
+    --threads 2 --ms 20 --repeats 1 >/dev/null
+
 echo "CI green."

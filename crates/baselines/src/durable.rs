@@ -2,9 +2,12 @@
 //! detectable.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
+use dss_pmem::{
+    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+};
 use dss_spec::types::QueueResp;
 
 use crate::QueueFull;
@@ -21,9 +24,10 @@ pub const RV_PENDING: u64 = u64::MAX;
 /// `returnedValues[tid]` sentinel: the last dequeue found the queue empty.
 pub const RV_EMPTY: u64 = u64::MAX - 1;
 
-const A_HEAD: u64 = 1;
-const A_TAIL: u64 = 2;
-const A_RV_BASE: u64 = 3;
+// Head, tail and each returnedValues slot on their own cache line.
+const A_HEAD: u64 = WORDS_PER_LINE;
+const A_TAIL: u64 = 2 * WORDS_PER_LINE;
+const A_RV_BASE: u64 = 3 * WORDS_PER_LINE;
 
 /// The durable queue of Friedman, Herlihy, Marathe & Petrank: the DSS
 /// queue's direct ancestor (paper §3: "the durable queue adds the
@@ -55,6 +59,7 @@ pub struct DurableQueue<M: Memory = PmemPool> {
     nodes: NodePool,
     ebr: Ebr,
     nthreads: usize,
+    backoff: AtomicBool,
 }
 
 impl DurableQueue {
@@ -79,14 +84,20 @@ impl<M: Memory> DurableQueue<M> {
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new_in(nthreads: usize, nodes_per_thread: u64) -> Self {
         assert!(nthreads > 0 && nodes_per_thread > 0);
-        let rv_end = A_RV_BASE + nthreads as u64;
+        let rv_end = A_RV_BASE + nthreads as u64 * WORDS_PER_LINE;
         let sentinel = rv_end.next_multiple_of(NODE_WORDS);
         let region = sentinel + NODE_WORDS;
         let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
         let pool = Arc::new(M::create(words as usize, FlushGranularity::default()));
         let nodes =
             NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
-        let q = DurableQueue { pool, nodes, ebr: Ebr::new(nthreads), nthreads };
+        let q = DurableQueue {
+            pool,
+            nodes,
+            ebr: Ebr::new(nthreads),
+            nthreads,
+            backoff: AtomicBool::new(false),
+        };
         let s = PAddr::from_index(sentinel);
         q.pool.store(s.offset(F_VALUE), 0);
         q.pool.store(s.offset(F_NEXT), 0);
@@ -100,7 +111,18 @@ impl<M: Memory> DurableQueue<M> {
             q.pool.store(q.rv(i), 0);
             q.pool.flush(q.rv(i));
         }
+        q.pool.drain();
         q
+    }
+
+    /// Enables or disables bounded exponential backoff after failed CAS.
+    /// Default off.
+    pub fn set_backoff(&self, on: bool) {
+        self.backoff.store(on, Relaxed);
+    }
+
+    fn new_backoff(&self) -> Backoff {
+        Backoff::new(self.backoff.load(Relaxed))
     }
 
     fn head(&self) -> PAddr {
@@ -113,7 +135,7 @@ impl<M: Memory> DurableQueue<M> {
 
     fn rv(&self, tid: usize) -> PAddr {
         assert!(tid < self.nthreads, "thread ID {tid} out of range");
-        PAddr::from_index(A_RV_BASE + tid as u64)
+        PAddr::from_index(A_RV_BASE + tid as u64 * WORDS_PER_LINE)
     }
 
     /// The queue's pool.
@@ -127,19 +149,7 @@ impl<M: Memory> DurableQueue<M> {
     }
 
     fn alloc(&self, tid: usize) -> Result<PAddr, QueueFull> {
-        if let Some(a) = self.nodes.alloc(tid) {
-            return Ok(a);
-        }
-        for _ in 0..64 {
-            for a in self.ebr.collect_all(tid) {
-                self.nodes.free(tid, a);
-            }
-            if let Some(a) = self.nodes.alloc(tid) {
-                return Ok(a);
-            }
-            std::thread::yield_now();
-        }
-        Err(QueueFull)
+        self.nodes.alloc_with_reclaim(tid, &self.ebr).ok_or(QueueFull)
     }
 
     /// Appends `val` at the tail (flushing the node and the link, as the
@@ -160,6 +170,7 @@ impl<M: Memory> DurableQueue<M> {
         self.pool.store(node.offset(F_DEQ_TID), NO_DEQUEUER);
         self.pool.flush(node);
         let _g = self.ebr.pin(tid);
+        let mut bo = self.new_backoff();
         loop {
             let last_w = self.pool.load(self.tail());
             let last = tag::addr_of(last_w);
@@ -169,6 +180,7 @@ impl<M: Memory> DurableQueue<M> {
                     if self.pool.cas(last.offset(F_NEXT), 0, node.to_word()).is_ok() {
                         self.pool.flush(last.offset(F_NEXT));
                         let _ = self.pool.cas(self.tail(), last_w, node.to_word());
+                        self.pool.drain();
                         return Ok(());
                     }
                 } else {
@@ -176,6 +188,7 @@ impl<M: Memory> DurableQueue<M> {
                     let _ = self.pool.cas(self.tail(), last_w, next_w);
                 }
             }
+            bo.spin();
         }
     }
 
@@ -186,6 +199,7 @@ impl<M: Memory> DurableQueue<M> {
         // Announce a pending dequeue in the returnedValues slot.
         self.pool.store(self.rv(tid), RV_PENDING);
         self.pool.flush(self.rv(tid));
+        let mut bo = self.new_backoff();
         loop {
             let first_w = self.pool.load(self.head());
             let last_w = self.pool.load(self.tail());
@@ -193,18 +207,24 @@ impl<M: Memory> DurableQueue<M> {
             let next_w = self.pool.load(first.offset(F_NEXT));
             let next = tag::addr_of(next_w);
             if self.pool.load(self.head()) != first_w {
+                bo.spin();
                 continue;
             }
             if first_w == last_w {
                 if next.is_null() {
                     self.pool.store(self.rv(tid), RV_EMPTY);
                     self.pool.flush(self.rv(tid));
+                    self.pool.drain();
                     return QueueResp::Empty;
                 }
                 self.pool.flush(first.offset(F_NEXT));
                 let _ = self.pool.cas(self.tail(), last_w, next_w);
             } else if self.pool.cas(next.offset(F_DEQ_TID), NO_DEQUEUER, tid as u64).is_ok() {
                 self.pool.flush(next.offset(F_DEQ_TID));
+                // Ordering point: the published result must not persist
+                // ahead of the claim it reports (a surviving result over a
+                // lost claim would let the value be delivered twice).
+                self.pool.drain();
                 let val = self.pool.load(next.offset(F_VALUE));
                 self.pool.store(self.rv(tid), val);
                 self.pool.flush(self.rv(tid));
@@ -212,12 +232,15 @@ impl<M: Memory> DurableQueue<M> {
                 {
                     self.ebr.retire(tid, first);
                 }
+                self.pool.drain();
                 return QueueResp::Value(val);
             } else if self.pool.load(self.head()) == first_w {
                 // Helping: persist the claim, publish the claimer's result,
                 // then advance head — one flush more than the DSS queue's
                 // helper, as §3.2 notes.
                 self.pool.flush(next.offset(F_DEQ_TID));
+                // Ordering point: see the claiming branch above.
+                self.pool.drain();
                 let claimer = self.pool.load(next.offset(F_DEQ_TID)) as usize;
                 if claimer < self.nthreads {
                     let val = self.pool.load(next.offset(F_VALUE));
@@ -228,6 +251,7 @@ impl<M: Memory> DurableQueue<M> {
                 {
                     self.ebr.retire(tid, first);
                 }
+                bo.spin();
             }
         }
     }
@@ -280,6 +304,7 @@ impl<M: Memory> DurableQueue<M> {
         }
         self.pool.store(self.head(), new_head.to_word());
         self.pool.flush(self.head());
+        self.pool.drain();
     }
 
     /// Rebuilds the volatile allocator after a crash.

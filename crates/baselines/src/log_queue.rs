@@ -15,9 +15,12 @@
 //! entry before advancing the head.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
+use dss_pmem::{
+    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+};
 use dss_spec::types::QueueResp;
 
 use crate::QueueFull;
@@ -45,9 +48,10 @@ const STATUS_DONE: u64 = 1;
 /// Payload sentinel for a dequeue that observed an empty queue.
 const PAYLOAD_EMPTY: u64 = u64::MAX;
 
-const A_HEAD: u64 = 1;
-const A_TAIL: u64 = 2;
-const A_LOG_BASE: u64 = 3; // logPtr[tid]: the thread's current log entry
+// Head, tail and each logPtr slot on their own cache line.
+const A_HEAD: u64 = WORDS_PER_LINE;
+const A_TAIL: u64 = 2 * WORDS_PER_LINE;
+const A_LOG_BASE: u64 = 3 * WORDS_PER_LINE; // logPtr[tid]: the thread's current log entry
 
 /// What [`LogQueue::resolve`] reports about a thread's last announced
 /// operation.
@@ -82,6 +86,7 @@ pub struct LogQueue<M: Memory = PmemPool> {
     ebr: Ebr,      // queue nodes
     ebr_logs: Ebr, // log entries
     nthreads: usize,
+    backoff: AtomicBool,
 }
 
 impl LogQueue {
@@ -107,7 +112,7 @@ impl<M: Memory> LogQueue<M> {
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new_in(nthreads: usize, nodes_per_thread: u64) -> Self {
         assert!(nthreads > 0 && nodes_per_thread > 0);
-        let lp_end = A_LOG_BASE + nthreads as u64;
+        let lp_end = A_LOG_BASE + nthreads as u64 * WORDS_PER_LINE;
         let sentinel = lp_end.next_multiple_of(NODE_WORDS);
         let node_region = sentinel + NODE_WORDS;
         let node_words = nodes_per_thread * nthreads as u64 * NODE_WORDS;
@@ -126,6 +131,7 @@ impl<M: Memory> LogQueue<M> {
             ebr: Ebr::new(nthreads),
             ebr_logs: Ebr::new(nthreads),
             nthreads,
+            backoff: AtomicBool::new(false),
         };
         let s = PAddr::from_index(sentinel);
         q.pool.store(s.offset(N_VALUE), 0);
@@ -141,7 +147,18 @@ impl<M: Memory> LogQueue<M> {
             q.pool.store(q.log_ptr(i), 0);
             q.pool.flush(q.log_ptr(i));
         }
+        q.pool.drain();
         q
+    }
+
+    /// Enables or disables bounded exponential backoff after failed CAS.
+    /// Default off.
+    pub fn set_backoff(&self, on: bool) {
+        self.backoff.store(on, Relaxed);
+    }
+
+    fn new_backoff(&self) -> Backoff {
+        Backoff::new(self.backoff.load(Relaxed))
     }
 
     fn head(&self) -> PAddr {
@@ -154,7 +171,7 @@ impl<M: Memory> LogQueue<M> {
 
     fn log_ptr(&self, tid: usize) -> PAddr {
         assert!(tid < self.nthreads, "thread ID {tid} out of range");
-        PAddr::from_index(A_LOG_BASE + tid as u64)
+        PAddr::from_index(A_LOG_BASE + tid as u64 * WORDS_PER_LINE)
     }
 
     /// The queue's pool.
@@ -168,35 +185,11 @@ impl<M: Memory> LogQueue<M> {
     }
 
     fn alloc_node(&self, tid: usize) -> Result<PAddr, QueueFull> {
-        if let Some(a) = self.nodes.alloc(tid) {
-            return Ok(a);
-        }
-        for _ in 0..64 {
-            for a in self.ebr.collect_all(tid) {
-                self.nodes.free(tid, a);
-            }
-            if let Some(a) = self.nodes.alloc(tid) {
-                return Ok(a);
-            }
-            std::thread::yield_now();
-        }
-        Err(QueueFull)
+        self.nodes.alloc_with_reclaim(tid, &self.ebr).ok_or(QueueFull)
     }
 
     fn alloc_log(&self, tid: usize) -> Result<PAddr, QueueFull> {
-        if let Some(a) = self.logs.alloc(tid) {
-            return Ok(a);
-        }
-        for _ in 0..64 {
-            for a in self.ebr_logs.collect_all(tid) {
-                self.logs.free(tid, a);
-            }
-            if let Some(a) = self.logs.alloc(tid) {
-                return Ok(a);
-            }
-            std::thread::yield_now();
-        }
-        Err(QueueFull)
+        self.logs.alloc_with_reclaim(tid, &self.ebr_logs).ok_or(QueueFull)
     }
 
     /// Writes and announces a fresh log entry; retires the previous one.
@@ -214,6 +207,9 @@ impl<M: Memory> LogQueue<M> {
         self.pool.store(log.offset(L_NODE), node.to_word());
         self.pool.store(log.offset(L_STATUS), STATUS_PENDING);
         self.pool.flush(log);
+        // Ordering point: the per-thread log pointer must not persist
+        // ahead of the entry it names.
+        self.pool.drain();
         self.pool.store(self.log_ptr(tid), log.to_word());
         self.pool.flush(self.log_ptr(tid));
         if !old.is_null() {
@@ -236,6 +232,7 @@ impl<M: Memory> LogQueue<M> {
         self.pool.store(node.offset(N_ENQ_LOG), log.to_word());
         self.pool.flush(node);
         let _g = self.ebr.pin(tid);
+        let mut bo = self.new_backoff();
         loop {
             let last_w = self.pool.load(self.tail());
             let last = tag::addr_of(last_w);
@@ -244,9 +241,13 @@ impl<M: Memory> LogQueue<M> {
                 if tag::addr_of(next_w).is_null() {
                     if self.pool.cas(last.offset(N_NEXT), 0, node.to_word()).is_ok() {
                         self.pool.flush(last.offset(N_NEXT));
+                        // Ordering point: the DONE mark must not persist
+                        // ahead of the link it certifies.
+                        self.pool.drain();
                         self.pool.store(log.offset(L_STATUS), STATUS_DONE);
                         self.pool.flush(log.offset(L_STATUS));
                         let _ = self.pool.cas(self.tail(), last_w, node.to_word());
+                        self.pool.drain();
                         return Ok(());
                     }
                 } else {
@@ -254,6 +255,7 @@ impl<M: Memory> LogQueue<M> {
                     let _ = self.pool.cas(self.tail(), last_w, next_w);
                 }
             }
+            bo.spin();
         }
     }
 
@@ -263,6 +265,9 @@ impl<M: Memory> LogQueue<M> {
         let val = self.pool.load(node.offset(N_VALUE));
         self.pool.store(log.offset(L_PAYLOAD), val);
         self.pool.flush(log.offset(L_PAYLOAD));
+        // Ordering point: DONE must not persist ahead of the payload it
+        // validates — or of the (still-pending) claim that justifies it.
+        self.pool.drain();
         self.pool.store(log.offset(L_STATUS), STATUS_DONE);
         self.pool.flush(log.offset(L_STATUS));
     }
@@ -276,6 +281,7 @@ impl<M: Memory> LogQueue<M> {
         let log = self.publish_log(tid, KIND_DEQ, 0, PAddr::NULL)?;
         let _g = self.ebr.pin(tid);
         let _gl = self.ebr_logs.pin(tid);
+        let mut bo = self.new_backoff();
         loop {
             let first_w = self.pool.load(self.head());
             let last_w = self.pool.load(self.tail());
@@ -283,14 +289,18 @@ impl<M: Memory> LogQueue<M> {
             let next_w = self.pool.load(first.offset(N_NEXT));
             let next = tag::addr_of(next_w);
             if self.pool.load(self.head()) != first_w {
+                bo.spin();
                 continue;
             }
             if first_w == last_w {
                 if next.is_null() {
                     self.pool.store(log.offset(L_PAYLOAD), PAYLOAD_EMPTY);
                     self.pool.flush(log.offset(L_PAYLOAD));
+                    // Ordering point: see complete_dequeue.
+                    self.pool.drain();
                     self.pool.store(log.offset(L_STATUS), STATUS_DONE);
                     self.pool.flush(log.offset(L_STATUS));
+                    self.pool.drain();
                     return Ok(QueueResp::Empty);
                 }
                 self.pool.flush(first.offset(N_NEXT));
@@ -303,6 +313,7 @@ impl<M: Memory> LogQueue<M> {
                     self.ebr.retire(tid, first);
                 }
                 let val = self.pool.load(log.offset(L_PAYLOAD));
+                self.pool.drain();
                 return Ok(QueueResp::Value(val));
             } else if self.pool.load(self.head()) == first_w {
                 // Helping: persist the claim, complete the *claimer's* log
@@ -316,6 +327,7 @@ impl<M: Memory> LogQueue<M> {
                 {
                     self.ebr.retire(tid, first);
                 }
+                bo.spin();
             }
         }
     }
@@ -399,6 +411,7 @@ impl<M: Memory> LogQueue<M> {
                 self.pool.flush(log.offset(L_STATUS));
             }
         }
+        self.pool.drain();
     }
 
     /// Rebuilds the volatile allocators after a crash.

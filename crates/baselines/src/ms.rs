@@ -1,17 +1,21 @@
 //! The Michael & Scott lock-free queue — the volatile baseline.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
+use dss_pmem::{
+    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+};
 use dss_spec::types::QueueResp;
 
 const F_VALUE: u64 = 0;
 const F_NEXT: u64 = 1;
 const NODE_WORDS: u64 = 4;
 
-const A_HEAD: u64 = 1;
-const A_TAIL: u64 = 2;
+// Head and tail each on their own cache line (no false sharing).
+const A_HEAD: u64 = WORDS_PER_LINE;
+const A_TAIL: u64 = 2 * WORDS_PER_LINE;
 
 /// The classic MS queue (Michael & Scott, PODC 1996), with **no** flush
 /// instructions: its state does not survive a crash, which is exactly the
@@ -37,6 +41,7 @@ pub struct MsQueue<M: Memory = PmemPool> {
     nodes: NodePool,
     ebr: Ebr,
     nthreads: usize,
+    backoff: AtomicBool,
 }
 
 use crate::QueueFull;
@@ -63,13 +68,19 @@ impl<M: Memory> MsQueue<M> {
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new_in(nthreads: usize, nodes_per_thread: u64) -> Self {
         assert!(nthreads > 0 && nodes_per_thread > 0);
-        let sentinel = (A_TAIL + 1).next_multiple_of(NODE_WORDS);
+        let sentinel = (A_TAIL + WORDS_PER_LINE).next_multiple_of(NODE_WORDS);
         let region = sentinel + NODE_WORDS;
         let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
         let pool = Arc::new(M::create(words as usize, FlushGranularity::default()));
         let nodes =
             NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
-        let q = MsQueue { pool, nodes, ebr: Ebr::new(nthreads), nthreads };
+        let q = MsQueue {
+            pool,
+            nodes,
+            ebr: Ebr::new(nthreads),
+            nthreads,
+            backoff: AtomicBool::new(false),
+        };
         let s = PAddr::from_index(sentinel);
         q.pool.store(s.offset(F_VALUE), 0);
         q.pool.store(s.offset(F_NEXT), 0);
@@ -88,6 +99,16 @@ impl<M: Memory> MsQueue<M> {
         self.nthreads
     }
 
+    /// Enables or disables bounded exponential backoff after failed CAS.
+    /// Default off.
+    pub fn set_backoff(&self, on: bool) {
+        self.backoff.store(on, Relaxed);
+    }
+
+    fn new_backoff(&self) -> Backoff {
+        Backoff::new(self.backoff.load(Relaxed))
+    }
+
     fn head(&self) -> PAddr {
         PAddr::from_index(A_HEAD)
     }
@@ -97,19 +118,7 @@ impl<M: Memory> MsQueue<M> {
     }
 
     fn alloc(&self, tid: usize) -> Result<PAddr, QueueFull> {
-        if let Some(a) = self.nodes.alloc(tid) {
-            return Ok(a);
-        }
-        for _ in 0..64 {
-            for a in self.ebr.collect_all(tid) {
-                self.nodes.free(tid, a);
-            }
-            if let Some(a) = self.nodes.alloc(tid) {
-                return Ok(a);
-            }
-            std::thread::yield_now();
-        }
-        Err(QueueFull)
+        self.nodes.alloc_with_reclaim(tid, &self.ebr).ok_or(QueueFull)
     }
 
     /// Appends `val` at the tail.
@@ -122,6 +131,7 @@ impl<M: Memory> MsQueue<M> {
         self.pool.store(node.offset(F_VALUE), val);
         self.pool.store(node.offset(F_NEXT), 0);
         let _g = self.ebr.pin(tid);
+        let mut bo = self.new_backoff();
         loop {
             let last_w = self.pool.load(self.tail());
             let last = tag::addr_of(last_w);
@@ -136,6 +146,7 @@ impl<M: Memory> MsQueue<M> {
                     let _ = self.pool.cas(self.tail(), last_w, next_w);
                 }
             }
+            bo.spin();
         }
     }
 
@@ -143,6 +154,7 @@ impl<M: Memory> MsQueue<M> {
     /// [`QueueResp::Empty`].
     pub fn dequeue(&self, tid: usize) -> QueueResp {
         let _g = self.ebr.pin(tid);
+        let mut bo = self.new_backoff();
         loop {
             let first_w = self.pool.load(self.head());
             let last_w = self.pool.load(self.tail());
@@ -150,6 +162,7 @@ impl<M: Memory> MsQueue<M> {
             let next_w = self.pool.load(first.offset(F_NEXT));
             let next = tag::addr_of(next_w);
             if self.pool.load(self.head()) != first_w {
+                bo.spin();
                 continue;
             }
             if first_w == last_w {
@@ -167,6 +180,7 @@ impl<M: Memory> MsQueue<M> {
                     }
                     return QueueResp::Value(val);
                 }
+                bo.spin();
             }
         }
     }

@@ -1,0 +1,68 @@
+//! Contention benchmark: every thread hammers ONE shared queue with
+//! alternating enqueue/dequeue pairs (a 50:50 operation mix) — the
+//! adversarial schedule the contention-management layer (bounded backoff,
+//! cache-line padding, announce elision) exists for.
+//!
+//! Each queue kind is measured over the full coalesce × backoff grid so
+//! the axes' effect under contention is visible side by side; `off/off`
+//! is the seed-identical baseline.
+//!
+//! ```text
+//! cargo bench -p dss-bench --bench contention -- \
+//!     [--threads N] [--ms M] [--backend pmem --backend dram]
+//! ```
+
+use std::time::Duration;
+
+use dss_harness::adapter::QueueKind;
+use dss_harness::throughput::{measure, ThroughputConfig};
+
+/// Lenient scan for one numeric flag (cargo bench passes harness flags
+/// like `--bench` through; ignore everything unknown).
+fn numeric_flag(name: &str, default: u64) -> u64 {
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == name {
+            if let Some(v) = it.next() {
+                return v.parse().unwrap_or_else(|_| panic!("{name} needs a number"));
+            }
+        }
+    }
+    default
+}
+
+fn main() {
+    let threads = numeric_flag("--threads", 4) as usize;
+    let ms = numeric_flag("--ms", 150);
+    let repeats = numeric_flag("--repeats", 2) as usize;
+    for backend in dss_bench::backends_from_args() {
+        println!(
+            "# contention: {threads} threads on one queue, 50:50 enq:deq, \
+             backend = {} (Mops/s)",
+            backend.label()
+        );
+        println!(
+            "{:<30} {:>14} {:>14} {:>14} {:>14}",
+            "queue", "off/off", "coalesce", "backoff", "both"
+        );
+        for kind in QueueKind::all() {
+            print!("{:<30}", kind.label());
+            for (coalesce, backoff) in [(false, false), (true, false), (false, true), (true, true)]
+            {
+                let config = ThroughputConfig {
+                    threads,
+                    duration: Duration::from_millis(ms),
+                    repeats,
+                    backend,
+                    coalesce,
+                    backoff,
+                    ..Default::default()
+                };
+                let t = measure(kind, &config);
+                print!(" {:>7.3} ±{:>5.3}", t.mops_mean, t.mops_stddev);
+            }
+            println!();
+        }
+        println!();
+    }
+}

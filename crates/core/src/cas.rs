@@ -10,9 +10,12 @@
 //! announcement carries everything.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
+use dss_pmem::{
+    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+};
 
 // Node layout (4 words, line-aligned).
 const F_NEW: u64 = 0;
@@ -27,9 +30,10 @@ const C_PREP: u64 = tag::ENQ_PREP;
 const C_COMPL: u64 = tag::ENQ_COMPL;
 const C_FAILED: u64 = tag::DEQ_PREP;
 
-// Fixed layout: [0:NULL][1:cur][2..2+n:X][initial node][region].
-const A_CUR: u64 = 1;
-const A_X_BASE: u64 = 2;
+// Fixed layout: [0:NULL][cur line][n X lines][initial node][region] — cur
+// and each X entry on their own cache line (no false sharing).
+const A_CUR: u64 = WORDS_PER_LINE;
+const A_X_BASE: u64 = 2 * WORDS_PER_LINE;
 
 /// The outcome reported by [`DetectableCas::resolve`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -62,6 +66,7 @@ pub struct DetectableCas<M: Memory = PmemPool> {
     nodes: NodePool,
     ebr: Ebr,
     nthreads: usize,
+    backoff: AtomicBool,
     pending: Box<[std::sync::Mutex<Vec<PAddr>>]>,
 }
 
@@ -88,7 +93,7 @@ impl<M: Memory> DetectableCas<M> {
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new_in(nthreads: usize, nodes_per_thread: u64, granularity: FlushGranularity) -> Self {
         assert!(nthreads > 0 && nodes_per_thread > 0);
-        let x_end = A_X_BASE + nthreads as u64;
+        let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
         let init_node = x_end.next_multiple_of(NODE_WORDS);
         let region = init_node + NODE_WORDS;
         let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
@@ -100,6 +105,7 @@ impl<M: Memory> DetectableCas<M> {
             nodes,
             ebr: Ebr::new(nthreads),
             nthreads,
+            backoff: AtomicBool::new(false),
             pending: (0..nthreads).map(|_| std::sync::Mutex::new(Vec::new())).collect(),
         };
         let init = PAddr::from_index(init_node);
@@ -114,7 +120,23 @@ impl<M: Memory> DetectableCas<M> {
             c.pool.store(c.x_addr(i), 0);
             c.pool.flush(c.x_addr(i));
         }
+        c.pool.drain();
         c
+    }
+
+    /// Enables or disables bounded exponential backoff after failed
+    /// install CAS. Default off.
+    pub fn set_backoff(&self, on: bool) {
+        self.backoff.store(on, Relaxed);
+    }
+
+    /// Whether contention management is enabled.
+    pub fn backoff_enabled(&self) -> bool {
+        self.backoff.load(Relaxed)
+    }
+
+    fn new_backoff(&self) -> Backoff {
+        Backoff::new(self.backoff.load(Relaxed))
     }
 
     fn cur_addr(&self) -> PAddr {
@@ -123,7 +145,7 @@ impl<M: Memory> DetectableCas<M> {
 
     fn x_addr(&self, tid: usize) -> PAddr {
         assert!(tid < self.nthreads, "thread ID {tid} out of range");
-        PAddr::from_index(A_X_BASE + tid as u64)
+        PAddr::from_index(A_X_BASE + tid as u64 * WORDS_PER_LINE)
     }
 
     /// The object's persistent-memory pool.
@@ -132,22 +154,9 @@ impl<M: Memory> DetectableCas<M> {
     }
 
     fn alloc(&self, tid: usize) -> PAddr {
-        if let Some(a) = self.nodes.alloc(tid) {
-            return a;
-        }
-        // Epoch advancement needs every pinned thread to pass through an
-        // unpinned state; retry with yields so transient pins don't turn
-        // into spurious exhaustion.
-        for _ in 0..64 {
-            for a in self.ebr.collect_all(tid) {
-                self.nodes.free(tid, a);
-            }
-            if let Some(a) = self.nodes.alloc(tid) {
-                return a;
-            }
-            std::thread::yield_now();
-        }
-        panic!("CAS node pool exhausted (size it for the workload)");
+        self.nodes
+            .alloc_with_reclaim(tid, &self.ebr)
+            .unwrap_or_else(|| panic!("CAS node pool exhausted (size it for the workload)"))
     }
 
     fn sweep_pending(&self, tid: usize) {
@@ -184,6 +193,10 @@ impl<M: Memory> DetectableCas<M> {
         self.pool.store(node.offset(F_WRITER_SEQ), ((tid as u64) << 48) | (seq & tag::ADDR_MASK));
         self.pool.store(node.offset(F_SUPERSEDED), 0);
         self.pool.flush(node);
+        // Ordering point: the announce must not persist ahead of the node
+        // it names. Its own flush may stay pending — exec's CAS fences
+        // before the operation takes effect.
+        self.pool.drain();
         self.pool.store(self.x_addr(tid), tag::set(node.to_word(), C_PREP));
         self.pool.flush(self.x_addr(tid));
         if !old.is_null() {
@@ -210,6 +223,7 @@ impl<M: Memory> DetectableCas<M> {
         );
         let node = tag::addr_of(x);
         let expected = self.pool.load(node.offset(F_EXPECTED));
+        let mut bo = self.new_backoff();
         loop {
             let cur_w = self.pool.load(self.cur_addr());
             let cur = tag::addr_of(cur_w);
@@ -218,16 +232,22 @@ impl<M: Memory> DetectableCas<M> {
                 // The CAS takes effect (fails) at this read.
                 self.pool.store(xa, tag::set(x, C_COMPL | C_FAILED));
                 self.pool.flush(xa);
+                self.pool.drain();
                 return false;
             }
             self.pool.store(cur.offset(F_SUPERSEDED), 1);
             self.pool.flush(cur.offset(F_SUPERSEDED));
             if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
                 self.pool.flush(self.cur_addr());
+                // Ordering point: the completion mark must not persist
+                // ahead of the installed pointer it certifies.
+                self.pool.drain();
                 self.pool.store(xa, tag::set(x, C_COMPL));
                 self.pool.flush(xa);
+                self.pool.drain();
                 return true;
             }
+            bo.spin();
         }
     }
 
@@ -245,6 +265,7 @@ impl<M: Memory> DetectableCas<M> {
         self.pool.store(node.offset(F_WRITER_SEQ), u64::MAX);
         self.pool.store(node.offset(F_SUPERSEDED), 0);
         self.pool.flush(node);
+        let mut bo = self.new_backoff();
         loop {
             let cur_w = self.pool.load(self.cur_addr());
             let cur = tag::addr_of(cur_w);
@@ -252,15 +273,18 @@ impl<M: Memory> DetectableCas<M> {
             if cur_val != expected {
                 // The node was never exposed; free it directly.
                 self.nodes.free(tid, node);
+                self.pool.drain();
                 return false;
             }
             self.pool.store(cur.offset(F_SUPERSEDED), 1);
             self.pool.flush(cur.offset(F_SUPERSEDED));
             if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
                 self.pool.flush(self.cur_addr());
+                self.pool.drain();
                 self.push_pending(tid, node);
                 return true;
             }
+            bo.spin();
         }
     }
 

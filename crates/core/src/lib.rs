@@ -57,7 +57,7 @@ mod register;
 mod stack;
 mod universal;
 
-pub use cas::DetectableCas;
+pub use cas::{DetectableCas, ResolvedCas};
 pub use queue::{DssQueue, QueueFull, Resolved, ResolvedOp};
 pub use register::DetectableRegister;
 pub use stack::{DssStack, StackFull, StackResolved, StackResolvedOp};

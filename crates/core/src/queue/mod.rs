@@ -6,10 +6,12 @@ mod recovery;
 mod tests;
 
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
+use dss_pmem::{
+    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+};
 use dss_spec::types::QueueResp;
 
 /// Node field offsets (a queue node is `{ value, next, deqThreadID }`,
@@ -91,15 +93,21 @@ pub struct DssQueue<M: Memory = PmemPool> {
     pub(crate) nodes: NodePool,
     ebr: Ebr,
     nthreads: usize,
+    /// Contention management: back off after failed CAS in the retry loops
+    /// and elide provably redundant announce flushes (default off, which
+    /// keeps the instruction sequence identical to the paper's pseudocode).
+    backoff: AtomicBool,
     /// Monotone per-thread counters of completed operations (volatile;
     /// used by workloads and tests, never by the algorithm).
     ops_done: Box<[AtomicU64]>,
 }
 
-// Fixed low-address layout.
-pub(crate) const A_HEAD: u64 = 1;
-pub(crate) const A_TAIL: u64 = 2;
-pub(crate) const A_X_BASE: u64 = 3;
+// Fixed low-address layout, one cache line per hot word: head, tail and
+// each thread's X entry get their own line so CAS retries on one never
+// invalidate the others (false sharing).
+pub(crate) const A_HEAD: u64 = WORDS_PER_LINE;
+pub(crate) const A_TAIL: u64 = 2 * WORDS_PER_LINE;
+pub(crate) const A_X_BASE: u64 = 3 * WORDS_PER_LINE;
 
 impl DssQueue {
     /// Creates a queue for `nthreads` threads with `nodes_per_thread`
@@ -138,10 +146,10 @@ impl<M: Memory> DssQueue<M> {
     pub fn new_in(nthreads: usize, nodes_per_thread: u64, granularity: FlushGranularity) -> Self {
         assert!(nthreads > 0, "need at least one thread");
         assert!(nodes_per_thread > 0, "need at least one node per thread");
-        // Layout: [0:NULL][1:head][2:tail][3..3+n: X][sentinel][region...],
-        // with the sentinel and region aligned to NODE_WORDS so each node
-        // sits within one cache line.
-        let x_end = A_X_BASE + nthreads as u64;
+        // Layout: [0:NULL][head line][tail line][n X lines][sentinel]
+        // [region...], with the sentinel and region aligned to NODE_WORDS
+        // so each node sits within one cache line.
+        let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
         let sentinel = x_end.next_multiple_of(NODE_WORDS);
         let region = sentinel + NODE_WORDS;
         let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
@@ -153,6 +161,7 @@ impl<M: Memory> DssQueue<M> {
             nodes,
             ebr: Ebr::new(nthreads),
             nthreads,
+            backoff: AtomicBool::new(false),
             ops_done: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
         };
         // Initial state: head = tail = sentinel; sentinel.next = NULL,
@@ -170,7 +179,26 @@ impl<M: Memory> DssQueue<M> {
             q.pool.store(q.x_addr(i), 0);
             q.pool.flush(q.x_addr(i));
         }
+        q.pool.drain();
         q
+    }
+
+    /// Enables or disables contention management (bounded exponential
+    /// backoff after failed CAS, plus elision of provably redundant
+    /// announce flushes in `exec-dequeue`). Default off: the instruction
+    /// sequence then matches the paper's pseudocode exactly.
+    pub fn set_backoff(&self, on: bool) {
+        self.backoff.store(on, Relaxed);
+    }
+
+    /// Whether contention management is enabled.
+    pub fn backoff_enabled(&self) -> bool {
+        self.backoff.load(Relaxed)
+    }
+
+    /// A fresh per-operation backoff, enabled per the queue's setting.
+    pub(crate) fn new_backoff(&self) -> Backoff {
+        Backoff::new(self.backoff.load(Relaxed))
     }
 
     /// The queue's memory backend (on [`PmemPool`]: crash it, inspect it,
@@ -194,7 +222,7 @@ impl<M: Memory> DssQueue<M> {
 
     pub(crate) fn x_addr(&self, tid: usize) -> PAddr {
         assert!(tid < self.nthreads, "thread ID {tid} out of range");
-        PAddr::from_index(A_X_BASE + tid as u64)
+        PAddr::from_index(A_X_BASE + tid as u64 * WORDS_PER_LINE)
     }
 
     /// `FLUSH(node)`: persists a whole node. One flush under line
@@ -214,22 +242,7 @@ impl<M: Memory> DssQueue<M> {
     /// Allocates a node, recycling retired nodes through EBR when the free
     /// lists run dry.
     pub(crate) fn alloc_node(&self, tid: usize) -> Result<PAddr, QueueFull> {
-        if let Some(a) = self.nodes.alloc(tid) {
-            return Ok(a);
-        }
-        // Recycle: each collect() advances the epoch at most once, and an
-        // advance needs every pinned thread to pass through an unpinned
-        // state, so retry with yields before declaring exhaustion.
-        for _ in 0..64 {
-            for a in self.ebr.collect_all(tid) {
-                self.nodes.free(tid, a);
-            }
-            if let Some(a) = self.nodes.alloc(tid) {
-                return Ok(a);
-            }
-            std::thread::yield_now();
-        }
-        Err(QueueFull)
+        self.nodes.alloc_with_reclaim(tid, &self.ebr).ok_or(QueueFull)
     }
 
     pub(crate) fn pin(&self, tid: usize) -> dss_pmem::EbrGuard<'_> {

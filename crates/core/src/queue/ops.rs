@@ -28,6 +28,13 @@ impl<M: Memory> DssQueue<M> {
         self.pool.store(node.offset(F_NEXT), PAddr::NULL.to_word());
         self.pool.store(node.offset(F_DEQ_TID), NO_DEQUEUER);
         self.flush_node(node); // line 2
+                               // Ordering point: the announce below must not persist ahead of the
+                               // node it names (writeback is per-word, so X[tid] could otherwise
+                               // survive a crash pointing at an unwritten node). The announce
+                               // flush itself may stay pending — exec's first CAS is a fence point
+                               // and writes it back before the enqueue can take effect, and a
+                               // crash before then is indistinguishable from one before the prep.
+        self.pool.drain();
         self.pool.store(x, tag::set(node.to_word(), tag::ENQ_PREP)); // line 3
         self.pool.flush(x); // line 4
         Ok(())
@@ -49,6 +56,7 @@ impl<M: Memory> DssQueue<M> {
             "exec-enqueue without a prepared enqueue (X[{tid}] = {x:#x})"
         );
         let node = tag::addr_of(x);
+        let mut bo = self.new_backoff();
         loop {
             let last_w = self.pool.load(self.tail_addr()); // line 7
             let last = tag::addr_of(last_w);
@@ -64,10 +72,14 @@ impl<M: Memory> DssQueue<M> {
                     {
                         // line 11 succeeded
                         self.pool.flush(last.offset(F_NEXT)); // line 12
+                                                              // Ordering point: the completion mark must not
+                                                              // persist ahead of the link it certifies.
+                        self.pool.drain();
                         self.pool.store(xa, tag::set(x, tag::ENQ_COMPL)); // line 13
                         self.pool.flush(xa); // line 14
                         let _ = self.pool.cas(self.tail_addr(), last_w, node.to_word()); // line 15
                         self.bump_ops(tid);
+                        self.pool.drain();
                         return;
                     }
                 } else {
@@ -76,6 +88,9 @@ impl<M: Memory> DssQueue<M> {
                     let _ = self.pool.cas(self.tail_addr(), last_w, next_w); // line 19
                 }
             }
+            // Reaching here means another thread won the race this
+            // iteration; back off before colliding with it again.
+            bo.spin();
         }
     }
 
@@ -94,6 +109,7 @@ impl<M: Memory> DssQueue<M> {
         self.pool.store(node.offset(F_DEQ_TID), NO_DEQUEUER);
         self.flush_node(node);
         let _guard = self.pin(tid);
+        let mut bo = self.new_backoff();
         loop {
             let last_w = self.pool.load(self.tail_addr());
             let last = tag::addr_of(last_w);
@@ -108,6 +124,7 @@ impl<M: Memory> DssQueue<M> {
                         self.pool.flush(last.offset(F_NEXT));
                         let _ = self.pool.cas(self.tail_addr(), last_w, node.to_word());
                         self.bump_ops(tid);
+                        self.pool.drain();
                         return Ok(());
                     }
                 } else {
@@ -115,6 +132,7 @@ impl<M: Memory> DssQueue<M> {
                     let _ = self.pool.cas(self.tail_addr(), last_w, next_w);
                 }
             }
+            bo.spin();
         }
     }
 
@@ -124,6 +142,7 @@ impl<M: Memory> DssQueue<M> {
         let x = self.x_addr(tid);
         self.pool.store(x, tag::DEQ_PREP); // line 32
         self.pool.flush(x); // line 33
+                            // No drain: see prep_enqueue — exec fences before any effect.
     }
 
     /// **exec-dequeue()** (Figure 4, lines 34–55): claims the node after
@@ -135,6 +154,12 @@ impl<M: Memory> DssQueue<M> {
     pub fn exec_dequeue(&self, tid: usize) -> QueueResp {
         let _guard = self.pin(tid);
         let xa = self.x_addr(tid);
+        let elide = self.backoff_enabled();
+        let mut bo = self.new_backoff();
+        // The announce word this call last wrote to X[tid] (0 = none). Only
+        // this thread writes X[tid], so under contention management a retry
+        // may skip re-announcing the same predecessor it already persisted.
+        let mut announced = 0u64;
         loop {
             let first_w = self.pool.load(self.head_addr()); // line 35
             let last_w = self.pool.load(self.tail_addr()); // line 36
@@ -142,6 +167,7 @@ impl<M: Memory> DssQueue<M> {
             let next_w = self.pool.load(first.offset(F_NEXT)); // line 37
             let next = tag::addr_of(next_w);
             if self.pool.load(self.head_addr()) != first_w {
+                bo.spin();
                 continue; // line 38 failed
             }
             if first_w == last_w {
@@ -151,6 +177,7 @@ impl<M: Memory> DssQueue<M> {
                     self.pool.store(xa, tag::DEQ_PREP | tag::EMPTY); // line 41
                     self.pool.flush(xa); // line 42
                     self.bump_ops(tid);
+                    self.pool.drain();
                     return QueueResp::Empty; // line 43
                 }
                 self.pool.flush(first.offset(F_NEXT)); // line 44 (first == last)
@@ -158,8 +185,12 @@ impl<M: Memory> DssQueue<M> {
             } else {
                 // lines 46–55: non-empty queue
                 // save predecessor of the node to be dequeued
-                self.pool.store(xa, tag::set(first.to_word(), tag::DEQ_PREP)); // line 47
-                self.pool.flush(xa); // line 48
+                let announce = tag::set(first.to_word(), tag::DEQ_PREP);
+                if !elide || announced != announce {
+                    self.pool.store(xa, announce); // line 47
+                    self.pool.flush(xa); // line 48
+                    announced = announce;
+                }
                 if self.pool.cas(next.offset(F_DEQ_TID), NO_DEQUEUER, tid as u64).is_ok() {
                     // line 49 succeeded
                     self.pool.flush(next.offset(F_DEQ_TID)); // line 50
@@ -169,6 +200,7 @@ impl<M: Memory> DssQueue<M> {
                     }
                     let val = self.pool.load(next.offset(F_VALUE)); // line 52
                     self.bump_ops(tid);
+                    self.pool.drain();
                     return QueueResp::Value(val);
                 } else if self.pool.load(self.head_addr()) == first_w {
                     // lines 53–55: help another dequeuing thread
@@ -179,6 +211,7 @@ impl<M: Memory> DssQueue<M> {
                     }
                 }
             }
+            bo.spin();
         }
     }
 
@@ -187,6 +220,7 @@ impl<M: Memory> DssQueue<M> {
     /// `tid | NONDET_DEQ` (§3.2).
     pub fn dequeue(&self, tid: usize) -> QueueResp {
         let _guard = self.pin(tid);
+        let mut bo = self.new_backoff();
         loop {
             let first_w = self.pool.load(self.head_addr());
             let last_w = self.pool.load(self.tail_addr());
@@ -194,11 +228,13 @@ impl<M: Memory> DssQueue<M> {
             let next_w = self.pool.load(first.offset(F_NEXT));
             let next = tag::addr_of(next_w);
             if self.pool.load(self.head_addr()) != first_w {
+                bo.spin();
                 continue;
             }
             if first_w == last_w {
                 if next.is_null() {
                     self.bump_ops(tid);
+                    self.pool.drain();
                     return QueueResp::Empty;
                 }
                 self.pool.flush(first.offset(F_NEXT));
@@ -215,6 +251,7 @@ impl<M: Memory> DssQueue<M> {
                     }
                     let val = self.pool.load(next.offset(F_VALUE));
                     self.bump_ops(tid);
+                    self.pool.drain();
                     return QueueResp::Value(val);
                 } else if self.pool.load(self.head_addr()) == first_w {
                     self.pool.flush(next.offset(F_DEQ_TID));
@@ -223,6 +260,7 @@ impl<M: Memory> DssQueue<M> {
                     }
                 }
             }
+            bo.spin();
         }
     }
 }

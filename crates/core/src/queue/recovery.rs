@@ -63,6 +63,7 @@ impl<M: Memory> DssQueue<M> {
         for i in 0..self.nthreads() {
             self.recover_x_entry(i, &all_nodes);
         }
+        self.pool.drain();
     }
 
     /// Independent per-thread recovery (§3.3): thread `tid` repairs only
@@ -77,6 +78,7 @@ impl<M: Memory> DssQueue<M> {
         let old_head = tag::addr_of(self.pool.load(self.head_addr()));
         let all_nodes: HashSet<PAddr> = self.reachable_from(old_head).into_iter().collect();
         self.recover_x_entry(tid, &all_nodes);
+        self.pool.drain();
     }
 
     fn recover_x_entry(&self, i: usize, all_nodes: &HashSet<PAddr>) {

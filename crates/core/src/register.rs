@@ -16,9 +16,12 @@
 //! queue's base objects (registers and CAS) can themselves be detectable.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
+use dss_pmem::{
+    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+};
 use dss_spec::types::RegisterResp;
 
 // Node layout (4 words, line-aligned like the queue's nodes).
@@ -33,9 +36,10 @@ const NODE_WORDS: u64 = 4;
 const W_PREP: u64 = tag::ENQ_PREP;
 const W_COMPL: u64 = tag::ENQ_COMPL;
 
-// Fixed layout: [0:NULL][1:cur][2..2+n:X][initial node][region].
-const A_CUR: u64 = 1;
-const A_X_BASE: u64 = 2;
+// Fixed layout: [0:NULL][cur line][n X lines][initial node][region] — cur
+// and each X entry on their own cache line (no false sharing).
+const A_CUR: u64 = WORDS_PER_LINE;
+const A_X_BASE: u64 = 2 * WORDS_PER_LINE;
 
 /// The outcome reported by [`DetectableRegister::resolve`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -79,6 +83,7 @@ pub struct DetectableRegister<M: Memory = PmemPool> {
     nodes: NodePool,
     ebr: Ebr,
     nthreads: usize,
+    backoff: AtomicBool,
     /// Per-thread nodes this thread created that are awaiting retirement.
     /// A node may be retired once it is neither the register's current
     /// node nor referenced by the owner's `X` entry; only the owner ever
@@ -109,7 +114,7 @@ impl<M: Memory> DetectableRegister<M> {
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new_in(nthreads: usize, nodes_per_thread: u64, granularity: FlushGranularity) -> Self {
         assert!(nthreads > 0 && nodes_per_thread > 0);
-        let x_end = A_X_BASE + nthreads as u64;
+        let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
         let init_node = x_end.next_multiple_of(NODE_WORDS);
         let region = init_node + NODE_WORDS;
         let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
@@ -121,6 +126,7 @@ impl<M: Memory> DetectableRegister<M> {
             nodes,
             ebr: Ebr::new(nthreads),
             nthreads,
+            backoff: AtomicBool::new(false),
             pending: (0..nthreads).map(|_| std::sync::Mutex::new(Vec::new())).collect(),
         };
         let init = PAddr::from_index(init_node);
@@ -134,7 +140,23 @@ impl<M: Memory> DetectableRegister<M> {
             r.pool.store(r.x_addr(i), 0);
             r.pool.flush(r.x_addr(i));
         }
+        r.pool.drain();
         r
+    }
+
+    /// Enables or disables bounded exponential backoff after failed
+    /// install CAS. Default off.
+    pub fn set_backoff(&self, on: bool) {
+        self.backoff.store(on, Relaxed);
+    }
+
+    /// Whether contention management is enabled.
+    pub fn backoff_enabled(&self) -> bool {
+        self.backoff.load(Relaxed)
+    }
+
+    fn new_backoff(&self) -> Backoff {
+        Backoff::new(self.backoff.load(Relaxed))
     }
 
     fn cur_addr(&self) -> PAddr {
@@ -143,7 +165,7 @@ impl<M: Memory> DetectableRegister<M> {
 
     fn x_addr(&self, tid: usize) -> PAddr {
         assert!(tid < self.nthreads, "thread ID {tid} out of range");
-        PAddr::from_index(A_X_BASE + tid as u64)
+        PAddr::from_index(A_X_BASE + tid as u64 * WORDS_PER_LINE)
     }
 
     /// The register's persistent-memory pool.
@@ -152,22 +174,9 @@ impl<M: Memory> DetectableRegister<M> {
     }
 
     fn alloc(&self, tid: usize) -> PAddr {
-        if let Some(a) = self.nodes.alloc(tid) {
-            return a;
-        }
-        // Epoch advancement needs every pinned thread to pass through an
-        // unpinned state; retry with yields so transient pins don't turn
-        // into spurious exhaustion.
-        for _ in 0..64 {
-            for a in self.ebr.collect_all(tid) {
-                self.nodes.free(tid, a);
-            }
-            if let Some(a) = self.nodes.alloc(tid) {
-                return a;
-            }
-            std::thread::yield_now();
-        }
-        panic!("register node pool exhausted (size it for the workload)");
+        self.nodes
+            .alloc_with_reclaim(tid, &self.ebr)
+            .unwrap_or_else(|| panic!("register node pool exhausted (size it for the workload)"))
     }
 
     /// Retires the caller's past nodes that are no longer the current node
@@ -207,6 +216,10 @@ impl<M: Memory> DetectableRegister<M> {
         self.pool.store(node.offset(F_WRITER_SEQ), pack(tid, seq));
         self.pool.store(node.offset(F_SUPERSEDED), 0);
         self.pool.flush(node);
+        // Ordering point: the announce must not persist ahead of the node
+        // it names. Its own flush may stay pending — exec's install CAS
+        // fences before the write takes effect.
+        self.pool.drain();
         self.pool.store(self.x_addr(tid), tag::set(node.to_word(), W_PREP));
         self.pool.flush(self.x_addr(tid));
         // The previous announcement node is no longer referenced by X[tid];
@@ -229,6 +242,7 @@ impl<M: Memory> DetectableRegister<M> {
         let x = self.pool.load(xa);
         assert!(tag::has(x, W_PREP), "exec-write without a prepared write");
         let node = tag::addr_of(x);
+        let mut bo = self.new_backoff();
         loop {
             let cur_w = self.pool.load(self.cur_addr());
             let cur = tag::addr_of(cur_w);
@@ -238,10 +252,15 @@ impl<M: Memory> DetectableRegister<M> {
             self.pool.flush(cur.offset(F_SUPERSEDED));
             if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
                 self.pool.flush(self.cur_addr());
+                // Ordering point: the completion mark must not persist
+                // ahead of the installed pointer it certifies.
+                self.pool.drain();
                 self.pool.store(xa, tag::set(x, W_COMPL));
                 self.pool.flush(xa);
+                self.pool.drain();
                 return;
             }
+            bo.spin();
         }
     }
 
@@ -260,6 +279,7 @@ impl<M: Memory> DetectableRegister<M> {
         self.pool.store(node.offset(F_WRITER_SEQ), u64::MAX);
         self.pool.store(node.offset(F_SUPERSEDED), 0);
         self.pool.flush(node);
+        let mut bo = self.new_backoff();
         loop {
             let cur_w = self.pool.load(self.cur_addr());
             let cur = tag::addr_of(cur_w);
@@ -267,12 +287,14 @@ impl<M: Memory> DetectableRegister<M> {
             self.pool.flush(cur.offset(F_SUPERSEDED));
             if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
                 self.pool.flush(self.cur_addr());
+                self.pool.drain();
                 // X never references a plain write's node, so it joins the
                 // owner's pending list right away; it is retired by a later
                 // sweep once it stops being the current node.
                 self.push_pending(tid, node);
                 return;
             }
+            bo.spin();
         }
     }
 

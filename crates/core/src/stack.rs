@@ -17,9 +17,12 @@
 //! other thread's operation completed.
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
+use dss_pmem::{
+    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+};
 use dss_spec::types::StackResp;
 
 // Node layout: {value, next, popper, pad}, line-aligned.
@@ -38,9 +41,10 @@ const PUSH_COMPL: u64 = tag::ENQ_COMPL;
 const POP_PREP: u64 = tag::DEQ_PREP;
 const EMPTY: u64 = tag::EMPTY;
 
-// Layout: [0:NULL][1:top][2..2+n:X][node region].
-const A_TOP: u64 = 1;
-const A_X_BASE: u64 = 2;
+// Layout: [0:NULL][top line][n X lines][node region] — top and each X
+// entry on their own cache line so contending CASes don't false-share.
+const A_TOP: u64 = WORDS_PER_LINE;
+const A_X_BASE: u64 = 2 * WORDS_PER_LINE;
 
 /// Push-side error: the pre-allocated node pool is exhausted.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -95,6 +99,7 @@ pub struct DssStack<M: Memory = PmemPool> {
     nodes: NodePool,
     ebr: Ebr,
     nthreads: usize,
+    backoff: AtomicBool,
 }
 
 impl DssStack {
@@ -119,20 +124,43 @@ impl<M: Memory> DssStack<M> {
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new_in(nthreads: usize, nodes_per_thread: u64, granularity: FlushGranularity) -> Self {
         assert!(nthreads > 0 && nodes_per_thread > 0);
-        let x_end = A_X_BASE + nthreads as u64;
+        let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
         let region = x_end.next_multiple_of(NODE_WORDS);
         let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
         let pool = Arc::new(M::create(words as usize, granularity));
         let nodes =
             NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
-        let s = DssStack { pool, nodes, ebr: Ebr::new(nthreads), nthreads };
+        let s = DssStack {
+            pool,
+            nodes,
+            ebr: Ebr::new(nthreads),
+            nthreads,
+            backoff: AtomicBool::new(false),
+        };
         s.pool.store(s.top_addr(), PAddr::NULL.to_word());
         s.pool.flush(s.top_addr());
         for i in 0..nthreads {
             s.pool.store(s.x_addr(i), 0);
             s.pool.flush(s.x_addr(i));
         }
+        s.pool.drain();
         s
+    }
+
+    /// Enables or disables contention management (backoff after failed CAS
+    /// and elision of redundant announce flushes in `exec-pop`). Default
+    /// off.
+    pub fn set_backoff(&self, on: bool) {
+        self.backoff.store(on, Relaxed);
+    }
+
+    /// Whether contention management is enabled.
+    pub fn backoff_enabled(&self) -> bool {
+        self.backoff.load(Relaxed)
+    }
+
+    fn new_backoff(&self) -> Backoff {
+        Backoff::new(self.backoff.load(Relaxed))
     }
 
     fn top_addr(&self) -> PAddr {
@@ -141,7 +169,7 @@ impl<M: Memory> DssStack<M> {
 
     fn x_addr(&self, tid: usize) -> PAddr {
         assert!(tid < self.nthreads, "thread ID {tid} out of range");
-        PAddr::from_index(A_X_BASE + tid as u64)
+        PAddr::from_index(A_X_BASE + tid as u64 * WORDS_PER_LINE)
     }
 
     /// The stack's persistent-memory pool.
@@ -155,19 +183,7 @@ impl<M: Memory> DssStack<M> {
     }
 
     fn alloc(&self, tid: usize) -> Result<PAddr, StackFull> {
-        if let Some(a) = self.nodes.alloc(tid) {
-            return Ok(a);
-        }
-        for _ in 0..64 {
-            for a in self.ebr.collect_all(tid) {
-                self.nodes.free(tid, a);
-            }
-            if let Some(a) = self.nodes.alloc(tid) {
-                return Ok(a);
-            }
-            std::thread::yield_now();
-        }
-        Err(StackFull)
+        self.nodes.alloc_with_reclaim(tid, &self.ebr).ok_or(StackFull)
     }
 
     /// The live top: skips the claimed prefix, helping claimed pops along
@@ -201,6 +217,10 @@ impl<M: Memory> DssStack<M> {
         self.pool.store(node.offset(F_NEXT), PAddr::NULL.to_word());
         self.pool.store(node.offset(F_POPPER), NO_POPPER);
         self.flush_node(node);
+        // Ordering point: the announce must not persist ahead of the node
+        // it names. Its own flush may stay pending — exec's first CAS
+        // fences before the push can take effect.
+        self.pool.drain();
         self.pool.store(self.x_addr(tid), tag::set(node.to_word(), PUSH_PREP));
         self.pool.flush(self.x_addr(tid));
         Ok(())
@@ -229,16 +249,22 @@ impl<M: Memory> DssStack<M> {
         let x = self.pool.load(xa);
         assert!(tag::has(x, PUSH_PREP), "exec-push without a prepared push");
         let node = tag::addr_of(x);
+        let mut bo = self.new_backoff();
         loop {
             let top = self.find_top(tid);
             self.pool.store(node.offset(F_NEXT), top.to_word());
             self.pool.flush(node.offset(F_NEXT));
             if self.pool.cas(self.top_addr(), top.to_word(), node.to_word()).is_ok() {
                 self.pool.flush(self.top_addr());
+                // Ordering point: the completion mark must not persist
+                // ahead of the top pointer it certifies.
+                self.pool.drain();
                 self.pool.store(xa, tag::set(x, PUSH_COMPL));
                 self.pool.flush(xa);
+                self.pool.drain();
                 return;
             }
+            bo.spin();
         }
     }
 
@@ -255,14 +281,17 @@ impl<M: Memory> DssStack<M> {
         self.pool.store(node.offset(F_POPPER), NO_POPPER);
         self.flush_node(node);
         let _g = self.ebr.pin(tid);
+        let mut bo = self.new_backoff();
         loop {
             let top = self.find_top(tid);
             self.pool.store(node.offset(F_NEXT), top.to_word());
             self.pool.flush(node.offset(F_NEXT));
             if self.pool.cas(self.top_addr(), top.to_word(), node.to_word()).is_ok() {
                 self.pool.flush(self.top_addr());
+                self.pool.drain();
                 return Ok(());
             }
+            bo.spin();
         }
     }
 
@@ -270,6 +299,7 @@ impl<M: Memory> DssStack<M> {
     pub fn prep_pop(&self, tid: usize) {
         self.pool.store(self.x_addr(tid), POP_PREP);
         self.pool.flush(self.x_addr(tid));
+        // No drain: see prep_push — exec fences before any effect.
     }
 
     /// **exec-pop()**: claims the top node by CAS-ing the thread ID into
@@ -282,25 +312,39 @@ impl<M: Memory> DssStack<M> {
     pub fn exec_pop(&self, tid: usize) -> StackResp {
         let _g = self.ebr.pin(tid);
         let xa = self.x_addr(tid);
+        let elide = self.backoff_enabled();
+        let mut bo = self.new_backoff();
+        // Last announce this call wrote to X[tid] (0 = none): a retry that
+        // targets the same top again may skip re-persisting it, since only
+        // this thread writes X[tid].
+        let mut announced = 0u64;
         loop {
             let top = self.find_top(tid);
             if top.is_null() {
                 self.pool.store(xa, POP_PREP | EMPTY);
                 self.pool.flush(xa);
+                self.pool.drain();
                 return StackResp::Empty;
             }
             // Announce the node we are about to claim (cf. queue line 47).
-            self.pool.store(xa, tag::set(top.to_word(), POP_PREP));
-            self.pool.flush(xa);
+            let announce = tag::set(top.to_word(), POP_PREP);
+            if !elide || announced != announce {
+                self.pool.store(xa, announce);
+                self.pool.flush(xa);
+                announced = announce;
+            }
             if self.pool.cas(top.offset(F_POPPER), NO_POPPER, tid as u64).is_ok() {
                 self.pool.flush(top.offset(F_POPPER));
                 let next = self.pool.load(top.offset(F_NEXT));
                 if self.pool.cas(self.top_addr(), top.to_word(), next).is_ok() {
                     self.retire(tid, top);
                 }
-                return StackResp::Value(self.pool.load(top.offset(F_VALUE)));
+                let val = self.pool.load(top.offset(F_VALUE));
+                self.pool.drain();
+                return StackResp::Value(val);
             }
             // Lost the claim race; find_top will help the winner.
+            bo.spin();
         }
     }
 
@@ -309,9 +353,11 @@ impl<M: Memory> DssStack<M> {
     /// claim by the same thread (cf. queue §3.2).
     pub fn pop(&self, tid: usize) -> StackResp {
         let _g = self.ebr.pin(tid);
+        let mut bo = self.new_backoff();
         loop {
             let top = self.find_top(tid);
             if top.is_null() {
+                self.pool.drain();
                 return StackResp::Empty;
             }
             if self.pool.cas(top.offset(F_POPPER), NO_POPPER, tid as u64 | tag::NONDET_DEQ).is_ok()
@@ -321,8 +367,11 @@ impl<M: Memory> DssStack<M> {
                 if self.pool.cas(self.top_addr(), top.to_word(), next).is_ok() {
                     self.retire(tid, top);
                 }
-                return StackResp::Value(self.pool.load(top.offset(F_VALUE)));
+                let val = self.pool.load(top.offset(F_VALUE));
+                self.pool.drain();
+                return StackResp::Value(val);
             }
+            bo.spin();
         }
     }
 
@@ -399,6 +448,7 @@ impl<M: Memory> DssStack<M> {
                 self.pool.flush(xa);
             }
         }
+        self.pool.drain();
     }
 
     /// Rebuilds the volatile allocator after a crash (`X`-referenced

@@ -185,6 +185,14 @@ pub trait QueueUnderTest: Send + Sync + Debug {
     /// without a persistence domain).
     fn set_flush_penalty(&self, spins: u64);
 
+    /// Enables or disables flush coalescing on the backend (no-op on
+    /// backends without a persistence domain). The `--coalesce` axis.
+    fn set_coalescing(&self, on: bool);
+
+    /// Enables or disables bounded exponential backoff in the queue's
+    /// retry loops. The `--backoff` axis.
+    fn set_backoff(&self, on: bool);
+
     /// The backend's operation counters (all-zero on uninstrumented
     /// backends).
     fn stats(&self) -> StatsSnapshot;
@@ -202,6 +210,12 @@ impl<M: Memory> QueueUnderTest for MsQueue<M> {
     }
     fn set_flush_penalty(&self, spins: u64) {
         self.pool().set_flush_penalty(spins);
+    }
+    fn set_coalescing(&self, on: bool) {
+        self.pool().set_coalescing(on);
+    }
+    fn set_backoff(&self, on: bool) {
+        MsQueue::set_backoff(self, on);
     }
     fn stats(&self) -> StatsSnapshot {
         self.pool().stats()
@@ -221,6 +235,12 @@ impl<M: Memory> QueueUnderTest for DurableQueue<M> {
     fn set_flush_penalty(&self, spins: u64) {
         self.pool().set_flush_penalty(spins);
     }
+    fn set_coalescing(&self, on: bool) {
+        self.pool().set_coalescing(on);
+    }
+    fn set_backoff(&self, on: bool) {
+        DurableQueue::set_backoff(self, on);
+    }
     fn stats(&self) -> StatsSnapshot {
         self.pool().stats()
     }
@@ -238,6 +258,12 @@ impl<M: Memory> QueueUnderTest for LogQueue<M> {
     }
     fn set_flush_penalty(&self, spins: u64) {
         self.pool().set_flush_penalty(spins);
+    }
+    fn set_coalescing(&self, on: bool) {
+        self.pool().set_coalescing(on);
+    }
+    fn set_backoff(&self, on: bool) {
+        LogQueue::set_backoff(self, on);
     }
     fn stats(&self) -> StatsSnapshot {
         self.pool().stats()
@@ -260,6 +286,12 @@ impl<M: Memory> QueueUnderTest for DssPlain<M> {
     }
     fn set_flush_penalty(&self, spins: u64) {
         self.0.pool().set_flush_penalty(spins);
+    }
+    fn set_coalescing(&self, on: bool) {
+        self.0.pool().set_coalescing(on);
+    }
+    fn set_backoff(&self, on: bool) {
+        self.0.set_backoff(on);
     }
     fn stats(&self) -> StatsSnapshot {
         self.0.pool().stats()
@@ -285,6 +317,12 @@ impl<M: Memory> QueueUnderTest for DssDet<M> {
     fn set_flush_penalty(&self, spins: u64) {
         self.0.pool().set_flush_penalty(spins);
     }
+    fn set_coalescing(&self, on: bool) {
+        self.0.pool().set_coalescing(on);
+    }
+    fn set_backoff(&self, on: bool) {
+        self.0.set_backoff(on);
+    }
     fn stats(&self) -> StatsSnapshot {
         self.0.pool().stats()
     }
@@ -308,6 +346,12 @@ impl<M: Memory> QueueUnderTest for Cwe<M> {
     }
     fn set_flush_penalty(&self, spins: u64) {
         self.0.pool().set_flush_penalty(spins);
+    }
+    fn set_coalescing(&self, on: bool) {
+        self.0.pool().set_coalescing(on);
+    }
+    fn set_backoff(&self, on: bool) {
+        self.0.set_backoff(on);
     }
     fn stats(&self) -> StatsSnapshot {
         self.0.pool().stats()
@@ -344,6 +388,41 @@ mod tests {
             assert_eq!(q.dequeue(0), QueueResp::Empty, "{}", kind.label());
             assert_eq!(q.stats().total(), 0, "dram counts nothing: {}", kind.label());
         }
+    }
+
+    #[test]
+    fn coalesce_and_backoff_axes_apply_to_every_kind() {
+        for kind in QueueKind::all() {
+            for backend in Backend::all() {
+                let q = kind.build_on(backend, 2, 32);
+                q.set_coalescing(true);
+                q.set_backoff(true);
+                q.enqueue(0, 5);
+                assert_eq!(q.dequeue(1), QueueResp::Value(5), "{}", kind.label());
+                q.set_coalescing(false);
+                q.set_backoff(false);
+            }
+        }
+    }
+
+    #[test]
+    fn coalescing_reduces_flushes_on_dss_queue() {
+        let measure = |coalesce: bool| {
+            let q = QueueKind::DssDetectable.build(1, 32);
+            q.set_coalescing(coalesce);
+            q.reset_stats();
+            for i in 0..32 {
+                q.enqueue(0, i);
+                q.dequeue(0);
+            }
+            let s = q.stats();
+            (s.flushes, s.flushes_coalesced)
+        };
+        let (flushes_off, coalesced_off) = measure(false);
+        let (flushes_on, coalesced_on) = measure(true);
+        assert_eq!(coalesced_off, 0);
+        assert_eq!(flushes_on, flushes_off, "issued flushes are workload-determined");
+        assert!(coalesced_on > 0, "some flushes must coalesce");
     }
 
     #[test]

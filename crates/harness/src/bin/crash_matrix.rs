@@ -20,12 +20,16 @@ fn main() {
             adversary: args.writeback_adversary(),
             granularity: args.flush_granularity(),
             independent_recovery: independent,
+            coalesce: args.coalesce,
         };
         println!(
-            "# E4 crash matrix: adversary={:?} granularity={:?} recovery={}",
+            "# E4 crash matrix: adversary={:?} granularity={:?} recovery={}{}",
             config.adversary,
             config.granularity,
             if independent { "independent (§3.3)" } else { "centralized (Fig. 6)" },
+            // Annotate only when armed so the default output stays
+            // byte-identical to the recorded results/crash_matrix_*.txt.
+            if config.coalesce { " coalesce=on" } else { "" },
         );
         println!(
             "{:<15} {:>12} {:>13} {:>10} {:>8} {:>11}",

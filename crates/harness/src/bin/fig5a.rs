@@ -11,6 +11,7 @@
 //!
 //! `--backend pmem --backend dram` repeats the sweep per memory backend
 //! (experiment E8's axis); the default is the pmem simulator only.
+//! `--coalesce on` / `--backoff on` arm the E9 performance axes.
 
 use std::time::Duration;
 
@@ -27,6 +28,8 @@ fn main() {
             repeats: args.repeats,
             flush_penalty: args.penalty,
             backend,
+            coalesce: args.coalesce,
+            backoff: args.backoff,
             ..Default::default()
         };
         print_series(

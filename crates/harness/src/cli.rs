@@ -22,6 +22,11 @@ pub struct Args {
     /// Memory backends to run (`--backend pmem --backend dram`; empty
     /// means the default pmem-only run, keeping historical output stable).
     pub backends: Vec<String>,
+    /// Flush coalescing (`--coalesce on|off`, experiment E9). Default off.
+    pub coalesce: bool,
+    /// Bounded exponential backoff on contended retry loops
+    /// (`--backoff on|off`, experiment E9). Default off.
+    pub backoff: bool,
 }
 
 impl Default for Args {
@@ -35,7 +40,17 @@ impl Default for Args {
             adversary: "none".into(),
             seed: 1,
             backends: Vec::new(),
+            coalesce: false,
+            backoff: false,
         }
+    }
+}
+
+fn parse_switch(flag: &str, val: &str) -> bool {
+    match val {
+        "on" => true,
+        "off" => false,
+        v => panic!("{flag} {v}: expected on|off"),
     }
 }
 
@@ -58,9 +73,11 @@ pub fn parse() -> Args {
             "--adversary" => args.adversary = val(),
             "--seed" => args.seed = val().parse().expect("--seed <u64>"),
             "--backend" => args.backends.push(val()),
+            "--coalesce" => args.coalesce = parse_switch("--coalesce", &val()),
+            "--backoff" => args.backoff = parse_switch("--backoff", &val()),
             other => panic!(
                 "unknown flag {other}; known: --threads --ms --repeats --penalty \
-                 --granularity --adversary --seed --backend"
+                 --granularity --adversary --seed --backend --coalesce --backoff"
             ),
         }
     }
@@ -107,6 +124,19 @@ mod tests {
         let a = Args::default();
         assert_eq!(a.flush_granularity(), dss_pmem::FlushGranularity::Line);
         assert_eq!(a.writeback_adversary(), dss_pmem::WritebackAdversary::None);
+        assert!(!a.coalesce && !a.backoff, "perf features default off");
+    }
+
+    #[test]
+    fn switch_values_parse() {
+        assert!(parse_switch("--coalesce", "on"));
+        assert!(!parse_switch("--backoff", "off"));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected on|off")]
+    fn bad_switch_panics() {
+        parse_switch("--coalesce", "maybe");
     }
 
     #[test]

@@ -73,6 +73,9 @@ pub struct SweepConfig {
     /// Use the independent per-thread recovery (§3.3) instead of the
     /// centralized Figure 6 procedure.
     pub independent_recovery: bool,
+    /// Run the victim with write-behind flush coalescing armed (E9); the
+    /// crash then also drops whatever the pending sets still hold.
+    pub coalesce: bool,
 }
 
 impl Default for SweepConfig {
@@ -81,6 +84,7 @@ impl Default for SweepConfig {
             adversary: WritebackAdversary::None,
             granularity: FlushGranularity::Line,
             independent_recovery: false,
+            coalesce: false,
         }
     }
 }
@@ -104,6 +108,7 @@ pub fn sweep(op: VictimOp, config: &SweepConfig) -> SweepOutcome {
     let mut out = SweepOutcome::default();
     for k in 1.. {
         let q = DssQueue::with_granularity(1, 8, config.granularity);
+        q.pool().set_coalescing(config.coalesce);
         if op == VictimOp::Dequeue {
             q.enqueue(0, 7).unwrap();
         }
@@ -309,14 +314,17 @@ mod tests {
         {
             for granularity in [FlushGranularity::Line, FlushGranularity::Word] {
                 for independent in [false, true] {
-                    let config = SweepConfig {
-                        adversary: adversary.clone(),
-                        granularity,
-                        independent_recovery: independent,
-                    };
-                    for op in VictimOp::all() {
-                        let out = sweep(op, &config);
-                        assert_eq!(out.violations, 0, "{op} under {config:?}: {out:?}");
+                    for coalesce in [false, true] {
+                        let config = SweepConfig {
+                            adversary: adversary.clone(),
+                            granularity,
+                            independent_recovery: independent,
+                            coalesce,
+                        };
+                        for op in VictimOp::all() {
+                            let out = sweep(op, &config);
+                            assert_eq!(out.violations, 0, "{op} under {config:?}: {out:?}");
+                        }
                     }
                 }
             }

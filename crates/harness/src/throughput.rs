@@ -33,6 +33,11 @@ pub struct ThroughputConfig {
     pub flush_penalty: u64,
     /// Memory backend the queue runs on (E8's ablation axis).
     pub backend: Backend,
+    /// Flush coalescing on the backend (E9's first axis).
+    pub coalesce: bool,
+    /// Bounded exponential backoff in the queue's retry loops (E9's
+    /// second axis).
+    pub backoff: bool,
 }
 
 impl Default for ThroughputConfig {
@@ -45,6 +50,8 @@ impl Default for ThroughputConfig {
             nodes_per_thread: 4096,
             flush_penalty: 20,
             backend: Backend::Pmem,
+            coalesce: false,
+            backoff: false,
         }
     }
 }
@@ -82,6 +89,8 @@ pub fn measure(kind: QueueKind, config: &ThroughputConfig) -> Throughput {
 fn run_once(kind: QueueKind, config: &ThroughputConfig) -> f64 {
     let queue = kind.build_on(config.backend, config.threads, config.nodes_per_thread);
     queue.set_flush_penalty(config.flush_penalty);
+    queue.set_coalescing(config.coalesce);
+    queue.set_backoff(config.backoff);
     for i in 0..config.prefill {
         queue.enqueue(0, i + 1);
     }
@@ -126,12 +135,14 @@ pub fn print_series(
 ) {
     println!("# {title}");
     println!(
-        "# duration={:?} repeats={} prefill={} flush_penalty={} backend={}",
+        "# duration={:?} repeats={} prefill={} flush_penalty={} backend={} coalesce={} backoff={}",
         base.duration,
         base.repeats,
         base.prefill,
         base.flush_penalty,
-        base.backend.label()
+        base.backend.label(),
+        base.coalesce,
+        base.backoff
     );
     print!("{:>8}", "threads");
     for kind in kinds {
@@ -168,6 +179,15 @@ mod tests {
     fn every_kind_measures_nonzero_throughput() {
         for kind in QueueKind::all() {
             let t = measure(kind, &quick());
+            assert!(t.mops_mean > 0.0, "{}: no progress", kind.label());
+        }
+    }
+
+    #[test]
+    fn coalesce_and_backoff_axes_still_make_progress() {
+        let config = ThroughputConfig { coalesce: true, backoff: true, ..quick() };
+        for kind in QueueKind::all() {
+            let t = measure(kind, &config);
             assert!(t.mops_mean > 0.0, "{}: no progress", kind.label());
         }
     }

@@ -15,7 +15,7 @@
 
 use crate::sync::Mutex;
 
-use crate::PAddr;
+use crate::{Ebr, PAddr};
 
 /// A region of persistent memory carved into fixed-size nodes, with
 /// per-thread free lists.
@@ -117,6 +117,35 @@ impl NodePool {
                     return Some(a);
                 }
             }
+        }
+        None
+    }
+
+    /// Allocates a node for thread `tid`, retrying through epoch-based
+    /// reclamation when the free lists run dry: collect every node `ebr`
+    /// has quiesced, return it to the free lists, and try again, yielding
+    /// between rounds (another thread may hold the missing nodes pinned
+    /// until it passes through an unpinned state). Returns `None` after the
+    /// retry budget is exhausted — the region is genuinely over-committed.
+    ///
+    /// This is the one retry-through-EBR dance every structure in the
+    /// workspace shares; callers map `None` onto their own full-pool error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn alloc_with_reclaim(&self, tid: usize, ebr: &Ebr) -> Option<PAddr> {
+        if let Some(a) = self.alloc(tid) {
+            return Some(a);
+        }
+        for _ in 0..64 {
+            for a in ebr.collect_all(tid) {
+                self.free(tid, a);
+            }
+            if let Some(a) = self.alloc(tid) {
+                return Some(a);
+            }
+            std::thread::yield_now();
         }
         None
     }

@@ -84,6 +84,7 @@
 
 mod addr;
 mod alloc;
+mod backoff;
 mod dram;
 mod ebr;
 mod hook;
@@ -97,6 +98,7 @@ pub mod tag;
 
 pub use addr::PAddr;
 pub use alloc::NodePool;
+pub use backoff::Backoff;
 pub use dram::DramPool;
 pub use ebr::{Ebr, EbrGuard};
 pub use hook::CrashSignal;

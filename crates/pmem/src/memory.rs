@@ -107,4 +107,24 @@ pub trait Memory: Send + Sync + std::fmt::Debug + 'static {
 
     /// Resets the backend's operation counters, if any.
     fn reset_stats(&self) {}
+
+    /// Enables or disables write-behind flush coalescing (default off).
+    /// A no-op on backends without a persistence domain — there is nothing
+    /// to coalesce when flushes are already free.
+    fn set_coalescing(&self, on: bool) {
+        let _ = on;
+    }
+
+    /// Whether write-behind flush coalescing is enabled.
+    fn coalescing(&self) -> bool {
+        false
+    }
+
+    /// Writes back any flushes the calling thread has pending under
+    /// write-behind coalescing. A no-op on backends without one.
+    ///
+    /// Structures call this before returning from a public operation so a
+    /// completed operation's final flush is durable by the time the caller
+    /// observes the response.
+    fn drain(&self) {}
 }

@@ -17,8 +17,10 @@
 //! * **Statistics counters** — `Relaxed` (see [`crate::stats`]): monotone
 //!   event counts, only ever read in aggregate.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::SeqCst};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
 use std::sync::OnceLock;
 
 use crate::seg::{self, Layout};
@@ -114,6 +116,32 @@ impl CrashRng {
     }
 }
 
+/// Globally unique pool identities, keying the per-thread pending-flush
+/// sets below (a thread may touch many pools over its lifetime, e.g. one
+/// per test).
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
+
+/// One pool's write-behind state on one thread: the flush units (line
+/// bases or word indices) whose writeback is deferred, tagged with the
+/// pool generation they were pended under so entries that straddle a
+/// crash are discarded instead of replayed.
+struct PendingSet {
+    generation: u64,
+    units: Vec<u64>,
+}
+
+/// Pending sets never grow past this; a flush that would exceed it drains
+/// everything first. DSS-style algorithms drain on every store/CAS anyway,
+/// so this bound only matters for pathological flush-only loops.
+const MAX_PENDING: usize = 64;
+
+thread_local! {
+    /// This thread's pending flush units, per pool id. Entries are removed
+    /// whenever a pool's set drains empty, so the map stays tiny even
+    /// across thousands of short-lived test pools.
+    static PENDING: RefCell<HashMap<u64, PendingSet>> = RefCell::new(HashMap::new());
+}
+
 /// One simulated word: the volatile value caches see, the persisted shadow
 /// a crash reverts to, and whether the two may differ.
 struct Word {
@@ -164,6 +192,7 @@ impl Word {
 /// assert_eq!(pool.load(a), 10); // the unflushed 11 was lost
 /// ```
 pub struct PmemPool {
+    id: u64,
     layout: Layout,
     segments: Box<[OnceLock<Box<[Word]>>]>,
     granularity: FlushGranularity,
@@ -171,6 +200,7 @@ pub struct PmemPool {
     stats: Stats,
     generation: AtomicU64,
     flush_penalty: AtomicU64,
+    coalesce: AtomicBool,
 }
 
 impl PmemPool {
@@ -204,6 +234,7 @@ impl PmemPool {
     pub fn with_mode(words: usize, granularity: FlushGranularity, mode: PoolMode) -> Self {
         let layout = Layout::new(words);
         let pool = PmemPool {
+            id: NEXT_POOL_ID.fetch_add(1, Relaxed),
             layout,
             segments: (0..seg::SLOTS).map(|_| OnceLock::new()).collect(),
             granularity,
@@ -211,6 +242,7 @@ impl PmemPool {
             stats: Stats::new(),
             generation: AtomicU64::new(0),
             flush_penalty: AtomicU64::new(0),
+            coalesce: AtomicBool::new(false),
         };
         // Materialise the initial capacity eagerly: constructors are cold,
         // and the common case never grows.
@@ -318,6 +350,12 @@ impl PmemPool {
 
     /// Atomically stores `value` at `addr` (volatile only; call
     /// [`flush`](Self::flush) to persist).
+    ///
+    /// A plain store is **not** a fence point for write-behind coalescing:
+    /// just as a real store does not order earlier `CLWB`s, pending
+    /// coalesced flushes stay pending across it. Only [`cas`](Self::cas)
+    /// (a locked instruction), [`fence`](Self::fence), and
+    /// [`drain`](Self::drain) write them back.
     #[inline]
     pub fn store(&self, addr: PAddr, value: u64) {
         self.instrument(Stats::count_store);
@@ -330,8 +368,17 @@ impl PmemPool {
     ///
     /// Returns `Ok(expected)` on success and `Err(actual)` on failure,
     /// mirroring [`std::sync::atomic::AtomicU64::compare_exchange`].
+    ///
+    /// A CAS is a locked instruction and therefore a fence point for
+    /// write-behind coalescing: it drains this thread's pending flushes
+    /// first, success or failure. Algorithms that flush a link before a
+    /// tail-advancing CAS therefore keep their persistence ordering under
+    /// coalescing.
     #[inline]
     pub fn cas(&self, addr: PAddr, expected: u64, new: u64) -> Result<u64, u64> {
+        if self.coalesce.load(Relaxed) {
+            self.drain();
+        }
         if self.instrumented {
             hook::step();
         }
@@ -350,22 +397,56 @@ impl PmemPool {
     /// (CLWB + SFENCE): after `flush` returns, the value most recently
     /// written to `addr` (and, under line granularity, its cache-line
     /// neighbours) survives any subsequent crash.
+    ///
+    /// Under write-behind coalescing ([`set_coalescing`](Self::set_coalescing))
+    /// a flush behaves like a bare `CLWB` instead: the unit (line or word)
+    /// is added to a per-thread pending set and written back — paying the
+    /// flush penalty — only at the next fence point (a [`cas`](Self::cas),
+    /// [`fence`](Self::fence), or explicit
+    /// [`drain`](Self::drain)). Duplicate flushes of an already-pending
+    /// unit and flushes of entirely clean units cost nothing and are
+    /// counted in [`StatsSnapshot::flushes_coalesced`]. A crash before the
+    /// next fence point drops the pending units exactly as real hardware
+    /// drops an un-fenced `CLWB`.
     #[inline]
     pub fn flush(&self, addr: PAddr) {
         self.instrument(Stats::count_flush);
-        let penalty = self.flush_penalty.load(std::sync::atomic::Ordering::Relaxed);
+        if self.coalesce.load(Relaxed) {
+            self.flush_coalesced(addr);
+            return;
+        }
+        self.pay_penalty();
+        self.writeback_unit(self.flush_unit(addr));
+    }
+
+    /// The flush unit containing `addr`: the line base under line
+    /// granularity, the word index under word granularity.
+    #[inline]
+    fn flush_unit(&self, addr: PAddr) -> u64 {
+        match self.granularity {
+            FlushGranularity::Word => addr.index(),
+            FlushGranularity::Line => addr.index() / WORDS_PER_LINE * WORDS_PER_LINE,
+        }
+    }
+
+    #[inline]
+    fn pay_penalty(&self) {
+        let penalty = self.flush_penalty.load(Relaxed);
         for _ in 0..penalty {
             std::hint::spin_loop();
         }
+    }
+
+    /// Writes back every word of `unit` (line base or word index).
+    fn writeback_unit(&self, unit: u64) {
         match self.granularity {
-            FlushGranularity::Word => self.writeback(self.word(addr)),
+            FlushGranularity::Word => self.writeback(self.word(PAddr::from_index(unit))),
             FlushGranularity::Line => {
                 // Segment boundaries are line-aligned (see `crate::seg`),
-                // so the whole line lives in `addr`'s segment.
-                let base = addr.index() / WORDS_PER_LINE * WORDS_PER_LINE;
-                let slot = self.layout.slot_of(base);
+                // so the whole line lives in the unit's segment.
+                let slot = self.layout.slot_of(unit);
                 let seg = self.segment(slot);
-                let off = (base - self.layout.start(slot)) as usize;
+                let off = (unit - self.layout.start(slot)) as usize;
                 for w in &seg[off..off + WORDS_PER_LINE as usize] {
                     self.writeback(w);
                 }
@@ -373,15 +454,126 @@ impl PmemPool {
         }
     }
 
+    /// Whether every word of `unit` is clean (volatile == persisted), in
+    /// which case a flush of it is a no-op. A store racing with this check
+    /// may be missed — the same latitude real hardware has for a value
+    /// written after the flush began.
+    fn unit_clean(&self, unit: u64) -> bool {
+        match self.granularity {
+            FlushGranularity::Word => !self.word(PAddr::from_index(unit)).dirty.load(SeqCst),
+            FlushGranularity::Line => {
+                let slot = self.layout.slot_of(unit);
+                let seg = self.segment(slot);
+                let off = (unit - self.layout.start(slot)) as usize;
+                seg[off..off + WORDS_PER_LINE as usize].iter().all(|w| !w.dirty.load(SeqCst))
+            }
+        }
+    }
+
+    /// The write-behind path of [`flush`](Self::flush): absorb duplicate
+    /// and clean-unit flushes, defer the rest.
+    fn flush_coalesced(&self, addr: PAddr) {
+        let unit = self.flush_unit(addr);
+        let generation = self.generation.load(SeqCst);
+        PENDING.with(|p| {
+            let mut map = p.borrow_mut();
+            let set = map
+                .entry(self.id)
+                .and_modify(|s| {
+                    // Entries pended before a crash are stale: the crash
+                    // already reverted their volatile state, so replaying
+                    // the writeback would be wrong (and pointless).
+                    if s.generation != generation {
+                        s.generation = generation;
+                        s.units.clear();
+                    }
+                })
+                .or_insert_with(|| PendingSet { generation, units: Vec::new() });
+            if set.units.contains(&unit) {
+                // Already pending: this flush is absorbed outright.
+                if self.instrumented {
+                    self.stats.count_flush_coalesced();
+                }
+                return;
+            }
+            if self.unit_clean(unit) {
+                // Nothing to persist: the unit's last writeback already
+                // holds its current value (e.g. a helping thread
+                // re-flushing a link the owner persisted).
+                if self.instrumented {
+                    self.stats.count_flush_coalesced();
+                }
+                return;
+            }
+            if set.units.len() >= MAX_PENDING {
+                for &u in &set.units {
+                    self.pay_penalty();
+                    self.writeback_unit(u);
+                }
+                set.units.clear();
+            }
+            set.units.push(unit);
+        });
+    }
+
     /// An explicit store fence.
     ///
     /// In this simulator [`flush`](Self::flush) is synchronous, so the fence
     /// is a counted no-op; it exists so algorithms that issue a standalone
     /// `SFENCE` (e.g. PMwCAS) keep their instruction sequence — and their
-    /// crash-point indices — faithful to the original.
+    /// crash-point indices — faithful to the original. Under coalescing the
+    /// fence is where deferred flushes actually write back.
     #[inline]
     pub fn fence(&self) {
         self.instrument(Stats::count_fence);
+        if self.coalesce.load(Relaxed) {
+            self.drain();
+        }
+    }
+
+    /// Enables or disables write-behind flush coalescing (default off).
+    ///
+    /// With coalescing off, every flush pays its penalty and writes back
+    /// synchronously — the exact seed behaviour. Toggling it off drains the
+    /// calling thread's pending units; other threads drain at their next
+    /// fence point.
+    ///
+    /// `Relaxed` ordering: like the flush penalty, the knob synchronises
+    /// nothing (see the module docs' ordering policy).
+    pub fn set_coalescing(&self, on: bool) {
+        self.coalesce.store(on, Relaxed);
+        if !on {
+            self.drain();
+        }
+    }
+
+    /// Whether write-behind flush coalescing is enabled.
+    pub fn coalescing(&self) -> bool {
+        self.coalesce.load(Relaxed)
+    }
+
+    /// Writes back every flush this thread has pending on this pool,
+    /// paying the deferred flush penalty per unit.
+    ///
+    /// Not an instrumented operation: draining neither steps crash
+    /// countdowns nor counts in the statistics, so operation-indexed crash
+    /// sweeps see identical indices with coalescing on and off.
+    pub fn drain(&self) {
+        PENDING.with(|p| {
+            let mut map = p.borrow_mut();
+            let Some(set) = map.get_mut(&self.id) else { return };
+            if set.generation == self.generation.load(SeqCst) {
+                for &u in &set.units {
+                    self.pay_penalty();
+                    self.writeback_unit(u);
+                }
+            }
+            // Stale (pre-crash) entries are simply discarded: the crash
+            // already reverted volatile state, so there is nothing to
+            // write back. Removing the drained entry keeps the per-thread
+            // map from accumulating dead pools.
+            map.remove(&self.id);
+        });
     }
 
     fn writeback(&self, w: &Word) {
@@ -544,6 +736,18 @@ impl Memory for PmemPool {
 
     fn reset_stats(&self) {
         PmemPool::reset_stats(self)
+    }
+
+    fn set_coalescing(&self, on: bool) {
+        PmemPool::set_coalescing(self, on)
+    }
+
+    fn coalescing(&self) -> bool {
+        PmemPool::coalescing(self)
+    }
+
+    fn drain(&self) {
+        PmemPool::drain(self)
     }
 }
 
@@ -763,6 +967,146 @@ mod tests {
     fn debug_is_nonempty() {
         let p = PmemPool::with_capacity(8);
         assert!(format!("{p:?}").contains("PmemPool"));
+    }
+
+    #[test]
+    fn coalescing_defers_writeback_until_fence() {
+        let p = PmemPool::with_granularity(32, FlushGranularity::Word);
+        p.set_coalescing(true);
+        assert!(p.coalescing());
+        p.store(addr(1), 7);
+        p.flush(addr(1)); // pended, not written back yet
+        assert_eq!(p.persisted_value(addr(1)), 0, "flush is write-behind");
+        p.fence();
+        assert_eq!(p.persisted_value(addr(1)), 7, "fence drains pending flushes");
+    }
+
+    #[test]
+    fn coalescing_dedups_repeat_flushes_and_counts_them() {
+        let p = PmemPool::with_granularity(32, FlushGranularity::Word);
+        p.set_coalescing(true);
+        p.reset_stats();
+        p.store(addr(1), 7);
+        p.flush(addr(1));
+        p.flush(addr(1)); // duplicate: absorbed by the pending set
+        let s = p.stats();
+        assert_eq!(s.flushes, 2, "every flush call is counted, coalesced or not");
+        assert_eq!(s.flushes_coalesced, 1, "the duplicate was absorbed");
+        assert_eq!(s.stores, 1);
+        p.fence();
+        assert_eq!(p.persisted_value(addr(1)), 7);
+    }
+
+    #[test]
+    fn coalescing_line_granularity_dedups_neighbours() {
+        let p = PmemPool::with_granularity(32, FlushGranularity::Line);
+        p.set_coalescing(true);
+        p.reset_stats();
+        p.store(addr(8), 1);
+        p.store(addr(9), 2);
+        p.flush(addr(8));
+        p.flush(addr(9)); // same line: coalesced
+        let s = p.stats();
+        assert_eq!(s.flushes, 2, "every flush call is counted");
+        assert_eq!(s.flushes_coalesced, 1, "the same-line repeat was absorbed");
+        p.fence();
+        assert_eq!(p.persisted_value(addr(8)), 1);
+        assert_eq!(p.persisted_value(addr(9)), 2);
+    }
+
+    #[test]
+    fn coalescing_suppresses_clean_unit_flushes() {
+        let p = PmemPool::with_granularity(32, FlushGranularity::Word);
+        p.set_coalescing(true);
+        p.store(addr(1), 7);
+        p.flush(addr(1));
+        p.fence(); // word now clean
+        p.reset_stats();
+        p.flush(addr(1)); // nothing dirty: absorbed without pending
+        let s = p.stats();
+        assert_eq!((s.flushes, s.flushes_coalesced), (1, 1));
+        p.fence();
+        assert_eq!(p.persisted_value(addr(1)), 7);
+    }
+
+    #[test]
+    fn cas_drains_pending_flushes_but_store_does_not() {
+        let p = PmemPool::with_granularity(32, FlushGranularity::Word);
+        p.set_coalescing(true);
+        p.store(addr(1), 7);
+        p.flush(addr(1));
+        p.store(addr(2), 1); // a plain store is not a fence point
+        assert_eq!(p.persisted_value(addr(1)), 0);
+        let _ = p.cas(addr(2), 1, 2); // a locked instruction is, win or lose
+        assert_eq!(p.persisted_value(addr(1)), 7);
+        p.store(addr(3), 3);
+        p.flush(addr(3));
+        let _ = p.cas(addr(2), 9, 9); // failing CAS
+        assert_eq!(p.persisted_value(addr(3)), 3);
+    }
+
+    #[test]
+    fn crash_drops_pending_flushes() {
+        let p = PmemPool::with_granularity(32, FlushGranularity::Word);
+        p.set_coalescing(true);
+        p.store(addr(1), 7);
+        p.flush(addr(1)); // pended, never drained
+        p.crash(&WritebackAdversary::None);
+        assert_eq!(p.load(addr(1)), 0, "a pending flush is lost at a crash");
+        // The stale pending entry must not leak into the new generation.
+        p.store(addr(2), 9);
+        p.drain();
+        assert_eq!(p.persisted_value(addr(1)), 0, "stale pending entry discarded");
+        assert_eq!(p.persisted_value(addr(2)), 0, "addr 2 was never flushed");
+    }
+
+    #[test]
+    fn disabling_coalescing_drains_the_calling_thread() {
+        let p = PmemPool::with_granularity(32, FlushGranularity::Word);
+        p.set_coalescing(true);
+        p.store(addr(1), 7);
+        p.flush(addr(1));
+        p.set_coalescing(false);
+        assert!(!p.coalescing());
+        assert_eq!(p.persisted_value(addr(1)), 7, "turn-off drains pending flushes");
+        // Back in eager mode, flushes write back immediately again.
+        p.store(addr(2), 8);
+        p.flush(addr(2));
+        assert_eq!(p.persisted_value(addr(2)), 8);
+    }
+
+    #[test]
+    fn pending_set_overflow_writes_back_eagerly() {
+        let p = PmemPool::with_granularity(1024, FlushGranularity::Word);
+        p.set_coalescing(true);
+        for i in 1..=65u64 {
+            p.store(addr(i), i);
+            p.flush(addr(i));
+        }
+        // The 65th distinct unit overflowed the bounded pending set, forcing
+        // a writeback of the first 64; the newest flush is pending again.
+        assert_eq!(p.persisted_value(addr(1)), 1);
+        assert_eq!(p.persisted_value(addr(64)), 64);
+        assert_eq!(p.persisted_value(addr(65)), 0);
+        p.drain();
+        assert_eq!(p.persisted_value(addr(65)), 65);
+    }
+
+    #[test]
+    fn pools_do_not_share_pending_sets() {
+        let a = PmemPool::with_granularity(32, FlushGranularity::Word);
+        let b = PmemPool::with_granularity(32, FlushGranularity::Word);
+        a.set_coalescing(true);
+        b.set_coalescing(true);
+        a.store(addr(1), 1);
+        a.flush(addr(1));
+        b.store(addr(1), 2);
+        b.flush(addr(1));
+        a.drain();
+        assert_eq!(a.persisted_value(addr(1)), 1);
+        assert_eq!(b.persisted_value(addr(1)), 0, "draining pool a leaves pool b pending");
+        b.drain();
+        assert_eq!(b.persisted_value(addr(1)), 2);
     }
 
     #[test]

@@ -41,6 +41,7 @@ struct Shard {
     cas_ok: AtomicU64,
     cas_fail: AtomicU64,
     flushes: AtomicU64,
+    flushes_coalesced: AtomicU64,
     fences: AtomicU64,
 }
 
@@ -96,6 +97,11 @@ impl Stats {
     }
 
     #[inline]
+    pub(crate) fn count_flush_coalesced(&self) {
+        self.my_shard().flushes_coalesced.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
     pub(crate) fn count_fence(&self) {
         self.my_shard().fences.fetch_add(1, Relaxed);
     }
@@ -110,6 +116,7 @@ impl Stats {
             out.cas_ok += s.cas_ok.load(Relaxed);
             out.cas_fail += s.cas_fail.load(Relaxed);
             out.flushes += s.flushes.load(Relaxed);
+            out.flushes_coalesced += s.flushes_coalesced.load(Relaxed);
             out.fences += s.fences.load(Relaxed);
         }
         out
@@ -123,6 +130,7 @@ impl Stats {
             s.cas_ok.store(0, Relaxed);
             s.cas_fail.store(0, Relaxed);
             s.flushes.store(0, Relaxed);
+            s.flushes_coalesced.store(0, Relaxed);
             s.fences.store(0, Relaxed);
         }
     }
@@ -141,12 +149,20 @@ pub struct StatsSnapshot {
     pub cas_fail: u64,
     /// Flush (`pmem_persist`) operations.
     pub flushes: u64,
+    /// Flushes absorbed by the write-behind coalescing layer (already
+    /// pending for the same flush unit, or the unit was entirely clean).
+    /// Always a subset of [`flushes`](StatsSnapshot::flushes); the number
+    /// of flushes that actually paid penalty + writeback is
+    /// `flushes - flushes_coalesced`.
+    pub flushes_coalesced: u64,
     /// Explicit store fences.
     pub fences: u64,
 }
 
 impl StatsSnapshot {
-    /// Total primitives executed.
+    /// Total primitives executed. `flushes_coalesced` is excluded: every
+    /// coalesced flush is already counted in `flushes`, so including it
+    /// would double-count.
     pub fn total(&self) -> u64 {
         self.loads + self.stores + self.cas_ok + self.cas_fail + self.flushes + self.fences
     }
@@ -164,6 +180,7 @@ impl StatsSnapshot {
             cas_ok: self.cas_ok - earlier.cas_ok,
             cas_fail: self.cas_fail - earlier.cas_fail,
             flushes: self.flushes - earlier.flushes,
+            flushes_coalesced: self.flushes_coalesced - earlier.flushes_coalesced,
             fences: self.fences - earlier.fences,
         }
     }

@@ -1,9 +1,12 @@
 //! The General and Fast CASWithEffect detectable queues (paper Figure 5b).
 
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
-use dss_pmem::{tag, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool};
+use dss_pmem::{
+    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+};
 use dss_spec::types::QueueResp;
 
 use crate::PmwcasArena;
@@ -18,9 +21,10 @@ const NODE_WORDS: u64 = 4;
 
 const UNCLAIMED: u64 = 0;
 
-const A_HEAD: u64 = 1;
-const A_TAIL: u64 = 2;
-const A_X_BASE: u64 = 3;
+// Head, tail and each X[tid] slot on their own cache line.
+const A_HEAD: u64 = WORDS_PER_LINE;
+const A_TAIL: u64 = 2 * WORDS_PER_LINE;
+const A_X_BASE: u64 = 3 * WORDS_PER_LINE;
 
 /// Enqueue-side error: the node pool is exhausted.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -88,6 +92,7 @@ pub struct CasWithEffectQueue<M: Memory = PmemPool> {
     ebr: Ebr,
     nthreads: usize,
     fast: bool,
+    backoff: AtomicBool,
 }
 
 impl CasWithEffectQueue {
@@ -135,7 +140,7 @@ impl<M: Memory> CasWithEffectQueue<M> {
 
     fn build(nthreads: usize, nodes_per_thread: u64, fast: bool) -> Self {
         assert!(nthreads > 0 && nodes_per_thread > 0);
-        let x_end = A_X_BASE + nthreads as u64;
+        let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
         let sentinel = x_end.next_multiple_of(NODE_WORDS);
         let node_region = sentinel + NODE_WORDS;
         let node_words = nodes_per_thread * nthreads as u64 * NODE_WORDS;
@@ -153,7 +158,15 @@ impl<M: Memory> CasWithEffectQueue<M> {
         );
         let nodes =
             NodePool::new(PAddr::from_index(node_region), NODE_WORDS, nodes_per_thread, nthreads);
-        let q = CasWithEffectQueue { pool, arena, nodes, ebr: Ebr::new(nthreads), nthreads, fast };
+        let q = CasWithEffectQueue {
+            pool,
+            arena,
+            nodes,
+            ebr: Ebr::new(nthreads),
+            nthreads,
+            fast,
+            backoff: AtomicBool::new(false),
+        };
         let s = PAddr::from_index(sentinel);
         q.pool.store(s.offset(F_VALUE), 0);
         q.pool.store(s.offset(F_NEXT), 0);
@@ -167,7 +180,18 @@ impl<M: Memory> CasWithEffectQueue<M> {
             q.pool.store(q.x(i), 0);
             q.pool.flush(q.x(i));
         }
+        q.pool.drain();
         q
+    }
+
+    /// Enables or disables bounded exponential backoff after failed PMwCAS.
+    /// Default off.
+    pub fn set_backoff(&self, on: bool) {
+        self.backoff.store(on, Relaxed);
+    }
+
+    fn new_backoff(&self) -> Backoff {
+        Backoff::new(self.backoff.load(Relaxed))
     }
 
     fn head(&self) -> PAddr {
@@ -180,7 +204,7 @@ impl<M: Memory> CasWithEffectQueue<M> {
 
     fn x(&self, tid: usize) -> PAddr {
         assert!(tid < self.nthreads, "thread ID {tid} out of range");
-        PAddr::from_index(A_X_BASE + tid as u64)
+        PAddr::from_index(A_X_BASE + tid as u64 * WORDS_PER_LINE)
     }
 
     /// The queue's pool.
@@ -199,19 +223,7 @@ impl<M: Memory> CasWithEffectQueue<M> {
     }
 
     fn alloc(&self, tid: usize) -> Result<PAddr, CweFull> {
-        if let Some(a) = self.nodes.alloc(tid) {
-            return Ok(a);
-        }
-        for _ in 0..64 {
-            for a in self.ebr.collect_all(tid) {
-                self.nodes.free(tid, a);
-            }
-            if let Some(a) = self.nodes.alloc(tid) {
-                return Ok(a);
-            }
-            std::thread::yield_now();
-        }
-        Err(CweFull)
+        self.nodes.alloc_with_reclaim(tid, &self.ebr).ok_or(CweFull)
     }
 
     /// One multi-word update covering the shared entries plus the `X[tid]`
@@ -245,6 +257,10 @@ impl<M: Memory> CasWithEffectQueue<M> {
         self.pool.store(node.offset(F_NEXT), 0);
         self.pool.store(node.offset(F_DEQ_TID), UNCLAIMED);
         self.pool.flush(node);
+        // Ordering point: the announce must not persist ahead of the node
+        // it names. Its own flush may stay pending — the exec PMwCAS's
+        // descriptor installation fences before the enqueue can take effect.
+        self.pool.drain();
         self.pool.store(self.x(tid), tag::set(node.to_word(), tag::ENQ_PREP));
         self.pool.flush(self.x(tid));
         Ok(())
@@ -267,11 +283,13 @@ impl<M: Memory> CasWithEffectQueue<M> {
             return; // already took effect
         }
         let node = tag::addr_of(x);
+        let mut bo = self.new_backoff();
         loop {
             let last_w = self.arena.read(tid, self.tail());
             let last = tag::addr_of(last_w);
             let next_w = self.arena.read(tid, last.offset(F_NEXT));
             if !tag::addr_of(next_w).is_null() {
+                bo.spin();
                 continue; // stale tail snapshot; retry
             }
             if self.update(
@@ -280,8 +298,10 @@ impl<M: Memory> CasWithEffectQueue<M> {
                 x,
                 tag::set(x, tag::ENQ_COMPL),
             ) {
+                self.pool.drain();
                 return;
             }
+            bo.spin();
         }
     }
 
@@ -289,6 +309,7 @@ impl<M: Memory> CasWithEffectQueue<M> {
     pub fn prep_dequeue(&self, tid: usize) {
         self.pool.store(self.x(tid), tag::DEQ_PREP);
         self.pool.flush(self.x(tid));
+        // No drain: see prep_enqueue — exec fences before any effect.
     }
 
     /// **exec-dequeue()**: a single PMwCAS claims the node, advances the
@@ -301,6 +322,7 @@ impl<M: Memory> CasWithEffectQueue<M> {
         let _g = self.ebr.pin(tid);
         let x = self.arena.read(tid, self.x(tid));
         assert!(tag::has(x, tag::DEQ_PREP), "exec-dequeue without a prepared dequeue");
+        let mut bo = self.new_backoff();
         loop {
             let first_w = self.arena.read(tid, self.head());
             let last_w = self.arena.read(tid, self.tail());
@@ -308,6 +330,7 @@ impl<M: Memory> CasWithEffectQueue<M> {
             let next_w = self.arena.read(tid, first.offset(F_NEXT));
             let next = tag::addr_of(next_w);
             if self.arena.read(tid, self.head()) != first_w {
+                bo.spin();
                 continue;
             }
             if first_w == last_w {
@@ -318,13 +341,16 @@ impl<M: Memory> CasWithEffectQueue<M> {
                         // failure-atomic store + flush suffices.
                         self.pool.store(self.x(tid), tag::DEQ_PREP | tag::EMPTY);
                         self.pool.flush(self.x(tid));
+                        self.pool.drain();
                         return QueueResp::Empty;
                     }
                     if self.arena.pmwcas(tid, &[(self.x(tid), x, tag::DEQ_PREP | tag::EMPTY)], &[])
                     {
+                        self.pool.drain();
                         return QueueResp::Empty;
                     }
                 }
+                bo.spin();
                 continue; // stale snapshot; retry
             }
             if self.update(
@@ -339,8 +365,11 @@ impl<M: Memory> CasWithEffectQueue<M> {
                 if self.nodes.contains(first) {
                     self.ebr.retire(tid, first);
                 }
-                return QueueResp::Value(self.arena.read(tid, next.offset(F_VALUE)));
+                let val = self.arena.read(tid, next.offset(F_VALUE));
+                self.pool.drain();
+                return QueueResp::Value(val);
             }
+            bo.spin();
         }
     }
 
@@ -381,6 +410,7 @@ impl<M: Memory> CasWithEffectQueue<M> {
     /// pointers need no separate repair — every update was atomic).
     pub fn recover(&self) {
         self.arena.recover();
+        self.pool.drain();
     }
 
     /// Rebuilds the volatile allocator after a crash.

@@ -28,7 +28,22 @@ fn mix(mut z: u64) -> u64 {
 /// Runs the script on one backend and returns every observable response in
 /// order: per-step dequeue results, then the full drain.
 fn run_script(kind: QueueKind, backend: Backend, steps: u64) -> Vec<QueueResp> {
+    run_script_with(kind, backend, steps, false, false)
+}
+
+/// [`run_script`] with the E9 performance axes set explicitly: write-behind
+/// flush coalescing and contended-retry backoff change cost, never
+/// crash-free outcomes, on either backend.
+fn run_script_with(
+    kind: QueueKind,
+    backend: Backend,
+    steps: u64,
+    coalesce: bool,
+    backoff: bool,
+) -> Vec<QueueResp> {
     let q = kind.build_on(backend, 1, 256);
+    q.set_coalescing(coalesce);
+    q.set_backoff(backoff);
     let mut observed = Vec::new();
     for i in 0..steps {
         if !mix(i).is_multiple_of(3) {
@@ -68,6 +83,23 @@ fn every_kind_matches_across_backends() {
         // real traffic rather than vacuously matching on empties.
         let values = pmem.iter().filter(|r| matches!(r, QueueResp::Value(_))).count();
         assert!(values > 50, "{}: only {values} values observed", kind.label());
+    }
+}
+
+#[test]
+fn every_kind_matches_across_backends_with_coalescing_and_backoff() {
+    for kind in QueueKind::all() {
+        let baseline = run_script(kind, Backend::Pmem, 200);
+        for backend in Backend::all() {
+            let tuned = run_script_with(kind, backend, 200, true, true);
+            assert_eq!(
+                baseline,
+                tuned,
+                "{} on {} diverged with coalesce+backoff on",
+                kind.label(),
+                backend.label()
+            );
+        }
     }
 }
 

@@ -50,14 +50,17 @@ fn crash_matrix_is_clean_under_every_configuration() {
         WritebackAdversary::Random { seed: 42, prob: 0.5 },
     ] {
         for granularity in [FlushGranularity::Line, FlushGranularity::Word] {
-            let config = SweepConfig {
-                adversary: adversary.clone(),
-                granularity,
-                independent_recovery: false,
-            };
-            for op in VictimOp::all() {
-                let out = sweep(op, &config);
-                assert_eq!(out.violations, 0, "{op} {config:?}: {out:?}");
+            for coalesce in [false, true] {
+                let config = SweepConfig {
+                    adversary: adversary.clone(),
+                    granularity,
+                    independent_recovery: false,
+                    coalesce,
+                };
+                for op in VictimOp::all() {
+                    let out = sweep(op, &config);
+                    assert_eq!(out.violations, 0, "{op} {config:?}: {out:?}");
+                }
             }
         }
     }

@@ -10,7 +10,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use proptest::prelude::*;
 
-use dss::core::{DssQueue, Resolved, ResolvedOp};
+use dss::core::{DetectableCas, DssQueue, Resolved, ResolvedCas, ResolvedOp};
 use dss::pmem::{CrashSignal, FlushGranularity, WritebackAdversary};
 use dss::spec::types::QueueResp;
 
@@ -54,9 +54,14 @@ fn check_crash_case(
     crash_after: u64,
     adversary: WritebackAdversary,
     granularity: FlushGranularity,
+    coalesce: bool,
 ) -> Result<(), TestCaseError> {
     {
         let q = DssQueue::with_granularity(1, 64, granularity);
+        // With coalescing on, flushes issued between fence points sit in a
+        // pending set that the crash drops wholesale — the strictest
+        // persistence schedule the write-behind layer can produce.
+        q.pool().set_coalescing(coalesce);
         // Bookkeeping that survives the unwind (the "application journal"),
         // including which operation was in flight when the crash hit.
         let enq_done: std::cell::RefCell<Vec<u64>> = Default::default();
@@ -165,6 +170,71 @@ fn check_crash_case(
     Ok(())
 }
 
+/// The CAS crash property: drive a chain of detectable CASes that each
+/// expect the value installed by the previous one, crash after
+/// `crash_after` pmem operations, and check that `read` and `resolve`
+/// stay mutually consistent. Completed operations drain before returning,
+/// so their effects are unconditionally durable; only the interrupted
+/// operation's fate is left to the adversary, and `resolve` must report it
+/// truthfully.
+fn check_cas_crash_case(
+    ops: usize,
+    crash_after: u64,
+    adversary: WritebackAdversary,
+    coalesce: bool,
+) -> Result<(), TestCaseError> {
+    let c = DetectableCas::new(1, 64);
+    c.pool().set_coalescing(coalesce);
+    // Value installed by the last *completed* CAS (the "application
+    // journal"), surviving the unwind.
+    let committed = std::cell::Cell::new(0u64);
+    c.pool().arm_crash_after(crash_after);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        for i in 0..ops {
+            let v = 1000 + i as u64;
+            c.prep_cas(0, committed.get(), v, i as u64);
+            assert!(c.exec_cas(0), "single-threaded CAS with a fresh read cannot fail");
+            committed.set(v);
+        }
+    }));
+    c.pool().disarm_crash();
+    let crashed = match r {
+        Ok(()) => false,
+        Err(p) if p.downcast_ref::<CrashSignal>().is_some() => true,
+        Err(p) => resume_unwind(p),
+    };
+    let committed = committed.get();
+    if !crashed {
+        prop_assert_eq!(c.read(0), committed);
+        return Ok(());
+    }
+    c.pool().crash(&adversary);
+    c.rebuild_allocator();
+    let now = c.read(0);
+    match c.resolve(0) {
+        // The last announced CAS took effect: the value must show it.
+        ResolvedCas { op: Some((_, v, _)), resp: Some(true) } => {
+            prop_assert_eq!(now, v, "resolved-successful CAS not visible");
+        }
+        // Announced but never applied: the value is still what it expected.
+        ResolvedCas { op: Some((e, _, _)), resp: None } => {
+            prop_assert_eq!(now, e, "unapplied CAS must leave its expected value");
+        }
+        // No announce ever persisted, so no CAS can have completed (every
+        // completed CAS persists its announce before returning).
+        ResolvedCas { op: None, resp: None } => {
+            prop_assert_eq!(committed, 0, "completed CAS lost its announce");
+            prop_assert_eq!(now, 0, "effect without a persisted announce");
+        }
+        other => {
+            return Err(TestCaseError::Fail(format!(
+                "impossible resolution for a non-contended matching CAS: {other:?}"
+            )));
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -176,8 +246,21 @@ proptest! {
         crash_after in 1u64..600,
         adversary in arb_adversary(),
         granularity in arb_granularity(),
+        coalesce in proptest::bool::ANY,
     ) {
-        check_crash_case(&script, crash_after, adversary, granularity)?;
+        check_crash_case(&script, crash_after, adversary, granularity, coalesce)?;
+    }
+
+    /// The CAS analogue of the queue property, over both coalescing modes:
+    /// see [`check_cas_crash_case`].
+    #[test]
+    fn cas_crash_anywhere_resolves_consistently(
+        ops in 1usize..16,
+        crash_after in 1u64..300,
+        adversary in arb_adversary(),
+        coalesce in proptest::bool::ANY,
+    ) {
+        check_cas_crash_case(ops, crash_after, adversary, coalesce)?;
     }
 
     /// Without a crash, resolve always reports the last prepared operation
@@ -239,8 +322,28 @@ fn regression_det_plain_interleaving_crash_at_75() {
         PlainEnqueue,
         DetEnqueue,
     ];
-    check_crash_case(&script, 75, WritebackAdversary::All, FlushGranularity::Line)
-        .unwrap_or_else(|e| panic!("regression case failed: {e:?}"));
+    for coalesce in [false, true] {
+        check_crash_case(&script, 75, WritebackAdversary::All, FlushGranularity::Line, coalesce)
+            .unwrap_or_else(|e| panic!("regression case (coalesce={coalesce}) failed: {e:?}"));
+    }
+}
+
+/// Deterministic companion to the generated CAS cases: a three-CAS chain
+/// swept over every crash point it can reach, with write-behind coalescing
+/// ON, against all three adversaries.
+#[test]
+fn cas_chain_all_crash_points_with_coalescing() {
+    for adversary in [
+        WritebackAdversary::None,
+        WritebackAdversary::All,
+        WritebackAdversary::Random { seed: 7, prob: 0.5 },
+    ] {
+        for crash_after in 1..120 {
+            check_cas_crash_case(3, crash_after, adversary.clone(), true).unwrap_or_else(|e| {
+                panic!("crash_after={crash_after} {adversary:?} failed: {e:?}")
+            });
+        }
+    }
 }
 
 /// The same script as the recorded shrink, swept over every crash point it
@@ -261,11 +364,22 @@ fn regression_script_all_crash_points() {
         DetEnqueue,
     ];
     for granularity in [FlushGranularity::Line, FlushGranularity::Word] {
-        for crash_after in 1..300 {
-            check_crash_case(&script, crash_after, WritebackAdversary::All, granularity)
+        for coalesce in [false, true] {
+            for crash_after in 1..300 {
+                check_crash_case(
+                    &script,
+                    crash_after,
+                    WritebackAdversary::All,
+                    granularity,
+                    coalesce,
+                )
                 .unwrap_or_else(|e| {
-                    panic!("crash_after={crash_after} {granularity:?} failed: {e:?}")
+                    panic!(
+                        "crash_after={crash_after} {granularity:?} coalesce={coalesce} \
+                             failed: {e:?}"
+                    )
                 });
+            }
         }
     }
 }
