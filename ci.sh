@@ -22,8 +22,17 @@ cargo run -q -p dss-harness --release --bin fig5a -- \
     --threads 1 --ms 20 --repeats 1 \
     --backend pmem --backend dram >/dev/null
 
-echo "==> contention bench smoke (2 threads, coalesce/backoff grid)"
+echo "==> contention bench smoke (2 threads, coalesce/per-address/backoff grid)"
 cargo bench -q -p dss-bench --bench contention -- \
     --threads 2 --ms 20 --repeats 1 >/dev/null
+
+echo "==> contention bench smoke (per-address drains at a realistic penalty)"
+cargo bench -q -p dss-bench --bench contention -- \
+    --threads 2 --ms 20 --repeats 1 --penalty 200 >/dev/null
+
+echo "==> e10 per-address drain smoke (absorption invariant, both backends)"
+cargo run -q -p dss-harness --release --bin e10_per_address_drains -- \
+    --threads 2 --ms 20 --repeats 1 \
+    --backend pmem --backend dram >/dev/null
 
 echo "CI green."

@@ -6,7 +6,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
+    WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -60,6 +61,7 @@ pub struct DurableQueue<M: Memory = PmemPool> {
     ebr: Ebr,
     nthreads: usize,
     backoff: AtomicBool,
+    tuner: BackoffTuner,
 }
 
 impl DurableQueue {
@@ -97,6 +99,7 @@ impl<M: Memory> DurableQueue<M> {
             ebr: Ebr::new(nthreads),
             nthreads,
             backoff: AtomicBool::new(false),
+            tuner: BackoffTuner::new(),
         };
         let s = PAddr::from_index(sentinel);
         q.pool.store(s.offset(F_VALUE), 0);
@@ -121,8 +124,8 @@ impl<M: Memory> DurableQueue<M> {
         self.backoff.store(on, Relaxed);
     }
 
-    fn new_backoff(&self) -> Backoff {
-        Backoff::new(self.backoff.load(Relaxed))
+    fn new_backoff(&self) -> Backoff<'_> {
+        Backoff::attached(self.backoff.load(Relaxed), &self.tuner)
     }
 
     fn head(&self) -> PAddr {
@@ -177,6 +180,13 @@ impl<M: Memory> DurableQueue<M> {
             let next_w = self.pool.load(last.offset(F_NEXT));
             if self.pool.load(self.tail()) == last_w {
                 if tag::addr_of(next_w).is_null() {
+                    // The node must be persistent before it can be linked
+                    // (recovery walks persisted links from head).
+                    self.pool.drain_lines(&[
+                        node.offset(F_VALUE),
+                        node.offset(F_NEXT),
+                        node.offset(F_DEQ_TID),
+                    ]);
                     if self.pool.cas(last.offset(F_NEXT), 0, node.to_word()).is_ok() {
                         self.pool.flush(last.offset(F_NEXT));
                         let _ = self.pool.cas(self.tail(), last_w, node.to_word());
@@ -224,10 +234,14 @@ impl<M: Memory> DurableQueue<M> {
                 // Ordering point: the published result must not persist
                 // ahead of the claim it reports (a surviving result over a
                 // lost claim would let the value be delivered twice).
-                self.pool.drain();
+                self.pool.drain_line(next.offset(F_DEQ_TID));
                 let val = self.pool.load(next.offset(F_VALUE));
                 self.pool.store(self.rv(tid), val);
                 self.pool.flush(self.rv(tid));
+                // The result must be persistent before head advances past
+                // the node: recovery re-publishes only the claimed prefix
+                // still behind the persisted head.
+                self.pool.drain_line(self.rv(tid));
                 if self.pool.cas(self.head(), first_w, next_w).is_ok() && self.nodes.contains(first)
                 {
                     self.ebr.retire(tid, first);
@@ -240,12 +254,13 @@ impl<M: Memory> DurableQueue<M> {
                 // helper, as §3.2 notes.
                 self.pool.flush(next.offset(F_DEQ_TID));
                 // Ordering point: see the claiming branch above.
-                self.pool.drain();
+                self.pool.drain_line(next.offset(F_DEQ_TID));
                 let claimer = self.pool.load(next.offset(F_DEQ_TID)) as usize;
                 if claimer < self.nthreads {
                     let val = self.pool.load(next.offset(F_VALUE));
                     self.pool.store(self.rv(claimer), val);
                     self.pool.flush(self.rv(claimer));
+                    self.pool.drain_line(self.rv(claimer));
                 }
                 if self.pool.cas(self.head(), first_w, next_w).is_ok() && self.nodes.contains(first)
                 {

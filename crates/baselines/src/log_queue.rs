@@ -19,7 +19,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
+    WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -87,6 +88,7 @@ pub struct LogQueue<M: Memory = PmemPool> {
     ebr_logs: Ebr, // log entries
     nthreads: usize,
     backoff: AtomicBool,
+    tuner: BackoffTuner,
 }
 
 impl LogQueue {
@@ -132,6 +134,7 @@ impl<M: Memory> LogQueue<M> {
             ebr_logs: Ebr::new(nthreads),
             nthreads,
             backoff: AtomicBool::new(false),
+            tuner: BackoffTuner::new(),
         };
         let s = PAddr::from_index(sentinel);
         q.pool.store(s.offset(N_VALUE), 0);
@@ -157,8 +160,8 @@ impl<M: Memory> LogQueue<M> {
         self.backoff.store(on, Relaxed);
     }
 
-    fn new_backoff(&self) -> Backoff {
-        Backoff::new(self.backoff.load(Relaxed))
+    fn new_backoff(&self) -> Backoff<'_> {
+        Backoff::attached(self.backoff.load(Relaxed), &self.tuner)
     }
 
     fn head(&self) -> PAddr {
@@ -208,8 +211,9 @@ impl<M: Memory> LogQueue<M> {
         self.pool.store(log.offset(L_STATUS), STATUS_PENDING);
         self.pool.flush(log);
         // Ordering point: the per-thread log pointer must not persist
-        // ahead of the entry it names.
-        self.pool.drain();
+        // ahead of the entry it names (the pointer word is dirty from the
+        // store below, so the entry must already be persistent).
+        self.pool.drain_line(log);
         self.pool.store(self.log_ptr(tid), log.to_word());
         self.pool.flush(self.log_ptr(tid));
         if !old.is_null() {
@@ -239,15 +243,22 @@ impl<M: Memory> LogQueue<M> {
             let next_w = self.pool.load(last.offset(N_NEXT));
             if self.pool.load(self.tail()) == last_w {
                 if tag::addr_of(next_w).is_null() {
+                    // The node and the announced log pointer must be
+                    // persistent before the link can take effect: recovery
+                    // walks persisted links and resolves through the
+                    // pointer.
+                    self.pool.drain_lines(&[self.log_ptr(tid), node]);
                     if self.pool.cas(last.offset(N_NEXT), 0, node.to_word()).is_ok() {
                         self.pool.flush(last.offset(N_NEXT));
                         // Ordering point: the DONE mark must not persist
                         // ahead of the link it certifies.
-                        self.pool.drain();
+                        self.pool.drain_line(last.offset(N_NEXT));
                         self.pool.store(log.offset(L_STATUS), STATUS_DONE);
                         self.pool.flush(log.offset(L_STATUS));
                         let _ = self.pool.cas(self.tail(), last_w, node.to_word());
-                        self.pool.drain();
+                        // The DONE flush may stay pending past the op:
+                        // recovery re-derives it from the persisted link.
+                        self.pool.drain_lines(&[]);
                         return Ok(());
                     }
                 } else {
@@ -267,7 +278,7 @@ impl<M: Memory> LogQueue<M> {
         self.pool.flush(log.offset(L_PAYLOAD));
         // Ordering point: DONE must not persist ahead of the payload it
         // validates — or of the (still-pending) claim that justifies it.
-        self.pool.drain();
+        self.pool.drain_lines(&[log.offset(L_PAYLOAD), node.offset(N_DEQ_LOG)]);
         self.pool.store(log.offset(L_STATUS), STATUS_DONE);
         self.pool.flush(log.offset(L_STATUS));
     }
@@ -297,37 +308,53 @@ impl<M: Memory> LogQueue<M> {
                     self.pool.store(log.offset(L_PAYLOAD), PAYLOAD_EMPTY);
                     self.pool.flush(log.offset(L_PAYLOAD));
                     // Ordering point: see complete_dequeue.
-                    self.pool.drain();
+                    self.pool.drain_line(log.offset(L_PAYLOAD));
                     self.pool.store(log.offset(L_STATUS), STATUS_DONE);
                     self.pool.flush(log.offset(L_STATUS));
-                    self.pool.drain();
+                    // No claim exists for recovery to rediscover: the DONE
+                    // verdict must be durable before the op returns.
+                    self.pool.drain_line(log.offset(L_STATUS));
                     return Ok(QueueResp::Empty);
                 }
                 self.pool.flush(first.offset(N_NEXT));
                 let _ = self.pool.cas(self.tail(), last_w, next_w);
-            } else if self.pool.cas(next.offset(N_DEQ_LOG), 0, log.to_word()).is_ok() {
-                self.pool.flush(next.offset(N_DEQ_LOG));
-                self.complete_dequeue(next, log);
-                if self.pool.cas(self.head(), first_w, next_w).is_ok() && self.nodes.contains(first)
-                {
-                    self.ebr.retire(tid, first);
+            } else {
+                // The announced log pointer must be persistent before a
+                // claim naming its entry can be — resolve interprets the
+                // claim through it.
+                self.pool.drain_line(self.log_ptr(tid));
+                if self.pool.cas(next.offset(N_DEQ_LOG), 0, log.to_word()).is_ok() {
+                    self.pool.flush(next.offset(N_DEQ_LOG));
+                    self.complete_dequeue(next, log);
+                    // The DONE verdict must not be lost behind an advanced
+                    // head: recovery only completes the claimed prefix
+                    // still behind the persisted head.
+                    self.pool.drain_line(log.offset(L_STATUS));
+                    if self.pool.cas(self.head(), first_w, next_w).is_ok()
+                        && self.nodes.contains(first)
+                    {
+                        self.ebr.retire(tid, first);
+                    }
+                    let val = self.pool.load(log.offset(L_PAYLOAD));
+                    self.pool.drain_lines(&[]);
+                    return Ok(QueueResp::Value(val));
+                } else if self.pool.load(self.head()) == first_w {
+                    // Helping: persist the claim, complete the *claimer's*
+                    // log entry, then advance head.
+                    self.pool.flush(next.offset(N_DEQ_LOG));
+                    let claim_log = tag::addr_of(self.pool.load(next.offset(N_DEQ_LOG)));
+                    if !claim_log.is_null() {
+                        self.complete_dequeue(next, claim_log);
+                        // Ordering point: see the claiming branch above.
+                        self.pool.drain_line(claim_log.offset(L_STATUS));
+                    }
+                    if self.pool.cas(self.head(), first_w, next_w).is_ok()
+                        && self.nodes.contains(first)
+                    {
+                        self.ebr.retire(tid, first);
+                    }
+                    bo.spin();
                 }
-                let val = self.pool.load(log.offset(L_PAYLOAD));
-                self.pool.drain();
-                return Ok(QueueResp::Value(val));
-            } else if self.pool.load(self.head()) == first_w {
-                // Helping: persist the claim, complete the *claimer's* log
-                // entry, then advance head.
-                self.pool.flush(next.offset(N_DEQ_LOG));
-                let claim_log = tag::addr_of(self.pool.load(next.offset(N_DEQ_LOG)));
-                if !claim_log.is_null() {
-                    self.complete_dequeue(next, claim_log);
-                }
-                if self.pool.cas(self.head(), first_w, next_w).is_ok() && self.nodes.contains(first)
-                {
-                    self.ebr.retire(tid, first);
-                }
-                bo.spin();
             }
         }
     }

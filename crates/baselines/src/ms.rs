@@ -5,7 +5,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
+    WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -42,6 +43,7 @@ pub struct MsQueue<M: Memory = PmemPool> {
     ebr: Ebr,
     nthreads: usize,
     backoff: AtomicBool,
+    tuner: BackoffTuner,
 }
 
 use crate::QueueFull;
@@ -80,6 +82,7 @@ impl<M: Memory> MsQueue<M> {
             ebr: Ebr::new(nthreads),
             nthreads,
             backoff: AtomicBool::new(false),
+            tuner: BackoffTuner::new(),
         };
         let s = PAddr::from_index(sentinel);
         q.pool.store(s.offset(F_VALUE), 0);
@@ -105,8 +108,8 @@ impl<M: Memory> MsQueue<M> {
         self.backoff.store(on, Relaxed);
     }
 
-    fn new_backoff(&self) -> Backoff {
-        Backoff::new(self.backoff.load(Relaxed))
+    fn new_backoff(&self) -> Backoff<'_> {
+        Backoff::attached(self.backoff.load(Relaxed), &self.tuner)
     }
 
     fn head(&self) -> PAddr {

@@ -14,7 +14,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
+    WORDS_PER_LINE,
 };
 
 // Node layout (4 words, line-aligned).
@@ -67,6 +68,7 @@ pub struct DetectableCas<M: Memory = PmemPool> {
     ebr: Ebr,
     nthreads: usize,
     backoff: AtomicBool,
+    tuner: BackoffTuner,
     pending: Box<[std::sync::Mutex<Vec<PAddr>>]>,
 }
 
@@ -106,6 +108,7 @@ impl<M: Memory> DetectableCas<M> {
             ebr: Ebr::new(nthreads),
             nthreads,
             backoff: AtomicBool::new(false),
+            tuner: BackoffTuner::new(),
             pending: (0..nthreads).map(|_| std::sync::Mutex::new(Vec::new())).collect(),
         };
         let init = PAddr::from_index(init_node);
@@ -135,8 +138,8 @@ impl<M: Memory> DetectableCas<M> {
         self.backoff.load(Relaxed)
     }
 
-    fn new_backoff(&self) -> Backoff {
-        Backoff::new(self.backoff.load(Relaxed))
+    fn new_backoff(&self) -> Backoff<'_> {
+        Backoff::attached(self.backoff.load(Relaxed), &self.tuner)
     }
 
     fn cur_addr(&self) -> PAddr {
@@ -194,9 +197,14 @@ impl<M: Memory> DetectableCas<M> {
         self.pool.store(node.offset(F_SUPERSEDED), 0);
         self.pool.flush(node);
         // Ordering point: the announce must not persist ahead of the node
-        // it names. Its own flush may stay pending — exec's CAS fences
-        // before the operation takes effect.
-        self.pool.drain();
+        // it names. Its own flush may stay pending — exec drains the
+        // announce before the operation takes effect.
+        self.pool.drain_lines(&[
+            node.offset(F_NEW),
+            node.offset(F_EXPECTED),
+            node.offset(F_WRITER_SEQ),
+            node.offset(F_SUPERSEDED),
+        ]);
         self.pool.store(self.x_addr(tid), tag::set(node.to_word(), C_PREP));
         self.pool.flush(self.x_addr(tid));
         if !old.is_null() {
@@ -237,11 +245,15 @@ impl<M: Memory> DetectableCas<M> {
             }
             self.pool.store(cur.offset(F_SUPERSEDED), 1);
             self.pool.flush(cur.offset(F_SUPERSEDED));
+            // The announce and the incumbent's superseded mark must be
+            // persistent before the install can take effect — resolve
+            // proves installation through either of them.
+            self.pool.drain_lines(&[cur.offset(F_SUPERSEDED), xa]);
             if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
                 self.pool.flush(self.cur_addr());
                 // Ordering point: the completion mark must not persist
                 // ahead of the installed pointer it certifies.
-                self.pool.drain();
+                self.pool.drain_line(self.cur_addr());
                 self.pool.store(xa, tag::set(x, C_COMPL));
                 self.pool.flush(xa);
                 self.pool.drain();
@@ -278,6 +290,15 @@ impl<M: Memory> DetectableCas<M> {
             }
             self.pool.store(cur.offset(F_SUPERSEDED), 1);
             self.pool.flush(cur.offset(F_SUPERSEDED));
+            // The new node and the incumbent's superseded mark must be
+            // persistent before the install can take effect.
+            self.pool.drain_lines(&[
+                cur.offset(F_SUPERSEDED),
+                node.offset(F_NEW),
+                node.offset(F_EXPECTED),
+                node.offset(F_WRITER_SEQ),
+                node.offset(F_SUPERSEDED),
+            ]);
             if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
                 self.pool.flush(self.cur_addr());
                 self.pool.drain();

@@ -10,7 +10,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
+    WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -97,6 +98,8 @@ pub struct DssQueue<M: Memory = PmemPool> {
     /// and elide provably redundant announce flushes (default off, which
     /// keeps the instruction sequence identical to the paper's pseudocode).
     backoff: AtomicBool,
+    /// Adapts the backoff cap to this queue's observed CAS-failure rate.
+    tuner: BackoffTuner,
     /// Monotone per-thread counters of completed operations (volatile;
     /// used by workloads and tests, never by the algorithm).
     ops_done: Box<[AtomicU64]>,
@@ -162,6 +165,7 @@ impl<M: Memory> DssQueue<M> {
             ebr: Ebr::new(nthreads),
             nthreads,
             backoff: AtomicBool::new(false),
+            tuner: BackoffTuner::new(),
             ops_done: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
         };
         // Initial state: head = tail = sentinel; sentinel.next = NULL,
@@ -196,9 +200,10 @@ impl<M: Memory> DssQueue<M> {
         self.backoff.load(Relaxed)
     }
 
-    /// A fresh per-operation backoff, enabled per the queue's setting.
-    pub(crate) fn new_backoff(&self) -> Backoff {
-        Backoff::new(self.backoff.load(Relaxed))
+    /// A fresh per-operation backoff, enabled per the queue's setting and
+    /// capped by the queue's contention-tuned [`BackoffTuner`].
+    pub(crate) fn new_backoff(&self) -> Backoff<'_> {
+        Backoff::attached(self.backoff.load(Relaxed), &self.tuner)
     }
 
     /// The queue's memory backend (on [`PmemPool`]: crash it, inspect it,
@@ -237,6 +242,14 @@ impl<M: Memory> DssQueue<M> {
                 self.pool.flush(node.offset(F_DEQ_TID));
             }
         }
+    }
+
+    /// Per-address ordering drain of a whole node: the targeted
+    /// counterpart of [`flush_node`](Self::flush_node), writing back only
+    /// the node's own pending flush units (one line, or three words under
+    /// word granularity) so every other pending flush stays coalescible.
+    pub(crate) fn drain_node(&self, node: PAddr) {
+        self.pool.drain_lines(&[node.offset(F_VALUE), node.offset(F_NEXT), node.offset(F_DEQ_TID)]);
     }
 
     /// Allocates a node, recycling retired nodes through EBR when the free

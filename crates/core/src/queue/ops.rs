@@ -30,11 +30,12 @@ impl<M: Memory> DssQueue<M> {
         self.flush_node(node); // line 2
                                // Ordering point: the announce below must not persist ahead of the
                                // node it names (writeback is per-word, so X[tid] could otherwise
-                               // survive a crash pointing at an unwritten node). The announce
-                               // flush itself may stay pending — exec's first CAS is a fence point
-                               // and writes it back before the enqueue can take effect, and a
-                               // crash before then is indistinguishable from one before the prep.
-        self.pool.drain();
+                               // survive a crash pointing at an unwritten node). A targeted drain
+                               // of the node's own lines is enough; the announce flush itself may
+                               // stay pending — exec drains X[tid] before the link CAS, so it is
+                               // persistent before the enqueue can take effect, and a crash
+                               // before then is indistinguishable from one before the prep.
+        self.drain_node(node);
         self.pool.store(x, tag::set(node.to_word(), tag::ENQ_PREP)); // line 3
         self.pool.flush(x); // line 4
         Ok(())
@@ -65,6 +66,9 @@ impl<M: Memory> DssQueue<M> {
                 // line 9
                 if tag::addr_of(next_w).is_null() {
                     // line 10: at tail
+                    // Ordering point: the announce (and the node it names)
+                    // must be persistent before the link can take effect.
+                    self.pool.drain_line(xa);
                     if self
                         .pool
                         .cas(last.offset(F_NEXT), PAddr::NULL.to_word(), node.to_word())
@@ -74,7 +78,7 @@ impl<M: Memory> DssQueue<M> {
                         self.pool.flush(last.offset(F_NEXT)); // line 12
                                                               // Ordering point: the completion mark must not
                                                               // persist ahead of the link it certifies.
-                        self.pool.drain();
+                        self.pool.drain_line(last.offset(F_NEXT));
                         self.pool.store(xa, tag::set(x, tag::ENQ_COMPL)); // line 13
                         self.pool.flush(xa); // line 14
                         let _ = self.pool.cas(self.tail_addr(), last_w, node.to_word()); // line 15
@@ -85,6 +89,8 @@ impl<M: Memory> DssQueue<M> {
                 } else {
                     // lines 17–19: help another enqueuing thread
                     self.pool.flush(last.offset(F_NEXT)); // line 18
+                                                          // The tail must not persist ahead of the link it follows.
+                    self.pool.drain_line(last.offset(F_NEXT));
                     let _ = self.pool.cas(self.tail_addr(), last_w, next_w); // line 19
                 }
             }
@@ -116,12 +122,15 @@ impl<M: Memory> DssQueue<M> {
             let next_w = self.pool.load(last.offset(F_NEXT));
             if self.pool.load(self.tail_addr()) == last_w {
                 if tag::addr_of(next_w).is_null() {
+                    // The node must be persistent before the link can be.
+                    self.drain_node(node);
                     if self
                         .pool
                         .cas(last.offset(F_NEXT), PAddr::NULL.to_word(), node.to_word())
                         .is_ok()
                     {
                         self.pool.flush(last.offset(F_NEXT));
+                        self.pool.drain_line(last.offset(F_NEXT));
                         let _ = self.pool.cas(self.tail_addr(), last_w, node.to_word());
                         self.bump_ops(tid);
                         self.pool.drain();
@@ -129,6 +138,7 @@ impl<M: Memory> DssQueue<M> {
                     }
                 } else {
                     self.pool.flush(last.offset(F_NEXT));
+                    self.pool.drain_line(last.offset(F_NEXT));
                     let _ = self.pool.cas(self.tail_addr(), last_w, next_w);
                 }
             }
@@ -181,6 +191,7 @@ impl<M: Memory> DssQueue<M> {
                     return QueueResp::Empty; // line 43
                 }
                 self.pool.flush(first.offset(F_NEXT)); // line 44 (first == last)
+                self.pool.drain_line(first.offset(F_NEXT));
                 let _ = self.pool.cas(self.tail_addr(), last_w, next_w); // line 45
             } else {
                 // lines 46–55: non-empty queue
@@ -191,9 +202,15 @@ impl<M: Memory> DssQueue<M> {
                     self.pool.flush(xa); // line 48
                     announced = announce;
                 }
+                // Ordering point: the announced predecessor must be
+                // persistent before a claim on its successor can be —
+                // resolve interprets the claim through it.
+                self.pool.drain_line(xa);
                 if self.pool.cas(next.offset(F_DEQ_TID), NO_DEQUEUER, tid as u64).is_ok() {
                     // line 49 succeeded
                     self.pool.flush(next.offset(F_DEQ_TID)); // line 50
+                                                             // The head must not persist past an unpersisted claim.
+                    self.pool.drain_line(next.offset(F_DEQ_TID));
                     if self.pool.cas(self.head_addr(), first_w, next_w).is_ok() {
                         // line 51
                         self.retire_node(tid, first);
@@ -205,6 +222,7 @@ impl<M: Memory> DssQueue<M> {
                 } else if self.pool.load(self.head_addr()) == first_w {
                     // lines 53–55: help another dequeuing thread
                     self.pool.flush(next.offset(F_DEQ_TID)); // line 54
+                    self.pool.drain_line(next.offset(F_DEQ_TID));
                     if self.pool.cas(self.head_addr(), first_w, next_w).is_ok() {
                         // line 55
                         self.retire_node(tid, first);
@@ -238,6 +256,7 @@ impl<M: Memory> DssQueue<M> {
                     return QueueResp::Empty;
                 }
                 self.pool.flush(first.offset(F_NEXT));
+                self.pool.drain_line(first.offset(F_NEXT));
                 let _ = self.pool.cas(self.tail_addr(), last_w, next_w);
             } else {
                 if self
@@ -246,6 +265,7 @@ impl<M: Memory> DssQueue<M> {
                     .is_ok()
                 {
                     self.pool.flush(next.offset(F_DEQ_TID));
+                    self.pool.drain_line(next.offset(F_DEQ_TID));
                     if self.pool.cas(self.head_addr(), first_w, next_w).is_ok() {
                         self.retire_node(tid, first);
                     }
@@ -255,6 +275,7 @@ impl<M: Memory> DssQueue<M> {
                     return QueueResp::Value(val);
                 } else if self.pool.load(self.head_addr()) == first_w {
                     self.pool.flush(next.offset(F_DEQ_TID));
+                    self.pool.drain_line(next.offset(F_DEQ_TID));
                     if self.pool.cas(self.head_addr(), first_w, next_w).is_ok() {
                         self.retire_node(tid, first);
                     }

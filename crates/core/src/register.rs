@@ -20,7 +20,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
+    WORDS_PER_LINE,
 };
 use dss_spec::types::RegisterResp;
 
@@ -84,6 +85,7 @@ pub struct DetectableRegister<M: Memory = PmemPool> {
     ebr: Ebr,
     nthreads: usize,
     backoff: AtomicBool,
+    tuner: BackoffTuner,
     /// Per-thread nodes this thread created that are awaiting retirement.
     /// A node may be retired once it is neither the register's current
     /// node nor referenced by the owner's `X` entry; only the owner ever
@@ -127,6 +129,7 @@ impl<M: Memory> DetectableRegister<M> {
             ebr: Ebr::new(nthreads),
             nthreads,
             backoff: AtomicBool::new(false),
+            tuner: BackoffTuner::new(),
             pending: (0..nthreads).map(|_| std::sync::Mutex::new(Vec::new())).collect(),
         };
         let init = PAddr::from_index(init_node);
@@ -155,8 +158,8 @@ impl<M: Memory> DetectableRegister<M> {
         self.backoff.load(Relaxed)
     }
 
-    fn new_backoff(&self) -> Backoff {
-        Backoff::new(self.backoff.load(Relaxed))
+    fn new_backoff(&self) -> Backoff<'_> {
+        Backoff::attached(self.backoff.load(Relaxed), &self.tuner)
     }
 
     fn cur_addr(&self) -> PAddr {
@@ -217,9 +220,13 @@ impl<M: Memory> DetectableRegister<M> {
         self.pool.store(node.offset(F_SUPERSEDED), 0);
         self.pool.flush(node);
         // Ordering point: the announce must not persist ahead of the node
-        // it names. Its own flush may stay pending — exec's install CAS
-        // fences before the write takes effect.
-        self.pool.drain();
+        // it names. Its own flush may stay pending — exec drains the
+        // announce before the install CAS can take effect.
+        self.pool.drain_lines(&[
+            node.offset(F_VALUE),
+            node.offset(F_WRITER_SEQ),
+            node.offset(F_SUPERSEDED),
+        ]);
         self.pool.store(self.x_addr(tid), tag::set(node.to_word(), W_PREP));
         self.pool.flush(self.x_addr(tid));
         // The previous announcement node is no longer referenced by X[tid];
@@ -250,11 +257,15 @@ impl<M: Memory> DetectableRegister<M> {
             // owner must be able to prove installation even after we win.
             self.pool.store(cur.offset(F_SUPERSEDED), 1);
             self.pool.flush(cur.offset(F_SUPERSEDED));
+            // The announce and the incumbent's superseded mark must be
+            // persistent before the install can take effect — resolve
+            // proves installation through either of them.
+            self.pool.drain_lines(&[cur.offset(F_SUPERSEDED), xa]);
             if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
                 self.pool.flush(self.cur_addr());
                 // Ordering point: the completion mark must not persist
                 // ahead of the installed pointer it certifies.
-                self.pool.drain();
+                self.pool.drain_line(self.cur_addr());
                 self.pool.store(xa, tag::set(x, W_COMPL));
                 self.pool.flush(xa);
                 self.pool.drain();
@@ -285,6 +296,14 @@ impl<M: Memory> DetectableRegister<M> {
             let cur = tag::addr_of(cur_w);
             self.pool.store(cur.offset(F_SUPERSEDED), 1);
             self.pool.flush(cur.offset(F_SUPERSEDED));
+            // The new node and the incumbent's superseded mark must be
+            // persistent before the install can take effect.
+            self.pool.drain_lines(&[
+                cur.offset(F_SUPERSEDED),
+                node.offset(F_VALUE),
+                node.offset(F_WRITER_SEQ),
+                node.offset(F_SUPERSEDED),
+            ]);
             if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
                 self.pool.flush(self.cur_addr());
                 self.pool.drain();

@@ -21,7 +21,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
+    WORDS_PER_LINE,
 };
 use dss_spec::types::StackResp;
 
@@ -100,6 +101,7 @@ pub struct DssStack<M: Memory = PmemPool> {
     ebr: Ebr,
     nthreads: usize,
     backoff: AtomicBool,
+    tuner: BackoffTuner,
 }
 
 impl DssStack {
@@ -136,6 +138,7 @@ impl<M: Memory> DssStack<M> {
             ebr: Ebr::new(nthreads),
             nthreads,
             backoff: AtomicBool::new(false),
+            tuner: BackoffTuner::new(),
         };
         s.pool.store(s.top_addr(), PAddr::NULL.to_word());
         s.pool.flush(s.top_addr());
@@ -159,8 +162,8 @@ impl<M: Memory> DssStack<M> {
         self.backoff.load(Relaxed)
     }
 
-    fn new_backoff(&self) -> Backoff {
-        Backoff::new(self.backoff.load(Relaxed))
+    fn new_backoff(&self) -> Backoff<'_> {
+        Backoff::attached(self.backoff.load(Relaxed), &self.tuner)
     }
 
     fn top_addr(&self) -> PAddr {
@@ -201,6 +204,8 @@ impl<M: Memory> DssStack<M> {
             // Claimed node at the top: help complete the pop.
             self.pool.flush(top.offset(F_POPPER));
             let next = self.pool.load(top.offset(F_NEXT));
+            // The top must not persist past an unpersisted claim.
+            self.pool.drain_line(top.offset(F_POPPER));
             let _ = self.pool.cas(self.top_addr(), top_w, next);
         }
     }
@@ -218,9 +223,9 @@ impl<M: Memory> DssStack<M> {
         self.pool.store(node.offset(F_POPPER), NO_POPPER);
         self.flush_node(node);
         // Ordering point: the announce must not persist ahead of the node
-        // it names. Its own flush may stay pending — exec's first CAS
-        // fences before the push can take effect.
-        self.pool.drain();
+        // it names — a targeted drain of the node's own lines. Its own
+        // flush may stay pending — exec drains X[tid] before the top CAS.
+        self.drain_node(node);
         self.pool.store(self.x_addr(tid), tag::set(node.to_word(), PUSH_PREP));
         self.pool.flush(self.x_addr(tid));
         Ok(())
@@ -235,6 +240,12 @@ impl<M: Memory> DssStack<M> {
                 self.pool.flush(node.offset(F_POPPER));
             }
         }
+    }
+
+    /// Targeted drain of a node's own flush units (cf. the queue's
+    /// `drain_node`): everything else stays pended.
+    fn drain_node(&self, node: PAddr) {
+        self.pool.drain_lines(&[node.offset(F_VALUE), node.offset(F_NEXT), node.offset(F_POPPER)]);
     }
 
     /// **exec-push()**: links the prepared node as the new top and records
@@ -254,11 +265,14 @@ impl<M: Memory> DssStack<M> {
             let top = self.find_top(tid);
             self.pool.store(node.offset(F_NEXT), top.to_word());
             self.pool.flush(node.offset(F_NEXT));
+            // Ordering point: the announce and the node's linkage must be
+            // persistent before the push can take effect.
+            self.pool.drain_lines(&[xa, node.offset(F_NEXT)]);
             if self.pool.cas(self.top_addr(), top.to_word(), node.to_word()).is_ok() {
                 self.pool.flush(self.top_addr());
                 // Ordering point: the completion mark must not persist
                 // ahead of the top pointer it certifies.
-                self.pool.drain();
+                self.pool.drain_line(self.top_addr());
                 self.pool.store(xa, tag::set(x, PUSH_COMPL));
                 self.pool.flush(xa);
                 self.pool.drain();
@@ -286,6 +300,8 @@ impl<M: Memory> DssStack<M> {
             let top = self.find_top(tid);
             self.pool.store(node.offset(F_NEXT), top.to_word());
             self.pool.flush(node.offset(F_NEXT));
+            // The node must be persistent before its linkage can be.
+            self.drain_node(node);
             if self.pool.cas(self.top_addr(), top.to_word(), node.to_word()).is_ok() {
                 self.pool.flush(self.top_addr());
                 self.pool.drain();
@@ -333,9 +349,14 @@ impl<M: Memory> DssStack<M> {
                 self.pool.flush(xa);
                 announced = announce;
             }
+            // Ordering point: the announced node must be persistent before
+            // a claim on it can be — resolve interprets the claim through it.
+            self.pool.drain_line(xa);
             if self.pool.cas(top.offset(F_POPPER), NO_POPPER, tid as u64).is_ok() {
                 self.pool.flush(top.offset(F_POPPER));
                 let next = self.pool.load(top.offset(F_NEXT));
+                // The top must not persist past an unpersisted claim.
+                self.pool.drain_line(top.offset(F_POPPER));
                 if self.pool.cas(self.top_addr(), top.to_word(), next).is_ok() {
                     self.retire(tid, top);
                 }
@@ -364,6 +385,7 @@ impl<M: Memory> DssStack<M> {
             {
                 self.pool.flush(top.offset(F_POPPER));
                 let next = self.pool.load(top.offset(F_NEXT));
+                self.pool.drain_line(top.offset(F_POPPER));
                 if self.pool.cas(self.top_addr(), top.to_word(), next).is_ok() {
                     self.retire(tid, top);
                 }

@@ -149,6 +149,7 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
             u.pool.store(u.x_addr(i), 0);
             u.pool.flush(u.x_addr(i));
         }
+        u.pool.drain();
         u
     }
 
@@ -219,13 +220,20 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
             let next_w = self.pool.load(last.offset(F_NEXT));
             let next = tag::addr_of(next_w);
             if !next.is_null() {
-                // Help: persist the link before advancing the hint.
+                // Help: persist the link before advancing the hint — the
+                // hint must never point past an unpersisted link, or a
+                // post-crash append could build on an unreachable node.
                 self.pool.flush(last.offset(F_NEXT));
+                self.pool.drain_line(last.offset(F_NEXT));
                 let _ = self.pool.cas(hint, last_w, next.to_word());
                 continue;
             }
+            // The node's contents must be persistent before its link can
+            // take effect — replay decodes whatever the line holds.
+            self.pool.drain_line(node.offset(F_NEXT));
             if self.pool.cas(last.offset(F_NEXT), 0, node.to_word()).is_ok() {
                 self.pool.flush(last.offset(F_NEXT));
+                self.pool.drain_line(last.offset(F_NEXT));
                 let _ = self.pool.cas(hint, last_w, node.to_word());
                 return;
             }
@@ -265,6 +273,10 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
     pub fn prep(&self, tid: usize, op: T::Op, seq: u64) {
         let node = self.alloc();
         self.init_node(node, tid, seq, &op);
+        // Ordering point: the announce must not persist ahead of the node
+        // it names. Its own flush may stay pending — exec drains the
+        // announce before the link can take effect.
+        self.pool.drain_line(node.offset(F_NEXT));
         self.pool.store(self.x_addr(tid), tag::set(node.to_word(), U_PREP));
         self.pool.flush(self.x_addr(tid));
     }
@@ -283,6 +295,9 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
             "exec without a pending prepared operation"
         );
         let node = tag::addr_of(x);
+        // The announce must be persistent before the link can take effect:
+        // resolve reports the op's effect only through the announced node.
+        self.pool.drain_line(xa);
         self.append(node);
         self.pool.store(xa, tag::set(x, U_COMPL));
         self.pool.flush(xa);

@@ -189,6 +189,12 @@ pub trait QueueUnderTest: Send + Sync + Debug {
     /// backends without a persistence domain). The `--coalesce` axis.
     fn set_coalescing(&self, on: bool);
 
+    /// Selects per-address dependency drains over whole-set drains at the
+    /// backend's ordering points (no-op on backends without a persistence
+    /// domain; meaningful only under coalescing). The `--per-address`
+    /// axis.
+    fn set_per_address_drains(&self, on: bool);
+
     /// Enables or disables bounded exponential backoff in the queue's
     /// retry loops. The `--backoff` axis.
     fn set_backoff(&self, on: bool);
@@ -214,6 +220,9 @@ impl<M: Memory> QueueUnderTest for MsQueue<M> {
     fn set_coalescing(&self, on: bool) {
         self.pool().set_coalescing(on);
     }
+    fn set_per_address_drains(&self, on: bool) {
+        self.pool().set_per_address_drains(on);
+    }
     fn set_backoff(&self, on: bool) {
         MsQueue::set_backoff(self, on);
     }
@@ -238,6 +247,9 @@ impl<M: Memory> QueueUnderTest for DurableQueue<M> {
     fn set_coalescing(&self, on: bool) {
         self.pool().set_coalescing(on);
     }
+    fn set_per_address_drains(&self, on: bool) {
+        self.pool().set_per_address_drains(on);
+    }
     fn set_backoff(&self, on: bool) {
         DurableQueue::set_backoff(self, on);
     }
@@ -261,6 +273,9 @@ impl<M: Memory> QueueUnderTest for LogQueue<M> {
     }
     fn set_coalescing(&self, on: bool) {
         self.pool().set_coalescing(on);
+    }
+    fn set_per_address_drains(&self, on: bool) {
+        self.pool().set_per_address_drains(on);
     }
     fn set_backoff(&self, on: bool) {
         LogQueue::set_backoff(self, on);
@@ -289,6 +304,9 @@ impl<M: Memory> QueueUnderTest for DssPlain<M> {
     }
     fn set_coalescing(&self, on: bool) {
         self.0.pool().set_coalescing(on);
+    }
+    fn set_per_address_drains(&self, on: bool) {
+        self.0.pool().set_per_address_drains(on);
     }
     fn set_backoff(&self, on: bool) {
         self.0.set_backoff(on);
@@ -320,6 +338,9 @@ impl<M: Memory> QueueUnderTest for DssDet<M> {
     fn set_coalescing(&self, on: bool) {
         self.0.pool().set_coalescing(on);
     }
+    fn set_per_address_drains(&self, on: bool) {
+        self.0.pool().set_per_address_drains(on);
+    }
     fn set_backoff(&self, on: bool) {
         self.0.set_backoff(on);
     }
@@ -349,6 +370,9 @@ impl<M: Memory> QueueUnderTest for Cwe<M> {
     }
     fn set_coalescing(&self, on: bool) {
         self.0.pool().set_coalescing(on);
+    }
+    fn set_per_address_drains(&self, on: bool) {
+        self.0.pool().set_per_address_drains(on);
     }
     fn set_backoff(&self, on: bool) {
         self.0.set_backoff(on);

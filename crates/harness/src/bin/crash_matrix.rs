@@ -21,15 +21,17 @@ fn main() {
             granularity: args.flush_granularity(),
             independent_recovery: independent,
             coalesce: args.coalesce,
+            per_address: args.per_address,
         };
         println!(
-            "# E4 crash matrix: adversary={:?} granularity={:?} recovery={}{}",
+            "# E4 crash matrix: adversary={:?} granularity={:?} recovery={}{}{}",
             config.adversary,
             config.granularity,
             if independent { "independent (§3.3)" } else { "centralized (Fig. 6)" },
             // Annotate only when armed so the default output stays
             // byte-identical to the recorded results/crash_matrix_*.txt.
             if config.coalesce { " coalesce=on" } else { "" },
+            if config.per_address { " per-address=on" } else { "" },
         );
         println!(
             "{:<15} {:>12} {:>13} {:>10} {:>8} {:>11}",

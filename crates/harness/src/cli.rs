@@ -24,6 +24,9 @@ pub struct Args {
     pub backends: Vec<String>,
     /// Flush coalescing (`--coalesce on|off`, experiment E9). Default off.
     pub coalesce: bool,
+    /// Per-address dependency drains (`--per-address on|off`, experiment
+    /// E10; meaningful only with `--coalesce on`). Default off.
+    pub per_address: bool,
     /// Bounded exponential backoff on contended retry loops
     /// (`--backoff on|off`, experiment E9). Default off.
     pub backoff: bool,
@@ -41,6 +44,7 @@ impl Default for Args {
             seed: 1,
             backends: Vec::new(),
             coalesce: false,
+            per_address: false,
             backoff: false,
         }
     }
@@ -74,10 +78,11 @@ pub fn parse() -> Args {
             "--seed" => args.seed = val().parse().expect("--seed <u64>"),
             "--backend" => args.backends.push(val()),
             "--coalesce" => args.coalesce = parse_switch("--coalesce", &val()),
+            "--per-address" => args.per_address = parse_switch("--per-address", &val()),
             "--backoff" => args.backoff = parse_switch("--backoff", &val()),
             other => panic!(
                 "unknown flag {other}; known: --threads --ms --repeats --penalty \
-                 --granularity --adversary --seed --backend --coalesce --backoff"
+                 --granularity --adversary --seed --backend --coalesce --per-address --backoff"
             ),
         }
     }
@@ -124,7 +129,7 @@ mod tests {
         let a = Args::default();
         assert_eq!(a.flush_granularity(), dss_pmem::FlushGranularity::Line);
         assert_eq!(a.writeback_adversary(), dss_pmem::WritebackAdversary::None);
-        assert!(!a.coalesce && !a.backoff, "perf features default off");
+        assert!(!a.coalesce && !a.per_address && !a.backoff, "perf features default off");
     }
 
     #[test]

@@ -76,6 +76,11 @@ pub struct SweepConfig {
     /// Run the victim with write-behind flush coalescing armed (E9); the
     /// crash then also drops whatever the pending sets still hold.
     pub coalesce: bool,
+    /// Narrow the ordering drains to per-address dependency drains (E10);
+    /// only meaningful together with `coalesce` — fence points then write
+    /// back just the lines they order against, so the crash drops a wider
+    /// pending set.
+    pub per_address: bool,
 }
 
 impl Default for SweepConfig {
@@ -85,6 +90,7 @@ impl Default for SweepConfig {
             granularity: FlushGranularity::Line,
             independent_recovery: false,
             coalesce: false,
+            per_address: false,
         }
     }
 }
@@ -109,6 +115,7 @@ pub fn sweep(op: VictimOp, config: &SweepConfig) -> SweepOutcome {
     for k in 1.. {
         let q = DssQueue::with_granularity(1, 8, config.granularity);
         q.pool().set_coalescing(config.coalesce);
+        q.pool().set_per_address_drains(config.per_address);
         if op == VictimOp::Dequeue {
             q.enqueue(0, 7).unwrap();
         }
@@ -315,15 +322,21 @@ mod tests {
             for granularity in [FlushGranularity::Line, FlushGranularity::Word] {
                 for independent in [false, true] {
                     for coalesce in [false, true] {
-                        let config = SweepConfig {
-                            adversary: adversary.clone(),
-                            granularity,
-                            independent_recovery: independent,
-                            coalesce,
-                        };
-                        for op in VictimOp::all() {
-                            let out = sweep(op, &config);
-                            assert_eq!(out.violations, 0, "{op} under {config:?}: {out:?}");
+                        for per_address in [false, true] {
+                            if per_address && !coalesce {
+                                continue; // per-address drains are a no-op without coalescing
+                            }
+                            let config = SweepConfig {
+                                adversary: adversary.clone(),
+                                granularity,
+                                independent_recovery: independent,
+                                coalesce,
+                                per_address,
+                            };
+                            for op in VictimOp::all() {
+                                let out = sweep(op, &config);
+                                assert_eq!(out.violations, 0, "{op} under {config:?}: {out:?}");
+                            }
                         }
                     }
                 }

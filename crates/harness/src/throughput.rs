@@ -35,6 +35,9 @@ pub struct ThroughputConfig {
     pub backend: Backend,
     /// Flush coalescing on the backend (E9's first axis).
     pub coalesce: bool,
+    /// Per-address dependency drains at ordering points instead of
+    /// whole-set drains (E10's axis; meaningful only under coalescing).
+    pub per_address: bool,
     /// Bounded exponential backoff in the queue's retry loops (E9's
     /// second axis).
     pub backoff: bool,
@@ -51,6 +54,7 @@ impl Default for ThroughputConfig {
             flush_penalty: 20,
             backend: Backend::Pmem,
             coalesce: false,
+            per_address: false,
             backoff: false,
         }
     }
@@ -90,6 +94,7 @@ fn run_once(kind: QueueKind, config: &ThroughputConfig) -> f64 {
     let queue = kind.build_on(config.backend, config.threads, config.nodes_per_thread);
     queue.set_flush_penalty(config.flush_penalty);
     queue.set_coalescing(config.coalesce);
+    queue.set_per_address_drains(config.per_address);
     queue.set_backoff(config.backoff);
     for i in 0..config.prefill {
         queue.enqueue(0, i + 1);
@@ -135,13 +140,15 @@ pub fn print_series(
 ) {
     println!("# {title}");
     println!(
-        "# duration={:?} repeats={} prefill={} flush_penalty={} backend={} coalesce={} backoff={}",
+        "# duration={:?} repeats={} prefill={} flush_penalty={} backend={} coalesce={} \
+         per_address={} backoff={}",
         base.duration,
         base.repeats,
         base.prefill,
         base.flush_penalty,
         base.backend.label(),
         base.coalesce,
+        base.per_address,
         base.backoff
     );
     print!("{:>8}", "threads");
@@ -186,6 +193,15 @@ mod tests {
     #[test]
     fn coalesce_and_backoff_axes_still_make_progress() {
         let config = ThroughputConfig { coalesce: true, backoff: true, ..quick() };
+        for kind in QueueKind::all() {
+            let t = measure(kind, &config);
+            assert!(t.mops_mean > 0.0, "{}: no progress", kind.label());
+        }
+    }
+
+    #[test]
+    fn per_address_drain_axis_still_makes_progress() {
+        let config = ThroughputConfig { coalesce: true, per_address: true, ..quick() };
         for kind in QueueKind::all() {
             let t = measure(kind, &config);
             assert!(t.mops_mean > 0.0, "{}: no progress", kind.label());

@@ -98,7 +98,7 @@ pub mod tag;
 
 pub use addr::PAddr;
 pub use alloc::NodePool;
-pub use backoff::Backoff;
+pub use backoff::{Backoff, BackoffTuner};
 pub use dram::DramPool;
 pub use ebr::{Ebr, EbrGuard};
 pub use hook::CrashSignal;

@@ -127,4 +127,42 @@ pub trait Memory: Send + Sync + std::fmt::Debug + 'static {
     /// completed operation's final flush is durable by the time the caller
     /// observes the response.
     fn drain(&self) {}
+
+    /// Writes back only the calling thread's pending flush unit covering
+    /// `addr`, leaving every other pending unit deferred — a *per-address
+    /// ordering drain*.
+    ///
+    /// Structures call this at an ordering point that certifies exactly one
+    /// earlier flush (e.g. "the announce must not persist ahead of the node
+    /// it names"): only the named line needs to reach the persistence
+    /// domain, so unrelated pending flushes stay coalescible across the
+    /// fence.
+    ///
+    /// Semantics by configuration:
+    /// * coalescing off — no-op (flushes are already synchronous);
+    /// * coalescing on, per-address drains off — falls back to a whole-set
+    ///   [`drain`](Memory::drain) (the conservative baseline);
+    /// * coalescing on, per-address drains on — writes back only the unit
+    ///   containing `addr`.
+    fn drain_line(&self, addr: PAddr) {
+        let _ = addr;
+    }
+
+    /// [`drain_line`](Memory::drain_line) over several addresses at once.
+    /// Addresses sharing a flush unit are written back once.
+    fn drain_lines(&self, addrs: &[PAddr]) {
+        let _ = addrs;
+    }
+
+    /// Enables or disables per-address ordering drains (default off). Only
+    /// meaningful while write-behind coalescing is enabled; a no-op on
+    /// backends without a persistence domain.
+    fn set_per_address_drains(&self, on: bool) {
+        let _ = on;
+    }
+
+    /// Whether per-address ordering drains are enabled.
+    fn per_address_drains(&self) -> bool {
+        false
+    }
 }

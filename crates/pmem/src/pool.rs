@@ -18,7 +18,7 @@
 //!   event counts, only ever read in aggregate.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
 use std::sync::OnceLock;
@@ -125,15 +125,61 @@ static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(0);
 /// bases or word indices) whose writeback is deferred, tagged with the
 /// pool generation they were pended under so entries that straddle a
 /// crash are discarded instead of replayed.
+///
+/// The units live in an insertion-ordered ring — the *line-indexed map*
+/// behind per-address ordering drains ([`PmemPool::drain_line`]): a
+/// targeted drain removes and writes back exactly the named unit while
+/// everything else stays pended, and whole-set drains iterate in a
+/// deterministic (insertion) order. A flat ring beats a tree here: the set
+/// is capped at [`MAX_PENDING`] entries of plain `u64`, so a linear scan
+/// is cheaper than pointer-chasing, overflow eviction is an O(1)
+/// `pop_front` of the oldest unit, and the hottest (most recently flushed)
+/// lines stay pended longest — exactly the ones the next operation is
+/// likely to re-flush. Per-address mode keeps the set near capacity across
+/// operations, putting all three on the flush hot path.
 struct PendingSet {
     generation: u64,
-    units: Vec<u64>,
+    units: VecDeque<u64>,
 }
 
-/// Pending sets never grow past this; a flush that would exceed it drains
-/// everything first. DSS-style algorithms drain on every store/CAS anyway,
-/// so this bound only matters for pathological flush-only loops.
-const MAX_PENDING: usize = 64;
+impl PendingSet {
+    /// Marks `unit` most-recently-flushed if pending, reporting whether it
+    /// was: a duplicate flush refreshes its line's recency so overflow
+    /// eviction works LRU-wise and hot lines survive to absorb again.
+    ///
+    /// Scans from the back: flushes and ordering drains overwhelmingly hit
+    /// recently-pended units, which recency ordering keeps at the tail.
+    fn touch(&mut self, unit: u64) -> bool {
+        match self.units.iter().rposition(|&u| u == unit) {
+            Some(i) => {
+                self.units.remove(i);
+                self.units.push_back(unit);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes `unit` if present, reporting whether it was.
+    fn remove(&mut self, unit: u64) -> bool {
+        match self.units.iter().rposition(|&u| u == unit) {
+            Some(i) => {
+                self.units.remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Pending sets never grow past this; a flush that would exceed it evicts
+/// the least-recently-flushed unit (writing it back early, which is always
+/// legal) to make room. Whole-set drains keep the set near empty, so the
+/// bound only binds under per-address drains, where pending flushes ride
+/// across operations. Sized to cover the hot cross-operation reuse windows
+/// (log-entry lines, descriptor lines, announce slots) while keeping the
+/// linear membership scans short — the set IS the flush hot path there.
+const MAX_PENDING: usize = 16;
 
 thread_local! {
     /// This thread's pending flush units, per pool id. Entries are removed
@@ -201,6 +247,7 @@ pub struct PmemPool {
     generation: AtomicU64,
     flush_penalty: AtomicU64,
     coalesce: AtomicBool,
+    per_address: AtomicBool,
 }
 
 impl PmemPool {
@@ -243,6 +290,7 @@ impl PmemPool {
             generation: AtomicU64::new(0),
             flush_penalty: AtomicU64::new(0),
             coalesce: AtomicBool::new(false),
+            per_address: AtomicBool::new(false),
         };
         // Materialise the initial capacity eagerly: constructors are cold,
         // and the common case never grows.
@@ -374,10 +422,21 @@ impl PmemPool {
     /// first, success or failure. Algorithms that flush a link before a
     /// tail-advancing CAS therefore keep their persistence ordering under
     /// coalescing.
+    ///
+    /// With per-address drains enabled
+    /// ([`set_per_address_drains`](Self::set_per_address_drains)) the CAS
+    /// only writes back the pending unit covering its *own* address — a
+    /// CAS on a clean control word no longer forces a full writeback, and
+    /// any ordering against other lines is the algorithm's job via
+    /// explicit [`drain_line`](Self::drain_line) calls.
     #[inline]
     pub fn cas(&self, addr: PAddr, expected: u64, new: u64) -> Result<u64, u64> {
         if self.coalesce.load(Relaxed) {
-            self.drain();
+            if self.per_address.load(Relaxed) {
+                self.drain_units(&[self.flush_unit(addr)]);
+            } else {
+                self.drain();
+            }
         }
         if self.instrumented {
             hook::step();
@@ -488,9 +547,11 @@ impl PmemPool {
                         s.units.clear();
                     }
                 })
-                .or_insert_with(|| PendingSet { generation, units: Vec::new() });
-            if set.units.contains(&unit) {
-                // Already pending: this flush is absorbed outright.
+                .or_insert_with(|| PendingSet { generation, units: VecDeque::new() });
+            if set.touch(unit) {
+                // Already pending: this flush is absorbed outright (and
+                // the unit is now the most recently flushed, so LRU
+                // eviction keeps it pended longest).
                 if self.instrumented {
                     self.stats.count_flush_coalesced();
                 }
@@ -506,13 +567,19 @@ impl PmemPool {
                 return;
             }
             if set.units.len() >= MAX_PENDING {
-                for &u in &set.units {
-                    self.pay_penalty();
-                    self.writeback_unit(u);
-                }
-                set.units.clear();
+                // Evict the OLDEST pending unit to make room rather than
+                // draining everything: a 64-unit writeback burst stalls
+                // this thread for 64 flush penalties mid-operation, and
+                // under contention every other thread spins on its CASes
+                // for the duration. Early writeback of a dirty line is
+                // always legal — real hardware may evict any cache line at
+                // any moment — so pay one penalty and keep going.
+                let evicted = set.units.pop_front().expect("set is at capacity");
+                self.pay_penalty();
+                self.writeback_unit(evicted);
             }
-            set.units.push(unit);
+            // Absent (the `touch` above missed), so append unconditionally.
+            set.units.push_back(unit);
         });
     }
 
@@ -552,6 +619,25 @@ impl PmemPool {
         self.coalesce.load(Relaxed)
     }
 
+    /// Enables or disables per-address ordering drains (default off).
+    ///
+    /// Only meaningful while coalescing is on. With the knob off,
+    /// [`drain_line`](Self::drain_line) falls back to a whole-set
+    /// [`drain`](Self::drain) and [`cas`](Self::cas) keeps draining the
+    /// full pending set — the conservative PR 2 baseline. With it on, a
+    /// fence point writes back only the lines it orders against and
+    /// everything else stays pended across it.
+    ///
+    /// `Relaxed` ordering: like the other knobs, it synchronises nothing.
+    pub fn set_per_address_drains(&self, on: bool) {
+        self.per_address.store(on, Relaxed);
+    }
+
+    /// Whether per-address ordering drains are enabled.
+    pub fn per_address_drains(&self) -> bool {
+        self.per_address.load(Relaxed)
+    }
+
     /// Writes back every flush this thread has pending on this pool,
     /// paying the deferred flush penalty per unit.
     ///
@@ -573,6 +659,65 @@ impl PmemPool {
             // write back. Removing the drained entry keeps the per-thread
             // map from accumulating dead pools.
             map.remove(&self.id);
+        });
+    }
+
+    /// Writes back only the pending flush unit covering `addr`, leaving
+    /// every other pending unit deferred. See [`Memory::drain_line`] for
+    /// the full semantics; with per-address drains off this is the
+    /// whole-set [`drain`](Self::drain), and with coalescing off it is a
+    /// no-op (flushes were synchronous).
+    ///
+    /// Like [`drain`](Self::drain), not an instrumented operation: crash
+    /// countdowns and statistics are untouched, so operation-indexed crash
+    /// sweeps see identical indices across drain modes.
+    pub fn drain_line(&self, addr: PAddr) {
+        self.drain_lines(&[addr]);
+    }
+
+    /// [`drain_line`](Self::drain_line) over several addresses at once;
+    /// addresses sharing a flush unit are written back once.
+    pub fn drain_lines(&self, addrs: &[PAddr]) {
+        if !self.coalesce.load(Relaxed) {
+            return; // flushes were synchronous: nothing is pending
+        }
+        if !self.per_address.load(Relaxed) {
+            // Conservative fallback: order against everything, exactly as
+            // the whole-set baseline does at its fence points.
+            self.drain();
+            return;
+        }
+        match addrs {
+            [] => {}
+            [a] => self.drain_units(&[self.flush_unit(*a)]),
+            _ => {
+                let units: Vec<u64> = addrs.iter().map(|&a| self.flush_unit(a)).collect();
+                self.drain_units(&units);
+            }
+        }
+    }
+
+    /// Writes back the named units if this thread has them pending,
+    /// paying the deferred flush penalty per unit actually written back.
+    fn drain_units(&self, units: &[u64]) {
+        PENDING.with(|p| {
+            let mut map = p.borrow_mut();
+            let Some(set) = map.get_mut(&self.id) else { return };
+            if set.generation != self.generation.load(SeqCst) {
+                // Stale (pre-crash) entries: the crash already reverted the
+                // volatile state, so discard rather than replay.
+                map.remove(&self.id);
+                return;
+            }
+            for &u in units {
+                if set.remove(u) {
+                    self.pay_penalty();
+                    self.writeback_unit(u);
+                }
+            }
+            if set.units.is_empty() {
+                map.remove(&self.id);
+            }
         });
     }
 
@@ -748,6 +893,22 @@ impl Memory for PmemPool {
 
     fn drain(&self) {
         PmemPool::drain(self)
+    }
+
+    fn drain_line(&self, addr: PAddr) {
+        PmemPool::drain_line(self, addr)
+    }
+
+    fn drain_lines(&self, addrs: &[PAddr]) {
+        PmemPool::drain_lines(self, addrs)
+    }
+
+    fn set_per_address_drains(&self, on: bool) {
+        PmemPool::set_per_address_drains(self, on)
+    }
+
+    fn per_address_drains(&self) -> bool {
+        PmemPool::per_address_drains(self)
     }
 }
 
@@ -1076,20 +1237,43 @@ mod tests {
     }
 
     #[test]
-    fn pending_set_overflow_writes_back_eagerly() {
+    fn pending_set_overflow_evicts_incrementally() {
+        let n = MAX_PENDING as u64;
         let p = PmemPool::with_granularity(1024, FlushGranularity::Word);
         p.set_coalescing(true);
-        for i in 1..=65u64 {
+        for i in 1..=n + 1 {
             p.store(addr(i), i);
             p.flush(addr(i));
         }
-        // The 65th distinct unit overflowed the bounded pending set, forcing
-        // a writeback of the first 64; the newest flush is pending again.
-        assert_eq!(p.persisted_value(addr(1)), 1);
-        assert_eq!(p.persisted_value(addr(64)), 64);
-        assert_eq!(p.persisted_value(addr(65)), 0);
+        // The (MAX_PENDING+1)th distinct unit overflowed the bounded
+        // pending set, evicting exactly one unit (the least recently
+        // flushed) instead of bursting the whole set back; everything else
+        // stays pending.
+        assert_eq!(p.persisted_value(addr(1)), 1, "one unit evicted on overflow");
+        assert_eq!(p.persisted_value(addr(2)), 0, "the rest stay pending");
+        assert_eq!(p.persisted_value(addr(n)), 0);
+        assert_eq!(p.persisted_value(addr(n + 1)), 0);
         p.drain();
-        assert_eq!(p.persisted_value(addr(65)), 65);
+        assert_eq!(p.persisted_value(addr(2)), 2);
+        assert_eq!(p.persisted_value(addr(n + 1)), n + 1);
+    }
+
+    #[test]
+    fn duplicate_flush_refreshes_eviction_recency() {
+        let n = MAX_PENDING as u64;
+        let p = PmemPool::with_granularity(1024, FlushGranularity::Word);
+        p.set_coalescing(true);
+        for i in 1..=n {
+            p.store(addr(i), i);
+            p.flush(addr(i));
+        }
+        // Re-flushing the oldest unit is absorbed AND marks it most
+        // recently used, so the next overflow evicts unit 2, not unit 1.
+        p.flush(addr(1));
+        p.store(addr(n + 1), n + 1);
+        p.flush(addr(n + 1));
+        assert_eq!(p.persisted_value(addr(1)), 0, "touched unit stays pending");
+        assert_eq!(p.persisted_value(addr(2)), 2, "LRU unit evicted instead");
     }
 
     #[test]
@@ -1107,6 +1291,95 @@ mod tests {
         assert_eq!(b.persisted_value(addr(1)), 0, "draining pool a leaves pool b pending");
         b.drain();
         assert_eq!(b.persisted_value(addr(1)), 2);
+    }
+
+    #[test]
+    fn per_address_cas_drains_only_its_own_line() {
+        let p = PmemPool::with_granularity(64, FlushGranularity::Word);
+        p.set_coalescing(true);
+        p.set_per_address_drains(true);
+        assert!(p.per_address_drains());
+        p.store(addr(1), 7);
+        p.flush(addr(1)); // pended on an unrelated line
+        p.store(addr(2), 1);
+        p.flush(addr(2));
+        let _ = p.cas(addr(2), 1, 3); // fence point only for its own unit
+        assert_eq!(p.persisted_value(addr(2)), 1, "the CAS wrote back its own unit");
+        assert_eq!(p.persisted_value(addr(1)), 0, "the unrelated unit stayed pended");
+        p.drain();
+        assert_eq!(p.persisted_value(addr(1)), 7);
+    }
+
+    #[test]
+    fn per_address_cas_on_clean_word_writes_back_nothing() {
+        let p = PmemPool::with_granularity(64, FlushGranularity::Word);
+        p.set_coalescing(true);
+        p.set_per_address_drains(true);
+        p.store(addr(1), 7);
+        p.flush(addr(1));
+        // CAS on a word that was never flushed: no pending unit to drain.
+        let _ = p.cas(addr(9), 0, 1);
+        assert_eq!(p.persisted_value(addr(1)), 0, "clean control word forced no writeback");
+        p.fence(); // SFENCE still orders everything
+        assert_eq!(p.persisted_value(addr(1)), 7);
+    }
+
+    #[test]
+    fn drain_line_writes_back_only_the_named_line() {
+        let p = PmemPool::with_granularity(64, FlushGranularity::Line);
+        p.set_coalescing(true);
+        p.set_per_address_drains(true);
+        p.store(addr(8), 1); // line 1
+        p.flush(addr(8));
+        p.store(addr(16), 2); // line 2
+        p.flush(addr(16));
+        p.drain_line(addr(9)); // any address within line 1
+        assert_eq!(p.persisted_value(addr(8)), 1);
+        assert_eq!(p.persisted_value(addr(16)), 0, "other line stayed pended");
+        p.drain_lines(&[addr(16), addr(17)]); // same unit named twice
+        assert_eq!(p.persisted_value(addr(16)), 2);
+    }
+
+    #[test]
+    fn drain_line_without_per_address_falls_back_to_whole_set() {
+        let p = PmemPool::with_granularity(64, FlushGranularity::Word);
+        p.set_coalescing(true);
+        p.store(addr(1), 1);
+        p.flush(addr(1));
+        p.store(addr(2), 2);
+        p.flush(addr(2));
+        p.drain_line(addr(1)); // knob off: conservative whole-set drain
+        assert_eq!(p.persisted_value(addr(1)), 1);
+        assert_eq!(p.persisted_value(addr(2)), 2);
+    }
+
+    #[test]
+    fn drain_line_is_a_noop_without_coalescing() {
+        let p = PmemPool::with_granularity(64, FlushGranularity::Word);
+        p.set_per_address_drains(true);
+        p.store(addr(1), 1);
+        p.drain_line(addr(1)); // nothing pending, nothing flushed
+        assert_eq!(p.persisted_value(addr(1)), 0);
+    }
+
+    #[test]
+    fn crash_drops_pending_flushes_under_per_address_drains() {
+        let p = PmemPool::with_granularity(64, FlushGranularity::Word);
+        p.set_coalescing(true);
+        p.set_per_address_drains(true);
+        p.store(addr(1), 7);
+        p.flush(addr(1)); // pended, never drained
+        p.store(addr(2), 9);
+        p.flush(addr(2));
+        p.drain_line(addr(2)); // only this line was ordered
+        p.crash(&WritebackAdversary::None);
+        assert_eq!(p.load(addr(1)), 0, "an un-drained line is lost at a crash");
+        assert_eq!(p.load(addr(2)), 9, "a drained line survives");
+        // Stale entries must not replay into the new generation.
+        p.store(addr(3), 3);
+        p.flush(addr(3));
+        p.drain_line(addr(1));
+        assert_eq!(p.persisted_value(addr(1)), 0, "stale pending entry discarded");
     }
 
     #[test]

@@ -79,6 +79,13 @@ impl<M: Memory> PmwcasArena<M> {
     }
 
     fn alloc_desc(&self, tid: usize) -> PAddr {
+        // Reclaim eagerly rather than only on exhaustion: a just-released
+        // descriptor's status flush is usually still write-pending, so
+        // prompt LIFO reuse lets the next initialization flush coalesce
+        // into it instead of writing the line back twice.
+        for a in self.ebr.collect_all(tid) {
+            self.descs.free(tid, a);
+        }
         if let Some(a) = self.descs.alloc(tid) {
             return a;
         }
@@ -161,6 +168,10 @@ impl<M: Memory> PmwcasArena<M> {
         }
         self.pool.store(desc.offset(D_STATUS), ST_UNDECIDED);
         self.flush_desc(desc);
+        // The descriptor must be persistent before any shared word can
+        // point at it: recovery interprets a persisted descriptor pointer
+        // through the descriptor's persisted contents.
+        self.pool.drain_lines(&[desc, desc.offset(8)]);
 
         let _g = self.ebr.pin(tid);
         let ok = self.install_and_decide(desc);
@@ -178,6 +189,8 @@ impl<M: Memory> PmwcasArena<M> {
     fn install_and_decide(&self, desc: PAddr) -> bool {
         let n = self.pool.load(desc.offset(D_NSHARED));
         let desc_ptr = tag::set(desc.to_word(), tag::PMWCAS_DESC);
+        let mut reserved = [PAddr::NULL; MAX_SHARED];
+        let mut nreserved = 0;
         'entries: for i in 0..n {
             let base = desc.offset(D_SHARED + 3 * i);
             let addr = PAddr::from_word(self.pool.load(base));
@@ -197,6 +210,8 @@ impl<M: Memory> PmwcasArena<M> {
                             break 'entries;
                         }
                         self.pool.flush(addr);
+                        reserved[nreserved] = addr;
+                        nreserved += 1;
                         continue 'entries;
                     }
                     Err(cur) if cur == desc_ptr => continue 'entries, // a helper did it
@@ -216,6 +231,10 @@ impl<M: Memory> PmwcasArena<M> {
                 }
             }
         }
+        // Every reservation this thread flushed must be persistent before
+        // the success decision can be: recovery rolls a SUCCEEDED
+        // descriptor forward only through persisted descriptor pointers.
+        self.pool.drain_lines(&reserved[..nreserved]);
         let _ = self.pool.cas(desc.offset(D_STATUS), ST_UNDECIDED, ST_SUCCEEDED);
         self.pool.flush(desc.offset(D_STATUS));
         self.pool.load(desc.offset(D_STATUS)) == ST_SUCCEEDED
@@ -233,10 +252,16 @@ impl<M: Memory> PmwcasArena<M> {
     /// returning, and after a crash the single-threaded recovery does, so
     /// nothing is lost.
     fn finalize(&self, desc: PAddr, write_privates: bool) {
+        // The decision must be persistent before any word is finalized:
+        // recovery rolls forward or back by the *persisted* status, so a
+        // final value must never outlive the verdict that justifies it.
+        self.pool.drain_line(desc.offset(D_STATUS));
         let status = self.pool.load(desc.offset(D_STATUS));
         let succeeded = status == ST_SUCCEEDED;
         let desc_ptr = tag::set(desc.to_word(), tag::PMWCAS_DESC);
         let n = self.pool.load(desc.offset(D_NSHARED));
+        let mut written = [PAddr::NULL; MAX_SHARED + MAX_PRIVATE];
+        let mut nwritten = 0;
         for i in 0..n {
             let base = desc.offset(D_SHARED + 3 * i);
             let addr = PAddr::from_word(self.pool.load(base));
@@ -245,6 +270,8 @@ impl<M: Memory> PmwcasArena<M> {
             let target = if succeeded { new } else { expected };
             if self.pool.cas(addr, desc_ptr, target).is_ok() {
                 self.pool.flush(addr);
+                written[nwritten] = addr;
+                nwritten += 1;
             }
         }
         if succeeded && write_privates {
@@ -255,8 +282,14 @@ impl<M: Memory> PmwcasArena<M> {
                 let val = self.pool.load(base.offset(1));
                 self.pool.store(addr, val);
                 self.pool.flush(addr);
+                written[nwritten] = addr;
+                nwritten += 1;
             }
         }
+        // Finalized words must be persistent before the descriptor can be
+        // released: a persisted FREE status over a surviving descriptor
+        // pointer would strand that pointer forever.
+        self.pool.drain_lines(&written[..nwritten]);
     }
 
     fn help(&self, desc: PAddr) {

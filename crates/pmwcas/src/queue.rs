@@ -5,7 +5,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
+    WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -93,6 +94,7 @@ pub struct CasWithEffectQueue<M: Memory = PmemPool> {
     nthreads: usize,
     fast: bool,
     backoff: AtomicBool,
+    tuner: BackoffTuner,
 }
 
 impl CasWithEffectQueue {
@@ -166,6 +168,7 @@ impl<M: Memory> CasWithEffectQueue<M> {
             nthreads,
             fast,
             backoff: AtomicBool::new(false),
+            tuner: BackoffTuner::new(),
         };
         let s = PAddr::from_index(sentinel);
         q.pool.store(s.offset(F_VALUE), 0);
@@ -190,8 +193,8 @@ impl<M: Memory> CasWithEffectQueue<M> {
         self.backoff.store(on, Relaxed);
     }
 
-    fn new_backoff(&self) -> Backoff {
-        Backoff::new(self.backoff.load(Relaxed))
+    fn new_backoff(&self) -> Backoff<'_> {
+        Backoff::attached(self.backoff.load(Relaxed), &self.tuner)
     }
 
     fn head(&self) -> PAddr {
@@ -235,6 +238,11 @@ impl<M: Memory> CasWithEffectQueue<M> {
         x_expected: u64,
         x_new: u64,
     ) -> bool {
+        // The announce in `X[tid]` must be persistent before the op can
+        // take effect: the Fast variant never CASes X (it rewrites it as a
+        // private word), so nothing downstream would write the prep flush
+        // back before the commit.
+        self.pool.drain_line(self.x(tid));
         if self.fast {
             self.arena.pmwcas(tid, shared, &[(self.x(tid), x_new)])
         } else {
@@ -258,9 +266,9 @@ impl<M: Memory> CasWithEffectQueue<M> {
         self.pool.store(node.offset(F_DEQ_TID), UNCLAIMED);
         self.pool.flush(node);
         // Ordering point: the announce must not persist ahead of the node
-        // it names. Its own flush may stay pending — the exec PMwCAS's
-        // descriptor installation fences before the enqueue can take effect.
-        self.pool.drain();
+        // it names. Its own flush may stay pending — exec drains it before
+        // the enqueue can take effect.
+        self.pool.drain_line(node);
         self.pool.store(self.x(tid), tag::set(node.to_word(), tag::ENQ_PREP));
         self.pool.flush(self.x(tid));
         Ok(())
@@ -298,7 +306,10 @@ impl<M: Memory> CasWithEffectQueue<M> {
                 x,
                 tag::set(x, tag::ENQ_COMPL),
             ) {
-                self.pool.drain();
+                // Every effect word was drained by the PMwCAS finalizer;
+                // only the descriptor-release flush may stay pending, and
+                // recovery re-finalizes an un-released descriptor.
+                self.pool.drain_lines(&[]);
                 return;
             }
             bo.spin();
@@ -341,12 +352,14 @@ impl<M: Memory> CasWithEffectQueue<M> {
                         // failure-atomic store + flush suffices.
                         self.pool.store(self.x(tid), tag::DEQ_PREP | tag::EMPTY);
                         self.pool.flush(self.x(tid));
-                        self.pool.drain();
+                        // No descriptor exists for recovery to replay: the
+                        // EMPTY verdict must be durable before the return.
+                        self.pool.drain_line(self.x(tid));
                         return QueueResp::Empty;
                     }
                     if self.arena.pmwcas(tid, &[(self.x(tid), x, tag::DEQ_PREP | tag::EMPTY)], &[])
                     {
-                        self.pool.drain();
+                        self.pool.drain_lines(&[]);
                         return QueueResp::Empty;
                     }
                 }
@@ -366,7 +379,7 @@ impl<M: Memory> CasWithEffectQueue<M> {
                     self.ebr.retire(tid, first);
                 }
                 let val = self.arena.read(tid, next.offset(F_VALUE));
-                self.pool.drain();
+                self.pool.drain_lines(&[]);
                 return QueueResp::Value(val);
             }
             bo.spin();

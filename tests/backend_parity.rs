@@ -28,21 +28,24 @@ fn mix(mut z: u64) -> u64 {
 /// Runs the script on one backend and returns every observable response in
 /// order: per-step dequeue results, then the full drain.
 fn run_script(kind: QueueKind, backend: Backend, steps: u64) -> Vec<QueueResp> {
-    run_script_with(kind, backend, steps, false, false)
+    run_script_with(kind, backend, steps, false, false, false)
 }
 
-/// [`run_script`] with the E9 performance axes set explicitly: write-behind
-/// flush coalescing and contended-retry backoff change cost, never
-/// crash-free outcomes, on either backend.
+/// [`run_script`] with the E9/E10 performance axes set explicitly:
+/// write-behind flush coalescing, the drain granularity (whole-set vs
+/// per-address), and contended-retry backoff change cost, never crash-free
+/// outcomes, on either backend.
 fn run_script_with(
     kind: QueueKind,
     backend: Backend,
     steps: u64,
     coalesce: bool,
+    per_address: bool,
     backoff: bool,
 ) -> Vec<QueueResp> {
     let q = kind.build_on(backend, 1, 256);
     q.set_coalescing(coalesce);
+    q.set_per_address_drains(per_address);
     q.set_backoff(backoff);
     let mut observed = Vec::new();
     for i in 0..steps {
@@ -91,14 +94,19 @@ fn every_kind_matches_across_backends_with_coalescing_and_backoff() {
     for kind in QueueKind::all() {
         let baseline = run_script(kind, Backend::Pmem, 200);
         for backend in Backend::all() {
-            let tuned = run_script_with(kind, backend, 200, true, true);
-            assert_eq!(
-                baseline,
-                tuned,
-                "{} on {} diverged with coalesce+backoff on",
-                kind.label(),
-                backend.label()
-            );
+            // The drain-granularity axis: whole-set drains (PR 2's
+            // behaviour) vs per-address dependency drains.
+            for per_address in [false, true] {
+                let tuned = run_script_with(kind, backend, 200, true, per_address, true);
+                assert_eq!(
+                    baseline,
+                    tuned,
+                    "{} on {} diverged with coalesce+backoff on (per_address={})",
+                    kind.label(),
+                    backend.label(),
+                    per_address
+                );
+            }
         }
     }
 }

@@ -56,6 +56,7 @@ fn crash_matrix_is_clean_under_every_configuration() {
                     granularity,
                     independent_recovery: false,
                     coalesce,
+                    per_address: coalesce,
                 };
                 for op in VictimOp::all() {
                     let out = sweep(op, &config);

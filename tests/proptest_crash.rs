@@ -10,9 +10,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use proptest::prelude::*;
 
-use dss::core::{DetectableCas, DssQueue, Resolved, ResolvedCas, ResolvedOp};
+use dss::core::{DetectableCas, DssQueue, Resolved, ResolvedCas, ResolvedOp, Universal};
 use dss::pmem::{CrashSignal, FlushGranularity, WritebackAdversary};
-use dss::spec::types::QueueResp;
+use dss::spec::types::{QueueResp, StackOp, StackSpec};
 
 #[derive(Clone, Copy, Debug)]
 enum Op {
@@ -55,13 +55,17 @@ fn check_crash_case(
     adversary: WritebackAdversary,
     granularity: FlushGranularity,
     coalesce: bool,
+    per_address: bool,
 ) -> Result<(), TestCaseError> {
     {
         let q = DssQueue::with_granularity(1, 64, granularity);
         // With coalescing on, flushes issued between fence points sit in a
         // pending set that the crash drops wholesale — the strictest
         // persistence schedule the write-behind layer can produce.
+        // Per-address drains narrow each fence point to the lines it
+        // orders against, widening what the crash can drop further still.
         q.pool().set_coalescing(coalesce);
+        q.pool().set_per_address_drains(per_address);
         // Bookkeeping that survives the unwind (the "application journal"),
         // including which operation was in flight when the crash hit.
         let enq_done: std::cell::RefCell<Vec<u64>> = Default::default();
@@ -182,9 +186,11 @@ fn check_cas_crash_case(
     crash_after: u64,
     adversary: WritebackAdversary,
     coalesce: bool,
+    per_address: bool,
 ) -> Result<(), TestCaseError> {
     let c = DetectableCas::new(1, 64);
     c.pool().set_coalescing(coalesce);
+    c.pool().set_per_address_drains(per_address);
     // Value installed by the last *completed* CAS (the "application
     // journal"), surviving the unwind.
     let committed = std::cell::Cell::new(0u64);
@@ -235,6 +241,75 @@ fn check_cas_crash_case(
     Ok(())
 }
 
+/// The universal-construction crash property: drive a script of detectable
+/// stack operations through `Universal<StackSpec>`, crash after
+/// `crash_after` pmem operations, and check that the surviving history is
+/// exactly the completed prefix plus — per `resolve`'s verdict — the
+/// interrupted operation.
+fn check_universal_crash_case(
+    script: &[bool], // true = Push, false = Pop
+    crash_after: u64,
+    adversary: WritebackAdversary,
+    coalesce: bool,
+    per_address: bool,
+) -> Result<(), TestCaseError> {
+    let u = Universal::new(StackSpec, 1, 64);
+    u.pool().set_coalescing(coalesce);
+    u.pool().set_per_address_drains(per_address);
+    let apply = |stack: &mut Vec<u64>, i: usize| match script[i] {
+        true => stack.push(2000 + i as u64),
+        false => {
+            stack.pop();
+        }
+    };
+    // Index of the next un-executed operation (the "application journal").
+    let done = std::cell::Cell::new(0usize);
+    u.pool().arm_crash_after(crash_after);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        for (i, &push) in script.iter().enumerate() {
+            let op = if push { StackOp::Push(2000 + i as u64) } else { StackOp::Pop };
+            u.prep(0, op, i as u64);
+            let _ = u.exec(0);
+            done.set(i + 1);
+        }
+    }));
+    u.pool().disarm_crash();
+    let crashed = match r {
+        Ok(()) => false,
+        Err(p) if p.downcast_ref::<CrashSignal>().is_some() => true,
+        Err(p) => resume_unwind(p),
+    };
+    if crashed {
+        u.pool().crash(&adversary);
+        u.rebuild_allocator();
+    }
+    let done = done.get();
+    let mut expected: Vec<u64> = Vec::new();
+    for i in 0..done {
+        apply(&mut expected, i);
+    }
+    if !crashed {
+        prop_assert_eq!(u.state(), expected);
+        return Ok(());
+    }
+    // Each completed exec drains its link before returning, so the
+    // persisted history holds every completed operation; only the
+    // interrupted one's fate is open, and resolve must report it.
+    let in_flight_linked = match u.resolve(0) {
+        (Some((_, seq)), resp) if seq == done as u64 => resp.is_some(),
+        // resolve reports an earlier (completed) announce, or none at all:
+        // the interrupted op's announce never persisted, so its link —
+        // which exec orders after the announce — cannot have either.
+        _ => false,
+    };
+    if in_flight_linked {
+        prop_assert!(done < script.len(), "all ops completed yet one resolved in-flight");
+        apply(&mut expected, done);
+    }
+    prop_assert_eq!(u.state(), expected, "history != completed prefix (+ resolved in-flight)");
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -247,8 +322,9 @@ proptest! {
         adversary in arb_adversary(),
         granularity in arb_granularity(),
         coalesce in proptest::bool::ANY,
+        per_address in proptest::bool::ANY,
     ) {
-        check_crash_case(&script, crash_after, adversary, granularity, coalesce)?;
+        check_crash_case(&script, crash_after, adversary, granularity, coalesce, per_address)?;
     }
 
     /// The CAS analogue of the queue property, over both coalescing modes:
@@ -259,8 +335,22 @@ proptest! {
         crash_after in 1u64..300,
         adversary in arb_adversary(),
         coalesce in proptest::bool::ANY,
+        per_address in proptest::bool::ANY,
     ) {
-        check_cas_crash_case(ops, crash_after, adversary, coalesce)?;
+        check_cas_crash_case(ops, crash_after, adversary, coalesce, per_address)?;
+    }
+
+    /// The universal-construction analogue, with the drain-granularity
+    /// axis armed: see [`check_universal_crash_case`].
+    #[test]
+    fn universal_crash_anywhere_resolves_consistently(
+        script in prop::collection::vec(proptest::bool::ANY, 1..12),
+        crash_after in 1u64..400,
+        adversary in arb_adversary(),
+        coalesce in proptest::bool::ANY,
+        per_address in proptest::bool::ANY,
+    ) {
+        check_universal_crash_case(&script, crash_after, adversary, coalesce, per_address)?;
     }
 
     /// Without a crash, resolve always reports the last prepared operation
@@ -322,15 +412,24 @@ fn regression_det_plain_interleaving_crash_at_75() {
         PlainEnqueue,
         DetEnqueue,
     ];
-    for coalesce in [false, true] {
-        check_crash_case(&script, 75, WritebackAdversary::All, FlushGranularity::Line, coalesce)
-            .unwrap_or_else(|e| panic!("regression case (coalesce={coalesce}) failed: {e:?}"));
+    for (coalesce, per_address) in [(false, false), (true, false), (true, true)] {
+        check_crash_case(
+            &script,
+            75,
+            WritebackAdversary::All,
+            FlushGranularity::Line,
+            coalesce,
+            per_address,
+        )
+        .unwrap_or_else(|e| {
+            panic!("regression case (coalesce={coalesce} per_address={per_address}) failed: {e:?}")
+        });
     }
 }
 
 /// Deterministic companion to the generated CAS cases: a three-CAS chain
 /// swept over every crash point it can reach, with write-behind coalescing
-/// ON, against all three adversaries.
+/// ON under both drain granularities, against all three adversaries.
 #[test]
 fn cas_chain_all_crash_points_with_coalescing() {
     for adversary in [
@@ -338,10 +437,48 @@ fn cas_chain_all_crash_points_with_coalescing() {
         WritebackAdversary::All,
         WritebackAdversary::Random { seed: 7, prob: 0.5 },
     ] {
-        for crash_after in 1..120 {
-            check_cas_crash_case(3, crash_after, adversary.clone(), true).unwrap_or_else(|e| {
-                panic!("crash_after={crash_after} {adversary:?} failed: {e:?}")
-            });
+        for per_address in [false, true] {
+            for crash_after in 1..120 {
+                check_cas_crash_case(3, crash_after, adversary.clone(), true, per_address)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "crash_after={crash_after} {adversary:?} \
+                             per_address={per_address} failed: {e:?}"
+                        )
+                    });
+            }
+        }
+    }
+}
+
+/// The universal construction swept over every crash point a push/pop
+/// script can reach, with coalescing ON and per-address drains armed,
+/// against all three adversaries. The whole-set run (`per_address=false`)
+/// doubles as the baseline the per-address verdicts must agree with.
+#[test]
+fn universal_all_crash_points_with_per_address_drains() {
+    let script = [true, true, false, true, false, false];
+    for adversary in [
+        WritebackAdversary::None,
+        WritebackAdversary::All,
+        WritebackAdversary::Random { seed: 11, prob: 0.5 },
+    ] {
+        for per_address in [false, true] {
+            for crash_after in 1..200 {
+                check_universal_crash_case(
+                    &script,
+                    crash_after,
+                    adversary.clone(),
+                    true,
+                    per_address,
+                )
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "crash_after={crash_after} {adversary:?} \
+                             per_address={per_address} failed: {e:?}"
+                    )
+                });
+            }
         }
     }
 }
@@ -364,7 +501,7 @@ fn regression_script_all_crash_points() {
         DetEnqueue,
     ];
     for granularity in [FlushGranularity::Line, FlushGranularity::Word] {
-        for coalesce in [false, true] {
+        for (coalesce, per_address) in [(false, false), (true, false), (true, true)] {
             for crash_after in 1..300 {
                 check_crash_case(
                     &script,
@@ -372,11 +509,12 @@ fn regression_script_all_crash_points() {
                     WritebackAdversary::All,
                     granularity,
                     coalesce,
+                    per_address,
                 )
                 .unwrap_or_else(|e| {
                     panic!(
                         "crash_after={crash_after} {granularity:?} coalesce={coalesce} \
-                             failed: {e:?}"
+                             per_address={per_address} failed: {e:?}"
                     )
                 });
             }
