@@ -35,4 +35,8 @@ cargo run -q -p dss-harness --release --bin e10_per_address_drains -- \
     --threads 2 --ms 20 --repeats 1 \
     --backend pmem --backend dram >/dev/null
 
+echo "==> registry smoke (partial-recovery crash matrix: survivors adopt orphans)"
+cargo run -q -p dss-harness --release --bin crash_matrix -- \
+    --partial-recovery on >/dev/null
+
 echo "CI green."

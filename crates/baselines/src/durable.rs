@@ -6,8 +6,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
-    WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, Registry,
+    SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -51,9 +51,10 @@ const A_RV_BASE: u64 = 3 * WORDS_PER_LINE;
 /// use dss_spec::types::QueueResp;
 ///
 /// let q = DurableQueue::new(1, 16);
-/// q.enqueue(0, 7).unwrap();
-/// assert_eq!(q.dequeue(0), QueueResp::Value(7));
-/// assert_eq!(q.last_returned(0), Some(QueueResp::Value(7)));
+/// let h0 = q.register_thread().unwrap();
+/// q.enqueue(h0, 7).unwrap();
+/// assert_eq!(q.dequeue(h0), QueueResp::Value(7));
+/// assert_eq!(q.last_returned(h0), Some(QueueResp::Value(7)));
 /// ```
 pub struct DurableQueue<M: Memory = PmemPool> {
     pool: Arc<M>,
@@ -62,6 +63,7 @@ pub struct DurableQueue<M: Memory = PmemPool> {
     nthreads: usize,
     backoff: AtomicBool,
     tuner: BackoffTuner,
+    registry: Registry<M>,
 }
 
 impl DurableQueue {
@@ -89,8 +91,11 @@ impl<M: Memory> DurableQueue<M> {
         let rv_end = A_RV_BASE + nthreads as u64 * WORDS_PER_LINE;
         let sentinel = rv_end.next_multiple_of(NODE_WORDS);
         let region = sentinel + NODE_WORDS;
-        let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<M>::region_words(nthreads);
         let pool = Arc::new(M::create(words as usize, FlushGranularity::default()));
+        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
         let nodes =
             NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
         let q = DurableQueue {
@@ -100,6 +105,7 @@ impl<M: Memory> DurableQueue<M> {
             nthreads,
             backoff: AtomicBool::new(false),
             tuner: BackoffTuner::new(),
+            registry,
         };
         let s = PAddr::from_index(sentinel);
         q.pool.store(s.offset(F_VALUE), 0);
@@ -136,8 +142,9 @@ impl<M: Memory> DurableQueue<M> {
         PAddr::from_index(A_TAIL)
     }
 
+    // Handles are valid by construction (the registry hands out only
+    // in-range slots), so the index needs no range check.
     fn rv(&self, tid: usize) -> PAddr {
-        assert!(tid < self.nthreads, "thread ID {tid} out of range");
         PAddr::from_index(A_RV_BASE + tid as u64 * WORDS_PER_LINE)
     }
 
@@ -149,6 +156,51 @@ impl<M: Memory> DurableQueue<M> {
     /// Number of threads the queue was built for.
     pub fn nthreads(&self) -> usize {
         self.nthreads
+    }
+
+    /// The persistent slot registry governing thread identity.
+    pub fn registry(&self) -> &Registry<M> {
+        &self.registry
+    }
+
+    /// Claims a free slot and returns the [`ThreadHandle`] every operation
+    /// requires. Fails with [`SlotError::Exhausted`] once all `nthreads`
+    /// slots are taken.
+    pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.acquire()?;
+        self.ebr.adopt_slot(h.slot());
+        Ok(h)
+    }
+
+    /// Returns a handle's slot to the free pool for reuse.
+    pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
+        self.registry.release(h)
+    }
+
+    /// Marks the crash boundary in the registry: every slot LIVE at the
+    /// crash becomes ORPHANED. The durable queue's [`recover`](Self::recover)
+    /// is deliberately kept centralized (it predates detectability and has
+    /// no per-thread recovery story), so this exists to let harnesses
+    /// reclaim dead threads' slots via [`adopt`](Self::adopt) /
+    /// [`adopt_orphans`](Self::adopt_orphans).
+    pub fn begin_recovery(&self) {
+        self.registry.begin_recovery();
+    }
+
+    /// Adopts one orphaned slot, inheriting its EBR state.
+    pub fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.adopt(slot)?;
+        self.ebr.adopt_slot(slot);
+        Ok(h)
+    }
+
+    /// Adopts every orphaned slot in ascending order.
+    pub fn adopt_orphans(&self) -> Vec<ThreadHandle> {
+        let hs = self.registry.adopt_orphans();
+        for h in &hs {
+            self.ebr.adopt_slot(h.slot());
+        }
+        hs
     }
 
     fn alloc(&self, tid: usize) -> Result<PAddr, QueueFull> {
@@ -165,7 +217,8 @@ impl<M: Memory> DurableQueue<M> {
     /// # Panics
     ///
     /// Panics if `val` is one of the reserved sentinels.
-    pub fn enqueue(&self, tid: usize, val: u64) -> Result<(), QueueFull> {
+    pub fn enqueue(&self, h: ThreadHandle, val: u64) -> Result<(), QueueFull> {
+        let tid = h.slot();
         assert!(val < RV_EMPTY, "values {RV_EMPTY} and above are reserved");
         let node = self.alloc(tid)?;
         self.pool.store(node.offset(F_VALUE), val);
@@ -204,7 +257,8 @@ impl<M: Memory> DurableQueue<M> {
 
     /// Dequeues, publishing the result through `returnedValues[tid]`
     /// (persisted before the head advances, so recovery can re-deliver it).
-    pub fn dequeue(&self, tid: usize) -> QueueResp {
+    pub fn dequeue(&self, h: ThreadHandle) -> QueueResp {
+        let tid = h.slot();
         let _g = self.ebr.pin(tid);
         // Announce a pending dequeue in the returnedValues slot.
         self.pool.store(self.rv(tid), RV_PENDING);
@@ -274,8 +328,8 @@ impl<M: Memory> DurableQueue<M> {
     /// The last value published for `tid` through `returnedValues`:
     /// `None` — no dequeue recorded (or one is pending and unrecovered);
     /// `Some(Empty)` / `Some(Value(v))` otherwise.
-    pub fn last_returned(&self, tid: usize) -> Option<QueueResp> {
-        match self.pool.load(self.rv(tid)) {
+    pub fn last_returned(&self, h: ThreadHandle) -> Option<QueueResp> {
+        match self.pool.load(self.rv(h.slot())) {
             0 | RV_PENDING => None,
             RV_EMPTY => Some(QueueResp::Empty),
             v => Some(QueueResp::Value(v)),
@@ -371,53 +425,58 @@ mod tests {
     #[test]
     fn fifo_and_empty() {
         let q = DurableQueue::new(1, 8);
-        q.enqueue(0, 1).unwrap();
-        q.enqueue(0, 2).unwrap();
-        assert_eq!(q.dequeue(0), QueueResp::Value(1));
-        assert_eq!(q.dequeue(0), QueueResp::Value(2));
-        assert_eq!(q.dequeue(0), QueueResp::Empty);
-        assert_eq!(q.last_returned(0), Some(QueueResp::Empty));
+        let h0 = q.register_thread().unwrap();
+        q.enqueue(h0, 1).unwrap();
+        q.enqueue(h0, 2).unwrap();
+        assert_eq!(q.dequeue(h0), QueueResp::Value(1));
+        assert_eq!(q.dequeue(h0), QueueResp::Value(2));
+        assert_eq!(q.dequeue(h0), QueueResp::Empty);
+        assert_eq!(q.last_returned(h0), Some(QueueResp::Empty));
     }
 
     #[test]
     fn contents_survive_crash() {
         let q = DurableQueue::new(2, 16);
+        let h0 = q.register_thread().unwrap();
+        let h1 = q.register_thread().unwrap();
         for v in [1, 2, 3] {
-            q.enqueue(0, v).unwrap();
+            q.enqueue(h0, v).unwrap();
         }
-        assert_eq!(q.dequeue(1), QueueResp::Value(1));
+        assert_eq!(q.dequeue(h1), QueueResp::Value(1));
         q.pool().crash(&WritebackAdversary::None);
         q.recover();
         q.rebuild_allocator();
         assert_eq!(q.snapshot_values(), vec![2, 3]);
-        assert_eq!(q.dequeue(0), QueueResp::Value(2));
+        assert_eq!(q.dequeue(h0), QueueResp::Value(2));
     }
 
     #[test]
     fn recovery_publishes_claimed_dequeue() {
         let q = DurableQueue::new(1, 8);
-        q.enqueue(0, 42).unwrap();
+        let h0 = q.register_thread().unwrap();
+        q.enqueue(h0, 42).unwrap();
         // Crash right after the claim CAS + its flush, before the RV store:
         // dequeue ops: RV store, RV flush, head, tail, next, head, CAS
         // claim (7), flush claim (8) — crash on op 9 (the RV store).
         q.pool().arm_crash_after(9);
-        let r = catch_unwind(AssertUnwindSafe(|| q.dequeue(0)));
+        let r = catch_unwind(AssertUnwindSafe(|| q.dequeue(h0)));
         q.pool().disarm_crash();
         assert!(r.unwrap_err().downcast_ref::<CrashSignal>().is_some());
         q.pool().crash(&WritebackAdversary::None);
         q.recover();
         // The claim persisted, so recovery must deliver the value.
-        assert_eq!(q.last_returned(0), Some(QueueResp::Value(42)));
+        assert_eq!(q.last_returned(h0), Some(QueueResp::Value(42)));
         assert!(q.snapshot_values().is_empty());
     }
 
     #[test]
     fn pending_rv_without_claim_stays_unresolved() {
         let q = DurableQueue::new(1, 8);
-        q.enqueue(0, 42).unwrap();
+        let h0 = q.register_thread().unwrap();
+        q.enqueue(h0, 42).unwrap();
         // Crash right after the RV_PENDING announcement (op 3 = head load).
         q.pool().arm_crash_after(3);
-        let r = catch_unwind(AssertUnwindSafe(|| q.dequeue(0)));
+        let r = catch_unwind(AssertUnwindSafe(|| q.dequeue(h0)));
         q.pool().disarm_crash();
         assert!(r.is_err());
         q.pool().crash(&WritebackAdversary::None);
@@ -425,21 +484,23 @@ mod tests {
         // No claim persisted: the slot still reads as unresolved and the
         // value is still queued. (The *application* cannot tell whether the
         // op ran — the durable queue is recoverable, not detectable.)
-        assert_eq!(q.last_returned(0), None);
+        assert_eq!(q.last_returned(h0), None);
         assert_eq!(q.snapshot_values(), vec![42]);
     }
 
     #[test]
     fn concurrent_stress_conserves_values() {
         let q = Arc::new(DurableQueue::new(4, 64));
+        let hs: Vec<_> = (0..4).map(|_| q.register_thread().unwrap()).collect();
         let handles: Vec<_> = (0..4)
             .map(|tid| {
                 let q = Arc::clone(&q);
+                let h = hs[tid];
                 std::thread::spawn(move || {
                     let mut got = Vec::new();
                     for i in 0..300u64 {
-                        q.enqueue(tid, (tid as u64) << 32 | (i + 1)).unwrap();
-                        if let QueueResp::Value(v) = q.dequeue(tid) {
+                        q.enqueue(h, (tid as u64) << 32 | (i + 1)).unwrap();
+                        if let QueueResp::Value(v) = q.dequeue(h) {
                             got.push(v);
                         }
                     }
@@ -460,6 +521,7 @@ mod tests {
     #[should_panic(expected = "reserved")]
     fn sentinel_values_rejected() {
         let q = DurableQueue::new(1, 4);
-        let _ = q.enqueue(0, RV_EMPTY);
+        let h0 = q.register_thread().unwrap();
+        let _ = q.enqueue(h0, RV_EMPTY);
     }
 }

@@ -19,8 +19,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
-    WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, Registry,
+    SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -75,9 +75,10 @@ pub struct LogResolved {
 /// use dss_spec::types::QueueResp;
 ///
 /// let q = LogQueue::new(1, 16);
-/// q.enqueue(0, 5).unwrap();
-/// assert_eq!(q.dequeue(0).unwrap(), QueueResp::Value(5));
-/// let r = q.resolve(0);
+/// let h0 = q.register_thread().unwrap();
+/// q.enqueue(h0, 5).unwrap();
+/// assert_eq!(q.dequeue(h0).unwrap(), QueueResp::Value(5));
+/// let r = q.resolve(h0);
 /// assert_eq!(r.resp, Some(QueueResp::Value(5)));
 /// ```
 pub struct LogQueue<M: Memory = PmemPool> {
@@ -89,6 +90,7 @@ pub struct LogQueue<M: Memory = PmemPool> {
     nthreads: usize,
     backoff: AtomicBool,
     tuner: BackoffTuner,
+    registry: Registry<M>,
 }
 
 impl LogQueue {
@@ -120,8 +122,11 @@ impl<M: Memory> LogQueue<M> {
         let node_words = nodes_per_thread * nthreads as u64 * NODE_WORDS;
         let log_region = node_region + node_words;
         let log_words = nodes_per_thread * nthreads as u64 * LOG_WORDS;
-        let words = log_region + log_words;
+        let log_end = log_region + log_words;
+        let reg_base = log_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<M>::region_words(nthreads);
         let pool = Arc::new(M::create(words as usize, FlushGranularity::default()));
+        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
         let nodes =
             NodePool::new(PAddr::from_index(node_region), NODE_WORDS, nodes_per_thread, nthreads);
         let logs =
@@ -135,6 +140,7 @@ impl<M: Memory> LogQueue<M> {
             nthreads,
             backoff: AtomicBool::new(false),
             tuner: BackoffTuner::new(),
+            registry,
         };
         let s = PAddr::from_index(sentinel);
         q.pool.store(s.offset(N_VALUE), 0);
@@ -172,8 +178,9 @@ impl<M: Memory> LogQueue<M> {
         PAddr::from_index(A_TAIL)
     }
 
+    // Handles are valid by construction (the registry hands out only
+    // in-range slots), so the index needs no range check.
     fn log_ptr(&self, tid: usize) -> PAddr {
-        assert!(tid < self.nthreads, "thread ID {tid} out of range");
         PAddr::from_index(A_LOG_BASE + tid as u64 * WORDS_PER_LINE)
     }
 
@@ -185,6 +192,55 @@ impl<M: Memory> LogQueue<M> {
     /// Number of threads the queue was built for.
     pub fn nthreads(&self) -> usize {
         self.nthreads
+    }
+
+    /// The persistent slot registry governing thread identity.
+    pub fn registry(&self) -> &Registry<M> {
+        &self.registry
+    }
+
+    /// Claims a free slot and returns the [`ThreadHandle`] every operation
+    /// requires. Fails with [`SlotError::Exhausted`] once all `nthreads`
+    /// slots are taken.
+    pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.acquire()?;
+        self.ebr.adopt_slot(h.slot());
+        self.ebr_logs.adopt_slot(h.slot());
+        Ok(h)
+    }
+
+    /// Returns a handle's slot to the free pool for reuse.
+    pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
+        self.registry.release(h)
+    }
+
+    /// Marks the crash boundary in the registry: every slot LIVE at the
+    /// crash becomes ORPHANED. The log queue's [`recover`](Self::recover)
+    /// is deliberately kept centralized (it is the baseline the paper
+    /// compares against), so this exists to let harnesses reclaim dead
+    /// threads' slots via [`adopt`](Self::adopt) /
+    /// [`adopt_orphans`](Self::adopt_orphans).
+    pub fn begin_recovery(&self) {
+        self.registry.begin_recovery();
+    }
+
+    /// Adopts one orphaned slot, inheriting its EBR state in both
+    /// reclamation domains (nodes and log entries).
+    pub fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.adopt(slot)?;
+        self.ebr.adopt_slot(slot);
+        self.ebr_logs.adopt_slot(slot);
+        Ok(h)
+    }
+
+    /// Adopts every orphaned slot in ascending order.
+    pub fn adopt_orphans(&self) -> Vec<ThreadHandle> {
+        let hs = self.registry.adopt_orphans();
+        for h in &hs {
+            self.ebr.adopt_slot(h.slot());
+            self.ebr_logs.adopt_slot(h.slot());
+        }
+        hs
     }
 
     fn alloc_node(&self, tid: usize) -> Result<PAddr, QueueFull> {
@@ -227,7 +283,8 @@ impl<M: Memory> LogQueue<M> {
     /// # Errors
     ///
     /// Returns [`QueueFull`] when a node or log pool is exhausted.
-    pub fn enqueue(&self, tid: usize, val: u64) -> Result<(), QueueFull> {
+    pub fn enqueue(&self, h: ThreadHandle, val: u64) -> Result<(), QueueFull> {
+        let tid = h.slot();
         let node = self.alloc_node(tid)?;
         let log = self.publish_log(tid, KIND_ENQ, val, node)?;
         self.pool.store(node.offset(N_VALUE), val);
@@ -288,7 +345,8 @@ impl<M: Memory> LogQueue<M> {
     /// # Errors
     ///
     /// Returns [`QueueFull`] when the log pool is exhausted.
-    pub fn dequeue(&self, tid: usize) -> Result<QueueResp, QueueFull> {
+    pub fn dequeue(&self, h: ThreadHandle) -> Result<QueueResp, QueueFull> {
+        let tid = h.slot();
         let log = self.publish_log(tid, KIND_DEQ, 0, PAddr::NULL)?;
         let _g = self.ebr.pin(tid);
         let _gl = self.ebr_logs.pin(tid);
@@ -362,8 +420,8 @@ impl<M: Memory> LogQueue<M> {
     /// Detectability: reports the thread's last announced operation and,
     /// if it completed, its response. Run [`recover`](Self::recover)
     /// first after a crash.
-    pub fn resolve(&self, tid: usize) -> LogResolved {
-        let log = tag::addr_of(self.pool.load(self.log_ptr(tid)));
+    pub fn resolve(&self, h: ThreadHandle) -> LogResolved {
+        let log = tag::addr_of(self.pool.load(self.log_ptr(h.slot())));
         if log.is_null() {
             return LogResolved { op: None, resp: None };
         }
@@ -511,20 +569,22 @@ mod tests {
     #[test]
     fn fifo_and_empty() {
         let q = LogQueue::new(1, 8);
-        q.enqueue(0, 1).unwrap();
-        q.enqueue(0, 2).unwrap();
-        assert_eq!(q.dequeue(0).unwrap(), QueueResp::Value(1));
-        assert_eq!(q.dequeue(0).unwrap(), QueueResp::Value(2));
-        assert_eq!(q.dequeue(0).unwrap(), QueueResp::Empty);
+        let h0 = q.register_thread().unwrap();
+        q.enqueue(h0, 1).unwrap();
+        q.enqueue(h0, 2).unwrap();
+        assert_eq!(q.dequeue(h0).unwrap(), QueueResp::Value(1));
+        assert_eq!(q.dequeue(h0).unwrap(), QueueResp::Value(2));
+        assert_eq!(q.dequeue(h0).unwrap(), QueueResp::Empty);
     }
 
     #[test]
     fn resolve_reports_last_op() {
         let q = LogQueue::new(1, 8);
-        q.enqueue(0, 9).unwrap();
-        assert_eq!(q.resolve(0), LogResolved { op: Some(Some(9)), resp: Some(QueueResp::Ok) });
-        q.dequeue(0).unwrap();
-        assert_eq!(q.resolve(0), LogResolved { op: Some(None), resp: Some(QueueResp::Value(9)) });
+        let h0 = q.register_thread().unwrap();
+        q.enqueue(h0, 9).unwrap();
+        assert_eq!(q.resolve(h0), LogResolved { op: Some(Some(9)), resp: Some(QueueResp::Ok) });
+        q.dequeue(h0).unwrap();
+        assert_eq!(q.resolve(h0), LogResolved { op: Some(None), resp: Some(QueueResp::Value(9)) });
     }
 
     #[test]
@@ -532,8 +592,9 @@ mod tests {
         for adv in [WritebackAdversary::None, WritebackAdversary::All] {
             for k in 1..60 {
                 let q = LogQueue::new(1, 8);
+                let h0 = q.register_thread().unwrap();
                 q.pool().arm_crash_after(k);
-                let r = catch_unwind(AssertUnwindSafe(|| q.enqueue(0, 42)));
+                let r = catch_unwind(AssertUnwindSafe(|| q.enqueue(h0, 42)));
                 q.pool().disarm_crash();
                 let crashed = match r {
                     Ok(_) => false,
@@ -547,7 +608,7 @@ mod tests {
                 q.recover();
                 q.rebuild_allocator();
                 let in_queue = q.snapshot_values() == vec![42];
-                match q.resolve(0) {
+                match q.resolve(h0) {
                     LogResolved { op: None, resp: None } => assert!(!in_queue, "k={k}"),
                     LogResolved { op: Some(Some(42)), resp: Some(QueueResp::Ok) } => {
                         assert!(in_queue, "k={k} {adv:?}")
@@ -566,9 +627,10 @@ mod tests {
         for adv in [WritebackAdversary::None, WritebackAdversary::All] {
             for k in 1..60 {
                 let q = LogQueue::new(1, 8);
-                q.enqueue(0, 7).unwrap();
+                let h0 = q.register_thread().unwrap();
+                q.enqueue(h0, 7).unwrap();
                 q.pool().arm_crash_after(k);
-                let r = catch_unwind(AssertUnwindSafe(|| q.dequeue(0)));
+                let r = catch_unwind(AssertUnwindSafe(|| q.dequeue(h0)));
                 q.pool().disarm_crash();
                 let crashed = match r {
                     Ok(_) => false,
@@ -582,7 +644,7 @@ mod tests {
                 q.recover();
                 q.rebuild_allocator();
                 let still_there = q.snapshot_values() == vec![7];
-                match q.resolve(0) {
+                match q.resolve(h0) {
                     // The pre-crash enqueue's log may still be announced.
                     LogResolved { op: Some(Some(7)), resp: Some(QueueResp::Ok) } => {
                         assert!(still_there, "k={k} {adv:?}")
@@ -602,14 +664,16 @@ mod tests {
     #[test]
     fn concurrent_stress_conserves_values() {
         let q = Arc::new(LogQueue::new(4, 64));
+        let hs: Vec<_> = (0..4).map(|_| q.register_thread().unwrap()).collect();
         let handles: Vec<_> = (0..4)
             .map(|tid| {
                 let q = Arc::clone(&q);
+                let h = hs[tid];
                 std::thread::spawn(move || {
                     let mut got = Vec::new();
                     for i in 0..300u64 {
-                        q.enqueue(tid, (tid as u64) << 32 | (i + 1)).unwrap();
-                        if let QueueResp::Value(v) = q.dequeue(tid).unwrap() {
+                        q.enqueue(h, (tid as u64) << 32 | (i + 1)).unwrap();
+                        if let QueueResp::Value(v) = q.dequeue(h).unwrap() {
                             got.push(v);
                         }
                     }
@@ -630,9 +694,10 @@ mod tests {
     fn log_allocation_doubles_per_op_allocations() {
         // The structural cost the paper highlights: one log entry per op.
         let q = LogQueue::new(1, 16);
-        q.enqueue(0, 1).unwrap();
+        let h0 = q.register_thread().unwrap();
+        q.enqueue(h0, 1).unwrap();
         assert_eq!(q.logs.total_nodes() - q.logs.free_count(), 1);
-        let _ = q.dequeue(0).unwrap();
+        let _ = q.dequeue(h0).unwrap();
         assert_eq!(q.logs.total_nodes() - q.logs.free_count(), 2);
     }
 }

@@ -5,8 +5,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
-    WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, Registry,
+    SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -33,9 +33,10 @@ const A_TAIL: u64 = 2 * WORDS_PER_LINE;
 /// use dss_spec::types::QueueResp;
 ///
 /// let q = MsQueue::new(1, 16);
-/// q.enqueue(0, 9).unwrap();
-/// assert_eq!(q.dequeue(0), QueueResp::Value(9));
-/// assert_eq!(q.dequeue(0), QueueResp::Empty);
+/// let h0 = q.register_thread().unwrap();
+/// q.enqueue(h0, 9).unwrap();
+/// assert_eq!(q.dequeue(h0), QueueResp::Value(9));
+/// assert_eq!(q.dequeue(h0), QueueResp::Empty);
 /// ```
 pub struct MsQueue<M: Memory = PmemPool> {
     pool: Arc<M>,
@@ -44,6 +45,7 @@ pub struct MsQueue<M: Memory = PmemPool> {
     nthreads: usize,
     backoff: AtomicBool,
     tuner: BackoffTuner,
+    registry: Registry<M>,
 }
 
 use crate::QueueFull;
@@ -72,8 +74,11 @@ impl<M: Memory> MsQueue<M> {
         assert!(nthreads > 0 && nodes_per_thread > 0);
         let sentinel = (A_TAIL + WORDS_PER_LINE).next_multiple_of(NODE_WORDS);
         let region = sentinel + NODE_WORDS;
-        let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<M>::region_words(nthreads);
         let pool = Arc::new(M::create(words as usize, FlushGranularity::default()));
+        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
         let nodes =
             NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
         let q = MsQueue {
@@ -83,6 +88,7 @@ impl<M: Memory> MsQueue<M> {
             nthreads,
             backoff: AtomicBool::new(false),
             tuner: BackoffTuner::new(),
+            registry,
         };
         let s = PAddr::from_index(sentinel);
         q.pool.store(s.offset(F_VALUE), 0);
@@ -100,6 +106,27 @@ impl<M: Memory> MsQueue<M> {
     /// Number of threads the queue was built for.
     pub fn nthreads(&self) -> usize {
         self.nthreads
+    }
+
+    /// The persistent slot registry governing thread identity. The MS
+    /// queue itself is volatile — only registration flushes; the enqueue
+    /// and dequeue paths stay flush-free.
+    pub fn registry(&self) -> &Registry<M> {
+        &self.registry
+    }
+
+    /// Claims a free slot and returns the [`ThreadHandle`] every operation
+    /// requires. Fails with [`SlotError::Exhausted`] once all `nthreads`
+    /// slots are taken.
+    pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.acquire()?;
+        self.ebr.adopt_slot(h.slot());
+        Ok(h)
+    }
+
+    /// Returns a handle's slot to the free pool for reuse.
+    pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
+        self.registry.release(h)
     }
 
     /// Enables or disables bounded exponential backoff after failed CAS.
@@ -129,7 +156,8 @@ impl<M: Memory> MsQueue<M> {
     /// # Errors
     ///
     /// Returns [`QueueFull`] when the node pool is exhausted.
-    pub fn enqueue(&self, tid: usize, val: u64) -> Result<(), QueueFull> {
+    pub fn enqueue(&self, h: ThreadHandle, val: u64) -> Result<(), QueueFull> {
+        let tid = h.slot();
         let node = self.alloc(tid)?;
         self.pool.store(node.offset(F_VALUE), val);
         self.pool.store(node.offset(F_NEXT), 0);
@@ -155,7 +183,8 @@ impl<M: Memory> MsQueue<M> {
 
     /// Removes and returns the value at the head, or
     /// [`QueueResp::Empty`].
-    pub fn dequeue(&self, tid: usize) -> QueueResp {
+    pub fn dequeue(&self, h: ThreadHandle) -> QueueResp {
+        let tid = h.slot();
         let _g = self.ebr.pin(tid);
         let mut bo = self.new_backoff();
         loop {
@@ -218,28 +247,32 @@ mod tests {
     #[test]
     fn fifo_order() {
         let q = MsQueue::new(1, 8);
+        let h0 = q.register_thread().unwrap();
         for v in [1, 2, 3] {
-            q.enqueue(0, v).unwrap();
+            q.enqueue(h0, v).unwrap();
         }
-        assert_eq!(q.dequeue(0), QueueResp::Value(1));
-        assert_eq!(q.dequeue(0), QueueResp::Value(2));
-        assert_eq!(q.dequeue(0), QueueResp::Value(3));
-        assert_eq!(q.dequeue(0), QueueResp::Empty);
+        assert_eq!(q.dequeue(h0), QueueResp::Value(1));
+        assert_eq!(q.dequeue(h0), QueueResp::Value(2));
+        assert_eq!(q.dequeue(h0), QueueResp::Value(3));
+        assert_eq!(q.dequeue(h0), QueueResp::Empty);
     }
 
     #[test]
     fn no_flushes_issued() {
         let q = MsQueue::new(1, 8);
+        // Registration flushes registry metadata; the op paths must not.
+        let h0 = q.register_thread().unwrap();
         q.pool().reset_stats();
-        q.enqueue(0, 1).unwrap();
-        q.dequeue(0);
+        q.enqueue(h0, 1).unwrap();
+        q.dequeue(h0);
         assert_eq!(q.pool().stats().flushes, 0, "the MS queue never flushes");
     }
 
     #[test]
     fn state_does_not_survive_crash() {
         let q = MsQueue::new(1, 8);
-        q.enqueue(0, 1).unwrap();
+        let h0 = q.register_thread().unwrap();
+        q.enqueue(h0, 1).unwrap();
         q.pool().crash(&WritebackAdversary::None);
         // Everything, including head/tail, reverted to zero: the queue is
         // simply gone. (This is why the durable/DSS queues exist.)
@@ -249,14 +282,16 @@ mod tests {
     #[test]
     fn concurrent_stress() {
         let q = Arc::new(MsQueue::new(4, 64));
+        let hs: Vec<_> = (0..4).map(|_| q.register_thread().unwrap()).collect();
         let handles: Vec<_> = (0..4)
             .map(|tid| {
                 let q = Arc::clone(&q);
+                let h = hs[tid];
                 std::thread::spawn(move || {
                     let mut got = Vec::new();
                     for i in 0..500u64 {
-                        q.enqueue(tid, (tid as u64) << 32 | i).unwrap();
-                        if let QueueResp::Value(v) = q.dequeue(tid) {
+                        q.enqueue(h, (tid as u64) << 32 | i).unwrap();
+                        if let QueueResp::Value(v) = q.dequeue(h) {
                             got.push(v);
                         }
                     }
@@ -276,9 +311,10 @@ mod tests {
     #[test]
     fn recycles_through_small_pool() {
         let q = MsQueue::new(1, 4);
+        let h0 = q.register_thread().unwrap();
         for i in 0..200 {
-            q.enqueue(0, i).unwrap();
-            assert_eq!(q.dequeue(0), QueueResp::Value(i));
+            q.enqueue(h0, i).unwrap();
+            assert_eq!(q.dequeue(h0), QueueResp::Value(i));
         }
     }
 }

@@ -92,13 +92,14 @@ impl Memory for RawPmem {
 
 fn pair_bench<M: Memory>(r: &Runner, name: &str) {
     let q: DssQueue<M> = DssQueue::new_in(1, 4096, FlushGranularity::Line);
+    let h = q.register_thread().unwrap();
     let mut i = 0u64;
     r.bench(name, || {
         i += 1;
-        q.prep_enqueue(0, black_box(i)).expect("node pool exhausted");
-        q.exec_enqueue(0);
-        q.prep_dequeue(0);
-        black_box(q.exec_dequeue(0));
+        q.prep_enqueue(h, black_box(i)).expect("node pool exhausted");
+        q.exec_enqueue(h);
+        q.prep_dequeue(h);
+        black_box(q.exec_dequeue(h));
     });
 }
 

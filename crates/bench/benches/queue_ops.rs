@@ -19,11 +19,12 @@ fn main() {
         for kind in QueueKind::all() {
             let q = kind.build_on(backend, 1, 4096);
             q.set_flush_penalty(20);
+            let h = q.register_thread();
             let mut i = 0u64;
             r.bench(kind.label(), || {
                 i += 1;
-                q.enqueue(0, black_box(i));
-                black_box(q.dequeue(0));
+                q.enqueue(h, black_box(i));
+                black_box(q.dequeue(h));
             });
         }
     }

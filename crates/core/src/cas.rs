@@ -14,8 +14,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
-    WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, Registry,
+    SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 
 // Node layout (4 words, line-aligned).
@@ -55,10 +55,12 @@ pub struct ResolvedCas {
 /// use dss_core::DetectableCas;
 ///
 /// let c = DetectableCas::new(2, 16);
-/// c.prep_cas(0, 0, 5, 1);
-/// assert!(c.exec_cas(0));
-/// assert_eq!(c.read(1), 5);
-/// let r = c.resolve(0);
+/// let h0 = c.register_thread().unwrap();
+/// let h1 = c.register_thread().unwrap();
+/// c.prep_cas(h0, 0, 5, 1);
+/// assert!(c.exec_cas(h0));
+/// assert_eq!(c.read(h1), 5);
+/// let r = c.resolve(h0);
 /// assert_eq!(r.op, Some((0, 5, 1)));
 /// assert_eq!(r.resp, Some(true));
 /// ```
@@ -66,6 +68,8 @@ pub struct DetectableCas<M: Memory = PmemPool> {
     pool: Arc<M>,
     nodes: NodePool,
     ebr: Ebr,
+    /// Persistent thread-slot registry (region after the node region).
+    registry: Registry<M>,
     nthreads: usize,
     backoff: AtomicBool,
     tuner: BackoffTuner,
@@ -98,14 +102,18 @@ impl<M: Memory> DetectableCas<M> {
         let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
         let init_node = x_end.next_multiple_of(NODE_WORDS);
         let region = init_node + NODE_WORDS;
-        let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<M>::region_words(nthreads);
         let pool = Arc::new(M::create(words as usize, granularity));
+        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
         let nodes =
             NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
         let c = DetectableCas {
             pool,
             nodes,
             ebr: Ebr::new(nthreads),
+            registry,
             nthreads,
             backoff: AtomicBool::new(false),
             tuner: BackoffTuner::new(),
@@ -146,14 +154,66 @@ impl<M: Memory> DetectableCas<M> {
         PAddr::from_index(A_CUR)
     }
 
-    fn x_addr(&self, tid: usize) -> PAddr {
-        assert!(tid < self.nthreads, "thread ID {tid} out of range");
-        PAddr::from_index(A_X_BASE + tid as u64 * WORDS_PER_LINE)
+    // Registry-minted handles are in range by construction; bad raw
+    // indices surface as SlotError at the registry, not a panic here.
+    fn x_addr(&self, slot: usize) -> PAddr {
+        PAddr::from_index(A_X_BASE + slot as u64 * WORDS_PER_LINE)
     }
 
     /// The object's persistent-memory pool.
     pub fn pool(&self) -> &Arc<M> {
         &self.pool
+    }
+
+    /// The object's persistent thread-slot registry.
+    pub fn registry(&self) -> &Registry<M> {
+        &self.registry
+    }
+
+    /// Claims a free registry slot; see
+    /// [`DssQueue::register_thread`](crate::DssQueue::register_thread).
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::Exhausted`] when all slots are taken.
+    pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.acquire()?;
+        self.ebr.adopt_slot(h.slot());
+        Ok(h)
+    }
+
+    /// Returns a handle's slot to the registry.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::StaleHandle`] / [`SlotError::ForeignHandle`] per
+    /// [`Registry::release`].
+    pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
+        self.registry.release(h)
+    }
+
+    /// Marks the crash boundary in the registry (idempotent per crash).
+    /// The CAS object needs no recovery phase; this only makes dead
+    /// threads' slots adoptable.
+    pub fn begin_recovery(&self) {
+        self.registry.begin_recovery();
+    }
+
+    /// Adopts one orphaned slot (fresh lease, EBR state inherited).
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::OutOfRange`] / [`SlotError::NotOrphaned`] per
+    /// [`Registry::adopt`].
+    pub fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.adopt(slot)?;
+        self.ebr.adopt_slot(h.slot());
+        Ok(h)
+    }
+
+    /// [`adopt`](Self::adopt) over every orphaned slot, ascending.
+    pub fn adopt_orphans(&self) -> Vec<ThreadHandle> {
+        (0..self.nthreads).filter_map(|slot| self.adopt(slot).ok()).collect()
     }
 
     fn alloc(&self, tid: usize) -> PAddr {
@@ -187,7 +247,8 @@ impl<M: Memory> DetectableCas<M> {
     /// # Panics
     ///
     /// Panics if the node pool is exhausted.
-    pub fn prep_cas(&self, tid: usize, expected: u64, new: u64, seq: u64) {
+    pub fn prep_cas(&self, h: ThreadHandle, expected: u64, new: u64, seq: u64) {
+        let tid = h.slot();
         self.sweep_pending(tid);
         let old = tag::addr_of(self.pool.load(self.x_addr(tid)));
         let node = self.alloc(tid);
@@ -197,8 +258,7 @@ impl<M: Memory> DetectableCas<M> {
         self.pool.store(node.offset(F_SUPERSEDED), 0);
         self.pool.flush(node);
         // Ordering point: the announce must not persist ahead of the node
-        // it names. Its own flush may stay pending — exec drains the
-        // announce before the operation takes effect.
+        // it names.
         self.pool.drain_lines(&[
             node.offset(F_NEW),
             node.offset(F_EXPECTED),
@@ -207,6 +267,9 @@ impl<M: Memory> DetectableCas<M> {
         ]);
         self.pool.store(self.x_addr(tid), tag::set(node.to_word(), C_PREP));
         self.pool.flush(self.x_addr(tid));
+        // Durable before prep returns: a crash that forgets a completed
+        // prep would make resolve report the previous operation.
+        self.pool.drain_line(self.x_addr(tid));
         if !old.is_null() {
             self.push_pending(tid, old);
         }
@@ -221,7 +284,8 @@ impl<M: Memory> DetectableCas<M> {
     ///
     /// Panics if no CAS is prepared for `tid` (or it already executed —
     /// Axiom 2's precondition `R[pᵢ] = ⊥`).
-    pub fn exec_cas(&self, tid: usize) -> bool {
+    pub fn exec_cas(&self, h: ThreadHandle) -> bool {
+        let tid = h.slot();
         let _g = self.ebr.pin(tid);
         let xa = self.x_addr(tid);
         let x = self.pool.load(xa);
@@ -268,7 +332,8 @@ impl<M: Memory> DetectableCas<M> {
     /// # Panics
     ///
     /// Panics if the node pool is exhausted.
-    pub fn cas(&self, tid: usize, expected: u64, new: u64) -> bool {
+    pub fn cas(&self, h: ThreadHandle, expected: u64, new: u64) -> bool {
+        let tid = h.slot();
         let _g = self.ebr.pin(tid);
         self.sweep_pending(tid);
         let node = self.alloc(tid);
@@ -310,8 +375,8 @@ impl<M: Memory> DetectableCas<M> {
     }
 
     /// **read()** (plain): the current value.
-    pub fn read(&self, tid: usize) -> u64 {
-        let _g = self.ebr.pin(tid);
+    pub fn read(&self, h: ThreadHandle) -> u64 {
+        let _g = self.ebr.pin(h.slot());
         let cur = tag::addr_of(self.pool.load(self.cur_addr()));
         self.pool.load(cur.offset(F_NEW))
     }
@@ -319,8 +384,8 @@ impl<M: Memory> DetectableCas<M> {
     /// **resolve()**: reports the most recently prepared CAS and whether
     /// it took effect, and with which outcome. Needs no recovery phase;
     /// idempotent.
-    pub fn resolve(&self, tid: usize) -> ResolvedCas {
-        let x = self.pool.load(self.x_addr(tid));
+    pub fn resolve(&self, h: ThreadHandle) -> ResolvedCas {
+        let x = self.pool.load(self.x_addr(h.slot()));
         if !tag::has(x, C_PREP) {
             return ResolvedCas { op: None, resp: None };
         }
@@ -382,48 +447,55 @@ mod tests {
     #[test]
     fn cas_success_and_failure() {
         let c = DetectableCas::new(2, 8);
-        assert!(c.cas(0, 0, 5));
-        assert!(!c.cas(1, 0, 9), "expected value is stale");
-        assert_eq!(c.read(0), 5);
-        assert!(c.cas(1, 5, 9));
-        assert_eq!(c.read(0), 9);
+        let h0 = c.register_thread().unwrap();
+        let h1 = c.register_thread().unwrap();
+        assert!(c.cas(h0, 0, 5));
+        assert!(!c.cas(h1, 0, 9), "expected value is stale");
+        assert_eq!(c.read(h0), 5);
+        assert!(c.cas(h1, 5, 9));
+        assert_eq!(c.read(h0), 9);
     }
 
     #[test]
     fn detectable_cas_resolves_success() {
         let c = DetectableCas::new(1, 8);
-        c.prep_cas(0, 0, 7, 3);
-        assert_eq!(c.resolve(0), ResolvedCas { op: Some((0, 7, 3)), resp: None });
-        assert!(c.exec_cas(0));
-        assert_eq!(c.resolve(0), ResolvedCas { op: Some((0, 7, 3)), resp: Some(true) });
+        let h0 = c.register_thread().unwrap();
+        c.prep_cas(h0, 0, 7, 3);
+        assert_eq!(c.resolve(h0), ResolvedCas { op: Some((0, 7, 3)), resp: None });
+        assert!(c.exec_cas(h0));
+        assert_eq!(c.resolve(h0), ResolvedCas { op: Some((0, 7, 3)), resp: Some(true) });
     }
 
     #[test]
     fn detectable_cas_resolves_failure() {
         let c = DetectableCas::new(1, 8);
-        c.cas(0, 0, 1);
-        c.prep_cas(0, 0, 7, 0); // expected 0, but value is 1
-        assert!(!c.exec_cas(0));
-        assert_eq!(c.resolve(0), ResolvedCas { op: Some((0, 7, 0)), resp: Some(false) });
-        assert_eq!(c.read(0), 1, "failed CAS has no effect");
+        let h0 = c.register_thread().unwrap();
+        c.cas(h0, 0, 1);
+        c.prep_cas(h0, 0, 7, 0); // expected 0, but value is 1
+        assert!(!c.exec_cas(h0));
+        assert_eq!(c.resolve(h0), ResolvedCas { op: Some((0, 7, 0)), resp: Some(false) });
+        assert_eq!(c.read(h0), 1, "failed CAS has no effect");
     }
 
     #[test]
     fn overwritten_success_still_resolves_true() {
         let c = DetectableCas::new(2, 8);
-        c.prep_cas(0, 0, 5, 0);
-        assert!(c.exec_cas(0));
-        assert!(c.cas(1, 5, 6)); // supersedes thread 0's node
-        assert_eq!(c.resolve(0), ResolvedCas { op: Some((0, 5, 0)), resp: Some(true) });
+        let h0 = c.register_thread().unwrap();
+        let h1 = c.register_thread().unwrap();
+        c.prep_cas(h0, 0, 5, 0);
+        assert!(c.exec_cas(h0));
+        assert!(c.cas(h1, 5, 6)); // supersedes thread 0's node
+        assert_eq!(c.resolve(h0), ResolvedCas { op: Some((0, 5, 0)), resp: Some(true) });
     }
 
     #[test]
     #[should_panic(expected = "without a pending prepared")]
     fn double_exec_panics() {
         let c = DetectableCas::new(1, 8);
-        c.prep_cas(0, 0, 1, 0);
-        assert!(c.exec_cas(0));
-        let _ = c.exec_cas(0); // Axiom 2: R[pᵢ] ≠ ⊥
+        let h0 = c.register_thread().unwrap();
+        c.prep_cas(h0, 0, 1, 0);
+        assert!(c.exec_cas(h0));
+        let _ = c.exec_cas(h0); // Axiom 2: R[pᵢ] ≠ ⊥
     }
 
     #[test]
@@ -435,17 +507,18 @@ mod tests {
         ] {
             for k in 1..40 {
                 let c = DetectableCas::new(1, 8);
+                let h0 = c.register_thread().unwrap();
                 let crashed = run_crash_at(&c, k, || {
-                    c.prep_cas(0, 0, 5, 2);
-                    c.exec_cas(0);
+                    c.prep_cas(h0, 0, 5, 2);
+                    c.exec_cas(h0);
                 });
                 if !crashed {
                     break;
                 }
                 c.pool().crash(&adv);
                 c.rebuild_allocator();
-                let now = c.read(0);
-                match c.resolve(0) {
+                let now = c.read(h0);
+                match c.resolve(h0) {
                     ResolvedCas { op: None, resp: None } => assert_eq!(now, 0, "k={k} {adv:?}"),
                     ResolvedCas { op: Some((0, 5, 2)), resp: Some(true) } => {
                         assert_eq!(now, 5, "k={k} {adv:?}")
@@ -463,17 +536,18 @@ mod tests {
     fn crash_sweep_failing_cas_never_reports_success() {
         for k in 1..40 {
             let c = DetectableCas::new(1, 8);
+            let h0 = c.register_thread().unwrap();
             let crashed = run_crash_at(&c, k, || {
-                c.prep_cas(0, 3, 5, 0); // object holds 0: must fail
-                c.exec_cas(0);
+                c.prep_cas(h0, 3, 5, 0); // object holds 0: must fail
+                c.exec_cas(h0);
             });
             if !crashed {
                 break;
             }
             c.pool().crash(&WritebackAdversary::All);
             c.rebuild_allocator();
-            assert_eq!(c.read(0), 0, "k={k}: failing CAS must never change the value");
-            if let ResolvedCas { resp: Some(true), .. } = c.resolve(0) {
+            assert_eq!(c.read(h0), 0, "k={k}: failing CAS must never change the value");
+            if let ResolvedCas { resp: Some(true), .. } = c.resolve(h0) {
                 panic!("k={k}: failing CAS resolved as success");
             }
         }
@@ -484,17 +558,19 @@ mod tests {
         // Increment a counter with detectable CAS retry loops: total must
         // equal the number of successful increments.
         let c = Arc::new(DetectableCas::new(4, 128));
+        let hs: Vec<_> = (0..4).map(|_| c.register_thread().unwrap()).collect();
         let handles: Vec<_> = (0..4)
             .map(|tid| {
                 let c = Arc::clone(&c);
+                let h = hs[tid];
                 std::thread::spawn(move || {
                     let mut seq = 0;
                     for _ in 0..100 {
                         loop {
-                            let v = c.read(tid);
-                            c.prep_cas(tid, v, v + 1, seq);
+                            let v = c.read(h);
+                            c.prep_cas(h, v, v + 1, seq);
                             seq += 1;
-                            if c.exec_cas(tid) {
+                            if c.exec_cas(h) {
                                 break;
                             }
                         }
@@ -505,6 +581,6 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(c.read(0), 400);
+        assert_eq!(c.read(hs[0]), 400);
     }
 }

@@ -32,20 +32,23 @@
 //! use dss_core::{DssQueue, Resolved, ResolvedOp};
 //! use dss_spec::types::QueueResp;
 //!
-//! let q = DssQueue::new(2, 64); // 2 threads, 64 nodes per thread
+//! let q = DssQueue::new(2, 64); // 2 thread slots, 64 nodes per thread
+//! // Each thread claims a slot from the persistent registry:
+//! let h0 = q.register_thread().unwrap();
+//! let h1 = q.register_thread().unwrap();
 //! // Thread 0 performs a detectable enqueue:
-//! q.prep_enqueue(0, 42).unwrap();
-//! q.exec_enqueue(0);
+//! q.prep_enqueue(h0, 42).unwrap();
+//! q.exec_enqueue(h0);
 //! // Thread 0 can ask what happened (e.g. after a crash):
 //! assert_eq!(
-//!     q.resolve(0),
+//!     q.resolve(h0),
 //!     dss_core::Resolved {
 //!         op: Some(dss_core::ResolvedOp::Enqueue(42)),
 //!         resp: Some(QueueResp::Ok),
 //!     }
 //! );
 //! // Thread 1 dequeues it (non-detectably):
-//! assert_eq!(q.dequeue(1), QueueResp::Value(42));
+//! assert_eq!(q.dequeue(h1), QueueResp::Value(42));
 //! ```
 
 #![forbid(unsafe_code)]

@@ -10,8 +10,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
-    WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, Registry,
+    SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -77,13 +77,19 @@ pub struct Resolved {
 /// Detectable operations go through `prep-*`/`exec-*` pairs; plain
 /// [`enqueue`](Self::enqueue)/[`dequeue`](Self::dequeue) skip every access
 /// to `X` (Axiom 4's non-detectable path). After a crash, run either the
-/// centralized [`recover`](Self::recover) (Figure 6) or the per-thread
-/// [`recover_thread`](Self::recover_thread) (§3.3), then ask
+/// centralized [`recover`](Self::recover) (Figure 6, restructured as
+/// "adopt every orphaned slot, then resolve each") or the per-slot
+/// [`recover_one`](Self::recover_one) (§3.3), then ask
 /// [`resolve`](Self::resolve) what happened.
 ///
-/// Thread IDs must be `0..nthreads`, each used by at most one OS thread at
-/// a time, and survive crashes (paper §2's recover-under-the-same-ID
-/// assumption).
+/// Thread identity comes from a persistent slot [`Registry`] embedded in
+/// the pool: call [`register_thread`](Self::register_thread) to obtain a
+/// [`ThreadHandle`], thread it through every operation, and after a crash
+/// either keep using the (Copy) handle — the paper §2's
+/// recover-under-the-same-ID model — or let any surviving thread
+/// [`adopt`](Self::adopt) the orphaned slots of threads that never came
+/// back (§3.3's generalization). A bad slot index is a typed
+/// [`SlotError`], not an abort.
 ///
 /// The queue is generic over its [`Memory`] backend: the default
 /// [`PmemPool`] simulates persistence and supports crash injection, while
@@ -93,6 +99,9 @@ pub struct DssQueue<M: Memory = PmemPool> {
     pool: Arc<M>,
     pub(crate) nodes: NodePool,
     ebr: Ebr,
+    /// The persistent thread-slot registry: sole source of thread
+    /// identity (its region sits after the node region in the pool).
+    registry: Registry<M>,
     nthreads: usize,
     /// Contention management: back off after failed CAS in the retry loops
     /// and elide provably redundant announce flushes (default off, which
@@ -155,14 +164,20 @@ impl<M: Memory> DssQueue<M> {
         let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
         let sentinel = x_end.next_multiple_of(NODE_WORDS);
         let region = sentinel + NODE_WORDS;
-        let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        // The registry region goes *after* every pre-registry region, so
+        // persisted layouts of head/tail/X/nodes are unchanged.
+        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<M>::region_words(nthreads);
         let pool = Arc::new(M::create(words as usize, granularity));
+        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
         let nodes =
             NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
         let q = DssQueue {
             pool,
             nodes,
             ebr: Ebr::new(nthreads),
+            registry,
             nthreads,
             backoff: AtomicBool::new(false),
             tuner: BackoffTuner::new(),
@@ -217,6 +232,66 @@ impl<M: Memory> DssQueue<M> {
         self.nthreads
     }
 
+    /// The queue's persistent thread-slot registry (inspect slot states,
+    /// run registry-level operations directly).
+    pub fn registry(&self) -> &Registry<M> {
+        &self.registry
+    }
+
+    /// Claims a free registry slot and returns the [`ThreadHandle`] every
+    /// operation takes. Any stale EBR pin a previous lease of the slot
+    /// left behind is cleared; its un-reclaimed retirees are inherited.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::Exhausted`] when all `nthreads` slots are taken.
+    pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.acquire()?;
+        self.ebr.adopt_slot(h.slot());
+        Ok(h)
+    }
+
+    /// Returns a handle's slot to the registry.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::StaleHandle`] if the slot's lease has moved on (e.g.
+    /// it was adopted after a crash), [`SlotError::ForeignHandle`] for a
+    /// handle from another queue's registry.
+    pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
+        self.registry.release(h)
+    }
+
+    /// Marks the crash boundary in the registry: every slot that was LIVE
+    /// at the crash becomes ORPHANED and adoptable. Idempotent per crash;
+    /// [`recover`](Self::recover) calls this itself — call it directly
+    /// only when driving partial recovery by hand ([`adopt`](Self::adopt)
+    /// / [`recover_one`](Self::recover_one)).
+    pub fn begin_recovery(&self) {
+        self.registry.begin_recovery();
+    }
+
+    /// Adopts one orphaned slot on behalf of a thread that never came
+    /// back: re-LIVEs the slot under a fresh lease and clears the dead
+    /// thread's stale EBR pin (its retirees are inherited, not leaked).
+    /// Follow with [`recover_one`](Self::recover_one) to repair the
+    /// slot's detectability word.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::OutOfRange`] / [`SlotError::NotOrphaned`] per
+    /// [`Registry::adopt`].
+    pub fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.adopt(slot)?;
+        self.ebr.adopt_slot(h.slot());
+        Ok(h)
+    }
+
+    /// [`adopt`](Self::adopt) over every orphaned slot, ascending.
+    pub fn adopt_orphans(&self) -> Vec<ThreadHandle> {
+        (0..self.nthreads).filter_map(|slot| self.adopt(slot).ok()).collect()
+    }
+
     pub(crate) fn head_addr(&self) -> PAddr {
         PAddr::from_index(A_HEAD)
     }
@@ -225,9 +300,11 @@ impl<M: Memory> DssQueue<M> {
         PAddr::from_index(A_TAIL)
     }
 
-    pub(crate) fn x_addr(&self, tid: usize) -> PAddr {
-        assert!(tid < self.nthreads, "thread ID {tid} out of range");
-        PAddr::from_index(A_X_BASE + tid as u64 * WORDS_PER_LINE)
+    // Handles are valid by construction (only the registry mints them, and
+    // only with in-range slots), so no bounds assertion is needed here; a
+    // bad raw index surfaces as SlotError at the registry boundary instead.
+    pub(crate) fn x_addr(&self, slot: usize) -> PAddr {
+        PAddr::from_index(A_X_BASE + slot as u64 * WORDS_PER_LINE)
     }
 
     /// `FLUSH(node)`: persists a whole node. One flush under line
@@ -284,7 +361,8 @@ impl<M: Memory> DssQueue<M> {
     ///
     /// Idempotent and total: call it any number of times, from any state,
     /// including immediately after recovery from a crash.
-    pub fn resolve(&self, tid: usize) -> Resolved {
+    pub fn resolve(&self, h: ThreadHandle) -> Resolved {
+        let tid = h.slot();
         let x = self.pool.load(self.x_addr(tid)); // inspect X[TID]
         if tag::has(x, tag::ENQ_PREP) {
             // line 21-22

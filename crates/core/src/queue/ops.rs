@@ -6,7 +6,7 @@
 //! thread ID "with another special tag" (`NONDET_DEQ`) so detection never
 //! confuses a non-detectable claim with a detectable one.
 
-use dss_pmem::{tag, Memory, PAddr};
+use dss_pmem::{tag, Memory, PAddr, ThreadHandle};
 use dss_spec::types::QueueResp;
 
 use super::{DssQueue, QueueFull, F_DEQ_TID, F_NEXT, F_VALUE, NO_DEQUEUER};
@@ -20,7 +20,8 @@ impl<M: Memory> DssQueue<M> {
     ///
     /// Returns [`QueueFull`] when the pre-allocated node pool is exhausted
     /// (in which case `X[tid]` is left unchanged).
-    pub fn prep_enqueue(&self, tid: usize, val: u64) -> Result<(), QueueFull> {
+    pub fn prep_enqueue(&self, h: ThreadHandle, val: u64) -> Result<(), QueueFull> {
+        let tid = h.slot();
         let x = self.x_addr(tid);
         let node = self.alloc_node(tid)?;
         // line 1: new Node(val) — init next = NULL, deqThreadID = −1
@@ -31,13 +32,14 @@ impl<M: Memory> DssQueue<M> {
                                // Ordering point: the announce below must not persist ahead of the
                                // node it names (writeback is per-word, so X[tid] could otherwise
                                // survive a crash pointing at an unwritten node). A targeted drain
-                               // of the node's own lines is enough; the announce flush itself may
-                               // stay pending — exec drains X[tid] before the link CAS, so it is
-                               // persistent before the enqueue can take effect, and a crash
-                               // before then is indistinguishable from one before the prep.
+                               // of the node's own lines is enough.
         self.drain_node(node);
         self.pool.store(x, tag::set(node.to_word(), tag::ENQ_PREP)); // line 3
         self.pool.flush(x); // line 4
+                            // The announce must be durable before prep *returns*: a completed
+                            // prep the crash can forget would make resolve report the previous
+                            // operation — a detectability violation an observer can catch.
+        self.pool.drain_line(x);
         Ok(())
     }
 
@@ -48,7 +50,8 @@ impl<M: Memory> DssQueue<M> {
     ///
     /// Panics if no enqueue is currently prepared for `tid` (Axiom 2's
     /// precondition; the application drives the prep/exec protocol).
-    pub fn exec_enqueue(&self, tid: usize) {
+    pub fn exec_enqueue(&self, h: ThreadHandle) {
+        let tid = h.slot();
         let _guard = self.pin(tid);
         let xa = self.x_addr(tid);
         let x = self.pool.load(xa); // line 5
@@ -106,7 +109,8 @@ impl<M: Memory> DssQueue<M> {
     /// # Errors
     ///
     /// Returns [`QueueFull`] when the node pool is exhausted.
-    pub fn enqueue(&self, tid: usize, val: u64) -> Result<(), QueueFull> {
+    pub fn enqueue(&self, h: ThreadHandle, val: u64) -> Result<(), QueueFull> {
+        let tid = h.slot();
         // Allocate and initialize before pinning: a pinned thread blocks
         // epoch advancement, and allocation may need to reclaim.
         let node = self.alloc_node(tid)?;
@@ -148,11 +152,12 @@ impl<M: Memory> DssQueue<M> {
 
     /// **prep-dequeue()** (Figure 4, lines 32–33): announces the intent to
     /// dequeue by writing `DEQ_PREP` (over a NULL pointer) into `X[tid]`.
-    pub fn prep_dequeue(&self, tid: usize) {
-        let x = self.x_addr(tid);
+    pub fn prep_dequeue(&self, h: ThreadHandle) {
+        let x = self.x_addr(h.slot());
         self.pool.store(x, tag::DEQ_PREP); // line 32
         self.pool.flush(x); // line 33
-                            // No drain: see prep_enqueue — exec fences before any effect.
+                            // Durable before returning: see prep_enqueue.
+        self.pool.drain_line(x);
     }
 
     /// **exec-dequeue()** (Figure 4, lines 34–55): claims the node after
@@ -161,7 +166,8 @@ impl<M: Memory> DssQueue<M> {
     ///
     /// The predecessor pointer written to `X[tid]` at lines 47–48 before
     /// the claim is what makes the operation detectable.
-    pub fn exec_dequeue(&self, tid: usize) -> QueueResp {
+    pub fn exec_dequeue(&self, h: ThreadHandle) -> QueueResp {
+        let tid = h.slot();
         let _guard = self.pin(tid);
         let xa = self.x_addr(tid);
         let elide = self.backoff_enabled();
@@ -236,7 +242,8 @@ impl<M: Memory> DssQueue<M> {
     /// Non-detectable **dequeue()**: `prep-dequeue` + `exec-dequeue` with
     /// every access to `X` omitted, claiming nodes with
     /// `tid | NONDET_DEQ` (§3.2).
-    pub fn dequeue(&self, tid: usize) -> QueueResp {
+    pub fn dequeue(&self, h: ThreadHandle) -> QueueResp {
+        let tid = h.slot();
         let _guard = self.pin(tid);
         let mut bo = self.new_backoff();
         loop {

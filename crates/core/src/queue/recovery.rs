@@ -4,7 +4,7 @@
 
 use std::collections::HashSet;
 
-use dss_pmem::{tag, Memory, PAddr};
+use dss_pmem::{tag, Memory, PAddr, ThreadHandle};
 
 use super::{DssQueue, F_DEQ_TID, F_NEXT, NO_DEQUEUER};
 
@@ -23,21 +23,75 @@ impl<M: Memory> DssQueue<M> {
         }
     }
 
-    /// **recovery()** (Figure 6): the centralized single-threaded recovery
-    /// procedure, run after [`PmemPool::crash`](dss_pmem::PmemPool::crash)
-    /// and before application threads resume.
+    /// **recovery()** (Figure 6, restructured through the registry): run
+    /// after [`PmemPool::crash`](dss_pmem::PmemPool::crash) and before
+    /// application threads resume. Figure 6's centralized "for each
+    /// thread, repair `X[i]`" loop becomes *adopt every ORPHANED slot,
+    /// then resolve each*:
     ///
-    /// 1. Recomputes and persists the `tail` pointer (lines 65–66).
-    /// 2. Advances and persists the `head` pointer to the last *marked*
+    /// 1. Marks the crash boundary in the registry
+    ///    ([`begin_recovery`](Self::begin_recovery)): every slot LIVE at
+    ///    the crash is now ORPHANED.
+    /// 2. Recomputes and persists the `tail` pointer (lines 65–66), then
+    ///    advances and persists the `head` pointer to the last *marked*
     ///    (already dequeued) node (lines 67–69).
-    /// 3. Completes the detectability state of pending enqueues: any
-    ///    `X[i]` holding `ENQ_PREP` without `ENQ_COMPL` whose node either
-    ///    is still in the list, or left it already marked, gains
-    ///    `ENQ_COMPL` (lines 70–76).
+    /// 3. Adopts each orphaned slot in ascending order — inheriting its
+    ///    EBR state — and completes its detectability word: `X[i]`
+    ///    holding `ENQ_PREP` without `ENQ_COMPL` whose node either is
+    ///    still in the list, or left it already marked, gains `ENQ_COMPL`
+    ///    (lines 70–76).
     ///
-    /// Idempotent: running it twice (e.g. after a crash *during* recovery)
-    /// is safe, which the tests exercise.
-    pub fn recover(&self) {
+    /// Returns the adopted handles (ascending slot order). Pre-crash
+    /// `ThreadHandle`s remain usable for operations — adoption re-LIVEs
+    /// the slot rather than freeing it — so the paper §2's
+    /// recover-under-the-same-ID model still holds for callers that kept
+    /// their handles.
+    ///
+    /// Idempotent: running it twice (e.g. after a crash *during*
+    /// recovery) is safe, which the tests exercise; the second pass
+    /// adopts nothing and repairs nothing.
+    pub fn recover(&self) -> Vec<ThreadHandle> {
+        self.begin_recovery();
+
+        // line 64: AllNodes := nodes reachable from head
+        let old_head = tag::addr_of(self.pool.load(self.head_addr()));
+        let chain = self.reachable_from(old_head);
+        let all_nodes: HashSet<PAddr> = chain.iter().copied().collect();
+
+        // lines 65–66: tail := last reachable node
+        let last = *chain.last().expect("chain contains at least head");
+        self.pool.store(self.tail_addr(), last.to_word());
+        self.pool.flush(self.tail_addr());
+
+        // lines 67–69: head := last marked node reachable from oldHead
+        let last_marked = chain
+            .iter()
+            .copied()
+            .filter(|n| self.pool.load(n.offset(F_DEQ_TID)) != NO_DEQUEUER)
+            .last();
+        if let Some(m) = last_marked {
+            self.pool.store(self.head_addr(), m.to_word());
+        }
+        self.pool.flush(self.head_addr());
+
+        // lines 70–76, per adopted slot. Slots that were FREE at the
+        // crash hold no pending announce, so adopting only the orphans
+        // covers exactly the X entries Figure 6's full sweep would repair.
+        let adopted = self.adopt_orphans();
+        for h in &adopted {
+            self.recover_x_entry(h.slot(), &all_nodes);
+        }
+        self.pool.drain();
+        adopted
+    }
+
+    /// The pre-registry centralized recovery (Figure 6 verbatim): repairs
+    /// tail, head, and **every** `X[i]` by index, with no registry
+    /// transitions. Kept only as the reference implementation for the
+    /// parity test that shows the registry-driven [`recover`](Self::recover)
+    /// produces byte-identical resolved responses.
+    #[doc(hidden)]
+    pub fn recover_centralized(&self) {
         // line 64: AllNodes := nodes reachable from head
         let old_head = tag::addr_of(self.pool.load(self.head_addr()));
         let chain = self.reachable_from(old_head);
@@ -66,18 +120,23 @@ impl<M: Memory> DssQueue<M> {
         self.pool.drain();
     }
 
-    /// Independent per-thread recovery (§3.3): thread `tid` repairs only
-    /// its own `X[tid]` entry by scanning the list itself; no centralized
+    /// Independent per-slot recovery (§3.3): the handle's owner repairs
+    /// only its own `X` entry by scanning the list itself; no centralized
     /// phase, and with it "the last trace of auxiliary state" disappears.
+    ///
+    /// Two callers use this: a thread that survived the crash with its
+    /// own handle (its slot never went through adoption — the cheap
+    /// fully-independent path), and an adopter finishing what
+    /// [`adopt`](Self::adopt) started on a dead thread's behalf.
     ///
     /// The queue's head and tail pointers are *not* repaired here — the
     /// MS-queue helping paths advance a lagging tail, and the dequeue path
     /// advances a head that points at marked nodes, so ordinary operations
     /// restore them lazily.
-    pub fn recover_thread(&self, tid: usize) {
+    pub fn recover_one(&self, h: ThreadHandle) {
         let old_head = tag::addr_of(self.pool.load(self.head_addr()));
         let all_nodes: HashSet<PAddr> = self.reachable_from(old_head).into_iter().collect();
-        self.recover_x_entry(tid, &all_nodes);
+        self.recover_x_entry(h.slot(), &all_nodes);
         self.pool.drain();
     }
 
@@ -114,8 +173,8 @@ impl<M: Memory> DssQueue<M> {
     /// (directly or as that node's successor — `resolve` may still
     /// dereference both). Everything else returns to the free lists.
     ///
-    /// Call after [`recover`](Self::recover) (or after every thread's
-    /// [`recover_thread`](Self::recover_thread)); threads may resolve
+    /// Call after [`recover`](Self::recover) (or after every slot's
+    /// [`recover_one`](Self::recover_one)); threads may resolve
     /// before or after, since `X`-referenced nodes are preserved.
     pub fn rebuild_allocator(&self) {
         let mut live: Vec<PAddr> = Vec::new();

@@ -25,80 +25,88 @@ fn run_crash_at<F: FnOnce()>(q: &DssQueue, k: u64, f: F) -> bool {
 #[test]
 fn fifo_order_non_detectable() {
     let q = DssQueue::new(1, 16);
+    let h0 = q.register_thread().unwrap();
     for v in [10, 20, 30] {
-        q.enqueue(0, v).unwrap();
+        q.enqueue(h0, v).unwrap();
     }
-    assert_eq!(q.dequeue(0), QueueResp::Value(10));
-    assert_eq!(q.dequeue(0), QueueResp::Value(20));
-    assert_eq!(q.dequeue(0), QueueResp::Value(30));
-    assert_eq!(q.dequeue(0), QueueResp::Empty);
+    assert_eq!(q.dequeue(h0), QueueResp::Value(10));
+    assert_eq!(q.dequeue(h0), QueueResp::Value(20));
+    assert_eq!(q.dequeue(h0), QueueResp::Value(30));
+    assert_eq!(q.dequeue(h0), QueueResp::Empty);
 }
 
 #[test]
 fn fifo_order_detectable() {
     let q = DssQueue::new(1, 16);
+    let h0 = q.register_thread().unwrap();
     for v in [1, 2] {
-        q.prep_enqueue(0, v).unwrap();
-        q.exec_enqueue(0);
+        q.prep_enqueue(h0, v).unwrap();
+        q.exec_enqueue(h0);
     }
-    q.prep_dequeue(0);
-    assert_eq!(q.exec_dequeue(0), QueueResp::Value(1));
-    q.prep_dequeue(0);
-    assert_eq!(q.exec_dequeue(0), QueueResp::Value(2));
-    q.prep_dequeue(0);
-    assert_eq!(q.exec_dequeue(0), QueueResp::Empty);
+    q.prep_dequeue(h0);
+    assert_eq!(q.exec_dequeue(h0), QueueResp::Value(1));
+    q.prep_dequeue(h0);
+    assert_eq!(q.exec_dequeue(h0), QueueResp::Value(2));
+    q.prep_dequeue(h0);
+    assert_eq!(q.exec_dequeue(h0), QueueResp::Empty);
 }
 
 #[test]
 fn resolve_without_prep_is_bottom_bottom() {
     let q = DssQueue::new(2, 4);
-    assert_eq!(q.resolve(0), Resolved { op: None, resp: None });
-    assert_eq!(q.resolve(1), Resolved { op: None, resp: None });
+    let h0 = q.register_thread().unwrap();
+    let h1 = q.register_thread().unwrap();
+    assert_eq!(q.resolve(h0), Resolved { op: None, resp: None });
+    assert_eq!(q.resolve(h1), Resolved { op: None, resp: None });
 }
 
 #[test]
 fn resolve_after_prep_enqueue_only() {
     let q = DssQueue::new(1, 4);
-    q.prep_enqueue(0, 9).unwrap();
-    assert_eq!(q.resolve(0), Resolved { op: Some(ResolvedOp::Enqueue(9)), resp: None });
+    let h0 = q.register_thread().unwrap();
+    q.prep_enqueue(h0, 9).unwrap();
+    assert_eq!(q.resolve(h0), Resolved { op: Some(ResolvedOp::Enqueue(9)), resp: None });
 }
 
 #[test]
 fn resolve_after_exec_enqueue() {
     let q = DssQueue::new(1, 4);
-    q.prep_enqueue(0, 9).unwrap();
-    q.exec_enqueue(0);
+    let h0 = q.register_thread().unwrap();
+    q.prep_enqueue(h0, 9).unwrap();
+    q.exec_enqueue(h0);
     assert_eq!(
-        q.resolve(0),
+        q.resolve(h0),
         Resolved { op: Some(ResolvedOp::Enqueue(9)), resp: Some(QueueResp::Ok) }
     );
     // resolve is idempotent (a process "may call [it] arbitrarily many
     // times", §2.2).
-    assert_eq!(q.resolve(0), q.resolve(0));
+    assert_eq!(q.resolve(h0), q.resolve(h0));
 }
 
 #[test]
 fn resolve_after_prep_dequeue_only() {
     let q = DssQueue::new(1, 4);
-    q.enqueue(0, 5).unwrap();
-    q.prep_dequeue(0);
-    assert_eq!(q.resolve(0), Resolved { op: Some(ResolvedOp::Dequeue), resp: None });
+    let h0 = q.register_thread().unwrap();
+    q.enqueue(h0, 5).unwrap();
+    q.prep_dequeue(h0);
+    assert_eq!(q.resolve(h0), Resolved { op: Some(ResolvedOp::Dequeue), resp: None });
 }
 
 #[test]
 fn resolve_after_dequeue_value_and_empty() {
     let q = DssQueue::new(1, 4);
-    q.enqueue(0, 5).unwrap();
-    q.prep_dequeue(0);
-    assert_eq!(q.exec_dequeue(0), QueueResp::Value(5));
+    let h0 = q.register_thread().unwrap();
+    q.enqueue(h0, 5).unwrap();
+    q.prep_dequeue(h0);
+    assert_eq!(q.exec_dequeue(h0), QueueResp::Value(5));
     assert_eq!(
-        q.resolve(0),
+        q.resolve(h0),
         Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(QueueResp::Value(5)) }
     );
-    q.prep_dequeue(0);
-    assert_eq!(q.exec_dequeue(0), QueueResp::Empty);
+    q.prep_dequeue(h0);
+    assert_eq!(q.exec_dequeue(h0), QueueResp::Empty);
     assert_eq!(
-        q.resolve(0),
+        q.resolve(h0),
         Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(QueueResp::Empty) }
     );
 }
@@ -107,13 +115,15 @@ fn resolve_after_dequeue_value_and_empty() {
 fn non_detectable_ops_do_not_disturb_detection_state() {
     // Axiom 4: plain operations leave A and R untouched.
     let q = DssQueue::new(2, 8);
-    q.prep_enqueue(0, 1).unwrap();
-    q.exec_enqueue(0);
-    let before = q.resolve(0);
-    q.enqueue(1, 2).unwrap();
-    q.dequeue(1);
-    q.dequeue(1);
-    assert_eq!(q.resolve(0), before);
+    let h0 = q.register_thread().unwrap();
+    let h1 = q.register_thread().unwrap();
+    q.prep_enqueue(h0, 1).unwrap();
+    q.exec_enqueue(h0);
+    let before = q.resolve(h0);
+    q.enqueue(h1, 2).unwrap();
+    q.dequeue(h1);
+    q.dequeue(h1);
+    assert_eq!(q.resolve(h0), before);
 }
 
 #[test]
@@ -122,44 +132,47 @@ fn nondetectable_dequeue_claim_never_resolves_as_detectable() {
     // *same thread* later dequeues the node non-detectably. resolve must
     // not confuse the NONDET claim with a detectable one (§3.2).
     let q = DssQueue::new(1, 8);
-    q.enqueue(0, 7).unwrap();
-    q.prep_dequeue(0);
+    let h0 = q.register_thread().unwrap();
+    q.enqueue(h0, 7).unwrap();
+    q.prep_dequeue(h0);
     // Interrupt exec-dequeue right after it announces the predecessor in X
     // (store X, flush X = the 6th and 7th pmem ops: head, tail, next, head
     // again, store X, flush X — crash on the claim CAS, op #8).
     let crashed = run_crash_at(&q, 8, || {
-        let _ = q.exec_dequeue(0);
+        let _ = q.exec_dequeue(h0);
     });
     assert!(crashed, "expected to interrupt the claim CAS");
     q.pool().crash(&WritebackAdversary::None);
     q.recover();
-    assert_eq!(q.resolve(0), Resolved { op: Some(ResolvedOp::Dequeue), resp: None });
+    assert_eq!(q.resolve(h0), Resolved { op: Some(ResolvedOp::Dequeue), resp: None });
     // Now the same thread dequeues non-detectably.
-    assert_eq!(q.dequeue(0), QueueResp::Value(7));
+    assert_eq!(q.dequeue(h0), QueueResp::Value(7));
     // The detectable dequeue still resolves as "did not take effect".
-    assert_eq!(q.resolve(0), Resolved { op: Some(ResolvedOp::Dequeue), resp: None });
+    assert_eq!(q.resolve(h0), Resolved { op: Some(ResolvedOp::Dequeue), resp: None });
 }
 
 #[test]
 #[should_panic(expected = "without a prepared enqueue")]
 fn exec_enqueue_without_prep_panics() {
     let q = DssQueue::new(1, 4);
-    q.exec_enqueue(0);
+    let h0 = q.register_thread().unwrap();
+    q.exec_enqueue(h0);
 }
 
 #[test]
 fn queue_full_and_ebr_recycling() {
     let q = DssQueue::new(1, 3);
+    let h0 = q.register_thread().unwrap();
     // Fill the pool.
     for v in 0..3 {
-        q.enqueue(0, v).unwrap();
+        q.enqueue(h0, v).unwrap();
     }
-    assert_eq!(q.enqueue(0, 99), Err(QueueFull));
+    assert_eq!(q.enqueue(h0, 99), Err(QueueFull));
     // Dequeue two; the nodes go to EBR limbo and must eventually recycle.
-    assert_eq!(q.dequeue(0), QueueResp::Value(0));
-    assert_eq!(q.dequeue(0), QueueResp::Value(1));
+    assert_eq!(q.dequeue(h0), QueueResp::Value(0));
+    assert_eq!(q.dequeue(h0), QueueResp::Value(1));
     // alloc_node retries through EBR collection:
-    q.enqueue(0, 100).expect("recycled node");
+    q.enqueue(h0, 100).expect("recycled node");
     assert_eq!(q.snapshot_values(), vec![2, 100]);
 }
 
@@ -167,11 +180,12 @@ fn queue_full_and_ebr_recycling() {
 fn many_ops_through_small_pool() {
     // Far more operations than nodes: recycling must sustain it.
     let q = DssQueue::new(1, 8);
+    let h0 = q.register_thread().unwrap();
     for i in 0..1000 {
-        q.enqueue(0, i).unwrap();
-        assert_eq!(q.dequeue(0), QueueResp::Value(i));
+        q.enqueue(h0, i).unwrap();
+        assert_eq!(q.dequeue(h0), QueueResp::Value(i));
     }
-    assert_eq!(q.dequeue(0), QueueResp::Empty);
+    assert_eq!(q.dequeue(h0), QueueResp::Empty);
 }
 
 #[test]
@@ -179,21 +193,23 @@ fn concurrent_stress_conserves_values() {
     const THREADS: usize = 4;
     const PER_THREAD: u64 = 300;
     let q = Arc::new(DssQueue::new(THREADS, 64));
+    let hs: Vec<_> = (0..THREADS).map(|_| q.register_thread().unwrap()).collect();
     let handles: Vec<_> = (0..THREADS)
         .map(|tid| {
             let q = Arc::clone(&q);
+            let h = hs[tid];
             std::thread::spawn(move || {
                 let mut got = Vec::new();
                 for i in 0..PER_THREAD {
                     let v = (tid as u64) << 32 | i;
                     if i % 2 == 0 {
-                        q.prep_enqueue(tid, v).unwrap();
-                        q.exec_enqueue(tid);
+                        q.prep_enqueue(h, v).unwrap();
+                        q.exec_enqueue(h);
                     } else {
-                        q.enqueue(tid, v).unwrap();
+                        q.enqueue(h, v).unwrap();
                     }
-                    q.prep_dequeue(tid);
-                    match q.exec_dequeue(tid) {
+                    q.prep_dequeue(h);
+                    match q.exec_dequeue(h) {
                         QueueResp::Value(x) => got.push(x),
                         QueueResp::Empty => {}
                         QueueResp::Ok => unreachable!(),
@@ -230,9 +246,10 @@ fn enqueue_crash_sweep_resolves_consistently() {
     for adv in adversaries() {
         for k in 1..60 {
             let q = DssQueue::new(1, 8);
+            let h0 = q.register_thread().unwrap();
             let crashed = run_crash_at(&q, k, || {
-                q.prep_enqueue(0, 42).unwrap();
-                q.exec_enqueue(0);
+                q.prep_enqueue(h0, 42).unwrap();
+                q.exec_enqueue(h0);
             });
             if !crashed {
                 break; // the whole operation ran; later ks are identical
@@ -241,7 +258,7 @@ fn enqueue_crash_sweep_resolves_consistently() {
             q.recover();
             q.rebuild_allocator();
             let in_queue = q.snapshot_values() == vec![42];
-            match q.resolve(0) {
+            match q.resolve(h0) {
                 Resolved { op: None, resp: None } => {
                     assert!(!in_queue, "k={k} {adv:?}: unprepared but enqueued")
                 }
@@ -263,12 +280,13 @@ fn dequeue_crash_sweep_resolves_consistently() {
     for adv in adversaries() {
         for k in 1..60 {
             let q = DssQueue::new(1, 8);
-            q.enqueue(0, 7).unwrap();
+            let h0 = q.register_thread().unwrap();
+            q.enqueue(h0, 7).unwrap();
             let pre_ops = q.pool().stats().total(); // skip init + enqueue ops
             let _ = pre_ops;
             let crashed = run_crash_at(&q, k, || {
-                q.prep_dequeue(0);
-                let _ = q.exec_dequeue(0);
+                q.prep_dequeue(h0);
+                let _ = q.exec_dequeue(h0);
             });
             if !crashed {
                 break;
@@ -277,7 +295,7 @@ fn dequeue_crash_sweep_resolves_consistently() {
             q.recover();
             q.rebuild_allocator();
             let still_there = q.snapshot_values() == vec![7];
-            match q.resolve(0) {
+            match q.resolve(h0) {
                 Resolved { op: None, resp: None } => {
                     assert!(still_there, "k={k} {adv:?}: no prep but value gone")
                 }
@@ -299,9 +317,10 @@ fn empty_dequeue_crash_sweep() {
     for adv in adversaries() {
         for k in 1..30 {
             let q = DssQueue::new(1, 4);
+            let h0 = q.register_thread().unwrap();
             let crashed = run_crash_at(&q, k, || {
-                q.prep_dequeue(0);
-                let _ = q.exec_dequeue(0);
+                q.prep_dequeue(h0);
+                let _ = q.exec_dequeue(h0);
             });
             if !crashed {
                 break;
@@ -310,7 +329,7 @@ fn empty_dequeue_crash_sweep() {
             q.recover();
             q.rebuild_allocator();
             assert!(q.snapshot_values().is_empty(), "k={k}: queue must stay empty");
-            match q.resolve(0) {
+            match q.resolve(h0) {
                 Resolved { op: None, resp: None }
                 | Resolved { op: Some(ResolvedOp::Dequeue), resp: None }
                 | Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(QueueResp::Empty) } => {}
@@ -326,15 +345,16 @@ fn recovery_completes_interrupted_enqueue_detectability() {
     // store (line 13): the enqueue took effect but X lacks ENQ_COMPL.
     // Recovery must add the tag (Figure 6 lines 71-74).
     let q = DssQueue::new(1, 8);
-    q.prep_enqueue(0, 11).unwrap();
+    let h0 = q.register_thread().unwrap();
+    q.prep_enqueue(h0, 11).unwrap();
     // exec-enqueue ops: load X, load tail, load last.next, load tail,
     // CAS link, flush link, [crash here].
-    let crashed = run_crash_at(&q, 7, || q.exec_enqueue(0));
+    let crashed = run_crash_at(&q, 7, || q.exec_enqueue(h0));
     assert!(crashed);
     q.pool().crash(&WritebackAdversary::None);
     q.recover();
     assert_eq!(
-        q.resolve(0),
+        q.resolve(h0),
         Resolved { op: Some(ResolvedOp::Enqueue(11)), resp: Some(QueueResp::Ok) },
         "recovery must detect the persisted link"
     );
@@ -344,32 +364,35 @@ fn recovery_completes_interrupted_enqueue_detectability() {
 #[test]
 fn recovery_repairs_lagging_tail_and_head() {
     let q = DssQueue::new(2, 16);
+    let h0 = q.register_thread().unwrap();
+    let h1 = q.register_thread().unwrap();
     for v in [1, 2, 3] {
-        q.enqueue(0, v).unwrap();
+        q.enqueue(h0, v).unwrap();
     }
-    assert_eq!(q.dequeue(1), QueueResp::Value(1));
+    assert_eq!(q.dequeue(h1), QueueResp::Value(1));
     q.pool().crash(&WritebackAdversary::All); // everything persists
     q.recover();
     q.rebuild_allocator();
     assert_eq!(q.snapshot_values(), vec![2, 3]);
     // The queue is fully operational after recovery.
-    assert_eq!(q.dequeue(0), QueueResp::Value(2));
-    q.enqueue(1, 4).unwrap();
+    assert_eq!(q.dequeue(h0), QueueResp::Value(2));
+    q.enqueue(h1, 4).unwrap();
     assert_eq!(q.snapshot_values(), vec![3, 4]);
 }
 
 #[test]
 fn recovery_is_idempotent() {
     let q = DssQueue::new(1, 8);
-    q.prep_enqueue(0, 5).unwrap();
-    let crashed = run_crash_at(&q, 7, || q.exec_enqueue(0));
+    let h0 = q.register_thread().unwrap();
+    q.prep_enqueue(h0, 5).unwrap();
+    let crashed = run_crash_at(&q, 7, || q.exec_enqueue(h0));
     assert!(crashed);
     q.pool().crash(&WritebackAdversary::None);
     q.recover();
-    let r1 = q.resolve(0);
+    let r1 = q.resolve(h0);
     let v1 = q.snapshot_values();
     q.recover(); // e.g. a crash hit during the first recovery's epilogue
-    assert_eq!(q.resolve(0), r1);
+    assert_eq!(q.resolve(h0), r1);
     assert_eq!(q.snapshot_values(), v1);
 }
 
@@ -380,9 +403,10 @@ fn independent_recovery_matches_centralized_for_x_state() {
         // centrally, the other per-thread. resolve must agree.
         let run = |central: bool| {
             let q = DssQueue::new(1, 8);
+            let h0 = q.register_thread().unwrap();
             let crashed = run_crash_at(&q, k, || {
-                q.prep_enqueue(0, 13).unwrap();
-                q.exec_enqueue(0);
+                q.prep_enqueue(h0, 13).unwrap();
+                q.exec_enqueue(h0);
             });
             if !crashed {
                 return None;
@@ -391,9 +415,9 @@ fn independent_recovery_matches_centralized_for_x_state() {
             if central {
                 q.recover();
             } else {
-                q.recover_thread(0);
+                q.recover_one(h0);
             }
-            Some(q.resolve(0))
+            Some(q.resolve(h0))
         };
         match (run(true), run(false)) {
             (Some(a), Some(b)) => assert_eq!(a, b, "k={k}"),
@@ -406,35 +430,38 @@ fn independent_recovery_matches_centralized_for_x_state() {
 #[test]
 fn queue_usable_after_independent_recovery() {
     let q = DssQueue::new(2, 16);
-    q.enqueue(0, 1).unwrap();
-    q.enqueue(0, 2).unwrap();
-    assert_eq!(q.dequeue(1), QueueResp::Value(1));
+    let h0 = q.register_thread().unwrap();
+    let h1 = q.register_thread().unwrap();
+    q.enqueue(h0, 1).unwrap();
+    q.enqueue(h0, 2).unwrap();
+    assert_eq!(q.dequeue(h1), QueueResp::Value(1));
     q.pool().crash(&WritebackAdversary::All);
     // No centralized phase: threads recover on their own and proceed; the
     // stale head/tail are repaired lazily by the helping paths.
-    q.recover_thread(0);
-    q.recover_thread(1);
+    q.recover_one(h0);
+    q.recover_one(h1);
     q.rebuild_allocator();
-    assert_eq!(q.dequeue(0), QueueResp::Value(2));
-    q.enqueue(1, 3).unwrap();
-    assert_eq!(q.dequeue(0), QueueResp::Value(3));
-    assert_eq!(q.dequeue(0), QueueResp::Empty);
+    assert_eq!(q.dequeue(h0), QueueResp::Value(2));
+    q.enqueue(h1, 3).unwrap();
+    assert_eq!(q.dequeue(h0), QueueResp::Value(3));
+    assert_eq!(q.dequeue(h0), QueueResp::Empty);
 }
 
 #[test]
 fn rebuild_allocator_reclaims_dead_nodes_and_keeps_live_ones() {
     let q = DssQueue::new(1, 4);
+    let h0 = q.register_thread().unwrap();
     // Crash during prep-enqueue, after the X announcement store (op 5) but
     // before its flush (op 6): the fresh node is referenced only by X.
     let crashed = run_crash_at(&q, 6, || {
-        q.prep_enqueue(0, 50).unwrap();
+        q.prep_enqueue(h0, 50).unwrap();
     });
     assert!(crashed);
     q.pool().crash(&WritebackAdversary::All); // X persisted
     q.recover();
     q.rebuild_allocator();
     // The X-referenced node must stay allocated (resolve may read it)...
-    assert_eq!(q.resolve(0), Resolved { op: Some(ResolvedOp::Enqueue(50)), resp: None });
+    assert_eq!(q.resolve(h0), Resolved { op: Some(ResolvedOp::Enqueue(50)), resp: None });
     // ...and the remaining 3 nodes are free.
     assert_eq!(q.nodes.free_count(), 3);
 }
@@ -442,14 +469,17 @@ fn rebuild_allocator_reclaims_dead_nodes_and_keeps_live_ones() {
 #[test]
 fn crash_during_recovery_then_recovery_again() {
     let q = DssQueue::new(1, 8);
-    q.prep_enqueue(0, 21).unwrap();
-    let crashed = run_crash_at(&q, 7, || q.exec_enqueue(0));
+    let h0 = q.register_thread().unwrap();
+    q.prep_enqueue(h0, 21).unwrap();
+    let crashed = run_crash_at(&q, 7, || q.exec_enqueue(h0));
     assert!(crashed);
     q.pool().crash(&WritebackAdversary::None);
     // Recovery itself crashes at every possible point; a second, complete
     // recovery must still land in a correct state.
     for k in 1..40 {
-        let crashed = run_crash_at(&q, k, || q.recover());
+        let crashed = run_crash_at(&q, k, || {
+            q.recover();
+        });
         if !crashed {
             break;
         }
@@ -457,7 +487,7 @@ fn crash_during_recovery_then_recovery_again() {
     }
     q.recover();
     assert_eq!(
-        q.resolve(0),
+        q.resolve(h0),
         Resolved { op: Some(ResolvedOp::Enqueue(21)), resp: Some(QueueResp::Ok) }
     );
     assert_eq!(q.snapshot_values(), vec![21]);
@@ -466,9 +496,11 @@ fn crash_during_recovery_then_recovery_again() {
 #[test]
 fn ops_completed_counts() {
     let q = DssQueue::new(2, 8);
-    q.enqueue(0, 1).unwrap();
-    q.prep_enqueue(1, 2).unwrap();
-    q.exec_enqueue(1);
-    q.dequeue(0);
+    let h0 = q.register_thread().unwrap();
+    let h1 = q.register_thread().unwrap();
+    q.enqueue(h0, 1).unwrap();
+    q.prep_enqueue(h1, 2).unwrap();
+    q.exec_enqueue(h1);
+    q.dequeue(h0);
     assert_eq!(q.ops_completed(), 3);
 }

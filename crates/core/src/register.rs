@@ -20,8 +20,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
-    WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, Registry,
+    SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::RegisterResp;
 
@@ -72,10 +72,12 @@ pub struct ResolvedWrite {
 /// use dss_spec::types::RegisterResp;
 ///
 /// let r = DetectableRegister::new(2, 16);
-/// r.prep_write(0, 7, 1);
-/// r.exec_write(0);
-/// assert_eq!(r.read(1), 7);
-/// let res = r.resolve(0);
+/// let h0 = r.register_thread().unwrap();
+/// let h1 = r.register_thread().unwrap();
+/// r.prep_write(h0, 7, 1);
+/// r.exec_write(h0);
+/// assert_eq!(r.read(h1), 7);
+/// let res = r.resolve(h0);
 /// assert_eq!(res.op, Some((7, 1)));
 /// assert_eq!(res.resp, Some(RegisterResp::Ok));
 /// ```
@@ -83,6 +85,8 @@ pub struct DetectableRegister<M: Memory = PmemPool> {
     pool: Arc<M>,
     nodes: NodePool,
     ebr: Ebr,
+    /// Persistent thread-slot registry (region after the node region).
+    registry: Registry<M>,
     nthreads: usize,
     backoff: AtomicBool,
     tuner: BackoffTuner,
@@ -119,14 +123,18 @@ impl<M: Memory> DetectableRegister<M> {
         let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
         let init_node = x_end.next_multiple_of(NODE_WORDS);
         let region = init_node + NODE_WORDS;
-        let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<M>::region_words(nthreads);
         let pool = Arc::new(M::create(words as usize, granularity));
+        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
         let nodes =
             NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
         let r = DetectableRegister {
             pool,
             nodes,
             ebr: Ebr::new(nthreads),
+            registry,
             nthreads,
             backoff: AtomicBool::new(false),
             tuner: BackoffTuner::new(),
@@ -166,14 +174,67 @@ impl<M: Memory> DetectableRegister<M> {
         PAddr::from_index(A_CUR)
     }
 
-    fn x_addr(&self, tid: usize) -> PAddr {
-        assert!(tid < self.nthreads, "thread ID {tid} out of range");
-        PAddr::from_index(A_X_BASE + tid as u64 * WORDS_PER_LINE)
+    // Registry-minted handles are in range by construction; bad raw
+    // indices surface as SlotError at the registry, not a panic here.
+    fn x_addr(&self, slot: usize) -> PAddr {
+        PAddr::from_index(A_X_BASE + slot as u64 * WORDS_PER_LINE)
     }
 
     /// The register's persistent-memory pool.
     pub fn pool(&self) -> &Arc<M> {
         &self.pool
+    }
+
+    /// The register's persistent thread-slot registry.
+    pub fn registry(&self) -> &Registry<M> {
+        &self.registry
+    }
+
+    /// Claims a free registry slot; see
+    /// [`DssQueue::register_thread`](crate::DssQueue::register_thread).
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::Exhausted`] when all slots are taken.
+    pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.acquire()?;
+        self.ebr.adopt_slot(h.slot());
+        Ok(h)
+    }
+
+    /// Returns a handle's slot to the registry.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::StaleHandle`] / [`SlotError::ForeignHandle`] per
+    /// [`Registry::release`].
+    pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
+        self.registry.release(h)
+    }
+
+    /// Marks the crash boundary in the registry (idempotent per crash).
+    /// The register itself needs no recovery phase — [`resolve`]
+    /// (Self::resolve) reads persisted state only — so this exists purely
+    /// to make dead threads' slots adoptable.
+    pub fn begin_recovery(&self) {
+        self.registry.begin_recovery();
+    }
+
+    /// Adopts one orphaned slot (fresh lease, EBR state inherited).
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::OutOfRange`] / [`SlotError::NotOrphaned`] per
+    /// [`Registry::adopt`].
+    pub fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.adopt(slot)?;
+        self.ebr.adopt_slot(h.slot());
+        Ok(h)
+    }
+
+    /// [`adopt`](Self::adopt) over every orphaned slot, ascending.
+    pub fn adopt_orphans(&self) -> Vec<ThreadHandle> {
+        (0..self.nthreads).filter_map(|slot| self.adopt(slot).ok()).collect()
     }
 
     fn alloc(&self, tid: usize) -> PAddr {
@@ -210,7 +271,8 @@ impl<M: Memory> DetectableRegister<M> {
     /// # Panics
     ///
     /// Panics if `val` exceeds 48 bits or the node pool is exhausted.
-    pub fn prep_write(&self, tid: usize, val: u64, seq: u64) {
+    pub fn prep_write(&self, h: ThreadHandle, val: u64, seq: u64) {
+        let tid = h.slot();
         assert!(val <= tag::ADDR_MASK, "register values are limited to 48 bits");
         self.sweep_pending(tid);
         let old = tag::addr_of(self.pool.load(self.x_addr(tid)));
@@ -220,8 +282,7 @@ impl<M: Memory> DetectableRegister<M> {
         self.pool.store(node.offset(F_SUPERSEDED), 0);
         self.pool.flush(node);
         // Ordering point: the announce must not persist ahead of the node
-        // it names. Its own flush may stay pending — exec drains the
-        // announce before the install CAS can take effect.
+        // it names.
         self.pool.drain_lines(&[
             node.offset(F_VALUE),
             node.offset(F_WRITER_SEQ),
@@ -229,6 +290,9 @@ impl<M: Memory> DetectableRegister<M> {
         ]);
         self.pool.store(self.x_addr(tid), tag::set(node.to_word(), W_PREP));
         self.pool.flush(self.x_addr(tid));
+        // Durable before prep returns: a crash that forgets a completed
+        // prep would make resolve report the previous operation.
+        self.pool.drain_line(self.x_addr(tid));
         // The previous announcement node is no longer referenced by X[tid];
         // it becomes retirable once it also stops being the current node.
         if !old.is_null() {
@@ -243,7 +307,8 @@ impl<M: Memory> DetectableRegister<M> {
     /// # Panics
     ///
     /// Panics if no write is prepared for `tid`.
-    pub fn exec_write(&self, tid: usize) {
+    pub fn exec_write(&self, h: ThreadHandle) {
+        let tid = h.slot();
         let _g = self.ebr.pin(tid);
         let xa = self.x_addr(tid);
         let x = self.pool.load(xa);
@@ -281,7 +346,8 @@ impl<M: Memory> DetectableRegister<M> {
     /// # Panics
     ///
     /// Panics if `val` exceeds 48 bits or the node pool is exhausted.
-    pub fn write(&self, tid: usize, val: u64) {
+    pub fn write(&self, h: ThreadHandle, val: u64) {
+        let tid = h.slot();
         assert!(val <= tag::ADDR_MASK, "register values are limited to 48 bits");
         let _g = self.ebr.pin(tid);
         self.sweep_pending(tid);
@@ -318,8 +384,8 @@ impl<M: Memory> DetectableRegister<M> {
     }
 
     /// **read()** (plain): the current value.
-    pub fn read(&self, tid: usize) -> u64 {
-        let _g = self.ebr.pin(tid);
+    pub fn read(&self, h: ThreadHandle) -> u64 {
+        let _g = self.ebr.pin(h.slot());
         let cur = tag::addr_of(self.pool.load(self.cur_addr()));
         self.pool.load(cur.offset(F_VALUE))
     }
@@ -327,8 +393,8 @@ impl<M: Memory> DetectableRegister<M> {
     /// **resolve()**: reports the most recently prepared write and whether
     /// it took effect. Needs no prior recovery phase; callable any time,
     /// idempotent.
-    pub fn resolve(&self, tid: usize) -> ResolvedWrite {
-        let x = self.pool.load(self.x_addr(tid));
+    pub fn resolve(&self, h: ThreadHandle) -> ResolvedWrite {
+        let x = self.pool.load(self.x_addr(h.slot()));
         if !tag::has(x, W_PREP) {
             return ResolvedWrite { op: None, resp: None };
         }
@@ -398,32 +464,37 @@ mod tests {
     #[test]
     fn read_write_basic() {
         let r = DetectableRegister::new(2, 8);
-        assert_eq!(r.read(0), 0);
-        r.write(0, 5);
-        assert_eq!(r.read(1), 5);
-        r.write(1, 9);
-        assert_eq!(r.read(0), 9);
+        let h0 = r.register_thread().unwrap();
+        let h1 = r.register_thread().unwrap();
+        assert_eq!(r.read(h0), 0);
+        r.write(h0, 5);
+        assert_eq!(r.read(h1), 5);
+        r.write(h1, 9);
+        assert_eq!(r.read(h0), 9);
     }
 
     #[test]
     fn detectable_write_resolves_ok() {
         let r = DetectableRegister::new(1, 8);
-        r.prep_write(0, 3, 0);
-        assert_eq!(r.resolve(0), ResolvedWrite { op: Some((3, 0)), resp: None });
-        r.exec_write(0);
-        assert_eq!(r.resolve(0), ResolvedWrite { op: Some((3, 0)), resp: Some(RegisterResp::Ok) });
-        assert_eq!(r.read(0), 3);
+        let h0 = r.register_thread().unwrap();
+        r.prep_write(h0, 3, 0);
+        assert_eq!(r.resolve(h0), ResolvedWrite { op: Some((3, 0)), resp: None });
+        r.exec_write(h0);
+        assert_eq!(r.resolve(h0), ResolvedWrite { op: Some((3, 0)), resp: Some(RegisterResp::Ok) });
+        assert_eq!(r.read(h0), 3);
     }
 
     #[test]
     fn overwritten_write_still_resolves_ok() {
         // The superseded flag preserves provenance after an overwrite.
         let r = DetectableRegister::new(2, 8);
-        r.prep_write(0, 3, 1);
-        r.exec_write(0);
-        r.write(1, 4); // overwrites
-        assert_eq!(r.read(0), 4);
-        assert_eq!(r.resolve(0), ResolvedWrite { op: Some((3, 1)), resp: Some(RegisterResp::Ok) });
+        let h0 = r.register_thread().unwrap();
+        let h1 = r.register_thread().unwrap();
+        r.prep_write(h0, 3, 1);
+        r.exec_write(h0);
+        r.write(h1, 4); // overwrites
+        assert_eq!(r.read(h0), 4);
+        assert_eq!(r.resolve(h0), ResolvedWrite { op: Some((3, 1)), resp: Some(RegisterResp::Ok) });
     }
 
     #[test]
@@ -437,17 +508,18 @@ mod tests {
         ] {
             for k in 1..40 {
                 let r = DetectableRegister::new(1, 8);
+                let h0 = r.register_thread().unwrap();
                 let crashed = run_crash_at(&r, k, || {
-                    r.prep_write(0, 1, 9);
-                    r.exec_write(0);
+                    r.prep_write(h0, 1, 9);
+                    r.exec_write(h0);
                 });
                 if !crashed {
                     break;
                 }
                 r.pool().crash(&adv);
                 r.rebuild_allocator();
-                let value_now = r.read(0);
-                match r.resolve(0) {
+                let value_now = r.read(h0);
+                match r.resolve(h0) {
                     ResolvedWrite { op: None, resp: None } => {
                         assert_eq!(value_now, 0, "k={k} {adv:?}")
                     }
@@ -466,23 +538,26 @@ mod tests {
     #[test]
     fn seq_tag_disambiguates_identical_writes() {
         let r = DetectableRegister::new(1, 8);
-        r.prep_write(0, 5, 0);
-        r.exec_write(0);
-        r.prep_write(0, 5, 1); // same value, new op
-        assert_eq!(r.resolve(0), ResolvedWrite { op: Some((5, 1)), resp: None });
+        let h0 = r.register_thread().unwrap();
+        r.prep_write(h0, 5, 0);
+        r.exec_write(h0);
+        r.prep_write(h0, 5, 1); // same value, new op
+        assert_eq!(r.resolve(h0), ResolvedWrite { op: Some((5, 1)), resp: None });
     }
 
     #[test]
     fn concurrent_writers_last_value_is_someones() {
         use std::sync::Arc;
         let r = Arc::new(DetectableRegister::new(4, 64));
+        let hs: Vec<_> = (0..4).map(|_| r.register_thread().unwrap()).collect();
         let handles: Vec<_> = (0..4)
             .map(|tid| {
                 let r = Arc::clone(&r);
+                let h = hs[tid];
                 std::thread::spawn(move || {
                     for i in 0..200 {
-                        r.prep_write(tid, (tid as u64) << 16 | i, i);
-                        r.exec_write(tid);
+                        r.prep_write(h, (tid as u64) << 16 | i, i);
+                        r.exec_write(h);
                     }
                 })
             })
@@ -490,12 +565,12 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        let v = r.read(0);
+        let v = r.read(hs[0]);
         let tid = v >> 16;
         assert!(tid < 4 && (v & 0xffff) == 199, "final value {v:#x} is someone's last write");
         // Every thread's last write resolves as effective.
-        for tid in 0..4 {
-            assert_eq!(r.resolve(tid).resp, Some(RegisterResp::Ok));
+        for &h in &hs {
+            assert_eq!(r.resolve(h).resp, Some(RegisterResp::Ok));
         }
     }
 
@@ -503,6 +578,7 @@ mod tests {
     #[should_panic(expected = "48 bits")]
     fn oversized_value_rejected() {
         let r = DetectableRegister::new(1, 4);
-        r.write(0, 1 << 50);
+        let h0 = r.register_thread().unwrap();
+        r.write(h0, 1 << 50);
     }
 }

@@ -21,8 +21,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
-    WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, Registry,
+    SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::StackResp;
 
@@ -86,19 +86,23 @@ pub struct StackResolved {
 /// use dss_spec::types::StackResp;
 ///
 /// let s = DssStack::new(2, 32);
-/// s.prep_push(0, 7).unwrap();
-/// s.exec_push(0);
+/// let h0 = s.register_thread().unwrap();
+/// let h1 = s.register_thread().unwrap();
+/// s.prep_push(h0, 7).unwrap();
+/// s.exec_push(h0);
 /// assert_eq!(
-///     s.resolve(0),
+///     s.resolve(h0),
 ///     StackResolved { op: Some(StackResolvedOp::Push(7)), resp: Some(StackResp::Ok) }
 /// );
-/// s.prep_pop(1);
-/// assert_eq!(s.exec_pop(1), StackResp::Value(7));
+/// s.prep_pop(h1);
+/// assert_eq!(s.exec_pop(h1), StackResp::Value(7));
 /// ```
 pub struct DssStack<M: Memory = PmemPool> {
     pool: Arc<M>,
     nodes: NodePool,
     ebr: Ebr,
+    /// Persistent thread-slot registry (region after the node region).
+    registry: Registry<M>,
     nthreads: usize,
     backoff: AtomicBool,
     tuner: BackoffTuner,
@@ -128,14 +132,18 @@ impl<M: Memory> DssStack<M> {
         assert!(nthreads > 0 && nodes_per_thread > 0);
         let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
         let region = x_end.next_multiple_of(NODE_WORDS);
-        let words = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<M>::region_words(nthreads);
         let pool = Arc::new(M::create(words as usize, granularity));
+        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
         let nodes =
             NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
         let s = DssStack {
             pool,
             nodes,
             ebr: Ebr::new(nthreads),
+            registry,
             nthreads,
             backoff: AtomicBool::new(false),
             tuner: BackoffTuner::new(),
@@ -170,9 +178,10 @@ impl<M: Memory> DssStack<M> {
         PAddr::from_index(A_TOP)
     }
 
-    fn x_addr(&self, tid: usize) -> PAddr {
-        assert!(tid < self.nthreads, "thread ID {tid} out of range");
-        PAddr::from_index(A_X_BASE + tid as u64 * WORDS_PER_LINE)
+    // Handles are valid by construction (registry-minted, in range); a bad
+    // raw index is a SlotError at the registry boundary, not a panic here.
+    fn x_addr(&self, slot: usize) -> PAddr {
+        PAddr::from_index(A_X_BASE + slot as u64 * WORDS_PER_LINE)
     }
 
     /// The stack's persistent-memory pool.
@@ -183,6 +192,57 @@ impl<M: Memory> DssStack<M> {
     /// Number of threads the stack was built for.
     pub fn nthreads(&self) -> usize {
         self.nthreads
+    }
+
+    /// The stack's persistent thread-slot registry.
+    pub fn registry(&self) -> &Registry<M> {
+        &self.registry
+    }
+
+    /// Claims a free registry slot; see
+    /// [`DssQueue::register_thread`](crate::DssQueue::register_thread).
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::Exhausted`] when all slots are taken.
+    pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.acquire()?;
+        self.ebr.adopt_slot(h.slot());
+        Ok(h)
+    }
+
+    /// Returns a handle's slot to the registry.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::StaleHandle`] / [`SlotError::ForeignHandle`] per
+    /// [`Registry::release`].
+    pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
+        self.registry.release(h)
+    }
+
+    /// Marks the crash boundary in the registry (idempotent per crash);
+    /// called by [`recover`](Self::recover), or directly when driving
+    /// partial recovery by hand.
+    pub fn begin_recovery(&self) {
+        self.registry.begin_recovery();
+    }
+
+    /// Adopts one orphaned slot (fresh lease, EBR state inherited).
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::OutOfRange`] / [`SlotError::NotOrphaned`] per
+    /// [`Registry::adopt`].
+    pub fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.adopt(slot)?;
+        self.ebr.adopt_slot(h.slot());
+        Ok(h)
+    }
+
+    /// [`adopt`](Self::adopt) over every orphaned slot, ascending.
+    pub fn adopt_orphans(&self) -> Vec<ThreadHandle> {
+        (0..self.nthreads).filter_map(|slot| self.adopt(slot).ok()).collect()
     }
 
     fn alloc(&self, tid: usize) -> Result<PAddr, StackFull> {
@@ -216,18 +276,22 @@ impl<M: Memory> DssStack<M> {
     /// # Errors
     ///
     /// Returns [`StackFull`] when the node pool is exhausted.
-    pub fn prep_push(&self, tid: usize, val: u64) -> Result<(), StackFull> {
+    pub fn prep_push(&self, h: ThreadHandle, val: u64) -> Result<(), StackFull> {
+        let tid = h.slot();
         let node = self.alloc(tid)?;
         self.pool.store(node.offset(F_VALUE), val);
         self.pool.store(node.offset(F_NEXT), PAddr::NULL.to_word());
         self.pool.store(node.offset(F_POPPER), NO_POPPER);
         self.flush_node(node);
         // Ordering point: the announce must not persist ahead of the node
-        // it names — a targeted drain of the node's own lines. Its own
-        // flush may stay pending — exec drains X[tid] before the top CAS.
+        // it names — a targeted drain of the node's own lines.
         self.drain_node(node);
         self.pool.store(self.x_addr(tid), tag::set(node.to_word(), PUSH_PREP));
         self.pool.flush(self.x_addr(tid));
+        // The announce must be durable before prep returns: a crash that
+        // forgets a completed prep would make resolve report the previous
+        // operation — a detectability violation.
+        self.pool.drain_line(self.x_addr(tid));
         Ok(())
     }
 
@@ -254,7 +318,8 @@ impl<M: Memory> DssStack<M> {
     /// # Panics
     ///
     /// Panics if no push is prepared for `tid`.
-    pub fn exec_push(&self, tid: usize) {
+    pub fn exec_push(&self, h: ThreadHandle) {
+        let tid = h.slot();
         let _g = self.ebr.pin(tid);
         let xa = self.x_addr(tid);
         let x = self.pool.load(xa);
@@ -288,7 +353,8 @@ impl<M: Memory> DssStack<M> {
     /// # Errors
     ///
     /// Returns [`StackFull`] when the node pool is exhausted.
-    pub fn push(&self, tid: usize, val: u64) -> Result<(), StackFull> {
+    pub fn push(&self, h: ThreadHandle, val: u64) -> Result<(), StackFull> {
+        let tid = h.slot();
         let node = self.alloc(tid)?;
         self.pool.store(node.offset(F_VALUE), val);
         self.pool.store(node.offset(F_NEXT), PAddr::NULL.to_word());
@@ -312,10 +378,11 @@ impl<M: Memory> DssStack<M> {
     }
 
     /// **prep-pop()**.
-    pub fn prep_pop(&self, tid: usize) {
-        self.pool.store(self.x_addr(tid), POP_PREP);
-        self.pool.flush(self.x_addr(tid));
-        // No drain: see prep_push — exec fences before any effect.
+    pub fn prep_pop(&self, h: ThreadHandle) {
+        self.pool.store(self.x_addr(h.slot()), POP_PREP);
+        self.pool.flush(self.x_addr(h.slot()));
+        // Durable before returning: see prep_push.
+        self.pool.drain_line(self.x_addr(h.slot()));
     }
 
     /// **exec-pop()**: claims the top node by CAS-ing the thread ID into
@@ -325,7 +392,8 @@ impl<M: Memory> DssStack<M> {
     /// # Panics
     ///
     /// Panics if no pop is prepared for `tid`.
-    pub fn exec_pop(&self, tid: usize) -> StackResp {
+    pub fn exec_pop(&self, h: ThreadHandle) -> StackResp {
+        let tid = h.slot();
         let _g = self.ebr.pin(tid);
         let xa = self.x_addr(tid);
         let elide = self.backoff_enabled();
@@ -372,7 +440,8 @@ impl<M: Memory> DssStack<M> {
     /// Non-detectable **pop()**: the claim combines the thread ID with the
     /// `NONDET_DEQ` tag so detection never mistakes it for a detectable
     /// claim by the same thread (cf. queue §3.2).
-    pub fn pop(&self, tid: usize) -> StackResp {
+    pub fn pop(&self, h: ThreadHandle) -> StackResp {
+        let tid = h.slot();
         let _g = self.ebr.pin(tid);
         let mut bo = self.new_backoff();
         loop {
@@ -404,7 +473,8 @@ impl<M: Memory> DssStack<M> {
     }
 
     /// **resolve()**: the `(A[pᵢ], R[pᵢ])` pair for the stack.
-    pub fn resolve(&self, tid: usize) -> StackResolved {
+    pub fn resolve(&self, h: ThreadHandle) -> StackResolved {
+        let tid = h.slot();
         let x = self.pool.load(self.x_addr(tid));
         if tag::has(x, PUSH_PREP) {
             let node = tag::addr_of(x);
@@ -428,11 +498,9 @@ impl<M: Memory> DssStack<M> {
         }
     }
 
-    /// Post-crash recovery (the stack's Figure 6): advance `top` past the
-    /// claimed prefix, then complete `PUSH_COMPL` tags for pushes whose
-    /// node is reachable or already claimed.
-    pub fn recover(&self) {
-        // Advance top past claimed nodes.
+    /// Advances `top` past the claimed prefix and persists it (the
+    /// structural half of the stack's Figure 6).
+    fn repair_top(&self) {
         loop {
             let top_w = self.pool.load(self.top_addr());
             let top = tag::addr_of(top_w);
@@ -443,33 +511,72 @@ impl<M: Memory> DssStack<M> {
             self.pool.store(self.top_addr(), next);
         }
         self.pool.flush(self.top_addr());
-        // Completion tags for effective pushes.
-        let reachable: std::collections::HashSet<PAddr> = {
-            let mut set = std::collections::HashSet::new();
-            let mut cur = tag::addr_of(self.pool.load(self.top_addr()));
-            while !cur.is_null() {
-                set.insert(cur);
-                cur = tag::addr_of(self.pool.load(cur.offset(F_NEXT)));
-            }
-            set
-        };
-        for i in 0..self.nthreads {
-            let xa = self.x_addr(i);
-            let x = self.pool.load(xa);
-            if !tag::has(x, PUSH_PREP) || tag::has(x, PUSH_COMPL) {
-                continue;
-            }
-            let d = tag::addr_of(x);
-            if d.is_null() {
-                continue;
-            }
-            let effective =
-                reachable.contains(&d) || self.pool.load(d.offset(F_POPPER)) != NO_POPPER;
-            if effective {
-                self.pool.store(xa, tag::set(x, PUSH_COMPL));
-                self.pool.flush(xa);
-            }
+    }
+
+    fn reachable_set(&self) -> std::collections::HashSet<PAddr> {
+        let mut set = std::collections::HashSet::new();
+        let mut cur = tag::addr_of(self.pool.load(self.top_addr()));
+        while !cur.is_null() {
+            set.insert(cur);
+            cur = tag::addr_of(self.pool.load(cur.offset(F_NEXT)));
         }
+        set
+    }
+
+    /// Completes slot `i`'s `PUSH_COMPL` tag if its prepared push took
+    /// effect (node reachable, or already claimed off the stack).
+    fn recover_x_entry(&self, i: usize, reachable: &std::collections::HashSet<PAddr>) {
+        let xa = self.x_addr(i);
+        let x = self.pool.load(xa);
+        if !tag::has(x, PUSH_PREP) || tag::has(x, PUSH_COMPL) {
+            return;
+        }
+        let d = tag::addr_of(x);
+        if d.is_null() {
+            return;
+        }
+        let effective = reachable.contains(&d) || self.pool.load(d.offset(F_POPPER)) != NO_POPPER;
+        if effective {
+            self.pool.store(xa, tag::set(x, PUSH_COMPL));
+            self.pool.flush(xa);
+        }
+    }
+
+    /// Post-crash recovery (the stack's Figure 6, restructured through
+    /// the registry): mark the crash boundary, advance `top` past the
+    /// claimed prefix, then adopt every orphaned slot and complete its
+    /// `PUSH_COMPL` tag. Returns the adopted handles; pre-crash handles
+    /// remain usable (adoption re-LIVEs slots rather than freeing them).
+    pub fn recover(&self) -> Vec<ThreadHandle> {
+        self.begin_recovery();
+        self.repair_top();
+        let reachable = self.reachable_set();
+        let adopted = self.adopt_orphans();
+        for h in &adopted {
+            self.recover_x_entry(h.slot(), &reachable);
+        }
+        self.pool.drain();
+        adopted
+    }
+
+    /// The pre-registry centralized recovery (every `X[i]` by index, no
+    /// registry transitions); reference implementation for the parity
+    /// test against the registry-driven [`recover`](Self::recover).
+    #[doc(hidden)]
+    pub fn recover_centralized(&self) {
+        self.repair_top();
+        let reachable = self.reachable_set();
+        for i in 0..self.nthreads {
+            self.recover_x_entry(i, &reachable);
+        }
+        self.pool.drain();
+    }
+
+    /// Independent per-slot recovery (§3.3): repairs only this handle's
+    /// `X` entry; `top` is repaired lazily by `find_top`'s helping path.
+    pub fn recover_one(&self, h: ThreadHandle) {
+        let reachable = self.reachable_set();
+        self.recover_x_entry(h.slot(), &reachable);
         self.pool.drain();
     }
 
@@ -533,33 +640,35 @@ mod tests {
     #[test]
     fn lifo_order_detectable_and_plain() {
         let s = DssStack::new(1, 16);
-        s.prep_push(0, 1).unwrap();
-        s.exec_push(0);
-        s.push(0, 2).unwrap();
-        s.prep_pop(0);
-        assert_eq!(s.exec_pop(0), StackResp::Value(2));
-        assert_eq!(s.pop(0), StackResp::Value(1));
-        assert_eq!(s.pop(0), StackResp::Empty);
-        s.prep_pop(0);
-        assert_eq!(s.exec_pop(0), StackResp::Empty);
+        let h0 = s.register_thread().unwrap();
+        s.prep_push(h0, 1).unwrap();
+        s.exec_push(h0);
+        s.push(h0, 2).unwrap();
+        s.prep_pop(h0);
+        assert_eq!(s.exec_pop(h0), StackResp::Value(2));
+        assert_eq!(s.pop(h0), StackResp::Value(1));
+        assert_eq!(s.pop(h0), StackResp::Empty);
+        s.prep_pop(h0);
+        assert_eq!(s.exec_pop(h0), StackResp::Empty);
     }
 
     #[test]
     fn resolve_round_trip() {
         let s = DssStack::new(1, 16);
-        assert_eq!(s.resolve(0), StackResolved { op: None, resp: None });
-        s.prep_push(0, 9).unwrap();
-        assert_eq!(s.resolve(0), StackResolved { op: Some(StackResolvedOp::Push(9)), resp: None });
-        s.exec_push(0);
+        let h0 = s.register_thread().unwrap();
+        assert_eq!(s.resolve(h0), StackResolved { op: None, resp: None });
+        s.prep_push(h0, 9).unwrap();
+        assert_eq!(s.resolve(h0), StackResolved { op: Some(StackResolvedOp::Push(9)), resp: None });
+        s.exec_push(h0);
         assert_eq!(
-            s.resolve(0),
+            s.resolve(h0),
             StackResolved { op: Some(StackResolvedOp::Push(9)), resp: Some(StackResp::Ok) }
         );
-        s.prep_pop(0);
-        assert_eq!(s.resolve(0), StackResolved { op: Some(StackResolvedOp::Pop), resp: None });
-        assert_eq!(s.exec_pop(0), StackResp::Value(9));
+        s.prep_pop(h0);
+        assert_eq!(s.resolve(h0), StackResolved { op: Some(StackResolvedOp::Pop), resp: None });
+        assert_eq!(s.exec_pop(h0), StackResp::Value(9));
         assert_eq!(
-            s.resolve(0),
+            s.resolve(h0),
             StackResolved { op: Some(StackResolvedOp::Pop), resp: Some(StackResp::Value(9)) }
         );
     }
@@ -573,9 +682,10 @@ mod tests {
         ] {
             for k in 1..50 {
                 let s = DssStack::new(1, 8);
+                let h0 = s.register_thread().unwrap();
                 let crashed = run_crash_at(&s, k, || {
-                    s.prep_push(0, 42).unwrap();
-                    s.exec_push(0);
+                    s.prep_push(h0, 42).unwrap();
+                    s.exec_push(h0);
                 });
                 if !crashed {
                     break;
@@ -584,7 +694,7 @@ mod tests {
                 s.recover();
                 s.rebuild_allocator();
                 let present = s.snapshot_values() == vec![42];
-                match s.resolve(0) {
+                match s.resolve(h0) {
                     StackResolved { op: None, resp: None } => {
                         assert!(!present, "k={k} {adv:?}")
                     }
@@ -606,10 +716,11 @@ mod tests {
         for adv in [WritebackAdversary::None, WritebackAdversary::All] {
             for k in 1..50 {
                 let s = DssStack::new(1, 8);
-                s.push(0, 7).unwrap();
+                let h0 = s.register_thread().unwrap();
+                s.push(h0, 7).unwrap();
                 let crashed = run_crash_at(&s, k, || {
-                    s.prep_pop(0);
-                    let _ = s.exec_pop(0);
+                    s.prep_pop(h0);
+                    let _ = s.exec_pop(h0);
                 });
                 if !crashed {
                     break;
@@ -618,7 +729,7 @@ mod tests {
                 s.recover();
                 s.rebuild_allocator();
                 let still_there = s.snapshot_values() == vec![7];
-                match s.resolve(0) {
+                match s.resolve(h0) {
                     StackResolved { op: None, resp: None } => {
                         assert!(still_there, "k={k} {adv:?}")
                     }
@@ -638,21 +749,23 @@ mod tests {
     #[test]
     fn concurrent_stress_conserves_values() {
         let s = Arc::new(DssStack::new(4, 64));
+        let hs: Vec<_> = (0..4).map(|_| s.register_thread().unwrap()).collect();
         let handles: Vec<_> = (0..4)
             .map(|tid| {
                 let s = Arc::clone(&s);
+                let h = hs[tid];
                 std::thread::spawn(move || {
                     let mut got = Vec::new();
                     for i in 0..250u64 {
                         let v = (tid as u64) << 32 | (i + 1);
                         if i % 2 == 0 {
-                            s.prep_push(tid, v).unwrap();
-                            s.exec_push(tid);
+                            s.prep_push(h, v).unwrap();
+                            s.exec_push(h);
                         } else {
-                            s.push(tid, v).unwrap();
+                            s.push(h, v).unwrap();
                         }
-                        s.prep_pop(tid);
-                        if let StackResp::Value(x) = s.exec_pop(tid) {
+                        s.prep_pop(h);
+                        if let StackResp::Value(x) = s.exec_pop(h) {
                             got.push(x);
                         }
                     }
@@ -672,15 +785,17 @@ mod tests {
     #[test]
     fn recovery_advances_top_past_claimed_prefix() {
         let s = DssStack::new(2, 16);
-        s.push(0, 1).unwrap();
-        s.push(0, 2).unwrap();
+        let h0 = s.register_thread().unwrap();
+        let h1 = s.register_thread().unwrap();
+        s.push(h0, 1).unwrap();
+        s.push(h0, 2).unwrap();
         // Claim the top but crash before the top CAS. Op count:
         // prep (store X, flush X) = 2; find_top (load top, load popper)
         // = 4; announce (store X, flush X) = 6; claim CAS = 7 — crash on
         // op 8 (the claim's flush; the All adversary persists the claim).
         let crashed = run_crash_at(&s, 8, || {
-            s.prep_pop(1);
-            let _ = s.exec_pop(1);
+            s.prep_pop(h1);
+            let _ = s.exec_pop(h1);
         });
         assert!(crashed);
         s.pool().crash(&WritebackAdversary::All);
@@ -689,26 +804,28 @@ mod tests {
         // The claim persisted: resolve delivers the value, and the stack
         // exposes only the remaining element.
         assert_eq!(
-            s.resolve(1),
+            s.resolve(h1),
             StackResolved { op: Some(StackResolvedOp::Pop), resp: Some(StackResp::Value(2)) }
         );
         assert_eq!(s.snapshot_values(), vec![1]);
-        assert_eq!(s.pop(0), StackResp::Value(1));
+        assert_eq!(s.pop(h0), StackResp::Value(1));
     }
 
     #[test]
     #[should_panic(expected = "without a prepared push")]
     fn exec_push_without_prep_panics() {
         let s = DssStack::new(1, 4);
-        s.exec_push(0);
+        let h0 = s.register_thread().unwrap();
+        s.exec_push(h0);
     }
 
     #[test]
     fn many_ops_through_small_pool() {
         let s = DssStack::new(1, 4);
+        let h0 = s.register_thread().unwrap();
         for i in 0..500 {
-            s.push(0, i).unwrap();
-            assert_eq!(s.pop(0), StackResp::Value(i));
+            s.push(h0, i).unwrap();
+            assert_eq!(s.pop(h0), StackResp::Value(i));
         }
     }
 }

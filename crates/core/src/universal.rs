@@ -32,7 +32,10 @@
 use std::fmt;
 use std::sync::Arc;
 
-use dss_pmem::{tag, FlushGranularity, Memory, PAddr, PmemPool};
+use dss_pmem::{
+    tag, FlushGranularity, Memory, PAddr, PmemPool, Registry, SlotError, ThreadHandle,
+    WORDS_PER_LINE,
+};
 use dss_spec::types::{
     CasOp, CasSpec, CounterOp, CounterSpec, QueueOp, QueueSpec, RegisterOp, RegisterSpec, StackOp,
     StackSpec,
@@ -86,11 +89,13 @@ const A_X_BASE: u64 = 2;
 /// use dss_spec::types::{StackOp, StackResp, StackSpec};
 ///
 /// let st = Universal::new(StackSpec, 2, 100);
-/// st.prep(0, StackOp::Push(7), 0);
-/// assert_eq!(st.exec(0), StackResp::Ok);
-/// assert_eq!(st.plain(1, StackOp::Pop), StackResp::Value(7));
+/// let h0 = st.register_thread().unwrap();
+/// let h1 = st.register_thread().unwrap();
+/// st.prep(h0, StackOp::Push(7), 0);
+/// assert_eq!(st.exec(h0), StackResp::Ok);
+/// assert_eq!(st.plain(h1, StackOp::Pop), StackResp::Value(7));
 /// // Detection after the fact:
-/// let (op, resp) = st.resolve(0);
+/// let (op, resp) = st.resolve(h0);
 /// assert_eq!(op, Some((StackOp::Push(7), 0)));
 /// assert_eq!(resp, Some(StackResp::Ok));
 /// ```
@@ -102,6 +107,7 @@ pub struct Universal<T: SequentialSpec, M: Memory = PmemPool> {
     slots_base: u64,
     slots: u64,
     next_slot: std::sync::atomic::AtomicU64,
+    registry: Registry<M>,
 }
 
 impl<T: OpWords> Universal<T> {
@@ -130,8 +136,11 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
         let x_end = A_X_BASE + nthreads as u64;
         let origin = x_end.next_multiple_of(NODE_WORDS);
         let slots_base = origin + NODE_WORDS;
-        let words = slots_base + max_ops * NODE_WORDS;
+        let node_end = slots_base + max_ops * NODE_WORDS;
+        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<M>::region_words(nthreads);
         let pool = Arc::new(M::create(words as usize, granularity));
+        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
         let u = Universal {
             spec,
             pool,
@@ -140,6 +149,7 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
             slots_base,
             slots: max_ops,
             next_slot: std::sync::atomic::AtomicU64::new(0),
+            registry,
         };
         u.pool.store(u.origin.offset(F_NEXT), 0);
         u.pool.flush(u.origin.offset(F_NEXT));
@@ -153,14 +163,52 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
         u
     }
 
+    // Handles are valid by construction (the registry hands out only
+    // in-range slots), so the index needs no range check.
     fn x_addr(&self, tid: usize) -> PAddr {
-        assert!(tid < self.nthreads, "thread ID {tid} out of range");
         PAddr::from_index(A_X_BASE + tid as u64)
     }
 
     /// The object's persistent-memory pool.
     pub fn pool(&self) -> &Arc<M> {
         &self.pool
+    }
+
+    /// The persistent slot registry governing thread identity.
+    pub fn registry(&self) -> &Registry<M> {
+        &self.registry
+    }
+
+    /// Claims a free slot and returns the [`ThreadHandle`] every operation
+    /// requires. Fails with [`SlotError::Exhausted`] once all `nthreads`
+    /// slots are taken.
+    pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
+        self.registry.acquire()
+    }
+
+    /// Returns a handle's slot to the free pool for reuse.
+    pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
+        self.registry.release(h)
+    }
+
+    /// Marks the crash boundary in the registry: every slot LIVE at the
+    /// crash becomes ORPHANED. The universal construction has no recovery
+    /// phase of its own — [`resolve`](Self::resolve) replays the persisted
+    /// history directly — so this exists purely so that dead threads'
+    /// slots can be reclaimed via [`adopt`](Self::adopt) /
+    /// [`adopt_orphans`](Self::adopt_orphans).
+    pub fn begin_recovery(&self) {
+        self.registry.begin_recovery();
+    }
+
+    /// Adopts one orphaned slot, re-LIVE-ing it under a fresh handle.
+    pub fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
+        self.registry.adopt(slot)
+    }
+
+    /// Adopts every orphaned slot in ascending order.
+    pub fn adopt_orphans(&self) -> Vec<ThreadHandle> {
+        self.registry.adopt_orphans()
     }
 
     fn alloc(&self) -> PAddr {
@@ -270,15 +318,18 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
     }
 
     /// **prep(op, seq)**: persists an operation node and announces it.
-    pub fn prep(&self, tid: usize, op: T::Op, seq: u64) {
+    pub fn prep(&self, h: ThreadHandle, op: T::Op, seq: u64) {
+        let tid = h.slot();
         let node = self.alloc();
         self.init_node(node, tid, seq, &op);
         // Ordering point: the announce must not persist ahead of the node
-        // it names. Its own flush may stay pending — exec drains the
-        // announce before the link can take effect.
+        // it names.
         self.pool.drain_line(node.offset(F_NEXT));
         self.pool.store(self.x_addr(tid), tag::set(node.to_word(), U_PREP));
         self.pool.flush(self.x_addr(tid));
+        // Durable before prep returns: a crash that forgets a completed
+        // prep would make resolve report the previous operation.
+        self.pool.drain_line(self.x_addr(tid));
     }
 
     /// **exec()**: appends the prepared operation to the history and
@@ -287,8 +338,8 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
     /// # Panics
     ///
     /// Panics if no operation is prepared (or it already executed).
-    pub fn exec(&self, tid: usize) -> T::Resp {
-        let xa = self.x_addr(tid);
+    pub fn exec(&self, h: ThreadHandle) -> T::Resp {
+        let xa = self.x_addr(h.slot());
         let x = self.pool.load(xa);
         assert!(
             tag::has(x, U_PREP) && !tag::has(x, U_COMPL),
@@ -305,17 +356,17 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
     }
 
     /// The non-detectable operation (Axiom 4): append without touching `X`.
-    pub fn plain(&self, tid: usize, op: T::Op) -> T::Resp {
+    pub fn plain(&self, h: ThreadHandle, op: T::Op) -> T::Resp {
         let node = self.alloc();
-        self.init_node(node, tid, 0, &op);
+        self.init_node(node, h.slot(), 0, &op);
         self.append(node);
         self.replay(Some(node)).1.expect("appended node is reachable")
     }
 
     /// **resolve()**: reports the announced operation and, if its link
     /// persisted (it is reachable in the history), its recomputed response.
-    pub fn resolve(&self, tid: usize) -> UniResolved<T> {
-        let x = self.pool.load(self.x_addr(tid));
+    pub fn resolve(&self, h: ThreadHandle) -> UniResolved<T> {
+        let x = self.pool.load(self.x_addr(h.slot()));
         if !tag::has(x, U_PREP) {
             return (None, None);
         }
@@ -438,26 +489,31 @@ mod tests {
     #[test]
     fn queue_via_universal_construction() {
         let q = Universal::new(QueueSpec, 2, 64);
-        assert_eq!(q.plain(0, QueueOp::Enqueue(1)), QueueResp::Ok);
-        assert_eq!(q.plain(1, QueueOp::Enqueue(2)), QueueResp::Ok);
-        assert_eq!(q.plain(0, QueueOp::Dequeue), QueueResp::Value(1));
-        assert_eq!(q.plain(0, QueueOp::Dequeue), QueueResp::Value(2));
-        assert_eq!(q.plain(0, QueueOp::Dequeue), QueueResp::Empty);
+        let h0 = q.register_thread().unwrap();
+        let h1 = q.register_thread().unwrap();
+        assert_eq!(q.plain(h0, QueueOp::Enqueue(1)), QueueResp::Ok);
+        assert_eq!(q.plain(h1, QueueOp::Enqueue(2)), QueueResp::Ok);
+        assert_eq!(q.plain(h0, QueueOp::Dequeue), QueueResp::Value(1));
+        assert_eq!(q.plain(h0, QueueOp::Dequeue), QueueResp::Value(2));
+        assert_eq!(q.plain(h0, QueueOp::Dequeue), QueueResp::Empty);
     }
 
     #[test]
     fn detectable_counter_round_trip() {
         let c = Universal::new(CounterSpec, 1, 16);
-        c.prep(0, CounterOp::FetchAdd(5), 0);
-        assert_eq!(c.exec(0), CounterResp::Value(0));
-        assert_eq!(c.resolve(0), (Some((CounterOp::FetchAdd(5), 0)), Some(CounterResp::Value(0))));
+        let h0 = c.register_thread().unwrap();
+        c.prep(h0, CounterOp::FetchAdd(5), 0);
+        assert_eq!(c.exec(h0), CounterResp::Value(0));
+        assert_eq!(c.resolve(h0), (Some((CounterOp::FetchAdd(5), 0)), Some(CounterResp::Value(0))));
         assert_eq!(c.state(), 5);
     }
 
     #[test]
     fn resolve_without_prep() {
         let c = Universal::new(CounterSpec, 2, 8);
-        assert_eq!(c.resolve(1), (None, None));
+        let _h0 = c.register_thread().unwrap();
+        let h1 = c.register_thread().unwrap();
+        assert_eq!(c.resolve(h1), (None, None));
     }
 
     #[test]
@@ -467,10 +523,11 @@ mod tests {
         for adv in [WritebackAdversary::None, WritebackAdversary::All] {
             for k in 1..60 {
                 let c = Universal::new(CounterSpec, 1, 16);
+                let h0 = c.register_thread().unwrap();
                 c.pool().arm_crash_after(k);
                 let r = catch_unwind(AssertUnwindSafe(|| {
-                    c.prep(0, CounterOp::FetchAdd(1), 7);
-                    c.exec(0);
+                    c.prep(h0, CounterOp::FetchAdd(1), 7);
+                    c.exec(h0);
                 }));
                 c.pool().disarm_crash();
                 let crashed = match r {
@@ -484,7 +541,7 @@ mod tests {
                 c.pool().crash(&adv);
                 c.rebuild_allocator();
                 let count = c.state();
-                match c.resolve(0) {
+                match c.resolve(h0) {
                     (None, None) => assert_eq!(count, 0, "k={k} {adv:?}"),
                     (Some((CounterOp::FetchAdd(1), 7)), Some(CounterResp::Value(0))) => {
                         assert_eq!(count, 1, "k={k} {adv:?}")
@@ -496,9 +553,9 @@ mod tests {
                 }
                 // Exactly-once retry: if unresolved, re-exec; the count must
                 // end at exactly 1 either way.
-                if c.resolve(0).1.is_none() {
-                    c.prep(0, CounterOp::FetchAdd(1), 8);
-                    c.exec(0);
+                if c.resolve(h0).1.is_none() {
+                    c.prep(h0, CounterOp::FetchAdd(1), 8);
+                    c.exec(h0);
                 }
                 assert_eq!(c.state(), 1, "k={k} {adv:?}: exactly-once violated");
             }
@@ -508,13 +565,15 @@ mod tests {
     #[test]
     fn concurrent_appends_agree_on_one_history() {
         let c = Arc::new(Universal::new(CounterSpec, 4, 512));
+        let hs: Vec<_> = (0..4).map(|_| c.register_thread().unwrap()).collect();
         let handles: Vec<_> = (0..4)
             .map(|tid| {
                 let c = Arc::clone(&c);
+                let h = hs[tid];
                 std::thread::spawn(move || {
                     for i in 0..100 {
-                        c.prep(tid, CounterOp::FetchAdd(1), i);
-                        c.exec(tid);
+                        c.prep(h, CounterOp::FetchAdd(1), i);
+                        c.exec(h);
                     }
                 })
             })
@@ -528,19 +587,20 @@ mod tests {
     #[test]
     fn stack_resolve_after_crash_finds_linked_op() {
         let s = Universal::new(StackSpec, 1, 16);
-        s.prep(0, StackOp::Push(9), 0);
+        let h0 = s.register_thread().unwrap();
+        s.prep(h0, StackOp::Push(9), 0);
         // Crash right after the link CAS + flush, before X gains COMPL:
         // append() ops: load hint, load last.next, CAS link, flush link —
         // crash on the hint CAS (5th op of exec; exec starts with load X).
         s.pool().arm_crash_after(6);
         let r = catch_unwind(AssertUnwindSafe(|| {
-            s.exec(0);
+            s.exec(h0);
         }));
         s.pool().disarm_crash();
         assert!(r.is_err());
         s.pool().crash(&WritebackAdversary::None);
         s.rebuild_allocator();
-        let (op, resp) = s.resolve(0);
+        let (op, resp) = s.resolve(h0);
         assert_eq!(op, Some((StackOp::Push(9), 0)));
         assert_eq!(resp, Some(StackResp::Ok), "link persisted, so the push took effect");
         assert_eq!(s.state(), vec![9]);
@@ -569,8 +629,9 @@ mod tests {
     #[should_panic(expected = "capacity exhausted")]
     fn capacity_limit_enforced() {
         let c = Universal::new(CounterSpec, 1, 2);
+        let h0 = c.register_thread().unwrap();
         for _ in 0..3 {
-            c.plain(0, CounterOp::FetchAdd(1));
+            c.plain(h0, CounterOp::FetchAdd(1));
         }
     }
 }

@@ -13,7 +13,7 @@ use std::fmt::Debug;
 
 use dss_baselines::{DurableQueue, LogQueue, MsQueue};
 use dss_core::DssQueue;
-use dss_pmem::{DramPool, FlushGranularity, Memory, PmemPool, StatsSnapshot};
+use dss_pmem::{DramPool, FlushGranularity, Memory, PmemPool, StatsSnapshot, ThreadHandle};
 use dss_pmwcas::CasWithEffectQueue;
 use dss_spec::types::QueueResp;
 
@@ -162,24 +162,32 @@ impl QueueKind {
     }
 }
 
-/// A queue as the workload driver sees it: enqueue and dequeue by thread
-/// ID, plus the backend knobs the experiments use (flush penalty and
-/// operation statistics), exposed backend-agnostically so a driver never
-/// needs the concrete pool type.
+/// A queue as the workload driver sees it: registration plus enqueue and
+/// dequeue by [`ThreadHandle`], plus the backend knobs the experiments use
+/// (flush penalty and operation statistics), exposed backend-agnostically
+/// so a driver never needs the concrete pool type.
 ///
 /// Detectable implementations run their full prep/exec protocol inside
 /// `enqueue`/`dequeue`, exactly as the paper's "detectable" series do.
 pub trait QueueUnderTest: Send + Sync + Debug {
-    /// Enqueues `val` on behalf of `tid`.
+    /// Claims a thread slot from the queue's registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all slots are taken (drivers size queues to their worker
+    /// count and register each worker exactly once).
+    fn register_thread(&self) -> ThreadHandle;
+
+    /// Enqueues `val` on behalf of the handle's thread.
     ///
     /// # Panics
     ///
     /// Panics if the node pool is exhausted (size the pools for the
     /// workload; the driver keeps queues short).
-    fn enqueue(&self, tid: usize, val: u64);
+    fn enqueue(&self, h: ThreadHandle, val: u64);
 
-    /// Dequeues on behalf of `tid`.
-    fn dequeue(&self, tid: usize) -> QueueResp;
+    /// Dequeues on behalf of the handle's thread.
+    fn dequeue(&self, h: ThreadHandle) -> QueueResp;
 
     /// Sets the backend's artificial flush latency (no-op on backends
     /// without a persistence domain).
@@ -208,11 +216,14 @@ pub trait QueueUnderTest: Send + Sync + Debug {
 }
 
 impl<M: Memory> QueueUnderTest for MsQueue<M> {
-    fn enqueue(&self, tid: usize, val: u64) {
-        MsQueue::enqueue(self, tid, val).expect("node pool exhausted");
+    fn register_thread(&self) -> ThreadHandle {
+        MsQueue::register_thread(self).expect("thread slots exhausted")
     }
-    fn dequeue(&self, tid: usize) -> QueueResp {
-        MsQueue::dequeue(self, tid)
+    fn enqueue(&self, h: ThreadHandle, val: u64) {
+        MsQueue::enqueue(self, h, val).expect("node pool exhausted");
+    }
+    fn dequeue(&self, h: ThreadHandle) -> QueueResp {
+        MsQueue::dequeue(self, h)
     }
     fn set_flush_penalty(&self, spins: u64) {
         self.pool().set_flush_penalty(spins);
@@ -235,11 +246,14 @@ impl<M: Memory> QueueUnderTest for MsQueue<M> {
 }
 
 impl<M: Memory> QueueUnderTest for DurableQueue<M> {
-    fn enqueue(&self, tid: usize, val: u64) {
-        DurableQueue::enqueue(self, tid, val).expect("node pool exhausted");
+    fn register_thread(&self) -> ThreadHandle {
+        DurableQueue::register_thread(self).expect("thread slots exhausted")
     }
-    fn dequeue(&self, tid: usize) -> QueueResp {
-        DurableQueue::dequeue(self, tid)
+    fn enqueue(&self, h: ThreadHandle, val: u64) {
+        DurableQueue::enqueue(self, h, val).expect("node pool exhausted");
+    }
+    fn dequeue(&self, h: ThreadHandle) -> QueueResp {
+        DurableQueue::dequeue(self, h)
     }
     fn set_flush_penalty(&self, spins: u64) {
         self.pool().set_flush_penalty(spins);
@@ -262,11 +276,14 @@ impl<M: Memory> QueueUnderTest for DurableQueue<M> {
 }
 
 impl<M: Memory> QueueUnderTest for LogQueue<M> {
-    fn enqueue(&self, tid: usize, val: u64) {
-        LogQueue::enqueue(self, tid, val).expect("node pool exhausted");
+    fn register_thread(&self) -> ThreadHandle {
+        LogQueue::register_thread(self).expect("thread slots exhausted")
     }
-    fn dequeue(&self, tid: usize) -> QueueResp {
-        LogQueue::dequeue(self, tid).expect("log pool exhausted")
+    fn enqueue(&self, h: ThreadHandle, val: u64) {
+        LogQueue::enqueue(self, h, val).expect("node pool exhausted");
+    }
+    fn dequeue(&self, h: ThreadHandle) -> QueueResp {
+        LogQueue::dequeue(self, h).expect("log pool exhausted")
     }
     fn set_flush_penalty(&self, spins: u64) {
         self.pool().set_flush_penalty(spins);
@@ -293,11 +310,14 @@ impl<M: Memory> QueueUnderTest for LogQueue<M> {
 struct DssPlain<M: Memory>(DssQueue<M>);
 
 impl<M: Memory> QueueUnderTest for DssPlain<M> {
-    fn enqueue(&self, tid: usize, val: u64) {
-        self.0.enqueue(tid, val).expect("node pool exhausted");
+    fn register_thread(&self) -> ThreadHandle {
+        self.0.register_thread().expect("thread slots exhausted")
     }
-    fn dequeue(&self, tid: usize) -> QueueResp {
-        self.0.dequeue(tid)
+    fn enqueue(&self, h: ThreadHandle, val: u64) {
+        self.0.enqueue(h, val).expect("node pool exhausted");
+    }
+    fn dequeue(&self, h: ThreadHandle) -> QueueResp {
+        self.0.dequeue(h)
     }
     fn set_flush_penalty(&self, spins: u64) {
         self.0.pool().set_flush_penalty(spins);
@@ -324,13 +344,16 @@ impl<M: Memory> QueueUnderTest for DssPlain<M> {
 struct DssDet<M: Memory>(DssQueue<M>);
 
 impl<M: Memory> QueueUnderTest for DssDet<M> {
-    fn enqueue(&self, tid: usize, val: u64) {
-        self.0.prep_enqueue(tid, val).expect("node pool exhausted");
-        self.0.exec_enqueue(tid);
+    fn register_thread(&self) -> ThreadHandle {
+        self.0.register_thread().expect("thread slots exhausted")
     }
-    fn dequeue(&self, tid: usize) -> QueueResp {
-        self.0.prep_dequeue(tid);
-        self.0.exec_dequeue(tid)
+    fn enqueue(&self, h: ThreadHandle, val: u64) {
+        self.0.prep_enqueue(h, val).expect("node pool exhausted");
+        self.0.exec_enqueue(h);
+    }
+    fn dequeue(&self, h: ThreadHandle) -> QueueResp {
+        self.0.prep_dequeue(h);
+        self.0.exec_dequeue(h)
     }
     fn set_flush_penalty(&self, spins: u64) {
         self.0.pool().set_flush_penalty(spins);
@@ -357,13 +380,16 @@ impl<M: Memory> QueueUnderTest for DssDet<M> {
 struct Cwe<M: Memory>(CasWithEffectQueue<M>);
 
 impl<M: Memory> QueueUnderTest for Cwe<M> {
-    fn enqueue(&self, tid: usize, val: u64) {
-        self.0.prep_enqueue(tid, val).expect("node pool exhausted");
-        self.0.exec_enqueue(tid);
+    fn register_thread(&self) -> ThreadHandle {
+        self.0.register_thread().expect("thread slots exhausted")
     }
-    fn dequeue(&self, tid: usize) -> QueueResp {
-        self.0.prep_dequeue(tid);
-        self.0.exec_dequeue(tid)
+    fn enqueue(&self, h: ThreadHandle, val: u64) {
+        self.0.prep_enqueue(h, val).expect("node pool exhausted");
+        self.0.exec_enqueue(h);
+    }
+    fn dequeue(&self, h: ThreadHandle) -> QueueResp {
+        self.0.prep_dequeue(h);
+        self.0.exec_dequeue(h)
     }
     fn set_flush_penalty(&self, spins: u64) {
         self.0.pool().set_flush_penalty(spins);
@@ -393,11 +419,13 @@ mod tests {
     fn every_kind_round_trips() {
         for kind in QueueKind::all() {
             let q = kind.build(2, 32);
-            q.enqueue(0, 5);
-            q.enqueue(1, 6);
-            assert_eq!(q.dequeue(0), QueueResp::Value(5), "{}", kind.label());
-            assert_eq!(q.dequeue(1), QueueResp::Value(6), "{}", kind.label());
-            assert_eq!(q.dequeue(0), QueueResp::Empty, "{}", kind.label());
+            let h0 = q.register_thread();
+            let h1 = q.register_thread();
+            q.enqueue(h0, 5);
+            q.enqueue(h1, 6);
+            assert_eq!(q.dequeue(h0), QueueResp::Value(5), "{}", kind.label());
+            assert_eq!(q.dequeue(h1), QueueResp::Value(6), "{}", kind.label());
+            assert_eq!(q.dequeue(h0), QueueResp::Empty, "{}", kind.label());
         }
     }
 
@@ -405,11 +433,13 @@ mod tests {
     fn every_kind_round_trips_on_dram() {
         for kind in QueueKind::all() {
             let q = kind.build_on(Backend::Dram, 2, 32);
-            q.enqueue(0, 5);
-            q.enqueue(1, 6);
-            assert_eq!(q.dequeue(0), QueueResp::Value(5), "{}", kind.label());
-            assert_eq!(q.dequeue(1), QueueResp::Value(6), "{}", kind.label());
-            assert_eq!(q.dequeue(0), QueueResp::Empty, "{}", kind.label());
+            let h0 = q.register_thread();
+            let h1 = q.register_thread();
+            q.enqueue(h0, 5);
+            q.enqueue(h1, 6);
+            assert_eq!(q.dequeue(h0), QueueResp::Value(5), "{}", kind.label());
+            assert_eq!(q.dequeue(h1), QueueResp::Value(6), "{}", kind.label());
+            assert_eq!(q.dequeue(h0), QueueResp::Empty, "{}", kind.label());
             assert_eq!(q.stats().total(), 0, "dram counts nothing: {}", kind.label());
         }
     }
@@ -419,10 +449,12 @@ mod tests {
         for kind in QueueKind::all() {
             for backend in Backend::all() {
                 let q = kind.build_on(backend, 2, 32);
+                let h0 = q.register_thread();
+                let h1 = q.register_thread();
                 q.set_coalescing(true);
                 q.set_backoff(true);
-                q.enqueue(0, 5);
-                assert_eq!(q.dequeue(1), QueueResp::Value(5), "{}", kind.label());
+                q.enqueue(h0, 5);
+                assert_eq!(q.dequeue(h1), QueueResp::Value(5), "{}", kind.label());
                 q.set_coalescing(false);
                 q.set_backoff(false);
             }
@@ -430,23 +462,35 @@ mod tests {
     }
 
     #[test]
-    fn coalescing_reduces_flushes_on_dss_queue() {
-        let measure = |coalesce: bool| {
-            let q = QueueKind::DssDetectable.build(1, 32);
+    fn coalescing_absorbs_flushes_where_durability_permits() {
+        let measure = |kind: QueueKind, coalesce: bool, per_address: bool| {
+            let q = kind.build(1, 32);
+            let h0 = q.register_thread();
             q.set_coalescing(coalesce);
+            q.set_per_address_drains(per_address);
             q.reset_stats();
             for i in 0..32 {
-                q.enqueue(0, i);
-                q.dequeue(0);
+                q.enqueue(h0, i);
+                q.dequeue(h0);
             }
             let s = q.stats();
             (s.flushes, s.flushes_coalesced)
         };
-        let (flushes_off, coalesced_off) = measure(false);
-        let (flushes_on, coalesced_on) = measure(true);
+        // The durable queue's claim-word flush legitimately survives to
+        // the next dequeue of the same line, so per-address coalescing
+        // must absorb writebacks on this workload.
+        let (flushes_off, coalesced_off) = measure(QueueKind::Durable, false, false);
+        let (flushes_on, coalesced_on) = measure(QueueKind::Durable, true, true);
         assert_eq!(coalesced_off, 0);
         assert_eq!(flushes_on, flushes_off, "issued flushes are workload-determined");
         assert!(coalesced_on > 0, "some flushes must coalesce");
+        // The DSS queue, by contrast, must coalesce *nothing* here: its
+        // only same-line re-flush window was the X[tid] announce between
+        // prep and exec, and detectability requires that announce to be
+        // durable before prep returns (a crash that forgets a completed
+        // prep makes resolve report the previous operation).
+        let (_, dss_coalesced) = measure(QueueKind::DssDetectable, true, false);
+        assert_eq!(dss_coalesced, 0, "a completed prep's announce may not stay pending");
     }
 
     #[test]

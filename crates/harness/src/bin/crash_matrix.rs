@@ -5,13 +5,21 @@
 //! operation, recovers, resolves, and validates the answer against the
 //! persisted queue state. `violations` must be zero.
 //!
+//! With `--partial-recovery on` it additionally runs the §3.3 partial
+//! restart mode: multi-threaded crash runs in which only a subset of
+//! threads comes back, each survivor recovers its own registry slot
+//! independently, and one adopter reclaims every orphaned slot and
+//! resolves its pending operation. The value-conservation invariant must
+//! hold in every run.
+//!
 //! ```text
 //! cargo run -p dss-harness --release --bin crash_matrix -- \
-//!     [--granularity word] [--adversary random --seed 7]
+//!     [--granularity word] [--adversary random --seed 7] \
+//!     [--partial-recovery on]
 //! ```
 
 use dss_harness::cli;
-use dss_harness::crashsim::{sweep, SweepConfig, VictimOp};
+use dss_harness::crashsim::{partial_recovery_crash_run, sweep, SweepConfig, VictimOp};
 
 fn main() {
     let args = cli::parse();
@@ -53,6 +61,30 @@ fn main() {
         }
         println!();
         assert_eq!(total_violations, 0, "detectability violations found!");
+    }
+    if args.partial_recovery {
+        const THREADS: usize = 4;
+        println!("# E11 partial recovery: {THREADS} threads crash, `survivors` restart;");
+        println!("# survivors recover independently, survivor 0 adopts the rest (§3.3)");
+        println!("{:<10} {:>6} {:>6} {:>10}", "survivors", "seeds", "ok", "queued-avg");
+        for survivors in 1..=THREADS {
+            const SEEDS: u64 = 8;
+            let mut queued = 0usize;
+            for seed in 0..SEEDS {
+                match partial_recovery_crash_run(THREADS, survivors, args.seed + seed) {
+                    Ok(n) => queued += n,
+                    Err(e) => panic!("survivors={survivors} seed={seed}: {e}"),
+                }
+            }
+            println!(
+                "{:<10} {:>6} {:>6} {:>10.1}",
+                survivors,
+                SEEDS,
+                SEEDS,
+                queued as f64 / SEEDS as f64
+            );
+        }
+        println!();
     }
     println!("ok: every crash point resolved consistently with D<queue>");
 }

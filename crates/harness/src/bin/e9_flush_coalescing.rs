@@ -35,13 +35,14 @@ fn main() {
         let per_pair = |coalesce: bool| {
             let q = kind.build_on(Backend::Pmem, 1, 64);
             q.set_coalescing(coalesce);
-            q.enqueue(0, 1); // warm up the sentinel path
-            let _ = q.dequeue(0);
+            let h = q.register_thread();
+            q.enqueue(h, 1); // warm up the sentinel path
+            let _ = q.dequeue(h);
             q.reset_stats();
             const PAIRS: u64 = 100;
             for i in 0..PAIRS {
-                q.enqueue(0, i + 2);
-                let _ = q.dequeue(0);
+                q.enqueue(h, i + 2);
+                let _ = q.dequeue(h);
             }
             let s = q.stats();
             (s.flushes as f64 / PAIRS as f64, s.flushes_coalesced as f64 / PAIRS as f64)

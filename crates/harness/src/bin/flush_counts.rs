@@ -38,14 +38,15 @@ fn run(backend: Backend) {
     );
     for kind in QueueKind::all() {
         let q = kind.build_on(backend, 1, 64);
+        let h = q.register_thread();
         // Warm up (first ops touch the sentinel path differently).
-        q.enqueue(0, 1);
-        let _ = q.dequeue(0);
+        q.enqueue(h, 1);
+        let _ = q.dequeue(h);
         q.reset_stats();
         const PAIRS: u64 = 100;
         for i in 0..PAIRS {
-            q.enqueue(0, i + 2);
-            let _ = q.dequeue(0);
+            q.enqueue(h, i + 2);
+            let _ = q.dequeue(h);
         }
         let s = q.stats();
         println!(

@@ -20,8 +20,9 @@ fn main() {
         const REPS: u32 = 5;
         for _ in 0..REPS {
             let q = DssQueue::new(4, len + 64);
+            let hs: Vec<_> = (0..4).map(|_| q.register_thread().unwrap()).collect();
             for i in 0..len {
-                q.enqueue(0, i + 1).unwrap();
+                q.enqueue(hs[0], i + 1).unwrap();
             }
             q.pool().crash(&WritebackAdversary::All);
             let t = Instant::now();
@@ -29,13 +30,14 @@ fn main() {
             central += t.elapsed().as_secs_f64() * 1e6;
 
             let q = DssQueue::new(4, len + 64);
+            let hs: Vec<_> = (0..4).map(|_| q.register_thread().unwrap()).collect();
             for i in 0..len {
-                q.enqueue(0, i + 1).unwrap();
+                q.enqueue(hs[0], i + 1).unwrap();
             }
             q.pool().crash(&WritebackAdversary::All);
             let t = Instant::now();
-            for tid in 0..4 {
-                q.recover_thread(tid);
+            for &h in &hs {
+                q.recover_one(h);
             }
             indep += t.elapsed().as_secs_f64() * 1e6;
         }

@@ -30,6 +30,11 @@ pub struct Args {
     /// Bounded exponential backoff on contended retry loops
     /// (`--backoff on|off`, experiment E9). Default off.
     pub backoff: bool,
+    /// Partial-recovery crash runs (`--partial-recovery on|off`,
+    /// `crash_matrix` only): after a multi-threaded crash, only a subset
+    /// of threads restarts and an adopter reclaims the orphaned registry
+    /// slots (§3.3). Default off.
+    pub partial_recovery: bool,
 }
 
 impl Default for Args {
@@ -46,6 +51,7 @@ impl Default for Args {
             coalesce: false,
             per_address: false,
             backoff: false,
+            partial_recovery: false,
         }
     }
 }
@@ -80,9 +86,13 @@ pub fn parse() -> Args {
             "--coalesce" => args.coalesce = parse_switch("--coalesce", &val()),
             "--per-address" => args.per_address = parse_switch("--per-address", &val()),
             "--backoff" => args.backoff = parse_switch("--backoff", &val()),
+            "--partial-recovery" => {
+                args.partial_recovery = parse_switch("--partial-recovery", &val());
+            }
             other => panic!(
                 "unknown flag {other}; known: --threads --ms --repeats --penalty \
-                 --granularity --adversary --seed --backend --coalesce --per-address --backoff"
+                 --granularity --adversary --seed --backend --coalesce --per-address --backoff \
+                 --partial-recovery"
             ),
         }
     }
@@ -130,6 +140,7 @@ mod tests {
         assert_eq!(a.flush_granularity(), dss_pmem::FlushGranularity::Line);
         assert_eq!(a.writeback_adversary(), dss_pmem::WritebackAdversary::None);
         assert!(!a.coalesce && !a.per_address && !a.backoff, "perf features default off");
+        assert!(!a.partial_recovery, "partial-recovery mode defaults off");
     }
 
     #[test]

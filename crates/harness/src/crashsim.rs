@@ -7,12 +7,18 @@
 //! (centralized Figure 6 or independent §3.3), and `resolve`'s answer is
 //! validated against what `D⟨queue⟩` permits given the persisted queue
 //! state — the executable version of the paper's Figure 2.
+//!
+//! [`partial_recovery_crash_run`] additionally exercises the §3.3 story
+//! end to end: after a multi-threaded crash only a *subset* of threads
+//! restarts; each survivor re-adopts its own registry slot and repairs its
+//! own detectability word, and one adopter reclaims every remaining
+//! orphaned slot (inheriting its EBR state) and resolves its pending op.
 
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use dss_core::{DssQueue, Resolved, ResolvedOp};
-use dss_pmem::{CrashSignal, FlushGranularity, WritebackAdversary};
+use dss_pmem::{CrashSignal, FlushGranularity, ThreadHandle, WritebackAdversary};
 use dss_spec::types::QueueResp;
 
 /// Which operation the sweep interrupts.
@@ -95,15 +101,15 @@ impl Default for SweepConfig {
     }
 }
 
-fn run_victim(q: &DssQueue, op: VictimOp) {
+fn run_victim(q: &DssQueue, h: ThreadHandle, op: VictimOp) {
     match op {
         VictimOp::Enqueue => {
-            q.prep_enqueue(0, 42).unwrap();
-            q.exec_enqueue(0);
+            q.prep_enqueue(h, 42).unwrap();
+            q.exec_enqueue(h);
         }
         VictimOp::Dequeue | VictimOp::EmptyDequeue => {
-            q.prep_dequeue(0);
-            let _ = q.exec_dequeue(0);
+            q.prep_dequeue(h);
+            let _ = q.exec_dequeue(h);
         }
     }
 }
@@ -114,13 +120,14 @@ pub fn sweep(op: VictimOp, config: &SweepConfig) -> SweepOutcome {
     let mut out = SweepOutcome::default();
     for k in 1.. {
         let q = DssQueue::with_granularity(1, 8, config.granularity);
+        let h0 = q.register_thread().unwrap();
         q.pool().set_coalescing(config.coalesce);
         q.pool().set_per_address_drains(config.per_address);
         if op == VictimOp::Dequeue {
-            q.enqueue(0, 7).unwrap();
+            q.enqueue(h0, 7).unwrap();
         }
         q.pool().arm_crash_after(k);
-        let r = catch_unwind(AssertUnwindSafe(|| run_victim(&q, op)));
+        let r = catch_unwind(AssertUnwindSafe(|| run_victim(&q, h0, op)));
         q.pool().disarm_crash();
         let crashed = match r {
             Ok(()) => false,
@@ -133,12 +140,14 @@ pub fn sweep(op: VictimOp, config: &SweepConfig) -> SweepOutcome {
         out.crash_points += 1;
         q.pool().crash(&config.adversary);
         if config.independent_recovery {
-            q.recover_thread(0);
+            // §3.3: the surviving thread repairs only its own slot — no
+            // registry transition, no centralized phase.
+            q.recover_one(h0);
         } else {
             q.recover();
         }
         q.rebuild_allocator();
-        classify(&q, op, q.resolve(0), &mut out);
+        classify(&q, op, q.resolve(h0), &mut out);
     }
     out
 }
@@ -214,13 +223,79 @@ type ThreadJournal = (Vec<u64>, Vec<u64>, Option<(bool, u64)>);
 ///
 /// Returns a description of the violated invariant.
 pub fn concurrent_crash_run(threads: usize, seed: u64) -> Result<usize, String> {
-    use std::collections::HashSet;
-
     let q = DssQueue::new(threads, 256);
-    let results: Vec<ThreadJournal> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|tid| {
-                let q = &q;
+    let hs: Vec<ThreadHandle> = (0..threads).map(|_| q.register_thread().unwrap()).collect();
+    let results = run_workers_until_crash(&q, &hs, seed);
+
+    // System-wide crash, then full-restart recovery (adopts every slot).
+    q.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
+    q.recover();
+    q.rebuild_allocator();
+
+    check_conservation(&q, &hs, &results)
+}
+
+/// Like [`concurrent_crash_run`], but only `survivors` of the `threads`
+/// workers restart after the crash (§3.3 / the partial-recovery crash
+/// mode):
+///
+/// 1. Each survivor marks the crash boundary (idempotent), re-adopts its
+///    *own* registry slot, and repairs its own detectability word via
+///    [`DssQueue::recover_one`] — no centralized phase.
+/// 2. Survivor 0 then plays adopter: [`DssQueue::adopt_orphans`] reclaims
+///    every dead thread's slot (inheriting its EBR state) and
+///    `recover_one` resolves each slot's pending operation.
+///
+/// The value-conservation invariant is then checked over **all** threads'
+/// bookkeeping, dead ones included — their announced ops are read through
+/// the adopted slots.
+///
+/// # Errors
+///
+/// Returns a description of the violated invariant.
+///
+/// # Panics
+///
+/// Panics if `survivors` is zero or exceeds `threads`.
+pub fn partial_recovery_crash_run(
+    threads: usize,
+    survivors: usize,
+    seed: u64,
+) -> Result<usize, String> {
+    assert!(survivors >= 1 && survivors <= threads, "need 1..=threads survivors");
+    let q = DssQueue::new(threads, 256);
+    let hs: Vec<ThreadHandle> = (0..threads).map(|_| q.register_thread().unwrap()).collect();
+    let results = run_workers_until_crash(&q, &hs, seed);
+
+    q.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
+
+    // Surviving threads come back one by one and recover independently.
+    for h in hs.iter().take(survivors) {
+        q.begin_recovery();
+        let mine = q.adopt(h.slot()).map_err(|e| format!("re-adopting own slot: {e}"))?;
+        q.recover_one(mine);
+    }
+    // One survivor adopts everything nobody came back for.
+    let adopted = q.adopt_orphans();
+    if adopted.len() != threads - survivors {
+        return Err(format!("expected {} orphans, adopted {}", threads - survivors, adopted.len()));
+    }
+    for h in &adopted {
+        q.recover_one(*h);
+    }
+    q.rebuild_allocator();
+
+    check_conservation(&q, &hs, &results)
+}
+
+/// Runs one detectable enqueue/dequeue worker per handle until each hits
+/// its pseudo-randomly armed crash point.
+fn run_workers_until_crash(q: &DssQueue, hs: &[ThreadHandle], seed: u64) -> Vec<ThreadJournal> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = hs
+            .iter()
+            .enumerate()
+            .map(|(tid, &h)| {
                 scope.spawn(move || {
                     // Deterministic per-thread crash point derived from the seed.
                     let crash_after =
@@ -233,12 +308,12 @@ pub fn concurrent_crash_run(threads: usize, seed: u64) -> Result<usize, String> 
                         for i in 1..u64::MAX {
                             let v = ((tid as u64) << 32) | i;
                             *in_flight.borrow_mut() = Some((true, v));
-                            q.prep_enqueue(tid, v).unwrap();
-                            q.exec_enqueue(tid);
+                            q.prep_enqueue(h, v).unwrap();
+                            q.exec_enqueue(h);
                             enqueued.borrow_mut().push(v);
                             *in_flight.borrow_mut() = Some((false, 0));
-                            q.prep_dequeue(tid);
-                            if let QueueResp::Value(x) = q.exec_dequeue(tid) {
+                            q.prep_dequeue(h);
+                            if let QueueResp::Value(x) = q.exec_dequeue(h) {
                                 dequeued.borrow_mut().push(x);
                             }
                             *in_flight.borrow_mut() = None;
@@ -255,20 +330,28 @@ pub fn concurrent_crash_run(threads: usize, seed: u64) -> Result<usize, String> 
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+    })
+}
 
-    // System-wide crash, then recovery.
-    q.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
-    q.recover();
-    q.rebuild_allocator();
+/// Checks the value-conservation invariant after recovery: every effective
+/// enqueue's value is dequeued at most once and is otherwise still queued.
+/// Returns the number of values still in the queue on success.
+fn check_conservation(
+    q: &DssQueue,
+    hs: &[ThreadHandle],
+    results: &[ThreadJournal],
+) -> Result<usize, String> {
+    use std::collections::HashSet;
 
-    // Resolution: complete each thread's bookkeeping using resolve.
+    // Resolution: complete each thread's bookkeeping using resolve. A
+    // pre-crash handle still names its slot even after adoption, so dead
+    // threads' announcements are readable here too.
     let mut effective_enqueues: HashSet<u64> = HashSet::new();
     let mut effective_dequeues: HashSet<u64> = HashSet::new();
-    for (tid, (enqueued, dequeued, _in_flight)) in results.iter().enumerate() {
+    for (&h, (enqueued, dequeued, _in_flight)) in hs.iter().zip(results.iter()) {
         effective_enqueues.extend(enqueued.iter().copied());
         effective_dequeues.extend(dequeued.iter().copied());
-        match q.resolve(tid) {
+        match q.resolve(h) {
             Resolved { op: Some(ResolvedOp::Enqueue(v)), resp: Some(QueueResp::Ok) } => {
                 effective_enqueues.insert(v);
             }
@@ -360,6 +443,16 @@ mod tests {
     fn concurrent_crash_runs_conserve_values() {
         for seed in 0..8 {
             concurrent_crash_run(3, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn partial_recovery_runs_conserve_values() {
+        for seed in 0..4 {
+            for survivors in [1, 2] {
+                partial_recovery_crash_run(3, survivors, seed)
+                    .unwrap_or_else(|e| panic!("seed {seed} survivors {survivors}: {e}"));
+            }
         }
     }
 }

@@ -14,7 +14,7 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use dss_checker::{check_history, Condition, History, Recorder, Violation};
 use dss_core::{DssQueue, Resolved, ResolvedOp};
-use dss_pmem::{CrashSignal, WritebackAdversary};
+use dss_pmem::{CrashSignal, ThreadHandle, WritebackAdversary};
 use dss_spec::types::{QueueOp, QueueResp, QueueSpec};
 use dss_spec::{DetOp, DetResp, Detectable};
 
@@ -64,39 +64,42 @@ fn plan(tid: usize, ops: usize, seed: u64) -> Vec<Step> {
 fn run_step(
     q: &DssQueue,
     rec: &Recorder<DetOp<QueueOp>, DetResp<QueueOp, QueueResp>>,
-    tid: usize,
+    h: ThreadHandle,
     step: Step,
 ) {
+    // Registration happens in slot order on the main thread, so the slot
+    // doubles as the recorder's process id.
+    let tid = h.slot();
     match step {
         Step::DetEnqueue(v) => {
             let id = rec.invoke(tid, DetOp::Prep { op: QueueOp::Enqueue(v), seq: 0 });
-            q.prep_enqueue(tid, v).unwrap();
+            q.prep_enqueue(h, v).unwrap();
             rec.ret(id, DetResp::Ack);
             let id = rec.invoke(tid, DetOp::Exec);
-            q.exec_enqueue(tid);
+            q.exec_enqueue(h);
             rec.ret(id, DetResp::Ret(QueueResp::Ok));
         }
         Step::DetDequeue => {
             let id = rec.invoke(tid, DetOp::Prep { op: QueueOp::Dequeue, seq: 0 });
-            q.prep_dequeue(tid);
+            q.prep_dequeue(h);
             rec.ret(id, DetResp::Ack);
             let id = rec.invoke(tid, DetOp::Exec);
-            let resp = q.exec_dequeue(tid);
+            let resp = q.exec_dequeue(h);
             rec.ret(id, DetResp::Ret(resp));
         }
         Step::PlainEnqueue(v) => {
             let id = rec.invoke(tid, DetOp::Plain(QueueOp::Enqueue(v)));
-            q.enqueue(tid, v).unwrap();
+            q.enqueue(h, v).unwrap();
             rec.ret(id, DetResp::Ret(QueueResp::Ok));
         }
         Step::PlainDequeue => {
             let id = rec.invoke(tid, DetOp::Plain(QueueOp::Dequeue));
-            let resp = q.dequeue(tid);
+            let resp = q.dequeue(h);
             rec.ret(id, DetResp::Ret(resp));
         }
         Step::Resolve => {
             let id = rec.invoke(tid, DetOp::Resolve);
-            let resp = resolved_to_resp(q.resolve(tid));
+            let resp = resolved_to_resp(q.resolve(h));
             rec.ret(id, resp);
         }
     }
@@ -105,14 +108,15 @@ fn run_step(
 /// Records a crash-free concurrent execution.
 pub fn record_execution(threads: usize, ops_per_thread: usize, seed: u64) -> RecordedHistory {
     let q = DssQueue::new(threads, 64);
+    let hs: Vec<ThreadHandle> = (0..threads).map(|_| q.register_thread().unwrap()).collect();
     let rec = Recorder::new();
     std::thread::scope(|scope| {
-        for tid in 0..threads {
+        for (tid, &h) in hs.iter().enumerate() {
             let q = &q;
             let rec = &rec;
             scope.spawn(move || {
                 for step in plan(tid, ops_per_thread, seed) {
-                    run_step(q, rec, tid, step);
+                    run_step(q, rec, h, step);
                 }
             });
         }
@@ -124,17 +128,88 @@ pub fn record_execution(threads: usize, ops_per_thread: usize, seed: u64) -> Rec
 /// system-wide crash mid-run; after recovery, each thread resolves.
 pub fn record_crash_execution(threads: usize, ops_per_thread: usize, seed: u64) -> RecordedHistory {
     let q = DssQueue::new(threads, 64);
+    let hs: Vec<ThreadHandle> = (0..threads).map(|_| q.register_thread().unwrap()).collect();
     let rec = Recorder::new();
+    run_crashing_workers(&q, &hs, &rec, ops_per_thread, seed);
+    // System-wide crash: volatile state reverts, recovery runs, and every
+    // thread resolves its interrupted operation.
+    rec.crash();
+    q.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
+    q.recover();
+    q.rebuild_allocator();
+    for (tid, &h) in hs.iter().enumerate() {
+        let id = rec.invoke(tid, DetOp::Resolve);
+        let resp = resolved_to_resp(q.resolve(h));
+        rec.ret(id, resp);
+    }
+    rec.into_history()
+}
+
+/// Records an execution in which every thread crashes mid-run but only
+/// `survivors` of them restart: each survivor recovers its own slot
+/// independently ([`DssQueue::recover_one`], §3.3), then survivor 0 adopts
+/// every remaining orphaned slot and resolves the dead threads' pending
+/// operations on their behalf. The resolves for adopted slots are recorded
+/// under the *original* process ids, matching the spec's view that the
+/// adopter completes the dead thread's `D⟨queue⟩` session.
+///
+/// # Panics
+///
+/// Panics if `survivors` is zero or exceeds `threads`.
+pub fn record_partial_recovery_execution(
+    threads: usize,
+    survivors: usize,
+    ops_per_thread: usize,
+    seed: u64,
+    coalesce: bool,
+    per_address: bool,
+) -> RecordedHistory {
+    assert!(survivors >= 1 && survivors <= threads, "need 1..=threads survivors");
+    let q = DssQueue::new(threads, 64);
+    q.pool().set_coalescing(coalesce);
+    q.pool().set_per_address_drains(per_address);
+    let hs: Vec<ThreadHandle> = (0..threads).map(|_| q.register_thread().unwrap()).collect();
+    let rec = Recorder::new();
+    run_crashing_workers(&q, &hs, &rec, ops_per_thread, seed);
+    rec.crash();
+    q.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
+    // Survivors restart one by one and recover independently.
+    for h in hs.iter().take(survivors) {
+        q.begin_recovery();
+        let mine = q.adopt(h.slot()).expect("own slot is orphaned after begin_recovery");
+        q.recover_one(mine);
+    }
+    // Survivor 0 adopts the slots nobody came back for.
+    let adopted = q.adopt_orphans();
+    for h in &adopted {
+        q.recover_one(*h);
+    }
+    q.rebuild_allocator();
+    for (tid, &h) in hs.iter().enumerate() {
+        let id = rec.invoke(tid, DetOp::Resolve);
+        let resp = resolved_to_resp(q.resolve(h));
+        rec.ret(id, resp);
+    }
+    rec.into_history()
+}
+
+/// Spawns one recorded worker per handle; each crashes at a seed-derived
+/// point and the [`CrashSignal`] is swallowed.
+fn run_crashing_workers(
+    q: &DssQueue,
+    hs: &[ThreadHandle],
+    rec: &Recorder<DetOp<QueueOp>, DetResp<QueueOp, QueueResp>>,
+    ops_per_thread: usize,
+    seed: u64,
+) {
     std::thread::scope(|scope| {
-        for tid in 0..threads {
-            let q = &q;
-            let rec = &rec;
+        for (tid, &h) in hs.iter().enumerate() {
             scope.spawn(move || {
                 let crash_after = 5 + (seed.wrapping_add(tid as u64 * 31)) % 60;
                 q.pool().arm_crash_after(crash_after);
                 let r = catch_unwind(AssertUnwindSafe(|| {
                     for step in plan(tid, ops_per_thread, seed) {
-                        run_step(q, rec, tid, step);
+                        run_step(q, rec, h, step);
                     }
                 }));
                 q.pool().disarm_crash();
@@ -146,18 +221,6 @@ pub fn record_crash_execution(threads: usize, ops_per_thread: usize, seed: u64) 
             });
         }
     });
-    // System-wide crash: volatile state reverts, recovery runs, and every
-    // thread resolves its interrupted operation.
-    rec.crash();
-    q.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
-    q.recover();
-    q.rebuild_allocator();
-    for tid in 0..threads {
-        let id = rec.invoke(tid, DetOp::Resolve);
-        let resp = resolved_to_resp(q.resolve(tid));
-        rec.ret(id, resp);
-    }
-    rec.into_history()
 }
 
 /// Checks a recorded history under `condition`.
@@ -193,6 +256,18 @@ mod tests {
             assert!(h.validate().is_ok());
             check_recorded(&h, Condition::StrictLinearizability)
                 .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn partial_recovery_executions_are_strictly_linearizable() {
+        for seed in 0..6 {
+            for survivors in [1, 2] {
+                let h = record_partial_recovery_execution(2, survivors, 8, seed, false, false);
+                assert!(h.validate().is_ok());
+                check_recorded(&h, Condition::StrictLinearizability)
+                    .unwrap_or_else(|e| panic!("seed {seed} survivors {survivors}: {e}"));
+            }
         }
     }
 

@@ -96,8 +96,10 @@ fn run_once(kind: QueueKind, config: &ThroughputConfig) -> f64 {
     queue.set_coalescing(config.coalesce);
     queue.set_per_address_drains(config.per_address);
     queue.set_backoff(config.backoff);
+    // Claim every worker's registry slot up front, on the main thread.
+    let hs: Vec<_> = (0..config.threads).map(|_| queue.register_thread()).collect();
     for i in 0..config.prefill {
-        queue.enqueue(0, i + 1);
+        queue.enqueue(hs[0], i + 1);
     }
     let stop = AtomicBool::new(false);
     let total_ops = AtomicU64::new(0);
@@ -107,14 +109,14 @@ fn run_once(kind: QueueKind, config: &ThroughputConfig) -> f64 {
         let queue = &queue;
         let stop = &stop;
         let total_ops = &total_ops;
-        for tid in 0..config.threads {
+        for (tid, &h) in hs.iter().enumerate() {
             scope.spawn(move || {
                 let mut ops = 0u64;
                 let mut i = 0u64;
                 while !stop.load(Relaxed) {
                     i += 1;
-                    queue.enqueue(tid, (tid as u64) << 32 | i);
-                    let _ = queue.dequeue(tid);
+                    queue.enqueue(h, (tid as u64) << 32 | i);
+                    let _ = queue.dequeue(h);
                     ops += 2;
                 }
                 total_ops.fetch_add(ops, Relaxed);

@@ -188,6 +188,24 @@ impl Ebr {
         self.slots.iter().map(|s| s.limbo.lock().len()).sum()
     }
 
+    /// Takes over slot `tid` from a thread that will never unpin it.
+    ///
+    /// A thread that vanishes (crash, partial restart) while pinned leaves
+    /// a stale epoch announcement behind, which blocks the global epoch —
+    /// and with it every thread's reclamation — forever. The adopter
+    /// clears the announcement; the dead thread's limbo list is *kept* and
+    /// inherited in place, so its retirees are reclaimed through the
+    /// ordinary [`collect`](Self::collect)/[`collect_all`](Self::collect_all)
+    /// path under the new owner instead of silently aliasing the next
+    /// thread to reuse the slot id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn adopt_slot(&self, tid: usize) {
+        self.slots[tid].announced.store(INACTIVE, SeqCst);
+    }
+
     /// Discards all limbo records and resets announcements, e.g. after a
     /// simulated crash when the allocator is rebuilt from a liveness scan
     /// and limbo contents would otherwise double-free.
@@ -275,6 +293,27 @@ mod tests {
             .collect();
         let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total + ebr.limbo_len(), 2000, "every retiree is freed or in limbo");
+    }
+
+    #[test]
+    fn adopt_slot_unblocks_epoch_and_inherits_limbo() {
+        let ebr = Ebr::new(2);
+        // Thread 1 pins and then "dies" without ever dropping its guard —
+        // the stale announcement would block the epoch forever.
+        let g = ebr.pin(1);
+        std::mem::forget(g);
+        ebr.retire(1, PAddr::from_index(9));
+        for _ in 0..5 {
+            assert!(ebr.collect_all(0).is_empty(), "stale pin must block reclamation");
+        }
+        // An adopter takes over the slot: the pin clears, the limbo list
+        // survives and drains under the new owner.
+        ebr.adopt_slot(1);
+        let mut freed = Vec::new();
+        for _ in 0..5 {
+            freed.extend(ebr.collect_all(0));
+        }
+        assert_eq!(freed, vec![PAddr::from_index(9)], "inherited retiree reclaimed");
     }
 
     #[test]

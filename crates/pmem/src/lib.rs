@@ -90,6 +90,7 @@ mod ebr;
 mod hook;
 mod memory;
 mod pool;
+mod registry;
 mod seg;
 mod stats;
 mod sync;
@@ -104,4 +105,5 @@ pub use ebr::{Ebr, EbrGuard};
 pub use hook::CrashSignal;
 pub use memory::Memory;
 pub use pool::{FlushGranularity, PmemPool, PoolMode, WritebackAdversary, WORDS_PER_LINE};
+pub use registry::{Registry, SlotError, SlotState, ThreadHandle};
 pub use stats::{Stats, StatsSnapshot};

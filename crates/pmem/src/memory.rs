@@ -165,4 +165,15 @@ pub trait Memory: Send + Sync + std::fmt::Debug + 'static {
     fn per_address_drains(&self) -> bool {
         false
     }
+
+    /// Number of crashes this backend has survived. Backends without a
+    /// persistence domain never crash and report 0 forever.
+    ///
+    /// The thread-slot [`Registry`](crate::Registry) keys its
+    /// orphan-marking pass off this counter so recovery is run at most
+    /// once per crash, no matter how many threads (or repeated
+    /// `recover()` calls) race to perform it.
+    fn crash_generation(&self) -> u64 {
+        0
+    }
 }

@@ -910,6 +910,10 @@ impl Memory for PmemPool {
     fn per_address_drains(&self) -> bool {
         PmemPool::per_address_drains(self)
     }
+
+    fn crash_generation(&self) -> u64 {
+        PmemPool::generation(self)
+    }
 }
 
 impl fmt::Debug for PmemPool {

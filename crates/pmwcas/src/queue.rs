@@ -5,8 +5,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
-    WORDS_PER_LINE,
+    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, Registry,
+    SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -80,11 +80,13 @@ pub struct CweResolved {
 /// use dss_spec::types::QueueResp;
 ///
 /// let q = CasWithEffectQueue::new_fast(2, 16);
-/// q.prep_enqueue(0, 7).unwrap();
-/// q.exec_enqueue(0);
-/// q.prep_dequeue(1);
-/// assert_eq!(q.exec_dequeue(1), QueueResp::Value(7));
-/// assert_eq!(q.resolve(1).resp, Some(QueueResp::Value(7)));
+/// let h0 = q.register_thread().unwrap();
+/// let h1 = q.register_thread().unwrap();
+/// q.prep_enqueue(h0, 7).unwrap();
+/// q.exec_enqueue(h0);
+/// q.prep_dequeue(h1);
+/// assert_eq!(q.exec_dequeue(h1), QueueResp::Value(7));
+/// assert_eq!(q.resolve(h1).resp, Some(QueueResp::Value(7)));
 /// ```
 pub struct CasWithEffectQueue<M: Memory = PmemPool> {
     pool: Arc<M>,
@@ -95,6 +97,7 @@ pub struct CasWithEffectQueue<M: Memory = PmemPool> {
     fast: bool,
     backoff: AtomicBool,
     tuner: BackoffTuner,
+    registry: Registry<M>,
 }
 
 impl CasWithEffectQueue {
@@ -150,8 +153,11 @@ impl<M: Memory> CasWithEffectQueue<M> {
         // PMwCAS in flight, but helpers and EBR lag keep a few alive.
         let desc_region = (node_region + node_words).next_multiple_of(16);
         let descs_per_thread = 128;
-        let words = desc_region + PmwcasArena::region_words(descs_per_thread, nthreads);
+        let desc_end = desc_region + PmwcasArena::region_words(descs_per_thread, nthreads);
+        let reg_base = desc_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<M>::region_words(nthreads);
         let pool = Arc::new(M::create(words as usize, FlushGranularity::default()));
+        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
         let arena = PmwcasArena::new(
             Arc::clone(&pool),
             PAddr::from_index(desc_region),
@@ -169,6 +175,7 @@ impl<M: Memory> CasWithEffectQueue<M> {
             fast,
             backoff: AtomicBool::new(false),
             tuner: BackoffTuner::new(),
+            registry,
         };
         let s = PAddr::from_index(sentinel);
         q.pool.store(s.offset(F_VALUE), 0);
@@ -205,8 +212,9 @@ impl<M: Memory> CasWithEffectQueue<M> {
         PAddr::from_index(A_TAIL)
     }
 
+    // Handles are valid by construction (the registry hands out only
+    // in-range slots), so the index needs no range check.
     fn x(&self, tid: usize) -> PAddr {
-        assert!(tid < self.nthreads, "thread ID {tid} out of range");
         PAddr::from_index(A_X_BASE + tid as u64 * WORDS_PER_LINE)
     }
 
@@ -223,6 +231,51 @@ impl<M: Memory> CasWithEffectQueue<M> {
     /// Whether this is the Fast variant.
     pub fn is_fast(&self) -> bool {
         self.fast
+    }
+
+    /// The persistent slot registry governing thread identity. (The PMwCAS
+    /// descriptor arena keeps using raw slot indices internally.)
+    pub fn registry(&self) -> &Registry<M> {
+        &self.registry
+    }
+
+    /// Claims a free slot and returns the [`ThreadHandle`] every operation
+    /// requires. Fails with [`SlotError::Exhausted`] once all `nthreads`
+    /// slots are taken.
+    pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.acquire()?;
+        self.ebr.adopt_slot(h.slot());
+        Ok(h)
+    }
+
+    /// Returns a handle's slot to the free pool for reuse.
+    pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
+        self.registry.release(h)
+    }
+
+    /// Marks the crash boundary in the registry: every slot LIVE at the
+    /// crash becomes ORPHANED. [`recover`](Self::recover) stays a
+    /// descriptor roll-forward (the queue's own pointers need no repair);
+    /// this exists to let harnesses reclaim dead threads' slots via
+    /// [`adopt`](Self::adopt) / [`adopt_orphans`](Self::adopt_orphans).
+    pub fn begin_recovery(&self) {
+        self.registry.begin_recovery();
+    }
+
+    /// Adopts one orphaned slot, inheriting its EBR state.
+    pub fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.adopt(slot)?;
+        self.ebr.adopt_slot(slot);
+        Ok(h)
+    }
+
+    /// Adopts every orphaned slot in ascending order.
+    pub fn adopt_orphans(&self) -> Vec<ThreadHandle> {
+        let hs = self.registry.adopt_orphans();
+        for h in &hs {
+            self.ebr.adopt_slot(h.slot());
+        }
+        hs
     }
 
     fn alloc(&self, tid: usize) -> Result<PAddr, CweFull> {
@@ -259,7 +312,8 @@ impl<M: Memory> CasWithEffectQueue<M> {
     /// # Errors
     ///
     /// Returns [`CweFull`] when the node pool is exhausted.
-    pub fn prep_enqueue(&self, tid: usize, val: u64) -> Result<(), CweFull> {
+    pub fn prep_enqueue(&self, h: ThreadHandle, val: u64) -> Result<(), CweFull> {
+        let tid = h.slot();
         let node = self.alloc(tid)?;
         self.pool.store(node.offset(F_VALUE), val);
         self.pool.store(node.offset(F_NEXT), 0);
@@ -283,7 +337,8 @@ impl<M: Memory> CasWithEffectQueue<M> {
     /// # Panics
     ///
     /// Panics if no enqueue is prepared.
-    pub fn exec_enqueue(&self, tid: usize) {
+    pub fn exec_enqueue(&self, h: ThreadHandle) {
+        let tid = h.slot();
         let _g = self.ebr.pin(tid);
         let x = self.arena.read(tid, self.x(tid));
         assert!(tag::has(x, tag::ENQ_PREP), "exec-enqueue without a prepared enqueue");
@@ -317,7 +372,8 @@ impl<M: Memory> CasWithEffectQueue<M> {
     }
 
     /// **prep-dequeue()**.
-    pub fn prep_dequeue(&self, tid: usize) {
+    pub fn prep_dequeue(&self, h: ThreadHandle) {
+        let tid = h.slot();
         self.pool.store(self.x(tid), tag::DEQ_PREP);
         self.pool.flush(self.x(tid));
         // No drain: see prep_enqueue — exec fences before any effect.
@@ -329,7 +385,8 @@ impl<M: Memory> CasWithEffectQueue<M> {
     /// # Panics
     ///
     /// Panics if no dequeue is prepared.
-    pub fn exec_dequeue(&self, tid: usize) -> QueueResp {
+    pub fn exec_dequeue(&self, h: ThreadHandle) -> QueueResp {
+        let tid = h.slot();
         let _g = self.ebr.pin(tid);
         let x = self.arena.read(tid, self.x(tid));
         assert!(tag::has(x, tag::DEQ_PREP), "exec-dequeue without a prepared dequeue");
@@ -389,7 +446,8 @@ impl<M: Memory> CasWithEffectQueue<M> {
     /// **resolve()**: the `(A[pᵢ], R[pᵢ])` pair, same case analysis as the
     /// DSS queue (§3), but with `ENQ_COMPL` guaranteed atomic with the
     /// link, so no recovery fix-up of `X` is ever needed.
-    pub fn resolve(&self, tid: usize) -> CweResolved {
+    pub fn resolve(&self, h: ThreadHandle) -> CweResolved {
+        let tid = h.slot();
         let x = self.arena.read(tid, self.x(tid));
         if tag::has(x, tag::ENQ_PREP) {
             let node = tag::addr_of(x);
@@ -497,37 +555,40 @@ mod tests {
     #[test]
     fn fifo_order_both_variants() {
         for q in both() {
+            let h0 = q.register_thread().unwrap();
+            let h1 = q.register_thread().unwrap();
             for v in [1, 2, 3] {
-                q.prep_enqueue(0, v).unwrap();
-                q.exec_enqueue(0);
+                q.prep_enqueue(h0, v).unwrap();
+                q.exec_enqueue(h0);
             }
             for v in [1, 2, 3] {
-                q.prep_dequeue(1);
-                assert_eq!(q.exec_dequeue(1), QueueResp::Value(v), "fast={}", q.is_fast());
+                q.prep_dequeue(h1);
+                assert_eq!(q.exec_dequeue(h1), QueueResp::Value(v), "fast={}", q.is_fast());
             }
-            q.prep_dequeue(1);
-            assert_eq!(q.exec_dequeue(1), QueueResp::Empty);
+            q.prep_dequeue(h1);
+            assert_eq!(q.exec_dequeue(h1), QueueResp::Empty);
         }
     }
 
     #[test]
     fn resolve_round_trips() {
         for q in both() {
-            q.prep_enqueue(0, 9).unwrap();
+            let h0 = q.register_thread().unwrap();
+            q.prep_enqueue(h0, 9).unwrap();
             assert_eq!(
-                q.resolve(0),
+                q.resolve(h0),
                 CweResolved { op: Some(CweResolvedOp::Enqueue(9)), resp: None }
             );
-            q.exec_enqueue(0);
+            q.exec_enqueue(h0);
             assert_eq!(
-                q.resolve(0),
+                q.resolve(h0),
                 CweResolved { op: Some(CweResolvedOp::Enqueue(9)), resp: Some(QueueResp::Ok) }
             );
-            q.prep_dequeue(0);
-            assert_eq!(q.resolve(0), CweResolved { op: Some(CweResolvedOp::Dequeue), resp: None });
-            assert_eq!(q.exec_dequeue(0), QueueResp::Value(9));
+            q.prep_dequeue(h0);
+            assert_eq!(q.resolve(h0), CweResolved { op: Some(CweResolvedOp::Dequeue), resp: None });
+            assert_eq!(q.exec_dequeue(h0), QueueResp::Value(9));
             assert_eq!(
-                q.resolve(0),
+                q.resolve(h0),
                 CweResolved { op: Some(CweResolvedOp::Dequeue), resp: Some(QueueResp::Value(9)) }
             );
         }
@@ -543,10 +604,11 @@ mod tests {
                     } else {
                         CasWithEffectQueue::new_general(1, 8)
                     };
+                    let h0 = q.register_thread().unwrap();
                     q.pool().arm_crash_after(k);
                     let r = catch_unwind(AssertUnwindSafe(|| {
-                        q.prep_enqueue(0, 42).unwrap();
-                        q.exec_enqueue(0);
+                        q.prep_enqueue(h0, 42).unwrap();
+                        q.exec_enqueue(h0);
                     }));
                     q.pool().disarm_crash();
                     let crashed = match r {
@@ -561,7 +623,7 @@ mod tests {
                     q.recover();
                     q.rebuild_allocator();
                     let in_queue = q.snapshot_values() == vec![42];
-                    match q.resolve(0) {
+                    match q.resolve(h0) {
                         CweResolved { op: None, resp: None } => {
                             assert!(!in_queue, "fast={fast} k={k} {adv:?}")
                         }
@@ -589,12 +651,13 @@ mod tests {
                     } else {
                         CasWithEffectQueue::new_general(1, 8)
                     };
-                    q.prep_enqueue(0, 7).unwrap();
-                    q.exec_enqueue(0);
+                    let h0 = q.register_thread().unwrap();
+                    q.prep_enqueue(h0, 7).unwrap();
+                    q.exec_enqueue(h0);
                     q.pool().arm_crash_after(k);
                     let r = catch_unwind(AssertUnwindSafe(|| {
-                        q.prep_dequeue(0);
-                        let _ = q.exec_dequeue(0);
+                        q.prep_dequeue(h0);
+                        let _ = q.exec_dequeue(h0);
                     }));
                     q.pool().disarm_crash();
                     let crashed = match r {
@@ -609,7 +672,7 @@ mod tests {
                     q.recover();
                     q.rebuild_allocator();
                     let still_there = q.snapshot_values() == vec![7];
-                    match q.resolve(0) {
+                    match q.resolve(h0) {
                         // Crash before the prep persisted: X still shows the
                         // completed enqueue.
                         CweResolved {
@@ -638,16 +701,18 @@ mod tests {
             } else {
                 CasWithEffectQueue::new_general(4, 64)
             });
+            let hs: Vec<_> = (0..4).map(|_| q.register_thread().unwrap()).collect();
             let handles: Vec<_> = (0..4)
                 .map(|tid| {
                     let q = Arc::clone(&q);
+                    let h = hs[tid];
                     std::thread::spawn(move || {
                         let mut got = Vec::new();
                         for i in 0..150u64 {
-                            q.prep_enqueue(tid, (tid as u64) << 32 | (i + 1)).unwrap();
-                            q.exec_enqueue(tid);
-                            q.prep_dequeue(tid);
-                            if let QueueResp::Value(v) = q.exec_dequeue(tid) {
+                            q.prep_enqueue(h, (tid as u64) << 32 | (i + 1)).unwrap();
+                            q.exec_enqueue(h);
+                            q.prep_dequeue(h);
+                            if let QueueResp::Value(v) = q.exec_dequeue(h) {
                                 got.push(v);
                             }
                         }
@@ -668,11 +733,12 @@ mod tests {
     #[test]
     fn fast_variant_issues_fewer_ops_than_general() {
         let measure = |q: &CasWithEffectQueue| {
+            let h0 = q.register_thread().unwrap();
             q.pool().reset_stats();
-            q.prep_enqueue(0, 1).unwrap();
-            q.exec_enqueue(0);
-            q.prep_dequeue(0);
-            let _ = q.exec_dequeue(0);
+            q.prep_enqueue(h0, 1).unwrap();
+            q.exec_enqueue(h0);
+            q.prep_dequeue(h0);
+            let _ = q.exec_dequeue(h0);
             q.pool().stats().total()
         };
         let general = CasWithEffectQueue::new_general(1, 8);

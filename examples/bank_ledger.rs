@@ -39,11 +39,16 @@ fn unpack(v: u64) -> (usize, usize, i64) {
 fn main() {
     let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(7);
     let queue = DssQueue::new(TELLERS, 512);
+    // Claim every teller's registry slot on the main thread, in order, so
+    // teller `tid` owns slot `tid`.
+    let hs: Vec<_> = (0..TELLERS).map(|_| queue.register_thread().unwrap()).collect();
 
     // --- Phase 1: tellers submit orders until the crash ------------------
     let submitted: Vec<Vec<u64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..TELLERS)
-            .map(|tid| {
+        let handles: Vec<_> = hs
+            .iter()
+            .enumerate()
+            .map(|(tid, &h)| {
                 let queue = &queue;
                 scope.spawn(move || {
                     // Each teller dies after a pseudo-random number of
@@ -61,8 +66,8 @@ fn main() {
                             let from = (tid as u64 + i) % ACCOUNTS as u64;
                             let to = (from + 1 + i % 3) % ACCOUNTS as u64;
                             let order = pack(from, to, (tid as u64) << 8 | i, 1 + i % 9);
-                            queue.prep_enqueue(tid, order).expect("pool sized");
-                            queue.exec_enqueue(tid);
+                            queue.prep_enqueue(h, order).expect("pool sized");
+                            queue.exec_enqueue(h);
                             acked.borrow_mut().push(order);
                         }
                     }));
@@ -90,8 +95,8 @@ fn main() {
     // (they returned). The only ambiguous one is the in-flight order;
     // resolve settles it.
     let mut effective: Vec<u64> = submitted.iter().flatten().copied().collect();
-    for tid in 0..TELLERS {
-        match queue.resolve(tid) {
+    for (tid, &h) in hs.iter().enumerate() {
+        match queue.resolve(h) {
             Resolved { op: Some(ResolvedOp::Enqueue(order)), resp: Some(QueueResp::Ok) } => {
                 if !effective.contains(&order) {
                     println!("teller {tid}: in-flight order {order:#x} DID land; not resubmitting");
@@ -100,8 +105,8 @@ fn main() {
             }
             Resolved { op: Some(ResolvedOp::Enqueue(order)), resp: None } => {
                 println!("teller {tid}: in-flight order {order:#x} lost; resubmitting");
-                queue.prep_enqueue(tid, order).unwrap();
-                queue.exec_enqueue(tid);
+                queue.prep_enqueue(h, order).unwrap();
+                queue.exec_enqueue(h);
                 effective.push(order);
             }
             other => println!("teller {tid}: nothing in flight ({other:?})"),
@@ -112,7 +117,7 @@ fn main() {
     let mut balances = [OPENING_BALANCE; ACCOUNTS];
     let mut settled = 0u64;
     loop {
-        match queue.dequeue(0) {
+        match queue.dequeue(hs[0]) {
             QueueResp::Value(v) => {
                 let (from, to, amount) = unpack(v);
                 balances[from] -= amount;

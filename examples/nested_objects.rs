@@ -23,14 +23,14 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use dss::core::{DetectableCas, DetectableRegister, Universal};
-use dss::pmem::{CrashSignal, WritebackAdversary};
+use dss::pmem::{CrashSignal, ThreadHandle, WritebackAdversary};
 use dss::spec::types::{CounterOp, CounterSpec};
 
 /// One "publish configuration" transaction over the three nested objects:
 /// bump the epoch (CAS old→new), write the config value, count the audit
 /// event. Each step is detectable, so a crash anywhere is recoverable.
 fn publish(
-    tid: usize,
+    hs: (ThreadHandle, ThreadHandle, ThreadHandle),
     seq: u64,
     epoch: &DetectableCas,
     config: &DetectableRegister,
@@ -38,18 +38,21 @@ fn publish(
     old_epoch: u64,
     value: u64,
 ) {
-    epoch.prep_cas(tid, old_epoch, old_epoch + 1, seq);
-    assert!(epoch.exec_cas(tid), "single publisher: the CAS cannot fail");
-    config.prep_write(tid, value, seq);
-    config.exec_write(tid);
-    audit.prep(tid, CounterOp::FetchAdd(1), seq);
-    audit.exec(tid);
+    // Each object lives in its own pool with its own registry, so the
+    // publisher holds one handle per object.
+    let (eh, ch, ah) = hs;
+    epoch.prep_cas(eh, old_epoch, old_epoch + 1, seq);
+    assert!(epoch.exec_cas(eh), "single publisher: the CAS cannot fail");
+    config.prep_write(ch, value, seq);
+    config.exec_write(ch);
+    audit.prep(ah, CounterOp::FetchAdd(1), seq);
+    audit.exec(ah);
 }
 
 /// After a crash: resolve each object in program order and redo exactly
 /// the steps that did not take effect. Returns how many steps were redone.
 fn recover_publish(
-    tid: usize,
+    hs: (ThreadHandle, ThreadHandle, ThreadHandle),
     seq: u64,
     epoch: &DetectableCas,
     config: &DetectableRegister,
@@ -57,29 +60,30 @@ fn recover_publish(
     old_epoch: u64,
     value: u64,
 ) -> usize {
+    let (eh, ch, ah) = hs;
     let mut redone = 0;
 
     // Step 1: the epoch CAS. (op, resp): resp None ⇒ no effect ⇒ redo.
-    let r = epoch.resolve(tid);
+    let r = epoch.resolve(eh);
     if r.op != Some((old_epoch, old_epoch + 1, seq)) || r.resp.is_none() {
-        epoch.prep_cas(tid, old_epoch, old_epoch + 1, seq);
-        assert!(epoch.exec_cas(tid));
+        epoch.prep_cas(eh, old_epoch, old_epoch + 1, seq);
+        assert!(epoch.exec_cas(eh));
         redone += 1;
     }
 
     // Step 2: the config write.
-    let r = config.resolve(tid);
+    let r = config.resolve(ch);
     if r.op != Some((value, seq)) || r.resp.is_none() {
-        config.prep_write(tid, value, seq);
-        config.exec_write(tid);
+        config.prep_write(ch, value, seq);
+        config.exec_write(ch);
         redone += 1;
     }
 
     // Step 3: the audit increment.
-    let (op, resp) = audit.resolve(tid);
+    let (op, resp) = audit.resolve(ah);
     if op != Some((CounterOp::FetchAdd(1), seq)) || resp.is_none() {
-        audit.prep(tid, CounterOp::FetchAdd(1), seq);
-        audit.exec(tid);
+        audit.prep(ah, CounterOp::FetchAdd(1), seq);
+        audit.exec(ah);
         redone += 1;
     }
 
@@ -87,8 +91,6 @@ fn recover_publish(
 }
 
 fn main() {
-    const TID: usize = 0;
-
     // Sweep a crash over *every* memory-operation index of the composite
     // transaction. Each iteration uses fresh objects (sharing a pool would
     // need a shared crash, which the per-object pools make awkward; the
@@ -99,12 +101,20 @@ fn main() {
         let epoch = DetectableCas::new(1, 16);
         let config = DetectableRegister::new(1, 16);
         let audit = Universal::new(CounterSpec, 1, 16);
+        // Register before arming so the crash index stays relative to the
+        // transaction's own memory operations. Handles survive the crash
+        // (adoption re-LIVEs the slot), so resolve still works afterwards.
+        let hs = (
+            epoch.register_thread().unwrap(),
+            config.register_thread().unwrap(),
+            audit.register_thread().unwrap(),
+        );
 
         // Arm the same countdown on all three pools: whichever object the
         // k-th operation lands in crashes the "machine".
         epoch.pool().arm_crash_after(k);
         let r = catch_unwind(AssertUnwindSafe(|| {
-            publish(TID, 1, &epoch, &config, &audit, 0, 0xC0FFEE);
+            publish(hs, 1, &epoch, &config, &audit, 0, 0xC0FFEE);
         }));
         epoch.pool().disarm_crash();
 
@@ -124,15 +134,15 @@ fn main() {
             config.rebuild_allocator();
             audit.rebuild_allocator();
 
-            let redone = recover_publish(TID, 1, &epoch, &config, &audit, 0, 0xC0FFEE);
+            let redone = recover_publish(hs, 1, &epoch, &config, &audit, 0, 0xC0FFEE);
             if k % 8 == 1 {
                 println!("crash at op {k:>3}: redid {redone} of 3 steps");
             }
         }
 
         // The composite state must be fully published exactly once.
-        assert_eq!(epoch.read(TID), 1, "k={k}");
-        assert_eq!(config.read(TID), 0xC0FFEE, "k={k}");
+        assert_eq!(epoch.read(hs.0), 1, "k={k}");
+        assert_eq!(config.read(hs.1), 0xC0FFEE, "k={k}");
         assert_eq!(audit.state(), 1, "k={k}");
 
         if !crashed {

@@ -15,21 +15,24 @@ use dss::spec::types::QueueResp;
 fn main() {
     // A queue for 2 application threads, 64 pre-allocated nodes each.
     let queue = DssQueue::new(2, 64);
-    const TID: usize = 0;
+    // Each thread claims a persistent registry slot up front; the handle
+    // is what every operation takes in place of a bare thread id.
+    let h0 = queue.register_thread().unwrap();
+    let h1 = queue.register_thread().unwrap();
 
     // --- Normal operation: a detectable enqueue -------------------------
-    queue.prep_enqueue(TID, 42).expect("node pool sized for this demo");
-    queue.exec_enqueue(TID);
+    queue.prep_enqueue(h0, 42).expect("node pool sized for this demo");
+    queue.exec_enqueue(h0);
     println!("enqueued 42 detectably; queue = {:?}", queue.snapshot_values());
 
     // --- A system-wide power failure ------------------------------------
     // Thread 0 prepares another enqueue and starts executing it, but the
     // machine dies mid-operation: we arm a crash after 3 more memory
     // operations, so the node is initialized but never linked.
-    queue.prep_enqueue(TID, 43).expect("node pool sized for this demo");
+    queue.prep_enqueue(h0, 43).expect("node pool sized for this demo");
     queue.pool().arm_crash_after(3);
     let unwind = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        queue.exec_enqueue(TID);
+        queue.exec_enqueue(h0);
     }));
     queue.pool().disarm_crash();
     assert!(unwind.is_err(), "the simulated crash interrupts exec-enqueue");
@@ -46,16 +49,16 @@ fn main() {
     queue.rebuild_allocator();
 
     // --- Detection: what happened to my operation? ----------------------
-    let resolved = queue.resolve(TID);
-    println!("resolve(thread {TID}) = {resolved:?}");
+    let resolved = queue.resolve(h0);
+    println!("resolve(slot {}) = {resolved:?}", h0.slot());
     match resolved {
         Resolved { op: Some(ResolvedOp::Enqueue(43)), resp: Some(QueueResp::Ok) } => {
             println!("the enqueue of 43 took effect before the crash");
         }
         Resolved { op: Some(ResolvedOp::Enqueue(43)), resp: None } => {
             println!("the enqueue of 43 did NOT take effect; retrying exactly once");
-            queue.prep_enqueue(TID, 43).unwrap();
-            queue.exec_enqueue(TID);
+            queue.prep_enqueue(h0, 43).unwrap();
+            queue.exec_enqueue(h0);
         }
         other => unreachable!("the DSS forbids any other answer here: {other:?}"),
     }
@@ -65,8 +68,8 @@ fn main() {
     println!("queue after recovery + retry = {:?}", queue.snapshot_values());
 
     // --- Drain (non-detectably, Axiom 4's plain operations) -------------
-    assert_eq!(queue.dequeue(1), QueueResp::Value(42));
-    assert_eq!(queue.dequeue(1), QueueResp::Value(43));
-    assert_eq!(queue.dequeue(1), QueueResp::Empty);
+    assert_eq!(queue.dequeue(h1), QueueResp::Value(42));
+    assert_eq!(queue.dequeue(h1), QueueResp::Value(43));
+    assert_eq!(queue.dequeue(h1), QueueResp::Empty);
     println!("drained; exactly-once semantics held across the crash");
 }

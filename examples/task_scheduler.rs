@@ -26,11 +26,13 @@ const TASKS: u64 = 30;
 fn main() {
     let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(3);
     let queue = DssQueue::new(WORKERS, 256);
+    // Worker `tid` owns registry slot `tid`: claimed in order up front.
+    let hs: Vec<_> = (0..WORKERS).map(|_| queue.register_thread().unwrap()).collect();
 
     // The dispatcher enqueues tasks 1..=TASKS (task 0 would collide with
     // the NULL word convention, so IDs start at 1).
     for task in 1..=TASKS {
-        queue.enqueue(0, task).expect("pool sized");
+        queue.enqueue(hs[0], task).expect("pool sized");
     }
     println!("dispatched {TASKS} tasks");
 
@@ -38,8 +40,10 @@ fn main() {
     // recording the task in a per-worker done-list (the durable side
     // effect of a real worker).
     let done_lists: Vec<Vec<u64>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..WORKERS)
-            .map(|tid| {
+        let handles: Vec<_> = hs
+            .iter()
+            .enumerate()
+            .map(|(tid, &h)| {
                 let queue = &queue;
                 scope.spawn(move || {
                     let crash_after =
@@ -47,8 +51,8 @@ fn main() {
                     queue.pool().arm_crash_after(crash_after);
                     let done = std::cell::RefCell::new(Vec::new());
                     let r = catch_unwind(AssertUnwindSafe(|| loop {
-                        queue.prep_dequeue(tid);
-                        match queue.exec_dequeue(tid) {
+                        queue.prep_dequeue(h);
+                        match queue.exec_dequeue(h) {
                             QueueResp::Value(task) => done.borrow_mut().push(task),
                             QueueResp::Empty => break,
                             QueueResp::Ok => unreachable!(),
@@ -76,8 +80,8 @@ fn main() {
     println!("crash! {} tasks were completed before it", completed.len());
 
     // --- Detection: settle each worker's in-flight claim --------------------
-    for tid in 0..WORKERS {
-        match queue.resolve(tid) {
+    for (tid, &h) in hs.iter().enumerate() {
+        match queue.resolve(h) {
             Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(QueueResp::Value(task)) } => {
                 // The claim landed but the worker never processed it:
                 // without detectability this task would be LOST (it is no
@@ -95,8 +99,8 @@ fn main() {
 
     // --- Second round: drain what the crash left queued ----------------------
     loop {
-        queue.prep_dequeue(0);
-        match queue.exec_dequeue(0) {
+        queue.prep_dequeue(hs[0]);
+        match queue.exec_dequeue(hs[0]) {
             QueueResp::Value(task) => {
                 assert!(completed.insert(task), "task {task} executed twice!");
             }

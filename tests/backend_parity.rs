@@ -47,16 +47,17 @@ fn run_script_with(
     q.set_coalescing(coalesce);
     q.set_per_address_drains(per_address);
     q.set_backoff(backoff);
+    let h = q.register_thread();
     let mut observed = Vec::new();
     for i in 0..steps {
         if !mix(i).is_multiple_of(3) {
-            q.enqueue(0, 1000 + i);
+            q.enqueue(h, 1000 + i);
         } else {
-            observed.push(q.dequeue(0));
+            observed.push(q.dequeue(h));
         }
     }
     loop {
-        let r = q.dequeue(0);
+        let r = q.dequeue(h);
         let done = r == QueueResp::Empty;
         observed.push(r);
         if done {
@@ -120,8 +121,9 @@ fn detectable_kinds_match_across_backends_under_flush_penalty() {
             .map(|backend| {
                 let q = kind.build_on(backend, 1, 64);
                 q.set_flush_penalty(50);
-                (0..20).for_each(|i| q.enqueue(0, i));
-                (0..21).map(|_| q.dequeue(0)).collect::<Vec<_>>()
+                let h = q.register_thread();
+                (0..20).for_each(|i| q.enqueue(h, i));
+                (0..21).map(|_| q.dequeue(h)).collect::<Vec<_>>()
             })
             .collect();
         assert_eq!(outcomes[0], outcomes[1], "{} diverged", kind.label());

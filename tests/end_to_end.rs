@@ -16,14 +16,15 @@ use std::time::Duration;
 fn all_seven_queues_interleave_correctly() {
     for kind in QueueKind::all() {
         let q = kind.build(3, 64);
+        let hs: Vec<_> = (0..3).map(|_| q.register_thread()).collect();
         // Interleaved FIFO pattern across threads.
-        q.enqueue(0, 1);
-        q.enqueue(1, 2);
-        assert_eq!(q.dequeue(2), QueueResp::Value(1), "{}", kind.label());
-        q.enqueue(2, 3);
-        assert_eq!(q.dequeue(0), QueueResp::Value(2), "{}", kind.label());
-        assert_eq!(q.dequeue(1), QueueResp::Value(3), "{}", kind.label());
-        assert_eq!(q.dequeue(1), QueueResp::Empty, "{}", kind.label());
+        q.enqueue(hs[0], 1);
+        q.enqueue(hs[1], 2);
+        assert_eq!(q.dequeue(hs[2]), QueueResp::Value(1), "{}", kind.label());
+        q.enqueue(hs[2], 3);
+        assert_eq!(q.dequeue(hs[0]), QueueResp::Value(2), "{}", kind.label());
+        assert_eq!(q.dequeue(hs[1]), QueueResp::Value(3), "{}", kind.label());
+        assert_eq!(q.dequeue(hs[1]), QueueResp::Empty, "{}", kind.label());
     }
 }
 
@@ -91,13 +92,14 @@ fn repeated_crash_recover_cycles() {
     // Survive five consecutive crashes, each mid-operation, with state
     // advancing correctly between them.
     let q = DssQueue::new(1, 64);
+    let h0 = q.register_thread().unwrap();
     let mut expected = Vec::new();
     for round in 0u64..5 {
         let value = 100 + round;
-        q.prep_enqueue(0, value).unwrap();
+        q.prep_enqueue(h0, value).unwrap();
         q.pool().arm_crash_after(2 + round); // different point each round
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            q.exec_enqueue(0);
+            q.exec_enqueue(h0);
         }));
         q.pool().disarm_crash();
         q.pool().crash(&WritebackAdversary::Random { seed: round, prob: 0.5 });
@@ -105,11 +107,11 @@ fn repeated_crash_recover_cycles() {
         q.rebuild_allocator();
         let _ = r;
         // Exactly-once retry discipline:
-        match q.resolve(0) {
+        match q.resolve(h0) {
             dss::core::Resolved { resp: Some(QueueResp::Ok), .. } => {}
             _ => {
-                q.prep_enqueue(0, value).unwrap();
-                q.exec_enqueue(0);
+                q.prep_enqueue(h0, value).unwrap();
+                q.exec_enqueue(h0);
             }
         }
         expected.push(value);
@@ -117,9 +119,9 @@ fn repeated_crash_recover_cycles() {
     }
     // Finally drain it all.
     for v in expected {
-        assert_eq!(q.dequeue(0), QueueResp::Value(v));
+        assert_eq!(q.dequeue(h0), QueueResp::Value(v));
     }
-    assert_eq!(q.dequeue(0), QueueResp::Empty);
+    assert_eq!(q.dequeue(h0), QueueResp::Empty);
 }
 
 #[test]
@@ -128,12 +130,14 @@ fn detectability_is_on_demand() {
     // non-detectable operations side by side, and only the former pay for
     // the X updates.
     let q = DssQueue::new(2, 64);
+    let h0 = q.register_thread().unwrap();
+    let h1 = q.register_thread().unwrap();
     q.pool().reset_stats();
-    q.enqueue(0, 1).unwrap();
+    q.enqueue(h0, 1).unwrap();
     let plain = q.pool().stats();
     q.pool().reset_stats();
-    q.prep_enqueue(1, 2).unwrap();
-    q.exec_enqueue(1);
+    q.prep_enqueue(h1, 2).unwrap();
+    q.exec_enqueue(h1);
     let detectable = q.pool().stats();
     assert!(
         detectable.flushes > plain.flushes,
@@ -141,6 +145,6 @@ fn detectability_is_on_demand() {
         detectable.flushes,
         plain.flushes
     );
-    assert_eq!(q.dequeue(0), QueueResp::Value(1));
-    assert_eq!(q.dequeue(0), QueueResp::Value(2));
+    assert_eq!(q.dequeue(h0), QueueResp::Value(1));
+    assert_eq!(q.dequeue(h0), QueueResp::Value(2));
 }

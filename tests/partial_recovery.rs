@@ -1,0 +1,182 @@
+//! The §3.3 partial-restart story, end to end: after a multi-threaded
+//! crash only a subset of threads comes back; each survivor recovers its
+//! own registry slot independently, and an adopter reclaims every
+//! remaining ORPHANED slot and resolves its pending operation.
+//!
+//! Three layers of evidence:
+//!
+//! 1. A deterministic run where **only thread 0 restarts**, adopts all
+//!    orphaned slots through the registry, resolves every slot's pending
+//!    op, and the recorded history passes the strict-linearizability
+//!    checker.
+//! 2. A full-restart **parity** check: the registry-driven
+//!    `DssQueue::recover` produces byte-identical resolved responses (and
+//!    queue contents) to the pre-refactor centralized Figure-6 path.
+//! 3. A property sweep: a random subset of threads recovers under every
+//!    `--coalesce` × `--per-address` knob combination and the checker
+//!    still accepts the resolved history.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use proptest::prelude::*;
+
+use dss::checker::Condition;
+use dss::core::{DssQueue, Resolved};
+use dss::harness::crashsim::partial_recovery_crash_run;
+use dss::harness::record::{check_recorded, record_partial_recovery_execution};
+use dss::pmem::{CrashSignal, SlotState, WritebackAdversary};
+
+/// The acceptance scenario: three threads crash mid-operation, only
+/// thread 0 restarts. It recovers its own slot, then adopts both dead
+/// threads' slots via the registry and resolves their pending ops. Every
+/// slot must end LIVE again, and the recorded `D⟨queue⟩` history must be
+/// strictly linearizable.
+#[test]
+fn thread_zero_adopts_everyone_and_history_checks() {
+    const THREADS: usize = 3;
+    for seed in 0..6u64 {
+        // Registry-level view: drive the crash directly and inspect slots.
+        let q = DssQueue::new(THREADS, 64);
+        let hs: Vec<_> = (0..THREADS).map(|_| q.register_thread().unwrap()).collect();
+        std::thread::scope(|scope| {
+            for (tid, &h) in hs.iter().enumerate() {
+                let q = &q;
+                scope.spawn(move || {
+                    q.pool().arm_crash_after(15 + seed * 7 + tid as u64 * 13);
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        for i in 1..u64::MAX {
+                            q.prep_enqueue(h, (tid as u64) << 32 | i).unwrap();
+                            q.exec_enqueue(h);
+                            q.prep_dequeue(h);
+                            let _ = q.exec_dequeue(h);
+                        }
+                    }));
+                    q.pool().disarm_crash();
+                    if let Err(p) = r {
+                        if p.downcast_ref::<CrashSignal>().is_none() {
+                            resume_unwind(p);
+                        }
+                    }
+                });
+            }
+        });
+        q.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
+
+        // Only thread 0 restarts.
+        q.begin_recovery();
+        for s in 0..THREADS {
+            assert_eq!(
+                q.registry().slot_state(s),
+                Ok(SlotState::Orphaned),
+                "seed {seed}: slot {s} must be orphaned after the crash boundary"
+            );
+        }
+        let mine = q.adopt(hs[0].slot()).expect("own slot is adoptable");
+        q.recover_one(mine);
+        let adopted = q.adopt_orphans();
+        assert_eq!(adopted.len(), THREADS - 1, "seed {seed}: thread 0 adopts the rest");
+        for h in &adopted {
+            q.recover_one(*h);
+        }
+        q.rebuild_allocator();
+        for s in 0..THREADS {
+            assert_eq!(
+                q.registry().slot_state(s),
+                Ok(SlotState::Live),
+                "seed {seed}: slot {s} must be re-LIVE after adoption"
+            );
+        }
+        // Every slot's pending op resolves to a definite verdict shape.
+        for &h in &hs {
+            let r = q.resolve(h);
+            assert!(matches!(r, Resolved { .. }), "seed {seed}: slot {} did not resolve", h.slot());
+        }
+
+        // History-level view: the same shape through the recorder must be
+        // strictly linearizable.
+        let h = record_partial_recovery_execution(THREADS, 1, 10, seed, false, false);
+        assert!(h.validate().is_ok());
+        check_recorded(&h, Condition::StrictLinearizability)
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+/// Drives one deterministic single-threaded script into a crash at pmem-op
+/// index `k`, recovers with `f`, and returns every observable: the
+/// resolved response and the surviving queue contents.
+fn crash_then(k: u64, seed: u64, f: impl FnOnce(&DssQueue)) -> (Resolved, Vec<u64>) {
+    let q = DssQueue::new(2, 64);
+    let h0 = q.register_thread().unwrap();
+    let _h1 = q.register_thread().unwrap();
+    q.enqueue(h0, 1).unwrap();
+    q.enqueue(h0, 2).unwrap();
+    q.pool().arm_crash_after(k);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        q.prep_dequeue(h0);
+        let _ = q.exec_dequeue(h0);
+        q.prep_enqueue(h0, 3).unwrap();
+        q.exec_enqueue(h0);
+    }));
+    q.pool().disarm_crash();
+    if let Err(p) = r {
+        if p.downcast_ref::<CrashSignal>().is_none() {
+            resume_unwind(p);
+        }
+    }
+    q.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
+    f(&q);
+    q.rebuild_allocator();
+    (q.resolve(h0), q.snapshot_values())
+}
+
+/// Full-restart parity: for every crash point the script can reach, the
+/// registry-driven `recover()` (adopt orphans, then repair each) must
+/// produce byte-identical resolved responses and queue contents to the
+/// pre-refactor centralized Figure-6 reference path.
+#[test]
+fn registry_recovery_matches_centralized_reference() {
+    for seed in [3u64, 17] {
+        for k in 1..80 {
+            let (res_reg, vals_reg) = crash_then(k, seed, |q| {
+                q.recover();
+            });
+            let (res_cen, vals_cen) = crash_then(k, seed, |q| {
+                q.recover_centralized();
+            });
+            assert_eq!(res_reg, res_cen, "k={k} seed={seed}: resolved responses diverged");
+            assert_eq!(vals_reg, vals_cen, "k={k} seed={seed}: queue contents diverged");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Satellite sweep: a random subset of threads recovers (the rest are
+    /// adopted) under all four coalescing/per-address knob combinations;
+    /// the conservation invariant and the strict-linearizability checker
+    /// must both accept every run.
+    #[test]
+    fn random_survivor_subsets_check_under_all_knobs(
+        threads in 2usize..5,
+        survivor_pick in 0usize..100,
+        seed in 0u64..500,
+    ) {
+        let survivors = 1 + survivor_pick % threads;
+        partial_recovery_crash_run(threads, survivors, seed)
+            .map_err(TestCaseError::Fail)?;
+        for (coalesce, per_address) in
+            [(false, false), (false, true), (true, false), (true, true)]
+        {
+            let h = record_partial_recovery_execution(
+                threads, survivors, 8, seed, coalesce, per_address,
+            );
+            prop_assert!(h.validate().is_ok());
+            if let Err(e) = check_recorded(&h, Condition::StrictLinearizability) {
+                return Err(TestCaseError::Fail(format!(
+                    "coalesce={coalesce} per_address={per_address}: {e}"
+                )));
+            }
+        }
+    }
+}

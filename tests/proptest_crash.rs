@@ -66,6 +66,8 @@ fn check_crash_case(
         // orders against, widening what the crash can drop further still.
         q.pool().set_coalescing(coalesce);
         q.pool().set_per_address_drains(per_address);
+        // Register before arming so crash indices stay relative to the ops.
+        let h0 = q.register_thread().unwrap();
         // Bookkeeping that survives the unwind (the "application journal"),
         // including which operation was in flight when the crash hit.
         let enq_done: std::cell::RefCell<Vec<u64>> = Default::default();
@@ -79,22 +81,22 @@ fn check_crash_case(
                 *in_flight.borrow_mut() = Some((*op, v));
                 match op {
                     Op::DetEnqueue => {
-                        q.prep_enqueue(0, v).unwrap();
-                        q.exec_enqueue(0);
+                        q.prep_enqueue(h0, v).unwrap();
+                        q.exec_enqueue(h0);
                         enq_done.borrow_mut().push(v);
                     }
                     Op::PlainEnqueue => {
-                        q.enqueue(0, v).unwrap();
+                        q.enqueue(h0, v).unwrap();
                         enq_done.borrow_mut().push(v);
                     }
                     Op::DetDequeue => {
-                        q.prep_dequeue(0);
-                        if let QueueResp::Value(x) = q.exec_dequeue(0) {
+                        q.prep_dequeue(h0);
+                        if let QueueResp::Value(x) = q.exec_dequeue(h0) {
                             deq_done.borrow_mut().push(x);
                         }
                     }
                     Op::PlainDequeue => {
-                        if let QueueResp::Value(x) = q.dequeue(0) {
+                        if let QueueResp::Value(x) = q.dequeue(h0) {
                             deq_done.borrow_mut().push(x);
                         }
                     }
@@ -118,7 +120,7 @@ fn check_crash_case(
         let mut effective_enq: HashSet<u64> = enq_done.borrow().iter().copied().collect();
         let mut effective_deq: HashSet<u64> = deq_done.borrow().iter().copied().collect();
         if crashed {
-            match q.resolve(0) {
+            match q.resolve(h0) {
                 Resolved { op: Some(ResolvedOp::Enqueue(v)), resp: Some(QueueResp::Ok) } => {
                     effective_enq.insert(v);
                 }
@@ -191,6 +193,7 @@ fn check_cas_crash_case(
     let c = DetectableCas::new(1, 64);
     c.pool().set_coalescing(coalesce);
     c.pool().set_per_address_drains(per_address);
+    let h0 = c.register_thread().unwrap();
     // Value installed by the last *completed* CAS (the "application
     // journal"), surviving the unwind.
     let committed = std::cell::Cell::new(0u64);
@@ -198,8 +201,8 @@ fn check_cas_crash_case(
     let r = catch_unwind(AssertUnwindSafe(|| {
         for i in 0..ops {
             let v = 1000 + i as u64;
-            c.prep_cas(0, committed.get(), v, i as u64);
-            assert!(c.exec_cas(0), "single-threaded CAS with a fresh read cannot fail");
+            c.prep_cas(h0, committed.get(), v, i as u64);
+            assert!(c.exec_cas(h0), "single-threaded CAS with a fresh read cannot fail");
             committed.set(v);
         }
     }));
@@ -211,13 +214,13 @@ fn check_cas_crash_case(
     };
     let committed = committed.get();
     if !crashed {
-        prop_assert_eq!(c.read(0), committed);
+        prop_assert_eq!(c.read(h0), committed);
         return Ok(());
     }
     c.pool().crash(&adversary);
     c.rebuild_allocator();
-    let now = c.read(0);
-    match c.resolve(0) {
+    let now = c.read(h0);
+    match c.resolve(h0) {
         // The last announced CAS took effect: the value must show it.
         ResolvedCas { op: Some((_, v, _)), resp: Some(true) } => {
             prop_assert_eq!(now, v, "resolved-successful CAS not visible");
@@ -256,6 +259,7 @@ fn check_universal_crash_case(
     let u = Universal::new(StackSpec, 1, 64);
     u.pool().set_coalescing(coalesce);
     u.pool().set_per_address_drains(per_address);
+    let h0 = u.register_thread().unwrap();
     let apply = |stack: &mut Vec<u64>, i: usize| match script[i] {
         true => stack.push(2000 + i as u64),
         false => {
@@ -268,8 +272,8 @@ fn check_universal_crash_case(
     let r = catch_unwind(AssertUnwindSafe(|| {
         for (i, &push) in script.iter().enumerate() {
             let op = if push { StackOp::Push(2000 + i as u64) } else { StackOp::Pop };
-            u.prep(0, op, i as u64);
-            let _ = u.exec(0);
+            u.prep(h0, op, i as u64);
+            let _ = u.exec(h0);
             done.set(i + 1);
         }
     }));
@@ -295,7 +299,7 @@ fn check_universal_crash_case(
     // Each completed exec drains its link before returning, so the
     // persisted history holds every completed operation; only the
     // interrupted one's fate is open, and resolve must report it.
-    let in_flight_linked = match u.resolve(0) {
+    let in_flight_linked = match u.resolve(h0) {
         (Some((_, seq)), resp) if seq == done as u64 => resp.is_some(),
         // resolve reports an earlier (completed) announce, or none at all:
         // the interrupted op's announce never persisted, so its link —
@@ -360,35 +364,36 @@ proptest! {
         script in prop::collection::vec(arb_op(), 1..30),
     ) {
         let q = DssQueue::new(1, 64);
+        let h0 = q.register_thread().unwrap();
         let mut last: Option<Resolved> = None;
         for (i, op) in script.iter().enumerate() {
             let v = 1000 + i as u64;
             match op {
                 Op::DetEnqueue => {
-                    q.prep_enqueue(0, v).unwrap();
-                    q.exec_enqueue(0);
+                    q.prep_enqueue(h0, v).unwrap();
+                    q.exec_enqueue(h0);
                     last = Some(Resolved {
                         op: Some(ResolvedOp::Enqueue(v)),
                         resp: Some(QueueResp::Ok),
                     });
                 }
                 Op::DetDequeue => {
-                    q.prep_dequeue(0);
-                    let resp = q.exec_dequeue(0);
+                    q.prep_dequeue(h0);
+                    let resp = q.exec_dequeue(h0);
                     last = Some(Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(resp) });
                 }
                 // Plain ops must not disturb detection state (Axiom 4).
                 Op::PlainEnqueue => {
-                    q.enqueue(0, v).unwrap();
+                    q.enqueue(h0, v).unwrap();
                 }
                 Op::PlainDequeue => {
-                    let _ = q.dequeue(0);
+                    let _ = q.dequeue(h0);
                 }
             }
             if let Some(expected) = last {
-                prop_assert_eq!(q.resolve(0), expected, "step {}", i);
+                prop_assert_eq!(q.resolve(h0), expected, "step {}", i);
             } else {
-                prop_assert_eq!(q.resolve(0), Resolved { op: None, resp: None });
+                prop_assert_eq!(q.resolve(h0), Resolved { op: None, resp: None });
             }
         }
     }

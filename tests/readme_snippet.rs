@@ -8,11 +8,13 @@ use dss::pmem::{DramPool, FlushGranularity, Memory};
 fn readme_backend_example() {
     // Simulated persistent memory (default): crashes, recovery, flush counts.
     let q = DssQueue::new(2, 64);
-    q.enqueue(0, 7).unwrap();
+    let h = q.register_thread().unwrap();
+    q.enqueue(h, 7).unwrap();
     assert!(q.pool().stats().total() > 0);
 
     // Plain DRAM: same algorithm, zero simulator overhead, nothing counted.
     let q: DssQueue<DramPool> = DssQueue::new_in(2, 64, FlushGranularity::Line);
-    q.enqueue(0, 7).unwrap();
+    let h = q.register_thread().unwrap();
+    q.enqueue(h, 7).unwrap();
     assert_eq!(q.pool().stats().total(), 0);
 }
