@@ -39,4 +39,8 @@ echo "==> registry smoke (partial-recovery crash matrix: survivors adopt orphans
 cargo run -q -p dss-harness --release --bin crash_matrix -- \
     --partial-recovery on >/dev/null
 
+echo "==> multi-process smoke (SIGKILLed victims, parent attaches the pool file)"
+cargo run -q -p dss-harness --release --bin crash_matrix -- \
+    --multi-process on >/dev/null
+
 echo "CI green."

@@ -6,8 +6,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, Registry,
-    SlotError, ThreadHandle, WORDS_PER_LINE,
+    tag, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr,
+    PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -29,6 +29,32 @@ pub const RV_EMPTY: u64 = u64::MAX - 1;
 const A_HEAD: u64 = WORDS_PER_LINE;
 const A_TAIL: u64 = 2 * WORDS_PER_LINE;
 const A_RV_BASE: u64 = 3 * WORDS_PER_LINE;
+
+/// Structure-kind word a file-backed durable queue records in its pool
+/// superblock.
+pub const KIND_DURABLE_QUEUE: u64 = 6;
+
+/// The durable queue's pool layout, derived from `(nthreads,
+/// nodes_per_thread)` alone (cf. dss-core's layout structs).
+struct DurableLayout {
+    sentinel: u64,
+    region: u64,
+    reg_base: u64,
+    words: u64,
+}
+
+impl DurableLayout {
+    fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        assert!(nthreads > 0 && nodes_per_thread > 0);
+        let rv_end = A_RV_BASE + nthreads as u64 * WORDS_PER_LINE;
+        let sentinel = rv_end.next_multiple_of(NODE_WORDS);
+        let region = sentinel + NODE_WORDS;
+        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<PmemPool>::region_words(nthreads);
+        DurableLayout { sentinel, region, reg_base, words }
+    }
+}
 
 /// The durable queue of Friedman, Herlihy, Marathe & Petrank: the DSS
 /// queue's direct ancestor (paper §3: "the durable queue adds the
@@ -76,6 +102,63 @@ impl DurableQueue {
     pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
         Self::new_in(nthreads, nodes_per_thread)
     }
+
+    /// Creates a queue on a **file-backed** pool at `path`, recording
+    /// [`KIND_DURABLE_QUEUE`] and the construction parameters in the
+    /// superblock so [`attach`](Self::attach) needs only the path.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Io`] if the pool file cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn create<P: AsRef<std::path::Path>>(
+        path: P,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Result<Self, AttachError> {
+        let layout = DurableLayout::new(nthreads, nodes_per_thread);
+        let pool =
+            Arc::new(PmemPool::create(path, layout.words as usize, FlushGranularity::default())?);
+        pool.set_app_config(KIND_DURABLE_QUEUE, &[nthreads as u64, nodes_per_thread]);
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let q = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        q.format(layout.sentinel);
+        Ok(q)
+    }
+
+    /// Rebuilds a queue from a pool file with no in-process state; follow
+    /// with the centralized [`recover`](Self::recover) (the durable queue
+    /// has no per-thread recovery story).
+    ///
+    /// # Errors
+    ///
+    /// Any [`AttachError`], including [`AttachError::AppMismatch`] if the
+    /// file holds a different structure.
+    pub fn attach<P: AsRef<std::path::Path>>(path: P) -> Result<Self, AttachError> {
+        let pool = Arc::new(PmemPool::attach(path)?);
+        let found = pool.app_kind();
+        if found != KIND_DURABLE_QUEUE {
+            return Err(AttachError::AppMismatch { expected: KIND_DURABLE_QUEUE, found });
+        }
+        let [nthreads, nodes_per_thread, ..] = pool.app_config();
+        if nthreads == 0 || nodes_per_thread == 0 {
+            return Err(AttachError::Corrupt("durable queue parameter words are zero"));
+        }
+        let nthreads = nthreads as usize;
+        let layout = DurableLayout::new(nthreads, nodes_per_thread);
+        if (pool.capacity() as u64) < layout.words {
+            return Err(AttachError::Corrupt(
+                "pool smaller than the durable queue layout requires",
+            ));
+        }
+        let registry = Registry::attach(Arc::clone(&pool), layout.reg_base)?;
+        let q = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        q.rebuild_allocator();
+        Ok(q)
+    }
 }
 
 impl<M: Memory> DurableQueue<M> {
@@ -87,18 +170,26 @@ impl<M: Memory> DurableQueue<M> {
     ///
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new_in(nthreads: usize, nodes_per_thread: u64) -> Self {
-        assert!(nthreads > 0 && nodes_per_thread > 0);
-        let rv_end = A_RV_BASE + nthreads as u64 * WORDS_PER_LINE;
-        let sentinel = rv_end.next_multiple_of(NODE_WORDS);
-        let region = sentinel + NODE_WORDS;
-        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
-        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
-        let words = reg_base + Registry::<M>::region_words(nthreads);
-        let pool = Arc::new(M::create(words as usize, FlushGranularity::default()));
-        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
+        let layout = DurableLayout::new(nthreads, nodes_per_thread);
+        let pool = Arc::new(M::create(layout.words as usize, FlushGranularity::default()));
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let q = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        q.format(layout.sentinel);
+        q
+    }
+
+    /// The shared constructor tail: in-DRAM side tables over an existing
+    /// pool + registry — everything `attach` must rebuild rather than map.
+    fn assemble(
+        pool: Arc<M>,
+        registry: Registry<M>,
+        layout: &DurableLayout,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Self {
         let nodes =
-            NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
-        let q = DurableQueue {
+            NodePool::new(PAddr::from_index(layout.region), NODE_WORDS, nodes_per_thread, nthreads);
+        DurableQueue {
             pool,
             nodes,
             ebr: Ebr::new(nthreads),
@@ -106,22 +197,26 @@ impl<M: Memory> DurableQueue<M> {
             backoff: AtomicBool::new(false),
             tuner: BackoffTuner::new(),
             registry,
-        };
-        let s = PAddr::from_index(sentinel);
-        q.pool.store(s.offset(F_VALUE), 0);
-        q.pool.store(s.offset(F_NEXT), 0);
-        q.pool.store(s.offset(F_DEQ_TID), NO_DEQUEUER);
-        q.pool.flush(s);
-        q.pool.store(q.head(), s.to_word());
-        q.pool.flush(q.head());
-        q.pool.store(q.tail(), s.to_word());
-        q.pool.flush(q.tail());
-        for i in 0..nthreads {
-            q.pool.store(q.rv(i), 0);
-            q.pool.flush(q.rv(i));
         }
-        q.pool.drain();
-        q
+    }
+
+    /// Writes and persists the initial queue state (fresh pools only —
+    /// never run on attach).
+    fn format(&self, sentinel: u64) {
+        let s = PAddr::from_index(sentinel);
+        self.pool.store(s.offset(F_VALUE), 0);
+        self.pool.store(s.offset(F_NEXT), 0);
+        self.pool.store(s.offset(F_DEQ_TID), NO_DEQUEUER);
+        self.pool.flush(s);
+        self.pool.store(self.head(), s.to_word());
+        self.pool.flush(self.head());
+        self.pool.store(self.tail(), s.to_word());
+        self.pool.flush(self.tail());
+        for i in 0..self.nthreads {
+            self.pool.store(self.rv(i), 0);
+            self.pool.flush(self.rv(i));
+        }
+        self.pool.drain();
     }
 
     /// Enables or disables bounded exponential backoff after failed CAS.

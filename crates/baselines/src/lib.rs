@@ -32,10 +32,10 @@ mod durable;
 mod log_queue;
 mod ms;
 
-pub use durable::DurableQueue;
+pub use durable::{DurableQueue, KIND_DURABLE_QUEUE};
 pub use durable::{RV_EMPTY, RV_PENDING};
-pub use log_queue::{LogQueue, LogResolved};
-pub use ms::MsQueue;
+pub use log_queue::{LogQueue, LogResolved, KIND_LOG_QUEUE};
+pub use ms::{MsQueue, KIND_MS_QUEUE};
 
 /// The pre-allocated node pool of a baseline queue is exhausted.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]

@@ -19,8 +19,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, Registry,
-    SlotError, ThreadHandle, WORDS_PER_LINE,
+    tag, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr,
+    PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -53,6 +53,37 @@ const PAYLOAD_EMPTY: u64 = u64::MAX;
 const A_HEAD: u64 = WORDS_PER_LINE;
 const A_TAIL: u64 = 2 * WORDS_PER_LINE;
 const A_LOG_BASE: u64 = 3 * WORDS_PER_LINE; // logPtr[tid]: the thread's current log entry
+
+/// Structure-kind word a file-backed log queue records in its pool
+/// superblock.
+pub const KIND_LOG_QUEUE: u64 = 7;
+
+/// The log queue's pool layout, derived from `(nthreads,
+/// nodes_per_thread)` alone. Two node regions: queue nodes, then log
+/// entries.
+struct LogLayout {
+    sentinel: u64,
+    node_region: u64,
+    log_region: u64,
+    reg_base: u64,
+    words: u64,
+}
+
+impl LogLayout {
+    fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        assert!(nthreads > 0 && nodes_per_thread > 0);
+        let lp_end = A_LOG_BASE + nthreads as u64 * WORDS_PER_LINE;
+        let sentinel = lp_end.next_multiple_of(NODE_WORDS);
+        let node_region = sentinel + NODE_WORDS;
+        let node_words = nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let log_region = node_region + node_words;
+        let log_words = nodes_per_thread * nthreads as u64 * LOG_WORDS;
+        let log_end = log_region + log_words;
+        let reg_base = log_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<PmemPool>::region_words(nthreads);
+        LogLayout { sentinel, node_region, log_region, reg_base, words }
+    }
+}
 
 /// What [`LogQueue::resolve`] reports about a thread's last announced
 /// operation.
@@ -104,6 +135,61 @@ impl LogQueue {
     pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
         Self::new_in(nthreads, nodes_per_thread)
     }
+
+    /// Creates a queue on a **file-backed** pool at `path`, recording
+    /// [`KIND_LOG_QUEUE`] and the construction parameters in the
+    /// superblock so [`attach`](Self::attach) needs only the path.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Io`] if the pool file cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn create<P: AsRef<std::path::Path>>(
+        path: P,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Result<Self, AttachError> {
+        let layout = LogLayout::new(nthreads, nodes_per_thread);
+        let pool =
+            Arc::new(PmemPool::create(path, layout.words as usize, FlushGranularity::default())?);
+        pool.set_app_config(KIND_LOG_QUEUE, &[nthreads as u64, nodes_per_thread]);
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let q = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        q.format(layout.sentinel);
+        Ok(q)
+    }
+
+    /// Rebuilds a queue from a pool file with no in-process state; follow
+    /// with the centralized [`recover`](Self::recover), then
+    /// [`resolve`](Self::resolve) per adopted handle.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AttachError`], including [`AttachError::AppMismatch`] if the
+    /// file holds a different structure.
+    pub fn attach<P: AsRef<std::path::Path>>(path: P) -> Result<Self, AttachError> {
+        let pool = Arc::new(PmemPool::attach(path)?);
+        let found = pool.app_kind();
+        if found != KIND_LOG_QUEUE {
+            return Err(AttachError::AppMismatch { expected: KIND_LOG_QUEUE, found });
+        }
+        let [nthreads, nodes_per_thread, ..] = pool.app_config();
+        if nthreads == 0 || nodes_per_thread == 0 {
+            return Err(AttachError::Corrupt("log queue parameter words are zero"));
+        }
+        let nthreads = nthreads as usize;
+        let layout = LogLayout::new(nthreads, nodes_per_thread);
+        if (pool.capacity() as u64) < layout.words {
+            return Err(AttachError::Corrupt("pool smaller than the log queue layout requires"));
+        }
+        let registry = Registry::attach(Arc::clone(&pool), layout.reg_base)?;
+        let q = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        q.rebuild_allocator();
+        Ok(q)
+    }
 }
 
 impl<M: Memory> LogQueue<M> {
@@ -115,23 +201,37 @@ impl<M: Memory> LogQueue<M> {
     ///
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new_in(nthreads: usize, nodes_per_thread: u64) -> Self {
-        assert!(nthreads > 0 && nodes_per_thread > 0);
-        let lp_end = A_LOG_BASE + nthreads as u64 * WORDS_PER_LINE;
-        let sentinel = lp_end.next_multiple_of(NODE_WORDS);
-        let node_region = sentinel + NODE_WORDS;
-        let node_words = nodes_per_thread * nthreads as u64 * NODE_WORDS;
-        let log_region = node_region + node_words;
-        let log_words = nodes_per_thread * nthreads as u64 * LOG_WORDS;
-        let log_end = log_region + log_words;
-        let reg_base = log_end.next_multiple_of(WORDS_PER_LINE);
-        let words = reg_base + Registry::<M>::region_words(nthreads);
-        let pool = Arc::new(M::create(words as usize, FlushGranularity::default()));
-        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
-        let nodes =
-            NodePool::new(PAddr::from_index(node_region), NODE_WORDS, nodes_per_thread, nthreads);
-        let logs =
-            NodePool::new(PAddr::from_index(log_region), LOG_WORDS, nodes_per_thread, nthreads);
-        let q = LogQueue {
+        let layout = LogLayout::new(nthreads, nodes_per_thread);
+        let pool = Arc::new(M::create(layout.words as usize, FlushGranularity::default()));
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let q = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        q.format(layout.sentinel);
+        q
+    }
+
+    /// The shared constructor tail: in-DRAM side tables (both node pools,
+    /// both EBR domains) over an existing pool + registry — everything
+    /// `attach` must rebuild rather than map.
+    fn assemble(
+        pool: Arc<M>,
+        registry: Registry<M>,
+        layout: &LogLayout,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Self {
+        let nodes = NodePool::new(
+            PAddr::from_index(layout.node_region),
+            NODE_WORDS,
+            nodes_per_thread,
+            nthreads,
+        );
+        let logs = NodePool::new(
+            PAddr::from_index(layout.log_region),
+            LOG_WORDS,
+            nodes_per_thread,
+            nthreads,
+        );
+        LogQueue {
             pool,
             nodes,
             logs,
@@ -141,23 +241,27 @@ impl<M: Memory> LogQueue<M> {
             backoff: AtomicBool::new(false),
             tuner: BackoffTuner::new(),
             registry,
-        };
-        let s = PAddr::from_index(sentinel);
-        q.pool.store(s.offset(N_VALUE), 0);
-        q.pool.store(s.offset(N_NEXT), 0);
-        q.pool.store(s.offset(N_DEQ_LOG), 0);
-        q.pool.store(s.offset(N_ENQ_LOG), 0);
-        q.pool.flush(s);
-        q.pool.store(q.head(), s.to_word());
-        q.pool.flush(q.head());
-        q.pool.store(q.tail(), s.to_word());
-        q.pool.flush(q.tail());
-        for i in 0..nthreads {
-            q.pool.store(q.log_ptr(i), 0);
-            q.pool.flush(q.log_ptr(i));
         }
-        q.pool.drain();
-        q
+    }
+
+    /// Writes and persists the initial queue state (fresh pools only —
+    /// never run on attach).
+    fn format(&self, sentinel: u64) {
+        let s = PAddr::from_index(sentinel);
+        self.pool.store(s.offset(N_VALUE), 0);
+        self.pool.store(s.offset(N_NEXT), 0);
+        self.pool.store(s.offset(N_DEQ_LOG), 0);
+        self.pool.store(s.offset(N_ENQ_LOG), 0);
+        self.pool.flush(s);
+        self.pool.store(self.head(), s.to_word());
+        self.pool.flush(self.head());
+        self.pool.store(self.tail(), s.to_word());
+        self.pool.flush(self.tail());
+        for i in 0..self.nthreads {
+            self.pool.store(self.log_ptr(i), 0);
+            self.pool.flush(self.log_ptr(i));
+        }
+        self.pool.drain();
     }
 
     /// Enables or disables bounded exponential backoff after failed CAS.

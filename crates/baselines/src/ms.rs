@@ -5,8 +5,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, Registry,
-    SlotError, ThreadHandle, WORDS_PER_LINE,
+    tag, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr,
+    PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -17,6 +17,31 @@ const NODE_WORDS: u64 = 4;
 // Head and tail each on their own cache line (no false sharing).
 const A_HEAD: u64 = WORDS_PER_LINE;
 const A_TAIL: u64 = 2 * WORDS_PER_LINE;
+
+/// Structure-kind word a file-backed MS queue records in its pool
+/// superblock.
+pub const KIND_MS_QUEUE: u64 = 8;
+
+/// The MS queue's pool layout, derived from `(nthreads, nodes_per_thread)`
+/// alone.
+struct MsLayout {
+    sentinel: u64,
+    region: u64,
+    reg_base: u64,
+    words: u64,
+}
+
+impl MsLayout {
+    fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        assert!(nthreads > 0 && nodes_per_thread > 0);
+        let sentinel = (A_TAIL + WORDS_PER_LINE).next_multiple_of(NODE_WORDS);
+        let region = sentinel + NODE_WORDS;
+        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<PmemPool>::region_words(nthreads);
+        MsLayout { sentinel, region, reg_base, words }
+    }
+}
 
 /// The classic MS queue (Michael & Scott, PODC 1996), with **no** flush
 /// instructions: its state does not survive a crash, which is exactly the
@@ -60,6 +85,67 @@ impl MsQueue {
     pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
         Self::new_in(nthreads, nodes_per_thread)
     }
+
+    /// Creates a queue on a **file-backed** pool at `path`, recording
+    /// [`KIND_MS_QUEUE`] and the construction parameters in the
+    /// superblock.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Io`] if the pool file cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn create<P: AsRef<std::path::Path>>(
+        path: P,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Result<Self, AttachError> {
+        let layout = MsLayout::new(nthreads, nodes_per_thread);
+        let pool =
+            Arc::new(PmemPool::create(path, layout.words as usize, FlushGranularity::default())?);
+        pool.set_app_config(KIND_MS_QUEUE, &[nthreads as u64, nodes_per_thread]);
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let q = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        q.format(layout.sentinel);
+        Ok(q)
+    }
+
+    /// Re-opens an MS queue's pool file. The queue itself is volatile —
+    /// its operations never flush, so its contents do **not** survive the
+    /// previous process; attach re-formats the queue region to empty.
+    /// Only the registry (which does persist) is re-bound, so slot
+    /// occupancy and orphan adoption still work across processes — the
+    /// contrast with the recoverable queues is exactly the point of this
+    /// baseline.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AttachError`], including [`AttachError::AppMismatch`] if the
+    /// file holds a different structure.
+    pub fn attach<P: AsRef<std::path::Path>>(path: P) -> Result<Self, AttachError> {
+        let pool = Arc::new(PmemPool::attach(path)?);
+        let found = pool.app_kind();
+        if found != KIND_MS_QUEUE {
+            return Err(AttachError::AppMismatch { expected: KIND_MS_QUEUE, found });
+        }
+        let [nthreads, nodes_per_thread, ..] = pool.app_config();
+        if nthreads == 0 || nodes_per_thread == 0 {
+            return Err(AttachError::Corrupt("MS queue parameter words are zero"));
+        }
+        let nthreads = nthreads as usize;
+        let layout = MsLayout::new(nthreads, nodes_per_thread);
+        if (pool.capacity() as u64) < layout.words {
+            return Err(AttachError::Corrupt("pool smaller than the MS queue layout requires"));
+        }
+        let registry = Registry::attach(Arc::clone(&pool), layout.reg_base)?;
+        let q = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        // Volatile contents were lost with the previous process: start
+        // from an empty queue again.
+        q.format(layout.sentinel);
+        Ok(q)
+    }
 }
 
 impl<M: Memory> MsQueue<M> {
@@ -71,17 +157,26 @@ impl<M: Memory> MsQueue<M> {
     ///
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new_in(nthreads: usize, nodes_per_thread: u64) -> Self {
-        assert!(nthreads > 0 && nodes_per_thread > 0);
-        let sentinel = (A_TAIL + WORDS_PER_LINE).next_multiple_of(NODE_WORDS);
-        let region = sentinel + NODE_WORDS;
-        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
-        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
-        let words = reg_base + Registry::<M>::region_words(nthreads);
-        let pool = Arc::new(M::create(words as usize, FlushGranularity::default()));
-        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
+        let layout = MsLayout::new(nthreads, nodes_per_thread);
+        let pool = Arc::new(M::create(layout.words as usize, FlushGranularity::default()));
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let q = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        q.format(layout.sentinel);
+        q
+    }
+
+    /// The shared constructor tail: in-DRAM side tables over an existing
+    /// pool + registry.
+    fn assemble(
+        pool: Arc<M>,
+        registry: Registry<M>,
+        layout: &MsLayout,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Self {
         let nodes =
-            NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
-        let q = MsQueue {
+            NodePool::new(PAddr::from_index(layout.region), NODE_WORDS, nodes_per_thread, nthreads);
+        MsQueue {
             pool,
             nodes,
             ebr: Ebr::new(nthreads),
@@ -89,13 +184,17 @@ impl<M: Memory> MsQueue<M> {
             backoff: AtomicBool::new(false),
             tuner: BackoffTuner::new(),
             registry,
-        };
+        }
+    }
+
+    /// Writes the initial queue state. Deliberately unflushed: the MS
+    /// queue is the volatile baseline.
+    fn format(&self, sentinel: u64) {
         let s = PAddr::from_index(sentinel);
-        q.pool.store(s.offset(F_VALUE), 0);
-        q.pool.store(s.offset(F_NEXT), 0);
-        q.pool.store(PAddr::from_index(A_HEAD), s.to_word());
-        q.pool.store(PAddr::from_index(A_TAIL), s.to_word());
-        q
+        self.pool.store(s.offset(F_VALUE), 0);
+        self.pool.store(s.offset(F_NEXT), 0);
+        self.pool.store(PAddr::from_index(A_HEAD), s.to_word());
+        self.pool.store(PAddr::from_index(A_TAIL), s.to_word());
     }
 
     /// The queue's pool (for op counting in experiments).

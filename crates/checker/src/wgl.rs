@@ -9,32 +9,53 @@ use crate::interval::OpRecord;
 
 /// Why a history failed a check.
 #[derive(Clone, PartialEq, Eq, Debug)]
-pub struct Violation {
-    message: String,
+pub enum Violation {
+    /// The history itself is ill-formed (unbalanced invoke/return,
+    /// responses from unknown operations, …) — nothing was checked.
+    Malformed(String),
+    /// The history holds more records than the checker can track (the
+    /// search keys processed-record sets as a `u64` bitmask, so checks
+    /// cap at [`MAX_OPS`] operations). Callers that generate histories
+    /// should bound them by `wgl::MAX_OPS` rather than a literal.
+    HistoryTooLarge {
+        /// Number of records in the offending history.
+        len: usize,
+    },
+    /// The search exhausted every interleaving without finding a valid
+    /// linearization.
+    NoLinearization {
+        /// Most operations any explored prefix covered.
+        best: usize,
+        /// Total operations in the history.
+        total: usize,
+    },
 }
 
 impl Violation {
     pub(crate) fn malformed(msg: impl Into<String>) -> Self {
-        Violation { message: format!("malformed history: {}", msg.into()) }
-    }
-
-    fn no_linearization(best: usize, total: usize) -> Self {
-        Violation {
-            message: format!(
-                "no valid linearization: best prefix covered {best} of {total} operations"
-            ),
-        }
+        Violation::Malformed(msg.into())
     }
 
     /// Human-readable description of the failure.
-    pub fn message(&self) -> &str {
-        &self.message
+    pub fn message(&self) -> String {
+        self.to_string()
     }
 }
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.message)
+        match self {
+            Violation::Malformed(msg) => write!(f, "malformed history: {msg}"),
+            Violation::HistoryTooLarge { len } => {
+                write!(f, "{len} operations exceed the checker limit of {MAX_OPS}")
+            }
+            Violation::NoLinearization { best, total } => {
+                write!(
+                    f,
+                    "no valid linearization: best prefix covered {best} of {total} operations"
+                )
+            }
+        }
     }
 }
 
@@ -67,9 +88,7 @@ pub fn check<T: SequentialSpec>(
 ) -> Result<(), Violation> {
     let n = records.len();
     if n > MAX_OPS {
-        return Err(Violation::malformed(format!(
-            "{n} operations exceed the checker limit of {MAX_OPS}"
-        )));
+        return Err(Violation::HistoryTooLarge { len: n });
     }
     let full: u64 = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
     let mut memo: HashSet<(u64, T::State)> = HashSet::new();
@@ -78,7 +97,7 @@ pub fn check<T: SequentialSpec>(
     if dfs(spec, records, 0, &init, full, &mut memo, &mut best) {
         Ok(())
     } else {
-        Err(Violation::no_linearization(best, n))
+        Err(Violation::NoLinearization { best, total: n })
     }
 }
 
@@ -300,14 +319,16 @@ mod tests {
     }
 
     #[test]
-    fn too_many_ops_rejected() {
+    fn too_many_ops_rejected_with_typed_error() {
         let mut h = QH::new();
         for _ in 0..64 {
             let a = h.invoke(0, QueueOp::Enqueue(1));
             h.ret(a, QueueResp::Ok);
         }
         let recs = records_for(&h, Condition::Linearizability).unwrap();
-        assert!(check(&QueueSpec, &recs).is_err());
+        let err = check(&QueueSpec, &recs).unwrap_err();
+        assert_eq!(err, Violation::HistoryTooLarge { len: 64 });
+        assert!(err.message().contains("checker limit"));
     }
 
     #[test]

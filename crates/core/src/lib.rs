@@ -60,8 +60,8 @@ mod register;
 mod stack;
 mod universal;
 
-pub use cas::{DetectableCas, ResolvedCas};
-pub use queue::{DssQueue, QueueFull, Resolved, ResolvedOp};
-pub use register::DetectableRegister;
-pub use stack::{DssStack, StackFull, StackResolved, StackResolvedOp};
-pub use universal::{OpWords, UniResolved, Universal};
+pub use cas::{DetectableCas, ResolvedCas, KIND_DETECTABLE_CAS};
+pub use queue::{DssQueue, QueueFull, Resolved, ResolvedOp, KIND_DSS_QUEUE};
+pub use register::{DetectableRegister, KIND_DETECTABLE_REGISTER};
+pub use stack::{DssStack, StackFull, StackResolved, StackResolvedOp, KIND_DSS_STACK};
+pub use universal::{OpWords, UniResolved, Universal, KIND_UNIVERSAL};

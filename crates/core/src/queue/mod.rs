@@ -10,10 +10,15 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, Registry,
-    SlotError, ThreadHandle, WORDS_PER_LINE,
+    tag, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr,
+    PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
+
+/// The structure-kind tag a [`DssQueue`] records in its pool file's
+/// superblock (see [`PmemPool::set_app_config`]), making the file
+/// self-describing for [`DssQueue::attach`].
+pub const KIND_DSS_QUEUE: u64 = 1;
 
 /// Node field offsets (a queue node is `{ value, next, deqThreadID }`,
 /// padded to 4 words so a node never straddles a cache line and the paper's
@@ -121,6 +126,35 @@ pub(crate) const A_HEAD: u64 = WORDS_PER_LINE;
 pub(crate) const A_TAIL: u64 = 2 * WORDS_PER_LINE;
 pub(crate) const A_X_BASE: u64 = 3 * WORDS_PER_LINE;
 
+/// The queue's pool layout, derived from `(nthreads, nodes_per_thread)`
+/// alone — which is exactly why those two parameters in a pool file's
+/// superblock make the file self-describing.
+struct QueueLayout {
+    sentinel: u64,
+    region: u64,
+    reg_base: u64,
+    words: u64,
+}
+
+impl QueueLayout {
+    fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        assert!(nthreads > 0, "need at least one thread");
+        assert!(nodes_per_thread > 0, "need at least one node per thread");
+        // Layout: [0:NULL][head line][tail line][n X lines][sentinel]
+        // [region...], with the sentinel and region aligned to NODE_WORDS
+        // so each node sits within one cache line.
+        let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
+        let sentinel = x_end.next_multiple_of(NODE_WORDS);
+        let region = sentinel + NODE_WORDS;
+        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        // The registry region goes *after* every pre-registry region, so
+        // persisted layouts of head/tail/X/nodes are unchanged.
+        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<PmemPool>::region_words(nthreads);
+        QueueLayout { sentinel, region, reg_base, words }
+    }
+}
+
 impl DssQueue {
     /// Creates a queue for `nthreads` threads with `nodes_per_thread`
     /// pre-allocated nodes each, on a fresh line-granular pool.
@@ -145,6 +179,95 @@ impl DssQueue {
     ) -> Self {
         Self::new_in(nthreads, nodes_per_thread, granularity)
     }
+
+    /// Creates a queue on a **file-backed** pool at `path` (line-granular):
+    /// the file holds the queue's entire persistence domain plus enough
+    /// superblock metadata ([`KIND_DSS_QUEUE`], `nthreads`,
+    /// `nodes_per_thread`) for a fresh process to rebuild everything with
+    /// [`attach`](Self::attach) from the path alone.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Io`] if the pool file cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn create<P: AsRef<std::path::Path>>(
+        path: P,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Result<Self, AttachError> {
+        Self::create_with(path, nthreads, nodes_per_thread, FlushGranularity::Line)
+    }
+
+    /// [`create`](Self::create) with an explicit flush granularity.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Io`] if the pool file cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn create_with<P: AsRef<std::path::Path>>(
+        path: P,
+        nthreads: usize,
+        nodes_per_thread: u64,
+        granularity: FlushGranularity,
+    ) -> Result<Self, AttachError> {
+        let layout = QueueLayout::new(nthreads, nodes_per_thread);
+        let pool = Arc::new(PmemPool::create(path, layout.words as usize, granularity)?);
+        pool.set_app_config(KIND_DSS_QUEUE, &[nthreads as u64, nodes_per_thread]);
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let q = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        q.format(layout.sentinel);
+        Ok(q)
+    }
+
+    /// Rebuilds a queue from a pool file **with no in-process state**: the
+    /// superblock's kind/parameter words identify the structure, the
+    /// registry is re-bound (not reformatted), the node allocator is
+    /// rebuilt from the persisted list, and fresh EBR domains replace the
+    /// dead process's. The previous owner's operations are exactly where
+    /// its last fenced flush left them.
+    ///
+    /// Attaching is a crash boundary, so the usual post-crash workflow
+    /// applies: run [`recover`](Self::recover) (Figure 6 adopt-then-
+    /// resolve) or per-slot [`adopt`](Self::adopt)/
+    /// [`recover_one`](Self::recover_one), then [`resolve`](Self::resolve)
+    /// each adopted handle.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AttachError`]: I/O or superblock validation failure, or
+    /// [`AttachError::AppMismatch`] if the file holds a different
+    /// structure.
+    pub fn attach<P: AsRef<std::path::Path>>(path: P) -> Result<Self, AttachError> {
+        let pool = Arc::new(PmemPool::attach(path)?);
+        let found = pool.app_kind();
+        if found != KIND_DSS_QUEUE {
+            return Err(AttachError::AppMismatch { expected: KIND_DSS_QUEUE, found });
+        }
+        let [nthreads, nodes_per_thread, ..] = pool.app_config();
+        if nthreads == 0 || nodes_per_thread == 0 {
+            return Err(AttachError::Corrupt("queue parameter words are zero"));
+        }
+        let nthreads = nthreads as usize;
+        let layout = QueueLayout::new(nthreads, nodes_per_thread);
+        if (pool.capacity() as u64) < layout.words {
+            return Err(AttachError::Corrupt("pool smaller than the queue layout requires"));
+        }
+        let registry = Registry::attach(Arc::clone(&pool), layout.reg_base)?;
+        let q = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        // The allocator is volatile: rebuild it from the persisted list
+        // right away so an early alloc cannot hand out a node the dead
+        // process left in the queue. (Reachability from the possibly-lagging
+        // persisted head is a superset of the true live set, so this is
+        // safe even before `recover` repairs head/tail.)
+        q.rebuild_allocator();
+        Ok(q)
+    }
 }
 
 impl<M: Memory> DssQueue<M> {
@@ -156,24 +279,27 @@ impl<M: Memory> DssQueue<M> {
     ///
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new_in(nthreads: usize, nodes_per_thread: u64, granularity: FlushGranularity) -> Self {
-        assert!(nthreads > 0, "need at least one thread");
-        assert!(nodes_per_thread > 0, "need at least one node per thread");
-        // Layout: [0:NULL][head line][tail line][n X lines][sentinel]
-        // [region...], with the sentinel and region aligned to NODE_WORDS
-        // so each node sits within one cache line.
-        let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
-        let sentinel = x_end.next_multiple_of(NODE_WORDS);
-        let region = sentinel + NODE_WORDS;
-        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
-        // The registry region goes *after* every pre-registry region, so
-        // persisted layouts of head/tail/X/nodes are unchanged.
-        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
-        let words = reg_base + Registry::<M>::region_words(nthreads);
-        let pool = Arc::new(M::create(words as usize, granularity));
-        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
+        let layout = QueueLayout::new(nthreads, nodes_per_thread);
+        let pool = Arc::new(M::create(layout.words as usize, granularity));
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let q = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        q.format(layout.sentinel);
+        q
+    }
+
+    /// The shared constructor tail: in-DRAM side tables (node allocator,
+    /// EBR domains, backoff tuner, op counters) over an existing pool +
+    /// registry — everything `attach` must rebuild rather than map.
+    fn assemble(
+        pool: Arc<M>,
+        registry: Registry<M>,
+        layout: &QueueLayout,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Self {
         let nodes =
-            NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
-        let q = DssQueue {
+            NodePool::new(PAddr::from_index(layout.region), NODE_WORDS, nodes_per_thread, nthreads);
+        DssQueue {
             pool,
             nodes,
             ebr: Ebr::new(nthreads),
@@ -182,24 +308,28 @@ impl<M: Memory> DssQueue<M> {
             backoff: AtomicBool::new(false),
             tuner: BackoffTuner::new(),
             ops_done: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
-        };
+        }
+    }
+
+    /// Writes and persists the initial queue state (fresh pools only —
+    /// never run on attach).
+    fn format(&self, sentinel: u64) {
         // Initial state: head = tail = sentinel; sentinel.next = NULL,
         // sentinel unmarked; X[i] = NULL for all i. Persist everything.
         let s = PAddr::from_index(sentinel);
-        q.pool.store(s.offset(F_VALUE), 0);
-        q.pool.store(s.offset(F_NEXT), PAddr::NULL.to_word());
-        q.pool.store(s.offset(F_DEQ_TID), NO_DEQUEUER);
-        q.flush_node(s);
-        q.pool.store(q.head_addr(), s.to_word());
-        q.pool.flush(q.head_addr());
-        q.pool.store(q.tail_addr(), s.to_word());
-        q.pool.flush(q.tail_addr());
-        for i in 0..nthreads {
-            q.pool.store(q.x_addr(i), 0);
-            q.pool.flush(q.x_addr(i));
+        self.pool.store(s.offset(F_VALUE), 0);
+        self.pool.store(s.offset(F_NEXT), PAddr::NULL.to_word());
+        self.pool.store(s.offset(F_DEQ_TID), NO_DEQUEUER);
+        self.flush_node(s);
+        self.pool.store(self.head_addr(), s.to_word());
+        self.pool.flush(self.head_addr());
+        self.pool.store(self.tail_addr(), s.to_word());
+        self.pool.flush(self.tail_addr());
+        for i in 0..self.nthreads {
+            self.pool.store(self.x_addr(i), 0);
+            self.pool.flush(self.x_addr(i));
         }
-        q.pool.drain();
-        q
+        self.pool.drain();
     }
 
     /// Enables or disables contention management (bounded exponential

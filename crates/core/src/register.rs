@@ -20,8 +20,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, Registry,
-    SlotError, ThreadHandle, WORDS_PER_LINE,
+    tag, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr,
+    PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::RegisterResp;
 
@@ -41,6 +41,32 @@ const W_COMPL: u64 = tag::ENQ_COMPL;
 // and each X entry on their own cache line (no false sharing).
 const A_CUR: u64 = WORDS_PER_LINE;
 const A_X_BASE: u64 = 2 * WORDS_PER_LINE;
+
+/// Structure-kind word a file-backed register records in its pool
+/// superblock.
+pub const KIND_DETECTABLE_REGISTER: u64 = 3;
+
+/// The register's pool layout, derived from `(nthreads, nodes_per_thread)`
+/// alone (cf. the queue's `QueueLayout`).
+struct RegisterLayout {
+    init_node: u64,
+    region: u64,
+    reg_base: u64,
+    words: u64,
+}
+
+impl RegisterLayout {
+    fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        assert!(nthreads > 0 && nodes_per_thread > 0);
+        let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
+        let init_node = x_end.next_multiple_of(NODE_WORDS);
+        let region = init_node + NODE_WORDS;
+        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<PmemPool>::region_words(nthreads);
+        RegisterLayout { init_node, region, reg_base, words }
+    }
+}
 
 /// The outcome reported by [`DetectableRegister::resolve`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -108,6 +134,63 @@ impl DetectableRegister {
     pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
         Self::new_in(nthreads, nodes_per_thread, FlushGranularity::Line)
     }
+
+    /// Creates a register on a **file-backed** pool at `path`
+    /// (line-granular), recording [`KIND_DETECTABLE_REGISTER`] and the
+    /// construction parameters in the superblock so
+    /// [`attach`](Self::attach) needs only the path.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Io`] if the pool file cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn create<P: AsRef<std::path::Path>>(
+        path: P,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Result<Self, AttachError> {
+        let layout = RegisterLayout::new(nthreads, nodes_per_thread);
+        let pool = Arc::new(PmemPool::create(path, layout.words as usize, FlushGranularity::Line)?);
+        pool.set_app_config(KIND_DETECTABLE_REGISTER, &[nthreads as u64, nodes_per_thread]);
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let r = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        r.format(layout.init_node);
+        Ok(r)
+    }
+
+    /// Rebuilds a register from a pool file with no in-process state. The
+    /// register recovers independently (no recovery phase): after
+    /// [`begin_recovery`](Self::begin_recovery) +
+    /// [`adopt_orphans`](Self::adopt_orphans), [`resolve`](Self::resolve)
+    /// answers from persisted state alone.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AttachError`], including [`AttachError::AppMismatch`] if the
+    /// file holds a different structure.
+    pub fn attach<P: AsRef<std::path::Path>>(path: P) -> Result<Self, AttachError> {
+        let pool = Arc::new(PmemPool::attach(path)?);
+        let found = pool.app_kind();
+        if found != KIND_DETECTABLE_REGISTER {
+            return Err(AttachError::AppMismatch { expected: KIND_DETECTABLE_REGISTER, found });
+        }
+        let [nthreads, nodes_per_thread, ..] = pool.app_config();
+        if nthreads == 0 || nodes_per_thread == 0 {
+            return Err(AttachError::Corrupt("register parameter words are zero"));
+        }
+        let nthreads = nthreads as usize;
+        let layout = RegisterLayout::new(nthreads, nodes_per_thread);
+        if (pool.capacity() as u64) < layout.words {
+            return Err(AttachError::Corrupt("pool smaller than the register layout requires"));
+        }
+        let registry = Registry::attach(Arc::clone(&pool), layout.reg_base)?;
+        let r = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        r.rebuild_allocator();
+        Ok(r)
+    }
 }
 
 impl<M: Memory> DetectableRegister<M> {
@@ -119,18 +202,26 @@ impl<M: Memory> DetectableRegister<M> {
     ///
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new_in(nthreads: usize, nodes_per_thread: u64, granularity: FlushGranularity) -> Self {
-        assert!(nthreads > 0 && nodes_per_thread > 0);
-        let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
-        let init_node = x_end.next_multiple_of(NODE_WORDS);
-        let region = init_node + NODE_WORDS;
-        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
-        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
-        let words = reg_base + Registry::<M>::region_words(nthreads);
-        let pool = Arc::new(M::create(words as usize, granularity));
-        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
+        let layout = RegisterLayout::new(nthreads, nodes_per_thread);
+        let pool = Arc::new(M::create(layout.words as usize, granularity));
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let r = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        r.format(layout.init_node);
+        r
+    }
+
+    /// The shared constructor tail: in-DRAM side tables over an existing
+    /// pool + registry — everything `attach` must rebuild rather than map.
+    fn assemble(
+        pool: Arc<M>,
+        registry: Registry<M>,
+        layout: &RegisterLayout,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Self {
         let nodes =
-            NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
-        let r = DetectableRegister {
+            NodePool::new(PAddr::from_index(layout.region), NODE_WORDS, nodes_per_thread, nthreads);
+        DetectableRegister {
             pool,
             nodes,
             ebr: Ebr::new(nthreads),
@@ -139,20 +230,24 @@ impl<M: Memory> DetectableRegister<M> {
             backoff: AtomicBool::new(false),
             tuner: BackoffTuner::new(),
             pending: (0..nthreads).map(|_| std::sync::Mutex::new(Vec::new())).collect(),
-        };
-        let init = PAddr::from_index(init_node);
-        r.pool.store(init.offset(F_VALUE), 0);
-        r.pool.store(init.offset(F_WRITER_SEQ), u64::MAX); // no writer
-        r.pool.store(init.offset(F_SUPERSEDED), 0);
-        r.pool.flush(init);
-        r.pool.store(r.cur_addr(), init.to_word());
-        r.pool.flush(r.cur_addr());
-        for i in 0..nthreads {
-            r.pool.store(r.x_addr(i), 0);
-            r.pool.flush(r.x_addr(i));
         }
-        r.pool.drain();
-        r
+    }
+
+    /// Writes and persists the initial register state (fresh pools only —
+    /// never run on attach).
+    fn format(&self, init_node: u64) {
+        let init = PAddr::from_index(init_node);
+        self.pool.store(init.offset(F_VALUE), 0);
+        self.pool.store(init.offset(F_WRITER_SEQ), u64::MAX); // no writer
+        self.pool.store(init.offset(F_SUPERSEDED), 0);
+        self.pool.flush(init);
+        self.pool.store(self.cur_addr(), init.to_word());
+        self.pool.flush(self.cur_addr());
+        for i in 0..self.nthreads {
+            self.pool.store(self.x_addr(i), 0);
+            self.pool.flush(self.x_addr(i));
+        }
+        self.pool.drain();
     }
 
     /// Enables or disables bounded exponential backoff after failed

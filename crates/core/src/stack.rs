@@ -21,8 +21,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, Registry,
-    SlotError, ThreadHandle, WORDS_PER_LINE,
+    tag, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr,
+    PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::StackResp;
 
@@ -46,6 +46,29 @@ const EMPTY: u64 = tag::EMPTY;
 // entry on their own cache line so contending CASes don't false-share.
 const A_TOP: u64 = WORDS_PER_LINE;
 const A_X_BASE: u64 = 2 * WORDS_PER_LINE;
+
+/// Structure-kind word a file-backed stack records in its pool superblock.
+pub const KIND_DSS_STACK: u64 = 2;
+
+/// The stack's pool layout, derived from `(nthreads, nodes_per_thread)`
+/// alone (cf. the queue's `QueueLayout`).
+struct StackLayout {
+    region: u64,
+    reg_base: u64,
+    words: u64,
+}
+
+impl StackLayout {
+    fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        assert!(nthreads > 0 && nodes_per_thread > 0);
+        let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
+        let region = x_end.next_multiple_of(NODE_WORDS);
+        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<PmemPool>::region_words(nthreads);
+        StackLayout { region, reg_base, words }
+    }
+}
 
 /// Push-side error: the pre-allocated node pool is exhausted.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -118,6 +141,64 @@ impl DssStack {
     pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
         Self::new_in(nthreads, nodes_per_thread, FlushGranularity::Line)
     }
+
+    /// Creates a stack on a **file-backed** pool at `path` (line-granular),
+    /// recording [`KIND_DSS_STACK`] and the construction parameters in the
+    /// superblock so [`attach`](Self::attach) needs only the path.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Io`] if the pool file cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn create<P: AsRef<std::path::Path>>(
+        path: P,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Result<Self, AttachError> {
+        let layout = StackLayout::new(nthreads, nodes_per_thread);
+        let pool = Arc::new(PmemPool::create(path, layout.words as usize, FlushGranularity::Line)?);
+        pool.set_app_config(KIND_DSS_STACK, &[nthreads as u64, nodes_per_thread]);
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let s = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        s.format();
+        Ok(s)
+    }
+
+    /// Rebuilds a stack from a pool file with no in-process state; the
+    /// attach is a crash boundary, so follow with
+    /// [`recover`](Self::recover) and per-handle
+    /// [`resolve`](Self::resolve).
+    ///
+    /// # Errors
+    ///
+    /// Any [`AttachError`], including [`AttachError::AppMismatch`] if the
+    /// file holds a different structure.
+    pub fn attach<P: AsRef<std::path::Path>>(path: P) -> Result<Self, AttachError> {
+        let pool = Arc::new(PmemPool::attach(path)?);
+        let found = pool.app_kind();
+        if found != KIND_DSS_STACK {
+            return Err(AttachError::AppMismatch { expected: KIND_DSS_STACK, found });
+        }
+        let [nthreads, nodes_per_thread, ..] = pool.app_config();
+        if nthreads == 0 || nodes_per_thread == 0 {
+            return Err(AttachError::Corrupt("stack parameter words are zero"));
+        }
+        let nthreads = nthreads as usize;
+        let layout = StackLayout::new(nthreads, nodes_per_thread);
+        if (pool.capacity() as u64) < layout.words {
+            return Err(AttachError::Corrupt("pool smaller than the stack layout requires"));
+        }
+        let registry = Registry::attach(Arc::clone(&pool), layout.reg_base)?;
+        let s = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        // Reachability from the possibly-lagging persisted top is a
+        // superset of the true live set, so rebuilding before `recover`
+        // repairs `top` is safe (cf. the queue's attach).
+        s.rebuild_allocator();
+        Ok(s)
+    }
 }
 
 impl<M: Memory> DssStack<M> {
@@ -129,17 +210,26 @@ impl<M: Memory> DssStack<M> {
     ///
     /// Panics if `nthreads` or `nodes_per_thread` is zero.
     pub fn new_in(nthreads: usize, nodes_per_thread: u64, granularity: FlushGranularity) -> Self {
-        assert!(nthreads > 0 && nodes_per_thread > 0);
-        let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
-        let region = x_end.next_multiple_of(NODE_WORDS);
-        let node_end = region + nodes_per_thread * nthreads as u64 * NODE_WORDS;
-        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
-        let words = reg_base + Registry::<M>::region_words(nthreads);
-        let pool = Arc::new(M::create(words as usize, granularity));
-        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
+        let layout = StackLayout::new(nthreads, nodes_per_thread);
+        let pool = Arc::new(M::create(layout.words as usize, granularity));
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let s = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread);
+        s.format();
+        s
+    }
+
+    /// The shared constructor tail: in-DRAM side tables over an existing
+    /// pool + registry — everything `attach` must rebuild rather than map.
+    fn assemble(
+        pool: Arc<M>,
+        registry: Registry<M>,
+        layout: &StackLayout,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Self {
         let nodes =
-            NodePool::new(PAddr::from_index(region), NODE_WORDS, nodes_per_thread, nthreads);
-        let s = DssStack {
+            NodePool::new(PAddr::from_index(layout.region), NODE_WORDS, nodes_per_thread, nthreads);
+        DssStack {
             pool,
             nodes,
             ebr: Ebr::new(nthreads),
@@ -147,15 +237,19 @@ impl<M: Memory> DssStack<M> {
             nthreads,
             backoff: AtomicBool::new(false),
             tuner: BackoffTuner::new(),
-        };
-        s.pool.store(s.top_addr(), PAddr::NULL.to_word());
-        s.pool.flush(s.top_addr());
-        for i in 0..nthreads {
-            s.pool.store(s.x_addr(i), 0);
-            s.pool.flush(s.x_addr(i));
         }
-        s.pool.drain();
-        s
+    }
+
+    /// Writes and persists the initial stack state (fresh pools only —
+    /// never run on attach).
+    fn format(&self) {
+        self.pool.store(self.top_addr(), PAddr::NULL.to_word());
+        self.pool.flush(self.top_addr());
+        for i in 0..self.nthreads {
+            self.pool.store(self.x_addr(i), 0);
+            self.pool.flush(self.x_addr(i));
+        }
+        self.pool.drain();
     }
 
     /// Enables or disables contention management (backoff after failed CAS

@@ -33,7 +33,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, FlushGranularity, Memory, PAddr, PmemPool, Registry, SlotError, ThreadHandle,
+    tag, AttachError, FlushGranularity, Memory, PAddr, PmemPool, Registry, SlotError, ThreadHandle,
     WORDS_PER_LINE,
 };
 use dss_spec::types::{
@@ -79,6 +79,34 @@ const U_COMPL: u64 = tag::ENQ_COMPL;
 const A_TAIL_HINT: u64 = 1;
 const A_X_BASE: u64 = 2;
 
+/// Structure-kind word a file-backed universal object records in its pool
+/// superblock. The spec type `T` itself is not persisted — [`attach`]
+/// (Universal::attach) takes the spec value from the caller and trusts the
+/// caller to supply the same type the file was created with.
+pub const KIND_UNIVERSAL: u64 = 5;
+
+/// The universal object's pool layout, derived from `(nthreads, max_ops)`
+/// alone (cf. the queue's `QueueLayout`).
+struct UniversalLayout {
+    origin: u64,
+    slots_base: u64,
+    reg_base: u64,
+    words: u64,
+}
+
+impl UniversalLayout {
+    fn new(nthreads: usize, max_ops: u64) -> Self {
+        assert!(nthreads > 0 && max_ops > 0);
+        let x_end = A_X_BASE + nthreads as u64;
+        let origin = x_end.next_multiple_of(NODE_WORDS);
+        let slots_base = origin + NODE_WORDS;
+        let node_end = slots_base + max_ops * NODE_WORDS;
+        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<PmemPool>::region_words(nthreads);
+        UniversalLayout { origin, slots_base, reg_base, words }
+    }
+}
+
 /// A lock-free recoverable universal construction of `D⟨T⟩` for any
 /// [`SequentialSpec`] whose operations implement [`OpWords`].
 ///
@@ -121,6 +149,65 @@ impl<T: OpWords> Universal<T> {
     pub fn new(spec: T, nthreads: usize, max_ops: u64) -> Self {
         Self::new_in(spec, nthreads, max_ops, FlushGranularity::Line)
     }
+
+    /// Creates the object on a **file-backed** pool at `path`
+    /// (line-granular), recording [`KIND_UNIVERSAL`] and the construction
+    /// parameters in the superblock. The spec value itself is volatile
+    /// code, not data, so [`attach`](Self::attach) takes it again.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Io`] if the pool file cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `max_ops` is zero.
+    pub fn create<P: AsRef<std::path::Path>>(
+        spec: T,
+        path: P,
+        nthreads: usize,
+        max_ops: u64,
+    ) -> Result<Self, AttachError> {
+        let layout = UniversalLayout::new(nthreads, max_ops);
+        let pool = Arc::new(PmemPool::create(path, layout.words as usize, FlushGranularity::Line)?);
+        pool.set_app_config(KIND_UNIVERSAL, &[nthreads as u64, max_ops]);
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let u = Self::assemble(spec, pool, registry, &layout, nthreads, max_ops);
+        u.format();
+        Ok(u)
+    }
+
+    /// Rebuilds the object from a pool file with no in-process state; the
+    /// caller supplies the spec value (the history replays through it, so
+    /// it must be the type the file was created with). No recovery phase
+    /// exists: [`resolve`](Self::resolve) replays the persisted history
+    /// directly after [`begin_recovery`](Self::begin_recovery) +
+    /// [`adopt_orphans`](Self::adopt_orphans).
+    ///
+    /// # Errors
+    ///
+    /// Any [`AttachError`], including [`AttachError::AppMismatch`] if the
+    /// file holds a different structure.
+    pub fn attach<P: AsRef<std::path::Path>>(spec: T, path: P) -> Result<Self, AttachError> {
+        let pool = Arc::new(PmemPool::attach(path)?);
+        let found = pool.app_kind();
+        if found != KIND_UNIVERSAL {
+            return Err(AttachError::AppMismatch { expected: KIND_UNIVERSAL, found });
+        }
+        let [nthreads, max_ops, ..] = pool.app_config();
+        if nthreads == 0 || max_ops == 0 {
+            return Err(AttachError::Corrupt("universal parameter words are zero"));
+        }
+        let nthreads = nthreads as usize;
+        let layout = UniversalLayout::new(nthreads, max_ops);
+        if (pool.capacity() as u64) < layout.words {
+            return Err(AttachError::Corrupt("pool smaller than the universal layout requires"));
+        }
+        let registry = Registry::attach(Arc::clone(&pool), layout.reg_base)?;
+        let u = Self::assemble(spec, pool, registry, &layout, nthreads, max_ops);
+        u.rebuild_allocator();
+        Ok(u)
+    }
 }
 
 impl<T: OpWords, M: Memory> Universal<T, M> {
@@ -132,35 +219,48 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
     ///
     /// Panics if `nthreads` or `max_ops` is zero.
     pub fn new_in(spec: T, nthreads: usize, max_ops: u64, granularity: FlushGranularity) -> Self {
-        assert!(nthreads > 0 && max_ops > 0);
-        let x_end = A_X_BASE + nthreads as u64;
-        let origin = x_end.next_multiple_of(NODE_WORDS);
-        let slots_base = origin + NODE_WORDS;
-        let node_end = slots_base + max_ops * NODE_WORDS;
-        let reg_base = node_end.next_multiple_of(WORDS_PER_LINE);
-        let words = reg_base + Registry::<M>::region_words(nthreads);
-        let pool = Arc::new(M::create(words as usize, granularity));
-        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
-        let u = Universal {
+        let layout = UniversalLayout::new(nthreads, max_ops);
+        let pool = Arc::new(M::create(layout.words as usize, granularity));
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let u = Self::assemble(spec, pool, registry, &layout, nthreads, max_ops);
+        u.format();
+        u
+    }
+
+    /// The shared constructor tail: in-DRAM side tables over an existing
+    /// pool + registry — everything `attach` must rebuild rather than map.
+    fn assemble(
+        spec: T,
+        pool: Arc<M>,
+        registry: Registry<M>,
+        layout: &UniversalLayout,
+        nthreads: usize,
+        max_ops: u64,
+    ) -> Self {
+        Universal {
             spec,
             pool,
             nthreads,
-            origin: PAddr::from_index(origin),
-            slots_base,
+            origin: PAddr::from_index(layout.origin),
+            slots_base: layout.slots_base,
             slots: max_ops,
             next_slot: std::sync::atomic::AtomicU64::new(0),
             registry,
-        };
-        u.pool.store(u.origin.offset(F_NEXT), 0);
-        u.pool.flush(u.origin.offset(F_NEXT));
-        u.pool.store(PAddr::from_index(A_TAIL_HINT), u.origin.to_word());
-        u.pool.flush(PAddr::from_index(A_TAIL_HINT));
-        for i in 0..nthreads {
-            u.pool.store(u.x_addr(i), 0);
-            u.pool.flush(u.x_addr(i));
         }
-        u.pool.drain();
-        u
+    }
+
+    /// Writes and persists the initial object state (fresh pools only —
+    /// never run on attach).
+    fn format(&self) {
+        self.pool.store(self.origin.offset(F_NEXT), 0);
+        self.pool.flush(self.origin.offset(F_NEXT));
+        self.pool.store(PAddr::from_index(A_TAIL_HINT), self.origin.to_word());
+        self.pool.flush(PAddr::from_index(A_TAIL_HINT));
+        for i in 0..self.nthreads {
+            self.pool.store(self.x_addr(i), 0);
+            self.pool.flush(self.x_addr(i));
+        }
+        self.pool.drain();
     }
 
     // Handles are valid by construction (the registry hands out only

@@ -12,16 +12,32 @@
 //! resolves its pending operation. The value-conservation invariant must
 //! hold in every run.
 //!
+//! With `--multi-process on` the crash is a *real* process death: for
+//! every crash point, this binary re-spawns itself as a victim child that
+//! creates a file-backed pool and is SIGKILLed mid-operation; the parent
+//! attaches the pool file with no in-process state and must recover and
+//! resolve correctly. Swept across the coalesce × per-address flush
+//! regimes (the knobs that widen what a kill can destroy).
+//!
 //! ```text
 //! cargo run -p dss-harness --release --bin crash_matrix -- \
 //!     [--granularity word] [--adversary random --seed 7] \
-//!     [--partial-recovery on]
+//!     [--partial-recovery on] [--multi-process on]
 //! ```
 
 use dss_harness::cli;
-use dss_harness::crashsim::{partial_recovery_crash_run, sweep, SweepConfig, VictimOp};
+use dss_harness::crashsim::{
+    multi_process_child, multi_process_sweep, partial_recovery_crash_run, sweep, SweepConfig,
+    VictimOp, MP_CHILD_FLAG,
+};
 
 fn main() {
+    // The child role must dispatch before ordinary flag parsing (which
+    // panics on flags it does not know).
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some(MP_CHILD_FLAG) {
+        multi_process_child(&argv[2..]);
+    }
     let args = cli::parse();
     for independent in [false, true] {
         let config = SweepConfig {
@@ -85,6 +101,48 @@ fn main() {
             );
         }
         println!();
+    }
+    if args.multi_process {
+        let exe = std::env::current_exe().expect("locating this binary for self-spawn");
+        println!("# E12 multi-process: victim child SIGKILLed mid-op; parent attaches the");
+        println!("# pool file with no in-process state and runs Figure-6 adopt-then-resolve");
+        println!(
+            "{:<15} {:>9} {:>12} {:>12} {:>13} {:>10} {:>8} {:>11}",
+            "operation",
+            "coalesce",
+            "per-address",
+            "crash-points",
+            "not-prepared",
+            "no-effect",
+            "effect",
+            "violations"
+        );
+        let mut total_violations = 0;
+        for (coalesce, per_address) in [(false, false), (true, false), (true, true)] {
+            let config = SweepConfig {
+                granularity: args.flush_granularity(),
+                coalesce,
+                per_address,
+                ..Default::default()
+            };
+            for op in VictimOp::all() {
+                let out = multi_process_sweep(op, &config, &exe);
+                println!(
+                    "{:<15} {:>9} {:>12} {:>12} {:>13} {:>10} {:>8} {:>11}",
+                    op.to_string(),
+                    if coalesce { "on" } else { "off" },
+                    if per_address { "on" } else { "off" },
+                    out.crash_points,
+                    out.not_prepared,
+                    out.no_effect,
+                    out.effect,
+                    out.violations
+                );
+                total_violations += out.violations;
+            }
+        }
+        println!();
+        assert_eq!(total_violations, 0, "multi-process detectability violations found!");
     }
     println!("ok: every crash point resolved consistently with D<queue>");
 }

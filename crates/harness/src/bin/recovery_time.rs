@@ -10,7 +10,7 @@ use std::time::Instant;
 use dss_core::DssQueue;
 use dss_pmem::WritebackAdversary;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("# E5: recovery latency vs queue length (microseconds, mean of 5)");
     println!("{:>10} {:>18} {:>18}", "length", "centralized-us", "independent-us");
     for exp in 4..=14 {
@@ -20,9 +20,9 @@ fn main() {
         const REPS: u32 = 5;
         for _ in 0..REPS {
             let q = DssQueue::new(4, len + 64);
-            let hs: Vec<_> = (0..4).map(|_| q.register_thread().unwrap()).collect();
+            let hs = (0..4).map(|_| q.register_thread()).collect::<Result<Vec<_>, _>>()?;
             for i in 0..len {
-                q.enqueue(hs[0], i + 1).unwrap();
+                q.enqueue(hs[0], i + 1)?;
             }
             q.pool().crash(&WritebackAdversary::All);
             let t = Instant::now();
@@ -30,9 +30,9 @@ fn main() {
             central += t.elapsed().as_secs_f64() * 1e6;
 
             let q = DssQueue::new(4, len + 64);
-            let hs: Vec<_> = (0..4).map(|_| q.register_thread().unwrap()).collect();
+            let hs = (0..4).map(|_| q.register_thread()).collect::<Result<Vec<_>, _>>()?;
             for i in 0..len {
-                q.enqueue(hs[0], i + 1).unwrap();
+                q.enqueue(hs[0], i + 1)?;
             }
             q.pool().crash(&WritebackAdversary::All);
             let t = Instant::now();
@@ -46,4 +46,5 @@ fn main() {
     println!();
     println!("# Centralized recovery walks the list once and repairs head/tail;");
     println!("# independent recovery is run per thread (4x here) and repairs only X.");
+    Ok(())
 }

@@ -35,6 +35,11 @@ pub struct Args {
     /// of threads restarts and an adopter reclaims the orphaned registry
     /// slots (§3.3). Default off.
     pub partial_recovery: bool,
+    /// Multi-process crash runs (`--multi-process on|off`, `crash_matrix`
+    /// only): a child process creates a file-backed pool, is SIGKILLed
+    /// mid-operation, and a fresh attach from the parent must recover and
+    /// resolve every pre-crash operation. Default off.
+    pub multi_process: bool,
 }
 
 impl Default for Args {
@@ -52,6 +57,7 @@ impl Default for Args {
             per_address: false,
             backoff: false,
             partial_recovery: false,
+            multi_process: false,
         }
     }
 }
@@ -89,10 +95,11 @@ pub fn parse() -> Args {
             "--partial-recovery" => {
                 args.partial_recovery = parse_switch("--partial-recovery", &val());
             }
+            "--multi-process" => args.multi_process = parse_switch("--multi-process", &val()),
             other => panic!(
                 "unknown flag {other}; known: --threads --ms --repeats --penalty \
                  --granularity --adversary --seed --backend --coalesce --per-address --backoff \
-                 --partial-recovery"
+                 --partial-recovery --multi-process"
             ),
         }
     }
@@ -141,6 +148,7 @@ mod tests {
         assert_eq!(a.writeback_adversary(), dss_pmem::WritebackAdversary::None);
         assert!(!a.coalesce && !a.per_address && !a.backoff, "perf features default off");
         assert!(!a.partial_recovery, "partial-recovery mode defaults off");
+        assert!(!a.multi_process, "multi-process mode defaults off");
     }
 
     #[test]

@@ -14,8 +14,19 @@
 //! own detectability word, and one adopter reclaims every remaining
 //! orphaned slot (inheriting its EBR state) and resolves its pending op.
 
+//!
+//! [`multi_process_sweep`] is the same Figure-2 validation with a *real*
+//! process boundary: a child process creates a **file-backed** pool, runs
+//! the victim, and is SIGKILLed mid-operation; the parent then rebuilds
+//! the queue from the pool file alone with [`DssQueue::attach`] — no
+//! in-process state survives, by construction — and runs the Figure-6
+//! adopt-then-resolve recovery.
+
 use std::fmt;
+use std::io::{BufRead, BufReader, Write};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
 
 use dss_core::{DssQueue, Resolved, ResolvedOp};
 use dss_pmem::{CrashSignal, FlushGranularity, ThreadHandle, WritebackAdversary};
@@ -36,6 +47,19 @@ impl VictimOp {
     /// All sweep targets.
     pub fn all() -> [VictimOp; 3] {
         [VictimOp::Enqueue, VictimOp::Dequeue, VictimOp::EmptyDequeue]
+    }
+}
+
+impl VictimOp {
+    /// Inverse of [`fmt::Display`] (the multi-process driver passes the
+    /// victim op to the child through argv).
+    pub fn parse(s: &str) -> VictimOp {
+        match s {
+            "enqueue" => VictimOp::Enqueue,
+            "dequeue" => VictimOp::Dequeue,
+            "empty-dequeue" => VictimOp::EmptyDequeue,
+            other => panic!("unknown victim op {other:?}"),
+        }
     }
 }
 
@@ -382,6 +406,154 @@ fn check_conservation(
         }
     }
     Ok(remaining.len())
+}
+
+/// The argv sentinel that dispatches a binary into the child role of a
+/// multi-process crash run. Binaries that call [`multi_process_sweep`]
+/// with their own path must check for it **before** ordinary flag parsing
+/// and hand the remaining arguments to [`multi_process_child`].
+pub const MP_CHILD_FLAG: &str = "--mp-child";
+
+/// The child (victim) side of a multi-process crash run: creates a
+/// file-backed queue at the given path, runs the victim operation with a
+/// crash armed after `k` pmem operations, and then *parks* so the parent
+/// can SIGKILL it. Nothing is drained or handed over on the way out —
+/// whatever the operation had not yet written back dies with the process,
+/// which is the whole point.
+///
+/// `args` is the argv tail after [`MP_CHILD_FLAG`]:
+/// `<pool-path> <op> <k> <granularity> <coalesce> <per-address>`.
+///
+/// Never returns: exits 0 after printing `DONE` when the operation
+/// completes before reaching `k`, parks forever after printing `READY`
+/// when the armed crash fired.
+///
+/// # Panics
+///
+/// Panics on malformed arguments or an I/O failure creating the pool.
+pub fn multi_process_child(args: &[String]) -> ! {
+    let [path, op, k, granularity, coalesce, per_address] = args else {
+        panic!("{MP_CHILD_FLAG} <pool-path> <op> <k> <granularity> <coalesce> <per-address>");
+    };
+    let op = VictimOp::parse(op);
+    let k: u64 = k.parse().expect("crash index must be a u64");
+    let granularity = match granularity.as_str() {
+        "line" => FlushGranularity::Line,
+        "word" => FlushGranularity::Word,
+        g => panic!("unknown granularity {g}"),
+    };
+    let q = DssQueue::create_with(path, 1, 8, granularity).expect("creating the pool file");
+    q.pool().set_coalescing(coalesce == "on");
+    q.pool().set_per_address_drains(per_address == "on");
+    let h0 = q.register_thread().unwrap();
+    if op == VictimOp::Dequeue {
+        q.enqueue(h0, 7).unwrap();
+    }
+    q.pool().arm_crash_after(k);
+    // The CrashSignal unwind is this process's expected exit path; keep
+    // its panic report off the parent's terminal.
+    std::panic::set_hook(Box::new(|_| {}));
+    let r = catch_unwind(AssertUnwindSafe(|| run_victim(&q, h0, op)));
+    match r {
+        Ok(()) => {
+            println!("DONE");
+            std::io::stdout().flush().unwrap();
+            std::process::exit(0);
+        }
+        Err(p) if p.downcast_ref::<CrashSignal>().is_some() => {
+            println!("READY");
+            std::io::stdout().flush().unwrap();
+            // Park until the parent SIGKILLs us. The un-written-back tail
+            // of the victim operation is still only in this process's
+            // DRAM; the kill, not a simulated crash(), destroys it.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Err(p) => resume_unwind(p),
+    }
+}
+
+/// Removes the pool file on scope exit, kill paths included.
+struct PoolFileGuard(PathBuf);
+
+impl Drop for PoolFileGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// Sweeps every crash point of `op` with a **real process boundary**: for
+/// each `k`, `exe` (a binary handling [`MP_CHILD_FLAG`], normally
+/// `std::env::current_exe()`) is spawned as a child that creates a
+/// file-backed queue and runs the victim with a crash armed at `k`; once
+/// the child reports the crash fired, the parent SIGKILLs it, attaches
+/// the pool file from scratch, runs the Figure-6 adopt-then-resolve
+/// recovery, and validates `resolve`'s answer against the persisted state.
+///
+/// `config.granularity`, `config.coalesce` and `config.per_address` are
+/// forwarded to the child; `config.adversary` and
+/// `config.independent_recovery` are ignored — SIGKILL *is* the
+/// adversary (nothing pending survives it, like
+/// [`WritebackAdversary::None`]), and recovery is always the centralized
+/// attach-then-adopt path a fresh process must take.
+///
+/// # Panics
+///
+/// Panics if a child cannot be spawned, exits abnormally, or leaves a
+/// pool file the parent cannot attach; and on the first detectability
+/// violation (`SweepOutcome::violations` is always 0 on return).
+pub fn multi_process_sweep(op: VictimOp, config: &SweepConfig, exe: &Path) -> SweepOutcome {
+    let mut out = SweepOutcome::default();
+    for k in 1.. {
+        let path =
+            std::env::temp_dir().join(format!("dss-mp-{}-{op}-{k}.pool", std::process::id()));
+        let _guard = PoolFileGuard(path.clone());
+        let granularity = match config.granularity {
+            FlushGranularity::Line => "line",
+            FlushGranularity::Word => "word",
+        };
+        let onoff = |b| if b { "on" } else { "off" };
+        let mut child = Command::new(exe)
+            .arg(MP_CHILD_FLAG)
+            .arg(&path)
+            .arg(op.to_string())
+            .arg(k.to_string())
+            .arg(granularity)
+            .arg(onoff(config.coalesce))
+            .arg(onoff(config.per_address))
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawning the victim child process");
+        let mut line = String::new();
+        BufReader::new(child.stdout.take().expect("child stdout is piped"))
+            .read_line(&mut line)
+            .expect("reading the child's handshake line");
+        match line.trim() {
+            "READY" => {
+                // The armed crash fired; the child is parked. Kill it for
+                // real — on Unix this is SIGKILL, no drop glue runs.
+                child.kill().expect("killing the parked child");
+                let _ = child.wait();
+            }
+            "DONE" => {
+                // The operation completed before reaching k: past the last
+                // crash point, the sweep is over.
+                let _ = child.wait();
+                break;
+            }
+            other => panic!("unexpected child handshake {other:?} (crashed early?)"),
+        }
+        out.crash_points += 1;
+        // A fresh "process": nothing carried over but the file's path.
+        let q = DssQueue::attach(&path).expect("attaching the dead process's pool file");
+        let adopted = q.recover();
+        assert_eq!(adopted.len(), 1, "the dead process's slot must be orphaned");
+        q.rebuild_allocator();
+        classify(&q, op, q.resolve(adopted[0]), &mut out);
+        assert_eq!(out.violations, 0, "multi-process {op} crash at k={k} resolved inconsistently");
+    }
+    out
 }
 
 #[cfg(test)]

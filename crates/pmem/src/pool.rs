@@ -20,11 +20,13 @@
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::fs::OpenOptions;
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
 use std::sync::OnceLock;
 
-use crate::seg::{self, Layout};
-use crate::{hook, Memory, PAddr, Stats, StatsSnapshot};
+use crate::seg::{self, FileBacking, Layout, SegmentBacking};
+use crate::{hook, AttachError, Memory, PAddr, Stats, StatsSnapshot};
 
 /// Number of 64-bit words per 64-byte cache line.
 pub const WORDS_PER_LINE: u64 = 8;
@@ -204,6 +206,16 @@ impl Word {
             dirty: AtomicBool::new(false),
         }
     }
+
+    /// A word rebuilt from an attached pool file: volatile = persisted =
+    /// the file's value, nothing dirty (the dead owner's cache is gone).
+    fn persisted_at(value: u64) -> Self {
+        Word {
+            volatile: AtomicU64::new(value),
+            persisted: AtomicU64::new(value),
+            dirty: AtomicBool::new(false),
+        }
+    }
 }
 
 /// A pool of 64-bit persistent-memory words with a volatile-cache model.
@@ -248,6 +260,13 @@ pub struct PmemPool {
     flush_penalty: AtomicU64,
     coalesce: AtomicBool,
     per_address: AtomicBool,
+    /// Where the persistence domain lives: process DRAM (anonymous) or a
+    /// write-through pool file. See [`crate::seg`].
+    backing: SegmentBacking,
+    /// DRAM mirror of the superblock's application-config words
+    /// (`[kind, params…]`); all zeros on anonymous pools until
+    /// [`set_app_config`](Self::set_app_config).
+    app: Box<[AtomicU64]>,
 }
 
 impl PmemPool {
@@ -279,23 +298,169 @@ impl PmemPool {
     ///
     /// Panics if `words` is 0 or exceeds the 48-bit address space.
     pub fn with_mode(words: usize, granularity: FlushGranularity, mode: PoolMode) -> Self {
-        let layout = Layout::new(words);
-        let pool = PmemPool {
+        let pool =
+            Self::assemble(Layout::new(words), granularity, mode, SegmentBacking::Anonymous, 0);
+        // Materialise the initial capacity eagerly: constructors are cold,
+        // and the common case never grows.
+        pool.segment(0);
+        pool
+    }
+
+    /// The shared tail of every constructor: the in-DRAM side tables
+    /// (segment directory, stats shards, knobs) over a chosen backing.
+    fn assemble(
+        layout: Layout,
+        granularity: FlushGranularity,
+        mode: PoolMode,
+        backing: SegmentBacking,
+        generation: u64,
+    ) -> Self {
+        PmemPool {
             id: NEXT_POOL_ID.fetch_add(1, Relaxed),
             layout,
             segments: (0..seg::SLOTS).map(|_| OnceLock::new()).collect(),
             granularity,
             instrumented: mode == PoolMode::Instrumented,
             stats: Stats::new(),
-            generation: AtomicU64::new(0),
+            generation: AtomicU64::new(generation),
             flush_penalty: AtomicU64::new(0),
             coalesce: AtomicBool::new(false),
             per_address: AtomicBool::new(false),
+            backing,
+            app: (0..1 + seg::APP_WORDS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Creates (or truncates) a **file-backed** pool at `path`: the file
+    /// holds the pool's entire persistence domain, so a process killed at
+    /// any instruction leaves behind exactly what was flushed-and-fenced,
+    /// and a fresh process rebuilds the pool with [`attach`](Self::attach).
+    ///
+    /// Volatile values, dirty bits, and pended coalesced flushes stay in
+    /// process DRAM — dying *is* the crash, no reversion step needed.
+    /// Writebacks write through to the file. One live process per pool
+    /// file at a time (like PMDK pools); attaching while another process
+    /// is writing is undefined.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Io`] if the file cannot be created or written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words` is 0 or exceeds the 48-bit address space.
+    pub fn create<P: AsRef<Path>>(
+        path: P,
+        words: usize,
+        granularity: FlushGranularity,
+    ) -> Result<Self, AttachError> {
+        Self::create_with(path, words, granularity, PoolMode::Instrumented)
+    }
+
+    /// [`create`](Self::create) with an explicit [`PoolMode`].
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Io`] if the file cannot be created or written.
+    pub fn create_with<P: AsRef<Path>>(
+        path: P,
+        words: usize,
+        granularity: FlushGranularity,
+        mode: PoolMode,
+    ) -> Result<Self, AttachError> {
+        let layout = Layout::new(words);
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        file.set_len(seg::HEADER_BYTES)?;
+        let fb = FileBacking::new(file, 0);
+        fb.write_sb(seg::SB_MAGIC, seg::MAGIC);
+        fb.write_sb(seg::SB_VERSION, seg::LAYOUT_VERSION);
+        fb.write_sb(seg::SB_BASE, layout.base());
+        fb.write_sb(seg::SB_GRANULARITY, granularity as u64);
+        fb.write_sb(seg::SB_GENERATION, 0);
+        fb.write_sb(seg::SB_COMMITTED, 0);
+        let pool = Self::assemble(layout, granularity, mode, SegmentBacking::File(fb), 0);
+        pool.segment(0); // commits segment 0 in the file
+        Ok(pool)
+    }
+
+    /// Attaches to an existing pool file with **no in-process state**: the
+    /// superblock is validated, every committed segment's persisted values
+    /// are read back (volatile = persisted, nothing dirty), and the
+    /// in-DRAM side tables (stats shards, pending-flush rings, knobs) are
+    /// rebuilt fresh.
+    ///
+    /// Attaching is a crash boundary: the previous owner is gone, so the
+    /// crash generation is bumped (durably, in the superblock) — which is
+    /// what lets [`Registry::begin_recovery`](crate::Registry::begin_recovery)
+    /// orphan the dead process's slots exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AttachError`] variant: I/O failure, bad magic/version, or an
+    /// internally inconsistent superblock.
+    pub fn attach<P: AsRef<Path>>(path: P) -> Result<Self, AttachError> {
+        Self::attach_with(path, PoolMode::Instrumented)
+    }
+
+    /// [`attach`](Self::attach) with an explicit [`PoolMode`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`AttachError`] variant: I/O failure, bad magic/version, or an
+    /// internally inconsistent superblock.
+    pub fn attach_with<P: AsRef<Path>>(path: P, mode: PoolMode) -> Result<Self, AttachError> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let fb = FileBacking::new(file, 0);
+        let magic = fb.read_sb(seg::SB_MAGIC)?;
+        if magic != seg::MAGIC {
+            return Err(AttachError::BadMagic { found: magic });
+        }
+        let version = fb.read_sb(seg::SB_VERSION)?;
+        if version != seg::LAYOUT_VERSION {
+            return Err(AttachError::BadVersion { found: version });
+        }
+        let layout = Layout::from_base(fb.read_sb(seg::SB_BASE)?)?;
+        let granularity = match fb.read_sb(seg::SB_GRANULARITY)? {
+            0 => FlushGranularity::Line,
+            1 => FlushGranularity::Word,
+            _ => return Err(AttachError::Corrupt("unknown flush-granularity code")),
         };
-        // Materialise the initial capacity eagerly: constructors are cold,
-        // and the common case never grows.
-        pool.segment(0);
-        pool
+        let committed = fb.read_sb(seg::SB_COMMITTED)?;
+        if committed == 0 || committed >> seg::SLOTS != 0 {
+            return Err(AttachError::Corrupt("committed-segment bitmap out of range"));
+        }
+        // The previous owner is dead: attaching is the crash boundary, so
+        // the new generation is published durably before any operation.
+        let generation = fb.read_sb(seg::SB_GENERATION)?.wrapping_add(1);
+        fb.write_sb(seg::SB_GENERATION, generation);
+        let file_len = fb.read_len()?;
+        let mut app = [0u64; 1 + seg::APP_WORDS];
+        for (w, slot) in app.iter_mut().enumerate() {
+            *slot = fb.read_sb(seg::SB_APP_KIND + w as u64)?;
+        }
+        let mut segments: Vec<(usize, Vec<u64>)> = Vec::new();
+        for slot in 0..seg::SLOTS {
+            if committed & (1 << slot) == 0 {
+                continue;
+            }
+            if file_len < seg::HEADER_BYTES + 8 * layout.end(slot) {
+                return Err(AttachError::Corrupt("file shorter than its committed watermark"));
+            }
+            segments.push((slot, fb.read_segment(&layout, slot)?));
+        }
+        fb.set_committed(committed);
+        let pool = Self::assemble(layout, granularity, mode, SegmentBacking::File(fb), generation);
+        for (slot, values) in segments {
+            let words: Box<[Word]> = values.into_iter().map(Word::persisted_at).collect();
+            if pool.segments[slot].set(words).is_err() {
+                unreachable!("attach owns the pool; no racing materialisation");
+            }
+        }
+        for (w, &v) in app.iter().enumerate() {
+            pool.app[w].store(v, SeqCst);
+        }
+        Ok(pool)
     }
 
     /// The pool's instrumentation mode.
@@ -369,8 +534,15 @@ impl PmemPool {
     /// stable for the pool's lifetime.
     #[inline]
     fn segment(&self, slot: usize) -> &[Word] {
-        self.segments[slot]
-            .get_or_init(|| (0..self.layout.len(slot)).map(|_| Word::new()).collect())
+        self.segments[slot].get_or_init(|| {
+            // File-backed growth is crash-atomic: the file covers the new
+            // segment (zeros) and its committed bit is published before
+            // any word of it can be written back.
+            if let SegmentBacking::File(fb) = &self.backing {
+                fb.commit_segment(&self.layout, slot);
+            }
+            (0..self.layout.len(slot)).map(|_| Word::new()).collect()
+        })
     }
 
     #[inline]
@@ -499,15 +671,15 @@ impl PmemPool {
     /// Writes back every word of `unit` (line base or word index).
     fn writeback_unit(&self, unit: u64) {
         match self.granularity {
-            FlushGranularity::Word => self.writeback(self.word(PAddr::from_index(unit))),
+            FlushGranularity::Word => self.writeback(self.word(PAddr::from_index(unit)), unit),
             FlushGranularity::Line => {
                 // Segment boundaries are line-aligned (see `crate::seg`),
                 // so the whole line lives in the unit's segment.
                 let slot = self.layout.slot_of(unit);
                 let seg = self.segment(slot);
                 let off = (unit - self.layout.start(slot)) as usize;
-                for w in &seg[off..off + WORDS_PER_LINE as usize] {
-                    self.writeback(w);
+                for (k, w) in seg[off..off + WORDS_PER_LINE as usize].iter().enumerate() {
+                    self.writeback(w, unit + k as u64);
                 }
             }
         }
@@ -721,15 +893,20 @@ impl PmemPool {
         });
     }
 
-    fn writeback(&self, w: &Word) {
+    fn writeback(&self, w: &Word, index: u64) {
         // Snapshot-then-store: a racing store may or may not be included,
         // which is exactly the latitude real hardware has for a value
         // written after the flush began. Equal values skip the stores —
         // storing an identical persisted value is a no-op, and this keeps
-        // whole-line flushes cheap (most words of a line are clean).
+        // whole-line flushes cheap (most words of a line are clean). On a
+        // file-backed pool the persisted shadow writes through to the pool
+        // file: reaching the persistence domain IS reaching the file.
         let v = w.volatile.load(SeqCst);
         if w.persisted.load(SeqCst) != v {
             w.persisted.store(v, SeqCst);
+            if let SegmentBacking::File(fb) = &self.backing {
+                fb.write_word(index, v);
+            }
         }
         w.dirty.store(false, SeqCst);
     }
@@ -755,7 +932,8 @@ impl PmemPool {
         };
         for slot in 0..seg::SLOTS {
             let Some(seg) = self.segments[slot].get() else { continue };
-            for w in seg.iter() {
+            let start = self.layout.start(slot);
+            for (i, w) in seg.iter().enumerate() {
                 if w.dirty.load(SeqCst) {
                     let persist = match adversary {
                         WritebackAdversary::None => false,
@@ -766,14 +944,21 @@ impl PmemPool {
                         }
                     };
                     if persist {
-                        w.persisted.store(w.volatile.load(SeqCst), SeqCst);
+                        let v = w.volatile.load(SeqCst);
+                        w.persisted.store(v, SeqCst);
+                        if let SegmentBacking::File(fb) = &self.backing {
+                            fb.write_word(start + i as u64, v);
+                        }
                     }
                     w.dirty.store(false, SeqCst);
                 }
                 w.volatile.store(w.persisted.load(SeqCst), SeqCst);
             }
         }
-        self.generation.fetch_add(1, SeqCst);
+        let generation = self.generation.fetch_add(1, SeqCst) + 1;
+        if let SegmentBacking::File(fb) = &self.backing {
+            fb.write_sb(seg::SB_GENERATION, generation);
+        }
     }
 
     /// Arms the **current thread** to crash (unwind with
@@ -823,6 +1008,59 @@ impl PmemPool {
     /// last flush.
     pub fn is_dirty(&self, addr: PAddr) -> bool {
         self.word(addr).dirty.load(SeqCst)
+    }
+
+    /// Whether this pool's persistence domain is a file (created with
+    /// [`create`](Self::create) or [`attach`](Self::attach)) rather than
+    /// anonymous process memory.
+    pub fn is_file_backed(&self) -> bool {
+        matches!(self.backing, SegmentBacking::File(_))
+    }
+
+    /// Number of application-config words available to
+    /// [`set_app_config`](Self::set_app_config).
+    pub const APP_CONFIG_WORDS: usize = seg::APP_WORDS;
+
+    /// Records the owning structure's identity in the pool: a `kind` tag
+    /// plus up to [`APP_CONFIG_WORDS`](Self::APP_CONFIG_WORDS) parameter
+    /// words (thread counts, nodes per thread, …). On a file-backed pool
+    /// the words are written through to the superblock, which is what
+    /// makes a pool file *self-describing*: `attach` needs nothing but the
+    /// path. Anonymous pools keep them in DRAM (useful for symmetry in
+    /// tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is 0 (the "unset" sentinel) or `params` exceeds
+    /// [`APP_CONFIG_WORDS`](Self::APP_CONFIG_WORDS).
+    pub fn set_app_config(&self, kind: u64, params: &[u64]) {
+        assert!(kind != 0, "app kind 0 is the unset sentinel");
+        assert!(params.len() <= seg::APP_WORDS, "too many app-config words");
+        self.app[0].store(kind, SeqCst);
+        for (i, &p) in params.iter().enumerate() {
+            self.app[1 + i].store(p, SeqCst);
+        }
+        if let SegmentBacking::File(fb) = &self.backing {
+            fb.write_sb(seg::SB_APP_KIND, kind);
+            for (i, &p) in params.iter().enumerate() {
+                fb.write_sb(seg::SB_APP + i as u64, p);
+            }
+        }
+    }
+
+    /// The structure-kind tag recorded by
+    /// [`set_app_config`](Self::set_app_config), or 0 if none was.
+    pub fn app_kind(&self) -> u64 {
+        self.app[0].load(SeqCst)
+    }
+
+    /// The application-config parameter words (zeros where unset).
+    pub fn app_config(&self) -> [u64; seg::APP_WORDS] {
+        let mut out = [0u64; seg::APP_WORDS];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.app[1 + i].load(SeqCst);
+        }
+        out
     }
 }
 
@@ -923,6 +1161,13 @@ impl fmt::Debug for PmemPool {
             .field("granularity", &self.granularity)
             .field("mode", &self.mode())
             .field("generation", &self.generation.load(SeqCst))
+            .field(
+                "backing",
+                &match self.backing {
+                    SegmentBacking::Anonymous => "anonymous",
+                    SegmentBacking::File(_) => "file",
+                },
+            )
             .finish_non_exhaustive()
     }
 }
@@ -1384,6 +1629,130 @@ mod tests {
         p.flush(addr(3));
         p.drain_line(addr(1));
         assert_eq!(p.persisted_value(addr(1)), 0, "stale pending entry discarded");
+    }
+
+    /// A unique temp path for file-backing tests (no external tempdir
+    /// crate in the offline workspace).
+    fn temp_pool_path(tag: &str) -> std::path::PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Relaxed);
+        std::env::temp_dir().join(format!("dss-pool-test-{}-{tag}-{n}", std::process::id()))
+    }
+
+    struct TempFile(std::path::PathBuf);
+    impl Drop for TempFile {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn create_attach_round_trip_preserves_flushed_state() {
+        let t = TempFile(temp_pool_path("roundtrip"));
+        {
+            let p = PmemPool::create(&t.0, 64, FlushGranularity::Line).unwrap();
+            assert!(p.is_file_backed());
+            p.store(addr(1), 41);
+            p.flush(addr(1));
+            p.store(addr(2), 99); // never flushed: must NOT survive
+            p.set_app_config(7, &[3, 4]);
+        } // pool dropped — simulates the process dying
+        let p = PmemPool::attach(&t.0).unwrap();
+        assert!(p.is_file_backed());
+        assert_eq!(p.granularity(), FlushGranularity::Line);
+        assert_eq!(p.load(addr(1)), 41, "flushed state survives the process");
+        assert_eq!(p.load(addr(2)), 0, "unflushed state dies with the process");
+        assert!(!p.is_dirty(addr(1)));
+        assert_eq!(p.generation(), 1, "attach is a crash boundary");
+        assert_eq!(p.app_kind(), 7);
+        assert_eq!(p.app_config()[..2], [3, 4]);
+    }
+
+    #[test]
+    fn attach_loses_pended_coalesced_flushes() {
+        let t = TempFile(temp_pool_path("pended"));
+        {
+            let p = PmemPool::create(&t.0, 64, FlushGranularity::Word).unwrap();
+            p.set_coalescing(true);
+            p.store(addr(1), 7);
+            p.flush(addr(1)); // pended, never fenced
+            p.store(addr(2), 8);
+            p.flush(addr(2));
+            p.fence(); // both written back at the fence
+            p.store(addr(3), 9);
+            p.flush(addr(3)); // pended again, no fence before "death"
+        }
+        let p = PmemPool::attach(&t.0).unwrap();
+        assert_eq!(p.load(addr(1)), 7);
+        assert_eq!(p.load(addr(2)), 8);
+        assert_eq!(p.load(addr(3)), 0, "un-fenced CLWB dies with the process");
+    }
+
+    #[test]
+    fn attach_rejects_garbage_and_missing_files() {
+        let t = TempFile(temp_pool_path("garbage"));
+        std::fs::write(&t.0, b"definitely not a pool file, far too short").unwrap();
+        match PmemPool::attach(&t.0) {
+            Err(AttachError::Io(_)) | Err(AttachError::BadMagic { .. }) => {}
+            other => panic!("expected Io/BadMagic, got {other:?}"),
+        }
+        let missing = temp_pool_path("missing");
+        assert!(matches!(PmemPool::attach(&missing), Err(AttachError::Io(_))));
+    }
+
+    #[test]
+    fn attach_rejects_bad_version_and_corrupt_superblock() {
+        use std::os::unix::fs::FileExt;
+        let t = TempFile(temp_pool_path("version"));
+        drop(PmemPool::create(&t.0, 64, FlushGranularity::Line).unwrap());
+        let f = std::fs::OpenOptions::new().write(true).open(&t.0).unwrap();
+        f.write_all_at(&99u64.to_le_bytes(), 8 * seg::SB_VERSION).unwrap();
+        assert!(matches!(PmemPool::attach(&t.0), Err(AttachError::BadVersion { found: 99 })));
+        f.write_all_at(&seg::LAYOUT_VERSION.to_le_bytes(), 8 * seg::SB_VERSION).unwrap();
+        f.write_all_at(&3u64.to_le_bytes(), 8 * seg::SB_GRANULARITY).unwrap();
+        let e = PmemPool::attach(&t.0).unwrap_err();
+        assert!(matches!(e, AttachError::Corrupt(_)), "bad granularity code: {e}");
+    }
+
+    #[test]
+    fn file_backed_growth_is_crash_atomic_across_attach() {
+        let t = TempFile(temp_pool_path("growth"));
+        let far = addr(4096);
+        {
+            let p = PmemPool::create(&t.0, 16, FlushGranularity::Line).unwrap();
+            p.store(far, 55); // materialises (and commits) a far segment
+            p.flush(far);
+        }
+        let p = PmemPool::attach(&t.0).unwrap();
+        assert_eq!(p.load(far), 55, "grown segment survives via the watermark");
+        assert!(p.capacity() > 4096);
+    }
+
+    #[test]
+    fn in_process_crash_works_on_file_backed_pools() {
+        let t = TempFile(temp_pool_path("crash"));
+        let p = PmemPool::create(&t.0, 64, FlushGranularity::Line).unwrap();
+        p.store(addr(1), 1);
+        p.flush(addr(1));
+        p.store(addr(1), 2); // unflushed overwrite
+        p.crash(&WritebackAdversary::None);
+        assert_eq!(p.load(addr(1)), 1);
+        assert_eq!(p.generation(), 1);
+        drop(p);
+        // The crash's generation bump is durable in the superblock.
+        let p = PmemPool::attach(&t.0).unwrap();
+        assert_eq!(p.generation(), 2, "in-process crash + attach boundary");
+        assert_eq!(p.load(addr(1)), 1);
+    }
+
+    #[test]
+    fn anonymous_pools_report_no_file_backing() {
+        let p = PmemPool::with_capacity(8);
+        assert!(!p.is_file_backed());
+        // App config still round-trips in DRAM for API symmetry.
+        p.set_app_config(3, &[1]);
+        assert_eq!(p.app_kind(), 3);
+        assert_eq!(p.app_config()[0], 1);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //!
 //! ```text
 //! header line:  [ R_GEN | nslots | 0.. ]
-//! slot i line:  [ state word | lease | nonce | 0.. ]
+//! slot i line:  [ state word | lease | nonce | pid | 0.. ]
 //! state word =  (slot_gen << 2) | state     state ∈ {FREE=0, LIVE=1}
 //! ```
 //!
@@ -49,6 +49,23 @@
 //! adopted. The bump writes `max(R_GEN, max slot_gen) + 1`, which keeps
 //! orphan detection sound even if a previous recovery's `R_GEN` write was
 //! itself lost to the crash while some adoptions persisted.
+//!
+//! # Cross-process
+//!
+//! Nothing in a slot transition is process-local: every transition is one
+//! CAS on a plain pool word (futex-free — no locks, no thread parking, no
+//! in-DRAM ownership table), so the same protocol works when the pool is
+//! a file shared across process lifetimes. A lease is keyed by
+//! `(pid, nonce)`: [`mint`](Registry::acquire) records the owning process
+//! id at `W_PID` and derives the nonce from a per-process counter mixed
+//! with that pid, so leases minted by different processes on the same
+//! pool file never collide. When the owner is a dead *process* (SIGKILL,
+//! power loss), [`PmemPool::attach`](crate::PmemPool::attach) bumps the
+//! crash generation, [`Registry::attach`] rebinds to the formatted region
+//! without reformatting it, and the ordinary
+//! `begin_recovery`/`adopt_orphans` pass reclaims the dead process's
+//! slots — exactly the dead-thread path, because ORPHANED never cared
+//! what kind of owner died.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
@@ -64,6 +81,7 @@ const STATE_MASK: u64 = 0b11;
 const W_STATE: u64 = 0;
 const W_LEASE: u64 = 1;
 const W_NONCE: u64 = 2;
+const W_PID: u64 = 3;
 
 /// Sentinel for "no crash generation orphaned yet".
 const NEVER: u64 = u64::MAX;
@@ -212,10 +230,44 @@ impl<M: Memory> Registry<M> {
             r.pool.store(a.offset(W_STATE), STATE_FREE);
             r.pool.store(a.offset(W_LEASE), 0);
             r.pool.store(a.offset(W_NONCE), 0);
+            r.pool.store(a.offset(W_PID), 0);
             r.pool.flush(a);
         }
         r.pool.drain();
         r
+    }
+
+    /// Rebinds to a registry a previous process already formatted at
+    /// `base`, validating the persisted header instead of rewriting it —
+    /// slot states, leases, and owner pids are exactly as the dead
+    /// process left them, which is what lets the attacher's
+    /// `begin_recovery`/`adopt_orphans` pass find its orphans.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Corrupt`] if `base` is not line-aligned, the region
+    /// was never formatted, or the slot count is implausible.
+    pub fn attach(pool: Arc<M>, base: u64) -> Result<Self, crate::AttachError> {
+        use crate::AttachError;
+        if !base.is_multiple_of(WORDS_PER_LINE) {
+            return Err(AttachError::Corrupt("registry base not line-aligned"));
+        }
+        let generation = pool.peek(PAddr::from_index(base));
+        if generation == 0 {
+            return Err(AttachError::Corrupt("registry region was never formatted"));
+        }
+        let nslots = pool.peek(PAddr::from_index(base + 1));
+        if nslots == 0 || nslots > (1 << 20) {
+            return Err(AttachError::Corrupt("implausible registry slot count"));
+        }
+        Ok(Registry {
+            pool,
+            base,
+            nslots: nslots as usize,
+            id: REGISTRY_IDS.fetch_add(1, SeqCst),
+            nonces: AtomicU64::new(1),
+            last_bump: AtomicU64::new(NEVER),
+        })
     }
 
     fn gen_addr(&self) -> PAddr {
@@ -277,13 +329,37 @@ impl<M: Memory> Registry<M> {
     /// which is exactly a lease that died immediately.
     fn mint(&self, slot: usize) -> ThreadHandle {
         let a = self.slot_addr(slot);
-        let nonce = self.nonces.fetch_add(1, SeqCst).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let nonce = self.next_nonce();
         let lease = self.pool.load(a.offset(W_LEASE)) + 1;
         self.pool.store(a.offset(W_LEASE), lease);
         self.pool.store(a.offset(W_NONCE), nonce);
+        self.pool.store(a.offset(W_PID), u64::from(std::process::id()));
         self.pool.flush(a);
         self.pool.drain_line(a);
         ThreadHandle { slot: slot as u32, nonce, registry: self.id }
+    }
+
+    /// A lease nonce unique across threads *and* processes: the process
+    /// id seeds the high bits before the multiplicative hash, so two
+    /// processes minting on the same pool file never produce colliding
+    /// leases no matter how their counters align.
+    fn next_nonce(&self) -> u64 {
+        let raw = self.nonces.fetch_add(1, SeqCst) ^ (u64::from(std::process::id()) << 32);
+        raw.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+    }
+
+    /// The process id recorded by the slot's most recent lease (0 if the
+    /// slot was never leased). Diagnostic: tells an adopter *which* dead
+    /// process owned an orphan.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::OutOfRange`] if `slot >= nslots`.
+    pub fn slot_pid(&self, slot: usize) -> Result<u64, SlotError> {
+        if slot >= self.nslots {
+            return Err(SlotError::OutOfRange { slot, nslots: self.nslots });
+        }
+        Ok(self.pool.peek(self.slot_addr(slot).offset(W_PID)))
     }
 
     /// Claims the lowest FREE slot and mints a handle for it.
@@ -540,6 +616,36 @@ mod tests {
             let h1 = r.adopt(1).unwrap();
             assert_eq!(h1.slot(), 1);
         }
+    }
+
+    #[test]
+    fn attach_rebinds_without_reformatting() {
+        let r = fresh(3);
+        let h0 = r.acquire().unwrap();
+        let _h1 = r.acquire().unwrap();
+        assert_eq!(r.slot_pid(0).unwrap(), u64::from(std::process::id()));
+        // Simulate the owner dying and a fresh process attaching: the pool
+        // crashes, then a NEW registry instance binds to the same region.
+        r.pool.crash(&WritebackAdversary::None);
+        let r2 = Registry::attach(Arc::clone(&r.pool), WORDS_PER_LINE).unwrap();
+        assert_eq!(r2.nslots(), 3, "slot count read back from the header");
+        assert_ne!(r2.id(), r.id(), "a fresh instance, not a reformat");
+        r2.begin_recovery();
+        assert_eq!(r2.census(), (1, 0, 2), "dead owner's slots are orphans");
+        let adopted = r2.adopt_orphans();
+        assert_eq!(adopted.len(), 2);
+        // Handles minted pre-crash belong to the old instance.
+        assert_eq!(r2.release(h0), Err(SlotError::ForeignHandle));
+    }
+
+    #[test]
+    fn attach_rejects_unformatted_and_unaligned_regions() {
+        let pool = Arc::new(PmemPool::with_capacity(256));
+        assert!(Registry::<PmemPool>::attach(Arc::clone(&pool), 3).is_err());
+        assert!(
+            Registry::<PmemPool>::attach(pool, WORDS_PER_LINE).is_err(),
+            "generation 0 means never formatted"
+        );
     }
 
     #[test]

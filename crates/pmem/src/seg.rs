@@ -1,4 +1,4 @@
-//! Address layout of a growable segmented pool.
+//! Address layout and backing store of a growable segmented pool.
 //!
 //! A pool's words live in up to [`SLOTS`] independently-allocated segments
 //! listed in a fixed directory, so the pool can grow lock-free: segment 0
@@ -13,8 +13,228 @@
 //! [`WORDS_PER_LINE`](crate::WORDS_PER_LINE) and every later segment's
 //! length is `base << k`, segment boundaries always fall on cache-line
 //! boundaries: a line flush never straddles two segments.
+//!
+//! # Segment backing
+//!
+//! A pool's *persistence domain* lives behind a [`SegmentBacking`]:
+//!
+//! * [`SegmentBacking::Anonymous`] — persisted shadows live in process
+//!   DRAM, exactly the pre-file behaviour. Nothing outlives the process.
+//! * [`SegmentBacking::File`] — persisted shadows are written through to a
+//!   pool *file*, so a process that dies (even by `SIGKILL`) leaves behind
+//!   precisely its persistence domain: everything flushed-and-fenced
+//!   survives, everything volatile (unflushed stores, pended coalesced
+//!   flushes) dies with the process, with no crash-reversion step needed.
+//!   A fresh process [`attach`](crate::PmemPool::attach)es by reading the
+//!   file back.
+//!
+//! # On-disk format
+//!
+//! The file starts with a 4096-byte superblock of little-endian u64 words
+//! (`SB_*` offsets below): magic, layout version, segment-0 length, flush
+//! granularity, crash generation, the committed-segment bitmap, and eight
+//! application-config words a data structure uses to make its pool file
+//! self-describing. Word `i`'s persisted value lives at byte
+//! `HEADER_BYTES + 8 * i`.
+//!
+//! **Crash-atomic growth**: materialising segment `s` first extends the
+//! file to cover `[0, end(s))` (new bytes read as zero), *then* publishes
+//! bit `s` of the committed bitmap. A crash between the two leaves a
+//! longer file whose extra bytes no attach will ever read — the bitmap is
+//! the watermark of record. Reads and writebacks stay lock-free; only the
+//! cold grow path serialises on a mutex.
+
+use std::fmt;
+use std::fs::File;
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+use std::sync::Mutex;
 
 use crate::WORDS_PER_LINE;
+
+/// Superblock word offsets (u64 indices into the header).
+pub(crate) const SB_MAGIC: u64 = 0;
+pub(crate) const SB_VERSION: u64 = 1;
+pub(crate) const SB_BASE: u64 = 2;
+pub(crate) const SB_GRANULARITY: u64 = 3;
+pub(crate) const SB_GENERATION: u64 = 4;
+pub(crate) const SB_COMMITTED: u64 = 5;
+pub(crate) const SB_APP_KIND: u64 = 6;
+pub(crate) const SB_APP: u64 = 7;
+
+/// Number of application-config words after [`SB_APP_KIND`].
+pub(crate) const APP_WORDS: usize = 8;
+
+/// `b"DSSPOOL1"` as a little-endian u64.
+pub(crate) const MAGIC: u64 = u64::from_le_bytes(*b"DSSPOOL1");
+
+/// Bumped whenever the on-disk layout changes incompatibly.
+pub(crate) const LAYOUT_VERSION: u64 = 1;
+
+/// Byte length of the superblock; word data starts here.
+pub(crate) const HEADER_BYTES: u64 = 4096;
+
+/// Why a pool file could not be created or attached.
+///
+/// Implements [`std::error::Error`], so harness binaries propagate it
+/// with `?` instead of `map_err`/`unwrap` chains.
+#[derive(Debug)]
+pub enum AttachError {
+    /// The underlying file operation failed.
+    Io(io::Error),
+    /// The file does not start with the pool magic — not a pool file.
+    BadMagic {
+        /// The value found where [`MAGIC`] was expected.
+        found: u64,
+    },
+    /// The file is a pool, but of an incompatible layout version.
+    BadVersion {
+        /// The version the file declares.
+        found: u64,
+    },
+    /// A superblock field is internally inconsistent (bad granularity
+    /// code, unaligned segment-0 length, committed bitmap out of range,
+    /// file shorter than its committed watermark promises, …).
+    Corrupt(&'static str),
+    /// The file holds a different data structure than the attacher
+    /// expected (application-kind word mismatch).
+    AppMismatch {
+        /// The kind the attaching structure expected.
+        expected: u64,
+        /// The kind recorded in the file.
+        found: u64,
+    },
+}
+
+impl fmt::Display for AttachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttachError::Io(e) => write!(f, "pool file I/O error: {e}"),
+            AttachError::BadMagic { found } => {
+                write!(f, "not a pool file (magic {found:#018x})")
+            }
+            AttachError::BadVersion { found } => {
+                write!(f, "unsupported pool layout version {found}")
+            }
+            AttachError::Corrupt(what) => write!(f, "corrupt pool file: {what}"),
+            AttachError::AppMismatch { expected, found } => {
+                write!(f, "pool file holds structure kind {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AttachError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttachError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for AttachError {
+    fn from(e: io::Error) -> Self {
+        AttachError::Io(e)
+    }
+}
+
+/// Where a pool's persistence domain lives. See the [module docs](self).
+pub(crate) enum SegmentBacking {
+    /// Persisted shadows in process DRAM (the historical behaviour).
+    Anonymous,
+    /// Persisted shadows written through to a pool file.
+    File(FileBacking),
+}
+
+/// The file half of [`SegmentBacking::File`]: the handle, the committed
+/// bitmap mirror, and the growth lock.
+pub(crate) struct FileBacking {
+    file: File,
+    /// DRAM mirror of the [`SB_COMMITTED`] bitmap (bit `s` = segment `s`
+    /// exists in the file).
+    committed: AtomicU64,
+    /// Serialises the cold grow path (extend file, then publish the bit).
+    grow: Mutex<()>,
+}
+
+impl FileBacking {
+    pub(crate) fn new(file: File, committed: u64) -> Self {
+        FileBacking { file, committed: AtomicU64::new(committed), grow: Mutex::new(()) }
+    }
+
+    /// Byte offset of word `index`'s persisted value.
+    fn data_offset(index: u64) -> u64 {
+        HEADER_BYTES + 8 * index
+    }
+
+    /// Writes one superblock word. Panics on I/O failure: the simulator
+    /// treats a failing pool file like failing DIMM hardware.
+    pub(crate) fn write_sb(&self, word: u64, value: u64) {
+        self.file
+            .write_all_at(&value.to_le_bytes(), 8 * word)
+            .expect("pool file superblock write failed");
+    }
+
+    pub(crate) fn read_sb(&self, word: u64) -> io::Result<u64> {
+        let mut buf = [0u8; 8];
+        self.file.read_exact_at(&mut buf, 8 * word)?;
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Writes through one word's persisted value.
+    pub(crate) fn write_word(&self, index: u64, value: u64) {
+        self.file
+            .write_all_at(&value.to_le_bytes(), Self::data_offset(index))
+            .expect("pool file write failed");
+    }
+
+    /// Reads segment `slot`'s persisted values (the caller checked the
+    /// committed bit).
+    pub(crate) fn read_segment(&self, layout: &Layout, slot: usize) -> io::Result<Vec<u64>> {
+        let len = layout.len(slot) as usize;
+        let mut bytes = vec![0u8; len * 8];
+        self.file.read_exact_at(&mut bytes, Self::data_offset(layout.start(slot)))?;
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
+    }
+
+    /// Installs the bitmap read from an attached file's superblock.
+    pub(crate) fn set_committed(&self, bits: u64) {
+        self.committed.store(bits, SeqCst);
+    }
+
+    /// Current file length in bytes.
+    pub(crate) fn read_len(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    /// Crash-atomically commits segment `slot`: extends the file to cover
+    /// `[0, end(slot))` first (fresh bytes read as zero), then publishes
+    /// the committed bit — the watermark ordering that makes growth safe
+    /// against a kill between the two steps.
+    pub(crate) fn commit_segment(&self, layout: &Layout, slot: usize) {
+        let bit = 1u64 << slot;
+        if self.committed.load(SeqCst) & bit != 0 {
+            return;
+        }
+        let _g = self.grow.lock().expect("grow lock poisoned");
+        if self.committed.load(SeqCst) & bit != 0 {
+            return;
+        }
+        let want = Self::data_offset(layout.end(slot));
+        let have = self.file.metadata().expect("pool file metadata failed").len();
+        if have < want {
+            self.file.set_len(want).expect("pool file extend failed");
+        }
+        let committed = self.committed.load(SeqCst) | bit;
+        self.write_sb(SB_COMMITTED, committed);
+        self.committed.store(committed, SeqCst);
+    }
+}
 
 /// Number of directory slots. Segment 0 holds at least one cache line
 /// (8 words) and capacity doubles per slot, so 48 slots cover the entire
@@ -43,9 +263,20 @@ impl Layout {
     }
 
     /// Initial capacity (segment 0 length) in words.
-    #[cfg(test)]
     pub(crate) fn base(&self) -> u64 {
         self.base
+    }
+
+    /// Rebuilds a layout from a superblock's [`SB_BASE`] word, validating
+    /// the invariants [`Layout::new`] establishes by construction.
+    pub(crate) fn from_base(base: u64) -> Result<Self, AttachError> {
+        if base == 0 || !base.is_multiple_of(WORDS_PER_LINE) {
+            return Err(AttachError::Corrupt("segment-0 length not a positive line multiple"));
+        }
+        if base > crate::tag::ADDR_MASK {
+            return Err(AttachError::Corrupt("segment-0 length exceeds the address space"));
+        }
+        Ok(Layout { base })
     }
 
     /// Directory slot containing word index `i`.

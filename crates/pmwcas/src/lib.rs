@@ -31,4 +31,4 @@ mod arena;
 mod queue;
 
 pub use arena::{PmwcasArena, MAX_PRIVATE, MAX_SHARED};
-pub use queue::{CasWithEffectQueue, CweFull, CweResolved, CweResolvedOp};
+pub use queue::{CasWithEffectQueue, CweFull, CweResolved, CweResolvedOp, KIND_CWE_QUEUE};

@@ -5,8 +5,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr, PmemPool, Registry,
-    SlotError, ThreadHandle, WORDS_PER_LINE,
+    tag, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr,
+    PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -26,6 +26,46 @@ const UNCLAIMED: u64 = 0;
 const A_HEAD: u64 = WORDS_PER_LINE;
 const A_TAIL: u64 = 2 * WORDS_PER_LINE;
 const A_X_BASE: u64 = 3 * WORDS_PER_LINE;
+
+// Each thread has at most one PMwCAS in flight, but helpers and EBR lag
+// keep a few descriptors alive.
+const DESCS_PER_THREAD: u64 = 128;
+
+/// Superblock structure-kind word of a pool file holding a
+/// [`CasWithEffectQueue`]. Both variants share the kind: whether the file
+/// was created General or Fast is the third application-config word, and
+/// [`attach`](CasWithEffectQueue::attach) reconstructs whichever variant
+/// the file records.
+pub const KIND_CWE_QUEUE: u64 = 9;
+
+/// The CASWithEffect queue's pool layout, derived from
+/// `(nthreads, nodes_per_thread)` alone — which is exactly why those
+/// parameters in a pool file's superblock make the file self-describing.
+/// (The `fast` flag changes protocol, not layout.)
+struct CweLayout {
+    sentinel: u64,
+    node_region: u64,
+    desc_region: u64,
+    reg_base: u64,
+    words: u64,
+}
+
+impl CweLayout {
+    fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        assert!(nthreads > 0 && nodes_per_thread > 0);
+        let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
+        let sentinel = x_end.next_multiple_of(NODE_WORDS);
+        let node_region = sentinel + NODE_WORDS;
+        let node_words = nodes_per_thread * nthreads as u64 * NODE_WORDS;
+        // Descriptor region, 16-word aligned.
+        let desc_region = (node_region + node_words).next_multiple_of(16);
+        let desc_end =
+            desc_region + PmwcasArena::<PmemPool>::region_words(DESCS_PER_THREAD, nthreads);
+        let reg_base = desc_end.next_multiple_of(WORDS_PER_LINE);
+        let words = reg_base + Registry::<PmemPool>::region_words(nthreads);
+        CweLayout { sentinel, node_region, desc_region, reg_base, words }
+    }
+}
 
 /// Enqueue-side error: the node pool is exhausted.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -120,6 +160,101 @@ impl CasWithEffectQueue {
     pub fn new_fast(nthreads: usize, nodes_per_thread: u64) -> Self {
         Self::new_fast_in(nthreads, nodes_per_thread)
     }
+
+    /// Creates the **General** variant on a **file-backed** pool at `path`:
+    /// the file records [`KIND_CWE_QUEUE`], `nthreads`, `nodes_per_thread`
+    /// and the variant flag, so a fresh process rebuilds everything with
+    /// [`attach`](Self::attach) from the path alone.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Io`] if the pool file cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn create_general<P: AsRef<std::path::Path>>(
+        path: P,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Result<Self, AttachError> {
+        Self::create(path, nthreads, nodes_per_thread, false)
+    }
+
+    /// Creates the **Fast** variant on a **file-backed** pool at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Io`] if the pool file cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero.
+    pub fn create_fast<P: AsRef<std::path::Path>>(
+        path: P,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Result<Self, AttachError> {
+        Self::create(path, nthreads, nodes_per_thread, true)
+    }
+
+    fn create<P: AsRef<std::path::Path>>(
+        path: P,
+        nthreads: usize,
+        nodes_per_thread: u64,
+        fast: bool,
+    ) -> Result<Self, AttachError> {
+        let layout = CweLayout::new(nthreads, nodes_per_thread);
+        let pool =
+            Arc::new(PmemPool::create(path, layout.words as usize, FlushGranularity::default())?);
+        pool.set_app_config(KIND_CWE_QUEUE, &[nthreads as u64, nodes_per_thread, fast as u64]);
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let q = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread, fast);
+        q.format(layout.sentinel);
+        Ok(q)
+    }
+
+    /// Rebuilds a queue (of whichever variant the file records) from a pool
+    /// file with no in-process state: the registry is re-bound, the node
+    /// allocator is rebuilt from the persisted list, a fresh descriptor
+    /// arena is bound over the persisted descriptor region, and fresh EBR
+    /// domains replace the dead process's.
+    ///
+    /// Attaching is a crash boundary: follow with
+    /// [`recover`](Self::recover) (the descriptor roll-forward/roll-back),
+    /// then [`begin_recovery`](Self::begin_recovery) /
+    /// [`adopt_orphans`](Self::adopt_orphans) and
+    /// [`resolve`](Self::resolve) per adopted handle.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AttachError`]: I/O or superblock validation failure, or
+    /// [`AttachError::AppMismatch`] if the file holds a different
+    /// structure.
+    pub fn attach<P: AsRef<std::path::Path>>(path: P) -> Result<Self, AttachError> {
+        let pool = Arc::new(PmemPool::attach(path)?);
+        let found = pool.app_kind();
+        if found != KIND_CWE_QUEUE {
+            return Err(AttachError::AppMismatch { expected: KIND_CWE_QUEUE, found });
+        }
+        let [nthreads, nodes_per_thread, fast, ..] = pool.app_config();
+        if nthreads == 0 || nodes_per_thread == 0 {
+            return Err(AttachError::Corrupt("CASWithEffect queue parameter words are zero"));
+        }
+        let nthreads = nthreads as usize;
+        let layout = CweLayout::new(nthreads, nodes_per_thread);
+        if (pool.capacity() as u64) < layout.words {
+            return Err(AttachError::Corrupt(
+                "pool smaller than the CASWithEffect queue layout requires",
+            ));
+        }
+        let registry = Registry::attach(Arc::clone(&pool), layout.reg_base)?;
+        let q = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread, fast != 0);
+        // Superset-safe before `recover`: reachability from the persisted
+        // head only over-approximates the live set.
+        q.rebuild_allocator();
+        Ok(q)
+    }
 }
 
 impl<M: Memory> CasWithEffectQueue<M> {
@@ -144,29 +279,38 @@ impl<M: Memory> CasWithEffectQueue<M> {
     }
 
     fn build(nthreads: usize, nodes_per_thread: u64, fast: bool) -> Self {
-        assert!(nthreads > 0 && nodes_per_thread > 0);
-        let x_end = A_X_BASE + nthreads as u64 * WORDS_PER_LINE;
-        let sentinel = x_end.next_multiple_of(NODE_WORDS);
-        let node_region = sentinel + NODE_WORDS;
-        let node_words = nodes_per_thread * nthreads as u64 * NODE_WORDS;
-        // Descriptor region, 16-word aligned. Each thread has at most one
-        // PMwCAS in flight, but helpers and EBR lag keep a few alive.
-        let desc_region = (node_region + node_words).next_multiple_of(16);
-        let descs_per_thread = 128;
-        let desc_end = desc_region + PmwcasArena::region_words(descs_per_thread, nthreads);
-        let reg_base = desc_end.next_multiple_of(WORDS_PER_LINE);
-        let words = reg_base + Registry::<M>::region_words(nthreads);
-        let pool = Arc::new(M::create(words as usize, FlushGranularity::default()));
-        let registry = Registry::create(Arc::clone(&pool), reg_base, nthreads);
+        let layout = CweLayout::new(nthreads, nodes_per_thread);
+        let pool = Arc::new(M::create(layout.words as usize, FlushGranularity::default()));
+        let registry = Registry::create(Arc::clone(&pool), layout.reg_base, nthreads);
+        let q = Self::assemble(pool, registry, &layout, nthreads, nodes_per_thread, fast);
+        q.format(layout.sentinel);
+        q
+    }
+
+    /// The shared constructor tail: in-DRAM side tables (descriptor arena
+    /// handle, node allocator, EBR domain, backoff tuner) over an existing
+    /// pool + registry — everything `attach` must rebuild rather than map.
+    fn assemble(
+        pool: Arc<M>,
+        registry: Registry<M>,
+        layout: &CweLayout,
+        nthreads: usize,
+        nodes_per_thread: u64,
+        fast: bool,
+    ) -> Self {
         let arena = PmwcasArena::new(
             Arc::clone(&pool),
-            PAddr::from_index(desc_region),
-            descs_per_thread,
+            PAddr::from_index(layout.desc_region),
+            DESCS_PER_THREAD,
             nthreads,
         );
-        let nodes =
-            NodePool::new(PAddr::from_index(node_region), NODE_WORDS, nodes_per_thread, nthreads);
-        let q = CasWithEffectQueue {
+        let nodes = NodePool::new(
+            PAddr::from_index(layout.node_region),
+            NODE_WORDS,
+            nodes_per_thread,
+            nthreads,
+        );
+        CasWithEffectQueue {
             pool,
             arena,
             nodes,
@@ -176,22 +320,26 @@ impl<M: Memory> CasWithEffectQueue<M> {
             backoff: AtomicBool::new(false),
             tuner: BackoffTuner::new(),
             registry,
-        };
-        let s = PAddr::from_index(sentinel);
-        q.pool.store(s.offset(F_VALUE), 0);
-        q.pool.store(s.offset(F_NEXT), 0);
-        q.pool.store(s.offset(F_DEQ_TID), UNCLAIMED);
-        q.pool.flush(s);
-        q.pool.store(q.head(), s.to_word());
-        q.pool.flush(q.head());
-        q.pool.store(q.tail(), s.to_word());
-        q.pool.flush(q.tail());
-        for i in 0..nthreads {
-            q.pool.store(q.x(i), 0);
-            q.pool.flush(q.x(i));
         }
-        q.pool.drain();
-        q
+    }
+
+    /// Writes and persists the initial queue state (fresh pools only —
+    /// never run on attach).
+    fn format(&self, sentinel: u64) {
+        let s = PAddr::from_index(sentinel);
+        self.pool.store(s.offset(F_VALUE), 0);
+        self.pool.store(s.offset(F_NEXT), 0);
+        self.pool.store(s.offset(F_DEQ_TID), UNCLAIMED);
+        self.pool.flush(s);
+        self.pool.store(self.head(), s.to_word());
+        self.pool.flush(self.head());
+        self.pool.store(self.tail(), s.to_word());
+        self.pool.flush(self.tail());
+        for i in 0..self.nthreads {
+            self.pool.store(self.x(i), 0);
+            self.pool.flush(self.x(i));
+        }
+        self.pool.drain();
     }
 
     /// Enables or disables bounded exponential backoff after failed PMwCAS.

@@ -1,0 +1,109 @@
+//! Multi-process recovery: a pool *file* crossing a real process death.
+//!
+//! The parent re-spawns this binary as a victim child. The child creates
+//! a file-backed `DssQueue`, enqueues durably, then dies by SIGKILL in
+//! the middle of a detectable enqueue — no destructors, no graceful
+//! shutdown, nothing volatile survives. The parent then `attach`es the
+//! pool file with **zero shared in-process state**, adopts the dead
+//! process's registry slot, and resolves its interrupted operation.
+//!
+//! ```text
+//! cargo run --example multi_process
+//! ```
+
+use std::error::Error;
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+use dss::core::{DssQueue, Resolved, ResolvedOp};
+use dss::pmem::CrashSignal;
+use dss::spec::types::QueueResp;
+
+/// The victim role: build a queue in a pool file, make some history
+/// durable, then stop dead in the middle of an enqueue and wait to be
+/// killed.
+fn child(path: &str) -> Result<(), Box<dyn Error>> {
+    let q = DssQueue::create(path, 2, 64)?;
+    let h = q.register_thread()?;
+
+    // Two fully durable enqueues: exec + a drain to write everything back.
+    q.prep_enqueue(h, 1)?;
+    q.exec_enqueue(h);
+    q.prep_enqueue(h, 2)?;
+    q.exec_enqueue(h);
+    q.pool().drain();
+
+    // A third enqueue, interrupted: the crash-point trap fires mid-exec,
+    // after the announce in `X` is persisted but before the node is
+    // linked, so only `resolve` can say what happened.
+    q.prep_enqueue(h, 3)?;
+    q.pool().arm_crash_after(4);
+    std::panic::set_hook(Box::new(|_| {})); // silence the CrashSignal panic
+    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        q.exec_enqueue(h);
+    }));
+    assert!(
+        r.as_ref().err().and_then(|p| p.downcast_ref::<CrashSignal>()).is_some(),
+        "the armed crash point interrupts exec-enqueue"
+    );
+
+    // Tell the parent we are mid-operation, then park until SIGKILL. The
+    // un-written-back tail of the enqueue exists only in this process's
+    // volatile shadows; the kill destroys it for real.
+    println!("READY");
+    std::io::stdout().flush()?;
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("--child") {
+        return child(&argv[2]);
+    }
+
+    let path = std::env::temp_dir().join(format!("dss-example-{}.pool", std::process::id()));
+    let path_s = path.to_str().ok_or("non-UTF-8 temp path")?.to_owned();
+
+    // --- Spawn the victim and kill it mid-operation ----------------------
+    let exe = std::env::current_exe()?;
+    let mut victim =
+        Command::new(exe).arg("--child").arg(&path_s).stdout(Stdio::piped()).spawn()?;
+    let mut line = String::new();
+    BufReader::new(victim.stdout.take().ok_or("victim stdout not captured")?)
+        .read_line(&mut line)?;
+    assert_eq!(line.trim(), "READY", "victim failed before reaching its crash point");
+    victim.kill()?; // SIGKILL: no destructors, no flushes, no mercy
+    victim.wait()?;
+    println!("victim (pid {}) SIGKILLed mid-enqueue", victim.id());
+
+    // --- Attach from a process that shares nothing with the victim -------
+    // `attach` verifies the superblock and is itself a durable crash
+    // boundary: every slot the dead process held is now ORPHANED.
+    let q = DssQueue::attach(&path_s)?;
+    let orphans = q.recover(); // Figure 6: adopt, then repair each slot
+    q.rebuild_allocator();
+    assert_eq!(orphans.len(), 1, "the victim held exactly one registry slot");
+    let h = orphans[0];
+
+    // --- Detection across the process boundary ---------------------------
+    match q.resolve(h) {
+        Resolved { op: Some(ResolvedOp::Enqueue(3)), resp: Some(QueueResp::Ok) } => {
+            println!("the interrupted enqueue of 3 took effect before the kill");
+            assert_eq!(q.snapshot_values(), vec![1, 2, 3]);
+        }
+        Resolved { op: Some(ResolvedOp::Enqueue(3)), resp: None } => {
+            println!("the interrupted enqueue of 3 did NOT take effect; retrying exactly once");
+            q.prep_enqueue(h, 3)?;
+            q.exec_enqueue(h);
+            assert_eq!(q.snapshot_values(), vec![1, 2, 3]);
+        }
+        other => unreachable!("the DSS forbids any other answer here: {other:?}"),
+    }
+    println!("queue recovered from the pool file = {:?}", q.snapshot_values());
+
+    std::fs::remove_file(&path)?;
+    println!("exactly-once semantics held across a real process death");
+    Ok(())
+}

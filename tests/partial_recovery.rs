@@ -38,28 +38,7 @@ fn thread_zero_adopts_everyone_and_history_checks() {
         // Registry-level view: drive the crash directly and inspect slots.
         let q = DssQueue::new(THREADS, 64);
         let hs: Vec<_> = (0..THREADS).map(|_| q.register_thread().unwrap()).collect();
-        std::thread::scope(|scope| {
-            for (tid, &h) in hs.iter().enumerate() {
-                let q = &q;
-                scope.spawn(move || {
-                    q.pool().arm_crash_after(15 + seed * 7 + tid as u64 * 13);
-                    let r = catch_unwind(AssertUnwindSafe(|| {
-                        for i in 1..u64::MAX {
-                            q.prep_enqueue(h, (tid as u64) << 32 | i).unwrap();
-                            q.exec_enqueue(h);
-                            q.prep_dequeue(h);
-                            let _ = q.exec_dequeue(h);
-                        }
-                    }));
-                    q.pool().disarm_crash();
-                    if let Err(p) = r {
-                        if p.downcast_ref::<CrashSignal>().is_none() {
-                            resume_unwind(p);
-                        }
-                    }
-                });
-            }
-        });
+        crash_all_threads(&q, &hs, seed);
         q.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
 
         // Only thread 0 restarts.
@@ -149,8 +128,76 @@ fn registry_recovery_matches_centralized_reference() {
     }
 }
 
+/// Runs one detectable enqueue/dequeue worker per handle until each hits
+/// a seed-derived crash point (the shape the §3.3 tests share).
+fn crash_all_threads(q: &DssQueue, hs: &[dss::pmem::ThreadHandle], seed: u64) {
+    std::thread::scope(|scope| {
+        for (tid, &h) in hs.iter().enumerate() {
+            scope.spawn(move || {
+                q.pool().arm_crash_after(15 + seed * 7 + tid as u64 * 13);
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    for i in 1..u64::MAX {
+                        q.prep_enqueue(h, (tid as u64) << 32 | i).unwrap();
+                        q.exec_enqueue(h);
+                        q.prep_dequeue(h);
+                        let _ = q.exec_dequeue(h);
+                    }
+                }));
+                q.pool().disarm_crash();
+                if let Err(p) = r {
+                    if p.downcast_ref::<CrashSignal>().is_none() {
+                        resume_unwind(p);
+                    }
+                }
+            });
+        }
+    });
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Two survivors race `adopt_orphans` after a crash: the registry's
+    /// CAS-guarded ORPHANED→LIVE transition must hand each orphaned slot
+    /// to exactly one of them — no slot twice, no slot dropped.
+    #[test]
+    fn racing_adopters_claim_each_orphan_exactly_once(
+        threads in 3usize..6,
+        seed in 0u64..500,
+    ) {
+        let q = DssQueue::new(threads, 64);
+        let hs: Vec<_> = (0..threads).map(|_| q.register_thread().unwrap()).collect();
+        crash_all_threads(&q, &hs, seed);
+        q.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
+
+        // Survivors 0 and 1 come back and recover their own slots first.
+        q.begin_recovery();
+        for h in &hs[..2] {
+            let mine = q.adopt(h.slot()).expect("own slot is adoptable");
+            q.recover_one(mine);
+        }
+        // Then both race to adopt everything nobody came back for.
+        let (a, b) = std::thread::scope(|scope| {
+            let ta = scope.spawn(|| q.adopt_orphans());
+            let tb = scope.spawn(|| q.adopt_orphans());
+            (ta.join().unwrap(), tb.join().unwrap())
+        });
+
+        let total = a.len() + b.len();
+        let mut slots: Vec<usize> = a.iter().chain(b.iter()).map(|h| h.slot()).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        prop_assert_eq!(slots.len(), total, "an orphan was adopted twice");
+        prop_assert_eq!(slots, (2..threads).collect::<Vec<_>>(), "an orphan was never adopted");
+
+        for h in a.iter().chain(b.iter()) {
+            q.recover_one(*h);
+        }
+        q.rebuild_allocator();
+        for s in 0..threads {
+            prop_assert_eq!(q.registry().slot_state(s), Ok(SlotState::Live));
+        }
+    }
 
     /// Satellite sweep: a random subset of threads recovers (the rest are
     /// adopted) under all four coalescing/per-address knob combinations;
