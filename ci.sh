@@ -43,4 +43,12 @@ echo "==> multi-process smoke (SIGKILLed victims, parent attaches the pool file)
 cargo run -q -p dss-harness --release --bin crash_matrix -- \
     --multi-process on >/dev/null
 
+echo "==> checker equivalence gate (segmented/streaming/FIFO vs monolithic oracle)"
+timeout 120 cargo test -q -p dss-checker --test checker_equivalence
+timeout 120 cargo test -q -p dss-harness --test seeded_violations
+
+echo "==> full-length checking smoke (>=10k ops through the partitioned pipeline)"
+timeout 60 cargo run -q -p dss-harness --release --bin check_histories -- \
+    --mode partitioned >/dev/null
+
 echo "CI green."

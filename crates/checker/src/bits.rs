@@ -1,0 +1,101 @@
+//! A chunked bitset keying the linearization search's memoization.
+//!
+//! The classic checker tracked processed records in a single `u64`, capping
+//! every check at 63 operations. Windows produced by cut-point segmentation
+//! are usually tiny but have no hard bound, so the search keys its memo on
+//! this growable bitset instead. One inline word covers windows up to 64
+//! operations without allocating.
+
+use std::hash::{Hash, Hasher};
+
+/// A fixed-capacity set of record indices, cheap to clone and hash.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BitSet {
+    /// Windows of at most 64 records: one inline word, no allocation.
+    Small(u64),
+    /// Larger windows: one word per 64 records.
+    Large(Vec<u64>),
+}
+
+impl BitSet {
+    /// An empty set with capacity for `n` indices.
+    pub fn new(n: usize) -> Self {
+        if n <= 64 {
+            BitSet::Small(0)
+        } else {
+            BitSet::Large(vec![0; n.div_ceil(64)])
+        }
+    }
+
+    /// Whether index `i` is in the set.
+    pub fn test(&self, i: usize) -> bool {
+        match self {
+            BitSet::Small(w) => w & (1 << i) != 0,
+            BitSet::Large(ws) => ws[i / 64] & (1 << (i % 64)) != 0,
+        }
+    }
+
+    /// Inserts index `i`.
+    pub fn set(&mut self, i: usize) {
+        match self {
+            BitSet::Small(w) => *w |= 1 << i,
+            BitSet::Large(ws) => ws[i / 64] |= 1 << (i % 64),
+        }
+    }
+
+    /// Number of indices in the set.
+    pub fn count(&self) -> usize {
+        match self {
+            BitSet::Small(w) => w.count_ones() as usize,
+            BitSet::Large(ws) => ws.iter().map(|w| w.count_ones() as usize).sum(),
+        }
+    }
+}
+
+impl Hash for BitSet {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Small(w) and Large([w]) never mix within one search (capacity is
+        // fixed per window), so hashing the words alone is enough.
+        match self {
+            BitSet::Small(w) => w.hash(state),
+            BitSet::Large(ws) => ws.hash(state),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_set_roundtrip() {
+        let mut b = BitSet::new(10);
+        assert!(matches!(b, BitSet::Small(_)));
+        assert!(!b.test(3));
+        b.set(3);
+        b.set(9);
+        assert!(b.test(3) && b.test(9) && !b.test(4));
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn large_set_roundtrip() {
+        let mut b = BitSet::new(200);
+        assert!(matches!(b, BitSet::Large(_)));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(199);
+        assert_eq!(b.count(), 4);
+        assert!(b.test(64) && b.test(199) && !b.test(100));
+    }
+
+    #[test]
+    fn clones_are_independent() {
+        let mut a = BitSet::new(100);
+        a.set(70);
+        let b = a.clone();
+        a.set(71);
+        assert!(b.test(70) && !b.test(71));
+    }
+}

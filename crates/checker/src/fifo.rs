@@ -1,0 +1,573 @@
+//! Near-linear FIFO queue checking.
+//!
+//! The general linearization search is exponential in the number of
+//! overlapping operations, but a FIFO queue history with *distinct*
+//! enqueued values admits a direct analysis: match each dequeued value to
+//! its unique enqueue and compare interval orders. This module implements
+//! that fast path in two halves, both sound:
+//!
+//! * **Rejection by bad pattern.** Each pattern below is a concrete witness
+//!   that *no* linearization exists (the queue analogues of the
+//!   "bad-pattern" characterizations of Bouajjani–Emmi–Enea–Hamza):
+//!   a value dequeued twice or never enqueued, a dequeue that completed
+//!   before its enqueue was invoked, a FIFO inversion between two
+//!   interval-ordered pairs, a must-apply value that is never dequeued but
+//!   precedes a dequeued one, and an empty-dequeue covered by a value that
+//!   is provably in the queue throughout.
+//! * **Acceptance by greedy witness.** A single forward pass builds an
+//!   explicit linearization (push at the latest forced point, pull
+//!   overlapping pops forward when the head blocks a forced pop); if the
+//!   replay succeeds, the history is linearizable by construction.
+//!
+//! When neither half decides — unclassifiable operations, duplicate
+//! values, or an interleaving the greedy schedule cannot navigate —
+//! [`check_fifo`] returns `None` and the caller falls back to the
+//! segmented search ([`check_records`](crate::check_records)), so the fast
+//! path can never flip a verdict. `tests/checker_equivalence.rs` checks
+//! verdict parity differentially against the monolithic search.
+
+use std::collections::{HashMap, VecDeque};
+
+use dss_spec::{FifoResp, FifoSpec};
+
+use crate::interval::OpRecord;
+use crate::partitioned::CheckStats;
+use crate::wgl::Violation;
+
+/// Per-value bookkeeping: the enqueue record and the (unique) dequeue that
+/// returned the value.
+struct ValueInfo {
+    enq: usize,
+    deq: Option<usize>,
+}
+
+/// Attempts the FIFO fast path on a queue record list.
+///
+/// Returns `None` when the fast path cannot decide (the caller must fall
+/// back to the general segmented search), `Some(Err(_))` on a definite
+/// violation, and `Some(Ok(_))` when an explicit linearization witness was
+/// constructed.
+pub fn check_fifo<T: FifoSpec>(
+    spec: &T,
+    records: &[OpRecord<T::Op, T::Resp>],
+) -> Option<Result<CheckStats, Violation>> {
+    // --- Classification; any unclassifiable record disables the path. ---
+    // enq[i] = Some(v) iff record i enqueues v; deq_resp[i] holds a
+    // dequeue's observed response.
+    let mut enq_val: Vec<Option<u64>> = Vec::with_capacity(records.len());
+    let mut values: HashMap<u64, ValueInfo> = HashMap::new();
+    let mut empties: Vec<usize> = Vec::new(); // dequeues that observed Empty
+    let mut unresolved_deqs = false; // dequeues cut short by a crash
+    for (i, r) in records.iter().enumerate() {
+        if let Some(v) = spec.enqueue_value(&r.op) {
+            enq_val.push(Some(v));
+            match r.resp.as_ref().map(|resp| spec.classify_resp(resp)) {
+                None | Some(Some(FifoResp::EnqAck)) => {}
+                _ => return None, // an enqueue answered like a dequeue
+            }
+            if values.insert(v, ValueInfo { enq: i, deq: None }).is_some() {
+                return None; // duplicate values: matching is ambiguous
+            }
+        } else if spec.is_dequeue(&r.op) {
+            enq_val.push(None);
+            match r.resp.as_ref().map(|resp| spec.classify_resp(resp)) {
+                None => unresolved_deqs = true,
+                Some(Some(FifoResp::Empty)) => empties.push(i),
+                Some(Some(FifoResp::Value(_))) => {} // matched below
+                _ => return None,
+            }
+        } else {
+            return None; // not a plain queue operation
+        }
+    }
+    // Match dequeued values (second pass so every enqueue is known).
+    for (i, r) in records.iter().enumerate() {
+        let Some(resp) = r.resp.as_ref() else { continue };
+        let Some(FifoResp::Value(v)) = spec.classify_resp(resp) else { continue };
+        if enq_val[i].is_some() {
+            continue;
+        }
+        let Some(info) = values.get_mut(&v) else {
+            return Some(Err(Violation::FifoOrder {
+                reason: format!("dequeue returned {v}, which no enqueue produced"),
+                ops: vec![records[i].id.0],
+            }));
+        };
+        if let Some(prev) = info.deq {
+            return Some(Err(Violation::FifoOrder {
+                reason: format!("value {v} dequeued twice"),
+                ops: vec![records[prev].id.0, records[i].id.0],
+            }));
+        }
+        info.deq = Some(i);
+    }
+
+    if let Some(v) = bad_patterns(records, &values, &empties, unresolved_deqs) {
+        return Some(Err(v));
+    }
+    if greedy_witness(records, &enq_val, &values) {
+        let stats =
+            CheckStats { ops: records.len(), partitions: 1, fast_path: true, ..Default::default() };
+        return Some(Ok(stats));
+    }
+    None
+}
+
+/// An enqueue must take effect if it completed (non-droppable) or its value
+/// was observed by a dequeue.
+fn must_apply<O, R>(records: &[OpRecord<O, R>], info: &ValueInfo) -> bool {
+    !records[info.enq].droppable || info.deq.is_some()
+}
+
+/// Searches for a concrete impossibility witness. Every reported pattern
+/// is sound: it rules out all linearizations on its own.
+fn bad_patterns<O, R>(
+    records: &[OpRecord<O, R>],
+    values: &HashMap<u64, ValueInfo>,
+    empties: &[usize],
+    unresolved_deqs: bool,
+) -> Option<Violation> {
+    // Pattern: a dequeue that completed before its enqueue was invoked.
+    for (v, info) in values {
+        let Some(d) = info.deq else { continue };
+        if records[info.enq].inv >= records[d].deadline {
+            return Some(Violation::FifoOrder {
+                reason: format!("value {v} dequeued before its enqueue was invoked"),
+                ops: vec![records[info.enq].id.0, records[d].id.0],
+            });
+        }
+    }
+
+    // Pattern: FIFO inversion. ∃ v, w (both dequeued, enqueues applied):
+    // enq(v) wholly precedes enq(w) while deq(w) wholly precedes deq(v).
+    // Sweep w by enqueue invocation; keep the pulled-forward dequeue
+    // horizon (max deq invocation) over values whose enqueue already
+    // completed.
+    {
+        let mut by_enq_deadline: Vec<(&u64, &ValueInfo)> =
+            values.iter().filter(|(_, i)| i.deq.is_some()).collect();
+        let mut by_enq_inv = by_enq_deadline.clone();
+        by_enq_deadline.sort_by_key(|(_, i)| records[i.enq].deadline);
+        by_enq_inv.sort_by_key(|(_, i)| records[i.enq].inv);
+        let mut active = 0usize; // pointer into by_enq_deadline
+        let mut horizon: Option<(&u64, &ValueInfo)> = None; // argmax deq inv
+        for (w, wi) in by_enq_inv {
+            while active < by_enq_deadline.len() {
+                let (v, vi) = by_enq_deadline[active];
+                if records[vi.enq].deadline > records[wi.enq].inv {
+                    break;
+                }
+                if horizon.is_none_or(|(_, h)| {
+                    records[vi.deq.expect("filtered")].inv > records[h.deq.expect("filtered")].inv
+                }) {
+                    horizon = Some((v, vi));
+                }
+                active += 1;
+            }
+            if let Some((v, vi)) = horizon {
+                if v != w
+                    && records[wi.deq.expect("filtered")].deadline
+                        <= records[vi.deq.expect("filtered")].inv
+                {
+                    return Some(Violation::FifoOrder {
+                        reason: format!(
+                            "FIFO inversion: {v} enqueued before {w}, but {w} dequeued before {v}"
+                        ),
+                        ops: vec![
+                            records[vi.enq].id.0,
+                            records[wi.enq].id.0,
+                            records[wi.deq.expect("filtered")].id.0,
+                            records[vi.deq.expect("filtered")].id.0,
+                        ],
+                    });
+                }
+            }
+        }
+    }
+
+    // The remaining patterns assume no dequeue was cut short: an
+    // unresolved dequeue may linearize and silently remove any value,
+    // un-witnessing them.
+    if unresolved_deqs {
+        return None;
+    }
+
+    // Pattern: a must-apply value that nothing ever dequeues, enqueued
+    // wholly before a value that IS dequeued — the earlier value blocks
+    // the head forever.
+    {
+        let stuck = values
+            .iter()
+            .filter(|(_, i)| i.deq.is_none() && must_apply(records, i))
+            .min_by_key(|(_, i)| records[i.enq].deadline);
+        let popped =
+            values.iter().filter(|(_, i)| i.deq.is_some()).max_by_key(|(_, i)| records[i.enq].inv);
+        if let (Some((v, vi)), Some((w, wi))) = (stuck, popped) {
+            if records[vi.enq].deadline <= records[wi.enq].inv {
+                return Some(Violation::FifoOrder {
+                    reason: format!(
+                        "{v} is never dequeued yet enqueued wholly before {w}, which is dequeued"
+                    ),
+                    ops: vec![
+                        records[vi.enq].id.0,
+                        records[wi.enq].id.0,
+                        records[wi.deq.expect("filtered")].id.0,
+                    ],
+                });
+            }
+        }
+    }
+
+    // Pattern: a covered empty dequeue — some value is provably in the
+    // queue for the dequeue's whole interval (enqueued wholly before, and
+    // dequeued only after, or never).
+    {
+        let mut by_enq_deadline: Vec<(&u64, &ValueInfo)> =
+            values.iter().filter(|(_, i)| must_apply(records, i)).collect();
+        by_enq_deadline.sort_by_key(|(_, i)| records[i.enq].deadline);
+        let mut empties: Vec<usize> = empties.to_vec();
+        empties.sort_by_key(|&d| records[d].inv);
+        let mut active = 0usize;
+        // Over activated values: the one whose dequeue starts latest
+        // (never-dequeued counts as infinitely late).
+        let mut cover: Option<(&u64, &ValueInfo)> = None;
+        let deq_inv = |i: &ValueInfo| i.deq.map_or(u64::MAX, |d| records[d].inv);
+        for d in empties {
+            while active < by_enq_deadline.len() {
+                let (v, vi) = by_enq_deadline[active];
+                if records[vi.enq].deadline > records[d].inv {
+                    break;
+                }
+                if cover.is_none_or(|(_, c)| deq_inv(vi) > deq_inv(c)) {
+                    cover = Some((v, vi));
+                }
+                active += 1;
+            }
+            if let Some((v, vi)) = cover {
+                if deq_inv(vi) >= records[d].deadline {
+                    let mut ops = vec![records[vi.enq].id.0, records[d].id.0];
+                    if let Some(dq) = vi.deq {
+                        ops.push(records[dq].id.0);
+                    }
+                    return Some(Violation::FifoOrder {
+                        reason: format!(
+                            "dequeue observed an empty queue while {v} was provably queued"
+                        ),
+                        ops,
+                    });
+                }
+            }
+        }
+    }
+
+    None
+}
+
+/// One timeline point of the greedy replay.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum PointKind {
+    // Deadlines order before invocations at the same index, mirroring the
+    // search's `deadline <= inv` forcing.
+    Deadline,
+    Invoke,
+}
+
+/// Tries to build an explicit linearization by forward replay: apply every
+/// operation at its latest admissible point, pulling overlapping pops
+/// forward when they block a forced pop, and dropping droppable operations
+/// whose effect nothing observed.
+fn greedy_witness<O, R>(
+    records: &[OpRecord<O, R>],
+    enq_val: &[Option<u64>],
+    values: &HashMap<u64, ValueInfo>,
+) -> bool {
+    let mut points: Vec<(u64, PointKind, usize)> = Vec::with_capacity(records.len() * 2);
+    for (i, r) in records.iter().enumerate() {
+        points.push((r.inv, PointKind::Invoke, i));
+        if r.deadline != u64::MAX {
+            points.push((r.deadline, PointKind::Deadline, i));
+        }
+    }
+    points.sort_unstable();
+
+    // Record index -> the value its dequeue observed (inverse of
+    // `values[_].deq`), so the replay never scans the value map.
+    let mut deq_val: Vec<Option<u64>> = vec![None; records.len()];
+    for (v, info) in values {
+        if let Some(d) = info.deq {
+            deq_val[d] = Some(*v);
+        }
+    }
+
+    let mut queue: VecDeque<u64> = VecDeque::new();
+    let mut in_queue: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut applied = vec![false; records.len()]; // applied or dropped
+    let mut invoked = vec![false; records.len()];
+    // Prerequisite index: values not yet pushed whose enqueue is invoked
+    // and whose pop is observed, keyed by the pop's deadline — the forced-
+    // precedence order. Populated at enqueue-invoke points, drained (or
+    // invalidated by `applied`) as pushes happen.
+    let mut prereq: std::collections::BTreeSet<(u64, u64)> = std::collections::BTreeSet::new();
+
+    // Pops the head while the blocking value's own dequeue may be pulled
+    // forward to `now`.
+    let pull_pops = |queue: &mut VecDeque<u64>,
+                     in_queue: &mut std::collections::HashSet<u64>,
+                     applied: &mut Vec<bool>,
+                     invoked: &[bool],
+                     stop_at: Option<u64>,
+                     now: u64| {
+        while let Some(&head) = queue.front() {
+            if Some(head) == stop_at {
+                return true;
+            }
+            let Some(d) = values[&head].deq else { return false };
+            if applied[d] || !invoked[d] || records[d].deadline <= now {
+                return false;
+            }
+            applied[d] = true;
+            in_queue.remove(&head);
+            queue.pop_front();
+        }
+        stop_at.is_none()
+    };
+
+    for &(now, kind, i) in &points {
+        match kind {
+            PointKind::Invoke => {
+                invoked[i] = true;
+                if let Some(w) = enq_val[i] {
+                    if let Some(d) = values[&w].deq {
+                        prereq.insert((records[d].deadline, w));
+                    }
+                }
+            }
+            PointKind::Deadline if applied[i] => {} // pulled forward earlier
+            PointKind::Deadline => {
+                if let Some(u) = enq_val[i] {
+                    let info = &values[&u];
+                    if !must_apply(records, info) {
+                        applied[i] = true; // droppable, unobserved: drop
+                        continue;
+                    }
+                    // Minimal commitment: push first exactly the values
+                    // FORCED to precede u in the queue — those whose pop
+                    // completes before u's pop is even invoked (if u is
+                    // never popped, every popped value must precede it,
+                    // since whatever sits behind u can never reach the
+                    // head). Pop *deadlines* alone do not order pops —
+                    // overlapping pops may apply in either order via
+                    // pulls — so anything not forced stays unpushed.
+                    let u_pop_inv = info.deq.map_or(u64::MAX, |d| records[d].inv);
+                    while let Some(&(dd, w)) = prereq.first() {
+                        if dd > u_pop_inv {
+                            break;
+                        }
+                        prereq.pop_first();
+                        let e = values[&w].enq;
+                        if applied[e] {
+                            continue; // pushed through another path already
+                        }
+                        applied[e] = true;
+                        in_queue.insert(w);
+                        queue.push_back(w);
+                    }
+                    applied[i] = true;
+                    prereq.remove(&(info.deq.map_or(u64::MAX, |d| records[d].deadline), u));
+                    in_queue.insert(u);
+                    queue.push_back(u);
+                } else {
+                    // A dequeue's deadline.
+                    match records[i].resp.is_some() {
+                        false => applied[i] = true, // crashed, droppable: drop
+                        true => {
+                            match deq_val[i] {
+                                None => {
+                                    // Empty: drain pullable pops, then require empty.
+                                    if !pull_pops(
+                                        &mut queue,
+                                        &mut in_queue,
+                                        &mut applied,
+                                        &invoked,
+                                        None,
+                                        now,
+                                    ) {
+                                        return false;
+                                    }
+                                    applied[i] = true;
+                                }
+                                Some(v) => {
+                                    if !in_queue.contains(&v) {
+                                        let e = values[&v].enq;
+                                        if applied[e] || !invoked[e] {
+                                            return false;
+                                        }
+                                        if !pull_pops(
+                                            &mut queue,
+                                            &mut in_queue,
+                                            &mut applied,
+                                            &invoked,
+                                            None,
+                                            now,
+                                        ) {
+                                            return false;
+                                        }
+                                        applied[e] = true;
+                                        prereq.remove(&(records[i].deadline, v));
+                                        in_queue.insert(v);
+                                        queue.push_back(v);
+                                    }
+                                    if !pull_pops(
+                                        &mut queue,
+                                        &mut in_queue,
+                                        &mut applied,
+                                        &invoked,
+                                        Some(v),
+                                        now,
+                                    ) {
+                                        return false;
+                                    }
+                                    debug_assert_eq!(queue.front(), Some(&v));
+                                    queue.pop_front();
+                                    in_queue.remove(&v);
+                                    applied[i] = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Whatever never reached a deadline is droppable (pending at the end):
+    // dropping is always admissible, and anything observed was pulled.
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check, records_for, Condition, History};
+    use dss_spec::types::{QueueOp, QueueResp, QueueSpec};
+
+    type QH = History<QueueOp, QueueResp>;
+
+    fn fifo_verdict(h: &QH, cond: Condition) -> Option<bool> {
+        let records = records_for(h, cond).unwrap();
+        check_fifo(&QueueSpec, &records).map(|r| r.is_ok())
+    }
+
+    #[test]
+    fn sequential_pairs_accepted_by_witness() {
+        let mut h = QH::new();
+        for i in 1..=100u64 {
+            let a = h.invoke(0, QueueOp::Enqueue(i));
+            h.ret(a, QueueResp::Ok);
+            let b = h.invoke(1, QueueOp::Dequeue);
+            h.ret(b, QueueResp::Value(i));
+        }
+        assert_eq!(fifo_verdict(&h, Condition::Linearizability), Some(true));
+    }
+
+    #[test]
+    fn never_enqueued_value_rejected() {
+        let mut h = QH::new();
+        let a = h.invoke(0, QueueOp::Enqueue(1));
+        h.ret(a, QueueResp::Ok);
+        let b = h.invoke(0, QueueOp::Dequeue);
+        h.ret(b, QueueResp::Value(9));
+        assert_eq!(fifo_verdict(&h, Condition::Linearizability), Some(false));
+    }
+
+    #[test]
+    fn fifo_inversion_rejected_and_names_ops() {
+        let mut h = QH::new();
+        let a = h.invoke(0, QueueOp::Enqueue(1));
+        h.ret(a, QueueResp::Ok);
+        let b = h.invoke(1, QueueOp::Enqueue(2));
+        h.ret(b, QueueResp::Ok);
+        let c = h.invoke(0, QueueOp::Dequeue);
+        h.ret(c, QueueResp::Value(2));
+        let d = h.invoke(0, QueueOp::Dequeue);
+        h.ret(d, QueueResp::Value(1));
+        let records = records_for(&h, Condition::Linearizability).unwrap();
+        let err = check_fifo(&QueueSpec, &records).unwrap().unwrap_err();
+        match err {
+            Violation::FifoOrder { ops, .. } => {
+                assert!(ops.contains(&4) && ops.contains(&6), "{ops:?}");
+            }
+            other => panic!("expected FIFO violation, got {other}"),
+        }
+        // Ground truth agrees.
+        assert!(check(&QueueSpec, &records).is_err());
+    }
+
+    #[test]
+    fn covered_empty_rejected() {
+        let mut h = QH::new();
+        let a = h.invoke(0, QueueOp::Enqueue(1));
+        h.ret(a, QueueResp::Ok);
+        let b = h.invoke(1, QueueOp::Dequeue);
+        h.ret(b, QueueResp::Empty); // 1 is queued throughout
+        let c = h.invoke(1, QueueOp::Dequeue);
+        h.ret(c, QueueResp::Value(1));
+        assert_eq!(fifo_verdict(&h, Condition::Linearizability), Some(false));
+    }
+
+    #[test]
+    fn overlapping_enqueues_any_pop_order_accepted() {
+        let mut h = QH::new();
+        let a = h.invoke(0, QueueOp::Enqueue(1));
+        let b = h.invoke(1, QueueOp::Enqueue(2));
+        h.ret(b, QueueResp::Ok);
+        h.ret(a, QueueResp::Ok);
+        let c = h.invoke(0, QueueOp::Dequeue);
+        h.ret(c, QueueResp::Value(2));
+        let d = h.invoke(0, QueueOp::Dequeue);
+        h.ret(d, QueueResp::Value(1));
+        let records = records_for(&h, Condition::Linearizability).unwrap();
+        // Accepted — by witness or by falling back (None), never rejected.
+        assert_ne!(check_fifo(&QueueSpec, &records).map(|r| r.is_ok()), Some(false));
+        assert!(check(&QueueSpec, &records).is_ok());
+    }
+
+    #[test]
+    fn crashed_enqueue_observed_or_dropped_accepted() {
+        for observed in [true, false] {
+            let mut h = QH::new();
+            let _a = h.invoke(0, QueueOp::Enqueue(5));
+            h.crash();
+            let b = h.invoke(1, QueueOp::Dequeue);
+            h.ret(b, if observed { QueueResp::Value(5) } else { QueueResp::Empty });
+            let v = fifo_verdict(&h, Condition::StrictLinearizability);
+            assert_ne!(v, Some(false), "observed={observed}");
+        }
+    }
+
+    #[test]
+    fn duplicate_values_fall_back() {
+        let mut h = QH::new();
+        for _ in 0..2 {
+            let a = h.invoke(0, QueueOp::Enqueue(7));
+            h.ret(a, QueueResp::Ok);
+        }
+        let records = records_for(&h, Condition::Linearizability).unwrap();
+        assert!(check_fifo(&QueueSpec, &records).is_none());
+    }
+
+    #[test]
+    fn pending_dequeue_makes_empty_patterns_conservative() {
+        // A crashed dequeue could have removed the value; the empty that
+        // follows is legal and must not be reported by the fast path.
+        let mut h = QH::new();
+        let a = h.invoke(0, QueueOp::Enqueue(1));
+        h.ret(a, QueueResp::Ok);
+        let _d = h.invoke(1, QueueOp::Dequeue); // crashes mid-flight
+        h.crash();
+        let e = h.invoke(0, QueueOp::Dequeue);
+        h.ret(e, QueueResp::Empty);
+        let records = records_for(&h, Condition::StrictLinearizability).unwrap();
+        assert!(check(&QueueSpec, &records).is_ok());
+        assert_ne!(check_fifo(&QueueSpec, &records).map(|r| r.is_ok()), Some(false));
+    }
+}

@@ -45,14 +45,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs, missing_debug_implementations)]
 
+mod bits;
+mod fifo;
 mod history;
 mod interval;
+mod partitioned;
 mod recorder;
+mod stream;
 mod wgl;
 
+pub use fifo::check_fifo;
 pub use history::{Event, History, OpId};
 pub use interval::{records_for, Condition, OpRecord};
+pub use partitioned::{check_partitioned, check_records, segments, CheckOptions, CheckStats};
 pub use recorder::Recorder;
+pub use stream::{StreamingChecker, StreamingRecorder};
 pub use wgl::{check, Violation, MAX_OPS};
 
 use dss_spec::SequentialSpec;

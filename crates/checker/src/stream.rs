@@ -1,0 +1,467 @@
+//! Streaming verification: seal and check windows as the history is made.
+//!
+//! [`check_records`](crate::check_records) still materializes the whole
+//! record list before segmenting it. For soak runs that is the remaining
+//! scalability cliff — a million-op history holds a million `OpRecord`s.
+//! [`StreamingChecker`] removes it: events feed in one at a time
+//! ([`invoke`](StreamingChecker::invoke) / [`ret`](StreamingChecker::ret) /
+//! [`crash`](StreamingChecker::crash)), records are built incrementally
+//! exactly as [`records_for`](crate::records_for) would, and as soon as a
+//! cut point forms — every buffered record resolved, with all deadlines at
+//! or before an incoming invocation — the sealed windows are searched and
+//! discarded, keeping only the reachable-state frontier. Memory is bounded
+//! by the longest run of transitively overlapping operations, not by the
+//! history length.
+//!
+//! [`StreamingRecorder`] wraps a checker in a mutex with the same
+//! interface as [`Recorder`](crate::Recorder), so harness worker threads
+//! can verify while they drive.
+
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+use dss_spec::{ProcId, SequentialSpec};
+
+use crate::history::OpId;
+use crate::interval::{Condition, OpRecord};
+use crate::partitioned::{segments, window_end_states, CheckOptions, CheckStats};
+use crate::wgl::Violation;
+
+/// An incremental, constant-memory (per overlapping run) history checker.
+///
+/// Feed it the same events a [`Recorder`](crate::Recorder) would log;
+/// windows are verified as soon as the interval order seals them and
+/// [`finish`](StreamingChecker::finish) checks the remainder and returns
+/// the verdict. Verdicts match the batch pipeline: same segmentation, same
+/// per-window search, same frontier threading.
+///
+/// A detected violation is sticky — later events are accepted but ignored,
+/// and `finish` reports the first failure.
+#[derive(Debug)]
+pub struct StreamingChecker<T: SequentialSpec> {
+    spec: T,
+    condition: Condition,
+    options: CheckOptions,
+    /// Records not yet sealed, in invocation order.
+    buffer: Vec<OpRecord<T::Op, T::Resp>>,
+    /// Operations invoked but not returned: (id, buffer index).
+    pending: Vec<(OpId, usize)>,
+    /// Under persistent atomicity / recoverable linearizability, crashed
+    /// records whose deadline waits for the process's next invocation:
+    /// (pid, buffer index).
+    awaiting_reinvoke: Vec<(ProcId, usize)>,
+    /// Spec states reachable by some linearization of everything sealed.
+    frontier: HashSet<T::State>,
+    /// Next event index on the history timeline.
+    clock: u64,
+    stats: CheckStats,
+    failed: Option<Violation>,
+}
+
+impl<T: SequentialSpec> StreamingChecker<T> {
+    /// A checker for histories of `spec` under `condition`.
+    pub fn new(spec: T, condition: Condition, options: CheckOptions) -> Self {
+        let frontier = HashSet::from([spec.initial()]);
+        StreamingChecker {
+            spec,
+            condition,
+            options,
+            buffer: Vec::new(),
+            pending: Vec::new(),
+            awaiting_reinvoke: Vec::new(),
+            frontier,
+            clock: 0,
+            stats: CheckStats { partitions: 1, frontier_peak: 1, ..Default::default() },
+            failed: None,
+        }
+    }
+
+    fn fail(&mut self, v: Violation) {
+        if self.failed.is_none() {
+            self.failed = Some(v);
+        }
+    }
+
+    /// Feeds an invocation; returns the ID to pass to
+    /// [`ret`](StreamingChecker::ret). Sealable windows are checked first,
+    /// so the buffer only ever holds the open overlapping run.
+    pub fn invoke(&mut self, pid: ProcId, op: T::Op) -> OpId {
+        let at = self.clock;
+        self.clock += 1;
+        let id = OpId(at as usize);
+        if self.failed.is_some() {
+            return id;
+        }
+        if self.pending.iter().any(|&(_, i)| self.buffer[i].pid == pid) {
+            self.fail(Violation::malformed(format!(
+                "process {pid} invoked an operation while one was pending"
+            )));
+            return id;
+        }
+        // A crashed operation under persistent atomicity gets its deadline
+        // from this invocation, *before* the cut scan sees the new record.
+        let mut i = 0;
+        while i < self.awaiting_reinvoke.len() {
+            if self.awaiting_reinvoke[i].0 == pid {
+                let (_, ridx) = self.awaiting_reinvoke.swap_remove(i);
+                self.buffer[ridx].deadline = at;
+            } else {
+                i += 1;
+            }
+        }
+        self.seal_up_to(at);
+        self.buffer.push(OpRecord {
+            id,
+            pid,
+            op,
+            resp: None,
+            inv: at,
+            deadline: u64::MAX,
+            droppable: true,
+        });
+        self.pending.push((id, self.buffer.len() - 1));
+        id
+    }
+
+    /// Feeds the response of operation `of`.
+    pub fn ret(&mut self, of: OpId, resp: T::Resp) {
+        let at = self.clock;
+        self.clock += 1;
+        if self.failed.is_some() {
+            return;
+        }
+        let Some(pos) = self.pending.iter().position(|&(id, _)| id == of) else {
+            self.fail(Violation::malformed(format!(
+                "response for operation {} which is not pending",
+                of.0
+            )));
+            return;
+        };
+        let (_, ridx) = self.pending.swap_remove(pos);
+        let r = &mut self.buffer[ridx];
+        r.resp = Some(resp);
+        r.deadline = at + 1;
+        r.droppable = false;
+    }
+
+    /// Feeds a system-wide crash marker: every pending operation becomes
+    /// droppable with the condition's deadline.
+    pub fn crash(&mut self) {
+        let at = self.clock;
+        self.clock += 1;
+        if self.failed.is_some() {
+            return;
+        }
+        if self.condition == Condition::Linearizability {
+            self.fail(Violation::malformed(
+                "linearizability is defined for crash-free histories; \
+                 use StrictLinearizability or weaker",
+            ));
+            return;
+        }
+        for (_, ridx) in self.pending.drain(..) {
+            let r = &mut self.buffer[ridx];
+            r.droppable = true;
+            match self.condition {
+                Condition::Linearizability => unreachable!("checked above"),
+                Condition::StrictLinearizability => r.deadline = at,
+                Condition::PersistentAtomicity | Condition::RecoverableLinearizability => {
+                    self.awaiting_reinvoke.push((r.pid, ridx));
+                }
+                Condition::DurableLinearizability => r.deadline = u64::MAX,
+            }
+        }
+    }
+
+    /// Checks whatever the buffer still holds and returns the verdict for
+    /// the whole streamed history.
+    ///
+    /// # Errors
+    ///
+    /// The first [`Violation`] any sealed window produced.
+    pub fn finish(mut self) -> Result<CheckStats, Violation> {
+        // Operations pending at the end (and crashed ones never
+        // re-invoked) keep open deadlines, exactly as `records_for`.
+        self.seal_up_to(u64::MAX);
+        if let Some(v) = self.failed {
+            return Err(v);
+        }
+        debug_assert!(self.buffer.is_empty() || self.buffer.iter().any(|r| r.deadline == u64::MAX));
+        let tail = std::mem::take(&mut self.buffer);
+        if !tail.is_empty() {
+            self.check_window(&tail);
+        }
+        match self.failed {
+            Some(v) => Err(v),
+            None => Ok(self.stats),
+        }
+    }
+
+    /// Operations checked so far (sealed windows only).
+    pub fn checked_ops(&self) -> usize {
+        self.stats.ops
+    }
+
+    /// Records currently buffered (the open overlapping run).
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Seals and checks every complete window whose records all precede an
+    /// invocation at `next_inv`, removing them from the buffer.
+    fn seal_up_to(&mut self, next_inv: u64) {
+        // Any nonempty sealable prefix contains the first buffered record,
+        // so an unresolved front (deadline = MAX) rules sealing out — the
+        // common steady state while an operation is in flight.
+        if self.failed.is_some() || self.buffer.first().is_none_or(|r| r.deadline == u64::MAX) {
+            return;
+        }
+        let mut max_deadline = 0u64;
+        let mut cut = 0;
+        for (i, r) in self.buffer.iter().enumerate() {
+            max_deadline = max_deadline.max(r.deadline);
+            if max_deadline == u64::MAX {
+                break; // no cut can form beyond an unresolved record
+            }
+            let next = self.buffer.get(i + 1).map_or(next_inv, |n| n.inv);
+            if max_deadline <= next {
+                cut = i + 1;
+                max_deadline = 0;
+            }
+        }
+        if cut > 0 {
+            // Indices into the buffer shift; pending/awaiting entries always
+            // sit at or beyond the cut (their deadlines are unresolved).
+            let windows: Vec<_> = self.buffer.drain(..cut).collect();
+            for (_, i) in self.pending.iter_mut() {
+                *i -= cut;
+            }
+            for (_, i) in self.awaiting_reinvoke.iter_mut() {
+                *i -= cut;
+            }
+            for range in segments(&windows) {
+                self.check_window(&windows[range]);
+            }
+        }
+    }
+
+    fn check_window(&mut self, window: &[OpRecord<T::Op, T::Resp>]) {
+        if self.failed.is_some() {
+            return;
+        }
+        let w = self.stats.windows;
+        if window.len() > self.options.max_window_ops {
+            self.fail(Violation::WindowTooLarge {
+                window: w,
+                first_op: window[0].id.0,
+                len: window.len(),
+                limit: self.options.max_window_ops,
+            });
+            return;
+        }
+        let (ends, best) = window_end_states(&self.spec, window, self.frontier.iter());
+        if ends.is_empty() {
+            self.fail(Violation::WindowNoLinearization {
+                window: w,
+                first_op: window[0].id.0,
+                last_op: window[window.len() - 1].id.0,
+                len: window.len(),
+                partition: None,
+                best,
+            });
+            return;
+        }
+        self.stats.ops += window.len();
+        self.stats.windows += 1;
+        self.stats.max_window = self.stats.max_window.max(window.len());
+        self.stats.frontier_peak = self.stats.frontier_peak.max(ends.len());
+        self.frontier = ends;
+    }
+}
+
+/// A thread-safe [`StreamingChecker`]: the drop-in verifying counterpart
+/// of [`Recorder`](crate::Recorder).
+///
+/// Worker threads call [`invoke`](StreamingRecorder::invoke) right before
+/// an operation and [`ret`](StreamingRecorder::ret) right after; the lock
+/// acquisition order yields a valid real-time order, and sealed windows
+/// are verified in place of being stored, so memory stays bounded however
+/// long the run.
+#[derive(Debug)]
+pub struct StreamingRecorder<T: SequentialSpec> {
+    inner: Mutex<StreamingChecker<T>>,
+}
+
+impl<T: SequentialSpec> StreamingRecorder<T> {
+    /// A recorder verifying against `spec` under `condition`.
+    pub fn new(spec: T, condition: Condition, options: CheckOptions) -> Self {
+        StreamingRecorder { inner: Mutex::new(StreamingChecker::new(spec, condition, options)) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StreamingChecker<T>> {
+        // As with Recorder: a simulated crash may poison the lock; the
+        // checker state is consistent (every event is applied atomically).
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Records (and eventually checks) an invocation by `pid`.
+    pub fn invoke(&self, pid: ProcId, op: T::Op) -> OpId {
+        self.lock().invoke(pid, op)
+    }
+
+    /// Records the response of operation `of`.
+    pub fn ret(&self, of: OpId, resp: T::Resp) {
+        self.lock().ret(of, resp)
+    }
+
+    /// Records a system-wide crash marker. Call only once all worker
+    /// threads have stopped.
+    pub fn crash(&self) {
+        self.lock().crash()
+    }
+
+    /// Checks the remaining buffer and returns the verdict.
+    ///
+    /// # Errors
+    ///
+    /// The first [`Violation`] any window produced.
+    pub fn finish(self) -> Result<CheckStats, Violation> {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_records, records_for, History};
+    use dss_spec::types::{QueueOp, QueueResp, QueueSpec};
+    use std::sync::Arc;
+
+    #[test]
+    fn long_sequential_stream_stays_small() {
+        let mut c =
+            StreamingChecker::new(QueueSpec, Condition::Linearizability, CheckOptions::default());
+        for i in 1..=10_000u64 {
+            let a = c.invoke(0, QueueOp::Enqueue(i));
+            c.ret(a, QueueResp::Ok);
+            assert!(c.buffered() <= 2, "buffer must drain as windows seal");
+            let b = c.invoke(1, QueueOp::Dequeue);
+            c.ret(b, QueueResp::Value(i));
+        }
+        let stats = c.finish().unwrap();
+        assert_eq!(stats.ops, 20_000);
+    }
+
+    #[test]
+    fn violation_is_sticky_and_reported() {
+        let mut c =
+            StreamingChecker::new(QueueSpec, Condition::Linearizability, CheckOptions::default());
+        let a = c.invoke(0, QueueOp::Dequeue);
+        c.ret(a, QueueResp::Value(9)); // nothing was enqueued
+        for i in 0..50u64 {
+            let e = c.invoke(0, QueueOp::Enqueue(i));
+            c.ret(e, QueueResp::Ok);
+        }
+        let err = c.finish().unwrap_err();
+        assert!(matches!(err, Violation::WindowNoLinearization { first_op: 0, .. }), "{err}");
+    }
+
+    #[test]
+    fn streamed_verdicts_match_batch_on_crash_histories() {
+        // Drive the same events through History + check_records and the
+        // streaming checker; verdicts must agree, including the
+        // persistent-atomicity deadline that resolves on re-invocation.
+        for (cond, observed) in [
+            (Condition::StrictLinearizability, false),
+            (Condition::StrictLinearizability, true),
+            (Condition::PersistentAtomicity, false),
+            (Condition::PersistentAtomicity, true),
+            (Condition::DurableLinearizability, true),
+        ] {
+            let mut h = History::new();
+            let mut c = StreamingChecker::new(QueueSpec, cond, CheckOptions::default());
+            let _ = h.invoke(0, QueueOp::Enqueue(5));
+            let _ = c.invoke(0, QueueOp::Enqueue(5));
+            h.crash();
+            c.crash();
+            let resp = if observed { QueueResp::Value(5) } else { QueueResp::Empty };
+            let hb = h.invoke(0, QueueOp::Dequeue);
+            let cb = c.invoke(0, QueueOp::Dequeue);
+            h.ret(hb, resp);
+            c.ret(cb, resp);
+            let records = records_for(&h, cond).unwrap();
+            let batch = check_records(&QueueSpec, &records, &CheckOptions::default()).is_ok();
+            let streamed = c.finish().is_ok();
+            assert_eq!(batch, streamed, "{cond:?} observed={observed}");
+        }
+    }
+
+    #[test]
+    fn pending_operation_blocks_sealing_until_finish() {
+        let mut c =
+            StreamingChecker::new(QueueSpec, Condition::Linearizability, CheckOptions::default());
+        let _stuck = c.invoke(0, QueueOp::Dequeue); // never returns
+        for i in 1..=20u64 {
+            let a = c.invoke(1, QueueOp::Enqueue(i));
+            c.ret(a, QueueResp::Ok);
+        }
+        assert_eq!(c.checked_ops(), 0, "open run cannot seal");
+        assert_eq!(c.buffered(), 21);
+        let stats = c.finish().unwrap();
+        assert_eq!(stats.ops, 21);
+    }
+
+    #[test]
+    fn double_invoke_by_same_pid_is_malformed() {
+        let mut c =
+            StreamingChecker::new(QueueSpec, Condition::Linearizability, CheckOptions::default());
+        let _a = c.invoke(0, QueueOp::Dequeue);
+        let _b = c.invoke(0, QueueOp::Dequeue);
+        assert!(matches!(c.finish(), Err(Violation::Malformed(_))));
+    }
+
+    #[test]
+    fn concurrent_streaming_recorder_verifies_on_the_fly() {
+        // Cut points are quiescent instants, so a run of continuously busy
+        // threads is one giant window (that is the FIFO fast path's case).
+        // Model a workload with phases: a barrier between batches
+        // guarantees quiescence, bounding every window.
+        let rec = Arc::new(StreamingRecorder::new(
+            QueueSpec,
+            Condition::Linearizability,
+            CheckOptions::default(),
+        ));
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        // The object under test: a mutexed queue, linearizable by
+        // construction. Enqueue/dequeue pairs keep it (and therefore the
+        // carried frontier) small.
+        let obj = Arc::new(Mutex::new(std::collections::VecDeque::new()));
+        let handles: Vec<_> = (0..4)
+            .map(|pid| {
+                let rec = Arc::clone(&rec);
+                let barrier = Arc::clone(&barrier);
+                let obj = Arc::clone(&obj);
+                std::thread::spawn(move || {
+                    for batch in 0..5u64 {
+                        for i in 0..25u64 {
+                            let v = pid as u64 * 1000 + batch * 25 + i;
+                            let id = rec.invoke(pid, QueueOp::Enqueue(v));
+                            obj.lock().unwrap().push_back(v);
+                            rec.ret(id, QueueResp::Ok);
+                            let id = rec.invoke(pid, QueueOp::Dequeue);
+                            let got = obj.lock().unwrap().pop_front();
+                            rec.ret(id, got.map_or(QueueResp::Empty, QueueResp::Value));
+                        }
+                        barrier.wait();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let stats = Arc::try_unwrap(rec).ok().unwrap().finish().unwrap();
+        assert_eq!(stats.ops, 1000);
+        assert!(stats.max_window <= 512, "barriers bound the windows");
+    }
+}

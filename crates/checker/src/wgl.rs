@@ -13,10 +13,15 @@ pub enum Violation {
     /// The history itself is ill-formed (unbalanced invoke/return,
     /// responses from unknown operations, …) — nothing was checked.
     Malformed(String),
-    /// The history holds more records than the checker can track (the
-    /// search keys processed-record sets as a `u64` bitmask, so checks
-    /// cap at [`MAX_OPS`] operations). Callers that generate histories
-    /// should bound them by `wgl::MAX_OPS` rather than a literal.
+    /// The monolithic checker ([`check`]) was handed more records than one
+    /// search window may hold (it keys processed-record sets as a `u64`
+    /// bitmask, so a *window* caps at [`MAX_OPS`] operations). The bound is
+    /// per window, not per history: the segmented pipeline
+    /// ([`check_records`](crate::check_records)) cuts arbitrarily long
+    /// histories into windows and only fails this way if a single window —
+    /// a run of transitively overlapping operations — exceeds
+    /// [`CheckOptions::max_window_ops`](crate::CheckOptions::max_window_ops)
+    /// (reported as [`Violation::WindowTooLarge`] with window context).
     HistoryTooLarge {
         /// Number of records in the offending history.
         len: usize,
@@ -28,6 +33,45 @@ pub enum Violation {
         best: usize,
         /// Total operations in the history.
         total: usize,
+    },
+    /// One window of a segmented check exceeded the configured per-window
+    /// operation bound (a run of transitively overlapping operations too
+    /// long to search exhaustively).
+    WindowTooLarge {
+        /// Ordinal of the offending window (0-based).
+        window: usize,
+        /// [`OpId`](crate::OpId) value of the window's first record.
+        first_op: usize,
+        /// Number of records in the window.
+        len: usize,
+        /// The configured per-window bound it exceeded.
+        limit: usize,
+    },
+    /// One window of a segmented (possibly partitioned) check admitted no
+    /// linearization from any spec state reachable at its left cut point.
+    WindowNoLinearization {
+        /// Ordinal of the offending window (0-based) within its partition.
+        window: usize,
+        /// [`OpId`](crate::OpId) value of the window's first record.
+        first_op: usize,
+        /// [`OpId`](crate::OpId) value of the window's last record.
+        last_op: usize,
+        /// Number of records in the window.
+        len: usize,
+        /// Partition key (its `Debug` rendering) when the check was split
+        /// by [`Partitionable`](dss_spec::Partitionable); `None` for
+        /// single-object checks.
+        partition: Option<String>,
+        /// Most operations any explored prefix of the window covered.
+        best: usize,
+    },
+    /// The FIFO fast path found a concrete queue-order violation.
+    FifoOrder {
+        /// What the offending operations did wrong.
+        reason: String,
+        /// [`OpId`](crate::OpId) values of the operations that witness the
+        /// violation.
+        ops: Vec<usize>,
     },
 }
 
@@ -47,13 +91,45 @@ impl fmt::Display for Violation {
         match self {
             Violation::Malformed(msg) => write!(f, "malformed history: {msg}"),
             Violation::HistoryTooLarge { len } => {
-                write!(f, "{len} operations exceed the checker limit of {MAX_OPS}")
+                write!(
+                    f,
+                    "{len} operations exceed the monolithic checker's per-window limit of \
+                     {MAX_OPS}; use the segmented pipeline (check_records) for longer histories"
+                )
             }
             Violation::NoLinearization { best, total } => {
                 write!(
                     f,
                     "no valid linearization: best prefix covered {best} of {total} operations"
                 )
+            }
+            Violation::WindowTooLarge { window, first_op, len, limit } => {
+                write!(
+                    f,
+                    "window {window} (starting at op {first_op}) holds {len} transitively \
+                     overlapping operations, exceeding the per-window bound of {limit}"
+                )
+            }
+            Violation::WindowNoLinearization {
+                window,
+                first_op,
+                last_op,
+                len,
+                partition,
+                best,
+            } => {
+                write!(
+                    f,
+                    "no valid linearization of window {window} (ops {first_op}..={last_op}, \
+                     {len} records"
+                )?;
+                if let Some(p) = partition {
+                    write!(f, ", partition {p}")?;
+                }
+                write!(f, "): best prefix covered {best} of {len} operations")
+            }
+            Violation::FifoOrder { reason, ops } => {
+                write!(f, "FIFO order violation at ops {ops:?}: {reason}")
             }
         }
     }
@@ -328,7 +404,7 @@ mod tests {
         let recs = records_for(&h, Condition::Linearizability).unwrap();
         let err = check(&QueueSpec, &recs).unwrap_err();
         assert_eq!(err, Violation::HistoryTooLarge { len: 64 });
-        assert!(err.message().contains("checker limit"));
+        assert!(err.message().contains("per-window limit"));
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Differential tests: on every history small enough for the classic
+//! monolithic Wing–Gong search (≤ 63 operations), the segmented checker
+//! ([`check_records`]), the streaming checker ([`StreamingChecker`]), and —
+//! for queues — the FIFO fast path ([`check_fifo`]) must all return the
+//! same verdict as [`check`]. The monolithic search is the ground-truth
+//! oracle; any disagreement is a bug in the newer pipeline.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dss_checker::{
+    check, check_fifo, check_records, records_for, CheckOptions, Condition, Event, History, OpId,
+    StreamingChecker,
+};
+use dss_spec::types::{
+    CasOp, CasResp, CasSpec, QueueOp, QueueResp, QueueSpec, RegisterOp, RegisterResp, RegisterSpec,
+    StackOp, StackResp, StackSpec,
+};
+use dss_spec::SequentialSpec;
+
+/// Crash-aware conditions (everything but plain linearizability).
+const CRASH_CONDS: [Condition; 4] = [
+    Condition::StrictLinearizability,
+    Condition::PersistentAtomicity,
+    Condition::RecoverableLinearizability,
+    Condition::DurableLinearizability,
+];
+
+fn condition_for(idx: usize, has_crash: bool) -> Condition {
+    if has_crash {
+        CRASH_CONDS[idx % CRASH_CONDS.len()]
+    } else if idx % 5 == 4 {
+        Condition::Linearizability
+    } else {
+        CRASH_CONDS[idx % CRASH_CONDS.len()]
+    }
+}
+
+/// One generator step: `kind` selects invoke (0–4), return (5–6), or crash
+/// (7); `sel` picks the process / the pending operation.
+type Action<O> = (u8, usize, O);
+
+/// Builds a well-formed concurrent history from a script, deriving each
+/// response by applying the operation to a running state *at return time*.
+/// The return-order permutation is then a linearization witness (if
+/// `deadline(a) <= inv(b)` then `a` returned before `b` was invoked, so
+/// return order respects the interval order), hence the history is
+/// accepted by a sound checker under every condition.
+fn valid_concurrent_history<T: SequentialSpec>(
+    spec: &T,
+    nproc: usize,
+    script: &[Action<T::Op>],
+    max_crashes: usize,
+) -> History<T::Op, T::Resp> {
+    let mut h = History::new();
+    let mut pending: Vec<(usize, OpId, T::Op)> = Vec::new();
+    let mut state = spec.initial();
+    let mut crashes = 0;
+    for (kind, sel, op) in script {
+        match *kind {
+            0..=4 => {
+                let pid = *sel % nproc;
+                if !pending.iter().any(|(p, _, _)| *p == pid) {
+                    let id = h.invoke(pid, op.clone());
+                    pending.push((pid, id, op.clone()));
+                }
+            }
+            5 | 6 => {
+                if !pending.is_empty() {
+                    let (pid, id, op) = pending.swap_remove(*sel % pending.len());
+                    let (next, resp) = spec.apply(&state, &op, pid).expect("specs here are total");
+                    state = next;
+                    h.ret(id, resp);
+                }
+            }
+            _ => {
+                if crashes < max_crashes {
+                    h.crash();
+                    // Ops pending at the crash never return; they are
+                    // droppable, and the running state simply never
+                    // absorbs them.
+                    pending.clear();
+                    crashes += 1;
+                }
+            }
+        }
+    }
+    h
+}
+
+/// Rebuilds a history from raw events (operation IDs are event indices, so
+/// replaying in order reproduces identical IDs).
+fn replay<O: Clone, R: Clone>(events: Vec<Event<O, R>>) -> History<O, R> {
+    let mut h = History::new();
+    for e in events {
+        match e {
+            Event::Invoke { pid, op } => {
+                h.invoke(pid, op);
+            }
+            Event::Return { of, resp } => h.ret(of, resp),
+            Event::Crash => h.crash(),
+        }
+    }
+    h
+}
+
+/// The differential core: monolithic vs segmented vs streaming (and, via
+/// [`assert_fifo_agrees`], the FIFO fast path). Returns the oracle verdict
+/// so callers can additionally pin it.
+fn assert_verdicts_agree<T: SequentialSpec + Copy>(
+    spec: &T,
+    h: &History<T::Op, T::Resp>,
+    cond: Condition,
+) -> bool {
+    let records = records_for(h, cond).expect("generated histories are well-formed");
+    assert!(records.len() <= 63, "generator exceeded the monolithic checker's capacity");
+
+    let mono = check(spec, &records).is_ok();
+    let seg = check_records(spec, &records, &CheckOptions::default()).is_ok();
+    assert_eq!(
+        mono, seg,
+        "segmented checker disagrees with monolithic oracle under {cond:?}: {records:?}"
+    );
+
+    // Streaming replay of the very same events.
+    let mut s = StreamingChecker::new(*spec, cond, CheckOptions::default());
+    let mut ids: HashMap<OpId, OpId> = HashMap::new();
+    for (i, e) in h.events().iter().enumerate() {
+        match e {
+            Event::Invoke { pid, op } => {
+                ids.insert(OpId(i), s.invoke(*pid, op.clone()));
+            }
+            Event::Return { of, resp } => s.ret(ids[of], resp.clone()),
+            Event::Crash => s.crash(),
+        }
+    }
+    let stream = s.finish().is_ok();
+    assert_eq!(
+        mono, stream,
+        "streaming checker disagrees with monolithic oracle under {cond:?}: {records:?}"
+    );
+    mono
+}
+
+/// When the FIFO fast path claims a verdict (`Some`), it must match the
+/// oracle; `None` (fall back to the general search) is always acceptable.
+fn assert_fifo_agrees(h: &History<QueueOp, QueueResp>, cond: Condition) {
+    let records = records_for(h, cond).expect("generated histories are well-formed");
+    let mono = check(&QueueSpec, &records).is_ok();
+    if let Some(fast) = check_fifo(&QueueSpec, &records) {
+        assert_eq!(
+            mono,
+            fast.is_ok(),
+            "FIFO fast path disagrees with monolithic oracle under {cond:?}: {records:?}"
+        );
+    }
+}
+
+/// Corrupts the `k`-th return event's response (if any) with `replacement`,
+/// returning the tampered history and whether anything changed.
+fn corrupt_return<O: Clone, R: Clone + PartialEq>(
+    h: &History<O, R>,
+    k: usize,
+    replacement: R,
+) -> Option<History<O, R>> {
+    let mut events: Vec<Event<O, R>> = h.events().to_vec();
+    let returns: Vec<usize> = events
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| matches!(e, Event::Return { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    if returns.is_empty() {
+        return None;
+    }
+    let i = returns[k % returns.len()];
+    if let Event::Return { resp, .. } = &mut events[i] {
+        if *resp == replacement {
+            return None; // not actually a corruption
+        }
+        *resp = replacement;
+    }
+    Some(replay(events))
+}
+
+/// Extra per-spec cross-check; the queue suite plugs in
+/// [`assert_fifo_agrees`], everything else uses this no-op.
+fn no_extra_check<O, R>(_h: &History<O, R>, _cond: Condition) {}
+
+macro_rules! equivalence_suite {
+    ($module:ident, $spec:expr, $op:expr, $resp:expr, $extra:path) => {
+        mod $module {
+            use super::*;
+
+            proptest! {
+                /// Valid concurrent histories (responses derived from a
+                /// return-order witness): every checker must accept.
+                #[test]
+                fn valid_histories_accepted(
+                    script in prop::collection::vec((0u8..8, 0usize..8, $op), 0..48),
+                    cond_idx in 0usize..5,
+                    nproc in 1usize..5,
+                ) {
+                    let spec = $spec;
+                    let h = valid_concurrent_history(&spec, nproc, &script, 2);
+                    let cond = condition_for(cond_idx, h.has_crash());
+                    let ok = assert_verdicts_agree(&spec, &h, cond);
+                    prop_assert!(ok, "valid-by-construction history rejected under {cond:?}");
+                    $extra(&h, cond);
+                }
+
+                /// The same histories with one response corrupted: all
+                /// checkers must still agree (usually on rejection, but
+                /// agreement — not rejection — is the property).
+                #[test]
+                fn corrupted_histories_agree(
+                    script in prop::collection::vec((0u8..8, 0usize..8, $op), 1..40),
+                    replacement in $resp,
+                    k in 0usize..64,
+                    cond_idx in 0usize..5,
+                ) {
+                    let spec = $spec;
+                    let h = valid_concurrent_history(&spec, 3, &script, 1);
+                    prop_assume!(h.events().iter().any(|e| matches!(e, Event::Return { .. })));
+                    let cond = condition_for(cond_idx, h.has_crash());
+                    if let Some(bad) = corrupt_return(&h, k, replacement) {
+                        assert_verdicts_agree(&spec, &bad, cond);
+                        $extra(&bad, cond);
+                    }
+                }
+
+                /// Fully random responses (type-correct but arbitrary):
+                /// verdict parity on adversarial noise.
+                #[test]
+                fn random_response_histories_agree(
+                    script in prop::collection::vec((0u8..8, 0usize..8, $op, $resp), 0..40),
+                    cond_idx in 0usize..5,
+                ) {
+                    let spec = $spec;
+                    let mut h = History::new();
+                    let mut pending: Vec<(usize, OpId)> = Vec::new();
+                    let mut crashes = 0;
+                    for (kind, sel, op, resp) in &script {
+                        match *kind {
+                            0..=4 => {
+                                let pid = *sel % 3;
+                                if !pending.iter().any(|(p, _)| *p == pid) {
+                                    pending.push((pid, h.invoke(pid, op.clone())));
+                                }
+                            }
+                            5 | 6 => {
+                                if !pending.is_empty() {
+                                    let (_, id) = pending.swap_remove(*sel % pending.len());
+                                    h.ret(id, resp.clone());
+                                }
+                            }
+                            _ => {
+                                if crashes < 2 {
+                                    h.crash();
+                                    pending.clear();
+                                    crashes += 1;
+                                }
+                            }
+                        }
+                    }
+                    let cond = condition_for(cond_idx, h.has_crash());
+                    assert_verdicts_agree(&spec, &h, cond);
+                    $extra(&h, cond);
+                }
+            }
+        }
+    };
+}
+
+fn arb_queue_op() -> impl Strategy<Value = QueueOp> {
+    prop_oneof![(0u64..6).prop_map(QueueOp::Enqueue), Just(QueueOp::Dequeue)]
+}
+fn arb_queue_resp() -> impl Strategy<Value = QueueResp> {
+    prop_oneof![Just(QueueResp::Ok), (0u64..6).prop_map(QueueResp::Value), Just(QueueResp::Empty)]
+}
+fn arb_stack_op() -> impl Strategy<Value = StackOp> {
+    prop_oneof![(0u64..6).prop_map(StackOp::Push), Just(StackOp::Pop)]
+}
+fn arb_stack_resp() -> impl Strategy<Value = StackResp> {
+    prop_oneof![Just(StackResp::Ok), (0u64..6).prop_map(StackResp::Value), Just(StackResp::Empty)]
+}
+fn arb_register_op() -> impl Strategy<Value = RegisterOp> {
+    prop_oneof![(0u64..6).prop_map(RegisterOp::Write), Just(RegisterOp::Read)]
+}
+fn arb_register_resp() -> impl Strategy<Value = RegisterResp> {
+    prop_oneof![Just(RegisterResp::Ok), (0u64..6).prop_map(RegisterResp::Value)]
+}
+fn arb_cas_op() -> impl Strategy<Value = CasOp> {
+    prop_oneof![
+        Just(CasOp::Read),
+        (0u64..4, 0u64..4).prop_map(|(expected, new)| CasOp::Cas { expected, new })
+    ]
+}
+fn arb_cas_resp() -> impl Strategy<Value = CasResp> {
+    prop_oneof![(0u64..4).prop_map(CasResp::Value), proptest::bool::ANY.prop_map(CasResp::Done)]
+}
+
+equivalence_suite!(queue, QueueSpec, arb_queue_op(), arb_queue_resp(), assert_fifo_agrees);
+equivalence_suite!(stack, StackSpec, arb_stack_op(), arb_stack_resp(), no_extra_check);
+equivalence_suite!(register, RegisterSpec, arb_register_op(), arb_register_resp(), no_extra_check);
+equivalence_suite!(cas, CasSpec, arb_cas_op(), arb_cas_resp(), no_extra_check);

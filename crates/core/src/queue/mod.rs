@@ -459,10 +459,37 @@ impl<M: Memory> DssQueue<M> {
         self.pool.drain_lines(&[node.offset(F_VALUE), node.offset(F_NEXT), node.offset(F_DEQ_TID)]);
     }
 
+    /// The nodes some thread's detectability word still references:
+    /// `X[i]`'s own node plus, for an announced dequeue predecessor, its
+    /// successor — `resolve` dereferences both, however long ago the
+    /// operation completed. These must survive both a crash-time allocator
+    /// rebuild *and* crash-free epoch reclamation; recycling one would
+    /// make a later `resolve` chase reinitialized memory and misreport
+    /// the operation as not having taken effect.
+    pub(crate) fn x_referenced_nodes(&self) -> Vec<PAddr> {
+        let mut out = Vec::new();
+        for i in 0..self.nthreads() {
+            let x = self.pool.load(self.x_addr(i));
+            let d = tag::addr_of(x);
+            if !d.is_null() {
+                out.push(d);
+                let next = tag::addr_of(self.pool.load(d.offset(F_NEXT)));
+                if !next.is_null() {
+                    out.push(next);
+                }
+            }
+        }
+        out
+    }
+
     /// Allocates a node, recycling retired nodes through EBR when the free
-    /// lists run dry.
+    /// lists run dry — except nodes `resolve` can still reach through a
+    /// detectability word ([`x_referenced_nodes`](Self::x_referenced_nodes)),
+    /// which stay in limbo until the word moves on.
     pub(crate) fn alloc_node(&self, tid: usize) -> Result<PAddr, QueueFull> {
-        self.nodes.alloc_with_reclaim(tid, &self.ebr).ok_or(QueueFull)
+        self.nodes
+            .alloc_with_reclaim_guarded(tid, &self.ebr, || self.x_referenced_nodes())
+            .ok_or(QueueFull)
     }
 
     pub(crate) fn pin(&self, tid: usize) -> dss_pmem::EbrGuard<'_> {

@@ -180,17 +180,7 @@ impl<M: Memory> DssQueue<M> {
         let mut live: Vec<PAddr> = Vec::new();
         let head = tag::addr_of(self.pool.load(self.head_addr()));
         live.extend(self.reachable_from(head));
-        for i in 0..self.nthreads() {
-            let x = self.pool.load(self.x_addr(i));
-            let d = tag::addr_of(x);
-            if !d.is_null() {
-                live.push(d);
-                let next = tag::addr_of(self.pool.load(d.offset(F_NEXT)));
-                if !next.is_null() {
-                    live.push(next);
-                }
-            }
-        }
+        live.extend(self.x_referenced_nodes());
         self.nodes.rebuild(live);
         // The EBR limbo lists are volatile and reference pre-crash nodes
         // that rebuild() has already re-classified; drop them wholesale.

@@ -504,3 +504,47 @@ fn ops_completed_counts() {
     q.dequeue(h0);
     assert_eq!(q.ops_completed(), 3);
 }
+
+#[test]
+fn resolve_survives_node_recycling() {
+    // A detectable dequeue's announced predecessor (and the claimed node)
+    // stay referenced by X[tid] after the operation completes. Heavy churn
+    // through a tiny node pool forces epoch reclamation to recycle nodes;
+    // the X-referenced ones must be exempt, or a later resolve chases
+    // reinitialized memory and denies an operation that took effect.
+    let q = DssQueue::new(2, 4);
+    let h0 = q.register_thread().unwrap();
+    let h1 = q.register_thread().unwrap();
+    q.enqueue(h1, 7).unwrap();
+    q.prep_dequeue(h0);
+    assert_eq!(q.exec_dequeue(h0), QueueResp::Value(7));
+    // Churn far past the pool size on the other thread.
+    for i in 0..100 {
+        q.enqueue(h1, 100 + i).unwrap();
+        assert_eq!(q.dequeue(h1), QueueResp::Value(100 + i));
+    }
+    assert_eq!(
+        q.resolve(h0),
+        Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(QueueResp::Value(7)) }
+    );
+}
+
+#[test]
+fn resolve_enqueue_value_survives_node_recycling() {
+    // Same hazard on the enqueue side: X[tid] names the enqueued node and
+    // resolve reads its value field, which recycling would overwrite.
+    let q = DssQueue::new(2, 4);
+    let h0 = q.register_thread().unwrap();
+    let h1 = q.register_thread().unwrap();
+    q.prep_enqueue(h0, 42).unwrap();
+    q.exec_enqueue(h0);
+    assert_eq!(q.dequeue(h1), QueueResp::Value(42)); // retire h0's node
+    for i in 0..100 {
+        q.enqueue(h1, 200 + i).unwrap();
+        assert_eq!(q.dequeue(h1), QueueResp::Value(200 + i));
+    }
+    assert_eq!(
+        q.resolve(h0),
+        Resolved { op: Some(ResolvedOp::Enqueue(42)), resp: Some(QueueResp::Ok) }
+    );
+}

@@ -339,8 +339,22 @@ impl<M: Memory> DssStack<M> {
         (0..self.nthreads).filter_map(|slot| self.adopt(slot).ok()).collect()
     }
 
+    /// The nodes the detectability words still name — a prepared push's
+    /// node or a claimed pop's node. `resolve` dereferences them long
+    /// after the operation completes, so epoch reclamation must not
+    /// recycle them (the crash-free counterpart of
+    /// [`rebuild_allocator`](Self::rebuild_allocator)'s liveness rule).
+    fn x_referenced_nodes(&self) -> Vec<PAddr> {
+        (0..self.nthreads)
+            .map(|i| tag::addr_of(self.pool.load(self.x_addr(i))))
+            .filter(|d| !d.is_null())
+            .collect()
+    }
+
     fn alloc(&self, tid: usize) -> Result<PAddr, StackFull> {
-        self.nodes.alloc_with_reclaim(tid, &self.ebr).ok_or(StackFull)
+        self.nodes
+            .alloc_with_reclaim_guarded(tid, &self.ebr, || self.x_referenced_nodes())
+            .ok_or(StackFull)
     }
 
     /// The live top: skips the claimed prefix, helping claimed pops along
@@ -683,12 +697,7 @@ impl<M: Memory> DssStack<M> {
             live.push(cur);
             cur = tag::addr_of(self.pool.load(cur.offset(F_NEXT)));
         }
-        for i in 0..self.nthreads {
-            let d = tag::addr_of(self.pool.load(self.x_addr(i)));
-            if !d.is_null() {
-                live.push(d);
-            }
-        }
+        live.extend(self.x_referenced_nodes());
         self.nodes.rebuild(live);
         self.ebr.reset();
     }

@@ -144,5 +144,67 @@ fn main() {
         println!();
         assert_eq!(total_violations, 0, "multi-process detectability violations found!");
     }
+    checked_histories_epilogue(&args);
     println!("ok: every crash point resolved consistently with D<queue>");
+}
+
+/// E13 rider: the matrix above validates each crash point's *resolve*
+/// against the persisted queue state; this epilogue additionally records
+/// whole crashing executions and verifies the full `D⟨queue⟩` history —
+/// every operation, no sampling — through the segmented pipeline under
+/// strict linearizability.
+fn checked_histories_epilogue(args: &cli::Args) {
+    use dss_checker::{CheckOptions, Condition};
+    use dss_harness::record::{
+        check_recorded_full, record_crash_execution, record_partial_recovery_execution,
+    };
+
+    const SEEDS: u64 = 6;
+    let options = CheckOptions::default();
+    println!("# checked histories: full-length verification of recorded crash runs");
+    println!(
+        "{:<22} {:>6} {:>8} {:>9} {:>12}",
+        "workload", "seeds", "ops", "windows", "max-window"
+    );
+    let (mut ops, mut windows, mut max_window) = (0usize, 0usize, 0usize);
+    for seed in 0..SEEDS {
+        let h = record_crash_execution(3, 30, args.seed + seed);
+        let stats = check_recorded_full(&h, Condition::StrictLinearizability, &options)
+            .unwrap_or_else(|e| panic!("crash run seed {seed}: {e}"));
+        ops += stats.ops;
+        windows += stats.windows;
+        max_window = max_window.max(stats.max_window);
+    }
+    println!("{:<22} {:>6} {:>8} {:>9} {:>12}", "system-crash", SEEDS, ops, windows, max_window);
+    if args.partial_recovery {
+        for survivors in 1..=3usize {
+            let (mut ops, mut windows, mut max_window) = (0usize, 0usize, 0usize);
+            for seed in 0..SEEDS {
+                let h = record_partial_recovery_execution(
+                    3,
+                    survivors,
+                    20,
+                    args.seed + seed,
+                    args.coalesce,
+                    args.per_address,
+                );
+                let stats = check_recorded_full(&h, Condition::StrictLinearizability, &options)
+                    .unwrap_or_else(|e| {
+                        panic!("partial recovery survivors={survivors} seed={seed}: {e}")
+                    });
+                ops += stats.ops;
+                windows += stats.windows;
+                max_window = max_window.max(stats.max_window);
+            }
+            println!(
+                "{:<22} {:>6} {:>8} {:>9} {:>12}",
+                format!("partial-recovery s={survivors}"),
+                SEEDS,
+                ops,
+                windows,
+                max_window
+            );
+        }
+    }
+    println!();
 }

@@ -40,6 +40,25 @@ pub struct Args {
     /// mid-operation, and a fresh attach from the parent must recover and
     /// resolve every pre-crash operation. Default off.
     pub multi_process: bool,
+    /// Checker pipeline (`--mode monolithic|partitioned`,
+    /// `check_histories` only): `monolithic` is the classic bounded
+    /// Wing–Gong search (the ground-truth oracle, histories capped at
+    /// `MAX_OPS`); `partitioned` is the segmented/fast-path pipeline that
+    /// checks full-length histories. Default partitioned.
+    pub mode: CheckMode,
+    /// Override of the per-window operation bound (`--max-ops <n>`,
+    /// `check_histories` only); `None` keeps the checker's default.
+    pub max_ops: Option<usize>,
+}
+
+/// Which checking pipeline `check_histories` runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckMode {
+    /// The classic bounded search ([`dss_checker::check`]).
+    Monolithic,
+    /// The segmented + fast-path pipeline
+    /// ([`dss_checker::check_records`]), full-length histories.
+    Partitioned,
 }
 
 impl Default for Args {
@@ -58,6 +77,8 @@ impl Default for Args {
             backoff: false,
             partial_recovery: false,
             multi_process: false,
+            mode: CheckMode::Partitioned,
+            max_ops: None,
         }
     }
 }
@@ -96,10 +117,18 @@ pub fn parse() -> Args {
                 args.partial_recovery = parse_switch("--partial-recovery", &val());
             }
             "--multi-process" => args.multi_process = parse_switch("--multi-process", &val()),
+            "--mode" => {
+                args.mode = match val().as_str() {
+                    "monolithic" => CheckMode::Monolithic,
+                    "partitioned" => CheckMode::Partitioned,
+                    m => panic!("--mode {m}: expected monolithic|partitioned"),
+                }
+            }
+            "--max-ops" => args.max_ops = Some(val().parse().expect("--max-ops <usize>")),
             other => panic!(
                 "unknown flag {other}; known: --threads --ms --repeats --penalty \
                  --granularity --adversary --seed --backend --coalesce --per-address --backoff \
-                 --partial-recovery --multi-process"
+                 --partial-recovery --multi-process --mode --max-ops"
             ),
         }
     }
@@ -149,6 +178,8 @@ mod tests {
         assert!(!a.coalesce && !a.per_address && !a.backoff, "perf features default off");
         assert!(!a.partial_recovery, "partial-recovery mode defaults off");
         assert!(!a.multi_process, "multi-process mode defaults off");
+        assert_eq!(a.mode, CheckMode::Partitioned, "full-length checking is the default");
+        assert_eq!(a.max_ops, None);
     }
 
     #[test]

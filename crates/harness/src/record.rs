@@ -12,7 +12,10 @@
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
-use dss_checker::{check_history, Condition, History, Recorder, Violation};
+use dss_checker::{
+    check_fifo, check_history, check_records, records_for, CheckOptions, CheckStats, Condition,
+    History, Recorder, Violation,
+};
 use dss_core::{DssQueue, Resolved, ResolvedOp};
 use dss_pmem::{CrashSignal, ThreadHandle, WritebackAdversary};
 use dss_spec::types::{QueueOp, QueueResp, QueueSpec};
@@ -235,6 +238,120 @@ pub fn check_recorded(history: &RecordedHistory, condition: Condition) -> Result
     check_history(&spec, history, condition)
 }
 
+/// Checks a recorded history of any length under `condition` via the
+/// segmented pipeline — no sampling, no truncation. Only a single window
+/// (a run of transitively overlapping operations) is bounded, by
+/// `options.max_window_ops`; phased workloads
+/// ([`record_phased_execution`]) keep windows small by construction.
+///
+/// # Errors
+///
+/// The checker's [`Violation`], as [`check_recorded`].
+pub fn check_recorded_full(
+    history: &RecordedHistory,
+    condition: Condition,
+    options: &CheckOptions,
+) -> Result<CheckStats, Violation> {
+    let spec = Detectable::new(QueueSpec, 8);
+    let records = records_for(history, condition)?;
+    check_records(&spec, &records, options)
+}
+
+/// A recorded history of the queue's *plain* operations only — the shape
+/// the near-linear FIFO fast path understands.
+pub type PlainHistory = History<QueueOp, QueueResp>;
+
+/// Checks a plain queue history of any length: the FIFO fast path first
+/// (near-linear, immune to overlapping-run length), falling back to the
+/// segmented search when it cannot decide.
+///
+/// # Errors
+///
+/// The checker's [`Violation`] from whichever path produced the verdict.
+pub fn check_plain(
+    history: &PlainHistory,
+    condition: Condition,
+    options: &CheckOptions,
+) -> Result<CheckStats, Violation> {
+    let records = records_for(history, condition)?;
+    check_fifo(&QueueSpec, &records).unwrap_or_else(|| check_records(&QueueSpec, &records, options))
+}
+
+/// Records a crash-free execution of the queue's plain operations at any
+/// scale. Each thread alternates enqueue/dequeue so with `prefill`
+/// initial values the queue never empties (every dequeue observes a
+/// value), and values are globally unique — exactly the regime the FIFO
+/// fast path verifies in near-linear time.
+pub fn record_plain_execution(
+    threads: usize,
+    pairs_per_thread: usize,
+    prefill: usize,
+    seed: u64,
+) -> PlainHistory {
+    let q = DssQueue::new(threads + 1, 64);
+    let hs: Vec<ThreadHandle> = (0..=threads).map(|_| q.register_thread().unwrap()).collect();
+    let rec = Recorder::new();
+    for i in 0..prefill {
+        let v = u64::MAX - i as u64; // distinct from worker values
+        let id = rec.invoke(threads, QueueOp::Enqueue(v));
+        q.enqueue(hs[threads], v).unwrap();
+        rec.ret(id, QueueResp::Ok);
+    }
+    std::thread::scope(|scope| {
+        for (tid, &h) in hs.iter().take(threads).enumerate() {
+            let q = &q;
+            let rec = &rec;
+            scope.spawn(move || {
+                for i in 0..pairs_per_thread {
+                    let v = ((tid as u64) << 32) | (i as u64 + 1) | (seed << 56);
+                    let id = rec.invoke(tid, QueueOp::Enqueue(v));
+                    q.enqueue(h, v).unwrap();
+                    rec.ret(id, QueueResp::Ok);
+                    let id = rec.invoke(tid, QueueOp::Dequeue);
+                    let resp = q.dequeue(h);
+                    rec.ret(id, resp);
+                }
+            });
+        }
+    });
+    rec.into_history()
+}
+
+/// Records a crash-free concurrent execution in *phases*: all threads
+/// rendezvous at a barrier every `phase_len` steps. The quiescent instant
+/// between phases is a guaranteed cut point, so the segmented checker's
+/// windows stay bounded by `threads * phase_len` however long the run —
+/// the recording discipline that makes full-length verification of
+/// `D⟨queue⟩` histories tractable.
+pub fn record_phased_execution(
+    threads: usize,
+    ops_per_thread: usize,
+    phase_len: usize,
+    seed: u64,
+) -> RecordedHistory {
+    assert!(phase_len > 0, "phase_len must be positive");
+    let q = DssQueue::new(threads, 64);
+    let hs: Vec<ThreadHandle> = (0..threads).map(|_| q.register_thread().unwrap()).collect();
+    let rec = Recorder::new();
+    let barrier = std::sync::Barrier::new(threads);
+    std::thread::scope(|scope| {
+        for (tid, &h) in hs.iter().enumerate() {
+            let q = &q;
+            let rec = &rec;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                for (i, step) in plan(tid, ops_per_thread, seed).into_iter().enumerate() {
+                    run_step(q, rec, h, step);
+                    if (i + 1) % phase_len == 0 {
+                        barrier.wait();
+                    }
+                }
+            });
+        }
+    });
+    rec.into_history()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +385,39 @@ mod tests {
                 check_recorded(&h, Condition::StrictLinearizability)
                     .unwrap_or_else(|e| panic!("seed {seed} survivors {survivors}: {e}"));
             }
+        }
+    }
+
+    #[test]
+    fn plain_executions_check_fully_at_scale() {
+        // 2 threads * 2000 pairs = 8000 ops: far beyond the monolithic cap,
+        // checked in full (no sampling) via the FIFO fast path.
+        let h = record_plain_execution(2, 2000, 4, 7);
+        assert!(h.validate().is_ok());
+        let stats = check_plain(&h, Condition::Linearizability, &CheckOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(stats.ops, 2 * 2 * 2000 + 4);
+        assert!(stats.fast_path, "distinct-value no-empty runs take the fast path");
+    }
+
+    #[test]
+    fn phased_executions_check_fully_at_scale() {
+        let h = record_phased_execution(3, 60, 5, 11);
+        assert!(h.validate().is_ok());
+        let stats = check_recorded_full(&h, Condition::Linearizability, &CheckOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"));
+        assert!(stats.ops > dss_checker::MAX_OPS, "beyond the monolithic cap");
+        assert!(stats.max_window <= 512);
+    }
+
+    #[test]
+    fn full_check_agrees_with_monolithic_on_small_histories() {
+        for seed in 0..10 {
+            let h = record_execution(2, 5, seed);
+            let mono = check_recorded(&h, Condition::Linearizability).is_ok();
+            let seg = check_recorded_full(&h, Condition::Linearizability, &CheckOptions::default())
+                .is_ok();
+            assert_eq!(mono, seg, "seed {seed}");
         }
     }
 

@@ -135,12 +135,48 @@ impl NodePool {
     ///
     /// Panics if `tid` is out of range.
     pub fn alloc_with_reclaim(&self, tid: usize, ebr: &Ebr) -> Option<PAddr> {
+        self.alloc_with_reclaim_guarded(tid, ebr, Vec::new)
+    }
+
+    /// [`alloc_with_reclaim`](Self::alloc_with_reclaim) with a
+    /// detectability guard: `protected` returns the nodes that must not be
+    /// recycled yet even though the epochs have quiesced them — typically
+    /// the nodes a structure's per-thread detectability words still
+    /// reference, which `resolve` may dereference arbitrarily long after
+    /// the operation completed (the crash-free counterpart of the liveness
+    /// rule recovery's allocator rebuild applies). Protected nodes are
+    /// re-retired and become reclaimable once no longer protected.
+    ///
+    /// `protected` is consulted once per reclamation round, *after* the
+    /// epoch check has quiesced the candidates: any thread that could
+    /// still publish a reference to a candidate was pinned when the
+    /// candidate was retired, so its announcement store precedes the epoch
+    /// advance that released the candidate, and a post-collect read
+    /// observes it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is out of range.
+    pub fn alloc_with_reclaim_guarded<F: FnMut() -> Vec<PAddr>>(
+        &self,
+        tid: usize,
+        ebr: &Ebr,
+        mut protected: F,
+    ) -> Option<PAddr> {
         if let Some(a) = self.alloc(tid) {
             return Some(a);
         }
         for _ in 0..64 {
-            for a in ebr.collect_all(tid) {
-                self.free(tid, a);
+            let collected = ebr.collect_all(tid);
+            if !collected.is_empty() {
+                let guard: std::collections::HashSet<PAddr> = protected().into_iter().collect();
+                for a in collected {
+                    if guard.contains(&a) {
+                        ebr.retire(tid, a);
+                    } else {
+                        self.free(tid, a);
+                    }
+                }
             }
             if let Some(a) = self.alloc(tid) {
                 return Some(a);

@@ -49,9 +49,11 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod detectable;
+mod partition;
 mod seq;
 
 pub mod types;
 
 pub use detectable::{DetOp, DetResp, DetState, Detectable};
+pub use partition::{FifoResp, FifoSpec, Keyed, Partitionable};
 pub use seq::{ProcId, SequentialSpec};

@@ -1,0 +1,257 @@
+//! Partition hooks: decomposing a specification's operations into
+//! independent sub-objects.
+//!
+//! The Wing–Gong search is exponential in the number of overlapping
+//! operations, so the checker's scalability hinges on *decomposition*. Two
+//! decompositions are orthogonal:
+//!
+//! * **By sub-object (this module).** Castañeda–Rajsbaum–Raynal's
+//!   interval-sequential framing justifies checking a composite object's
+//!   history per component: linearizability is *local* (Herlihy & Wing,
+//!   Theorem 1 — "P-compositionality"), so a history over a keyed family of
+//!   independent objects is linearizable iff each key's sub-history is
+//!   linearizable against that key's sub-specification. [`Partitionable`]
+//!   exposes exactly the hooks a checker needs to split a history this way.
+//! * **By time.** Wherever the interval order is total — every earlier
+//!   operation's deadline precedes every later operation's invocation — the
+//!   search decomposes into windows with state threaded across the cut.
+//!   That lives in the checker crate (`dss-checker`), which consumes these
+//!   hooks.
+//!
+//! The module also defines [`FifoSpec`], the classification hooks that let
+//! a checker recognise a FIFO queue history and verify it with a
+//! near-linear matching algorithm instead of the exponential search.
+
+use std::collections::BTreeMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::{ProcId, SequentialSpec};
+
+/// A specification whose operations split into independent sub-objects
+/// ("partitions"), identified by [`Key`](Partitionable::Key).
+///
+/// The contract backing P-compositionality: operations with different keys
+/// commute and observe disjoint components of the state, so a concurrent
+/// history is linearizable w.r.t. `Self` iff, for every key `k`, the
+/// sub-history of key-`k` operations (projected through
+/// [`project_op`](Partitionable::project_op) /
+/// [`project_resp`](Partitionable::project_resp)) is linearizable w.r.t.
+/// [`part_spec(k)`](Partitionable::part_spec).
+///
+/// Implementations must guarantee:
+///
+/// * every operation maps to exactly one key;
+/// * `apply` on `Self` agrees with `apply` on the key's partition spec,
+///   component-wise (ops on key `k` neither read nor write any other key's
+///   component).
+pub trait Partitionable: SequentialSpec {
+    /// Partition identifier.
+    type Key: Clone + Eq + Ord + Hash + Debug;
+    /// The sub-specification governing one partition.
+    type Part: SequentialSpec;
+
+    /// The partition an operation belongs to.
+    fn key_of(&self, op: &Self::Op) -> Self::Key;
+
+    /// Projects a composite operation onto its partition's operation.
+    fn project_op(&self, op: &Self::Op) -> <Self::Part as SequentialSpec>::Op;
+
+    /// Projects a composite response onto the partition's response.
+    fn project_resp(&self, resp: &Self::Resp) -> <Self::Part as SequentialSpec>::Resp;
+
+    /// The specification of one partition.
+    fn part_spec(&self, key: &Self::Key) -> Self::Part;
+}
+
+/// A keyed family of independent objects of type `T`: operation `(k, op)`
+/// applies `op` to the `T`-instance at key `k`.
+///
+/// The canonical [`Partitionable`] type — a map of registers is a memory, a
+/// map of queues is a sharded queue service. Every key's component starts
+/// in `T`'s initial state.
+///
+/// # Examples
+///
+/// ```
+/// use dss_spec::{Keyed, Partitionable, SequentialSpec};
+/// use dss_spec::types::{RegisterOp, RegisterResp, RegisterSpec};
+///
+/// let mem = Keyed::new(RegisterSpec);
+/// let s = mem.initial();
+/// let (s, _) = mem.apply(&s, &(7, RegisterOp::Write(3)), 0).unwrap();
+/// let (_, r) = mem.apply(&s, &(7, RegisterOp::Read), 1).unwrap();
+/// assert_eq!(r, RegisterResp::Value(3));
+/// assert_eq!(mem.key_of(&(7, RegisterOp::Read)), 7);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Keyed<T> {
+    inner: T,
+}
+
+impl<T: SequentialSpec> Keyed<T> {
+    /// Wraps `inner` as the per-key specification.
+    pub fn new(inner: T) -> Self {
+        Keyed { inner }
+    }
+
+    /// The per-key specification.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: SequentialSpec + Clone> SequentialSpec for Keyed<T> {
+    type State = BTreeMap<u64, T::State>;
+    type Op = (u64, T::Op);
+    type Resp = T::Resp;
+
+    fn initial(&self) -> Self::State {
+        BTreeMap::new()
+    }
+
+    fn apply(
+        &self,
+        state: &Self::State,
+        (key, op): &Self::Op,
+        pid: ProcId,
+    ) -> Option<(Self::State, Self::Resp)> {
+        let sub = state.get(key).cloned().unwrap_or_else(|| self.inner.initial());
+        let (next, resp) = self.inner.apply(&sub, op, pid)?;
+        let mut state = state.clone();
+        state.insert(*key, next);
+        Some((state, resp))
+    }
+}
+
+impl<T: SequentialSpec + Clone> Partitionable for Keyed<T> {
+    type Key = u64;
+    type Part = T;
+
+    fn key_of(&self, (key, _): &Self::Op) -> u64 {
+        *key
+    }
+
+    fn project_op(&self, (_, op): &Self::Op) -> T::Op {
+        op.clone()
+    }
+
+    fn project_resp(&self, resp: &Self::Resp) -> T::Resp {
+        resp.clone()
+    }
+
+    fn part_spec(&self, _key: &u64) -> T {
+        self.inner.clone()
+    }
+}
+
+/// How a FIFO-classified response reads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FifoResp {
+    /// Acknowledgement of an enqueue.
+    EnqAck,
+    /// A dequeue returned this value.
+    Value(u64),
+    /// A dequeue found the queue empty.
+    Empty,
+}
+
+/// Classification hooks for specifications whose histories a checker may
+/// verify with the FIFO enq/deq matching fast path instead of the
+/// exponential linearization search.
+///
+/// The fast path needs to know, for each operation, whether it is an
+/// enqueue (and of which value) or a dequeue, and how to read a dequeue's
+/// response. Any operation or response the hooks decline to classify
+/// (returning `None`) disables the fast path for the whole history — the
+/// checker falls back to the general search, so partial classifications are
+/// safe.
+pub trait FifoSpec: SequentialSpec {
+    /// The enqueued value, if `op` is an enqueue.
+    fn enqueue_value(&self, op: &Self::Op) -> Option<u64>;
+
+    /// Whether `op` is a dequeue.
+    fn is_dequeue(&self, op: &Self::Op) -> bool;
+
+    /// Classifies a response; `None` means the fast path cannot interpret
+    /// it and must fall back.
+    fn classify_resp(&self, resp: &Self::Resp) -> Option<FifoResp>;
+}
+
+impl FifoSpec for crate::types::QueueSpec {
+    fn enqueue_value(&self, op: &crate::types::QueueOp) -> Option<u64> {
+        match op {
+            crate::types::QueueOp::Enqueue(v) => Some(*v),
+            crate::types::QueueOp::Dequeue => None,
+        }
+    }
+
+    fn is_dequeue(&self, op: &crate::types::QueueOp) -> bool {
+        matches!(op, crate::types::QueueOp::Dequeue)
+    }
+
+    fn classify_resp(&self, resp: &crate::types::QueueResp) -> Option<FifoResp> {
+        Some(match resp {
+            crate::types::QueueResp::Ok => FifoResp::EnqAck,
+            crate::types::QueueResp::Value(v) => FifoResp::Value(*v),
+            crate::types::QueueResp::Empty => FifoResp::Empty,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{QueueOp, QueueResp, QueueSpec, RegisterOp, RegisterResp, RegisterSpec};
+
+    #[test]
+    fn keyed_components_are_independent() {
+        let mem = Keyed::new(RegisterSpec);
+        let s = mem.initial();
+        let (s, _) = mem.apply(&s, &(1, RegisterOp::Write(10)), 0).unwrap();
+        let (s, _) = mem.apply(&s, &(2, RegisterOp::Write(20)), 0).unwrap();
+        let (_, r1) = mem.apply(&s, &(1, RegisterOp::Read), 1).unwrap();
+        let (_, r2) = mem.apply(&s, &(2, RegisterOp::Read), 1).unwrap();
+        let (_, r3) = mem.apply(&s, &(3, RegisterOp::Read), 1).unwrap();
+        assert_eq!(r1, RegisterResp::Value(10));
+        assert_eq!(r2, RegisterResp::Value(20));
+        assert_eq!(r3, RegisterResp::Value(0), "untouched keys read the initial state");
+    }
+
+    #[test]
+    fn keyed_projection_agrees_with_part_spec() {
+        // The Partitionable contract: applying the composite op equals
+        // applying the projected op on the partition spec.
+        let mem = Keyed::new(RegisterSpec);
+        let op = (9u64, RegisterOp::Write(5));
+        let (s, resp) = mem.apply(&mem.initial(), &op, 0).unwrap();
+        let part = mem.part_spec(&mem.key_of(&op));
+        let (ps, presp) = part.apply(&part.initial(), &mem.project_op(&op), 0).unwrap();
+        assert_eq!(mem.project_resp(&resp), presp);
+        assert_eq!(s.get(&9), Some(&ps));
+    }
+
+    #[test]
+    fn keyed_queue_shards_fifo_independently() {
+        let q = Keyed::new(QueueSpec);
+        let s = q.initial();
+        let (s, _) = q.apply(&s, &(0, QueueOp::Enqueue(1)), 0).unwrap();
+        let (s, _) = q.apply(&s, &(1, QueueOp::Enqueue(2)), 0).unwrap();
+        let (s, r) = q.apply(&s, &(1, QueueOp::Dequeue), 0).unwrap();
+        assert_eq!(r, QueueResp::Value(2));
+        let (_, r) = q.apply(&s, &(0, QueueOp::Dequeue), 0).unwrap();
+        assert_eq!(r, QueueResp::Value(1));
+    }
+
+    #[test]
+    fn queue_spec_fifo_classification() {
+        let q = QueueSpec;
+        assert_eq!(q.enqueue_value(&QueueOp::Enqueue(7)), Some(7));
+        assert_eq!(q.enqueue_value(&QueueOp::Dequeue), None);
+        assert!(q.is_dequeue(&QueueOp::Dequeue));
+        assert!(!q.is_dequeue(&QueueOp::Enqueue(7)));
+        assert_eq!(q.classify_resp(&QueueResp::Ok), Some(FifoResp::EnqAck));
+        assert_eq!(q.classify_resp(&QueueResp::Value(3)), Some(FifoResp::Value(3)));
+        assert_eq!(q.classify_resp(&QueueResp::Empty), Some(FifoResp::Empty));
+    }
+}
