@@ -30,6 +30,13 @@ echo "==> contention bench smoke (per-address drains at a realistic penalty)"
 cargo bench -q -p dss-bench --bench contention -- \
     --threads 2 --ms 20 --repeats 1 --penalty 200 >/dev/null
 
+echo "==> contention crossover smoke (combining >= CAS racing within noise, E14 gate)"
+# Penalty 800 puts the run deep in the flush-dominated regime where the
+# batched persist is a reliable win; at 200 the layers sit at parity and a
+# short smoke can land a hair outside the noise bands.
+timeout 180 cargo bench -q -p dss-bench --bench contention -- \
+    --threads 2 --ms 30 --repeats 3 --penalty 800 --assert-crossover >/dev/null
+
 echo "==> e10 per-address drain smoke (absorption invariant, both backends)"
 cargo run -q -p dss-harness --release --bin e10_per_address_drains -- \
     --threads 2 --ms 20 --repeats 1 \
@@ -42,6 +49,12 @@ cargo run -q -p dss-harness --release --bin crash_matrix -- \
 echo "==> multi-process smoke (SIGKILLed victims, parent attaches the pool file)"
 cargo run -q -p dss-harness --release --bin crash_matrix -- \
     --multi-process on >/dev/null
+
+echo "==> combining smoke (crash matrix on the flat-combining execution layer)"
+timeout 300 cargo run -q -p dss-harness --release --bin crash_matrix -- \
+    --combining on >/dev/null
+timeout 300 cargo run -q -p dss-harness --release --bin crash_matrix -- \
+    --combining on --partial-recovery on >/dev/null
 
 echo "==> checker equivalence gate (segmented/streaming/FIFO vs monolithic oracle)"
 timeout 120 cargo test -q -p dss-checker --test checker_equivalence

@@ -9,10 +9,17 @@
 //! under contention is visible side by side; `off/off` is the
 //! seed-identical baseline.
 //!
+//! After the grid, the E14 crossover sweep compares the two detectable
+//! execution layers — CAS-racing `exec` vs the flat-combining layer —
+//! across thread counts, and writes the series plus the measured
+//! crossover thread count (the lowest count at which combining matches
+//! or beats CAS-racing) to `BENCH_contention.json` in the invoking
+//! directory; official runs are copied into `results/`.
+//!
 //! ```text
 //! cargo bench -p dss-bench --bench contention -- \
 //!     [--threads N] [--ms M] [--repeats R] [--penalty SPINS]
-//!     [--backend pmem --backend dram]
+//!     [--backend pmem --backend dram] [--assert-crossover]
 //! ```
 //!
 //! `--penalty` is the simulated writeback cost in spin iterations (default
@@ -20,11 +27,13 @@
 //! separate from the whole-set baseline when writebacks cost something: at
 //! a realistic penalty (≈200 spins ≈ an Optane CLWB+fence) the writebacks
 //! per-address drains absorb dominate; at 0 the columns measure pure
-//! bookkeeping.
+//! bookkeeping. `--assert-crossover` makes the sweep a CI gate: it fails
+//! unless combining is at least at parity with CAS-racing (within the
+//! observed noise) at the highest thread count.
 
 use std::time::Duration;
 
-use dss_harness::adapter::QueueKind;
+use dss_harness::adapter::{Backend, QueueKind};
 use dss_harness::throughput::{measure, ThroughputConfig};
 
 /// Lenient scan for one numeric flag (cargo bench passes harness flags
@@ -39,6 +48,11 @@ fn numeric_flag(name: &str, default: u64) -> u64 {
         }
     }
     default
+}
+
+/// Lenient scan for a bare switch flag.
+fn switch_flag(name: &str) -> bool {
+    std::env::args().skip(1).any(|flag| flag == name)
 }
 
 fn main() {
@@ -56,7 +70,7 @@ fn main() {
             "{:<30} {:>14} {:>14} {:>14} {:>14} {:>14} {:>14}",
             "queue", "off/off", "coalesce", "per-addr", "backoff", "both", "pa+backoff"
         );
-        for kind in QueueKind::all() {
+        for kind in QueueKind::contention() {
             print!("{:<30}", kind.label());
             let grid = [
                 (false, false, false),
@@ -99,5 +113,111 @@ fn main() {
             println!();
         }
         println!();
+    }
+    crossover_sweep(threads, ms, repeats, penalty, switch_flag("--assert-crossover"));
+}
+
+/// E14: CAS-racing vs flat-combining `exec` across thread counts.
+///
+/// Both layers run the identical detectable prep/exec workload on the
+/// instrumented pmem backend with default flush knobs, so the only
+/// difference measured is the execution strategy: per-op CAS retries with
+/// per-op persists, vs one combiner applying the announced batch with one
+/// persist per batch phase.
+fn crossover_sweep(max_threads: usize, ms: u64, repeats: usize, penalty: u64, assert_on: bool) {
+    // 1, 2, 4, ... up to and including the grid's thread count.
+    let mut counts = vec![];
+    let mut n = 1;
+    while n < max_threads {
+        counts.push(n);
+        n *= 2;
+    }
+    counts.push(max_threads);
+
+    println!(
+        "# E14 crossover: CAS-racing vs combining exec, 50:50 enq:deq, \
+         flush penalty = {penalty} spins, backend = pmem (Mops/s)"
+    );
+    println!("{:>8} {:>22} {:>22}", "threads", "cas-racing", "combining");
+    let pair = [QueueKind::DssDetectable, QueueKind::DssCombining];
+    let mut series = vec![vec![]; pair.len()];
+    for &threads in &counts {
+        print!("{threads:>8}");
+        for (i, &kind) in pair.iter().enumerate() {
+            let config = ThroughputConfig {
+                threads,
+                duration: Duration::from_millis(ms),
+                repeats,
+                backend: Backend::Pmem,
+                flush_penalty: penalty,
+                ..Default::default()
+            };
+            let t = measure(kind, &config);
+            print!(" {:>14.3} ±{:>5.3}", t.mops_mean, t.mops_stddev);
+            series[i].push(t);
+        }
+        println!();
+    }
+    // The crossover: the lowest thread count at which combining is at
+    // least at parity with CAS-racing (within the two samples' noise).
+    let crossover = counts
+        .iter()
+        .zip(series[0].iter().zip(series[1].iter()))
+        .find(|(_, (cas, comb))| {
+            comb.mops_mean + comb.mops_stddev >= cas.mops_mean - cas.mops_stddev
+        })
+        .map(|(&threads, _)| threads);
+    match crossover {
+        Some(t) => println!("# crossover: combining reaches CAS-racing at {t} threads"),
+        None => println!("# crossover: not reached up to {max_threads} threads"),
+    }
+    println!();
+
+    // Machine-readable summary (same style as BENCH_checker.json,
+    // written to the invoking directory; official runs are copied into
+    // results/).
+    let mut json = String::from("{\n  \"experiment\": \"e14_contention_combining\",\n");
+    json.push_str("  \"unit\": \"mops_per_sec\",\n");
+    json.push_str(&format!("  \"flush_penalty\": {penalty},\n  \"backend\": \"pmem\",\n"));
+    json.push_str(&format!(
+        "  \"threads\": [{}],\n",
+        counts.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
+    ));
+    json.push_str("  \"series\": {\n");
+    for (i, (key, points)) in ["cas_racing", "combining"].iter().zip(series.iter()).enumerate() {
+        json.push_str(&format!(
+            "    \"{}\": [{}]{}\n",
+            key,
+            points
+                .iter()
+                .map(|t| format!(
+                    "{{ \"mean\": {:.4}, \"stddev\": {:.4} }}",
+                    t.mops_mean, t.mops_stddev
+                ))
+                .collect::<Vec<_>>()
+                .join(", "),
+            if i == 0 { "," } else { "" }
+        ));
+    }
+    json.push_str("  },\n");
+    json.push_str(&match crossover {
+        Some(t) => format!("  \"crossover_threads\": {t}\n"),
+        None => "  \"crossover_threads\": null\n".to_string(),
+    });
+    json.push_str("}\n");
+    std::fs::write("BENCH_contention.json", json).expect("write BENCH_contention.json");
+    println!("# wrote BENCH_contention.json");
+
+    if assert_on {
+        let (cas, comb) = (series[0].last().unwrap(), series[1].last().unwrap());
+        assert!(
+            comb.mops_mean + comb.mops_stddev >= cas.mops_mean - cas.mops_stddev,
+            "combining fell below CAS-racing beyond noise at {max_threads} threads: \
+             {:.3} ±{:.3} vs {:.3} ±{:.3} Mops/s",
+            comb.mops_mean,
+            comb.mops_stddev,
+            cas.mops_mean,
+            cas.mops_stddev
+        );
     }
 }

@@ -61,7 +61,10 @@ mod stack;
 mod universal;
 
 pub use cas::{DetectableCas, ResolvedCas, KIND_DETECTABLE_CAS};
-pub use queue::{DssQueue, QueueFull, Resolved, ResolvedOp, KIND_DSS_QUEUE};
+pub use queue::{
+    CombiningQueue, DssQueue, QueueFull, Resolved, ResolvedOp, KIND_DSS_QUEUE,
+    KIND_DSS_QUEUE_COMBINING,
+};
 pub use register::{DetectableRegister, KIND_DETECTABLE_REGISTER};
 pub use stack::{DssStack, StackFull, StackResolved, StackResolvedOp, KIND_DSS_STACK};
 pub use universal::{OpWords, UniResolved, Universal, KIND_UNIVERSAL};

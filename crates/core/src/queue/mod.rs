@@ -1,9 +1,12 @@
 //! The DSS queue (paper §3): layout, construction, and detection.
 
+mod combining;
 mod ops;
 mod recovery;
 #[cfg(test)]
 mod tests;
+
+pub use combining::{CombiningQueue, KIND_DSS_QUEUE_COMBINING};
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};

@@ -12,7 +12,7 @@
 use std::fmt::Debug;
 
 use dss_baselines::{DurableQueue, LogQueue, MsQueue};
-use dss_core::DssQueue;
+use dss_core::{CombiningQueue, DssQueue};
 use dss_pmem::{DramPool, FlushGranularity, Memory, PmemPool, StatsSnapshot, ThreadHandle};
 use dss_pmwcas::CasWithEffectQueue;
 use dss_spec::types::QueueResp;
@@ -27,6 +27,11 @@ pub enum QueueKind {
     /// DSS queue, operations applied detectably via prep/exec (both
     /// figures).
     DssDetectable,
+    /// DSS queue under the flat-combining execution layer (E14): the same
+    /// detectable prep/exec surface, but `exec` is served by a
+    /// lease-holding combiner that batch-applies announced operations
+    /// with one persist per batch phase.
+    DssCombining,
     /// Friedman et al.'s durable queue (recoverable, not detectable).
     Durable,
     /// Friedman et al.'s log queue (detectable; Figure 5b).
@@ -83,6 +88,7 @@ impl QueueKind {
             QueueKind::Ms => "MS queue",
             QueueKind::DssNonDetectable => "DSS queue non-detectable",
             QueueKind::DssDetectable => "DSS queue detectable",
+            QueueKind::DssCombining => "DSS queue combining",
             QueueKind::Durable => "Durable queue",
             QueueKind::Log => "Log queue",
             QueueKind::CweGeneral => "General CASWithEffect queue",
@@ -127,6 +133,11 @@ impl QueueKind {
                 nodes_per_thread,
                 FlushGranularity::Line,
             ))),
+            QueueKind::DssCombining => Box::new(DssComb(CombiningQueue::<M>::new_in(
+                nthreads,
+                nodes_per_thread,
+                FlushGranularity::Line,
+            ))),
             QueueKind::Durable => Box::new(DurableQueue::<M>::new_in(nthreads, nodes_per_thread)),
             QueueKind::Log => Box::new(LogQueue::<M>::new_in(nthreads, nodes_per_thread)),
             QueueKind::CweGeneral => {
@@ -148,12 +159,32 @@ impl QueueKind {
         [QueueKind::DssDetectable, QueueKind::Log, QueueKind::CweFast, QueueKind::CweGeneral]
     }
 
-    /// Every kind (for sweeps like E3).
+    /// Every kind of the historical sweeps (E3/E9/E10 and the recorded
+    /// tables keyed to them). [`DssCombining`](Self::DssCombining) is
+    /// deliberately *not* here — it rides the contention benchmark
+    /// ([`contention`](Self::contention)) so the older tables keep their
+    /// row sets.
     pub fn all() -> [QueueKind; 7] {
         [
             QueueKind::Ms,
             QueueKind::DssNonDetectable,
             QueueKind::DssDetectable,
+            QueueKind::Durable,
+            QueueKind::Log,
+            QueueKind::CweGeneral,
+            QueueKind::CweFast,
+        ]
+    }
+
+    /// The kinds of the contention benchmark (E14): every historical kind
+    /// plus the flat-combining execution layer, placed right after the
+    /// CAS-racing detectable queue it is the alternative to.
+    pub fn contention() -> [QueueKind; 8] {
+        [
+            QueueKind::Ms,
+            QueueKind::DssNonDetectable,
+            QueueKind::DssDetectable,
+            QueueKind::DssCombining,
             QueueKind::Durable,
             QueueKind::Log,
             QueueKind::CweGeneral,
@@ -344,6 +375,44 @@ impl<M: Memory> QueueUnderTest for DssPlain<M> {
 struct DssDet<M: Memory>(DssQueue<M>);
 
 impl<M: Memory> QueueUnderTest for DssDet<M> {
+    fn register_thread(&self) -> ThreadHandle {
+        self.0.register_thread().expect("thread slots exhausted")
+    }
+    fn enqueue(&self, h: ThreadHandle, val: u64) {
+        self.0.prep_enqueue(h, val).expect("node pool exhausted");
+        self.0.exec_enqueue(h);
+    }
+    fn dequeue(&self, h: ThreadHandle) -> QueueResp {
+        self.0.prep_dequeue(h);
+        self.0.exec_dequeue(h)
+    }
+    fn set_flush_penalty(&self, spins: u64) {
+        self.0.pool().set_flush_penalty(spins);
+    }
+    fn set_coalescing(&self, on: bool) {
+        self.0.pool().set_coalescing(on);
+    }
+    fn set_per_address_drains(&self, on: bool) {
+        self.0.pool().set_per_address_drains(on);
+    }
+    fn set_backoff(&self, on: bool) {
+        self.0.set_backoff(on);
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.0.pool().stats()
+    }
+    fn reset_stats(&self) {
+        self.0.pool().reset_stats();
+    }
+}
+
+/// DSS queue under the flat-combining execution layer (always
+/// detectable: combining has no non-detectable path — every operation
+/// goes through the publication array).
+#[derive(Debug)]
+struct DssComb<M: Memory>(CombiningQueue<M>);
+
+impl<M: Memory> QueueUnderTest for DssComb<M> {
     fn register_thread(&self) -> ThreadHandle {
         self.0.register_thread().expect("thread slots exhausted")
     }

@@ -27,8 +27,8 @@
 
 use dss_harness::cli;
 use dss_harness::crashsim::{
-    multi_process_child, multi_process_sweep, partial_recovery_crash_run, sweep, SweepConfig,
-    VictimOp, MP_CHILD_FLAG,
+    multi_process_child, multi_process_sweep, partial_recovery_crash_run,
+    partial_recovery_crash_run_combining, sweep, SweepConfig, VictimOp, MP_CHILD_FLAG,
 };
 
 fn main() {
@@ -46,9 +46,10 @@ fn main() {
             independent_recovery: independent,
             coalesce: args.coalesce,
             per_address: args.per_address,
+            combining: args.combining,
         };
         println!(
-            "# E4 crash matrix: adversary={:?} granularity={:?} recovery={}{}{}",
+            "# E4 crash matrix: adversary={:?} granularity={:?} recovery={}{}{}{}",
             config.adversary,
             config.granularity,
             if independent { "independent (§3.3)" } else { "centralized (Fig. 6)" },
@@ -56,6 +57,7 @@ fn main() {
             // byte-identical to the recorded results/crash_matrix_*.txt.
             if config.coalesce { " coalesce=on" } else { "" },
             if config.per_address { " per-address=on" } else { "" },
+            if config.combining { " combining=on" } else { "" },
         );
         println!(
             "{:<15} {:>12} {:>13} {:>10} {:>8} {:>11}",
@@ -87,7 +89,12 @@ fn main() {
             const SEEDS: u64 = 8;
             let mut queued = 0usize;
             for seed in 0..SEEDS {
-                match partial_recovery_crash_run(THREADS, survivors, args.seed + seed) {
+                let run = if args.combining {
+                    partial_recovery_crash_run_combining(THREADS, survivors, args.seed + seed)
+                } else {
+                    partial_recovery_crash_run(THREADS, survivors, args.seed + seed)
+                };
+                match run {
                     Ok(n) => queued += n,
                     Err(e) => panic!("survivors={survivors} seed={seed}: {e}"),
                 }
@@ -123,6 +130,7 @@ fn main() {
                 granularity: args.flush_granularity(),
                 coalesce,
                 per_address,
+                combining: args.combining,
                 ..Default::default()
             };
             for op in VictimOp::all() {
@@ -156,7 +164,9 @@ fn main() {
 fn checked_histories_epilogue(args: &cli::Args) {
     use dss_checker::{CheckOptions, Condition};
     use dss_harness::record::{
-        check_recorded_full, record_crash_execution, record_partial_recovery_execution,
+        check_plain, check_recorded_full, record_combining_crash_execution,
+        record_combining_partial_recovery_execution, record_crash_execution,
+        record_partial_recovery_execution, record_plain_combining_execution,
     };
 
     const SEEDS: u64 = 6;
@@ -168,7 +178,11 @@ fn checked_histories_epilogue(args: &cli::Args) {
     );
     let (mut ops, mut windows, mut max_window) = (0usize, 0usize, 0usize);
     for seed in 0..SEEDS {
-        let h = record_crash_execution(3, 30, args.seed + seed);
+        let h = if args.combining {
+            record_combining_crash_execution(3, 30, args.seed + seed)
+        } else {
+            record_crash_execution(3, 30, args.seed + seed)
+        };
         let stats = check_recorded_full(&h, Condition::StrictLinearizability, &options)
             .unwrap_or_else(|e| panic!("crash run seed {seed}: {e}"));
         ops += stats.ops;
@@ -176,18 +190,41 @@ fn checked_histories_epilogue(args: &cli::Args) {
         max_window = max_window.max(stats.max_window);
     }
     println!("{:<22} {:>6} {:>8} {:>9} {:>12}", "system-crash", SEEDS, ops, windows, max_window);
+    if args.combining {
+        // Combined batches serialize many operations per lease tenure;
+        // verify a long crash-free combined history in full — every
+        // operation, no sampling — against the sequential FIFO spec.
+        let h = record_plain_combining_execution(3, 400, 4, args.seed);
+        let stats = check_plain(&h, Condition::Linearizability, &options)
+            .unwrap_or_else(|e| panic!("plain combining run: {e}"));
+        println!(
+            "{:<22} {:>6} {:>8} {:>9} {:>12}",
+            "combining-plain", 1, stats.ops, stats.windows, stats.max_window
+        );
+    }
     if args.partial_recovery {
         for survivors in 1..=3usize {
             let (mut ops, mut windows, mut max_window) = (0usize, 0usize, 0usize);
             for seed in 0..SEEDS {
-                let h = record_partial_recovery_execution(
-                    3,
-                    survivors,
-                    20,
-                    args.seed + seed,
-                    args.coalesce,
-                    args.per_address,
-                );
+                let h = if args.combining {
+                    record_combining_partial_recovery_execution(
+                        3,
+                        survivors,
+                        20,
+                        args.seed + seed,
+                        args.coalesce,
+                        args.per_address,
+                    )
+                } else {
+                    record_partial_recovery_execution(
+                        3,
+                        survivors,
+                        20,
+                        args.seed + seed,
+                        args.coalesce,
+                        args.per_address,
+                    )
+                };
                 let stats = check_recorded_full(&h, Condition::StrictLinearizability, &options)
                     .unwrap_or_else(|e| {
                         panic!("partial recovery survivors={survivors} seed={seed}: {e}")

@@ -40,6 +40,11 @@ pub struct Args {
     /// mid-operation, and a fresh attach from the parent must recover and
     /// resolve every pre-crash operation. Default off.
     pub multi_process: bool,
+    /// Flat-combining execution layer (`--combining on|off`, experiment
+    /// E14): `exec` is served by a lease-holding combiner that
+    /// batch-applies every announced operation with one persist per batch
+    /// phase, instead of CAS-racing. Default off.
+    pub combining: bool,
     /// Checker pipeline (`--mode monolithic|partitioned`,
     /// `check_histories` only): `monolithic` is the classic bounded
     /// Wing–Gong search (the ground-truth oracle, histories capped at
@@ -77,6 +82,7 @@ impl Default for Args {
             backoff: false,
             partial_recovery: false,
             multi_process: false,
+            combining: false,
             mode: CheckMode::Partitioned,
             max_ops: None,
         }
@@ -117,6 +123,7 @@ pub fn parse() -> Args {
                 args.partial_recovery = parse_switch("--partial-recovery", &val());
             }
             "--multi-process" => args.multi_process = parse_switch("--multi-process", &val()),
+            "--combining" => args.combining = parse_switch("--combining", &val()),
             "--mode" => {
                 args.mode = match val().as_str() {
                     "monolithic" => CheckMode::Monolithic,
@@ -128,7 +135,7 @@ pub fn parse() -> Args {
             other => panic!(
                 "unknown flag {other}; known: --threads --ms --repeats --penalty \
                  --granularity --adversary --seed --backend --coalesce --per-address --backoff \
-                 --partial-recovery --multi-process --mode --max-ops"
+                 --partial-recovery --multi-process --combining --mode --max-ops"
             ),
         }
     }
@@ -178,6 +185,7 @@ mod tests {
         assert!(!a.coalesce && !a.per_address && !a.backoff, "perf features default off");
         assert!(!a.partial_recovery, "partial-recovery mode defaults off");
         assert!(!a.multi_process, "multi-process mode defaults off");
+        assert!(!a.combining, "combining execution layer defaults off");
         assert_eq!(a.mode, CheckMode::Partitioned, "full-length checking is the default");
         assert_eq!(a.max_ops, None);
     }

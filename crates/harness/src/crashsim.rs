@@ -8,6 +8,12 @@
 //! validated against what `D⟨queue⟩` permits given the persisted queue
 //! state — the executable version of the paper's Figure 2.
 //!
+//! Every driver here is generic over the queue's *execution layer*: the
+//! CAS-racing [`DssQueue`] and the flat-combining [`CombiningQueue`]
+//! (`SweepConfig::combining` / the `*_combining` run variants) are swept
+//! identically, so combiner death mid-batch and waiters killed while
+//! parked go through the same Figure-2 validation as every other crash.
+//!
 //! [`partial_recovery_crash_run`] additionally exercises the §3.3 story
 //! end to end: after a multi-threaded crash only a *subset* of threads
 //! restarts; each survivor re-adopts its own registry slot and repairs its
@@ -27,9 +33,12 @@ use std::io::{BufRead, BufReader, Write};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
+use std::sync::Arc;
 
-use dss_core::{DssQueue, Resolved, ResolvedOp};
-use dss_pmem::{CrashSignal, FlushGranularity, ThreadHandle, WritebackAdversary};
+use dss_core::{CombiningQueue, DssQueue, QueueFull, Resolved, ResolvedOp};
+use dss_pmem::{
+    CrashSignal, FlushGranularity, PmemPool, SlotError, ThreadHandle, WritebackAdversary,
+};
 use dss_spec::types::QueueResp;
 
 /// Which operation the sweep interrupts.
@@ -111,6 +120,10 @@ pub struct SweepConfig {
     /// back just the lines they order against, so the crash drops a wider
     /// pending set.
     pub per_address: bool,
+    /// Run the victim on the flat-combining execution layer (E14): the
+    /// armed crash then lands inside the combiner's batch (or a waiter's
+    /// park loop), exercising lease recovery and half-applied batches.
+    pub combining: bool,
 }
 
 impl Default for SweepConfig {
@@ -121,11 +134,105 @@ impl Default for SweepConfig {
             independent_recovery: false,
             coalesce: false,
             per_address: false,
+            combining: false,
         }
     }
 }
 
-fn run_victim(q: &DssQueue, h: ThreadHandle, op: VictimOp) {
+/// The queue surface the crash and recording drivers need, implemented by
+/// both execution layers so one driver body covers CAS racing and
+/// combining (also used by [`crate::record`]).
+pub(crate) trait CrashTarget: Sync {
+    /// Whether this layer's `enqueue`/`dequeue` conveniences are really
+    /// detectable prep/exec pairs. The CAS layer has a true plain path
+    /// that leaves detection state alone (Axiom 4); the combining layer
+    /// has none — every operation announces and goes through a combiner,
+    /// so a later resolve reports it. Recorders must ask, or the recorded
+    /// `D⟨queue⟩` history misrepresents the semantics.
+    fn plain_is_detectable(&self) -> bool;
+    fn pool(&self) -> &Arc<PmemPool>;
+    fn register_thread(&self) -> Result<ThreadHandle, SlotError>;
+    fn enqueue(&self, h: ThreadHandle, val: u64) -> Result<(), QueueFull>;
+    fn dequeue(&self, h: ThreadHandle) -> QueueResp;
+    fn prep_enqueue(&self, h: ThreadHandle, val: u64) -> Result<(), QueueFull>;
+    fn exec_enqueue(&self, h: ThreadHandle);
+    fn prep_dequeue(&self, h: ThreadHandle);
+    fn exec_dequeue(&self, h: ThreadHandle) -> QueueResp;
+    fn resolve(&self, h: ThreadHandle) -> Resolved;
+    fn snapshot_values(&self) -> Vec<u64>;
+    fn begin_recovery(&self);
+    fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError>;
+    fn adopt_orphans(&self) -> Vec<ThreadHandle>;
+    fn recover(&self) -> Vec<ThreadHandle>;
+    fn recover_one(&self, h: ThreadHandle);
+    fn rebuild_allocator(&self);
+}
+
+macro_rules! impl_crash_target {
+    ($ty:ty) => {
+        impl_crash_target!($ty, plain_is_detectable = false);
+    };
+    ($ty:ty, plain_is_detectable = $plain_det:literal) => {
+        impl CrashTarget for $ty {
+            fn plain_is_detectable(&self) -> bool {
+                $plain_det
+            }
+            fn pool(&self) -> &Arc<PmemPool> {
+                <$ty>::pool(self)
+            }
+            fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
+                <$ty>::register_thread(self)
+            }
+            fn enqueue(&self, h: ThreadHandle, val: u64) -> Result<(), QueueFull> {
+                <$ty>::enqueue(self, h, val)
+            }
+            fn dequeue(&self, h: ThreadHandle) -> QueueResp {
+                <$ty>::dequeue(self, h)
+            }
+            fn prep_enqueue(&self, h: ThreadHandle, val: u64) -> Result<(), QueueFull> {
+                <$ty>::prep_enqueue(self, h, val)
+            }
+            fn exec_enqueue(&self, h: ThreadHandle) {
+                <$ty>::exec_enqueue(self, h)
+            }
+            fn prep_dequeue(&self, h: ThreadHandle) {
+                <$ty>::prep_dequeue(self, h)
+            }
+            fn exec_dequeue(&self, h: ThreadHandle) -> QueueResp {
+                <$ty>::exec_dequeue(self, h)
+            }
+            fn resolve(&self, h: ThreadHandle) -> Resolved {
+                <$ty>::resolve(self, h)
+            }
+            fn snapshot_values(&self) -> Vec<u64> {
+                <$ty>::snapshot_values(self)
+            }
+            fn begin_recovery(&self) {
+                <$ty>::begin_recovery(self)
+            }
+            fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
+                <$ty>::adopt(self, slot)
+            }
+            fn adopt_orphans(&self) -> Vec<ThreadHandle> {
+                <$ty>::adopt_orphans(self)
+            }
+            fn recover(&self) -> Vec<ThreadHandle> {
+                <$ty>::recover(self)
+            }
+            fn recover_one(&self, h: ThreadHandle) {
+                <$ty>::recover_one(self, h)
+            }
+            fn rebuild_allocator(&self) {
+                <$ty>::rebuild_allocator(self)
+            }
+        }
+    };
+}
+
+impl_crash_target!(DssQueue);
+impl_crash_target!(CombiningQueue, plain_is_detectable = true);
+
+fn run_victim<Q: CrashTarget>(q: &Q, h: ThreadHandle, op: VictimOp) {
     match op {
         VictimOp::Enqueue => {
             q.prep_enqueue(h, 42).unwrap();
@@ -143,40 +250,66 @@ fn run_victim(q: &DssQueue, h: ThreadHandle, op: VictimOp) {
 pub fn sweep(op: VictimOp, config: &SweepConfig) -> SweepOutcome {
     let mut out = SweepOutcome::default();
     for k in 1.. {
-        let q = DssQueue::with_granularity(1, 8, config.granularity);
-        let h0 = q.register_thread().unwrap();
-        q.pool().set_coalescing(config.coalesce);
-        q.pool().set_per_address_drains(config.per_address);
-        if op == VictimOp::Dequeue {
-            q.enqueue(h0, 7).unwrap();
-        }
-        q.pool().arm_crash_after(k);
-        let r = catch_unwind(AssertUnwindSafe(|| run_victim(&q, h0, op)));
-        q.pool().disarm_crash();
-        let crashed = match r {
-            Ok(()) => false,
-            Err(p) if p.downcast_ref::<CrashSignal>().is_some() => true,
-            Err(p) => resume_unwind(p),
+        let crashed = if config.combining {
+            let q = CombiningQueue::with_granularity(1, 8, config.granularity);
+            sweep_point(&q, op, config, k, &mut out)
+        } else {
+            let q = DssQueue::with_granularity(1, 8, config.granularity);
+            sweep_point(&q, op, config, k, &mut out)
         };
         if !crashed {
             break; // the operation completed before reaching k
         }
-        out.crash_points += 1;
-        q.pool().crash(&config.adversary);
-        if config.independent_recovery {
-            // §3.3: the surviving thread repairs only its own slot — no
-            // registry transition, no centralized phase.
-            q.recover_one(h0);
-        } else {
-            q.recover();
-        }
-        q.rebuild_allocator();
-        classify(&q, op, q.resolve(h0), &mut out);
     }
     out
 }
 
-fn classify(q: &DssQueue, op: VictimOp, resolved: Resolved, out: &mut SweepOutcome) {
+/// One crash point of a sweep on a fresh queue; returns whether the armed
+/// crash fired (false ends the sweep).
+fn sweep_point<Q: CrashTarget>(
+    q: &Q,
+    op: VictimOp,
+    config: &SweepConfig,
+    k: u64,
+    out: &mut SweepOutcome,
+) -> bool {
+    let h0 = q.register_thread().unwrap();
+    q.pool().set_coalescing(config.coalesce);
+    q.pool().set_per_address_drains(config.per_address);
+    if op == VictimOp::Dequeue {
+        q.enqueue(h0, 7).unwrap();
+    }
+    q.pool().arm_crash_after(k);
+    let r = catch_unwind(AssertUnwindSafe(|| run_victim(q, h0, op)));
+    q.pool().disarm_crash();
+    let crashed = match r {
+        Ok(()) => false,
+        Err(p) if p.downcast_ref::<CrashSignal>().is_some() => true,
+        Err(p) => resume_unwind(p),
+    };
+    if !crashed {
+        return false;
+    }
+    out.crash_points += 1;
+    q.pool().crash(&config.adversary);
+    if config.independent_recovery {
+        // §3.3: the surviving thread repairs only its own slot — no
+        // registry transition, no centralized phase. (On the combining
+        // layer, the boundary must still be marked so the dead combiner's
+        // lease becomes provably stale.)
+        if config.combining {
+            q.begin_recovery();
+        }
+        q.recover_one(h0);
+    } else {
+        q.recover();
+    }
+    q.rebuild_allocator();
+    classify(q, op, q.resolve(h0), out);
+    true
+}
+
+fn classify<Q: CrashTarget>(q: &Q, op: VictimOp, resolved: Resolved, out: &mut SweepOutcome) {
     let snapshot = q.snapshot_values();
     let consistent = match (op, resolved) {
         (_, Resolved { op: None, resp: None }) => {
@@ -199,6 +332,18 @@ fn classify(q: &DssQueue, op: VictimOp, resolved: Resolved, out: &mut SweepOutco
             }
             _ => false,
         },
+        (
+            VictimOp::Dequeue,
+            Resolved { op: Some(ResolvedOp::Enqueue(7)), resp: Some(QueueResp::Ok) },
+        ) => {
+            // The dequeue announce never persisted, so resolve correctly
+            // reports the *prefill* enqueue. Only reachable on the
+            // combining layer, whose prefill is necessarily detectable
+            // (no non-detectable path exists); the CAS-racing sweeps
+            // prefill non-detectably and land in the (None, None) arm.
+            out.not_prepared += 1;
+            snapshot == [7]
+        }
         (VictimOp::Dequeue, Resolved { op: Some(ResolvedOp::Dequeue), resp }) => match resp {
             Some(QueueResp::Value(7)) => {
                 out.effect += 1;
@@ -247,16 +392,32 @@ type ThreadJournal = (Vec<u64>, Vec<u64>, Option<(bool, u64)>);
 ///
 /// Returns a description of the violated invariant.
 pub fn concurrent_crash_run(threads: usize, seed: u64) -> Result<usize, String> {
-    let q = DssQueue::new(threads, 256);
+    concurrent_crash_run_on(&DssQueue::new(threads, 256), threads, seed)
+}
+
+/// [`concurrent_crash_run`] on the flat-combining execution layer: the
+/// same workers, crash, Figure-6 recovery and conservation check, but the
+/// armed crashes now land inside combiner batches and waiter park loops
+/// (waiters step their countdowns through the instrumented lease probe,
+/// so every worker still crashes).
+pub fn concurrent_crash_run_combining(threads: usize, seed: u64) -> Result<usize, String> {
+    concurrent_crash_run_on(&CombiningQueue::new(threads, 256), threads, seed)
+}
+
+fn concurrent_crash_run_on<Q: CrashTarget>(
+    q: &Q,
+    threads: usize,
+    seed: u64,
+) -> Result<usize, String> {
     let hs: Vec<ThreadHandle> = (0..threads).map(|_| q.register_thread().unwrap()).collect();
-    let results = run_workers_until_crash(&q, &hs, seed);
+    let results = run_workers_until_crash(q, &hs, seed);
 
     // System-wide crash, then full-restart recovery (adopts every slot).
     q.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
     q.recover();
     q.rebuild_allocator();
 
-    check_conservation(&q, &hs, &results)
+    check_conservation(q, &hs, &results)
 }
 
 /// Like [`concurrent_crash_run`], but only `survivors` of the `threads`
@@ -286,10 +447,30 @@ pub fn partial_recovery_crash_run(
     survivors: usize,
     seed: u64,
 ) -> Result<usize, String> {
+    partial_recovery_crash_run_on(&DssQueue::new(threads, 256), threads, survivors, seed)
+}
+
+/// [`partial_recovery_crash_run`] on the flat-combining execution layer —
+/// in particular, a combiner killed mid-batch whose slot is *never*
+/// re-adopted by its own thread leaves a lease that only the staleness
+/// steal (or the next centralized recovery) can reclaim.
+pub fn partial_recovery_crash_run_combining(
+    threads: usize,
+    survivors: usize,
+    seed: u64,
+) -> Result<usize, String> {
+    partial_recovery_crash_run_on(&CombiningQueue::new(threads, 256), threads, survivors, seed)
+}
+
+fn partial_recovery_crash_run_on<Q: CrashTarget>(
+    q: &Q,
+    threads: usize,
+    survivors: usize,
+    seed: u64,
+) -> Result<usize, String> {
     assert!(survivors >= 1 && survivors <= threads, "need 1..=threads survivors");
-    let q = DssQueue::new(threads, 256);
     let hs: Vec<ThreadHandle> = (0..threads).map(|_| q.register_thread().unwrap()).collect();
-    let results = run_workers_until_crash(&q, &hs, seed);
+    let results = run_workers_until_crash(q, &hs, seed);
 
     q.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
 
@@ -309,12 +490,16 @@ pub fn partial_recovery_crash_run(
     }
     q.rebuild_allocator();
 
-    check_conservation(&q, &hs, &results)
+    check_conservation(q, &hs, &results)
 }
 
 /// Runs one detectable enqueue/dequeue worker per handle until each hits
 /// its pseudo-randomly armed crash point.
-fn run_workers_until_crash(q: &DssQueue, hs: &[ThreadHandle], seed: u64) -> Vec<ThreadJournal> {
+fn run_workers_until_crash<Q: CrashTarget>(
+    q: &Q,
+    hs: &[ThreadHandle],
+    seed: u64,
+) -> Vec<ThreadJournal> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = hs
             .iter()
@@ -360,8 +545,8 @@ fn run_workers_until_crash(q: &DssQueue, hs: &[ThreadHandle], seed: u64) -> Vec<
 /// Checks the value-conservation invariant after recovery: every effective
 /// enqueue's value is dequeued at most once and is otherwise still queued.
 /// Returns the number of values still in the queue on success.
-fn check_conservation(
-    q: &DssQueue,
+fn check_conservation<Q: CrashTarget>(
+    q: &Q,
     hs: &[ThreadHandle],
     results: &[ThreadJournal],
 ) -> Result<usize, String> {
@@ -422,7 +607,8 @@ pub const MP_CHILD_FLAG: &str = "--mp-child";
 /// which is the whole point.
 ///
 /// `args` is the argv tail after [`MP_CHILD_FLAG`]:
-/// `<pool-path> <op> <k> <granularity> <coalesce> <per-address>`.
+/// `<pool-path> <op> <k> <granularity> <coalesce> <per-address>
+/// <combining>`.
 ///
 /// Never returns: exits 0 after printing `DONE` when the operation
 /// completes before reaching `k`, parks forever after printing `READY`
@@ -432,8 +618,11 @@ pub const MP_CHILD_FLAG: &str = "--mp-child";
 ///
 /// Panics on malformed arguments or an I/O failure creating the pool.
 pub fn multi_process_child(args: &[String]) -> ! {
-    let [path, op, k, granularity, coalesce, per_address] = args else {
-        panic!("{MP_CHILD_FLAG} <pool-path> <op> <k> <granularity> <coalesce> <per-address>");
+    let [path, op, k, granularity, coalesce, per_address, combining] = args else {
+        panic!(
+            "{MP_CHILD_FLAG} <pool-path> <op> <k> <granularity> <coalesce> <per-address> \
+             <combining>"
+        );
     };
     let op = VictimOp::parse(op);
     let k: u64 = k.parse().expect("crash index must be a u64");
@@ -442,9 +631,24 @@ pub fn multi_process_child(args: &[String]) -> ! {
         "word" => FlushGranularity::Word,
         g => panic!("unknown granularity {g}"),
     };
-    let q = DssQueue::create_with(path, 1, 8, granularity).expect("creating the pool file");
-    q.pool().set_coalescing(coalesce == "on");
-    q.pool().set_per_address_drains(per_address == "on");
+    if combining == "on" {
+        let q = CombiningQueue::create_with(path, 1, 8, granularity).expect("creating the pool");
+        multi_process_victim(&q, op, k, coalesce == "on", per_address == "on")
+    } else {
+        let q = DssQueue::create_with(path, 1, 8, granularity).expect("creating the pool file");
+        multi_process_victim(&q, op, k, coalesce == "on", per_address == "on")
+    }
+}
+
+fn multi_process_victim<Q: CrashTarget>(
+    q: &Q,
+    op: VictimOp,
+    k: u64,
+    coalesce: bool,
+    per_address: bool,
+) -> ! {
+    q.pool().set_coalescing(coalesce);
+    q.pool().set_per_address_drains(per_address);
     let h0 = q.register_thread().unwrap();
     if op == VictimOp::Dequeue {
         q.enqueue(h0, 7).unwrap();
@@ -453,7 +657,7 @@ pub fn multi_process_child(args: &[String]) -> ! {
     // The CrashSignal unwind is this process's expected exit path; keep
     // its panic report off the parent's terminal.
     std::panic::set_hook(Box::new(|_| {}));
-    let r = catch_unwind(AssertUnwindSafe(|| run_victim(&q, h0, op)));
+    let r = catch_unwind(AssertUnwindSafe(|| run_victim(q, h0, op)));
     match r {
         Ok(()) => {
             println!("DONE");
@@ -491,8 +695,10 @@ impl Drop for PoolFileGuard {
 /// the pool file from scratch, runs the Figure-6 adopt-then-resolve
 /// recovery, and validates `resolve`'s answer against the persisted state.
 ///
-/// `config.granularity`, `config.coalesce` and `config.per_address` are
-/// forwarded to the child; `config.adversary` and
+/// `config.granularity`, `config.coalesce`, `config.per_address` and
+/// `config.combining` are forwarded to the child (a combining child's
+/// pool is attached with [`CombiningQueue::attach`], which also clears
+/// the dead combiner's lease); `config.adversary` and
 /// `config.independent_recovery` are ignored — SIGKILL *is* the
 /// adversary (nothing pending survives it, like
 /// [`WritebackAdversary::None`]), and recovery is always the centralized
@@ -522,6 +728,7 @@ pub fn multi_process_sweep(op: VictimOp, config: &SweepConfig, exe: &Path) -> Sw
             .arg(granularity)
             .arg(onoff(config.coalesce))
             .arg(onoff(config.per_address))
+            .arg(onoff(config.combining))
             .stdout(Stdio::piped())
             .spawn()
             .expect("spawning the victim child process");
@@ -546,11 +753,19 @@ pub fn multi_process_sweep(op: VictimOp, config: &SweepConfig, exe: &Path) -> Sw
         }
         out.crash_points += 1;
         // A fresh "process": nothing carried over but the file's path.
-        let q = DssQueue::attach(&path).expect("attaching the dead process's pool file");
-        let adopted = q.recover();
-        assert_eq!(adopted.len(), 1, "the dead process's slot must be orphaned");
-        q.rebuild_allocator();
-        classify(&q, op, q.resolve(adopted[0]), &mut out);
+        if config.combining {
+            let q = CombiningQueue::attach(&path).expect("attaching the dead process's pool");
+            let adopted = q.recover();
+            assert_eq!(adopted.len(), 1, "the dead process's slot must be orphaned");
+            q.rebuild_allocator();
+            classify(&q, op, q.resolve(adopted[0]), &mut out);
+        } else {
+            let q = DssQueue::attach(&path).expect("attaching the dead process's pool file");
+            let adopted = q.recover();
+            assert_eq!(adopted.len(), 1, "the dead process's slot must be orphaned");
+            q.rebuild_allocator();
+            classify(&q, op, q.resolve(adopted[0]), &mut out);
+        }
         assert_eq!(out.violations, 0, "multi-process {op} crash at k={k} resolved inconsistently");
     }
     out
@@ -587,6 +802,7 @@ mod tests {
                                 independent_recovery: independent,
                                 coalesce,
                                 per_address,
+                                combining: false,
                             };
                             for op in VictimOp::all() {
                                 let out = sweep(op, &config);
@@ -597,6 +813,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn combining_sweeps_have_no_violations_across_flush_modes() {
+        // Every crash point of a combining exec — combiner death before,
+        // between and after the three persist phases included — across
+        // all coalesce×per-address combos and both recovery styles.
+        for granularity in [FlushGranularity::Line, FlushGranularity::Word] {
+            for independent in [false, true] {
+                for coalesce in [false, true] {
+                    for per_address in [false, true] {
+                        if per_address && !coalesce {
+                            continue;
+                        }
+                        let config = SweepConfig {
+                            adversary: WritebackAdversary::Random { seed: 11, prob: 0.4 },
+                            granularity,
+                            independent_recovery: independent,
+                            coalesce,
+                            per_address,
+                            combining: true,
+                        };
+                        for op in VictimOp::all() {
+                            let out = sweep(op, &config);
+                            assert!(out.crash_points > 0, "{op}: no crash points?");
+                            assert_eq!(out.violations, 0, "{op} under {config:?}: {out:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn combining_sweep_observes_all_three_outcome_classes_for_enqueue() {
+        let out = sweep(
+            VictimOp::Enqueue,
+            &SweepConfig {
+                adversary: WritebackAdversary::All,
+                combining: true,
+                ..Default::default()
+            },
+        );
+        assert!(out.not_prepared > 0, "{out:?}");
+        assert!(out.effect > 0, "{out:?}");
     }
 
     #[test]
@@ -619,10 +880,27 @@ mod tests {
     }
 
     #[test]
+    fn combining_concurrent_crash_runs_conserve_values() {
+        for seed in 0..8 {
+            concurrent_crash_run_combining(3, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
     fn partial_recovery_runs_conserve_values() {
         for seed in 0..4 {
             for survivors in [1, 2] {
                 partial_recovery_crash_run(3, survivors, seed)
+                    .unwrap_or_else(|e| panic!("seed {seed} survivors {survivors}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn combining_partial_recovery_runs_conserve_values() {
+        for seed in 0..4 {
+            for survivors in [1, 2] {
+                partial_recovery_crash_run_combining(3, survivors, seed)
                     .unwrap_or_else(|e| panic!("seed {seed} survivors {survivors}: {e}"));
             }
         }

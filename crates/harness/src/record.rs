@@ -16,10 +16,12 @@ use dss_checker::{
     check_fifo, check_history, check_records, records_for, CheckOptions, CheckStats, Condition,
     History, Recorder, Violation,
 };
-use dss_core::{DssQueue, Resolved, ResolvedOp};
+use dss_core::{CombiningQueue, DssQueue, Resolved, ResolvedOp};
 use dss_pmem::{CrashSignal, ThreadHandle, WritebackAdversary};
 use dss_spec::types::{QueueOp, QueueResp, QueueSpec};
 use dss_spec::{DetOp, DetResp, Detectable};
+
+use crate::crashsim::CrashTarget;
 
 /// The specification ops/responses a recorded history is made of.
 pub type RecordedHistory = History<DetOp<QueueOp>, DetResp<QueueOp, QueueResp>>;
@@ -64,8 +66,8 @@ fn plan(tid: usize, ops: usize, seed: u64) -> Vec<Step> {
         .collect()
 }
 
-fn run_step(
-    q: &DssQueue,
+fn run_step<Q: CrashTarget>(
+    q: &Q,
     rec: &Recorder<DetOp<QueueOp>, DetResp<QueueOp, QueueResp>>,
     h: ThreadHandle,
     step: Step,
@@ -90,6 +92,18 @@ fn run_step(
             let resp = q.exec_dequeue(h);
             rec.ret(id, DetResp::Ret(resp));
         }
+        // On a layer without a true plain path (combining: every op
+        // announces and a later resolve reports it), the plan's plain
+        // steps are honestly recorded as the prep/exec pairs they are —
+        // recording them as `Plain` would claim Axiom 4 isolation the
+        // layer does not provide, and the checker would rightly reject
+        // the history at the next resolve.
+        Step::PlainEnqueue(v) if q.plain_is_detectable() => {
+            run_step(q, rec, h, Step::DetEnqueue(v));
+        }
+        Step::PlainDequeue if q.plain_is_detectable() => {
+            run_step(q, rec, h, Step::DetDequeue);
+        }
         Step::PlainEnqueue(v) => {
             let id = rec.invoke(tid, DetOp::Plain(QueueOp::Enqueue(v)));
             q.enqueue(h, v).unwrap();
@@ -110,12 +124,31 @@ fn run_step(
 
 /// Records a crash-free concurrent execution.
 pub fn record_execution(threads: usize, ops_per_thread: usize, seed: u64) -> RecordedHistory {
-    let q = DssQueue::new(threads, 64);
+    record_execution_on(&DssQueue::new(threads, 64), threads, ops_per_thread, seed)
+}
+
+/// [`record_execution`] on the flat-combining execution layer — same step
+/// plans, same `D⟨queue⟩` recording, so a checker run over both histories
+/// validates that combining preserves the specification, not just the
+/// queue's internal invariants.
+pub fn record_combining_execution(
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+) -> RecordedHistory {
+    record_execution_on(&CombiningQueue::new(threads, 64), threads, ops_per_thread, seed)
+}
+
+fn record_execution_on<Q: CrashTarget>(
+    q: &Q,
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+) -> RecordedHistory {
     let hs: Vec<ThreadHandle> = (0..threads).map(|_| q.register_thread().unwrap()).collect();
     let rec = Recorder::new();
     std::thread::scope(|scope| {
         for (tid, &h) in hs.iter().enumerate() {
-            let q = &q;
             let rec = &rec;
             scope.spawn(move || {
                 for step in plan(tid, ops_per_thread, seed) {
@@ -130,10 +163,30 @@ pub fn record_execution(threads: usize, ops_per_thread: usize, seed: u64) -> Rec
 /// Records an execution in which every thread is interrupted by a
 /// system-wide crash mid-run; after recovery, each thread resolves.
 pub fn record_crash_execution(threads: usize, ops_per_thread: usize, seed: u64) -> RecordedHistory {
-    let q = DssQueue::new(threads, 64);
+    record_crash_execution_on(&DssQueue::new(threads, 64), threads, ops_per_thread, seed)
+}
+
+/// [`record_crash_execution`] on the flat-combining execution layer: the
+/// seed-derived crashes now land inside combiner batches and waiter park
+/// loops, and the recorded resolves read results a dead combiner wrote
+/// into the crashed threads' detectability words.
+pub fn record_combining_crash_execution(
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+) -> RecordedHistory {
+    record_crash_execution_on(&CombiningQueue::new(threads, 64), threads, ops_per_thread, seed)
+}
+
+fn record_crash_execution_on<Q: CrashTarget>(
+    q: &Q,
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+) -> RecordedHistory {
     let hs: Vec<ThreadHandle> = (0..threads).map(|_| q.register_thread().unwrap()).collect();
     let rec = Recorder::new();
-    run_crashing_workers(&q, &hs, &rec, ops_per_thread, seed);
+    run_crashing_workers(q, &hs, &rec, ops_per_thread, seed);
     // System-wide crash: volatile state reverts, recovery runs, and every
     // thread resolves its interrupted operation.
     rec.crash();
@@ -167,13 +220,58 @@ pub fn record_partial_recovery_execution(
     coalesce: bool,
     per_address: bool,
 ) -> RecordedHistory {
+    record_partial_recovery_execution_on(
+        &DssQueue::new(threads, 64),
+        threads,
+        survivors,
+        ops_per_thread,
+        seed,
+        coalesce,
+        per_address,
+    )
+}
+
+/// [`record_partial_recovery_execution`] on the flat-combining execution
+/// layer (a dead combiner's slot may be adopted and resolved by survivor
+/// 0 rather than its own thread).
+///
+/// # Panics
+///
+/// Panics if `survivors` is zero or exceeds `threads`.
+pub fn record_combining_partial_recovery_execution(
+    threads: usize,
+    survivors: usize,
+    ops_per_thread: usize,
+    seed: u64,
+    coalesce: bool,
+    per_address: bool,
+) -> RecordedHistory {
+    record_partial_recovery_execution_on(
+        &CombiningQueue::new(threads, 64),
+        threads,
+        survivors,
+        ops_per_thread,
+        seed,
+        coalesce,
+        per_address,
+    )
+}
+
+fn record_partial_recovery_execution_on<Q: CrashTarget>(
+    q: &Q,
+    threads: usize,
+    survivors: usize,
+    ops_per_thread: usize,
+    seed: u64,
+    coalesce: bool,
+    per_address: bool,
+) -> RecordedHistory {
     assert!(survivors >= 1 && survivors <= threads, "need 1..=threads survivors");
-    let q = DssQueue::new(threads, 64);
     q.pool().set_coalescing(coalesce);
     q.pool().set_per_address_drains(per_address);
     let hs: Vec<ThreadHandle> = (0..threads).map(|_| q.register_thread().unwrap()).collect();
     let rec = Recorder::new();
-    run_crashing_workers(&q, &hs, &rec, ops_per_thread, seed);
+    run_crashing_workers(q, &hs, &rec, ops_per_thread, seed);
     rec.crash();
     q.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
     // Survivors restart one by one and recover independently.
@@ -198,8 +296,8 @@ pub fn record_partial_recovery_execution(
 
 /// Spawns one recorded worker per handle; each crashes at a seed-derived
 /// point and the [`CrashSignal`] is swallowed.
-fn run_crashing_workers(
-    q: &DssQueue,
+fn run_crashing_workers<Q: CrashTarget>(
+    q: &Q,
     hs: &[ThreadHandle],
     rec: &Recorder<DetOp<QueueOp>, DetResp<QueueOp, QueueResp>>,
     ops_per_thread: usize,
@@ -288,7 +386,42 @@ pub fn record_plain_execution(
     prefill: usize,
     seed: u64,
 ) -> PlainHistory {
-    let q = DssQueue::new(threads + 1, 64);
+    record_plain_execution_on(
+        &DssQueue::new(threads + 1, 64),
+        threads,
+        pairs_per_thread,
+        prefill,
+        seed,
+    )
+}
+
+/// [`record_plain_execution`] on the flat-combining execution layer: the
+/// same distinct-value no-empty regime, but every operation goes through
+/// the combiner's batches — the history the FIFO fast path (and, for
+/// small runs, the Wing–Gong oracle) certifies to show combining
+/// preserves `queue`'s sequential specification at full length.
+pub fn record_plain_combining_execution(
+    threads: usize,
+    pairs_per_thread: usize,
+    prefill: usize,
+    seed: u64,
+) -> PlainHistory {
+    record_plain_execution_on(
+        &CombiningQueue::new(threads + 1, 64),
+        threads,
+        pairs_per_thread,
+        prefill,
+        seed,
+    )
+}
+
+fn record_plain_execution_on<Q: CrashTarget>(
+    q: &Q,
+    threads: usize,
+    pairs_per_thread: usize,
+    prefill: usize,
+    seed: u64,
+) -> PlainHistory {
     let hs: Vec<ThreadHandle> = (0..=threads).map(|_| q.register_thread().unwrap()).collect();
     let rec = Recorder::new();
     for i in 0..prefill {
@@ -299,7 +432,6 @@ pub fn record_plain_execution(
     }
     std::thread::scope(|scope| {
         for (tid, &h) in hs.iter().take(threads).enumerate() {
-            let q = &q;
             let rec = &rec;
             scope.spawn(move || {
                 for i in 0..pairs_per_thread {

@@ -193,6 +193,18 @@ mod tests {
     }
 
     #[test]
+    fn contention_list_adds_combining_and_it_measures_on_both_backends() {
+        // `all()` deliberately excludes the combining layer (it feeds the
+        // historical tables); the contention list is where it lives.
+        assert_eq!(QueueKind::contention().len(), QueueKind::all().len() + 1);
+        assert!(QueueKind::contention().contains(&QueueKind::DssCombining));
+        for backend in [Backend::Pmem, Backend::Dram] {
+            let t = measure(QueueKind::DssCombining, &ThroughputConfig { backend, ..quick() });
+            assert!(t.mops_mean > 0.0, "combining on {}: no progress", backend.label());
+        }
+    }
+
+    #[test]
     fn coalesce_and_backoff_axes_still_make_progress() {
         let config = ThroughputConfig { coalesce: true, backoff: true, ..quick() };
         for kind in QueueKind::all() {

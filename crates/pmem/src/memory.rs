@@ -154,6 +154,23 @@ pub trait Memory: Send + Sync + std::fmt::Debug + 'static {
         let _ = addrs;
     }
 
+    /// Persists a whole batch of addresses with one ordering point:
+    /// flush every address, then a single [`drain_lines`](Memory::drain_lines)
+    /// over the set.
+    ///
+    /// The default is the literal flush-then-drain sequence; backends can
+    /// override it to deduplicate shared flush units so a batch touching
+    /// the same line many times pays one writeback (see the `PmemPool`
+    /// implementation). The flat-combining execution layer issues one
+    /// `persist_batch` per persist phase instead of per-operation
+    /// flush/drain pairs.
+    fn persist_batch(&self, addrs: &[PAddr]) {
+        for &a in addrs {
+            self.flush(a);
+        }
+        self.drain_lines(addrs);
+    }
+
     /// Enables or disables per-address ordering drains (default off). Only
     /// meaningful while write-behind coalescing is enabled; a no-op on
     /// backends without a persistence domain.

@@ -869,6 +869,38 @@ impl PmemPool {
         }
     }
 
+    /// Persists a batch of addresses with one ordering point: every flush
+    /// unit covering an address is flushed exactly once, then a single
+    /// [`drain_lines`](Self::drain_lines) over the batch orders the set.
+    ///
+    /// This is the batch analogue of `flush` + `drain_line` and composes
+    /// with every flush mode:
+    /// * coalescing off — each deduplicated unit pays one synchronous
+    ///   writeback (duplicate addresses in the batch are free, unlike a
+    ///   per-op flush sequence which pays per call);
+    /// * coalescing on, per-address off — units pend, then one whole-set
+    ///   [`drain`](Self::drain);
+    /// * coalescing on, per-address on — units pend, then only the
+    ///   batch's own units are written back, leaving unrelated pending
+    ///   flushes coalescible across the fence.
+    ///
+    /// On return every address in the batch is in the persistence domain;
+    /// the flat-combining layer uses this as its one-persist-per-phase
+    /// primitive.
+    pub fn persist_batch(&self, addrs: &[PAddr]) {
+        if addrs.is_empty() {
+            return;
+        }
+        let mut units: Vec<u64> = addrs.iter().map(|&a| self.flush_unit(a)).collect();
+        units.sort_unstable();
+        units.dedup();
+        let reps: Vec<PAddr> = units.into_iter().map(PAddr::from_index).collect();
+        for &r in &reps {
+            self.flush(r);
+        }
+        self.drain_lines(&reps);
+    }
+
     /// Writes back the named units if this thread has them pending,
     /// paying the deferred flush penalty per unit actually written back.
     fn drain_units(&self, units: &[u64]) {
@@ -1139,6 +1171,10 @@ impl Memory for PmemPool {
 
     fn drain_lines(&self, addrs: &[PAddr]) {
         PmemPool::drain_lines(self, addrs)
+    }
+
+    fn persist_batch(&self, addrs: &[PAddr]) {
+        PmemPool::persist_batch(self, addrs)
     }
 
     fn set_per_address_drains(&self, on: bool) {

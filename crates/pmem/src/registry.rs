@@ -362,6 +362,21 @@ impl<M: Memory> Registry<M> {
         Ok(self.pool.peek(self.slot_addr(slot).offset(W_PID)))
     }
 
+    /// The nonce minted by the slot's most recent lease (0 if the slot was
+    /// never leased). The flat-combining layer uses this to decide whether
+    /// a combiner lease is stale: a lease nonce no LIVE slot carries
+    /// belongs to a dead or departed holder and may be stolen.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::OutOfRange`] if `slot >= nslots`.
+    pub fn slot_nonce(&self, slot: usize) -> Result<u64, SlotError> {
+        if slot >= self.nslots {
+            return Err(SlotError::OutOfRange { slot, nslots: self.nslots });
+        }
+        Ok(self.pool.peek(self.slot_addr(slot).offset(W_NONCE)))
+    }
+
     /// Claims the lowest FREE slot and mints a handle for it.
     ///
     /// On a fresh registry, successive acquires return slots `0, 1, 2, …`

@@ -58,6 +58,10 @@ fn crash_matrix_is_clean_under_every_configuration() {
                     independent_recovery: false,
                     coalesce,
                     per_address: coalesce,
+                    // The combining layer's own exhaustive sweep lives in
+                    // the harness crashsim tests and the `--combining`
+                    // crash matrix.
+                    combining: false,
                 };
                 for op in VictimOp::all() {
                     let out = sweep(op, &config);

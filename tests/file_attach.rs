@@ -9,7 +9,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use dss::baselines::{DurableQueue, LogQueue, MsQueue};
-use dss::core::{DetectableCas, DetectableRegister, DssQueue, DssStack, ResolvedOp, Universal};
+use dss::core::{
+    CombiningQueue, DetectableCas, DetectableRegister, DssQueue, DssStack, ResolvedOp, Universal,
+};
 use dss::pmem::AttachError;
 use dss::pmwcas::{CasWithEffectQueue, CweResolvedOp};
 use dss::spec::types::{CounterOp, CounterSpec, QueueResp, StackResp};
@@ -259,6 +261,63 @@ fn cwe_queue_both_variants_survive_drop_and_attach() {
             }),
             QueueResp::Value(31)
         );
+    }
+}
+
+#[test]
+fn combining_queue_survives_drop_and_attach() {
+    let tmp = TmpPool::new("combining");
+    {
+        let q = CombiningQueue::create(tmp.path(), 2, 8).unwrap();
+        let h = q.register_thread().unwrap();
+        q.enqueue(h, 1).unwrap();
+        q.enqueue(h, 2).unwrap();
+        q.prep_enqueue(h, 3).unwrap();
+        q.exec_enqueue(h);
+        q.pool().drain();
+    }
+    // Attach clears the dead process's lease; recovery adopts its slot and
+    // the batch-applied contents are all there.
+    let q = CombiningQueue::attach(tmp.path()).unwrap();
+    let adopted = q.recover();
+    assert_eq!(adopted.len(), 1, "the dead process's slot must be orphaned");
+    assert_eq!(q.snapshot_values(), vec![1, 2, 3]);
+    let r = q.resolve(adopted[0]);
+    assert_eq!(r.op, Some(ResolvedOp::Enqueue(3)));
+    assert_eq!(r.resp, Some(QueueResp::Ok));
+    // The attached queue combines again: this dequeue goes through a
+    // fresh combiner batch in the new process.
+    assert_eq!(q.dequeue(adopted[0]), QueueResp::Value(1));
+}
+
+#[test]
+fn combining_and_cas_pools_reject_each_other() {
+    // The two execution layers share the node layout but not the lease
+    // line (and a CAS attacher would race a combiner's plain-store
+    // discipline), so neither may silently adopt the other's file.
+    let cas = TmpPool::new("cas-pool");
+    {
+        let q = DssQueue::create(cas.path(), 1, 4).unwrap();
+        q.pool().drain();
+    }
+    match CombiningQueue::attach(cas.path()) {
+        Err(AttachError::AppMismatch { expected, found }) => {
+            assert_eq!(expected, dss::core::KIND_DSS_QUEUE_COMBINING);
+            assert_eq!(found, dss::core::KIND_DSS_QUEUE);
+        }
+        other => panic!("expected AppMismatch, got {other:?}"),
+    }
+    let comb = TmpPool::new("combining-pool");
+    {
+        let q = CombiningQueue::create(comb.path(), 1, 4).unwrap();
+        q.pool().drain();
+    }
+    match DssQueue::attach(comb.path()) {
+        Err(AttachError::AppMismatch { expected, found }) => {
+            assert_eq!(expected, dss::core::KIND_DSS_QUEUE);
+            assert_eq!(found, dss::core::KIND_DSS_QUEUE_COMBINING);
+        }
+        other => panic!("expected AppMismatch, got {other:?}"),
     }
 }
 

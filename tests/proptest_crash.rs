@@ -10,7 +10,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 
 use proptest::prelude::*;
 
-use dss::core::{DetectableCas, DssQueue, Resolved, ResolvedCas, ResolvedOp, Universal};
+use dss::core::{
+    CombiningQueue, DetectableCas, DssQueue, Resolved, ResolvedCas, ResolvedOp, Universal,
+};
 use dss::pmem::{CrashSignal, FlushGranularity, WritebackAdversary};
 use dss::spec::types::{QueueResp, StackOp, StackSpec};
 
@@ -173,6 +175,180 @@ fn check_crash_case(
         sorted.sort_unstable();
         prop_assert_eq!(remaining, sorted, "FIFO order violated after crash");
     }
+    Ok(())
+}
+
+/// The combining-layer crash property: the same conservation invariant as
+/// [`check_crash_case`], driven through the flat-combining execution
+/// layer. Single-threaded, so the victim thread *is* the combiner — the
+/// armed crash lands inside `combine`'s persist phases (a combiner killed
+/// mid-batch), and recovery must resolve the half-applied batch from its
+/// durable prefix alone. Every combining operation is detectable, so no
+/// benefit-of-the-doubt case exists: nothing may vanish, ever.
+fn check_combining_crash_case(
+    script: &[bool], // true = enqueue, false = dequeue
+    crash_after: u64,
+    adversary: WritebackAdversary,
+    granularity: FlushGranularity,
+    coalesce: bool,
+    per_address: bool,
+) -> Result<(), TestCaseError> {
+    let q = CombiningQueue::with_granularity(1, 64, granularity);
+    q.pool().set_coalescing(coalesce);
+    q.pool().set_per_address_drains(per_address);
+    let h0 = q.register_thread().unwrap();
+    let enq_done: std::cell::RefCell<Vec<u64>> = Default::default();
+    let deq_done: std::cell::RefCell<Vec<u64>> = Default::default();
+
+    q.pool().arm_crash_after(crash_after);
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        for (i, &enq) in script.iter().enumerate() {
+            let v = 1000 + i as u64;
+            if enq {
+                q.enqueue(h0, v).unwrap();
+                enq_done.borrow_mut().push(v);
+            } else if let QueueResp::Value(x) = q.dequeue(h0) {
+                deq_done.borrow_mut().push(x);
+            }
+        }
+    }));
+    q.pool().disarm_crash();
+    let crashed = match r {
+        Ok(()) => false,
+        Err(p) if p.downcast_ref::<CrashSignal>().is_some() => true,
+        Err(p) => resume_unwind(p),
+    };
+    if crashed {
+        q.pool().crash(&adversary);
+        q.recover();
+        q.rebuild_allocator();
+    }
+
+    let mut effective_enq: HashSet<u64> = enq_done.borrow().iter().copied().collect();
+    let mut effective_deq: HashSet<u64> = deq_done.borrow().iter().copied().collect();
+    if crashed {
+        // resolve reports the last *prepared* operation; a completed one
+        // is already journalled, so the inserts are idempotent.
+        match q.resolve(h0) {
+            Resolved { op: Some(ResolvedOp::Enqueue(v)), resp: Some(QueueResp::Ok) } => {
+                effective_enq.insert(v);
+            }
+            Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(QueueResp::Value(v)) } => {
+                effective_deq.insert(v);
+            }
+            _ => {}
+        }
+    }
+
+    let remaining: Vec<u64> = q.snapshot_values();
+    let remaining_set: HashSet<u64> = remaining.iter().copied().collect();
+    prop_assert_eq!(remaining.len(), remaining_set.len(), "duplicate values in queue");
+    for v in &effective_deq {
+        prop_assert!(effective_enq.contains(v), "dequeued {v} never enqueued");
+        prop_assert!(!remaining_set.contains(v), "{v} dequeued yet still present");
+    }
+    for v in &remaining_set {
+        prop_assert!(effective_enq.contains(v), "queued {v} never enqueued");
+    }
+    let vanished: Vec<u64> = effective_enq
+        .iter()
+        .filter(|v| !remaining_set.contains(v) && !effective_deq.contains(v))
+        .copied()
+        .collect();
+    prop_assert!(vanished.is_empty(), "effective enqueues vanished: {vanished:?}");
+
+    let mut sorted = remaining.clone();
+    sorted.sort_unstable();
+    prop_assert_eq!(remaining, sorted, "FIFO order violated after crash");
+    Ok(())
+}
+
+/// Concurrent combining crash: every worker arms its own per-thread crash
+/// countdown, so a crash can land in the combiner mid-batch *or* in a
+/// waiter parked on its announce flag — a parked waiter's lease probe is
+/// an instrumented pool load precisely so that its countdown keeps
+/// running while it waits (including through the stale-lease probe that a
+/// dead combiner's still-LIVE slot keeps failing). After every worker has
+/// crashed, centralized recovery adopts the slots and value conservation
+/// must hold across announced, half-combined, and parked operations.
+fn check_combining_concurrent_crash_case(
+    seed: u64,
+    adversary: WritebackAdversary,
+    coalesce: bool,
+    per_address: bool,
+) -> Result<(), TestCaseError> {
+    const THREADS: usize = 3;
+    // Far more pairs than any countdown can survive: every worker crashes.
+    const PAIRS: u64 = 400;
+    let q = CombiningQueue::new(THREADS, 1024);
+    q.pool().set_coalescing(coalesce);
+    q.pool().set_per_address_drains(per_address);
+    let hs: Vec<_> = (0..THREADS).map(|_| q.register_thread().unwrap()).collect();
+    let enq_done: std::sync::Mutex<Vec<u64>> = Default::default();
+    let deq_done: std::sync::Mutex<Vec<u64>> = Default::default();
+
+    std::thread::scope(|s| {
+        let q = &q;
+        let enq_done = &enq_done;
+        let deq_done = &deq_done;
+        for (tid, &h) in hs.iter().enumerate() {
+            s.spawn(move || {
+                let crash_after =
+                    20 + seed.wrapping_mul(2654435761).wrapping_add(tid as u64 * 97) % 300;
+                q.pool().arm_crash_after(crash_after);
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    for i in 0..PAIRS {
+                        let v = ((tid as u64) << 32) | i;
+                        if q.enqueue(h, v).is_err() {
+                            break;
+                        }
+                        enq_done.lock().unwrap().push(v);
+                        if let QueueResp::Value(x) = q.dequeue(h) {
+                            deq_done.lock().unwrap().push(x);
+                        }
+                    }
+                }));
+                q.pool().disarm_crash();
+                if let Err(p) = r {
+                    assert!(p.downcast_ref::<CrashSignal>().is_some(), "non-crash panic");
+                }
+            });
+        }
+    });
+
+    q.pool().crash(&adversary);
+    let adopted = q.recover();
+    q.rebuild_allocator();
+
+    let mut effective_enq: HashSet<u64> = enq_done.lock().unwrap().iter().copied().collect();
+    let mut effective_deq: HashSet<u64> = deq_done.lock().unwrap().iter().copied().collect();
+    for &h in &adopted {
+        match q.resolve(h) {
+            Resolved { op: Some(ResolvedOp::Enqueue(v)), resp: Some(QueueResp::Ok) } => {
+                effective_enq.insert(v);
+            }
+            Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(QueueResp::Value(v)) } => {
+                effective_deq.insert(v);
+            }
+            _ => {}
+        }
+    }
+    let remaining: Vec<u64> = q.snapshot_values();
+    let remaining_set: HashSet<u64> = remaining.iter().copied().collect();
+    prop_assert_eq!(remaining.len(), remaining_set.len(), "duplicate values in queue");
+    for v in &effective_deq {
+        prop_assert!(effective_enq.contains(v), "dequeued {v} never enqueued");
+        prop_assert!(!remaining_set.contains(v), "{v} dequeued yet still present");
+    }
+    for v in &remaining_set {
+        prop_assert!(effective_enq.contains(v), "queued {v} never enqueued");
+    }
+    let vanished: Vec<u64> = effective_enq
+        .iter()
+        .filter(|v| !remaining_set.contains(v) && !effective_deq.contains(v))
+        .copied()
+        .collect();
+    prop_assert!(vanished.is_empty(), "effective enqueues vanished: {vanished:?}");
     Ok(())
 }
 
@@ -357,6 +533,23 @@ proptest! {
         check_universal_crash_case(&script, crash_after, adversary, coalesce, per_address)?;
     }
 
+    /// The flat-combining execution layer under the same single-threaded
+    /// crash sweep — the victim is the combiner: see
+    /// [`check_combining_crash_case`].
+    #[test]
+    fn combining_crash_anywhere_never_loses_or_duplicates(
+        script in prop::collection::vec(proptest::bool::ANY, 1..20),
+        crash_after in 1u64..600,
+        adversary in arb_adversary(),
+        granularity in arb_granularity(),
+        coalesce in proptest::bool::ANY,
+        per_address in proptest::bool::ANY,
+    ) {
+        check_combining_crash_case(
+            &script, crash_after, adversary, granularity, coalesce, per_address,
+        )?;
+    }
+
     /// Without a crash, resolve always reports the last prepared operation
     /// with its true outcome, no matter what preceded it.
     #[test]
@@ -396,6 +589,26 @@ proptest! {
                 prop_assert_eq!(q.resolve(h0), Resolved { op: None, resp: None });
             }
         }
+    }
+}
+
+proptest! {
+    // Concurrent cases spawn real threads (with parked waiters sleeping in
+    // 50µs slices), so they cost milliseconds each; fewer cases, same
+    // coverage per case of the combiner/waiter crash interleavings.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Three combining workers, each with its own armed crash countdown:
+    /// crashes land in combiners mid-batch and in waiters parked on their
+    /// announce flags — see [`check_combining_concurrent_crash_case`].
+    #[test]
+    fn combining_concurrent_crash_conserves_values(
+        seed in 0u64..1_000_000,
+        adversary in arb_adversary(),
+        coalesce in proptest::bool::ANY,
+        per_address in proptest::bool::ANY,
+    ) {
+        check_combining_concurrent_crash_case(seed, adversary, coalesce, per_address)?;
     }
 }
 
@@ -484,6 +697,34 @@ fn universal_all_crash_points_with_per_address_drains() {
                     )
                 });
             }
+        }
+    }
+}
+
+/// The combining layer swept over every crash point a mixed script can
+/// reach, across the coalesce × per-address grid, against the all-dropping
+/// adversary: every persist-phase boundary inside `combine` — links
+/// durable but completions not, completions durable but claims not, empty
+/// verdicts in flight — is hit deterministically.
+#[test]
+fn combining_script_all_crash_points() {
+    let script = [true, true, false, true, false, false, true, false];
+    for (coalesce, per_address) in [(false, false), (true, false), (true, true)] {
+        for crash_after in 1..300 {
+            check_combining_crash_case(
+                &script,
+                crash_after,
+                WritebackAdversary::All,
+                FlushGranularity::Line,
+                coalesce,
+                per_address,
+            )
+            .unwrap_or_else(|e| {
+                panic!(
+                    "crash_after={crash_after} coalesce={coalesce} \
+                         per_address={per_address} failed: {e:?}"
+                )
+            });
         }
     }
 }
