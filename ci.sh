@@ -56,6 +56,21 @@ timeout 300 cargo run -q -p dss-harness --release --bin crash_matrix -- \
 timeout 300 cargo run -q -p dss-harness --release --bin crash_matrix -- \
     --combining on --partial-recovery on >/dev/null
 
+echo "==> replicated smoke (crash matrix on the log-fed replica execution layer)"
+timeout 300 cargo run -q -p dss-harness --release --bin crash_matrix -- \
+    --replicated on >/dev/null
+timeout 300 cargo run -q -p dss-harness --release --bin crash_matrix -- \
+    --replicated on --partial-recovery on >/dev/null
+
+echo "==> replication read-scaling smoke (replica-local reads vs single instance, E15 gate)"
+# The gate self-tiers by host parallelism: >=4 CPUs demand 1.5x at 4
+# threads, 2-3 CPUs parity-within-noise at the top of the sweep, 1 CPU
+# skips (replica-local reads cannot scale without parallelism). The
+# sweep must include a 4-thread point for the >=4-CPU tier.
+timeout 300 cargo bench -q -p dss-bench --bench replication -- \
+    --threads 4 --ms 30 --repeats 2 --assert-read-scaling >/dev/null
+rm -f crates/bench/BENCH_replication.json
+
 echo "==> checker equivalence gate (segmented/streaming/FIFO vs monolithic oracle)"
 timeout 120 cargo test -q -p dss-checker --test checker_equivalence
 timeout 120 cargo test -q -p dss-harness --test seeded_violations

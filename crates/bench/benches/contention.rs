@@ -33,8 +33,19 @@
 
 use std::time::Duration;
 
+use dss_bench::json;
 use dss_harness::adapter::{Backend, QueueKind};
-use dss_harness::throughput::{measure, ThroughputConfig};
+use dss_harness::throughput::{measure, Throughput, ThroughputConfig};
+
+/// One series as envelope points: `[{ "mean": m, "stddev": s }, ...]`.
+fn points_json(points: &[Throughput]) -> json::Value {
+    json::Value::array(points.iter().map(|t| {
+        json::Value::object([
+            ("mean", json::Value::rounded(t.mops_mean, 4)),
+            ("stddev", json::Value::rounded(t.mops_stddev, 4)),
+        ])
+    }))
+}
 
 /// Lenient scan for one numeric flag (cargo bench passes harness flags
 /// like `--bench` through; ignore everything unknown).
@@ -173,40 +184,20 @@ fn crossover_sweep(max_threads: usize, ms: u64, repeats: usize, penalty: u64, as
     }
     println!();
 
-    // Machine-readable summary (same style as BENCH_checker.json,
-    // written to the invoking directory; official runs are copied into
-    // results/).
-    let mut json = String::from("{\n  \"experiment\": \"e14_contention_combining\",\n");
-    json.push_str("  \"unit\": \"mops_per_sec\",\n");
-    json.push_str(&format!("  \"flush_penalty\": {penalty},\n  \"backend\": \"pmem\",\n"));
-    json.push_str(&format!(
-        "  \"threads\": [{}],\n",
-        counts.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", ")
-    ));
-    json.push_str("  \"series\": {\n");
-    for (i, (key, points)) in ["cas_racing", "combining"].iter().zip(series.iter()).enumerate() {
-        json.push_str(&format!(
-            "    \"{}\": [{}]{}\n",
-            key,
-            points
-                .iter()
-                .map(|t| format!(
-                    "{{ \"mean\": {:.4}, \"stddev\": {:.4} }}",
-                    t.mops_mean, t.mops_stddev
-                ))
-                .collect::<Vec<_>>()
-                .join(", "),
-            if i == 0 { "," } else { "" }
-        ));
+    // Machine-readable summary through the shared envelope (written to
+    // the invoking directory; official runs are copied into results/).
+    let mut envelope = json::Envelope::new("e14_contention_combining", "mops_per_sec")
+        .meta("flush_penalty", json::Value::Int(penalty as i64))
+        .meta("backend", json::Value::str("pmem"))
+        .meta("threads", json::Value::array(counts.iter().map(|&t| json::Value::Int(t as i64))))
+        .meta(
+            "crossover_threads",
+            crossover.map_or(json::Value::Null, |t| json::Value::Int(t as i64)),
+        );
+    for (key, points) in ["cas_racing", "combining"].iter().zip(series.iter()) {
+        envelope = envelope.series(*key, points_json(points));
     }
-    json.push_str("  },\n");
-    json.push_str(&match crossover {
-        Some(t) => format!("  \"crossover_threads\": {t}\n"),
-        None => "  \"crossover_threads\": null\n".to_string(),
-    });
-    json.push_str("}\n");
-    std::fs::write("BENCH_contention.json", json).expect("write BENCH_contention.json");
-    println!("# wrote BENCH_contention.json");
+    envelope.write("BENCH_contention.json");
 
     if assert_on {
         let (cas, comb) = (series[0].last().unwrap(), series[1].last().unwrap());

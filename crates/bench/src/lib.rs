@@ -25,6 +25,15 @@
 
 use std::time::{Duration, Instant};
 
+/// The shared `BENCH_*.json` envelope every machine-readable result file
+/// is written through ([`json::Envelope`]).
+///
+/// The implementation lives in `dss-harness` because the harness's
+/// experiment binaries (below this crate in the dependency graph) write
+/// `BENCH_checker.json` through the same writer; bench targets use it as
+/// `dss_bench::json`.
+pub use dss_harness::json;
+
 /// One benchmark's aggregated timing.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Stat {

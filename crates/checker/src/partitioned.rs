@@ -189,6 +189,10 @@ fn explore<T: SequentialSpec>(
 ///
 /// [`Violation::WindowNoLinearization`] pinpointing the window that admits
 /// no linearization, or [`Violation::WindowTooLarge`].
+/// [`Violation::Malformed`] on an empty record list: a pipeline that
+/// reports success must have checked at least one operation — an empty
+/// history reaching the checker is a recording bug upstream, and quietly
+/// exiting 0 on it would let a broken harness masquerade as verified.
 pub fn check_records<T: SequentialSpec>(
     spec: &T,
     records: &[OpRecord<T::Op, T::Resp>],
@@ -203,6 +207,12 @@ pub(crate) fn check_records_in<T: SequentialSpec>(
     options: &CheckOptions,
     partition: Option<&str>,
 ) -> Result<CheckStats, Violation> {
+    if records.is_empty() {
+        return Err(Violation::Malformed(match partition {
+            Some(p) => format!("empty record list in partition {p}: nothing to check"),
+            None => "empty record list: nothing to check".into(),
+        }));
+    }
     let mut stats =
         CheckStats { ops: records.len(), partitions: 1, frontier_peak: 1, ..Default::default() };
     let mut frontier: HashSet<T::State> = HashSet::from([spec.initial()]);
@@ -243,11 +253,17 @@ pub(crate) fn check_records_in<T: SequentialSpec>(
 ///
 /// The first failing partition's [`Violation`], with the partition key in
 /// [`Violation::WindowNoLinearization::partition`].
+/// [`Violation::Malformed`] on an empty record list (same contract as
+/// [`check_records`]): zero partitions checked must never read as a
+/// verified history.
 pub fn check_partitioned<T: Partitionable>(
     spec: &T,
     records: &[OpRecord<T::Op, T::Resp>],
     options: &CheckOptions,
 ) -> Result<CheckStats, Violation> {
+    if records.is_empty() {
+        return Err(Violation::Malformed("empty record list: nothing to check".into()));
+    }
     type PartRecord<T> = OpRecord<
         <<T as Partitionable>::Part as SequentialSpec>::Op,
         <<T as Partitionable>::Part as SequentialSpec>::Resp,

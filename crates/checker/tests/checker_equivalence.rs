@@ -10,14 +10,14 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use dss_checker::{
-    check, check_fifo, check_records, records_for, CheckOptions, Condition, Event, History, OpId,
-    StreamingChecker,
+    check, check_fifo, check_partitioned, check_records, records_for, CheckOptions, Condition,
+    Event, History, OpId, StreamingChecker, Violation,
 };
 use dss_spec::types::{
     CasOp, CasResp, CasSpec, QueueOp, QueueResp, QueueSpec, RegisterOp, RegisterResp, RegisterSpec,
     StackOp, StackResp, StackSpec,
 };
-use dss_spec::SequentialSpec;
+use dss_spec::{Keyed, SequentialSpec};
 
 /// Crash-aware conditions (everything but plain linearizability).
 const CRASH_CONDS: [Condition; 4] = [
@@ -115,6 +115,18 @@ fn assert_verdicts_agree<T: SequentialSpec + Copy>(
 ) -> bool {
     let records = records_for(h, cond).expect("generated histories are well-formed");
     assert!(records.len() <= 63, "generator exceeded the monolithic checker's capacity");
+
+    if records.is_empty() {
+        // The segmented checker refuses empty record lists by contract
+        // (`Malformed`, see `empty_record_lists_are_malformed`) rather
+        // than vacuously passing; the oracle comparison only applies to
+        // histories with at least one operation.
+        assert!(matches!(
+            check_records(spec, &records, &CheckOptions::default()),
+            Err(Violation::Malformed(_))
+        ));
+        return true;
+    }
 
     let mono = check(spec, &records).is_ok();
     let seg = check_records(spec, &records, &CheckOptions::default()).is_ok();
@@ -271,6 +283,28 @@ macro_rules! equivalence_suite {
             }
         }
     };
+}
+
+/// An empty record list must be refused as [`Violation::Malformed`] by
+/// every segmented entry point, never accepted as vacuously verified: a
+/// pipeline that reports success has to have checked at least one
+/// operation, so an empty history reaching the checker is a recording
+/// bug upstream.
+#[test]
+fn empty_record_lists_are_malformed() {
+    let whole = check_records(&QueueSpec, &[], &CheckOptions::default());
+    match whole {
+        Err(Violation::Malformed(msg)) => {
+            assert!(msg.contains("empty record list"), "unhelpful message: {msg}")
+        }
+        other => panic!("empty records must be Malformed, got {other:?}"),
+    }
+
+    let partitioned = check_partitioned(&Keyed::new(RegisterSpec), &[], &CheckOptions::default());
+    assert!(
+        matches!(partitioned, Err(Violation::Malformed(_))),
+        "check_partitioned must refuse empty records too, got {partitioned:?}"
+    );
 }
 
 fn arb_queue_op() -> impl Strategy<Value = QueueOp> {

@@ -62,8 +62,8 @@ mod universal;
 
 pub use cas::{DetectableCas, ResolvedCas, KIND_DETECTABLE_CAS};
 pub use queue::{
-    CombiningQueue, DssQueue, QueueFull, Resolved, ResolvedOp, KIND_DSS_QUEUE,
-    KIND_DSS_QUEUE_COMBINING,
+    CombiningQueue, DssQueue, QueueFull, ReplicatedQueue, Resolved, ResolvedOp, DEFAULT_REPLICAS,
+    KIND_DSS_QUEUE, KIND_DSS_QUEUE_COMBINING, KIND_DSS_QUEUE_REPLICATED, REPLICATED_LOG_CAP,
 };
 pub use register::{DetectableRegister, KIND_DETECTABLE_REGISTER};
 pub use stack::{DssStack, StackFull, StackResolved, StackResolvedOp, KIND_DSS_STACK};

@@ -3,10 +3,14 @@
 mod combining;
 mod ops;
 mod recovery;
+mod replicated;
 #[cfg(test)]
 mod tests;
 
 pub use combining::{CombiningQueue, KIND_DSS_QUEUE_COMBINING};
+pub use replicated::{
+    ReplicatedQueue, DEFAULT_REPLICAS, KIND_DSS_QUEUE_REPLICATED, LOG_CAP as REPLICATED_LOG_CAP,
+};
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
@@ -581,6 +585,27 @@ impl<M: Memory> DssQueue<M> {
                 // by this thread's *non-detectable* dequeue, or unclaimed.
                 None
             }
+        }
+    }
+
+    /// Read-only front probe through the shared structure: walks from the
+    /// head pointer past claimed nodes to the first live one and returns
+    /// its value. This is the single-instance read path the replicated
+    /// layer's replica-local reads are benchmarked against — every call
+    /// traverses the same shared head line all writers contend on.
+    pub fn peek_front(&self, h: ThreadHandle) -> Option<u64> {
+        let tid = h.slot();
+        let _guard = self.pin(tid);
+        let mut cur = tag::addr_of(self.pool.load(self.head_addr()));
+        loop {
+            let next = tag::addr_of(self.pool.load(cur.offset(F_NEXT)));
+            if next.is_null() {
+                return None;
+            }
+            if self.pool.load(next.offset(F_DEQ_TID)) == NO_DEQUEUER {
+                return Some(self.pool.load(next.offset(F_VALUE)));
+            }
+            cur = next;
         }
     }
 

@@ -1,0 +1,1550 @@
+//! Replica-local reads: log-fed volatile replicas over a durable op log
+//! (the `--replicated` axis).
+//!
+//! [`ReplicatedQueue`] keeps the paper's `prep-*`/`exec-*`/`resolve`
+//! surface but changes the *representation*: the persistent truth is not a
+//! linked structure at all, it is a **durable operation log** — per-slot
+//! announce lines, a seq-indexed ring of applied-operation records, a
+//! committed-sequence word, and a double-buffered state snapshot. The
+//! queue's *state* lives in N **volatile replicas** (plain `VecDeque`s in
+//! DRAM), each fed by tailing the log: a replica serving a read first
+//! catches up to the committed sequence number (`advance_to`), then
+//! answers from local memory with **no flushes and no shared-line
+//! writes**. Threads are sharded onto replicas by registry slot range, so
+//! on a read-heavy mix the only cross-replica traffic is the read-shared
+//! committed-seq line.
+//!
+//! ## Write path
+//!
+//! `prep_*` durably publishes the operation in the calling slot's announce
+//! line (two ordering points: argument, then a packed
+//! `opseq ≪ 2 | kind` commit word — the argument words are double-buffered
+//! by opseq parity so a torn announce can never pair an old commit with a
+//! new argument). `exec_*` reuses PR 7's combiner-lease machinery
+//! verbatim: one **leased appender** per batch gathers every announced
+//! operation, orders it, computes its response against a replica advanced
+//! to the committed prefix, writes one ring record per operation, issues a
+//! single [`persist_batch`], and then durably publishes the new committed
+//! seq — the batch's linearization point. Waiters park on volatile flags
+//! and are released only after that publish, so a returned operation is
+//! durable. A stale lease (its holder's registry nonce carried by no LIVE
+//! slot) is stolen exactly as in the combining layer, which makes orphan
+//! adoption cross-process safe: the thief re-reads the durable log, sees
+//! which announced operations already committed (their opseq is ≤ the
+//! slot's applied opseq in the log), and only applies the rest.
+//!
+//! ## Why replicas need no flushes
+//!
+//! A replica is a pure function of the durable log prefix it has applied.
+//! It is never flushed because it is never *read back* after a crash:
+//! recovery ([`recover`]/[`recover_one`]) discards replica state and
+//! rebuilds it by replaying the committed log prefix over the last durable
+//! snapshot (recovery-by-replay, §3.3-independent: no replica's state is
+//! needed to repair any other slot's detectability answer). The appender
+//! also never mutates replica state before the batch's publish — responses
+//! are computed against a read-only overlay — so a crash mid-batch leaves
+//! every replica a valid committed prefix.
+//!
+//! ## Ring reclamation
+//!
+//! The ring holds the last [`LOG_CAP`] records. Before a batch would
+//! overwrite records still inside the snapshot window, the appender takes
+//! a **checkpoint**: it advances *every* replica to the committed seq
+//! (so none can lag behind the new floor), writes the full state — values
+//! plus per-slot `(opseq, response)` detectability words — into the
+//! alternate snapshot buffer, persists it, and durably flips the snapshot
+//! selector. `resolve` therefore answers from snapshot + ring for any
+//! operation, no matter how long ago it scrolled out of the ring.
+//!
+//! [`persist_batch`]: dss_pmem::Memory::persist_batch
+//! [`recover`]: ReplicatedQueue::recover
+//! [`recover_one`]: ReplicatedQueue::recover_one
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{
+    AtomicBool, AtomicU64,
+    Ordering::{Acquire, Relaxed, Release},
+};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use dss_pmem::{
+    plan_regions, AttachError, Backoff, BackoffTuner, FlushGranularity, Memory, PAddr,
+    PlacementPolicy, PmemPool, Registry, SlotError, SlotState, ThreadHandle, WORDS_PER_LINE,
+};
+use dss_spec::types::QueueResp;
+
+use super::{QueueFull, Resolved, ResolvedOp};
+
+/// The structure-kind tag a [`ReplicatedQueue`] records in its pool file's
+/// superblock: the log-structured representation is incompatible with the
+/// linked-list layers, so neither [`DssQueue::attach`](super::DssQueue::attach)
+/// nor [`CombiningQueue::attach`](super::CombiningQueue::attach) may open it.
+pub const KIND_DSS_QUEUE_REPLICATED: u64 = 11;
+
+/// Ring capacity in operation records. Each record is one cache line; the
+/// window between checkpoints is at most this many operations. Must exceed
+/// the registry's slot maximum so one batch always fits after a checkpoint.
+pub const LOG_CAP: u64 = 512;
+
+/// Replicas a [`ReplicatedQueue::new`]-style constructor builds.
+pub const DEFAULT_REPLICAS: usize = 2;
+
+// Fixed header addresses (word indices). Line 0 is NULL's line.
+/// The durable committed-sequence word: records `< A_CSEQ` are applied.
+const A_CSEQ: u64 = 8;
+/// The durable snapshot generation; its parity selects the live buffer.
+const A_SNAP: u64 = 16;
+/// The volatile appender lease word (never flushed on the hot path).
+const A_LEASE: u64 = 24;
+/// Registry region base — first line after the fixed header.
+const REG_BASE: u64 = 32;
+
+// Announce line layout: one line per slot inside its replica's region.
+// Word 0 packs `opseq << 2 | kind`; words 1 and 2 double-buffer the
+// enqueue argument by opseq parity (see the module docs' torn-announce
+// argument).
+const ANN_KIND_MASK: u64 = 0b11;
+/// Announce/record kind: enqueue.
+const ANN_ENQ: u64 = 1;
+/// Announce/record kind: dequeue.
+const ANN_DEQ: u64 = 2;
+
+// Ring record field offsets (one record per line).
+const E_KIND: u64 = 0;
+const E_ARG: u64 = 1;
+const E_SLOT: u64 = 2;
+const E_OPSEQ: u64 = 3;
+const E_RTAG: u64 = 4;
+const E_RVAL: u64 = 5;
+
+// Response tag encoding shared by ring records and snapshot slot words.
+const R_NONE: u64 = 0;
+const R_OK: u64 = 1;
+const R_EMPTY: u64 = 2;
+const R_VALUE: u64 = 3;
+
+// Snapshot buffer field offsets.
+const S_SEQ: u64 = 0;
+const S_LEN: u64 = 1;
+const S_SLOT_DONE: u64 = 2; // 3 words per slot: opseq, rtag, rval
+
+// Volatile per-slot announce states (same protocol as the combining layer).
+const IDLE: u64 = 0;
+const ANNOUNCED: u64 = 1;
+const DONE: u64 = 2;
+
+/// Consecutive stable observations of a foreign lease before a waiter
+/// pays for a registry staleness probe.
+const STALE_PROBE: u32 = 64;
+/// Parked-waiter iterations before escalating to unconditional yields.
+const YIELD_AFTER: u32 = 8;
+/// Yield iterations before escalating further to short sleeps.
+const SLEEP_AFTER: u32 = YIELD_AFTER + 64;
+/// Parked-waiter sleep duration.
+const PARK_SLEEP: std::time::Duration = std::time::Duration::from_micros(50);
+
+/// Locks a mutex, riding through poisoning: a combine tenure interrupted
+/// by a simulated crash unwind may poison a lock, and recovery rebuilds
+/// everything the guard protects from durable state anyway.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The registry slots replica `r` of `nreplicas` serves (contiguous, by
+/// the same arithmetic as [`replica_of`]).
+fn slot_range(r: usize, nthreads: usize, nreplicas: usize) -> std::ops::Range<usize> {
+    let lo = (r * nthreads).div_ceil(nreplicas);
+    let hi = ((r + 1) * nthreads).div_ceil(nreplicas);
+    lo..hi
+}
+
+/// The replica serving registry slot `s`.
+fn replica_of(s: usize, nthreads: usize, nreplicas: usize) -> usize {
+    s * nreplicas / nthreads
+}
+
+/// The queue's persistent geometry: fixed header + registry, then the
+/// policy-placed regions. A pure function of
+/// `(nthreads, nodes_per_thread, nreplicas, policy)` — attach re-derives
+/// it from the pool file's app-config words alone.
+#[derive(Debug, Clone)]
+struct RepLayout {
+    nthreads: usize,
+    nreplicas: usize,
+    /// Enqueue-admission bound (the analogue of the node-pool capacity).
+    capacity: u64,
+    /// Per-replica announce regions, one line per served slot.
+    ann: Vec<std::ops::Range<u64>>,
+    /// The operation-record ring, [`LOG_CAP`] lines.
+    ring: std::ops::Range<u64>,
+    /// The two snapshot buffers (generation parity selects one).
+    snap: [std::ops::Range<u64>; 2],
+}
+
+impl RepLayout {
+    fn new(
+        nthreads: usize,
+        nodes_per_thread: u64,
+        nreplicas: usize,
+        policy: PlacementPolicy,
+    ) -> Self {
+        assert!(nthreads > 0, "need at least one thread slot");
+        assert!(nodes_per_thread > 0, "need capacity for at least one value per thread");
+        assert!(
+            (1..=nthreads).contains(&nreplicas),
+            "replicas must be in 1..=nthreads (got {nreplicas} for {nthreads} threads)"
+        );
+        assert!((nthreads as u64) < LOG_CAP, "one batch must fit in the ring");
+        let shared_words = REG_BASE + Registry::<PmemPool>::region_words(nthreads);
+        let capacity = nthreads as u64 * nodes_per_thread;
+        // Values + per-slot detectability words + header; `nthreads` slack
+        // words absorb the admission gate's bounded over-admission (one
+        // in-flight enqueue per slot past the volatile live estimate).
+        let snap_words = S_SLOT_DONE + 3 * nthreads as u64 + capacity + nthreads as u64;
+        let mut sizes: Vec<u64> = (0..nreplicas)
+            .map(|r| slot_range(r, nthreads, nreplicas).len() as u64 * WORDS_PER_LINE)
+            .collect();
+        sizes.push(LOG_CAP * WORDS_PER_LINE);
+        sizes.push(snap_words);
+        sizes.push(snap_words);
+        let mut regions = plan_regions(shared_words as usize, policy, shared_words, &sizes);
+        let snap_b = regions.pop().expect("plan returns all regions");
+        let snap_a = regions.pop().expect("plan returns all regions");
+        let ring = regions.pop().expect("plan returns all regions");
+        RepLayout { nthreads, nreplicas, capacity, ann: regions, ring, snap: [snap_a, snap_b] }
+    }
+
+    /// Words the pool is created with (the planned regions past it
+    /// materialise lazily as they are touched).
+    fn shared_words(&self) -> u64 {
+        REG_BASE + Registry::<PmemPool>::region_words(self.nthreads)
+    }
+
+    fn replica_of(&self, slot: usize) -> usize {
+        replica_of(slot, self.nthreads, self.nreplicas)
+    }
+
+    /// Slot `s`'s announce commit word (word 0 of its announce line).
+    fn ann_commit(&self, s: usize) -> PAddr {
+        let r = self.replica_of(s);
+        let idx = (s - slot_range(r, self.nthreads, self.nreplicas).start) as u64;
+        PAddr::from_index(self.ann[r].start + idx * WORDS_PER_LINE)
+    }
+
+    /// The argument word announce opseq `o` uses (parity double-buffer).
+    fn ann_arg(&self, s: usize, o: u64) -> PAddr {
+        self.ann_commit(s).offset(1 + (o & 1))
+    }
+
+    /// Base address of the ring record for sequence number `seq`.
+    fn entry(&self, seq: u64) -> PAddr {
+        PAddr::from_index(self.ring.start + (seq % LOG_CAP) * WORDS_PER_LINE)
+    }
+
+    /// Base word index of the snapshot buffer generation `g` selects.
+    fn snap_base(&self, g: u64) -> u64 {
+        self.snap[(g & 1) as usize].start
+    }
+}
+
+/// One volatile replica: the queue state after applying the log prefix
+/// `[0, applied)`.
+struct ReplicaState {
+    applied: u64,
+    values: VecDeque<u64>,
+}
+
+/// The appender's volatile per-slot bookkeeping, valid for one crash
+/// generation: highest applied opseq and its response per slot, plus the
+/// live-value count feeding the admission gate. Only the lease holder
+/// reads or writes it; a generation mismatch makes the next appender
+/// rebuild it from snapshot + ring.
+struct AppendCache {
+    gen: u64,
+    opseq: Vec<u64>,
+    rtag: Vec<u64>,
+    rval: Vec<u64>,
+    live: u64,
+}
+
+/// The replicated execution layer: a durable operation log plus N
+/// volatile, log-fed replicas with replica-local reads.
+///
+/// Same `prep`/`exec`/`resolve`/`recover` surface as
+/// [`DssQueue`](super::DssQueue) and
+/// [`CombiningQueue`](super::CombiningQueue), plus the read-side API
+/// ([`peek_front`](Self::peek_front), [`len`](Self::len),
+/// [`advance_to`](Self::advance_to)) that the other layers serve from
+/// shared memory. See the [module docs](self) for the protocol and its
+/// crash argument.
+pub struct ReplicatedQueue<M: Memory = PmemPool> {
+    pool: Arc<M>,
+    registry: Registry<M>,
+    lay: RepLayout,
+    lease: PAddr,
+    /// Volatile per-slot announce flags (IDLE/ANNOUNCED/DONE).
+    pending: Box<[AtomicU64]>,
+    /// Per-slot announce counters (owner-written; recovery re-derives
+    /// them from the durable announce lines).
+    opseq: Box<[AtomicU64]>,
+    /// Per-slot response handoff cells, published before the DONE flag.
+    resp_tag: Box<[AtomicU64]>,
+    resp_val: Box<[AtomicU64]>,
+    replicas: Box<[Mutex<ReplicaState>]>,
+    append: Mutex<AppendCache>,
+    /// Volatile live-value estimate feeding the enqueue admission gate.
+    live_hint: AtomicU64,
+    ops_done: Box<[AtomicU64]>,
+    backoff: AtomicBool,
+    tuner: BackoffTuner,
+}
+
+impl ReplicatedQueue {
+    /// Creates a replicated queue for `nthreads` threads admitting up to
+    /// `nthreads * nodes_per_thread` live values, with
+    /// [`DEFAULT_REPLICAS`] replicas under [`PlacementPolicy::Sharded`],
+    /// on a fresh line-granular pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero, or `nthreads`
+    /// is smaller than [`DEFAULT_REPLICAS`] — use
+    /// [`new_configured`](Self::new_configured) for full control.
+    pub fn new(nthreads: usize, nodes_per_thread: u64) -> Self {
+        Self::with_granularity(nthreads, nodes_per_thread, FlushGranularity::Line)
+    }
+
+    /// [`new`](Self::new) with an explicit flush granularity.
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new).
+    pub fn with_granularity(
+        nthreads: usize,
+        nodes_per_thread: u64,
+        granularity: FlushGranularity,
+    ) -> Self {
+        Self::new_in(nthreads, nodes_per_thread, granularity)
+    }
+
+    /// Creates a replicated queue on a **file-backed** pool at `path`,
+    /// recording [`KIND_DSS_QUEUE_REPLICATED`] and the full configuration
+    /// (threads, capacity, replicas, placement policy) in the superblock
+    /// so [`attach`](Self::attach) rebuilds it from the path alone.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Io`] if the pool file cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new).
+    pub fn create<P: AsRef<std::path::Path>>(
+        path: P,
+        nthreads: usize,
+        nodes_per_thread: u64,
+    ) -> Result<Self, AttachError> {
+        Self::create_with(path, nthreads, nodes_per_thread, FlushGranularity::Line)
+    }
+
+    /// [`create`](Self::create) with an explicit flush granularity.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Io`] if the pool file cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](Self::new).
+    pub fn create_with<P: AsRef<std::path::Path>>(
+        path: P,
+        nthreads: usize,
+        nodes_per_thread: u64,
+        granularity: FlushGranularity,
+    ) -> Result<Self, AttachError> {
+        Self::create_configured(
+            path,
+            nthreads,
+            nodes_per_thread,
+            DEFAULT_REPLICAS.min(nthreads),
+            PlacementPolicy::Sharded,
+            granularity,
+        )
+    }
+
+    /// [`create`](Self::create) with explicit replica count and placement
+    /// policy.
+    ///
+    /// # Errors
+    ///
+    /// [`AttachError::Io`] if the pool file cannot be created.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero or `nreplicas`
+    /// is not in `1..=nthreads`.
+    pub fn create_configured<P: AsRef<std::path::Path>>(
+        path: P,
+        nthreads: usize,
+        nodes_per_thread: u64,
+        nreplicas: usize,
+        policy: PlacementPolicy,
+        granularity: FlushGranularity,
+    ) -> Result<Self, AttachError> {
+        let lay = RepLayout::new(nthreads, nodes_per_thread, nreplicas, policy);
+        let pool = Arc::new(PmemPool::create(path, lay.shared_words() as usize, granularity)?);
+        pool.set_app_config(
+            KIND_DSS_QUEUE_REPLICATED,
+            &[nthreads as u64, nodes_per_thread, nreplicas as u64, policy_code(policy)],
+        );
+        pool.set_placement(policy);
+        let registry = Registry::create(Arc::clone(&pool), REG_BASE, nthreads);
+        let q = Self::assemble(pool, registry, lay);
+        q.clear_lease();
+        Ok(q)
+    }
+
+    /// Rebuilds a replicated queue from a pool file with no in-process
+    /// state: the configuration is read back from the superblock, the
+    /// region plan re-derived from it, the registry re-bound (attach is a
+    /// crash boundary), every replica rebuilt from the durable snapshot,
+    /// and the lease cleared (whatever process held it is gone).
+    ///
+    /// # Errors
+    ///
+    /// Any [`AttachError`]; in particular [`AttachError::AppMismatch`] if
+    /// the file holds a different structure kind.
+    pub fn attach<P: AsRef<std::path::Path>>(path: P) -> Result<Self, AttachError> {
+        let pool = Arc::new(PmemPool::attach(path)?);
+        let found = pool.app_kind();
+        if found != KIND_DSS_QUEUE_REPLICATED {
+            return Err(AttachError::AppMismatch { expected: KIND_DSS_QUEUE_REPLICATED, found });
+        }
+        let [nthreads, nodes_per_thread, nreplicas, policy, ..] = pool.app_config();
+        if nthreads == 0 || nodes_per_thread == 0 {
+            return Err(AttachError::Corrupt("replicated queue parameter words are zero"));
+        }
+        if nreplicas == 0 || nreplicas > nthreads {
+            return Err(AttachError::Corrupt("replica count outside 1..=nthreads"));
+        }
+        let policy = policy_from_code(policy);
+        let lay = RepLayout::new(nthreads as usize, nodes_per_thread, nreplicas as usize, policy);
+        if (pool.capacity() as u64) < lay.shared_words() {
+            return Err(AttachError::Corrupt("pool smaller than the replicated layout requires"));
+        }
+        pool.set_placement(policy);
+        let registry = Registry::attach(Arc::clone(&pool), REG_BASE)?;
+        let q = Self::assemble(pool, registry, lay);
+        q.clear_lease();
+        Ok(q)
+    }
+}
+
+fn policy_code(policy: PlacementPolicy) -> u64 {
+    match policy {
+        PlacementPolicy::Interleave => 0,
+        PlacementPolicy::Sharded => 1,
+    }
+}
+
+fn policy_from_code(code: u64) -> PlacementPolicy {
+    if code == 1 {
+        PlacementPolicy::Sharded
+    } else {
+        PlacementPolicy::Interleave
+    }
+}
+
+impl<M: Memory> ReplicatedQueue<M> {
+    /// Creates a replicated queue on a freshly created backend of type `M`
+    /// with [`DEFAULT_REPLICAS`] replicas under
+    /// [`PlacementPolicy::Sharded`] — the backend-generic constructor
+    /// behind [`new`](ReplicatedQueue::new).
+    ///
+    /// # Panics
+    ///
+    /// As [`new`](ReplicatedQueue::new).
+    pub fn new_in(nthreads: usize, nodes_per_thread: u64, granularity: FlushGranularity) -> Self {
+        Self::new_configured(
+            nthreads,
+            nodes_per_thread,
+            DEFAULT_REPLICAS.min(nthreads),
+            PlacementPolicy::Sharded,
+            granularity,
+        )
+    }
+
+    /// [`new_in`](Self::new_in) with explicit replica count and placement
+    /// policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nthreads` or `nodes_per_thread` is zero or `nreplicas`
+    /// is not in `1..=nthreads`.
+    pub fn new_configured(
+        nthreads: usize,
+        nodes_per_thread: u64,
+        nreplicas: usize,
+        policy: PlacementPolicy,
+        granularity: FlushGranularity,
+    ) -> Self {
+        let lay = RepLayout::new(nthreads, nodes_per_thread, nreplicas, policy);
+        let pool = Arc::new(M::create(lay.shared_words() as usize, granularity));
+        pool.set_placement(policy);
+        let registry = Registry::create(Arc::clone(&pool), REG_BASE, nthreads);
+        let q = Self::assemble(pool, registry, lay);
+        q.clear_lease();
+        q
+    }
+
+    /// Builds the volatile superstructure over an existing pool +
+    /// registry: replicas seeded from the durable snapshot, announce
+    /// counters from the durable announce lines, and an append cache
+    /// stamped invalid so the first appender rebuilds it from the log.
+    fn assemble(pool: Arc<M>, registry: Registry<M>, lay: RepLayout) -> Self {
+        let n = lay.nthreads;
+        let q = ReplicatedQueue {
+            lease: PAddr::from_index(A_LEASE),
+            pending: (0..n).map(|_| AtomicU64::new(IDLE)).collect(),
+            opseq: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            resp_tag: (0..n).map(|_| AtomicU64::new(R_NONE)).collect(),
+            resp_val: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            replicas: (0..lay.nreplicas)
+                .map(|_| Mutex::new(ReplicaState { applied: 0, values: VecDeque::new() }))
+                .collect(),
+            append: Mutex::new(AppendCache {
+                gen: u64::MAX,
+                opseq: vec![0; n],
+                rtag: vec![R_NONE; n],
+                rval: vec![0; n],
+                live: 0,
+            }),
+            live_hint: AtomicU64::new(0),
+            ops_done: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            backoff: AtomicBool::new(true),
+            tuner: BackoffTuner::new(),
+            pool,
+            registry,
+            lay,
+        };
+        for s in 0..n {
+            let (o, rtag, rval) = q.slot_status(s);
+            q.opseq[s].store(q.pool.peek(q.lay.ann_commit(s)) >> 2, Relaxed);
+            let _ = o;
+            q.resp_val[s].store(rval, Relaxed);
+            q.resp_tag[s].store(rtag, Relaxed);
+        }
+        for rep in q.replicas.iter() {
+            *lock(rep) = q.state_from_snapshot();
+        }
+        q.live_hint.store(q.snapshot_values().len() as u64, Relaxed);
+        q
+    }
+
+    /// Stores, flushes and orders a free lease word. Safe whenever no live
+    /// thread can hold the lease (construction, attach, post-crash
+    /// recovery); idempotent.
+    fn clear_lease(&self) {
+        self.pool.store(self.lease, 0);
+        self.pool.flush(self.lease);
+        self.pool.drain_line(self.lease);
+    }
+
+    /// The queue's memory backend.
+    pub fn pool(&self) -> &Arc<M> {
+        &self.pool
+    }
+
+    /// Number of threads the queue was built for.
+    pub fn nthreads(&self) -> usize {
+        self.lay.nthreads
+    }
+
+    /// Number of volatile replicas.
+    pub fn nreplicas(&self) -> usize {
+        self.lay.nreplicas
+    }
+
+    /// The replica serving registry slot `slot`'s reads.
+    pub fn replica_of_slot(&self, slot: usize) -> usize {
+        self.lay.replica_of(slot)
+    }
+
+    /// The queue's persistent thread-slot registry.
+    pub fn registry(&self) -> &Registry<M> {
+        &self.registry
+    }
+
+    /// Accepted for knob parity with
+    /// [`DssQueue::set_backoff`](super::DssQueue::set_backoff); waiters
+    /// park with the adaptive tuner either way.
+    pub fn set_backoff(&self, on: bool) {
+        self.backoff.store(on, Relaxed);
+    }
+
+    /// Claims a free registry slot (see
+    /// [`DssQueue::register_thread`](super::DssQueue::register_thread)).
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::Exhausted`] when all slots are taken.
+    pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
+        self.registry.acquire()
+    }
+
+    /// Returns a handle's slot to the registry.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::StaleHandle`] / [`SlotError::ForeignHandle`] per
+    /// [`Registry::release`].
+    pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
+        self.registry.release(h)
+    }
+
+    /// Marks the crash boundary in the registry. **Required after every
+    /// crash before any thread resumes `exec`**: lease-staleness detection
+    /// keys off orphaned slots.
+    pub fn begin_recovery(&self) {
+        self.registry.begin_recovery();
+    }
+
+    /// Adopts one orphaned slot.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::OutOfRange`] / [`SlotError::NotOrphaned`] per
+    /// [`Registry::adopt`].
+    pub fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
+        self.registry.adopt(slot)
+    }
+
+    /// [`adopt`](Self::adopt) over every orphaned slot, ascending.
+    pub fn adopt_orphans(&self) -> Vec<ThreadHandle> {
+        self.registry.adopt_orphans()
+    }
+
+    /// Total completed operations (volatile; for workloads and tests).
+    pub fn ops_completed(&self) -> u64 {
+        self.ops_done.iter().map(|c| c.load(Relaxed)).sum()
+    }
+
+    /// The durable committed sequence number: the log prefix `[0, seq)`
+    /// is applied and persisted.
+    pub fn committed_seq(&self) -> u64 {
+        self.pool.load(PAddr::from_index(A_CSEQ))
+    }
+
+    /// **prep-enqueue**: durably announce `(enqueue, val)` in this slot's
+    /// announce line — argument first, then the packed commit word, each
+    /// with its own ordering point, so a crash can lose the announce but
+    /// never tear it.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the live-value estimate has reached the
+    /// configured capacity.
+    pub fn prep_enqueue(&self, h: ThreadHandle, val: u64) -> Result<(), QueueFull> {
+        if self.live_hint.load(Relaxed) >= self.lay.capacity {
+            return Err(QueueFull);
+        }
+        let s = h.slot();
+        let o = self.opseq[s].load(Relaxed) + 1;
+        self.opseq[s].store(o, Relaxed);
+        let arg = self.lay.ann_arg(s, o);
+        self.pool.store(arg, val);
+        self.pool.flush(arg);
+        self.pool.drain_line(arg);
+        let commit = self.lay.ann_commit(s);
+        self.pool.store(commit, (o << 2) | ANN_ENQ);
+        self.pool.flush(commit);
+        self.pool.drain_line(commit);
+        self.pending[s].store(ANNOUNCED, Release);
+        Ok(())
+    }
+
+    /// **prep-dequeue**: durably announce a dequeue (commit word only —
+    /// a dequeue has no argument), one ordering point.
+    pub fn prep_dequeue(&self, h: ThreadHandle) {
+        let s = h.slot();
+        let o = self.opseq[s].load(Relaxed) + 1;
+        self.opseq[s].store(o, Relaxed);
+        let commit = self.lay.ann_commit(s);
+        self.pool.store(commit, (o << 2) | ANN_DEQ);
+        self.pool.flush(commit);
+        self.pool.drain_line(commit);
+        self.pending[s].store(ANNOUNCED, Release);
+    }
+
+    /// **exec-enqueue**: append (as the leased appender) or wait until
+    /// the announced enqueue is in the durable log and the committed seq
+    /// covering it is published. Idempotent like the combining layer's.
+    pub fn exec_enqueue(&self, h: ThreadHandle) {
+        if self.pending[h.slot()].load(Acquire) != IDLE {
+            self.await_applied(h);
+        }
+    }
+
+    /// **exec-dequeue**: append or wait, then return the response the
+    /// appender recorded for this slot. Idempotent — re-running it
+    /// re-reads the recorded response.
+    pub fn exec_dequeue(&self, h: ThreadHandle) -> QueueResp {
+        if self.pending[h.slot()].load(Acquire) != IDLE {
+            self.await_applied(h);
+        }
+        let s = h.slot();
+        match self.resp_tag[s].load(Acquire) {
+            R_VALUE => QueueResp::Value(self.resp_val[s].load(Relaxed)),
+            _ => QueueResp::Empty,
+        }
+    }
+
+    /// Detectable enqueue: `prep` + `exec`.
+    ///
+    /// # Errors
+    ///
+    /// [`QueueFull`] when the live-value estimate has reached capacity.
+    pub fn enqueue(&self, h: ThreadHandle, val: u64) -> Result<(), QueueFull> {
+        self.prep_enqueue(h, val)?;
+        self.exec_enqueue(h);
+        Ok(())
+    }
+
+    /// Detectable dequeue: `prep` + `exec`. (Like combining mode, every
+    /// operation goes through the announce/append path.)
+    pub fn dequeue(&self, h: ThreadHandle) -> QueueResp {
+        self.prep_dequeue(h);
+        self.exec_dequeue(h)
+    }
+
+    /// **Replica-local front read**: catch the calling slot's replica up
+    /// to the committed seq, then answer from volatile local state. No
+    /// flushes, no shared-line writes — the only shared access is the
+    /// committed-seq load (and the ring reads a lagging replica needs to
+    /// catch up).
+    pub fn peek_front(&self, h: ThreadHandle) -> Option<u64> {
+        let target = self.committed_seq();
+        let mut st = lock(&self.replicas[self.lay.replica_of(h.slot())]);
+        self.advance_locked(&mut st, target);
+        st.values.front().copied()
+    }
+
+    /// Replica-local length read (see [`peek_front`](Self::peek_front)).
+    pub fn len(&self, h: ThreadHandle) -> usize {
+        let target = self.committed_seq();
+        let mut st = lock(&self.replicas[self.lay.replica_of(h.slot())]);
+        self.advance_locked(&mut st, target);
+        st.values.len()
+    }
+
+    /// Replica-local emptiness read (see [`peek_front`](Self::peek_front)).
+    pub fn is_empty(&self, h: ThreadHandle) -> bool {
+        self.len(h) == 0
+    }
+
+    /// Catches replica `replica` up to log sequence `seq` (clamped to the
+    /// committed seq — records past it are not yet published). Reads do
+    /// this implicitly; tests and the differential harness call it
+    /// directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn advance_to(&self, replica: usize, seq: u64) {
+        let target = seq.min(self.committed_seq());
+        let mut st = lock(&self.replicas[replica]);
+        self.advance_locked(&mut st, target);
+    }
+
+    /// Replica `replica`'s current volatile contents, front to back,
+    /// *without* catching it up first (tests use this to observe lag).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn replica_values(&self, replica: usize) -> Vec<u64> {
+        let st = lock(&self.replicas[replica]);
+        st.values.iter().copied().collect()
+    }
+
+    /// Replica `replica`'s applied log prefix length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn replica_applied(&self, replica: usize) -> u64 {
+        lock(&self.replicas[replica]).applied
+    }
+
+    /// Applies ring records `[st.applied, target)` to a locked replica,
+    /// one record at a time so a crash unwind leaves the state consistent
+    /// at a record boundary.
+    fn advance_locked(&self, st: &mut ReplicaState, target: u64) {
+        let pool = self.pool.as_ref();
+        while st.applied < target {
+            let e = self.lay.entry(st.applied);
+            if pool.load(e.offset(E_KIND)) == ANN_ENQ {
+                st.values.push_back(pool.load(e.offset(E_ARG)));
+            } else if pool.load(e.offset(E_RTAG)) == R_VALUE {
+                let v = st.values.pop_front();
+                debug_assert_eq!(v, Some(pool.load(e.offset(E_RVAL))));
+            }
+            st.applied += 1;
+        }
+    }
+
+    /// Parks until this slot's announced operation is applied, appending
+    /// on this thread whenever the lease is (or goes) free, and stealing
+    /// the lease if its holder provably died — the combining layer's
+    /// protocol verbatim.
+    fn await_applied(&self, h: ThreadHandle) {
+        let slot = h.slot();
+        let pool = self.pool.as_ref();
+        let mut bo = Backoff::attached(self.backoff.load(Relaxed), &self.tuner);
+        let mut observed = 0u64;
+        let mut stable = 0u32;
+        let mut waits = 0u32;
+        loop {
+            if self.pending[slot].load(Acquire) == DONE {
+                self.pending[slot].store(IDLE, Relaxed);
+                return;
+            }
+            // Instrumented load so armed crash countdowns progress even
+            // while a waiter only parks.
+            let lease = pool.load(self.lease);
+            if lease == 0 {
+                if pool.cas(self.lease, 0, h.nonce()).is_ok() {
+                    self.combine(h);
+                    self.release_lease(h);
+                    continue;
+                }
+            } else if lease != observed {
+                observed = lease;
+                stable = 0;
+            } else {
+                stable += 1;
+                if stable >= STALE_PROBE && self.lease_is_stale(lease) {
+                    if pool.cas(self.lease, lease, h.nonce()).is_ok() {
+                        self.combine(h);
+                        self.release_lease(h);
+                        continue;
+                    }
+                    observed = 0;
+                    stable = 0;
+                }
+            }
+            waits = waits.saturating_add(1);
+            if waits > SLEEP_AFTER {
+                std::thread::sleep(PARK_SLEEP);
+            } else if waits > YIELD_AFTER {
+                std::thread::yield_now();
+            } else {
+                bo.spin();
+            }
+        }
+    }
+
+    fn release_lease(&self, h: ThreadHandle) {
+        // Failure is benign: only a post-crash steal can move the lease
+        // from under a holder, and then the thief owns the cleanup.
+        let _ = self.pool.cas(self.lease, h.nonce(), 0);
+    }
+
+    /// Whether a lease nonce belongs to no LIVE registry slot
+    /// (uninstrumented peeks: diagnosis, not protocol progress).
+    fn lease_is_stale(&self, lease: u64) -> bool {
+        for s in 0..self.lay.nthreads {
+            if self.registry.slot_state(s) == Ok(SlotState::Live)
+                && self.registry.slot_nonce(s) == Ok(lease)
+            {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The leased appender: batches every announced-but-unapplied
+    /// operation into the durable log (see module docs). Caller must hold
+    /// the lease.
+    fn combine(&self, me: ThreadHandle) {
+        let pool = self.pool.as_ref();
+        let mut cache = lock(&self.append);
+        if cache.gen != pool.crash_generation() {
+            self.rebuild_cache(&mut cache);
+        }
+
+        // Gather the batch in slot order — the order its operations are
+        // appended (and hence linearized) in.
+        let mut batch: Vec<(usize, u64)> = Vec::new();
+        for s in 0..self.lay.nthreads {
+            if self.pending[s].load(Acquire) == ANNOUNCED {
+                batch.push((s, pool.load(self.lay.ann_commit(s))));
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+
+        let committed = pool.load(PAddr::from_index(A_CSEQ));
+        let fresh =
+            batch.iter().filter(|&&(s, commit)| (commit >> 2) > cache.opseq[s]).count() as u64;
+
+        // Advance this appender's own replica to the committed prefix; the
+        // batch's responses are computed against it through a read-only
+        // overlay, so no replica state mutates before the publish.
+        let my = self.lay.replica_of(me.slot());
+        let mut st = lock(&self.replicas[my]);
+        self.advance_locked(&mut st, committed);
+
+        // Checkpoint first if this batch's records would overwrite ring
+        // positions still inside the snapshot window.
+        let g = pool.load(PAddr::from_index(A_SNAP));
+        let snap_seq = pool.load(PAddr::from_index(self.lay.snap_base(g) + S_SEQ));
+        if committed + fresh > snap_seq + LOG_CAP {
+            self.checkpoint(my, &mut st, &cache, committed);
+        }
+
+        // Apply the batch against (st + overlay), writing one ring record
+        // per fresh operation. `pops` counts st values the batch consumed;
+        // `pushes` holds batch-enqueued values not yet consumed by it.
+        let mut lines: Vec<PAddr> = Vec::new();
+        let mut done: Vec<(usize, u64, u64, u64)> = Vec::new();
+        let mut pops: usize = 0;
+        let mut pushes: VecDeque<u64> = VecDeque::new();
+        let mut seq = committed;
+        for &(s, commit) in batch.iter() {
+            let o = commit >> 2;
+            if commit == 0 || o <= cache.opseq[s] {
+                // Nothing fresh: a dead appender's batch already applied
+                // (and published) this operation — hand back its recorded
+                // response. (`o < cache.opseq[s]` cannot happen: the
+                // announce is always the slot's newest opseq.)
+                done.push((s, 0, cache.rtag[s], cache.rval[s]));
+                continue;
+            }
+            let (kind, arg, rtag, rval) = match commit & ANN_KIND_MASK {
+                ANN_ENQ => {
+                    let arg = pool.load(self.lay.ann_arg(s, o));
+                    pushes.push_back(arg);
+                    (ANN_ENQ, arg, R_OK, 0)
+                }
+                _ => {
+                    if pops < st.values.len() {
+                        let v = st.values[pops];
+                        pops += 1;
+                        (ANN_DEQ, 0, R_VALUE, v)
+                    } else if let Some(v) = pushes.pop_front() {
+                        (ANN_DEQ, 0, R_VALUE, v)
+                    } else {
+                        (ANN_DEQ, 0, R_EMPTY, 0)
+                    }
+                }
+            };
+            let e = self.lay.entry(seq);
+            for (off, w) in [
+                (E_KIND, kind),
+                (E_ARG, arg),
+                (E_SLOT, s as u64),
+                (E_OPSEQ, o),
+                (E_RTAG, rtag),
+                (E_RVAL, rval),
+            ] {
+                pool.store(e.offset(off), w);
+                lines.push(e.offset(off));
+            }
+            done.push((s, o, rtag, rval));
+            seq += 1;
+        }
+
+        if seq != committed {
+            // One ordering point for the whole batch's records, then the
+            // durable publish — the batch's linearization point. A crash
+            // before the publish leaves the records unreachable garbage;
+            // after it, they are the committed history.
+            pool.persist_batch(&lines);
+            let c = PAddr::from_index(A_CSEQ);
+            pool.store(c, seq);
+            pool.flush(c);
+            pool.drain_line(c);
+        }
+
+        // Committed-state bookkeeping (volatile only, post-publish).
+        let live = (st.values.len() - pops + pushes.len()) as u64;
+        cache.live = live;
+        self.live_hint.store(live, Relaxed);
+        drop(st);
+        for &(s, o, rtag, rval) in done.iter() {
+            if o != 0 {
+                cache.opseq[s] = o;
+                cache.rtag[s] = rtag;
+                cache.rval[s] = rval;
+            }
+            self.resp_val[s].store(rval, Relaxed);
+            self.resp_tag[s].store(rtag, Relaxed);
+            self.ops_done[s].fetch_add(1, Relaxed);
+            self.pending[s].store(DONE, Release);
+        }
+    }
+
+    /// Writes the committed state into the alternate snapshot buffer and
+    /// durably flips the selector, after advancing **every** replica to
+    /// `committed` so none lags behind the new replay floor. Caller is the
+    /// lease holder and has `my`'s replica (already advanced) locked.
+    fn checkpoint(&self, my: usize, my_st: &mut ReplicaState, cache: &AppendCache, committed: u64) {
+        let pool = self.pool.as_ref();
+        for (r, rep) in self.replicas.iter().enumerate() {
+            if r != my {
+                let mut st = lock(rep);
+                self.advance_locked(&mut st, committed);
+            }
+        }
+        debug_assert_eq!(my_st.applied, committed);
+        let g = pool.load(PAddr::from_index(A_SNAP));
+        let base = self.lay.snap_base(g + 1);
+        let mut words: Vec<(u64, u64)> =
+            Vec::with_capacity(2 + 3 * self.lay.nthreads + my_st.values.len());
+        words.push((S_SEQ, committed));
+        words.push((S_LEN, my_st.values.len() as u64));
+        for s in 0..self.lay.nthreads {
+            let b = S_SLOT_DONE + 3 * s as u64;
+            words.push((b, cache.opseq[s]));
+            words.push((b + 1, cache.rtag[s]));
+            words.push((b + 2, cache.rval[s]));
+        }
+        let vbase = S_SLOT_DONE + 3 * self.lay.nthreads as u64;
+        for (i, &v) in my_st.values.iter().enumerate() {
+            words.push((vbase + i as u64, v));
+        }
+        let lines: Vec<PAddr> =
+            words.iter().map(|&(off, _)| PAddr::from_index(base + off)).collect();
+        for &(off, w) in words.iter() {
+            pool.store(PAddr::from_index(base + off), w);
+        }
+        pool.persist_batch(&lines);
+        // The buffer is durable; only now flip the selector (its own
+        // ordering point). A crash between the two leaves the old
+        // snapshot selected — still valid, its ring window intact.
+        let ga = PAddr::from_index(A_SNAP);
+        pool.store(ga, g + 1);
+        pool.flush(ga);
+        pool.drain_line(ga);
+    }
+
+    /// Rebuilds the appender's volatile bookkeeping from snapshot + ring.
+    /// Called under the append lock by the first appender of each crash
+    /// generation (and by [`recover`](Self::recover)).
+    fn rebuild_cache(&self, cache: &mut AppendCache) {
+        let pool = self.pool.as_ref();
+        let g = pool.load(PAddr::from_index(A_SNAP));
+        let base = self.lay.snap_base(g);
+        let snap_seq = pool.load(PAddr::from_index(base + S_SEQ));
+        let mut live = pool.load(PAddr::from_index(base + S_LEN));
+        for s in 0..self.lay.nthreads {
+            let b = base + S_SLOT_DONE + 3 * s as u64;
+            cache.opseq[s] = pool.load(PAddr::from_index(b));
+            cache.rtag[s] = pool.load(PAddr::from_index(b + 1));
+            cache.rval[s] = pool.load(PAddr::from_index(b + 2));
+        }
+        let committed = pool.load(PAddr::from_index(A_CSEQ));
+        for seq in snap_seq..committed {
+            let e = self.lay.entry(seq);
+            let s = pool.load(e.offset(E_SLOT)) as usize;
+            if s < self.lay.nthreads {
+                cache.opseq[s] = pool.load(e.offset(E_OPSEQ));
+                cache.rtag[s] = pool.load(e.offset(E_RTAG));
+                cache.rval[s] = pool.load(e.offset(E_RVAL));
+            }
+            if pool.load(e.offset(E_KIND)) == ANN_ENQ {
+                live += 1;
+            } else if pool.load(e.offset(E_RTAG)) == R_VALUE {
+                live = live.saturating_sub(1);
+            }
+        }
+        cache.live = live;
+        self.live_hint.store(live, Relaxed);
+        cache.gen = pool.crash_generation();
+    }
+
+    /// Slot `slot`'s durable detectability status
+    /// `(applied opseq, resp tag, resp value)` from snapshot + ring,
+    /// retried if a checkpoint flips the snapshot mid-scan.
+    fn slot_status(&self, slot: usize) -> (u64, u64, u64) {
+        let pool = self.pool.as_ref();
+        loop {
+            let g = pool.load(PAddr::from_index(A_SNAP));
+            let base = self.lay.snap_base(g);
+            let b = base + S_SLOT_DONE + 3 * slot as u64;
+            let mut o = pool.load(PAddr::from_index(b));
+            let mut rtag = pool.load(PAddr::from_index(b + 1));
+            let mut rval = pool.load(PAddr::from_index(b + 2));
+            let snap_seq = pool.load(PAddr::from_index(base + S_SEQ));
+            let committed = pool.load(PAddr::from_index(A_CSEQ));
+            for seq in snap_seq..committed {
+                let e = self.lay.entry(seq);
+                if pool.load(e.offset(E_SLOT)) as usize == slot {
+                    o = pool.load(e.offset(E_OPSEQ));
+                    rtag = pool.load(e.offset(E_RTAG));
+                    rval = pool.load(e.offset(E_RVAL));
+                }
+            }
+            if pool.load(PAddr::from_index(A_SNAP)) == g {
+                return (o, rtag, rval);
+            }
+        }
+    }
+
+    /// A fresh replica state: the durable snapshot's values at its seq
+    /// (retried across a racing checkpoint flip).
+    fn state_from_snapshot(&self) -> ReplicaState {
+        let pool = self.pool.as_ref();
+        loop {
+            let g = pool.load(PAddr::from_index(A_SNAP));
+            let base = self.lay.snap_base(g);
+            let applied = pool.load(PAddr::from_index(base + S_SEQ));
+            let len = pool.load(PAddr::from_index(base + S_LEN));
+            let vbase = base + S_SLOT_DONE + 3 * self.lay.nthreads as u64;
+            let values: VecDeque<u64> =
+                (0..len).map(|i| pool.load(PAddr::from_index(vbase + i))).collect();
+            if pool.load(PAddr::from_index(A_SNAP)) == g {
+                return ReplicaState { applied, values };
+            }
+        }
+    }
+
+    /// **resolve**: answers from durable state only (announce line +
+    /// snapshot + ring) — valid live, after a crash, and from an adopting
+    /// process, with no reliance on any volatile cache.
+    pub fn resolve(&self, h: ThreadHandle) -> Resolved {
+        let s = h.slot();
+        let commit = self.pool.load(self.lay.ann_commit(s));
+        if commit == 0 {
+            return Resolved { op: None, resp: None };
+        }
+        let o = commit >> 2;
+        let op = match commit & ANN_KIND_MASK {
+            ANN_ENQ => ResolvedOp::Enqueue(self.pool.load(self.lay.ann_arg(s, o))),
+            _ => ResolvedOp::Dequeue,
+        };
+        let (applied_o, rtag, rval) = self.slot_status(s);
+        let resp = if applied_o == o {
+            Some(match rtag {
+                R_OK => QueueResp::Ok,
+                R_VALUE => QueueResp::Value(rval),
+                _ => QueueResp::Empty,
+            })
+        } else {
+            None
+        };
+        Resolved { op: Some(op), resp }
+    }
+
+    /// Inspection helper: the committed queue contents, rebuilt from
+    /// snapshot + ring with uninstrumented peeks (valid live and after a
+    /// crash; recovery and the crash harness classify against it).
+    pub fn snapshot_values(&self) -> Vec<u64> {
+        let pool = self.pool.as_ref();
+        loop {
+            let g = pool.peek(PAddr::from_index(A_SNAP));
+            let base = self.lay.snap_base(g);
+            let snap_seq = pool.peek(PAddr::from_index(base + S_SEQ));
+            let len = pool.peek(PAddr::from_index(base + S_LEN));
+            let vbase = base + S_SLOT_DONE + 3 * self.lay.nthreads as u64;
+            let mut values: VecDeque<u64> =
+                (0..len).map(|i| pool.peek(PAddr::from_index(vbase + i))).collect();
+            let committed = pool.peek(PAddr::from_index(A_CSEQ));
+            for seq in snap_seq..committed {
+                let e = self.lay.entry(seq);
+                if pool.peek(e.offset(E_KIND)) == ANN_ENQ {
+                    values.push_back(pool.peek(e.offset(E_ARG)));
+                } else if pool.peek(e.offset(E_RTAG)) == R_VALUE {
+                    values.pop_front();
+                }
+            }
+            if pool.peek(PAddr::from_index(A_SNAP)) == g {
+                return values.into();
+            }
+        }
+    }
+
+    /// Centralized crash recovery: registry crash boundary + orphan
+    /// adoption, lease cleared durably, every per-slot volatile cell
+    /// re-derived from the durable log, and **every replica rebuilt by
+    /// replay** — snapshot values plus the committed ring suffix
+    /// (recovery-by-replay; replicas are volatile and never flushed).
+    pub fn recover(&self) -> Vec<ThreadHandle> {
+        self.begin_recovery();
+        let adopted = self.adopt_orphans();
+        self.clear_lease();
+        let mut cache = lock(&self.append);
+        self.rebuild_cache(&mut cache);
+        for s in 0..self.lay.nthreads {
+            self.opseq[s].store(self.pool.load(self.lay.ann_commit(s)) >> 2, Relaxed);
+            self.resp_val[s].store(cache.rval[s], Relaxed);
+            self.resp_tag[s].store(cache.rtag[s], Relaxed);
+            self.pending[s].store(IDLE, Relaxed);
+        }
+        drop(cache);
+        for rep in self.replicas.iter() {
+            *lock(rep) = self.state_from_snapshot();
+        }
+        adopted
+    }
+
+    /// Independent per-slot recovery (§3.3): repairs only this slot's
+    /// volatile cells (from the durable log) and reseeds the replica that
+    /// serves it. The lease is left for the waiters' staleness steal, and
+    /// the shared append cache is not touched — its crash-generation
+    /// stamp no longer matches, so the next appender rebuilds it from
+    /// durable state under the lease.
+    pub fn recover_one(&self, h: ThreadHandle) {
+        let s = h.slot();
+        let (_, rtag, rval) = self.slot_status(s);
+        self.resp_val[s].store(rval, Relaxed);
+        self.resp_tag[s].store(rtag, Relaxed);
+        self.opseq[s].store(self.pool.load(self.lay.ann_commit(s)) >> 2, Relaxed);
+        self.pending[s].store(IDLE, Relaxed);
+        *lock(&self.replicas[self.lay.replica_of(s)]) = self.state_from_snapshot();
+    }
+
+    /// Parity with the linked layers' post-crash allocator rebuild: the
+    /// log-structured representation has no node allocator, so this is a
+    /// no-op.
+    pub fn rebuild_allocator(&self) {}
+}
+
+impl<M: Memory> fmt::Debug for ReplicatedQueue<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReplicatedQueue")
+            .field("nthreads", &self.lay.nthreads)
+            .field("nreplicas", &self.lay.nreplicas)
+            .field("committed_seq", &self.pool.peek(PAddr::from_index(A_CSEQ)))
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{DssQueue, KIND_DSS_QUEUE};
+    use super::*;
+    use dss_pmem::{region_segments, WritebackAdversary};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::path::PathBuf;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = ReplicatedQueue::new(1, 8);
+        let h0 = q.register_thread().unwrap();
+        for v in [10, 20, 30] {
+            q.enqueue(h0, v).unwrap();
+        }
+        assert_eq!(q.peek_front(h0), Some(10));
+        assert_eq!(q.len(h0), 3);
+        assert_eq!(q.dequeue(h0), QueueResp::Value(10));
+        assert_eq!(q.dequeue(h0), QueueResp::Value(20));
+        assert_eq!(q.dequeue(h0), QueueResp::Value(30));
+        assert_eq!(q.dequeue(h0), QueueResp::Empty);
+        assert!(q.is_empty(h0));
+    }
+
+    #[test]
+    fn resolve_matches_detectable_semantics() {
+        let q = ReplicatedQueue::new(1, 8);
+        let h0 = q.register_thread().unwrap();
+        assert_eq!(q.resolve(h0), Resolved { op: None, resp: None });
+        q.prep_enqueue(h0, 9).unwrap();
+        q.exec_enqueue(h0);
+        assert_eq!(
+            q.resolve(h0),
+            Resolved { op: Some(ResolvedOp::Enqueue(9)), resp: Some(QueueResp::Ok) }
+        );
+        q.prep_dequeue(h0);
+        assert_eq!(q.exec_dequeue(h0), QueueResp::Value(9));
+        assert_eq!(
+            q.resolve(h0),
+            Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(QueueResp::Value(9)) }
+        );
+        q.prep_dequeue(h0);
+        assert_eq!(q.exec_dequeue(h0), QueueResp::Empty);
+        assert_eq!(
+            q.resolve(h0),
+            Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(QueueResp::Empty) }
+        );
+    }
+
+    #[test]
+    fn exec_is_idempotent() {
+        let q = ReplicatedQueue::new(1, 8);
+        let h0 = q.register_thread().unwrap();
+        q.prep_enqueue(h0, 1).unwrap();
+        q.exec_enqueue(h0);
+        q.exec_enqueue(h0); // must not park on an empty publication array
+        q.prep_dequeue(h0);
+        assert_eq!(q.exec_dequeue(h0), QueueResp::Value(1));
+        assert_eq!(q.exec_dequeue(h0), QueueResp::Value(1));
+    }
+
+    #[test]
+    fn replicas_catch_up_lazily_and_on_demand() {
+        let q = ReplicatedQueue::new(2, 8);
+        assert_eq!(q.nreplicas(), 2);
+        let h0 = q.register_thread().unwrap();
+        let h1 = q.register_thread().unwrap();
+        assert_ne!(q.replica_of_slot(h0.slot()), q.replica_of_slot(h1.slot()));
+        for v in [1, 2, 3] {
+            q.enqueue(h0, v).unwrap();
+        }
+        // h1's replica only catches up when h1 reads through it.
+        assert_eq!(q.peek_front(h1), Some(1));
+        assert_eq!(q.replica_values(q.replica_of_slot(h1.slot())), [1, 2, 3]);
+        // Explicit catch-up of a named replica to the committed prefix.
+        q.advance_to(q.replica_of_slot(h0.slot()), q.committed_seq());
+        assert_eq!(q.replica_values(q.replica_of_slot(h0.slot())), [1, 2, 3]);
+        assert_eq!(q.replica_applied(0), q.committed_seq());
+    }
+
+    #[test]
+    fn concurrent_threads_conserve_values_and_per_thread_order() {
+        const THREADS: usize = 4;
+        const PAIRS: u64 = 150;
+        let q = ReplicatedQueue::new(THREADS, 64);
+        let hs: Vec<ThreadHandle> = (0..THREADS).map(|_| q.register_thread().unwrap()).collect();
+        let dequeued: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = hs
+                .iter()
+                .enumerate()
+                .map(|(tid, &h)| {
+                    let q = &q;
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        for i in 1..=PAIRS {
+                            q.enqueue(h, ((tid as u64) << 32) | i).unwrap();
+                            if i % 16 == 0 {
+                                let _ = q.peek_front(h); // replica-local read mixed in
+                            }
+                            if let QueueResp::Value(v) = q.dequeue(h) {
+                                got.push(v);
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|t| t.join().unwrap()).collect()
+        });
+        let mut all: Vec<u64> = dequeued.into_iter().flatten().collect();
+        let mut leftover = q.snapshot_values();
+        all.append(&mut leftover);
+        all.sort_unstable();
+        let mut expect: Vec<u64> =
+            (0..THREADS as u64).flat_map(|t| (1..=PAIRS).map(move |i| (t << 32) | i)).collect();
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn checkpoints_reclaim_the_ring() {
+        // Far more operations than LOG_CAP: the appender must checkpoint
+        // and the committed state must survive every snapshot flip.
+        let q = ReplicatedQueue::new(1, 8);
+        let h0 = q.register_thread().unwrap();
+        for i in 0..(3 * LOG_CAP / 2) {
+            q.enqueue(h0, i).unwrap();
+            assert_eq!(q.dequeue(h0), QueueResp::Value(i), "i={i}");
+        }
+        assert!(q.committed_seq() > LOG_CAP);
+        assert!(q.snapshot_values().is_empty());
+        q.enqueue(h0, 77).unwrap();
+        assert_eq!(q.peek_front(h0), Some(77));
+        assert_eq!(q.snapshot_values(), [77]);
+    }
+
+    #[test]
+    fn admission_gate_reports_full() {
+        let q = ReplicatedQueue::new(1, 2); // capacity 2
+        let h0 = q.register_thread().unwrap();
+        q.enqueue(h0, 1).unwrap();
+        q.enqueue(h0, 2).unwrap();
+        assert_eq!(q.prep_enqueue(h0, 3), Err(QueueFull));
+        assert_eq!(q.dequeue(h0), QueueResp::Value(1));
+        q.enqueue(h0, 3).unwrap();
+        assert_eq!(q.snapshot_values(), [2, 3]);
+    }
+
+    #[test]
+    fn batched_appends_survive_a_crash_and_resolve() {
+        // Crash a single-thread exec at each instrumented point; recovery
+        // must leave resolve and the durable state consistent (the
+        // exhaustive version is the harness sweep).
+        for k in 1..=40u64 {
+            let q = ReplicatedQueue::new(1, 8);
+            let h0 = q.register_thread().unwrap();
+            q.enqueue(h0, 7).unwrap();
+            q.pool().arm_crash_after(k);
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                q.prep_dequeue(h0);
+                let _ = q.exec_dequeue(h0);
+            }));
+            q.pool().disarm_crash();
+            if r.is_ok() {
+                break;
+            }
+            q.pool().crash(&WritebackAdversary::All);
+            let adopted = q.recover();
+            q.rebuild_allocator();
+            match q.resolve(h0) {
+                Resolved { op: Some(ResolvedOp::Dequeue), resp: Some(QueueResp::Value(7)) } => {
+                    assert!(q.snapshot_values().is_empty(), "k={k}");
+                }
+                Resolved { op: Some(ResolvedOp::Dequeue), resp: None } => {
+                    assert_eq!(q.snapshot_values(), [7], "k={k}");
+                }
+                Resolved { op: Some(ResolvedOp::Enqueue(7)), resp: Some(QueueResp::Ok) } => {
+                    // The dequeue announce itself was lost to the crash.
+                    assert_eq!(q.snapshot_values(), [7], "k={k}");
+                }
+                other => panic!("k={k}: unexpected resolution {other:?}"),
+            }
+            // Post-recovery the queue must keep working (the crash
+            // orphaned the slot; continue under the adopted handle).
+            let h = adopted.first().copied().unwrap_or(h0);
+            q.prep_dequeue(h);
+            let _ = q.exec_dequeue(h);
+            assert_eq!(q.dequeue(h), QueueResp::Empty);
+        }
+    }
+
+    #[test]
+    fn stale_lease_from_a_dead_appender_is_stolen() {
+        let q = ReplicatedQueue::new(2, 8);
+        let h0 = q.register_thread().unwrap();
+        let h1 = q.register_thread().unwrap();
+        // An appender that died mid-tenure: h1's nonce sits durably in
+        // the lease word, and h1's thread never comes back.
+        q.pool.store(q.lease, h1.nonce());
+        q.pool.flush(q.lease);
+        q.pool.drain_line(q.lease);
+        q.pool().crash(&WritebackAdversary::None);
+        q.begin_recovery();
+        let mine = q.adopt(h0.slot()).unwrap();
+        q.recover_one(mine);
+        // h1's slot is orphaned, so its nonce is LIVE nowhere: the waiter
+        // must detect staleness, steal the lease, and append.
+        q.enqueue(mine, 5).unwrap();
+        q.prep_dequeue(mine);
+        assert_eq!(q.exec_dequeue(mine), QueueResp::Value(5));
+    }
+
+    #[test]
+    fn racing_exec_calls_have_one_appender_and_all_complete() {
+        const THREADS: usize = 4;
+        let q = ReplicatedQueue::new(THREADS, 16);
+        let hs: Vec<ThreadHandle> = (0..THREADS).map(|_| q.register_thread().unwrap()).collect();
+        for (tid, &h) in hs.iter().enumerate() {
+            q.prep_enqueue(h, tid as u64 + 1).unwrap();
+        }
+        std::thread::scope(|scope| {
+            for &h in &hs {
+                let q = &q;
+                scope.spawn(move || q.exec_enqueue(h));
+            }
+        });
+        let mut values = q.snapshot_values();
+        values.sort_unstable();
+        assert_eq!(values, [1, 2, 3, 4]);
+        assert_eq!(q.pool.peek(q.lease), 0, "lease released after the batches");
+        for p in q.pending.iter() {
+            assert_eq!(p.load(Ordering::Relaxed), IDLE);
+        }
+    }
+
+    #[test]
+    fn sharded_placement_gives_each_region_its_own_segments() {
+        let q = ReplicatedQueue::new(4, 8);
+        assert_eq!(q.pool().placement(), PlacementPolicy::Sharded);
+        let initial = q.lay.shared_words() as usize;
+        let mut regions: Vec<&std::ops::Range<u64>> = q.lay.ann.iter().collect();
+        regions.push(&q.lay.ring);
+        regions.push(&q.lay.snap[0]);
+        regions.push(&q.lay.snap[1]);
+        let segs: Vec<std::ops::Range<usize>> =
+            regions.iter().map(|r| region_segments(initial, r)).collect();
+        for i in 0..segs.len() {
+            for j in (i + 1)..segs.len() {
+                assert!(
+                    segs[i].end <= segs[j].start || segs[j].end <= segs[i].start,
+                    "regions {i} and {j} share a segment: {:?} vs {:?}",
+                    segs[i],
+                    segs[j]
+                );
+            }
+        }
+    }
+
+    /// A unique pool-file path, removed again on drop.
+    struct TmpPool(PathBuf);
+
+    impl TmpPool {
+        fn new(name: &str) -> Self {
+            static SEQ: AtomicU64 = AtomicU64::new(0);
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            let mut p = std::env::temp_dir();
+            p.push(format!("dss-replicated-{}-{name}-{n}.pool", std::process::id()));
+            TmpPool(p)
+        }
+    }
+
+    impl Drop for TmpPool {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+
+    #[test]
+    fn file_backed_create_attach_round_trip() {
+        let tmp = TmpPool::new("roundtrip");
+        {
+            let q = ReplicatedQueue::create(&tmp.0, 2, 8).unwrap();
+            let h0 = q.register_thread().unwrap();
+            q.enqueue(h0, 1).unwrap();
+            q.prep_enqueue(h0, 2).unwrap();
+            q.exec_enqueue(h0);
+            q.pool().drain();
+        }
+        let q = ReplicatedQueue::attach(&tmp.0).unwrap();
+        let adopted = q.recover();
+        assert_eq!(adopted.len(), 1);
+        assert_eq!(
+            q.resolve(adopted[0]),
+            Resolved { op: Some(ResolvedOp::Enqueue(2)), resp: Some(QueueResp::Ok) }
+        );
+        assert_eq!(q.snapshot_values(), [1, 2]);
+        // Replicas were rebuilt by replay over the attach boundary.
+        assert_eq!(q.peek_front(adopted[0]), Some(1));
+        assert_eq!(q.dequeue(adopted[0]), QueueResp::Value(1));
+    }
+
+    #[test]
+    fn attach_rejects_the_other_execution_layers() {
+        let tmp = TmpPool::new("kind-replicated");
+        drop(ReplicatedQueue::create(&tmp.0, 1, 8).unwrap());
+        match DssQueue::attach(&tmp.0) {
+            Err(AttachError::AppMismatch { expected, found }) => {
+                assert_eq!(expected, KIND_DSS_QUEUE);
+                assert_eq!(found, KIND_DSS_QUEUE_REPLICATED);
+            }
+            other => panic!("expected AppMismatch, got {other:?}"),
+        }
+
+        let tmp = TmpPool::new("kind-cas");
+        drop(DssQueue::create(&tmp.0, 1, 8).unwrap());
+        match ReplicatedQueue::attach(&tmp.0) {
+            Err(AttachError::AppMismatch { expected, found }) => {
+                assert_eq!(expected, KIND_DSS_QUEUE_REPLICATED);
+                assert_eq!(found, KIND_DSS_QUEUE);
+            }
+            other => panic!("expected AppMismatch, got {other:?}"),
+        }
+    }
+}

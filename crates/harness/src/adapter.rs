@@ -12,8 +12,10 @@
 use std::fmt::Debug;
 
 use dss_baselines::{DurableQueue, LogQueue, MsQueue};
-use dss_core::{CombiningQueue, DssQueue};
-use dss_pmem::{DramPool, FlushGranularity, Memory, PmemPool, StatsSnapshot, ThreadHandle};
+use dss_core::{CombiningQueue, DssQueue, ReplicatedQueue};
+use dss_pmem::{
+    DramPool, FlushGranularity, Memory, PlacementPolicy, PmemPool, StatsSnapshot, ThreadHandle,
+};
 use dss_pmwcas::CasWithEffectQueue;
 use dss_spec::types::QueueResp;
 
@@ -32,6 +34,12 @@ pub enum QueueKind {
     /// lease-holding combiner that batch-applies announced operations
     /// with one persist per batch phase.
     DssCombining,
+    /// DSS queue under the replicated execution layer (E15): writes go
+    /// through a leased appender into a durable op log; reads are served
+    /// replica-locally from volatile log-fed replicas
+    /// ([`QueueUnderTest::peek`]), with no flushes and no shared-line
+    /// writes on the read path.
+    DssReplicated,
     /// Friedman et al.'s durable queue (recoverable, not detectable).
     Durable,
     /// Friedman et al.'s log queue (detectable; Figure 5b).
@@ -89,6 +97,7 @@ impl QueueKind {
             QueueKind::DssNonDetectable => "DSS queue non-detectable",
             QueueKind::DssDetectable => "DSS queue detectable",
             QueueKind::DssCombining => "DSS queue combining",
+            QueueKind::DssReplicated => "DSS queue replicated",
             QueueKind::Durable => "Durable queue",
             QueueKind::Log => "Log queue",
             QueueKind::CweGeneral => "General CASWithEffect queue",
@@ -138,6 +147,11 @@ impl QueueKind {
                 nodes_per_thread,
                 FlushGranularity::Line,
             ))),
+            QueueKind::DssReplicated => Box::new(DssRepl(ReplicatedQueue::<M>::new_in(
+                nthreads,
+                nodes_per_thread,
+                FlushGranularity::Line,
+            ))),
             QueueKind::Durable => Box::new(DurableQueue::<M>::new_in(nthreads, nodes_per_thread)),
             QueueKind::Log => Box::new(LogQueue::<M>::new_in(nthreads, nodes_per_thread)),
             QueueKind::CweGeneral => {
@@ -177,19 +191,52 @@ impl QueueKind {
     }
 
     /// The kinds of the contention benchmark (E14): every historical kind
-    /// plus the flat-combining execution layer, placed right after the
-    /// CAS-racing detectable queue it is the alternative to.
-    pub fn contention() -> [QueueKind; 8] {
+    /// plus the leased execution layers, placed right after the
+    /// CAS-racing detectable queue they are the alternatives to.
+    pub fn contention() -> [QueueKind; 9] {
         [
             QueueKind::Ms,
             QueueKind::DssNonDetectable,
             QueueKind::DssDetectable,
             QueueKind::DssCombining,
+            QueueKind::DssReplicated,
             QueueKind::Durable,
             QueueKind::Log,
             QueueKind::CweGeneral,
             QueueKind::CweFast,
         ]
+    }
+
+    /// The kinds of the replication read-scaling benchmark (E15): the
+    /// replicated layer against the CAS-racing detectable single instance
+    /// whose reads walk the shared structure.
+    pub fn replication() -> [QueueKind; 2] {
+        [QueueKind::DssDetectable, QueueKind::DssReplicated]
+    }
+
+    /// Builds the queue with an explicit volatile replica count — the
+    /// E15 `--replicas` axis. Only
+    /// [`DssReplicated`](Self::DssReplicated) has replicas (built sharded,
+    /// on pmem); every other kind ignores the count and builds as
+    /// [`build`](Self::build) would.
+    pub fn build_with_replicas(
+        self,
+        nthreads: usize,
+        nodes_per_thread: u64,
+        nreplicas: usize,
+    ) -> Box<dyn QueueUnderTest> {
+        match self {
+            QueueKind::DssReplicated => {
+                Box::new(DssRepl(ReplicatedQueue::<PmemPool>::new_configured(
+                    nthreads,
+                    nodes_per_thread,
+                    nreplicas.min(nthreads),
+                    PlacementPolicy::Sharded,
+                    FlushGranularity::Line,
+                )))
+            }
+            kind => kind.build(nthreads, nodes_per_thread),
+        }
     }
 }
 
@@ -219,6 +266,22 @@ pub trait QueueUnderTest: Send + Sync + Debug {
 
     /// Dequeues on behalf of the handle's thread.
     fn dequeue(&self, h: ThreadHandle) -> QueueResp;
+
+    /// Reads the front value without removing it — the E15 read probe.
+    ///
+    /// Only the kinds in [`QueueKind::replication`] implement it: the
+    /// replicated layer answers from the caller's volatile replica after
+    /// catching up to the committed log prefix, and the CAS-racing
+    /// detectable queue walks the shared persistent structure (the
+    /// baseline a replica-local read is measured against).
+    ///
+    /// # Panics
+    ///
+    /// Panics for every other kind (the read-mix driver only runs the
+    /// replication set).
+    fn peek(&self, _h: ThreadHandle) -> Option<u64> {
+        panic!("this queue kind has no read probe (peek)")
+    }
 
     /// Sets the backend's artificial flush latency (no-op on backends
     /// without a persistence domain).
@@ -386,6 +449,9 @@ impl<M: Memory> QueueUnderTest for DssDet<M> {
         self.0.prep_dequeue(h);
         self.0.exec_dequeue(h)
     }
+    fn peek(&self, h: ThreadHandle) -> Option<u64> {
+        self.0.peek_front(h)
+    }
     fn set_flush_penalty(&self, spins: u64) {
         self.0.pool().set_flush_penalty(spins);
     }
@@ -423,6 +489,47 @@ impl<M: Memory> QueueUnderTest for DssComb<M> {
     fn dequeue(&self, h: ThreadHandle) -> QueueResp {
         self.0.prep_dequeue(h);
         self.0.exec_dequeue(h)
+    }
+    fn set_flush_penalty(&self, spins: u64) {
+        self.0.pool().set_flush_penalty(spins);
+    }
+    fn set_coalescing(&self, on: bool) {
+        self.0.pool().set_coalescing(on);
+    }
+    fn set_per_address_drains(&self, on: bool) {
+        self.0.pool().set_per_address_drains(on);
+    }
+    fn set_backoff(&self, on: bool) {
+        self.0.set_backoff(on);
+    }
+    fn stats(&self) -> StatsSnapshot {
+        self.0.pool().stats()
+    }
+    fn reset_stats(&self) {
+        self.0.pool().reset_stats();
+    }
+}
+
+/// DSS queue under the log-fed replicated execution layer (always
+/// detectable: every write is announced, appended to the durable op log
+/// by the leased appender, and replayed into the volatile replicas).
+#[derive(Debug)]
+struct DssRepl<M: Memory>(ReplicatedQueue<M>);
+
+impl<M: Memory> QueueUnderTest for DssRepl<M> {
+    fn register_thread(&self) -> ThreadHandle {
+        self.0.register_thread().expect("thread slots exhausted")
+    }
+    fn enqueue(&self, h: ThreadHandle, val: u64) {
+        self.0.prep_enqueue(h, val).expect("admission gate refused the enqueue");
+        self.0.exec_enqueue(h);
+    }
+    fn dequeue(&self, h: ThreadHandle) -> QueueResp {
+        self.0.prep_dequeue(h);
+        self.0.exec_dequeue(h)
+    }
+    fn peek(&self, h: ThreadHandle) -> Option<u64> {
+        self.0.peek_front(h)
     }
     fn set_flush_penalty(&self, spins: u64) {
         self.0.pool().set_flush_penalty(spins);

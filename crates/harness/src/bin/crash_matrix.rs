@@ -19,16 +19,22 @@
 //! resolve correctly. Swept across the coalesce × per-address flush
 //! regimes (the knobs that widen what a kill can destroy).
 //!
+//! The matrix runs on any of the three execution layers: CAS-racing
+//! (default), flat-combining (`--combining on`), or the log-fed
+//! replicated layer (`--replicated on`, which takes precedence).
+//!
 //! ```text
 //! cargo run -p dss-harness --release --bin crash_matrix -- \
 //!     [--granularity word] [--adversary random --seed 7] \
-//!     [--partial-recovery on] [--multi-process on]
+//!     [--partial-recovery on] [--multi-process on] \
+//!     [--combining on | --replicated on]
 //! ```
 
 use dss_harness::cli;
 use dss_harness::crashsim::{
     multi_process_child, multi_process_sweep, partial_recovery_crash_run,
-    partial_recovery_crash_run_combining, sweep, SweepConfig, VictimOp, MP_CHILD_FLAG,
+    partial_recovery_crash_run_combining, partial_recovery_crash_run_replicated, sweep,
+    SweepConfig, VictimOp, MP_CHILD_FLAG,
 };
 
 fn main() {
@@ -47,9 +53,10 @@ fn main() {
             coalesce: args.coalesce,
             per_address: args.per_address,
             combining: args.combining,
+            replicated: args.replicated,
         };
         println!(
-            "# E4 crash matrix: adversary={:?} granularity={:?} recovery={}{}{}{}",
+            "# E4 crash matrix: adversary={:?} granularity={:?} recovery={}{}{}{}{}",
             config.adversary,
             config.granularity,
             if independent { "independent (§3.3)" } else { "centralized (Fig. 6)" },
@@ -58,6 +65,7 @@ fn main() {
             if config.coalesce { " coalesce=on" } else { "" },
             if config.per_address { " per-address=on" } else { "" },
             if config.combining { " combining=on" } else { "" },
+            if config.replicated { " replicated=on" } else { "" },
         );
         println!(
             "{:<15} {:>12} {:>13} {:>10} {:>8} {:>11}",
@@ -89,7 +97,9 @@ fn main() {
             const SEEDS: u64 = 8;
             let mut queued = 0usize;
             for seed in 0..SEEDS {
-                let run = if args.combining {
+                let run = if args.replicated {
+                    partial_recovery_crash_run_replicated(THREADS, survivors, args.seed + seed)
+                } else if args.combining {
                     partial_recovery_crash_run_combining(THREADS, survivors, args.seed + seed)
                 } else {
                     partial_recovery_crash_run(THREADS, survivors, args.seed + seed)
@@ -131,6 +141,7 @@ fn main() {
                 coalesce,
                 per_address,
                 combining: args.combining,
+                replicated: args.replicated,
                 ..Default::default()
             };
             for op in VictimOp::all() {
@@ -167,6 +178,8 @@ fn checked_histories_epilogue(args: &cli::Args) {
         check_plain, check_recorded_full, record_combining_crash_execution,
         record_combining_partial_recovery_execution, record_crash_execution,
         record_partial_recovery_execution, record_plain_combining_execution,
+        record_plain_replicated_execution, record_replicated_crash_execution,
+        record_replicated_partial_recovery_execution,
     };
 
     const SEEDS: u64 = 6;
@@ -178,7 +191,9 @@ fn checked_histories_epilogue(args: &cli::Args) {
     );
     let (mut ops, mut windows, mut max_window) = (0usize, 0usize, 0usize);
     for seed in 0..SEEDS {
-        let h = if args.combining {
+        let h = if args.replicated {
+            record_replicated_crash_execution(3, 30, args.seed + seed)
+        } else if args.combining {
             record_combining_crash_execution(3, 30, args.seed + seed)
         } else {
             record_crash_execution(3, 30, args.seed + seed)
@@ -190,7 +205,18 @@ fn checked_histories_epilogue(args: &cli::Args) {
         max_window = max_window.max(stats.max_window);
     }
     println!("{:<22} {:>6} {:>8} {:>9} {:>12}", "system-crash", SEEDS, ops, windows, max_window);
-    if args.combining {
+    if args.replicated {
+        // Appended batches serialize many operations per lease tenure;
+        // verify a long crash-free log-fed history in full — every
+        // operation, no sampling — against the sequential FIFO spec.
+        let h = record_plain_replicated_execution(3, 400, 4, args.seed);
+        let stats = check_plain(&h, Condition::Linearizability, &options)
+            .unwrap_or_else(|e| panic!("plain replicated run: {e}"));
+        println!(
+            "{:<22} {:>6} {:>8} {:>9} {:>12}",
+            "replicated-plain", 1, stats.ops, stats.windows, stats.max_window
+        );
+    } else if args.combining {
         // Combined batches serialize many operations per lease tenure;
         // verify a long crash-free combined history in full — every
         // operation, no sampling — against the sequential FIFO spec.
@@ -206,7 +232,16 @@ fn checked_histories_epilogue(args: &cli::Args) {
         for survivors in 1..=3usize {
             let (mut ops, mut windows, mut max_window) = (0usize, 0usize, 0usize);
             for seed in 0..SEEDS {
-                let h = if args.combining {
+                let h = if args.replicated {
+                    record_replicated_partial_recovery_execution(
+                        3,
+                        survivors,
+                        20,
+                        args.seed + seed,
+                        args.coalesce,
+                        args.per_address,
+                    )
+                } else if args.combining {
                     record_combining_partial_recovery_execution(
                         3,
                         survivors,

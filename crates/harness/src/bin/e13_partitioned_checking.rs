@@ -31,6 +31,7 @@ use dss_checker::{
     check_partitioned, records_for, CheckOptions, Condition, History, StreamingRecorder,
 };
 use dss_core::DssQueue;
+use dss_harness::json;
 use dss_harness::record::{
     check_plain, check_recorded, check_recorded_full, record_execution, record_phased_execution,
     record_plain_execution,
@@ -161,20 +162,17 @@ fn main() {
         );
     }
 
-    // Machine-readable summary.
-    let mut json = String::from("{\n  \"experiment\": \"e13_partitioned_checking\",\n");
-    json.push_str("  \"unit\": \"checked_ops_per_sec\",\n  \"pipelines\": {\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    \"{}\": {{ \"ops\": {}, \"secs\": {:.6}, \"ops_per_sec\": {:.0} }}{}\n",
+    // Machine-readable summary through the shared envelope.
+    let mut envelope = json::Envelope::new("e13_partitioned_checking", "checked_ops_per_sec");
+    for r in &rows {
+        envelope = envelope.series(
             r.pipeline,
-            r.ops,
-            r.secs,
-            r.ops as f64 / r.secs,
-            if i + 1 == rows.len() { "" } else { "," }
-        ));
+            json::Value::object([
+                ("ops", json::Value::Int(r.ops as i64)),
+                ("secs", json::Value::rounded(r.secs, 6)),
+                ("ops_per_sec", json::Value::rounded(r.ops as f64 / r.secs, 0)),
+            ]),
+        );
     }
-    json.push_str("  }\n}\n");
-    std::fs::write("BENCH_checker.json", json).expect("write BENCH_checker.json");
-    println!("# wrote BENCH_checker.json");
+    envelope.write("BENCH_checker.json");
 }

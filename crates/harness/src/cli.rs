@@ -45,6 +45,14 @@ pub struct Args {
     /// batch-applies every announced operation with one persist per batch
     /// phase, instead of CAS-racing. Default off.
     pub combining: bool,
+    /// Replicated execution layer (`--replicated on|off`, experiment
+    /// E15): writes go through a leased appender into a durable op log;
+    /// reads are served replica-locally from volatile log-fed replicas.
+    /// Takes precedence over `--combining`. Default off.
+    pub replicated: bool,
+    /// Volatile replica count for the replicated layer
+    /// (`--replicas <n>`, experiment E15). Default 2.
+    pub replicas: usize,
     /// Checker pipeline (`--mode monolithic|partitioned`,
     /// `check_histories` only): `monolithic` is the classic bounded
     /// Wing–Gong search (the ground-truth oracle, histories capped at
@@ -83,6 +91,8 @@ impl Default for Args {
             partial_recovery: false,
             multi_process: false,
             combining: false,
+            replicated: false,
+            replicas: 2,
             mode: CheckMode::Partitioned,
             max_ops: None,
         }
@@ -124,6 +134,8 @@ pub fn parse() -> Args {
             }
             "--multi-process" => args.multi_process = parse_switch("--multi-process", &val()),
             "--combining" => args.combining = parse_switch("--combining", &val()),
+            "--replicated" => args.replicated = parse_switch("--replicated", &val()),
+            "--replicas" => args.replicas = val().parse().expect("--replicas <usize>"),
             "--mode" => {
                 args.mode = match val().as_str() {
                     "monolithic" => CheckMode::Monolithic,
@@ -135,7 +147,8 @@ pub fn parse() -> Args {
             other => panic!(
                 "unknown flag {other}; known: --threads --ms --repeats --penalty \
                  --granularity --adversary --seed --backend --coalesce --per-address --backoff \
-                 --partial-recovery --multi-process --combining --mode --max-ops"
+                 --partial-recovery --multi-process --combining --replicated --replicas \
+                 --mode --max-ops"
             ),
         }
     }
@@ -186,6 +199,8 @@ mod tests {
         assert!(!a.partial_recovery, "partial-recovery mode defaults off");
         assert!(!a.multi_process, "multi-process mode defaults off");
         assert!(!a.combining, "combining execution layer defaults off");
+        assert!(!a.replicated, "replicated execution layer defaults off");
+        assert_eq!(a.replicas, 2, "replica count defaults to 2");
         assert_eq!(a.mode, CheckMode::Partitioned, "full-length checking is the default");
         assert_eq!(a.max_ops, None);
     }

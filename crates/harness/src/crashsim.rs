@@ -35,7 +35,7 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::sync::Arc;
 
-use dss_core::{CombiningQueue, DssQueue, QueueFull, Resolved, ResolvedOp};
+use dss_core::{CombiningQueue, DssQueue, QueueFull, ReplicatedQueue, Resolved, ResolvedOp};
 use dss_pmem::{
     CrashSignal, FlushGranularity, PmemPool, SlotError, ThreadHandle, WritebackAdversary,
 };
@@ -124,6 +124,13 @@ pub struct SweepConfig {
     /// armed crash then lands inside the combiner's batch (or a waiter's
     /// park loop), exercising lease recovery and half-applied batches.
     pub combining: bool,
+    /// Run the victim on the replicated execution layer (E15): the armed
+    /// crash lands inside the leased appender's log batch — between the
+    /// announce's two ordering points, before the batch's `persist_batch`,
+    /// between it and the committed-seq publish, or inside a checkpoint —
+    /// and recovery must rebuild the volatile replicas by replaying the
+    /// committed log prefix. Takes precedence over `combining`.
+    pub replicated: bool,
 }
 
 impl Default for SweepConfig {
@@ -135,6 +142,7 @@ impl Default for SweepConfig {
             coalesce: false,
             per_address: false,
             combining: false,
+            replicated: false,
         }
     }
 }
@@ -231,6 +239,7 @@ macro_rules! impl_crash_target {
 
 impl_crash_target!(DssQueue);
 impl_crash_target!(CombiningQueue, plain_is_detectable = true);
+impl_crash_target!(ReplicatedQueue, plain_is_detectable = true);
 
 fn run_victim<Q: CrashTarget>(q: &Q, h: ThreadHandle, op: VictimOp) {
     match op {
@@ -250,7 +259,10 @@ fn run_victim<Q: CrashTarget>(q: &Q, h: ThreadHandle, op: VictimOp) {
 pub fn sweep(op: VictimOp, config: &SweepConfig) -> SweepOutcome {
     let mut out = SweepOutcome::default();
     for k in 1.. {
-        let crashed = if config.combining {
+        let crashed = if config.replicated {
+            let q = ReplicatedQueue::with_granularity(1, 8, config.granularity);
+            sweep_point(&q, op, config, k, &mut out)
+        } else if config.combining {
             let q = CombiningQueue::with_granularity(1, 8, config.granularity);
             sweep_point(&q, op, config, k, &mut out)
         } else {
@@ -294,10 +306,10 @@ fn sweep_point<Q: CrashTarget>(
     q.pool().crash(&config.adversary);
     if config.independent_recovery {
         // §3.3: the surviving thread repairs only its own slot — no
-        // registry transition, no centralized phase. (On the combining
-        // layer, the boundary must still be marked so the dead combiner's
-        // lease becomes provably stale.)
-        if config.combining {
+        // registry transition, no centralized phase. (On the leased
+        // layers, the boundary must still be marked so a dead
+        // combiner's/appender's lease becomes provably stale.)
+        if config.combining || config.replicated {
             q.begin_recovery();
         }
         q.recover_one(h0);
@@ -404,6 +416,14 @@ pub fn concurrent_crash_run_combining(threads: usize, seed: u64) -> Result<usize
     concurrent_crash_run_on(&CombiningQueue::new(threads, 256), threads, seed)
 }
 
+/// [`concurrent_crash_run`] on the replicated execution layer: the armed
+/// crashes land inside the leased appender's log batches and checkpoint
+/// writes, and recovery rebuilds every volatile replica by replaying the
+/// committed log prefix before the conservation check reads through them.
+pub fn concurrent_crash_run_replicated(threads: usize, seed: u64) -> Result<usize, String> {
+    concurrent_crash_run_on(&ReplicatedQueue::new(threads, 256), threads, seed)
+}
+
 fn concurrent_crash_run_on<Q: CrashTarget>(
     q: &Q,
     threads: usize,
@@ -460,6 +480,17 @@ pub fn partial_recovery_crash_run_combining(
     seed: u64,
 ) -> Result<usize, String> {
     partial_recovery_crash_run_on(&CombiningQueue::new(threads, 256), threads, survivors, seed)
+}
+
+/// [`partial_recovery_crash_run`] on the replicated execution layer — a
+/// dead appender's lease is reclaimed by the survivors' staleness steal,
+/// and each `recover_one` reseeds only the replica serving its slot.
+pub fn partial_recovery_crash_run_replicated(
+    threads: usize,
+    survivors: usize,
+    seed: u64,
+) -> Result<usize, String> {
+    partial_recovery_crash_run_on(&ReplicatedQueue::new(threads, 256), threads, survivors, seed)
 }
 
 fn partial_recovery_crash_run_on<Q: CrashTarget>(
@@ -608,7 +639,7 @@ pub const MP_CHILD_FLAG: &str = "--mp-child";
 ///
 /// `args` is the argv tail after [`MP_CHILD_FLAG`]:
 /// `<pool-path> <op> <k> <granularity> <coalesce> <per-address>
-/// <combining>`.
+/// <layer>` where `<layer>` is `cas`, `combining`, or `replicated`.
 ///
 /// Never returns: exits 0 after printing `DONE` when the operation
 /// completes before reaching `k`, parks forever after printing `READY`
@@ -618,10 +649,9 @@ pub const MP_CHILD_FLAG: &str = "--mp-child";
 ///
 /// Panics on malformed arguments or an I/O failure creating the pool.
 pub fn multi_process_child(args: &[String]) -> ! {
-    let [path, op, k, granularity, coalesce, per_address, combining] = args else {
+    let [path, op, k, granularity, coalesce, per_address, layer] = args else {
         panic!(
-            "{MP_CHILD_FLAG} <pool-path> <op> <k> <granularity> <coalesce> <per-address> \
-             <combining>"
+            "{MP_CHILD_FLAG} <pool-path> <op> <k> <granularity> <coalesce> <per-address> <layer>"
         );
     };
     let op = VictimOp::parse(op);
@@ -631,12 +661,22 @@ pub fn multi_process_child(args: &[String]) -> ! {
         "word" => FlushGranularity::Word,
         g => panic!("unknown granularity {g}"),
     };
-    if combining == "on" {
-        let q = CombiningQueue::create_with(path, 1, 8, granularity).expect("creating the pool");
-        multi_process_victim(&q, op, k, coalesce == "on", per_address == "on")
-    } else {
-        let q = DssQueue::create_with(path, 1, 8, granularity).expect("creating the pool file");
-        multi_process_victim(&q, op, k, coalesce == "on", per_address == "on")
+    match layer.as_str() {
+        "replicated" => {
+            let q =
+                ReplicatedQueue::create_with(path, 1, 8, granularity).expect("creating the pool");
+            multi_process_victim(&q, op, k, coalesce == "on", per_address == "on")
+        }
+        "combining" => {
+            let q =
+                CombiningQueue::create_with(path, 1, 8, granularity).expect("creating the pool");
+            multi_process_victim(&q, op, k, coalesce == "on", per_address == "on")
+        }
+        "cas" => {
+            let q = DssQueue::create_with(path, 1, 8, granularity).expect("creating the pool");
+            multi_process_victim(&q, op, k, coalesce == "on", per_address == "on")
+        }
+        other => panic!("unknown execution layer {other:?}"),
     }
 }
 
@@ -695,10 +735,11 @@ impl Drop for PoolFileGuard {
 /// the pool file from scratch, runs the Figure-6 adopt-then-resolve
 /// recovery, and validates `resolve`'s answer against the persisted state.
 ///
-/// `config.granularity`, `config.coalesce`, `config.per_address` and
-/// `config.combining` are forwarded to the child (a combining child's
-/// pool is attached with [`CombiningQueue::attach`], which also clears
-/// the dead combiner's lease); `config.adversary` and
+/// `config.granularity`, `config.coalesce`, `config.per_address` and the
+/// execution layer (`config.combining` / `config.replicated`) are
+/// forwarded to the child (a leased layer's pool is attached with its own
+/// `attach`, which also clears the dead combiner's or appender's lease);
+/// `config.adversary` and
 /// `config.independent_recovery` are ignored — SIGKILL *is* the
 /// adversary (nothing pending survives it, like
 /// [`WritebackAdversary::None`]), and recovery is always the centralized
@@ -720,6 +761,13 @@ pub fn multi_process_sweep(op: VictimOp, config: &SweepConfig, exe: &Path) -> Sw
             FlushGranularity::Word => "word",
         };
         let onoff = |b| if b { "on" } else { "off" };
+        let layer = if config.replicated {
+            "replicated"
+        } else if config.combining {
+            "combining"
+        } else {
+            "cas"
+        };
         let mut child = Command::new(exe)
             .arg(MP_CHILD_FLAG)
             .arg(&path)
@@ -728,7 +776,7 @@ pub fn multi_process_sweep(op: VictimOp, config: &SweepConfig, exe: &Path) -> Sw
             .arg(granularity)
             .arg(onoff(config.coalesce))
             .arg(onoff(config.per_address))
-            .arg(onoff(config.combining))
+            .arg(layer)
             .stdout(Stdio::piped())
             .spawn()
             .expect("spawning the victim child process");
@@ -753,7 +801,13 @@ pub fn multi_process_sweep(op: VictimOp, config: &SweepConfig, exe: &Path) -> Sw
         }
         out.crash_points += 1;
         // A fresh "process": nothing carried over but the file's path.
-        if config.combining {
+        if config.replicated {
+            let q = ReplicatedQueue::attach(&path).expect("attaching the dead process's pool");
+            let adopted = q.recover();
+            assert_eq!(adopted.len(), 1, "the dead process's slot must be orphaned");
+            q.rebuild_allocator();
+            classify(&q, op, q.resolve(adopted[0]), &mut out);
+        } else if config.combining {
             let q = CombiningQueue::attach(&path).expect("attaching the dead process's pool");
             let adopted = q.recover();
             assert_eq!(adopted.len(), 1, "the dead process's slot must be orphaned");
@@ -803,6 +857,7 @@ mod tests {
                                 coalesce,
                                 per_address,
                                 combining: false,
+                                replicated: false,
                             };
                             for op in VictimOp::all() {
                                 let out = sweep(op, &config);
@@ -834,6 +889,7 @@ mod tests {
                             coalesce,
                             per_address,
                             combining: true,
+                            replicated: false,
                         };
                         for op in VictimOp::all() {
                             let out = sweep(op, &config);
@@ -844,6 +900,53 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn replicated_sweeps_have_no_violations_across_flush_modes() {
+        // Every crash point of a replicated exec — appender death between
+        // the announce's ordering points, before and after the batch
+        // persist, and around the committed-seq publish — across flush
+        // modes and both recovery styles.
+        for granularity in [FlushGranularity::Line, FlushGranularity::Word] {
+            for independent in [false, true] {
+                for coalesce in [false, true] {
+                    for per_address in [false, true] {
+                        if per_address && !coalesce {
+                            continue;
+                        }
+                        let config = SweepConfig {
+                            adversary: WritebackAdversary::Random { seed: 13, prob: 0.4 },
+                            granularity,
+                            independent_recovery: independent,
+                            coalesce,
+                            per_address,
+                            combining: false,
+                            replicated: true,
+                        };
+                        for op in VictimOp::all() {
+                            let out = sweep(op, &config);
+                            assert!(out.crash_points > 0, "{op}: no crash points?");
+                            assert_eq!(out.violations, 0, "{op} under {config:?}: {out:?}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_sweep_observes_all_three_outcome_classes_for_enqueue() {
+        let out = sweep(
+            VictimOp::Enqueue,
+            &SweepConfig {
+                adversary: WritebackAdversary::All,
+                replicated: true,
+                ..Default::default()
+            },
+        );
+        assert!(out.not_prepared > 0, "{out:?}");
+        assert!(out.effect > 0, "{out:?}");
     }
 
     #[test]
@@ -901,6 +1004,23 @@ mod tests {
         for seed in 0..4 {
             for survivors in [1, 2] {
                 partial_recovery_crash_run_combining(3, survivors, seed)
+                    .unwrap_or_else(|e| panic!("seed {seed} survivors {survivors}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_concurrent_crash_runs_conserve_values() {
+        for seed in 0..8 {
+            concurrent_crash_run_replicated(3, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn replicated_partial_recovery_runs_conserve_values() {
+        for seed in 0..4 {
+            for survivors in [1, 2] {
+                partial_recovery_crash_run_replicated(3, survivors, seed)
                     .unwrap_or_else(|e| panic!("seed {seed} survivors {survivors}: {e}"));
             }
         }

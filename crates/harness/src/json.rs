@@ -1,0 +1,293 @@
+//! The shared machine-readable results envelope.
+//!
+//! Every `BENCH_*.json` file the experiment binaries and bench targets
+//! emit goes through [`Envelope`], so the files share one schema:
+//!
+//! ```json
+//! {
+//!   "experiment": "...",
+//!   "unit": "...",
+//!   "host": { "cpus": 4, "os": "linux", "arch": "x86_64" },
+//!   <meta keys...>,
+//!   "series": { <name>: <points>, ... }
+//! }
+//! ```
+//!
+//! `meta` keys are experiment context (flush penalty, thread axis, a
+//! crossover summary); `series` holds the measured data. [`Value`] is a
+//! minimal JSON tree — the workspace stays dependency-free, so there is
+//! no serde here, just deterministic rendering with stable key order
+//! (insertion order, never a hash map).
+
+use std::fmt::Write as _;
+
+/// A JSON value (the subset the result files need).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true`/`false`.
+    Bool(bool),
+    /// An integer, rendered without a decimal point.
+    Int(i64),
+    /// A float, rendered via Rust's shortest-roundtrip `Display`.
+    Num(f64),
+    /// A string, escaped on render.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// A float rounded to `decimals` places (keeps the files readable
+    /// and diff-stable instead of 17-digit shortest-roundtrip noise).
+    pub fn rounded(v: f64, decimals: u32) -> Value {
+        let scale = 10f64.powi(decimals as i32);
+        Value::Num((v * scale).round() / scale)
+    }
+
+    /// An object from `(key, value)` pairs, in order.
+    pub fn object(pairs: impl IntoIterator<Item = (impl Into<String>, Value)>) -> Value {
+        Value::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// An array from values, in order.
+    pub fn array(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Array(items.into_iter().collect())
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Value::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    // JSON has no NaN/Inf; null is the honest stand-in.
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => render_string(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                // Arrays of scalars stay on one line (the thread axis,
+                // per-point series); arrays of containers break.
+                let scalar = items.iter().all(|v| !matches!(v, Value::Array(_) | Value::Object(_)));
+                let flat =
+                    scalar || items.iter().all(|v| matches!(v, Value::Object(o) if o.len() <= 3));
+                if flat {
+                    out.push('[');
+                    for (i, item) in items.iter().enumerate() {
+                        if i > 0 {
+                            out.push_str(", ");
+                        }
+                        item.render_flat(out);
+                    }
+                    out.push(']');
+                } else {
+                    out.push_str("[\n");
+                    for (i, item) in items.iter().enumerate() {
+                        pad(out, indent + 1);
+                        item.render(out, indent + 1);
+                        out.push_str(if i + 1 == items.len() { "\n" } else { ",\n" });
+                    }
+                    pad(out, indent);
+                    out.push(']');
+                }
+            }
+            Value::Object(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    pad(out, indent + 1);
+                    render_string(out, k);
+                    out.push_str(": ");
+                    v.render(out, indent + 1);
+                    out.push_str(if i + 1 == pairs.len() { "\n" } else { ",\n" });
+                }
+                pad(out, indent);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Single-line rendering for scalar-ish values inside flat arrays.
+    fn render_flat(&self, out: &mut String) {
+        match self {
+            Value::Object(pairs) => {
+                out.push_str("{ ");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    render_string(out, k);
+                    out.push_str(": ");
+                    v.render_flat(out);
+                }
+                out.push_str(" }");
+            }
+            other => other.render(out, 0),
+        }
+    }
+}
+
+fn pad(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn render_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// The shared `BENCH_*.json` envelope: experiment identity, measurement
+/// unit, the recording host, experiment-specific meta keys, and the
+/// named data series.
+#[derive(Clone, Debug)]
+pub struct Envelope {
+    experiment: String,
+    unit: String,
+    meta: Vec<(String, Value)>,
+    series: Vec<(String, Value)>,
+}
+
+impl Envelope {
+    /// Starts an envelope for `experiment` measuring in `unit`.
+    pub fn new(experiment: impl Into<String>, unit: impl Into<String>) -> Self {
+        Envelope {
+            experiment: experiment.into(),
+            unit: unit.into(),
+            meta: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds an experiment-context key (emitted between `host` and
+    /// `series`, in insertion order).
+    pub fn meta(mut self, key: impl Into<String>, value: Value) -> Self {
+        self.meta.push((key.into(), value));
+        self
+    }
+
+    /// Adds one named data series.
+    pub fn series(mut self, name: impl Into<String>, points: Value) -> Self {
+        self.series.push((name.into(), points));
+        self
+    }
+
+    /// The host descriptor stamped into every file.
+    fn host() -> Value {
+        let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+        Value::object([
+            ("cpus", Value::Int(cpus as i64)),
+            ("os", Value::str(std::env::consts::OS)),
+            ("arch", Value::str(std::env::consts::ARCH)),
+        ])
+    }
+
+    /// Renders the whole envelope as pretty JSON (trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut pairs = vec![
+            ("experiment".to_string(), Value::str(&self.experiment)),
+            ("unit".to_string(), Value::str(&self.unit)),
+            ("host".to_string(), Self::host()),
+        ];
+        pairs.extend(self.meta.iter().cloned());
+        pairs.push(("series".to_string(), Value::Object(self.series.clone())));
+        let mut out = String::new();
+        Value::Object(pairs).render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Writes the envelope to `path` and prints a `# wrote` marker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written (result files are the point
+    /// of the run).
+    pub fn write(&self, path: &str) {
+        std::fs::write(path, self.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("# wrote {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_renders_the_shared_schema_in_order() {
+        let json = Envelope::new("e_test", "mops_per_sec")
+            .meta("flush_penalty", Value::Int(20))
+            .meta("threads", Value::array([Value::Int(1), Value::Int(2)]))
+            .series(
+                "cas_racing",
+                Value::array([Value::object([
+                    ("mean", Value::rounded(0.123456, 4)),
+                    ("stddev", Value::rounded(0.00021, 4)),
+                ])]),
+            )
+            .to_json();
+        // Key order is fixed: experiment, unit, host, meta..., series.
+        let order: Vec<_> = ["experiment", "unit", "host", "flush_penalty", "threads", "series"]
+            .iter()
+            .map(|k| json.find(&format!("\"{k}\"")).unwrap_or_else(|| panic!("missing {k}")))
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "schema keys out of order: {json}");
+        assert!(json.contains("\"mean\": 0.1235"), "rounded to 4 places: {json}");
+        assert!(json.contains("\"cpus\": "), "host block present: {json}");
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn scalar_arrays_stay_flat_and_strings_escape() {
+        let mut out = String::new();
+        Value::array([Value::Int(1), Value::Int(2), Value::Int(3)]).render(&mut out, 0);
+        assert_eq!(out, "[1, 2, 3]");
+        let mut out = String::new();
+        Value::str("a\"b\\c\nd").render(&mut out, 0);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut out = String::new();
+        Value::Num(f64::NAN).render(&mut out, 0);
+        assert_eq!(out, "null");
+    }
+}

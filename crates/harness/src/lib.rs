@@ -14,6 +14,9 @@
 //!   *every* pmem-operation index of a detectable operation, under several
 //!   writeback adversaries, recover, resolve, and validate the outcome
 //!   against what `D⟨queue⟩` permits.
+//! * [`json`] — the shared envelope ([`json::Envelope`]) every
+//!   machine-readable `BENCH_*.json` result file is written through
+//!   (re-exported as `dss_bench::json` for the bench targets).
 //! * [`record`] — record real concurrent executions of the DSS queue as
 //!   `D⟨queue⟩` histories and machine-check them against the correctness
 //!   conditions of `dss-checker` (experiment E6, Theorem 1).
@@ -27,5 +30,6 @@
 pub mod adapter;
 pub mod cli;
 pub mod crashsim;
+pub mod json;
 pub mod record;
 pub mod throughput;

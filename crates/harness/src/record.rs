@@ -16,7 +16,7 @@ use dss_checker::{
     check_fifo, check_history, check_records, records_for, CheckOptions, CheckStats, Condition,
     History, Recorder, Violation,
 };
-use dss_core::{CombiningQueue, DssQueue, Resolved, ResolvedOp};
+use dss_core::{CombiningQueue, DssQueue, ReplicatedQueue, Resolved, ResolvedOp};
 use dss_pmem::{CrashSignal, ThreadHandle, WritebackAdversary};
 use dss_spec::types::{QueueOp, QueueResp, QueueSpec};
 use dss_spec::{DetOp, DetResp, Detectable};
@@ -139,6 +139,18 @@ pub fn record_combining_execution(
     record_execution_on(&CombiningQueue::new(threads, 64), threads, ops_per_thread, seed)
 }
 
+/// [`record_execution`] on the replicated execution layer: every
+/// operation flows through the durable op log and the leased appender,
+/// and the checker validates that log-fed replication preserves
+/// `D⟨queue⟩` — not just the queue's internal invariants.
+pub fn record_replicated_execution(
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+) -> RecordedHistory {
+    record_execution_on(&ReplicatedQueue::new(threads, 64), threads, ops_per_thread, seed)
+}
+
 fn record_execution_on<Q: CrashTarget>(
     q: &Q,
     threads: usize,
@@ -176,6 +188,18 @@ pub fn record_combining_crash_execution(
     seed: u64,
 ) -> RecordedHistory {
     record_crash_execution_on(&CombiningQueue::new(threads, 64), threads, ops_per_thread, seed)
+}
+
+/// [`record_crash_execution`] on the replicated execution layer: the
+/// seed-derived crashes land inside appender batches, and the recorded
+/// post-recovery resolves answer from the committed log alone — the
+/// volatile replicas were discarded and rebuilt by replay.
+pub fn record_replicated_crash_execution(
+    threads: usize,
+    ops_per_thread: usize,
+    seed: u64,
+) -> RecordedHistory {
+    record_crash_execution_on(&ReplicatedQueue::new(threads, 64), threads, ops_per_thread, seed)
 }
 
 fn record_crash_execution_on<Q: CrashTarget>(
@@ -248,6 +272,33 @@ pub fn record_combining_partial_recovery_execution(
 ) -> RecordedHistory {
     record_partial_recovery_execution_on(
         &CombiningQueue::new(threads, 64),
+        threads,
+        survivors,
+        ops_per_thread,
+        seed,
+        coalesce,
+        per_address,
+    )
+}
+
+/// [`record_partial_recovery_execution`] on the replicated execution
+/// layer (a dead appender's slot may be adopted and resolved by survivor
+/// 0; the resolve reads the committed log, never the dead thread's
+/// replica).
+///
+/// # Panics
+///
+/// Panics if `survivors` is zero or exceeds `threads`.
+pub fn record_replicated_partial_recovery_execution(
+    threads: usize,
+    survivors: usize,
+    ops_per_thread: usize,
+    seed: u64,
+    coalesce: bool,
+    per_address: bool,
+) -> RecordedHistory {
+    record_partial_recovery_execution_on(
+        &ReplicatedQueue::new(threads, 64),
         threads,
         survivors,
         ops_per_thread,
@@ -408,6 +459,25 @@ pub fn record_plain_combining_execution(
 ) -> PlainHistory {
     record_plain_execution_on(
         &CombiningQueue::new(threads + 1, 64),
+        threads,
+        pairs_per_thread,
+        prefill,
+        seed,
+    )
+}
+
+/// [`record_plain_execution`] on the replicated execution layer: the same
+/// distinct-value no-empty regime through the log-fed path, certifying at
+/// full length that batched log append preserves `queue`'s sequential
+/// specification.
+pub fn record_plain_replicated_execution(
+    threads: usize,
+    pairs_per_thread: usize,
+    prefill: usize,
+    seed: u64,
+) -> PlainHistory {
+    record_plain_execution_on(
+        &ReplicatedQueue::new(threads + 1, 64),
         threads,
         pairs_per_thread,
         prefill,

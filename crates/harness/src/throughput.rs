@@ -132,6 +132,121 @@ fn run_once(kind: QueueKind, config: &ThroughputConfig) -> f64 {
     total_ops.into_inner() as f64 / secs / 1e6
 }
 
+/// Parameters of one E15 read-mix measurement: each worker draws from a
+/// per-thread PRNG and either peeks the front of the queue (probability
+/// `read_fraction`) or runs one enqueue/dequeue pair (keeping the queue
+/// length stationary around the prefill).
+#[derive(Clone, Debug)]
+pub struct ReadMixConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Wall-clock duration of each run.
+    pub duration: Duration,
+    /// Number of measured runs to average.
+    pub repeats: usize,
+    /// Initial queue length (reads of an empty queue measure nothing).
+    pub prefill: u64,
+    /// Pre-allocated nodes per thread.
+    pub nodes_per_thread: u64,
+    /// Artificial flush latency in spin iterations.
+    pub flush_penalty: u64,
+    /// Probability in `[0, 1]` that an iteration is a read (peek).
+    pub read_fraction: f64,
+    /// Volatile replica count for [`QueueKind::DssReplicated`]; ignored
+    /// by every other kind.
+    pub replicas: usize,
+}
+
+impl Default for ReadMixConfig {
+    fn default() -> Self {
+        ReadMixConfig {
+            threads: 1,
+            duration: Duration::from_millis(200),
+            repeats: 3,
+            prefill: 16,
+            nodes_per_thread: 4096,
+            flush_penalty: 20,
+            read_fraction: 0.9,
+            replicas: 2,
+        }
+    }
+}
+
+/// Runs the E15 read-mix workload on `kind` (pmem backend): a read
+/// iteration is one `peek` (1 op), a write iteration is one
+/// enqueue/dequeue pair (2 ops).
+///
+/// Only the kinds in [`QueueKind::replication`] support the read probe;
+/// see [`crate::adapter::QueueUnderTest::peek`].
+pub fn measure_read_mix(kind: QueueKind, config: &ReadMixConfig) -> Throughput {
+    let mut samples = Vec::with_capacity(config.repeats);
+    for _ in 0..config.repeats {
+        samples.push(run_once_read_mix(kind, config));
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = if samples.len() > 1 {
+        samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64
+    } else {
+        0.0
+    };
+    Throughput { mops_mean: mean, mops_stddev: var.sqrt() }
+}
+
+fn run_once_read_mix(kind: QueueKind, config: &ReadMixConfig) -> f64 {
+    assert!((0.0..=1.0).contains(&config.read_fraction), "read_fraction must be a probability");
+    let queue = kind.build_with_replicas(config.threads, config.nodes_per_thread, config.replicas);
+    queue.set_flush_penalty(config.flush_penalty);
+    let hs: Vec<_> = (0..config.threads).map(|_| queue.register_thread()).collect();
+    for i in 0..config.prefill {
+        queue.enqueue(hs[0], i + 1);
+    }
+    // Draw from a 32-bit threshold so the comparison is one integer op.
+    let read_threshold = (config.read_fraction * (1u64 << 32) as f64) as u64;
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let elapsed = std::sync::Mutex::new(Duration::ZERO);
+
+    std::thread::scope(|scope| {
+        let queue = &queue;
+        let stop = &stop;
+        let total_ops = &total_ops;
+        for (tid, &h) in hs.iter().enumerate() {
+            scope.spawn(move || {
+                // SplitMix64, seeded per thread: deterministic mixes.
+                let mut state = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(tid as u64 + 1);
+                let mut next = move || {
+                    state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    z ^ (z >> 31)
+                };
+                let mut ops = 0u64;
+                let mut i = 0u64;
+                while !stop.load(Relaxed) {
+                    if next() & 0xffff_ffff < read_threshold {
+                        std::hint::black_box(queue.peek(h));
+                        ops += 1;
+                    } else {
+                        i += 1;
+                        queue.enqueue(h, (tid as u64) << 32 | i);
+                        let _ = queue.dequeue(h);
+                        ops += 2;
+                    }
+                }
+                total_ops.fetch_add(ops, Relaxed);
+            });
+        }
+        let start = Instant::now();
+        std::thread::sleep(config.duration);
+        stop.store(true, Relaxed);
+        *elapsed.lock().unwrap() = start.elapsed();
+    });
+
+    let secs = elapsed.into_inner().unwrap().as_secs_f64();
+    total_ops.into_inner() as f64 / secs / 1e6
+}
+
 /// Prints one figure series (threads on the x-axis, Mops/s per queue) as
 /// an aligned text table, in the paper's layout.
 pub fn print_series(
@@ -193,14 +308,18 @@ mod tests {
     }
 
     #[test]
-    fn contention_list_adds_combining_and_it_measures_on_both_backends() {
-        // `all()` deliberately excludes the combining layer (it feeds the
-        // historical tables); the contention list is where it lives.
-        assert_eq!(QueueKind::contention().len(), QueueKind::all().len() + 1);
+    fn contention_list_adds_leased_layers_and_they_measure_on_both_backends() {
+        // `all()` deliberately excludes the leased execution layers (it
+        // feeds the historical tables); the contention list is where they
+        // live.
+        assert_eq!(QueueKind::contention().len(), QueueKind::all().len() + 2);
         assert!(QueueKind::contention().contains(&QueueKind::DssCombining));
-        for backend in [Backend::Pmem, Backend::Dram] {
-            let t = measure(QueueKind::DssCombining, &ThroughputConfig { backend, ..quick() });
-            assert!(t.mops_mean > 0.0, "combining on {}: no progress", backend.label());
+        assert!(QueueKind::contention().contains(&QueueKind::DssReplicated));
+        for kind in [QueueKind::DssCombining, QueueKind::DssReplicated] {
+            for backend in [Backend::Pmem, Backend::Dram] {
+                let t = measure(kind, &ThroughputConfig { backend, ..quick() });
+                assert!(t.mops_mean > 0.0, "{} on {}: no progress", kind.label(), backend.label());
+            }
         }
     }
 
@@ -219,6 +338,30 @@ mod tests {
         for kind in QueueKind::all() {
             let t = measure(kind, &config);
             assert!(t.mops_mean > 0.0, "{}: no progress", kind.label());
+        }
+    }
+
+    #[test]
+    fn read_mix_measures_both_replication_kinds_at_every_fraction() {
+        for kind in QueueKind::replication() {
+            for read_fraction in [0.0, 0.5, 0.99, 1.0] {
+                let config = ReadMixConfig {
+                    threads: 2,
+                    duration: Duration::from_millis(20),
+                    repeats: 1,
+                    nodes_per_thread: 512,
+                    flush_penalty: 0,
+                    read_fraction,
+                    replicas: 2,
+                    ..Default::default()
+                };
+                let t = measure_read_mix(kind, &config);
+                assert!(
+                    t.mops_mean > 0.0,
+                    "{} at read fraction {read_fraction}: no progress",
+                    kind.label()
+                );
+            }
         }
     }
 

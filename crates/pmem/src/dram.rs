@@ -1,10 +1,10 @@
 //! The zero-overhead DRAM backend.
 
 use std::fmt;
+use std::ops::Range;
 use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
-use std::sync::OnceLock;
 
-use crate::seg::{self, Layout};
+use crate::seg::{self, Layout, PlacementPolicy, SegmentDirectory};
 use crate::{FlushGranularity, Memory, PAddr};
 
 /// A pool of plain sequentially consistent `AtomicU64` words: no persisted
@@ -36,8 +36,7 @@ use crate::{FlushGranularity, Memory, PAddr};
 /// assert!(pool.capacity() >= 16);
 /// ```
 pub struct DramPool {
-    layout: Layout,
-    segments: Box<[OnceLock<Box<[AtomicU64]>>]>,
+    dir: SegmentDirectory<AtomicU64>,
     granularity: FlushGranularity,
 }
 
@@ -54,25 +53,21 @@ impl DramPool {
 
     #[inline]
     fn segment(&self, slot: usize) -> &[AtomicU64] {
-        self.segments[slot]
-            .get_or_init(|| (0..self.layout.len(slot)).map(|_| AtomicU64::new(0)).collect())
+        self.dir.get_or_init(slot, || {
+            (0..self.dir.layout().len(slot)).map(|_| AtomicU64::new(0)).collect()
+        })
     }
 
     #[inline]
     fn word(&self, addr: PAddr) -> &AtomicU64 {
-        let i = addr.index();
-        let slot = self.layout.slot_of(i);
-        &self.segment(slot)[(i - self.layout.start(slot)) as usize]
+        let (slot, off) = self.dir.locate(addr.index());
+        &self.segment(slot)[off]
     }
 }
 
 impl Memory for DramPool {
     fn create(words: usize, granularity: FlushGranularity) -> Self {
-        let pool = DramPool {
-            layout: Layout::new(words),
-            segments: (0..seg::SLOTS).map(|_| OnceLock::new()).collect(),
-            granularity,
-        };
+        let pool = DramPool { dir: SegmentDirectory::new(Layout::new(words)), granularity };
         pool.segment(0);
         pool
     }
@@ -103,20 +98,14 @@ impl Memory for DramPool {
     }
 
     fn capacity(&self) -> usize {
-        let mut cap = 0u64;
-        for slot in 0..seg::SLOTS {
-            if self.segments[slot].get().is_some() {
-                cap = cap.max(self.layout.end(slot));
-            }
-        }
-        cap as usize
+        self.dir.materialised_words() as usize
     }
 
     fn reserve(&self, words: usize) {
         if words == 0 {
             return;
         }
-        let last = self.layout.slot_of(words as u64 - 1);
+        let last = self.dir.layout().slot_of(words as u64 - 1);
         for slot in 0..=last {
             self.segment(slot);
         }
@@ -125,6 +114,18 @@ impl Memory for DramPool {
     #[inline]
     fn peek(&self, addr: PAddr) -> u64 {
         self.word(addr).load(SeqCst)
+    }
+
+    fn set_placement(&self, policy: PlacementPolicy) {
+        self.dir.set_policy(policy);
+    }
+
+    fn placement(&self) -> PlacementPolicy {
+        self.dir.policy()
+    }
+
+    fn plan_regions(&self, first_free: u64, region_words: &[u64]) -> Vec<Range<u64>> {
+        seg::plan_with(self.dir.layout(), self.dir.policy(), first_free, region_words)
     }
 }
 

@@ -21,11 +21,11 @@ use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::fs::OpenOptions;
+use std::ops::Range;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed, Ordering::SeqCst};
-use std::sync::OnceLock;
 
-use crate::seg::{self, FileBacking, Layout, SegmentBacking};
+use crate::seg::{self, FileBacking, Layout, PlacementPolicy, SegmentBacking, SegmentDirectory};
 use crate::{hook, AttachError, Memory, PAddr, Stats, StatsSnapshot};
 
 /// Number of 64-bit words per 64-byte cache line.
@@ -251,8 +251,9 @@ impl Word {
 /// ```
 pub struct PmemPool {
     id: u64,
-    layout: Layout,
-    segments: Box<[OnceLock<Box<[Word]>>]>,
+    /// The address→segment structure plus the placement-policy knob; see
+    /// [`crate::seg`].
+    dir: SegmentDirectory<Word>,
     granularity: FlushGranularity,
     instrumented: bool,
     stats: Stats,
@@ -317,8 +318,7 @@ impl PmemPool {
     ) -> Self {
         PmemPool {
             id: NEXT_POOL_ID.fetch_add(1, Relaxed),
-            layout,
-            segments: (0..seg::SLOTS).map(|_| OnceLock::new()).collect(),
+            dir: SegmentDirectory::new(layout),
             granularity,
             instrumented: mode == PoolMode::Instrumented,
             stats: Stats::new(),
@@ -453,7 +453,7 @@ impl PmemPool {
         let pool = Self::assemble(layout, granularity, mode, SegmentBacking::File(fb), generation);
         for (slot, values) in segments {
             let words: Box<[Word]> = values.into_iter().map(Word::persisted_at).collect();
-            if pool.segments[slot].set(words).is_err() {
+            if pool.dir.install(slot, words).is_err() {
                 unreachable!("attach owns the pool; no racing materialisation");
             }
         }
@@ -496,13 +496,7 @@ impl PmemPool {
     /// capacity rounded up to whole cache lines; grows as higher addresses
     /// are touched.
     pub fn capacity(&self) -> usize {
-        let mut cap = 0u64;
-        for slot in 0..seg::SLOTS {
-            if self.segments[slot].get().is_some() {
-                cap = cap.max(self.layout.end(slot));
-            }
-        }
-        cap as usize
+        self.dir.materialised_words() as usize
     }
 
     /// Materialises backing storage for all words in `[0, words)`.
@@ -510,10 +504,30 @@ impl PmemPool {
         if words == 0 {
             return;
         }
-        let last = self.layout.slot_of(words as u64 - 1);
+        let last = self.dir.layout().slot_of(words as u64 - 1);
         for slot in 0..=last {
             self.segment(slot);
         }
+    }
+
+    /// Sets the region-placement policy [`plan_regions`](Self::plan_regions)
+    /// uses (default [`PlacementPolicy::Interleave`]). A pure planning
+    /// knob: it affects only future plans, never established addresses.
+    pub fn set_placement(&self, policy: PlacementPolicy) {
+        self.dir.set_policy(policy);
+    }
+
+    /// The current region-placement policy.
+    pub fn placement(&self) -> PlacementPolicy {
+        self.dir.policy()
+    }
+
+    /// Plans `region_words.len()` application regions of the given sizes
+    /// at or after word `first_free`, under the pool's
+    /// [placement policy](Self::set_placement). See
+    /// [`Memory::plan_regions`].
+    pub fn plan_regions(&self, first_free: u64, region_words: &[u64]) -> Vec<Range<u64>> {
+        seg::plan_with(self.dir.layout(), self.dir.policy(), first_free, region_words)
     }
 
     /// The pool's flush granularity.
@@ -534,22 +548,21 @@ impl PmemPool {
     /// stable for the pool's lifetime.
     #[inline]
     fn segment(&self, slot: usize) -> &[Word] {
-        self.segments[slot].get_or_init(|| {
+        self.dir.get_or_init(slot, || {
             // File-backed growth is crash-atomic: the file covers the new
             // segment (zeros) and its committed bit is published before
             // any word of it can be written back.
             if let SegmentBacking::File(fb) = &self.backing {
-                fb.commit_segment(&self.layout, slot);
+                fb.commit_segment(self.dir.layout(), slot);
             }
-            (0..self.layout.len(slot)).map(|_| Word::new()).collect()
+            (0..self.dir.layout().len(slot)).map(|_| Word::new()).collect()
         })
     }
 
     #[inline]
     fn word(&self, addr: PAddr) -> &Word {
-        let i = addr.index();
-        let slot = self.layout.slot_of(i);
-        &self.segment(slot)[(i - self.layout.start(slot)) as usize]
+        let (slot, off) = self.dir.locate(addr.index());
+        &self.segment(slot)[off]
     }
 
     /// Crash hook + statistics, skipped entirely in [`PoolMode::Raw`].
@@ -675,9 +688,8 @@ impl PmemPool {
             FlushGranularity::Line => {
                 // Segment boundaries are line-aligned (see `crate::seg`),
                 // so the whole line lives in the unit's segment.
-                let slot = self.layout.slot_of(unit);
+                let (slot, off) = self.dir.locate(unit);
                 let seg = self.segment(slot);
-                let off = (unit - self.layout.start(slot)) as usize;
                 for (k, w) in seg[off..off + WORDS_PER_LINE as usize].iter().enumerate() {
                     self.writeback(w, unit + k as u64);
                 }
@@ -693,9 +705,8 @@ impl PmemPool {
         match self.granularity {
             FlushGranularity::Word => !self.word(PAddr::from_index(unit)).dirty.load(SeqCst),
             FlushGranularity::Line => {
-                let slot = self.layout.slot_of(unit);
+                let (slot, off) = self.dir.locate(unit);
                 let seg = self.segment(slot);
-                let off = (unit - self.layout.start(slot)) as usize;
                 seg[off..off + WORDS_PER_LINE as usize].iter().all(|w| !w.dirty.load(SeqCst))
             }
         }
@@ -963,8 +974,8 @@ impl PmemPool {
             _ => None,
         };
         for slot in 0..seg::SLOTS {
-            let Some(seg) = self.segments[slot].get() else { continue };
-            let start = self.layout.start(slot);
+            let Some(seg) = self.dir.get(slot) else { continue };
+            let start = self.dir.layout().start(slot);
             for (i, w) in seg.iter().enumerate() {
                 if w.dirty.load(SeqCst) {
                     let persist = match adversary {
@@ -1187,6 +1198,18 @@ impl Memory for PmemPool {
 
     fn crash_generation(&self) -> u64 {
         PmemPool::generation(self)
+    }
+
+    fn set_placement(&self, policy: PlacementPolicy) {
+        PmemPool::set_placement(self, policy)
+    }
+
+    fn placement(&self) -> PlacementPolicy {
+        PmemPool::placement(self)
+    }
+
+    fn plan_regions(&self, first_free: u64, region_words: &[u64]) -> Vec<Range<u64>> {
+        PmemPool::plan_regions(self, first_free, region_words)
     }
 }
 

@@ -58,10 +58,11 @@ fn crash_matrix_is_clean_under_every_configuration() {
                     independent_recovery: false,
                     coalesce,
                     per_address: coalesce,
-                    // The combining layer's own exhaustive sweep lives in
-                    // the harness crashsim tests and the `--combining`
-                    // crash matrix.
+                    // The combining and replicated layers' own exhaustive
+                    // sweeps live in the harness crashsim tests and the
+                    // `--combining` / `--replicated` crash matrices.
                     combining: false,
+                    replicated: false,
                 };
                 for op in VictimOp::all() {
                     let out = sweep(op, &config);
