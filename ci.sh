@@ -62,6 +62,16 @@ timeout 300 cargo run -q -p dss-harness --release --bin crash_matrix -- \
 timeout 300 cargo run -q -p dss-harness --release --bin crash_matrix -- \
     --replicated on --partial-recovery on >/dev/null
 
+echo "==> map smoke (crash matrix on the detectable hash map, per-key checked histories)"
+timeout 300 cargo run -q -p dss-harness --release --bin crash_matrix -- \
+    --layer map >/dev/null
+timeout 300 cargo run -q -p dss-harness --release --bin crash_matrix -- \
+    --layer map --partial-recovery on >/dev/null
+
+echo "==> map multi-process smoke (SIGKILLed map victims, parent attaches the pool file)"
+timeout 300 cargo run -q -p dss-harness --release --bin crash_matrix -- \
+    --layer map --multi-process on >/dev/null
+
 echo "==> replication read-scaling smoke (replica-local reads vs single instance, E15 gate)"
 # The gate self-tiers by host parallelism: >=4 CPUs demand 1.5x at 4
 # threads, 2-3 CPUs parity-within-noise at the top of the sweep, 1 CPU
@@ -70,6 +80,15 @@ echo "==> replication read-scaling smoke (replica-local reads vs single instance
 timeout 300 cargo bench -q -p dss-bench --bench replication -- \
     --threads 4 --ms 30 --repeats 2 --assert-read-scaling >/dev/null
 rm -f crates/bench/BENCH_replication.json
+
+echo "==> YCSB kv smoke (read-heavy vs update-heavy on the detectable map, E16 gate)"
+# The gate self-tiers by host parallelism: >=4 CPUs demand the read-heavy
+# Zipfian mix beat the update-heavy mix 1.2x at 4 threads (plain reads
+# skip the flush path); smaller hosts demand at-least-parity within noise
+# at the top of the sweep.
+timeout 300 cargo bench -q -p dss-bench --bench kv -- \
+    --threads 4 --ms 30 --repeats 2 --keys 256 --assert-kv-mix >/dev/null
+rm -f crates/bench/BENCH_kv.json
 
 echo "==> checker equivalence gate (segmented/streaming/FIFO vs monolithic oracle)"
 timeout 120 cargo test -q -p dss-checker --test checker_equivalence

@@ -6,8 +6,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr,
-    PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
+    tag, AppKind, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool,
+    PAddr, PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -32,7 +32,7 @@ const A_RV_BASE: u64 = 3 * WORDS_PER_LINE;
 
 /// Structure-kind word a file-backed durable queue records in its pool
 /// superblock.
-pub const KIND_DURABLE_QUEUE: u64 = 6;
+pub const KIND_DURABLE_QUEUE: u64 = AppKind::DurableQueue.word();
 
 /// The durable queue's pool layout, derived from `(nthreads,
 /// nodes_per_thread)` alone (cf. dss-core's layout structs).

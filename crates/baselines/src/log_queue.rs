@@ -19,8 +19,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr,
-    PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
+    tag, AppKind, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool,
+    PAddr, PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -56,7 +56,7 @@ const A_LOG_BASE: u64 = 3 * WORDS_PER_LINE; // logPtr[tid]: the thread's current
 
 /// Structure-kind word a file-backed log queue records in its pool
 /// superblock.
-pub const KIND_LOG_QUEUE: u64 = 7;
+pub const KIND_LOG_QUEUE: u64 = AppKind::LogQueue.word();
 
 /// The log queue's pool layout, derived from `(nthreads,
 /// nodes_per_thread)` alone. Two node regions: queue nodes, then log

@@ -5,8 +5,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr,
-    PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
+    tag, AppKind, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool,
+    PAddr, PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -20,7 +20,7 @@ const A_TAIL: u64 = 2 * WORDS_PER_LINE;
 
 /// Structure-kind word a file-backed MS queue records in its pool
 /// superblock.
-pub const KIND_MS_QUEUE: u64 = 8;
+pub const KIND_MS_QUEUE: u64 = AppKind::MsQueue.word();
 
 /// The MS queue's pool layout, derived from `(nthreads, nodes_per_thread)`
 /// alone.

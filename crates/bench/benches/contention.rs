@@ -33,7 +33,7 @@
 
 use std::time::Duration;
 
-use dss_bench::json;
+use dss_bench::{json, numeric_flag, switch_flag};
 use dss_harness::adapter::{Backend, QueueKind};
 use dss_harness::throughput::{measure, Throughput, ThroughputConfig};
 
@@ -45,25 +45,6 @@ fn points_json(points: &[Throughput]) -> json::Value {
             ("stddev", json::Value::rounded(t.mops_stddev, 4)),
         ])
     }))
-}
-
-/// Lenient scan for one numeric flag (cargo bench passes harness flags
-/// like `--bench` through; ignore everything unknown).
-fn numeric_flag(name: &str, default: u64) -> u64 {
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        if flag == name {
-            if let Some(v) = it.next() {
-                return v.parse().unwrap_or_else(|_| panic!("{name} needs a number"));
-            }
-        }
-    }
-    default
-}
-
-/// Lenient scan for a bare switch flag.
-fn switch_flag(name: &str) -> bool {
-    std::env::args().skip(1).any(|flag| flag == name)
 }
 
 fn main() {

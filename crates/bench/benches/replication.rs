@@ -27,31 +27,12 @@
 
 use std::time::Duration;
 
-use dss_bench::json;
+use dss_bench::{json, numeric_flag, switch_flag};
 use dss_harness::adapter::QueueKind;
 use dss_harness::throughput::{measure_read_mix, ReadMixConfig, Throughput};
 
 const READ_FRACTIONS: [f64; 3] = [0.5, 0.9, 0.99];
 const REPLICA_COUNTS: [usize; 3] = [1, 2, 4];
-
-/// Lenient scan for one numeric flag (cargo bench passes harness flags
-/// like `--bench` through; ignore everything unknown).
-fn numeric_flag(name: &str, default: u64) -> u64 {
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        if flag == name {
-            if let Some(v) = it.next() {
-                return v.parse().unwrap_or_else(|_| panic!("{name} needs a number"));
-            }
-        }
-    }
-    default
-}
-
-/// Lenient scan for a bare switch flag.
-fn switch_flag(name: &str) -> bool {
-    std::env::args().skip(1).any(|flag| flag == name)
-}
 
 /// One measured column: the single instance, or the replicated layer at
 /// a replica count.
@@ -199,7 +180,7 @@ fn main() {
 
 /// The E15 CI gate (see the module docs for the per-host tiers).
 fn assert_read_scaling(counts: &[usize], series: &[Vec<Vec<Throughput>>], hi: usize) {
-    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cpus = json::host_cpus();
     if cpus < 2 {
         println!(
             "# read-scaling gate skipped: {cpus} CPU — replica-local reads cannot scale \

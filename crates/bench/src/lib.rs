@@ -137,6 +137,30 @@ impl Runner {
     }
 }
 
+/// Lenient scan of bench-target CLI arguments for one numeric flag,
+/// ignoring everything unknown (`cargo bench` passes harness flags like
+/// `--bench` through to custom runners).
+///
+/// # Panics
+///
+/// Panics if the flag is present but its value is not a number.
+pub fn numeric_flag(name: &str, default: u64) -> u64 {
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        if flag == name {
+            if let Some(v) = it.next() {
+                return v.parse().unwrap_or_else(|_| panic!("{name} needs a number"));
+            }
+        }
+    }
+    default
+}
+
+/// Lenient scan of bench-target CLI arguments for a bare switch flag.
+pub fn switch_flag(name: &str) -> bool {
+    std::env::args().skip(1).any(|flag| flag == name)
+}
+
 /// Lenient scan of bench-target CLI arguments for repeated
 /// `--backend {pmem,dram}` flags, ignoring everything else (`cargo bench`
 /// passes harness flags like `--bench` through to custom runners).

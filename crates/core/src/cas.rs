@@ -10,13 +10,14 @@
 //! announcement carries everything.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr,
-    PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
+    tag, AppKind, AttachError, Backoff, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
+    Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
 };
+
+use crate::detect::DetectableCore;
 
 // Node layout (4 words, line-aligned).
 const F_NEW: u64 = 0;
@@ -38,7 +39,7 @@ const A_X_BASE: u64 = 2 * WORDS_PER_LINE;
 
 /// Structure-kind word a file-backed CAS object records in its pool
 /// superblock.
-pub const KIND_DETECTABLE_CAS: u64 = 4;
+pub const KIND_DETECTABLE_CAS: u64 = AppKind::DetectableCas.word();
 
 /// The CAS object's pool layout, derived from `(nthreads,
 /// nodes_per_thread)` alone (cf. the queue's `QueueLayout`).
@@ -91,14 +92,10 @@ pub struct ResolvedCas {
 /// assert_eq!(r.resp, Some(true));
 /// ```
 pub struct DetectableCas<M: Memory = PmemPool> {
-    pool: Arc<M>,
+    /// The shared detectability skeleton: pool, registry, EBR, backoff,
+    /// and the per-thread `X` words (see [`DetectableCore`]).
+    core: DetectableCore<M>,
     nodes: NodePool,
-    ebr: Ebr,
-    /// Persistent thread-slot registry (region after the node region).
-    registry: Registry<M>,
-    nthreads: usize,
-    backoff: AtomicBool,
-    tuner: BackoffTuner,
     pending: Box<[std::sync::Mutex<Vec<PAddr>>]>,
 }
 
@@ -201,13 +198,8 @@ impl<M: Memory> DetectableCas<M> {
         let nodes =
             NodePool::new(PAddr::from_index(layout.region), NODE_WORDS, nodes_per_thread, nthreads);
         DetectableCas {
-            pool,
+            core: DetectableCore::new(pool, registry, nthreads, A_X_BASE, WORDS_PER_LINE),
             nodes,
-            ebr: Ebr::new(nthreads),
-            registry,
-            nthreads,
-            backoff: AtomicBool::new(false),
-            tuner: BackoffTuner::new(),
             pending: (0..nthreads).map(|_| std::sync::Mutex::new(Vec::new())).collect(),
         }
     }
@@ -216,53 +208,49 @@ impl<M: Memory> DetectableCas<M> {
     /// never run on attach).
     fn format(&self, init_node: u64) {
         let init = PAddr::from_index(init_node);
-        self.pool.store(init.offset(F_NEW), 0);
-        self.pool.store(init.offset(F_EXPECTED), 0);
-        self.pool.store(init.offset(F_WRITER_SEQ), u64::MAX);
-        self.pool.store(init.offset(F_SUPERSEDED), 0);
-        self.pool.flush(init);
-        self.pool.store(self.cur_addr(), init.to_word());
-        self.pool.flush(self.cur_addr());
-        for i in 0..self.nthreads {
-            self.pool.store(self.x_addr(i), 0);
-            self.pool.flush(self.x_addr(i));
-        }
-        self.pool.drain();
+        self.core.pool.store(init.offset(F_NEW), 0);
+        self.core.pool.store(init.offset(F_EXPECTED), 0);
+        self.core.pool.store(init.offset(F_WRITER_SEQ), u64::MAX);
+        self.core.pool.store(init.offset(F_SUPERSEDED), 0);
+        self.core.pool.flush(init);
+        self.core.pool.store(self.cur_addr(), init.to_word());
+        self.core.pool.flush(self.cur_addr());
+        self.core.format_x();
+        self.core.pool.drain();
     }
 
     /// Enables or disables bounded exponential backoff after failed
     /// install CAS. Default off.
     pub fn set_backoff(&self, on: bool) {
-        self.backoff.store(on, Relaxed);
+        self.core.set_backoff(on);
     }
 
     /// Whether contention management is enabled.
     pub fn backoff_enabled(&self) -> bool {
-        self.backoff.load(Relaxed)
+        self.core.backoff_enabled()
     }
 
     fn new_backoff(&self) -> Backoff<'_> {
-        Backoff::attached(self.backoff.load(Relaxed), &self.tuner)
+        self.core.new_backoff()
     }
 
     fn cur_addr(&self) -> PAddr {
         PAddr::from_index(A_CUR)
     }
 
-    // Registry-minted handles are in range by construction; bad raw
-    // indices surface as SlotError at the registry, not a panic here.
+    // Handle validity is the core's concern; see DetectableCore::x_addr.
     fn x_addr(&self, slot: usize) -> PAddr {
-        PAddr::from_index(A_X_BASE + slot as u64 * WORDS_PER_LINE)
+        self.core.x_addr(slot)
     }
 
     /// The object's persistent-memory pool.
     pub fn pool(&self) -> &Arc<M> {
-        &self.pool
+        self.core.pool()
     }
 
     /// The object's persistent thread-slot registry.
     pub fn registry(&self) -> &Registry<M> {
-        &self.registry
+        self.core.registry()
     }
 
     /// Claims a free registry slot; see
@@ -272,9 +260,7 @@ impl<M: Memory> DetectableCas<M> {
     ///
     /// [`SlotError::Exhausted`] when all slots are taken.
     pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
-        let h = self.registry.acquire()?;
-        self.ebr.adopt_slot(h.slot());
-        Ok(h)
+        self.core.register_thread()
     }
 
     /// Returns a handle's slot to the registry.
@@ -284,14 +270,14 @@ impl<M: Memory> DetectableCas<M> {
     /// [`SlotError::StaleHandle`] / [`SlotError::ForeignHandle`] per
     /// [`Registry::release`].
     pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
-        self.registry.release(h)
+        self.core.release_thread(h)
     }
 
     /// Marks the crash boundary in the registry (idempotent per crash).
     /// The CAS object needs no recovery phase; this only makes dead
     /// threads' slots adoptable.
     pub fn begin_recovery(&self) {
-        self.registry.begin_recovery();
+        self.core.begin_recovery();
     }
 
     /// Adopts one orphaned slot (fresh lease, EBR state inherited).
@@ -301,29 +287,27 @@ impl<M: Memory> DetectableCas<M> {
     /// [`SlotError::OutOfRange`] / [`SlotError::NotOrphaned`] per
     /// [`Registry::adopt`].
     pub fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
-        let h = self.registry.adopt(slot)?;
-        self.ebr.adopt_slot(h.slot());
-        Ok(h)
+        self.core.adopt(slot)
     }
 
     /// [`adopt`](Self::adopt) over every orphaned slot, ascending.
     pub fn adopt_orphans(&self) -> Vec<ThreadHandle> {
-        (0..self.nthreads).filter_map(|slot| self.adopt(slot).ok()).collect()
+        self.core.adopt_orphans()
     }
 
     fn alloc(&self, tid: usize) -> PAddr {
         self.nodes
-            .alloc_with_reclaim(tid, &self.ebr)
+            .alloc_with_reclaim(tid, &self.core.ebr)
             .unwrap_or_else(|| panic!("CAS node pool exhausted (size it for the workload)"))
     }
 
     fn sweep_pending(&self, tid: usize) {
         let mut pending = self.pending[tid].lock().unwrap_or_else(|e| e.into_inner());
-        let cur = self.pool.peek(self.cur_addr());
-        let x = tag::addr_of(self.pool.peek(self.x_addr(tid)));
+        let cur = self.core.pool.peek(self.cur_addr());
+        let x = tag::addr_of(self.core.pool.peek(self.x_addr(tid)));
         pending.retain(|&p| {
             if p.to_word() != cur && p != x {
-                self.ebr.retire(tid, p);
+                self.core.ebr.retire(tid, p);
                 false
             } else {
                 true
@@ -345,26 +329,25 @@ impl<M: Memory> DetectableCas<M> {
     pub fn prep_cas(&self, h: ThreadHandle, expected: u64, new: u64, seq: u64) {
         let tid = h.slot();
         self.sweep_pending(tid);
-        let old = tag::addr_of(self.pool.load(self.x_addr(tid)));
+        let old = tag::addr_of(self.core.pool.load(self.x_addr(tid)));
         let node = self.alloc(tid);
-        self.pool.store(node.offset(F_NEW), new);
-        self.pool.store(node.offset(F_EXPECTED), expected);
-        self.pool.store(node.offset(F_WRITER_SEQ), ((tid as u64) << 48) | (seq & tag::ADDR_MASK));
-        self.pool.store(node.offset(F_SUPERSEDED), 0);
-        self.pool.flush(node);
+        self.core.pool.store(node.offset(F_NEW), new);
+        self.core.pool.store(node.offset(F_EXPECTED), expected);
+        self.core
+            .pool
+            .store(node.offset(F_WRITER_SEQ), ((tid as u64) << 48) | (seq & tag::ADDR_MASK));
+        self.core.pool.store(node.offset(F_SUPERSEDED), 0);
+        self.core.pool.flush(node);
         // Ordering point: the announce must not persist ahead of the node
         // it names.
-        self.pool.drain_lines(&[
+        self.core.pool.drain_lines(&[
             node.offset(F_NEW),
             node.offset(F_EXPECTED),
             node.offset(F_WRITER_SEQ),
             node.offset(F_SUPERSEDED),
         ]);
-        self.pool.store(self.x_addr(tid), tag::set(node.to_word(), C_PREP));
-        self.pool.flush(self.x_addr(tid));
-        // Durable before prep returns: a crash that forgets a completed
-        // prep would make resolve report the previous operation.
-        self.pool.drain_line(self.x_addr(tid));
+        // Announce + the durable-before-return drain (DetectableCore).
+        self.core.announce(tid, tag::set(node.to_word(), C_PREP));
         if !old.is_null() {
             self.push_pending(tid, old);
         }
@@ -381,41 +364,39 @@ impl<M: Memory> DetectableCas<M> {
     /// Axiom 2's precondition `R[pᵢ] = ⊥`).
     pub fn exec_cas(&self, h: ThreadHandle) -> bool {
         let tid = h.slot();
-        let _g = self.ebr.pin(tid);
+        let _g = self.core.pin(tid);
         let xa = self.x_addr(tid);
-        let x = self.pool.load(xa);
+        let x = self.core.pool.load(xa);
         assert!(
             tag::has(x, C_PREP) && !tag::has(x, C_COMPL),
             "exec-cas without a pending prepared CAS (X[{tid}] = {x:#x})"
         );
         let node = tag::addr_of(x);
-        let expected = self.pool.load(node.offset(F_EXPECTED));
+        let expected = self.core.pool.load(node.offset(F_EXPECTED));
         let mut bo = self.new_backoff();
         loop {
-            let cur_w = self.pool.load(self.cur_addr());
+            let cur_w = self.core.pool.load(self.cur_addr());
             let cur = tag::addr_of(cur_w);
-            let cur_val = self.pool.load(cur.offset(F_NEW));
+            let cur_val = self.core.pool.load(cur.offset(F_NEW));
             if cur_val != expected {
                 // The CAS takes effect (fails) at this read.
-                self.pool.store(xa, tag::set(x, C_COMPL | C_FAILED));
-                self.pool.flush(xa);
-                self.pool.drain();
+                self.core.complete(tid, tag::set(x, C_COMPL | C_FAILED));
+                self.core.pool.drain();
                 return false;
             }
-            self.pool.store(cur.offset(F_SUPERSEDED), 1);
-            self.pool.flush(cur.offset(F_SUPERSEDED));
+            self.core.pool.store(cur.offset(F_SUPERSEDED), 1);
+            self.core.pool.flush(cur.offset(F_SUPERSEDED));
             // The announce and the incumbent's superseded mark must be
             // persistent before the install can take effect — resolve
             // proves installation through either of them.
-            self.pool.drain_lines(&[cur.offset(F_SUPERSEDED), xa]);
-            if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
-                self.pool.flush(self.cur_addr());
+            self.core.pool.drain_lines(&[cur.offset(F_SUPERSEDED), xa]);
+            if self.core.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
+                self.core.pool.flush(self.cur_addr());
                 // Ordering point: the completion mark must not persist
                 // ahead of the installed pointer it certifies.
-                self.pool.drain_line(self.cur_addr());
-                self.pool.store(xa, tag::set(x, C_COMPL));
-                self.pool.flush(xa);
-                self.pool.drain();
+                self.core.pool.drain_line(self.cur_addr());
+                self.core.complete(tid, tag::set(x, C_COMPL));
+                self.core.pool.drain();
                 return true;
             }
             bo.spin();
@@ -429,39 +410,39 @@ impl<M: Memory> DetectableCas<M> {
     /// Panics if the node pool is exhausted.
     pub fn cas(&self, h: ThreadHandle, expected: u64, new: u64) -> bool {
         let tid = h.slot();
-        let _g = self.ebr.pin(tid);
+        let _g = self.core.pin(tid);
         self.sweep_pending(tid);
         let node = self.alloc(tid);
-        self.pool.store(node.offset(F_NEW), new);
-        self.pool.store(node.offset(F_EXPECTED), expected);
-        self.pool.store(node.offset(F_WRITER_SEQ), u64::MAX);
-        self.pool.store(node.offset(F_SUPERSEDED), 0);
-        self.pool.flush(node);
+        self.core.pool.store(node.offset(F_NEW), new);
+        self.core.pool.store(node.offset(F_EXPECTED), expected);
+        self.core.pool.store(node.offset(F_WRITER_SEQ), u64::MAX);
+        self.core.pool.store(node.offset(F_SUPERSEDED), 0);
+        self.core.pool.flush(node);
         let mut bo = self.new_backoff();
         loop {
-            let cur_w = self.pool.load(self.cur_addr());
+            let cur_w = self.core.pool.load(self.cur_addr());
             let cur = tag::addr_of(cur_w);
-            let cur_val = self.pool.load(cur.offset(F_NEW));
+            let cur_val = self.core.pool.load(cur.offset(F_NEW));
             if cur_val != expected {
                 // The node was never exposed; free it directly.
                 self.nodes.free(tid, node);
-                self.pool.drain();
+                self.core.pool.drain();
                 return false;
             }
-            self.pool.store(cur.offset(F_SUPERSEDED), 1);
-            self.pool.flush(cur.offset(F_SUPERSEDED));
+            self.core.pool.store(cur.offset(F_SUPERSEDED), 1);
+            self.core.pool.flush(cur.offset(F_SUPERSEDED));
             // The new node and the incumbent's superseded mark must be
             // persistent before the install can take effect.
-            self.pool.drain_lines(&[
+            self.core.pool.drain_lines(&[
                 cur.offset(F_SUPERSEDED),
                 node.offset(F_NEW),
                 node.offset(F_EXPECTED),
                 node.offset(F_WRITER_SEQ),
                 node.offset(F_SUPERSEDED),
             ]);
-            if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
-                self.pool.flush(self.cur_addr());
-                self.pool.drain();
+            if self.core.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
+                self.core.pool.flush(self.cur_addr());
+                self.core.pool.drain();
                 self.push_pending(tid, node);
                 return true;
             }
@@ -471,44 +452,44 @@ impl<M: Memory> DetectableCas<M> {
 
     /// **read()** (plain): the current value.
     pub fn read(&self, h: ThreadHandle) -> u64 {
-        let _g = self.ebr.pin(h.slot());
-        let cur = tag::addr_of(self.pool.load(self.cur_addr()));
-        self.pool.load(cur.offset(F_NEW))
+        let _g = self.core.pin(h.slot());
+        let cur = tag::addr_of(self.core.pool.load(self.cur_addr()));
+        self.core.pool.load(cur.offset(F_NEW))
     }
 
     /// **resolve()**: reports the most recently prepared CAS and whether
     /// it took effect, and with which outcome. Needs no recovery phase;
     /// idempotent.
     pub fn resolve(&self, h: ThreadHandle) -> ResolvedCas {
-        let x = self.pool.load(self.x_addr(h.slot()));
+        let x = self.core.pool.load(self.x_addr(h.slot()));
         if !tag::has(x, C_PREP) {
             return ResolvedCas { op: None, resp: None };
         }
         let node = tag::addr_of(x);
         let op = Some((
-            self.pool.load(node.offset(F_EXPECTED)),
-            self.pool.load(node.offset(F_NEW)),
-            self.pool.load(node.offset(F_WRITER_SEQ)) & tag::ADDR_MASK,
+            self.core.pool.load(node.offset(F_EXPECTED)),
+            self.core.pool.load(node.offset(F_NEW)),
+            self.core.pool.load(node.offset(F_WRITER_SEQ)) & tag::ADDR_MASK,
         ));
         if tag::has(x, C_COMPL) {
             return ResolvedCas { op, resp: Some(!tag::has(x, C_FAILED)) };
         }
-        let installed = self.pool.load(self.cur_addr()) == node.to_word()
-            || self.pool.load(node.offset(F_SUPERSEDED)) == 1;
+        let installed = self.core.pool.load(self.cur_addr()) == node.to_word()
+            || self.core.pool.load(node.offset(F_SUPERSEDED)) == 1;
         ResolvedCas { op, resp: if installed { Some(true) } else { None } }
     }
 
     /// Rebuilds the volatile allocator after a crash.
     pub fn rebuild_allocator(&self) {
-        let mut live = vec![tag::addr_of(self.pool.load(self.cur_addr()))];
-        for i in 0..self.nthreads {
-            let d = tag::addr_of(self.pool.load(self.x_addr(i)));
+        let mut live = vec![tag::addr_of(self.core.pool.load(self.cur_addr()))];
+        for i in 0..self.core.nthreads {
+            let d = tag::addr_of(self.core.pool.load(self.x_addr(i)));
             if !d.is_null() {
                 live.push(d);
             }
         }
         self.nodes.rebuild(live);
-        self.ebr.reset();
+        self.core.ebr.reset();
         for p in self.pending.iter() {
             p.lock().unwrap_or_else(|e| e.into_inner()).clear();
         }
@@ -517,7 +498,9 @@ impl<M: Memory> DetectableCas<M> {
 
 impl<M: Memory> fmt::Debug for DetectableCas<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("DetectableCas").field("nthreads", &self.nthreads).finish_non_exhaustive()
+        f.debug_struct("DetectableCas")
+            .field("nthreads", &self.core.nthreads)
+            .finish_non_exhaustive()
     }
 }
 

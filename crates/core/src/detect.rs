@@ -1,0 +1,265 @@
+//! The extracted `D⟨T⟩` detectability core (paper §2–§3).
+//!
+//! Every detectable structure in this crate — queue, stack, register, CAS,
+//! the universal construction, and the hash map — used to hand-roll the
+//! same skeleton: a per-thread *detectability word* `X[tid]` holding a
+//! tagged node pointer, the durable-announce idiom of the prep phase, the
+//! store-and-flush completion mark of the exec phase, registry-backed
+//! thread identity with epoch-based reclamation, and the adopt-then-repair
+//! recovery drivers (Appendix A Figure 6 centralized, §3.3 independent).
+//! [`DetectableCore`] owns exactly that skeleton, so a new object family is
+//! the structure-specific state machine plus a layout — not a fork of the
+//! whole protocol.
+//!
+//! The helpers are *instruction-exact*: [`announce`](DetectableCore::announce)
+//! is the store/flush/drain-line triple every prep ends with, and
+//! [`complete`](DetectableCore::complete) the store/flush pair every exec
+//! marks completion with. The crash-sweep suites arm crash points by pool-
+//! operation index, so the extraction must be (and is) pure code motion —
+//! the rewired structures issue byte-identical pool-operation sequences.
+
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::Arc;
+
+use dss_pmem::{
+    Backoff, BackoffTuner, Ebr, EbrGuard, Memory, PAddr, Registry, SlotError, ThreadHandle,
+};
+
+/// The shared detectability skeleton a `D⟨T⟩` structure instantiates.
+///
+/// Owns the memory backend, the persistent thread-slot [`Registry`], the
+/// volatile EBR domains, contention management, and the geometry of the
+/// per-thread detectability words (`X[tid]` at `x_base + slot * x_stride`).
+/// Structure-specific state — node allocators, layout constants, the
+/// prep/exec state machines themselves — stays in the instantiating type.
+pub struct DetectableCore<M: Memory> {
+    pub(crate) pool: Arc<M>,
+    pub(crate) registry: Registry<M>,
+    pub(crate) ebr: Ebr,
+    pub(crate) nthreads: usize,
+    /// Contention management: back off after failed CAS in retry loops
+    /// (default off, which keeps the instruction sequence identical to the
+    /// paper's pseudocode).
+    backoff: AtomicBool,
+    /// Adapts the backoff cap to the structure's observed CAS-failure rate.
+    tuner: BackoffTuner,
+    /// First word of the detectability-word region.
+    x_base: u64,
+    /// Distance between consecutive `X` entries, in words. The pointer
+    /// structures give each entry its own cache line
+    /// ([`WORDS_PER_LINE`](dss_pmem::WORDS_PER_LINE)) to avoid false
+    /// sharing; the universal construction packs them at stride 1.
+    x_stride: u64,
+}
+
+impl<M: Memory> DetectableCore<M> {
+    /// Binds the skeleton over an existing pool + registry. The EBR
+    /// domains, backoff state, and tuner are volatile and start fresh —
+    /// exactly what `attach` must rebuild rather than map.
+    pub(crate) fn new(
+        pool: Arc<M>,
+        registry: Registry<M>,
+        nthreads: usize,
+        x_base: u64,
+        x_stride: u64,
+    ) -> Self {
+        DetectableCore {
+            pool,
+            registry,
+            ebr: Ebr::new(nthreads),
+            nthreads,
+            backoff: AtomicBool::new(false),
+            tuner: BackoffTuner::new(),
+            x_base,
+            x_stride,
+        }
+    }
+
+    /// The memory backend.
+    pub fn pool(&self) -> &Arc<M> {
+        &self.pool
+    }
+
+    /// The persistent thread-slot registry.
+    pub fn registry(&self) -> &Registry<M> {
+        &self.registry
+    }
+
+    /// Number of thread slots the structure was built for.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// The detectability word of `slot`.
+    ///
+    /// Handles are valid by construction (only the registry mints them,
+    /// and only with in-range slots), so no bounds assertion is needed
+    /// here; a bad raw index surfaces as [`SlotError`] at the registry
+    /// boundary instead.
+    pub(crate) fn x_addr(&self, slot: usize) -> PAddr {
+        PAddr::from_index(self.x_base + slot as u64 * self.x_stride)
+    }
+
+    /// Formats the detectability words of a fresh pool: `X[i] = 0` for
+    /// all `i`, each store flushed. The caller's format routine drains
+    /// once after all regions are written.
+    pub(crate) fn format_x(&self) {
+        for i in 0..self.nthreads {
+            self.pool.store(self.x_addr(i), 0);
+            self.pool.flush(self.x_addr(i));
+        }
+    }
+
+    /// The durable-announce idiom ending every prep: publish `word` in
+    /// `X[slot]` and make it durable *before prep returns* — a completed
+    /// prep the crash can forget would make resolve report the previous
+    /// operation, a detectability violation an observer can catch.
+    ///
+    /// The caller persists the node the word names *first* (writeback is
+    /// per-word, so `X` could otherwise survive a crash pointing at an
+    /// unwritten node).
+    pub(crate) fn announce(&self, slot: usize, word: u64) {
+        let xa = self.x_addr(slot);
+        self.pool.store(xa, word);
+        self.pool.flush(xa);
+        self.pool.drain_line(xa);
+    }
+
+    /// The completion mark of an exec (or of recovery repairing an
+    /// effective operation): store the completed word and flush it. The
+    /// caller orders the mark behind the effect it certifies and issues
+    /// the trailing drain itself.
+    pub(crate) fn complete(&self, slot: usize, word: u64) {
+        let xa = self.x_addr(slot);
+        self.pool.store(xa, word);
+        self.pool.flush(xa);
+    }
+
+    /// Enables or disables contention management. Default off: the
+    /// instruction sequence then matches the paper's pseudocode exactly.
+    pub fn set_backoff(&self, on: bool) {
+        self.backoff.store(on, Relaxed);
+    }
+
+    /// Whether contention management is enabled.
+    pub fn backoff_enabled(&self) -> bool {
+        self.backoff.load(Relaxed)
+    }
+
+    /// A fresh per-operation backoff, enabled per the structure's setting
+    /// and capped by its contention-tuned [`BackoffTuner`].
+    pub(crate) fn new_backoff(&self) -> Backoff<'_> {
+        Backoff::attached(self.backoff.load(Relaxed), &self.tuner)
+    }
+
+    /// The contention tuner (the combining layer builds its own
+    /// always-on backoff over it).
+    pub(crate) fn tuner(&self) -> &BackoffTuner {
+        &self.tuner
+    }
+
+    /// Pins `tid`'s EBR domain for the duration of an operation.
+    pub(crate) fn pin(&self, tid: usize) -> EbrGuard<'_> {
+        self.ebr.pin(tid)
+    }
+
+    /// Claims a free registry slot and returns the [`ThreadHandle`] every
+    /// operation takes. Any stale EBR pin a previous lease of the slot
+    /// left behind is cleared; its un-reclaimed retirees are inherited.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::Exhausted`] when all `nthreads` slots are taken.
+    pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.acquire()?;
+        self.ebr.adopt_slot(h.slot());
+        Ok(h)
+    }
+
+    /// Returns a handle's slot to the registry.
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::StaleHandle`] if the slot's lease has moved on (e.g.
+    /// it was adopted after a crash), [`SlotError::ForeignHandle`] for a
+    /// handle from another structure's registry.
+    pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
+        self.registry.release(h)
+    }
+
+    /// Marks the crash boundary in the registry: every slot that was LIVE
+    /// at the crash becomes ORPHANED and adoptable. Idempotent per crash.
+    pub fn begin_recovery(&self) {
+        self.registry.begin_recovery();
+    }
+
+    /// Adopts one orphaned slot on behalf of a thread that never came
+    /// back: re-LIVEs the slot under a fresh lease and clears the dead
+    /// thread's stale EBR pin (its retirees are inherited, not leaked).
+    ///
+    /// # Errors
+    ///
+    /// [`SlotError::OutOfRange`] / [`SlotError::NotOrphaned`] per
+    /// [`Registry::adopt`].
+    pub fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
+        let h = self.registry.adopt(slot)?;
+        self.ebr.adopt_slot(h.slot());
+        Ok(h)
+    }
+
+    /// [`adopt`](Self::adopt) over every orphaned slot, ascending.
+    pub fn adopt_orphans(&self) -> Vec<ThreadHandle> {
+        (0..self.nthreads).filter_map(|slot| self.adopt(slot).ok()).collect()
+    }
+
+    /// The centralized recovery driver (Figure 6 restructured through the
+    /// registry): marks the crash boundary, runs the structure's shared-
+    /// state `repair` (recomputing top/tail/head pointers and the reachable
+    /// set), adopts every orphaned slot, repairs each adopted slot's
+    /// detectability word with `fix`, and drains once.
+    ///
+    /// Slots that were FREE at the crash hold no pending announce, so
+    /// adopting only the orphans covers exactly the `X` entries Figure 6's
+    /// full sweep would repair. Idempotent: a second pass adopts nothing
+    /// and repairs nothing.
+    pub(crate) fn recover_adopting<R>(
+        &self,
+        repair: impl FnOnce() -> R,
+        mut fix: impl FnMut(usize, &R),
+    ) -> Vec<ThreadHandle> {
+        self.begin_recovery();
+        let ctx = repair();
+        let adopted = self.adopt_orphans();
+        for h in &adopted {
+            fix(h.slot(), &ctx);
+        }
+        self.pool.drain();
+        adopted
+    }
+
+    /// The independent per-slot recovery driver (§3.3): the handle's owner
+    /// `prepare`s whatever view of the shared state its repair needs (e.g.
+    /// the reachable set), repairs only its own `X` entry with `fix`, and
+    /// drains. No centralized phase — with it, "the last trace of
+    /// auxiliary state" disappears.
+    pub(crate) fn recover_one_with<R>(
+        &self,
+        h: ThreadHandle,
+        prepare: impl FnOnce() -> R,
+        fix: impl FnOnce(usize, &R),
+    ) {
+        let ctx = prepare();
+        fix(h.slot(), &ctx);
+        self.pool.drain();
+    }
+}
+
+impl<M: Memory> std::fmt::Debug for DetectableCore<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DetectableCore")
+            .field("nthreads", &self.nthreads)
+            .field("x_base", &self.x_base)
+            .field("x_stride", &self.x_stride)
+            .finish_non_exhaustive()
+    }
+}

@@ -17,6 +17,9 @@
 //!   with the register it demonstrates the application-managed nesting
 //!   story of §2.2 ("`D⟨queue⟩` can be constructed using implementations of
 //!   `D⟨read/write register⟩` and `D⟨CAS⟩`").
+//! * [`DetectableMap`] — the same recipe applied to a bucket-chained hash
+//!   map with crash-atomic growth: the "new object family" built on the
+//!   extracted [`DetectableCore`] skeleton.
 //! * [`Universal`] — a recoverable, detectable universal construction in
 //!   the style of Herlihy (1991) / Berryhill et al. (2016), yielding
 //!   `D⟨T⟩` for *any* [`SequentialSpec`](dss_spec::SequentialSpec) (§2.2's
@@ -55,12 +58,16 @@
 #![warn(missing_docs, missing_debug_implementations)]
 
 mod cas;
+mod detect;
+mod map;
 mod queue;
 mod register;
 mod stack;
 mod universal;
 
 pub use cas::{DetectableCas, ResolvedCas, KIND_DETECTABLE_CAS};
+pub use detect::DetectableCore;
+pub use map::{DetectableMap, ResolvedMap, KIND_DETECTABLE_MAP, MAX_LEVELS};
 pub use queue::{
     CombiningQueue, DssQueue, QueueFull, ReplicatedQueue, Resolved, ResolvedOp, DEFAULT_REPLICAS,
     KIND_DSS_QUEUE, KIND_DSS_QUEUE_COMBINING, KIND_DSS_QUEUE_REPLICATED, REPLICATED_LOG_CAP,

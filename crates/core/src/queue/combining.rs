@@ -70,8 +70,8 @@ use std::sync::atomic::{
 use std::sync::{Arc, Mutex};
 
 use dss_pmem::{
-    tag, AttachError, Backoff, FlushGranularity, Memory, PAddr, PmemPool, Registry, SlotError,
-    SlotState, ThreadHandle, WORDS_PER_LINE,
+    tag, AppKind, AttachError, Backoff, FlushGranularity, Memory, PAddr, PmemPool, Registry,
+    SlotError, SlotState, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -81,7 +81,7 @@ use super::{DssQueue, QueueFull, QueueLayout, Resolved, F_DEQ_TID, F_NEXT, F_VAL
 /// superblock: a combining pool is *not* attachable by the CAS-racing
 /// [`DssQueue::attach`] (and vice versa) because the two execution layers
 /// make different persist-ordering promises per word.
-pub const KIND_DSS_QUEUE_COMBINING: u64 = 10;
+pub const KIND_DSS_QUEUE_COMBINING: u64 = AppKind::DssQueueCombining.word();
 
 /// Volatile per-slot announce states (DRAM only — the persistent truth
 /// lives in `X[tid]`; these flags exist so waiters can park on their own
@@ -303,7 +303,7 @@ impl<M: Memory> CombiningQueue<M> {
     }
 
     fn wrap(q: DssQueue<M>, lease: PAddr) -> Self {
-        let pending = (0..q.nthreads).map(|_| AtomicU64::new(IDLE)).collect();
+        let pending = (0..q.nthreads()).map(|_| AtomicU64::new(IDLE)).collect();
         CombiningQueue { q, lease, pending, scratch: Mutex::new(Scratch::default()) }
     }
 
@@ -311,9 +311,9 @@ impl<M: Memory> CombiningQueue<M> {
     /// thread can hold the lease (construction, attach, post-crash
     /// recovery); idempotent.
     fn clear_lease(&self) {
-        self.q.pool.store(self.lease, 0);
-        self.q.pool.flush(self.lease);
-        self.q.pool.drain_line(self.lease);
+        self.q.pool().store(self.lease, 0);
+        self.q.pool().flush(self.lease);
+        self.q.pool().drain_line(self.lease);
     }
 
     /// The queue's memory backend.
@@ -442,7 +442,7 @@ impl<M: Memory> CombiningQueue<M> {
             self.await_applied(h);
         }
         let tid = h.slot();
-        let x = self.q.pool.load(self.q.x_addr(tid));
+        let x = self.q.pool().load(self.q.x_addr(tid));
         if tag::has(x, tag::EMPTY) {
             return QueueResp::Empty;
         }
@@ -450,9 +450,9 @@ impl<M: Memory> CombiningQueue<M> {
         // the CAS-racing exec writes); both nodes are reclamation-guarded
         // while X names them, so the unpinned reads are safe.
         let pred = tag::addr_of(x);
-        let node = tag::addr_of(self.q.pool.load(pred.offset(F_NEXT)));
-        debug_assert_eq!(self.q.pool.load(node.offset(F_DEQ_TID)), tid as u64);
-        QueueResp::Value(self.q.pool.load(node.offset(F_VALUE)))
+        let node = tag::addr_of(self.q.pool().load(pred.offset(F_NEXT)));
+        debug_assert_eq!(self.q.pool().load(node.offset(F_DEQ_TID)), tid as u64);
+        QueueResp::Value(self.q.pool().load(node.offset(F_VALUE)))
     }
 
     /// Detectable enqueue: `prep` + `exec`.
@@ -479,8 +479,8 @@ impl<M: Memory> CombiningQueue<M> {
     /// the lease if its holder provably died.
     fn await_applied(&self, h: ThreadHandle) {
         let slot = h.slot();
-        let pool = self.q.pool.as_ref();
-        let mut bo = Backoff::attached(true, &self.q.tuner);
+        let pool = self.q.pool().as_ref();
+        let mut bo = Backoff::attached(true, self.q.tuner());
         let mut observed = 0u64;
         let mut stable = 0u32;
         let mut waits = 0u32;
@@ -534,7 +534,7 @@ impl<M: Memory> CombiningQueue<M> {
         // Failure is benign: only a post-crash steal can move the lease
         // from under a holder, and then the thief owns the cleanup. Not
         // flushed — the lease is volatile coordination (module docs).
-        let _ = self.q.pool.cas(self.lease, h.nonce(), 0);
+        let _ = self.q.pool().cas(self.lease, h.nonce(), 0);
     }
 
     /// Whether a lease nonce belongs to no LIVE registry slot. Uses
@@ -543,7 +543,7 @@ impl<M: Memory> CombiningQueue<M> {
     /// relative to the number of probing waiters.
     fn lease_is_stale(&self, lease: u64) -> bool {
         let reg = self.q.registry();
-        for s in 0..self.q.nthreads {
+        for s in 0..self.q.nthreads() {
             if reg.slot_state(s) == Ok(SlotState::Live) && reg.slot_nonce(s) == Ok(lease) {
                 return false;
             }
@@ -555,7 +555,7 @@ impl<M: Memory> CombiningQueue<M> {
     /// one sequential pass with three persist phases (see module docs).
     /// Caller must hold the lease.
     fn combine(&self, me: ThreadHandle) {
-        let pool = self.q.pool.as_ref();
+        let pool = self.q.pool().as_ref();
         let my = me.slot();
         let _guard = self.q.pin(my);
         let mut scratch = self.scratch.lock().unwrap();
@@ -567,7 +567,7 @@ impl<M: Memory> CombiningQueue<M> {
 
         // Gather the batch in slot order — the order the batch's
         // operations are applied (and hence linearized) in.
-        for s in 0..self.q.nthreads {
+        for s in 0..self.q.nthreads() {
             if self.pending[s].load(Acquire) == ANNOUNCED {
                 batch.push((s, pool.load(self.q.x_addr(s))));
             }
@@ -899,9 +899,9 @@ mod tests {
         let h1 = q.register_thread().unwrap();
         // A combiner that died mid-tenure: h1's nonce sits durably in the
         // lease word, and h1's thread never comes back after the crash.
-        q.q.pool.store(q.lease, h1.nonce());
-        q.q.pool.flush(q.lease);
-        q.q.pool.drain_line(q.lease);
+        q.q.pool().store(q.lease, h1.nonce());
+        q.q.pool().flush(q.lease);
+        q.q.pool().drain_line(q.lease);
         q.pool().crash(&WritebackAdversary::None);
         q.begin_recovery();
         let mine = q.adopt(h0.slot()).unwrap();
@@ -933,7 +933,7 @@ mod tests {
         let mut values = q.snapshot_values();
         values.sort_unstable();
         assert_eq!(values, [1, 2, 3, 4]);
-        assert_eq!(q.q.pool.peek(q.lease), 0, "lease released after the batches");
+        assert_eq!(q.q.pool().peek(q.lease), 0, "lease released after the batches");
         for p in q.pending.iter() {
             assert_eq!(p.load(Ordering::Relaxed), IDLE);
         }

@@ -13,19 +13,21 @@ pub use replicated::{
 };
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr,
-    PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
+    tag, AppKind, AttachError, Backoff, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
+    Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
 };
+
+use crate::detect::DetectableCore;
 use dss_spec::types::QueueResp;
 
 /// The structure-kind tag a [`DssQueue`] records in its pool file's
 /// superblock (see [`PmemPool::set_app_config`]), making the file
 /// self-describing for [`DssQueue::attach`].
-pub const KIND_DSS_QUEUE: u64 = 1;
+pub const KIND_DSS_QUEUE: u64 = AppKind::DssQueue.word();
 
 /// Node field offsets (a queue node is `{ value, next, deqThreadID }`,
 /// padded to 4 words so a node never straddles a cache line and the paper's
@@ -108,19 +110,10 @@ pub struct Resolved {
 /// [`DramPool`](dss_pmem::DramPool) (via [`new_in`](Self::new_in)) runs the
 /// identical instruction sequence on plain atomics.
 pub struct DssQueue<M: Memory = PmemPool> {
-    pool: Arc<M>,
+    /// The shared detectability skeleton: pool, registry, EBR, backoff,
+    /// and the per-thread `X` words (see [`DetectableCore`]).
+    core: DetectableCore<M>,
     pub(crate) nodes: NodePool,
-    ebr: Ebr,
-    /// The persistent thread-slot registry: sole source of thread
-    /// identity (its region sits after the node region in the pool).
-    registry: Registry<M>,
-    nthreads: usize,
-    /// Contention management: back off after failed CAS in the retry loops
-    /// and elide provably redundant announce flushes (default off, which
-    /// keeps the instruction sequence identical to the paper's pseudocode).
-    backoff: AtomicBool,
-    /// Adapts the backoff cap to this queue's observed CAS-failure rate.
-    tuner: BackoffTuner,
     /// Monotone per-thread counters of completed operations (volatile;
     /// used by workloads and tests, never by the algorithm).
     ops_done: Box<[AtomicU64]>,
@@ -307,13 +300,8 @@ impl<M: Memory> DssQueue<M> {
         let nodes =
             NodePool::new(PAddr::from_index(layout.region), NODE_WORDS, nodes_per_thread, nthreads);
         DssQueue {
-            pool,
+            core: DetectableCore::new(pool, registry, nthreads, A_X_BASE, WORDS_PER_LINE),
             nodes,
-            ebr: Ebr::new(nthreads),
-            registry,
-            nthreads,
-            backoff: AtomicBool::new(false),
-            tuner: BackoffTuner::new(),
             ops_done: (0..nthreads).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -324,19 +312,16 @@ impl<M: Memory> DssQueue<M> {
         // Initial state: head = tail = sentinel; sentinel.next = NULL,
         // sentinel unmarked; X[i] = NULL for all i. Persist everything.
         let s = PAddr::from_index(sentinel);
-        self.pool.store(s.offset(F_VALUE), 0);
-        self.pool.store(s.offset(F_NEXT), PAddr::NULL.to_word());
-        self.pool.store(s.offset(F_DEQ_TID), NO_DEQUEUER);
+        self.core.pool.store(s.offset(F_VALUE), 0);
+        self.core.pool.store(s.offset(F_NEXT), PAddr::NULL.to_word());
+        self.core.pool.store(s.offset(F_DEQ_TID), NO_DEQUEUER);
         self.flush_node(s);
-        self.pool.store(self.head_addr(), s.to_word());
-        self.pool.flush(self.head_addr());
-        self.pool.store(self.tail_addr(), s.to_word());
-        self.pool.flush(self.tail_addr());
-        for i in 0..self.nthreads {
-            self.pool.store(self.x_addr(i), 0);
-            self.pool.flush(self.x_addr(i));
-        }
-        self.pool.drain();
+        self.core.pool.store(self.head_addr(), s.to_word());
+        self.core.pool.flush(self.head_addr());
+        self.core.pool.store(self.tail_addr(), s.to_word());
+        self.core.pool.flush(self.tail_addr());
+        self.core.format_x();
+        self.core.pool.drain();
     }
 
     /// Enables or disables contention management (bounded exponential
@@ -344,35 +329,41 @@ impl<M: Memory> DssQueue<M> {
     /// announce flushes in `exec-dequeue`). Default off: the instruction
     /// sequence then matches the paper's pseudocode exactly.
     pub fn set_backoff(&self, on: bool) {
-        self.backoff.store(on, Relaxed);
+        self.core.set_backoff(on);
     }
 
     /// Whether contention management is enabled.
     pub fn backoff_enabled(&self) -> bool {
-        self.backoff.load(Relaxed)
+        self.core.backoff_enabled()
     }
 
     /// A fresh per-operation backoff, enabled per the queue's setting and
-    /// capped by the queue's contention-tuned [`BackoffTuner`].
+    /// capped by the queue's contention-tuned
+    /// [`BackoffTuner`](dss_pmem::BackoffTuner).
     pub(crate) fn new_backoff(&self) -> Backoff<'_> {
-        Backoff::attached(self.backoff.load(Relaxed), &self.tuner)
+        self.core.new_backoff()
+    }
+
+    /// The queue's contention tuner (shared with the combining layer).
+    pub(crate) fn tuner(&self) -> &dss_pmem::BackoffTuner {
+        self.core.tuner()
     }
 
     /// The queue's memory backend (on [`PmemPool`]: crash it, inspect it,
     /// count its operations).
     pub fn pool(&self) -> &Arc<M> {
-        &self.pool
+        self.core.pool()
     }
 
     /// Number of threads the queue was built for.
     pub fn nthreads(&self) -> usize {
-        self.nthreads
+        self.core.nthreads()
     }
 
     /// The queue's persistent thread-slot registry (inspect slot states,
     /// run registry-level operations directly).
     pub fn registry(&self) -> &Registry<M> {
-        &self.registry
+        self.core.registry()
     }
 
     /// Claims a free registry slot and returns the [`ThreadHandle`] every
@@ -383,9 +374,7 @@ impl<M: Memory> DssQueue<M> {
     ///
     /// [`SlotError::Exhausted`] when all `nthreads` slots are taken.
     pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
-        let h = self.registry.acquire()?;
-        self.ebr.adopt_slot(h.slot());
-        Ok(h)
+        self.core.register_thread()
     }
 
     /// Returns a handle's slot to the registry.
@@ -396,7 +385,7 @@ impl<M: Memory> DssQueue<M> {
     /// it was adopted after a crash), [`SlotError::ForeignHandle`] for a
     /// handle from another queue's registry.
     pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
-        self.registry.release(h)
+        self.core.release_thread(h)
     }
 
     /// Marks the crash boundary in the registry: every slot that was LIVE
@@ -405,7 +394,7 @@ impl<M: Memory> DssQueue<M> {
     /// only when driving partial recovery by hand ([`adopt`](Self::adopt)
     /// / [`recover_one`](Self::recover_one)).
     pub fn begin_recovery(&self) {
-        self.registry.begin_recovery();
+        self.core.begin_recovery();
     }
 
     /// Adopts one orphaned slot on behalf of a thread that never came
@@ -419,14 +408,12 @@ impl<M: Memory> DssQueue<M> {
     /// [`SlotError::OutOfRange`] / [`SlotError::NotOrphaned`] per
     /// [`Registry::adopt`].
     pub fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
-        let h = self.registry.adopt(slot)?;
-        self.ebr.adopt_slot(h.slot());
-        Ok(h)
+        self.core.adopt(slot)
     }
 
     /// [`adopt`](Self::adopt) over every orphaned slot, ascending.
     pub fn adopt_orphans(&self) -> Vec<ThreadHandle> {
-        (0..self.nthreads).filter_map(|slot| self.adopt(slot).ok()).collect()
+        self.core.adopt_orphans()
     }
 
     pub(crate) fn head_addr(&self) -> PAddr {
@@ -437,23 +424,21 @@ impl<M: Memory> DssQueue<M> {
         PAddr::from_index(A_TAIL)
     }
 
-    // Handles are valid by construction (only the registry mints them, and
-    // only with in-range slots), so no bounds assertion is needed here; a
-    // bad raw index surfaces as SlotError at the registry boundary instead.
+    // Handle validity is the core's concern; see DetectableCore::x_addr.
     pub(crate) fn x_addr(&self, slot: usize) -> PAddr {
-        PAddr::from_index(A_X_BASE + slot as u64 * WORDS_PER_LINE)
+        self.core.x_addr(slot)
     }
 
     /// `FLUSH(node)`: persists a whole node. One flush under line
     /// granularity (nodes are line-aligned), one per field under word
     /// granularity.
     pub(crate) fn flush_node(&self, node: PAddr) {
-        match self.pool.granularity() {
-            FlushGranularity::Line => self.pool.flush(node),
+        match self.core.pool.granularity() {
+            FlushGranularity::Line => self.core.pool.flush(node),
             FlushGranularity::Word => {
-                self.pool.flush(node.offset(F_VALUE));
-                self.pool.flush(node.offset(F_NEXT));
-                self.pool.flush(node.offset(F_DEQ_TID));
+                self.core.pool.flush(node.offset(F_VALUE));
+                self.core.pool.flush(node.offset(F_NEXT));
+                self.core.pool.flush(node.offset(F_DEQ_TID));
             }
         }
     }
@@ -463,7 +448,11 @@ impl<M: Memory> DssQueue<M> {
     /// the node's own pending flush units (one line, or three words under
     /// word granularity) so every other pending flush stays coalescible.
     pub(crate) fn drain_node(&self, node: PAddr) {
-        self.pool.drain_lines(&[node.offset(F_VALUE), node.offset(F_NEXT), node.offset(F_DEQ_TID)]);
+        self.core.pool.drain_lines(&[
+            node.offset(F_VALUE),
+            node.offset(F_NEXT),
+            node.offset(F_DEQ_TID),
+        ]);
     }
 
     /// The nodes some thread's detectability word still references:
@@ -476,11 +465,11 @@ impl<M: Memory> DssQueue<M> {
     pub(crate) fn x_referenced_nodes(&self) -> Vec<PAddr> {
         let mut out = Vec::new();
         for i in 0..self.nthreads() {
-            let x = self.pool.load(self.x_addr(i));
+            let x = self.core.pool.load(self.x_addr(i));
             let d = tag::addr_of(x);
             if !d.is_null() {
                 out.push(d);
-                let next = tag::addr_of(self.pool.load(d.offset(F_NEXT)));
+                let next = tag::addr_of(self.core.pool.load(d.offset(F_NEXT)));
                 if !next.is_null() {
                     out.push(next);
                 }
@@ -495,19 +484,19 @@ impl<M: Memory> DssQueue<M> {
     /// which stay in limbo until the word moves on.
     pub(crate) fn alloc_node(&self, tid: usize) -> Result<PAddr, QueueFull> {
         self.nodes
-            .alloc_with_reclaim_guarded(tid, &self.ebr, || self.x_referenced_nodes())
+            .alloc_with_reclaim_guarded(tid, &self.core.ebr, || self.x_referenced_nodes())
             .ok_or(QueueFull)
     }
 
     pub(crate) fn pin(&self, tid: usize) -> dss_pmem::EbrGuard<'_> {
-        self.ebr.pin(tid)
+        self.core.pin(tid)
     }
 
     /// Retires a dequeued predecessor node (ignored for the static initial
     /// sentinel, which is not part of the node region).
     pub(crate) fn retire_node(&self, tid: usize, node: PAddr) {
         if self.nodes.contains(node) {
-            self.ebr.retire(tid, node);
+            self.core.ebr.retire(tid, node);
         }
     }
 
@@ -527,7 +516,7 @@ impl<M: Memory> DssQueue<M> {
     /// including immediately after recovery from a crash.
     pub fn resolve(&self, h: ThreadHandle) -> Resolved {
         let tid = h.slot();
-        let x = self.pool.load(self.x_addr(tid)); // inspect X[TID]
+        let x = self.core.pool.load(self.x_addr(tid)); // inspect X[TID]
         if tag::has(x, tag::ENQ_PREP) {
             // line 21-22
             let (value, resp) = self.resolve_enqueue(x);
@@ -545,7 +534,7 @@ impl<M: Memory> DssQueue<M> {
     /// **resolve-enqueue** (Figure 3, lines 28–31).
     fn resolve_enqueue(&self, x: u64) -> (u64, Option<QueueResp>) {
         let node = tag::addr_of(x);
-        let value = self.pool.load(node.offset(F_VALUE));
+        let value = self.core.pool.load(node.offset(F_VALUE));
         if tag::has(x, tag::ENQ_COMPL) {
             // enqueue was prepared and took effect (line 29)
             (value, Some(QueueResp::Ok))
@@ -569,16 +558,16 @@ impl<M: Memory> DssQueue<M> {
         } else {
             // X holds the predecessor of the node this thread tried to
             // claim (written at lines 47-48).
-            let next = tag::addr_of(self.pool.load(ptr.offset(F_NEXT)));
+            let next = tag::addr_of(self.core.pool.load(ptr.offset(F_NEXT)));
             if next.is_null() {
                 // The claimed node's linkage never persisted, so the claim
                 // cannot have persisted either (the paper's flush order
                 // guarantees next is persisted before any claim on it).
                 return None;
             }
-            if self.pool.load(next.offset(F_DEQ_TID)) == tid as u64 {
+            if self.core.pool.load(next.offset(F_DEQ_TID)) == tid as u64 {
                 // dequeue took effect on a non-empty queue (lines 60-61)
-                Some(QueueResp::Value(self.pool.load(next.offset(F_VALUE))))
+                Some(QueueResp::Value(self.core.pool.load(next.offset(F_VALUE))))
             } else {
                 // crashed between announcing the predecessor and the claim
                 // (lines 62-63); the node may be claimed by someone else,
@@ -596,14 +585,14 @@ impl<M: Memory> DssQueue<M> {
     pub fn peek_front(&self, h: ThreadHandle) -> Option<u64> {
         let tid = h.slot();
         let _guard = self.pin(tid);
-        let mut cur = tag::addr_of(self.pool.load(self.head_addr()));
+        let mut cur = tag::addr_of(self.core.pool.load(self.head_addr()));
         loop {
-            let next = tag::addr_of(self.pool.load(cur.offset(F_NEXT)));
+            let next = tag::addr_of(self.core.pool.load(cur.offset(F_NEXT)));
             if next.is_null() {
                 return None;
             }
-            if self.pool.load(next.offset(F_DEQ_TID)) == NO_DEQUEUER {
-                return Some(self.pool.load(next.offset(F_VALUE)));
+            if self.core.pool.load(next.offset(F_DEQ_TID)) == NO_DEQUEUER {
+                return Some(self.core.pool.load(next.offset(F_VALUE)));
             }
             cur = next;
         }
@@ -614,15 +603,15 @@ impl<M: Memory> DssQueue<M> {
     /// operations).
     pub fn snapshot_values(&self) -> Vec<u64> {
         let mut out = Vec::new();
-        let mut cur = tag::addr_of(self.pool.peek(self.head_addr()));
+        let mut cur = tag::addr_of(self.core.pool.peek(self.head_addr()));
         loop {
-            let next = tag::addr_of(self.pool.peek(cur.offset(F_NEXT)));
+            let next = tag::addr_of(self.core.pool.peek(cur.offset(F_NEXT)));
             if next.is_null() {
                 break;
             }
             // A marked successor has been dequeued already.
-            if self.pool.peek(next.offset(F_DEQ_TID)) == NO_DEQUEUER {
-                out.push(self.pool.peek(next.offset(F_VALUE)));
+            if self.core.pool.peek(next.offset(F_DEQ_TID)) == NO_DEQUEUER {
+                out.push(self.core.pool.peek(next.offset(F_VALUE)));
             }
             cur = next;
         }
@@ -633,7 +622,7 @@ impl<M: Memory> DssQueue<M> {
 impl<M: Memory> fmt::Debug for DssQueue<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DssQueue")
-            .field("nthreads", &self.nthreads)
+            .field("nthreads", &self.core.nthreads)
             .field("total_nodes", &self.nodes.total_nodes())
             .finish_non_exhaustive()
     }

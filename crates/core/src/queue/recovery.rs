@@ -15,7 +15,7 @@ impl<M: Memory> DssQueue<M> {
         let mut cur = start;
         loop {
             out.push(cur);
-            let next = tag::addr_of(self.pool.load(cur.offset(F_NEXT)));
+            let next = tag::addr_of(self.core.pool.load(cur.offset(F_NEXT)));
             if next.is_null() {
                 return out;
             }
@@ -51,38 +51,37 @@ impl<M: Memory> DssQueue<M> {
     /// recovery) is safe, which the tests exercise; the second pass
     /// adopts nothing and repairs nothing.
     pub fn recover(&self) -> Vec<ThreadHandle> {
-        self.begin_recovery();
+        // The adopt-then-repair driver is the core's; the queue supplies
+        // its shared-state repair (lines 64–69) and per-slot X repair
+        // (lines 70–76). Slots that were FREE at the crash hold no pending
+        // announce, so adopting only the orphans covers exactly the X
+        // entries Figure 6's full sweep would repair.
+        self.core.recover_adopting(
+            || {
+                // line 64: AllNodes := nodes reachable from head
+                let old_head = tag::addr_of(self.core.pool.load(self.head_addr()));
+                let chain = self.reachable_from(old_head);
+                let all_nodes: HashSet<PAddr> = chain.iter().copied().collect();
 
-        // line 64: AllNodes := nodes reachable from head
-        let old_head = tag::addr_of(self.pool.load(self.head_addr()));
-        let chain = self.reachable_from(old_head);
-        let all_nodes: HashSet<PAddr> = chain.iter().copied().collect();
+                // lines 65–66: tail := last reachable node
+                let last = *chain.last().expect("chain contains at least head");
+                self.core.pool.store(self.tail_addr(), last.to_word());
+                self.core.pool.flush(self.tail_addr());
 
-        // lines 65–66: tail := last reachable node
-        let last = *chain.last().expect("chain contains at least head");
-        self.pool.store(self.tail_addr(), last.to_word());
-        self.pool.flush(self.tail_addr());
-
-        // lines 67–69: head := last marked node reachable from oldHead
-        let last_marked = chain
-            .iter()
-            .copied()
-            .filter(|n| self.pool.load(n.offset(F_DEQ_TID)) != NO_DEQUEUER)
-            .last();
-        if let Some(m) = last_marked {
-            self.pool.store(self.head_addr(), m.to_word());
-        }
-        self.pool.flush(self.head_addr());
-
-        // lines 70–76, per adopted slot. Slots that were FREE at the
-        // crash hold no pending announce, so adopting only the orphans
-        // covers exactly the X entries Figure 6's full sweep would repair.
-        let adopted = self.adopt_orphans();
-        for h in &adopted {
-            self.recover_x_entry(h.slot(), &all_nodes);
-        }
-        self.pool.drain();
-        adopted
+                // lines 67–69: head := last marked node reachable from oldHead
+                let last_marked = chain
+                    .iter()
+                    .copied()
+                    .filter(|n| self.core.pool.load(n.offset(F_DEQ_TID)) != NO_DEQUEUER)
+                    .last();
+                if let Some(m) = last_marked {
+                    self.core.pool.store(self.head_addr(), m.to_word());
+                }
+                self.core.pool.flush(self.head_addr());
+                all_nodes
+            },
+            |slot, all_nodes| self.recover_x_entry(slot, all_nodes),
+        )
     }
 
     /// The pre-registry centralized recovery (Figure 6 verbatim): repairs
@@ -93,31 +92,31 @@ impl<M: Memory> DssQueue<M> {
     #[doc(hidden)]
     pub fn recover_centralized(&self) {
         // line 64: AllNodes := nodes reachable from head
-        let old_head = tag::addr_of(self.pool.load(self.head_addr()));
+        let old_head = tag::addr_of(self.core.pool.load(self.head_addr()));
         let chain = self.reachable_from(old_head);
         let all_nodes: HashSet<PAddr> = chain.iter().copied().collect();
 
         // lines 65–66: tail := last reachable node
         let last = *chain.last().expect("chain contains at least head");
-        self.pool.store(self.tail_addr(), last.to_word());
-        self.pool.flush(self.tail_addr());
+        self.core.pool.store(self.tail_addr(), last.to_word());
+        self.core.pool.flush(self.tail_addr());
 
         // lines 67–69: head := last marked node reachable from oldHead
         let last_marked = chain
             .iter()
             .copied()
-            .filter(|n| self.pool.load(n.offset(F_DEQ_TID)) != NO_DEQUEUER)
+            .filter(|n| self.core.pool.load(n.offset(F_DEQ_TID)) != NO_DEQUEUER)
             .last();
         if let Some(m) = last_marked {
-            self.pool.store(self.head_addr(), m.to_word());
+            self.core.pool.store(self.head_addr(), m.to_word());
         }
-        self.pool.flush(self.head_addr());
+        self.core.pool.flush(self.head_addr());
 
         // lines 70–76: complete detectability state of effective enqueues.
         for i in 0..self.nthreads() {
             self.recover_x_entry(i, &all_nodes);
         }
-        self.pool.drain();
+        self.core.pool.drain();
     }
 
     /// Independent per-slot recovery (§3.3): the handle's owner repairs
@@ -134,15 +133,19 @@ impl<M: Memory> DssQueue<M> {
     /// advances a head that points at marked nodes, so ordinary operations
     /// restore them lazily.
     pub fn recover_one(&self, h: ThreadHandle) {
-        let old_head = tag::addr_of(self.pool.load(self.head_addr()));
-        let all_nodes: HashSet<PAddr> = self.reachable_from(old_head).into_iter().collect();
-        self.recover_x_entry(h.slot(), &all_nodes);
-        self.pool.drain();
+        self.core.recover_one_with(
+            h,
+            || {
+                let old_head = tag::addr_of(self.core.pool.load(self.head_addr()));
+                self.reachable_from(old_head).into_iter().collect::<HashSet<PAddr>>()
+            },
+            |slot, all_nodes| self.recover_x_entry(slot, all_nodes),
+        );
     }
 
     fn recover_x_entry(&self, i: usize, all_nodes: &HashSet<PAddr>) {
         let xa = self.x_addr(i);
-        let x = self.pool.load(xa);
+        let x = self.core.pool.load(xa);
         if !tag::has(x, tag::ENQ_PREP) || tag::has(x, tag::ENQ_COMPL) {
             return;
         }
@@ -156,11 +159,10 @@ impl<M: Memory> DssQueue<M> {
         } else {
             // lines 75–76: enqueued and no longer in the list — it must
             // have been dequeued, i.e. marked
-            self.pool.load(d.offset(F_DEQ_TID)) != NO_DEQUEUER
+            self.core.pool.load(d.offset(F_DEQ_TID)) != NO_DEQUEUER
         };
         if effective {
-            self.pool.store(xa, tag::set(x, tag::ENQ_COMPL));
-            self.pool.flush(xa);
+            self.core.complete(i, tag::set(x, tag::ENQ_COMPL));
         }
     }
 
@@ -178,12 +180,12 @@ impl<M: Memory> DssQueue<M> {
     /// before or after, since `X`-referenced nodes are preserved.
     pub fn rebuild_allocator(&self) {
         let mut live: Vec<PAddr> = Vec::new();
-        let head = tag::addr_of(self.pool.load(self.head_addr()));
+        let head = tag::addr_of(self.core.pool.load(self.head_addr()));
         live.extend(self.reachable_from(head));
         live.extend(self.x_referenced_nodes());
         self.nodes.rebuild(live);
         // The EBR limbo lists are volatile and reference pre-crash nodes
         // that rebuild() has already re-classified; drop them wholesale.
-        self.ebr.reset();
+        self.core.ebr.reset();
     }
 }

@@ -69,7 +69,7 @@ use std::sync::atomic::{
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use dss_pmem::{
-    plan_regions, AttachError, Backoff, BackoffTuner, FlushGranularity, Memory, PAddr,
+    plan_regions, AppKind, AttachError, Backoff, BackoffTuner, FlushGranularity, Memory, PAddr,
     PlacementPolicy, PmemPool, Registry, SlotError, SlotState, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
@@ -80,7 +80,7 @@ use super::{QueueFull, Resolved, ResolvedOp};
 /// superblock: the log-structured representation is incompatible with the
 /// linked-list layers, so neither [`DssQueue::attach`](super::DssQueue::attach)
 /// nor [`CombiningQueue::attach`](super::CombiningQueue::attach) may open it.
-pub const KIND_DSS_QUEUE_REPLICATED: u64 = 11;
+pub const KIND_DSS_QUEUE_REPLICATED: u64 = AppKind::DssQueueReplicated.word();
 
 /// Ring capacity in operation records. Each record is one cache line; the
 /// window between checkpoints is at most this many operations. Must exceed

@@ -16,14 +16,15 @@
 //! queue's base objects (registers and CAS) can themselves be detectable.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr,
-    PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
+    tag, AppKind, AttachError, Backoff, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
+    Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::RegisterResp;
+
+use crate::detect::DetectableCore;
 
 // Node layout (4 words, line-aligned like the queue's nodes).
 const F_VALUE: u64 = 0;
@@ -44,7 +45,7 @@ const A_X_BASE: u64 = 2 * WORDS_PER_LINE;
 
 /// Structure-kind word a file-backed register records in its pool
 /// superblock.
-pub const KIND_DETECTABLE_REGISTER: u64 = 3;
+pub const KIND_DETECTABLE_REGISTER: u64 = AppKind::DetectableRegister.word();
 
 /// The register's pool layout, derived from `(nthreads, nodes_per_thread)`
 /// alone (cf. the queue's `QueueLayout`).
@@ -108,14 +109,10 @@ pub struct ResolvedWrite {
 /// assert_eq!(res.resp, Some(RegisterResp::Ok));
 /// ```
 pub struct DetectableRegister<M: Memory = PmemPool> {
-    pool: Arc<M>,
+    /// The shared detectability skeleton: pool, registry, EBR, backoff,
+    /// and the per-thread `X` words (see [`DetectableCore`]).
+    core: DetectableCore<M>,
     nodes: NodePool,
-    ebr: Ebr,
-    /// Persistent thread-slot registry (region after the node region).
-    registry: Registry<M>,
-    nthreads: usize,
-    backoff: AtomicBool,
-    tuner: BackoffTuner,
     /// Per-thread nodes this thread created that are awaiting retirement.
     /// A node may be retired once it is neither the register's current
     /// node nor referenced by the owner's `X` entry; only the owner ever
@@ -222,13 +219,8 @@ impl<M: Memory> DetectableRegister<M> {
         let nodes =
             NodePool::new(PAddr::from_index(layout.region), NODE_WORDS, nodes_per_thread, nthreads);
         DetectableRegister {
-            pool,
+            core: DetectableCore::new(pool, registry, nthreads, A_X_BASE, WORDS_PER_LINE),
             nodes,
-            ebr: Ebr::new(nthreads),
-            registry,
-            nthreads,
-            backoff: AtomicBool::new(false),
-            tuner: BackoffTuner::new(),
             pending: (0..nthreads).map(|_| std::sync::Mutex::new(Vec::new())).collect(),
         }
     }
@@ -237,52 +229,48 @@ impl<M: Memory> DetectableRegister<M> {
     /// never run on attach).
     fn format(&self, init_node: u64) {
         let init = PAddr::from_index(init_node);
-        self.pool.store(init.offset(F_VALUE), 0);
-        self.pool.store(init.offset(F_WRITER_SEQ), u64::MAX); // no writer
-        self.pool.store(init.offset(F_SUPERSEDED), 0);
-        self.pool.flush(init);
-        self.pool.store(self.cur_addr(), init.to_word());
-        self.pool.flush(self.cur_addr());
-        for i in 0..self.nthreads {
-            self.pool.store(self.x_addr(i), 0);
-            self.pool.flush(self.x_addr(i));
-        }
-        self.pool.drain();
+        self.core.pool.store(init.offset(F_VALUE), 0);
+        self.core.pool.store(init.offset(F_WRITER_SEQ), u64::MAX); // no writer
+        self.core.pool.store(init.offset(F_SUPERSEDED), 0);
+        self.core.pool.flush(init);
+        self.core.pool.store(self.cur_addr(), init.to_word());
+        self.core.pool.flush(self.cur_addr());
+        self.core.format_x();
+        self.core.pool.drain();
     }
 
     /// Enables or disables bounded exponential backoff after failed
     /// install CAS. Default off.
     pub fn set_backoff(&self, on: bool) {
-        self.backoff.store(on, Relaxed);
+        self.core.set_backoff(on);
     }
 
     /// Whether contention management is enabled.
     pub fn backoff_enabled(&self) -> bool {
-        self.backoff.load(Relaxed)
+        self.core.backoff_enabled()
     }
 
     fn new_backoff(&self) -> Backoff<'_> {
-        Backoff::attached(self.backoff.load(Relaxed), &self.tuner)
+        self.core.new_backoff()
     }
 
     fn cur_addr(&self) -> PAddr {
         PAddr::from_index(A_CUR)
     }
 
-    // Registry-minted handles are in range by construction; bad raw
-    // indices surface as SlotError at the registry, not a panic here.
+    // Handle validity is the core's concern; see DetectableCore::x_addr.
     fn x_addr(&self, slot: usize) -> PAddr {
-        PAddr::from_index(A_X_BASE + slot as u64 * WORDS_PER_LINE)
+        self.core.x_addr(slot)
     }
 
     /// The register's persistent-memory pool.
     pub fn pool(&self) -> &Arc<M> {
-        &self.pool
+        self.core.pool()
     }
 
     /// The register's persistent thread-slot registry.
     pub fn registry(&self) -> &Registry<M> {
-        &self.registry
+        self.core.registry()
     }
 
     /// Claims a free registry slot; see
@@ -292,9 +280,7 @@ impl<M: Memory> DetectableRegister<M> {
     ///
     /// [`SlotError::Exhausted`] when all slots are taken.
     pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
-        let h = self.registry.acquire()?;
-        self.ebr.adopt_slot(h.slot());
-        Ok(h)
+        self.core.register_thread()
     }
 
     /// Returns a handle's slot to the registry.
@@ -304,7 +290,7 @@ impl<M: Memory> DetectableRegister<M> {
     /// [`SlotError::StaleHandle`] / [`SlotError::ForeignHandle`] per
     /// [`Registry::release`].
     pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
-        self.registry.release(h)
+        self.core.release_thread(h)
     }
 
     /// Marks the crash boundary in the registry (idempotent per crash).
@@ -312,7 +298,7 @@ impl<M: Memory> DetectableRegister<M> {
     /// (Self::resolve) reads persisted state only — so this exists purely
     /// to make dead threads' slots adoptable.
     pub fn begin_recovery(&self) {
-        self.registry.begin_recovery();
+        self.core.begin_recovery();
     }
 
     /// Adopts one orphaned slot (fresh lease, EBR state inherited).
@@ -322,19 +308,17 @@ impl<M: Memory> DetectableRegister<M> {
     /// [`SlotError::OutOfRange`] / [`SlotError::NotOrphaned`] per
     /// [`Registry::adopt`].
     pub fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
-        let h = self.registry.adopt(slot)?;
-        self.ebr.adopt_slot(h.slot());
-        Ok(h)
+        self.core.adopt(slot)
     }
 
     /// [`adopt`](Self::adopt) over every orphaned slot, ascending.
     pub fn adopt_orphans(&self) -> Vec<ThreadHandle> {
-        (0..self.nthreads).filter_map(|slot| self.adopt(slot).ok()).collect()
+        self.core.adopt_orphans()
     }
 
     fn alloc(&self, tid: usize) -> PAddr {
         self.nodes
-            .alloc_with_reclaim(tid, &self.ebr)
+            .alloc_with_reclaim(tid, &self.core.ebr)
             .unwrap_or_else(|| panic!("register node pool exhausted (size it for the workload)"))
     }
 
@@ -343,11 +327,11 @@ impl<M: Memory> DetectableRegister<M> {
     /// from `prep_write`/`write` so retirement needs no extra API.
     fn sweep_pending(&self, tid: usize) {
         let mut pending = self.pending[tid].lock().unwrap_or_else(|e| e.into_inner());
-        let cur = self.pool.peek(self.cur_addr());
-        let x = tag::addr_of(self.pool.peek(self.x_addr(tid)));
+        let cur = self.core.pool.peek(self.cur_addr());
+        let x = tag::addr_of(self.core.pool.peek(self.x_addr(tid)));
         pending.retain(|&p| {
             if p.to_word() != cur && p != x {
-                self.ebr.retire(tid, p);
+                self.core.ebr.retire(tid, p);
                 false
             } else {
                 true
@@ -370,24 +354,21 @@ impl<M: Memory> DetectableRegister<M> {
         let tid = h.slot();
         assert!(val <= tag::ADDR_MASK, "register values are limited to 48 bits");
         self.sweep_pending(tid);
-        let old = tag::addr_of(self.pool.load(self.x_addr(tid)));
+        let old = tag::addr_of(self.core.pool.load(self.x_addr(tid)));
         let node = self.alloc(tid);
-        self.pool.store(node.offset(F_VALUE), val);
-        self.pool.store(node.offset(F_WRITER_SEQ), pack(tid, seq));
-        self.pool.store(node.offset(F_SUPERSEDED), 0);
-        self.pool.flush(node);
+        self.core.pool.store(node.offset(F_VALUE), val);
+        self.core.pool.store(node.offset(F_WRITER_SEQ), pack(tid, seq));
+        self.core.pool.store(node.offset(F_SUPERSEDED), 0);
+        self.core.pool.flush(node);
         // Ordering point: the announce must not persist ahead of the node
         // it names.
-        self.pool.drain_lines(&[
+        self.core.pool.drain_lines(&[
             node.offset(F_VALUE),
             node.offset(F_WRITER_SEQ),
             node.offset(F_SUPERSEDED),
         ]);
-        self.pool.store(self.x_addr(tid), tag::set(node.to_word(), W_PREP));
-        self.pool.flush(self.x_addr(tid));
-        // Durable before prep returns: a crash that forgets a completed
-        // prep would make resolve report the previous operation.
-        self.pool.drain_line(self.x_addr(tid));
+        // Announce + the durable-before-return drain (DetectableCore).
+        self.core.announce(tid, tag::set(node.to_word(), W_PREP));
         // The previous announcement node is no longer referenced by X[tid];
         // it becomes retirable once it also stops being the current node.
         if !old.is_null() {
@@ -404,31 +385,30 @@ impl<M: Memory> DetectableRegister<M> {
     /// Panics if no write is prepared for `tid`.
     pub fn exec_write(&self, h: ThreadHandle) {
         let tid = h.slot();
-        let _g = self.ebr.pin(tid);
+        let _g = self.core.pin(tid);
         let xa = self.x_addr(tid);
-        let x = self.pool.load(xa);
+        let x = self.core.pool.load(xa);
         assert!(tag::has(x, W_PREP), "exec-write without a prepared write");
         let node = tag::addr_of(x);
         let mut bo = self.new_backoff();
         loop {
-            let cur_w = self.pool.load(self.cur_addr());
+            let cur_w = self.core.pool.load(self.cur_addr());
             let cur = tag::addr_of(cur_w);
             // Mark the incumbent superseded *before* replacing it: its
             // owner must be able to prove installation even after we win.
-            self.pool.store(cur.offset(F_SUPERSEDED), 1);
-            self.pool.flush(cur.offset(F_SUPERSEDED));
+            self.core.pool.store(cur.offset(F_SUPERSEDED), 1);
+            self.core.pool.flush(cur.offset(F_SUPERSEDED));
             // The announce and the incumbent's superseded mark must be
             // persistent before the install can take effect — resolve
             // proves installation through either of them.
-            self.pool.drain_lines(&[cur.offset(F_SUPERSEDED), xa]);
-            if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
-                self.pool.flush(self.cur_addr());
+            self.core.pool.drain_lines(&[cur.offset(F_SUPERSEDED), xa]);
+            if self.core.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
+                self.core.pool.flush(self.cur_addr());
                 // Ordering point: the completion mark must not persist
                 // ahead of the installed pointer it certifies.
-                self.pool.drain_line(self.cur_addr());
-                self.pool.store(xa, tag::set(x, W_COMPL));
-                self.pool.flush(xa);
-                self.pool.drain();
+                self.core.pool.drain_line(self.cur_addr());
+                self.core.complete(tid, tag::set(x, W_COMPL));
+                self.core.pool.drain();
                 return;
             }
             bo.spin();
@@ -444,30 +424,30 @@ impl<M: Memory> DetectableRegister<M> {
     pub fn write(&self, h: ThreadHandle, val: u64) {
         let tid = h.slot();
         assert!(val <= tag::ADDR_MASK, "register values are limited to 48 bits");
-        let _g = self.ebr.pin(tid);
+        let _g = self.core.pin(tid);
         self.sweep_pending(tid);
         let node = self.alloc(tid);
-        self.pool.store(node.offset(F_VALUE), val);
-        self.pool.store(node.offset(F_WRITER_SEQ), u64::MAX);
-        self.pool.store(node.offset(F_SUPERSEDED), 0);
-        self.pool.flush(node);
+        self.core.pool.store(node.offset(F_VALUE), val);
+        self.core.pool.store(node.offset(F_WRITER_SEQ), u64::MAX);
+        self.core.pool.store(node.offset(F_SUPERSEDED), 0);
+        self.core.pool.flush(node);
         let mut bo = self.new_backoff();
         loop {
-            let cur_w = self.pool.load(self.cur_addr());
+            let cur_w = self.core.pool.load(self.cur_addr());
             let cur = tag::addr_of(cur_w);
-            self.pool.store(cur.offset(F_SUPERSEDED), 1);
-            self.pool.flush(cur.offset(F_SUPERSEDED));
+            self.core.pool.store(cur.offset(F_SUPERSEDED), 1);
+            self.core.pool.flush(cur.offset(F_SUPERSEDED));
             // The new node and the incumbent's superseded mark must be
             // persistent before the install can take effect.
-            self.pool.drain_lines(&[
+            self.core.pool.drain_lines(&[
                 cur.offset(F_SUPERSEDED),
                 node.offset(F_VALUE),
                 node.offset(F_WRITER_SEQ),
                 node.offset(F_SUPERSEDED),
             ]);
-            if self.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
-                self.pool.flush(self.cur_addr());
-                self.pool.drain();
+            if self.core.pool.cas(self.cur_addr(), cur_w, node.to_word()).is_ok() {
+                self.core.pool.flush(self.cur_addr());
+                self.core.pool.drain();
                 // X never references a plain write's node, so it joins the
                 // owner's pending list right away; it is retired by a later
                 // sweep once it stops being the current node.
@@ -480,25 +460,25 @@ impl<M: Memory> DetectableRegister<M> {
 
     /// **read()** (plain): the current value.
     pub fn read(&self, h: ThreadHandle) -> u64 {
-        let _g = self.ebr.pin(h.slot());
-        let cur = tag::addr_of(self.pool.load(self.cur_addr()));
-        self.pool.load(cur.offset(F_VALUE))
+        let _g = self.core.pin(h.slot());
+        let cur = tag::addr_of(self.core.pool.load(self.cur_addr()));
+        self.core.pool.load(cur.offset(F_VALUE))
     }
 
     /// **resolve()**: reports the most recently prepared write and whether
     /// it took effect. Needs no prior recovery phase; callable any time,
     /// idempotent.
     pub fn resolve(&self, h: ThreadHandle) -> ResolvedWrite {
-        let x = self.pool.load(self.x_addr(h.slot()));
+        let x = self.core.pool.load(self.x_addr(h.slot()));
         if !tag::has(x, W_PREP) {
             return ResolvedWrite { op: None, resp: None };
         }
         let node = tag::addr_of(x);
-        let (_, seq) = unpack(self.pool.load(node.offset(F_WRITER_SEQ)));
-        let val = self.pool.load(node.offset(F_VALUE));
+        let (_, seq) = unpack(self.core.pool.load(node.offset(F_WRITER_SEQ)));
+        let val = self.core.pool.load(node.offset(F_VALUE));
         let effective = tag::has(x, W_COMPL)
-            || self.pool.load(self.cur_addr()) == node.to_word()
-            || self.pool.load(node.offset(F_SUPERSEDED)) == 1;
+            || self.core.pool.load(self.cur_addr()) == node.to_word()
+            || self.core.pool.load(node.offset(F_SUPERSEDED)) == 1;
         ResolvedWrite {
             op: Some((val, seq)),
             resp: if effective { Some(RegisterResp::Ok) } else { None },
@@ -508,15 +488,15 @@ impl<M: Memory> DetectableRegister<M> {
     /// Rebuilds the volatile allocator after a crash: the current node and
     /// every `X`-referenced node stay allocated.
     pub fn rebuild_allocator(&self) {
-        let mut live = vec![tag::addr_of(self.pool.load(self.cur_addr()))];
-        for i in 0..self.nthreads {
-            let d = tag::addr_of(self.pool.load(self.x_addr(i)));
+        let mut live = vec![tag::addr_of(self.core.pool.load(self.cur_addr()))];
+        for i in 0..self.core.nthreads {
+            let d = tag::addr_of(self.core.pool.load(self.x_addr(i)));
             if !d.is_null() {
                 live.push(d);
             }
         }
         self.nodes.rebuild(live);
-        self.ebr.reset();
+        self.core.ebr.reset();
         for p in self.pending.iter() {
             p.lock().unwrap_or_else(|e| e.into_inner()).clear();
         }
@@ -534,7 +514,7 @@ fn unpack(w: u64) -> (usize, u64) {
 impl<M: Memory> fmt::Debug for DetectableRegister<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DetectableRegister")
-            .field("nthreads", &self.nthreads)
+            .field("nthreads", &self.core.nthreads)
             .finish_non_exhaustive()
     }
 }

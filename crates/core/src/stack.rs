@@ -17,14 +17,15 @@
 //! other thread's operation completed.
 
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr,
-    PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
+    tag, AppKind, AttachError, Backoff, FlushGranularity, Memory, NodePool, PAddr, PmemPool,
+    Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::StackResp;
+
+use crate::detect::DetectableCore;
 
 // Node layout: {value, next, popper, pad}, line-aligned.
 const F_VALUE: u64 = 0;
@@ -48,7 +49,7 @@ const A_TOP: u64 = WORDS_PER_LINE;
 const A_X_BASE: u64 = 2 * WORDS_PER_LINE;
 
 /// Structure-kind word a file-backed stack records in its pool superblock.
-pub const KIND_DSS_STACK: u64 = 2;
+pub const KIND_DSS_STACK: u64 = AppKind::DssStack.word();
 
 /// The stack's pool layout, derived from `(nthreads, nodes_per_thread)`
 /// alone (cf. the queue's `QueueLayout`).
@@ -121,14 +122,10 @@ pub struct StackResolved {
 /// assert_eq!(s.exec_pop(h1), StackResp::Value(7));
 /// ```
 pub struct DssStack<M: Memory = PmemPool> {
-    pool: Arc<M>,
+    /// The shared detectability skeleton: pool, registry, EBR, backoff,
+    /// and the per-thread `X` words (see [`DetectableCore`]).
+    core: DetectableCore<M>,
     nodes: NodePool,
-    ebr: Ebr,
-    /// Persistent thread-slot registry (region after the node region).
-    registry: Registry<M>,
-    nthreads: usize,
-    backoff: AtomicBool,
-    tuner: BackoffTuner,
 }
 
 impl DssStack {
@@ -230,67 +227,58 @@ impl<M: Memory> DssStack<M> {
         let nodes =
             NodePool::new(PAddr::from_index(layout.region), NODE_WORDS, nodes_per_thread, nthreads);
         DssStack {
-            pool,
+            core: DetectableCore::new(pool, registry, nthreads, A_X_BASE, WORDS_PER_LINE),
             nodes,
-            ebr: Ebr::new(nthreads),
-            registry,
-            nthreads,
-            backoff: AtomicBool::new(false),
-            tuner: BackoffTuner::new(),
         }
     }
 
     /// Writes and persists the initial stack state (fresh pools only —
     /// never run on attach).
     fn format(&self) {
-        self.pool.store(self.top_addr(), PAddr::NULL.to_word());
-        self.pool.flush(self.top_addr());
-        for i in 0..self.nthreads {
-            self.pool.store(self.x_addr(i), 0);
-            self.pool.flush(self.x_addr(i));
-        }
-        self.pool.drain();
+        self.core.pool.store(self.top_addr(), PAddr::NULL.to_word());
+        self.core.pool.flush(self.top_addr());
+        self.core.format_x();
+        self.core.pool.drain();
     }
 
     /// Enables or disables contention management (backoff after failed CAS
     /// and elision of redundant announce flushes in `exec-pop`). Default
     /// off.
     pub fn set_backoff(&self, on: bool) {
-        self.backoff.store(on, Relaxed);
+        self.core.set_backoff(on);
     }
 
     /// Whether contention management is enabled.
     pub fn backoff_enabled(&self) -> bool {
-        self.backoff.load(Relaxed)
+        self.core.backoff_enabled()
     }
 
     fn new_backoff(&self) -> Backoff<'_> {
-        Backoff::attached(self.backoff.load(Relaxed), &self.tuner)
+        self.core.new_backoff()
     }
 
     fn top_addr(&self) -> PAddr {
         PAddr::from_index(A_TOP)
     }
 
-    // Handles are valid by construction (registry-minted, in range); a bad
-    // raw index is a SlotError at the registry boundary, not a panic here.
+    // Handle validity is the core's concern; see DetectableCore::x_addr.
     fn x_addr(&self, slot: usize) -> PAddr {
-        PAddr::from_index(A_X_BASE + slot as u64 * WORDS_PER_LINE)
+        self.core.x_addr(slot)
     }
 
     /// The stack's persistent-memory pool.
     pub fn pool(&self) -> &Arc<M> {
-        &self.pool
+        self.core.pool()
     }
 
     /// Number of threads the stack was built for.
     pub fn nthreads(&self) -> usize {
-        self.nthreads
+        self.core.nthreads()
     }
 
     /// The stack's persistent thread-slot registry.
     pub fn registry(&self) -> &Registry<M> {
-        &self.registry
+        self.core.registry()
     }
 
     /// Claims a free registry slot; see
@@ -300,9 +288,7 @@ impl<M: Memory> DssStack<M> {
     ///
     /// [`SlotError::Exhausted`] when all slots are taken.
     pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
-        let h = self.registry.acquire()?;
-        self.ebr.adopt_slot(h.slot());
-        Ok(h)
+        self.core.register_thread()
     }
 
     /// Returns a handle's slot to the registry.
@@ -312,14 +298,14 @@ impl<M: Memory> DssStack<M> {
     /// [`SlotError::StaleHandle`] / [`SlotError::ForeignHandle`] per
     /// [`Registry::release`].
     pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
-        self.registry.release(h)
+        self.core.release_thread(h)
     }
 
     /// Marks the crash boundary in the registry (idempotent per crash);
     /// called by [`recover`](Self::recover), or directly when driving
     /// partial recovery by hand.
     pub fn begin_recovery(&self) {
-        self.registry.begin_recovery();
+        self.core.begin_recovery();
     }
 
     /// Adopts one orphaned slot (fresh lease, EBR state inherited).
@@ -329,14 +315,12 @@ impl<M: Memory> DssStack<M> {
     /// [`SlotError::OutOfRange`] / [`SlotError::NotOrphaned`] per
     /// [`Registry::adopt`].
     pub fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
-        let h = self.registry.adopt(slot)?;
-        self.ebr.adopt_slot(h.slot());
-        Ok(h)
+        self.core.adopt(slot)
     }
 
     /// [`adopt`](Self::adopt) over every orphaned slot, ascending.
     pub fn adopt_orphans(&self) -> Vec<ThreadHandle> {
-        (0..self.nthreads).filter_map(|slot| self.adopt(slot).ok()).collect()
+        self.core.adopt_orphans()
     }
 
     /// The nodes the detectability words still name — a prepared push's
@@ -345,15 +329,15 @@ impl<M: Memory> DssStack<M> {
     /// recycle them (the crash-free counterpart of
     /// [`rebuild_allocator`](Self::rebuild_allocator)'s liveness rule).
     fn x_referenced_nodes(&self) -> Vec<PAddr> {
-        (0..self.nthreads)
-            .map(|i| tag::addr_of(self.pool.load(self.x_addr(i))))
+        (0..self.nthreads())
+            .map(|i| tag::addr_of(self.core.pool.load(self.x_addr(i))))
             .filter(|d| !d.is_null())
             .collect()
     }
 
     fn alloc(&self, tid: usize) -> Result<PAddr, StackFull> {
         self.nodes
-            .alloc_with_reclaim_guarded(tid, &self.ebr, || self.x_referenced_nodes())
+            .alloc_with_reclaim_guarded(tid, &self.core.ebr, || self.x_referenced_nodes())
             .ok_or(StackFull)
     }
 
@@ -361,20 +345,20 @@ impl<M: Memory> DssStack<M> {
     /// (persist the claim, advance `top`).
     fn find_top(&self, _tid: usize) -> PAddr {
         loop {
-            let top_w = self.pool.load(self.top_addr());
+            let top_w = self.core.pool.load(self.top_addr());
             let top = tag::addr_of(top_w);
             if top.is_null() {
                 return top;
             }
-            if self.pool.load(top.offset(F_POPPER)) == NO_POPPER {
+            if self.core.pool.load(top.offset(F_POPPER)) == NO_POPPER {
                 return top;
             }
             // Claimed node at the top: help complete the pop.
-            self.pool.flush(top.offset(F_POPPER));
-            let next = self.pool.load(top.offset(F_NEXT));
+            self.core.pool.flush(top.offset(F_POPPER));
+            let next = self.core.pool.load(top.offset(F_NEXT));
             // The top must not persist past an unpersisted claim.
-            self.pool.drain_line(top.offset(F_POPPER));
-            let _ = self.pool.cas(self.top_addr(), top_w, next);
+            self.core.pool.drain_line(top.offset(F_POPPER));
+            let _ = self.core.pool.cas(self.top_addr(), top_w, next);
         }
     }
 
@@ -387,29 +371,25 @@ impl<M: Memory> DssStack<M> {
     pub fn prep_push(&self, h: ThreadHandle, val: u64) -> Result<(), StackFull> {
         let tid = h.slot();
         let node = self.alloc(tid)?;
-        self.pool.store(node.offset(F_VALUE), val);
-        self.pool.store(node.offset(F_NEXT), PAddr::NULL.to_word());
-        self.pool.store(node.offset(F_POPPER), NO_POPPER);
+        self.core.pool.store(node.offset(F_VALUE), val);
+        self.core.pool.store(node.offset(F_NEXT), PAddr::NULL.to_word());
+        self.core.pool.store(node.offset(F_POPPER), NO_POPPER);
         self.flush_node(node);
         // Ordering point: the announce must not persist ahead of the node
         // it names — a targeted drain of the node's own lines.
         self.drain_node(node);
-        self.pool.store(self.x_addr(tid), tag::set(node.to_word(), PUSH_PREP));
-        self.pool.flush(self.x_addr(tid));
-        // The announce must be durable before prep returns: a crash that
-        // forgets a completed prep would make resolve report the previous
-        // operation — a detectability violation.
-        self.pool.drain_line(self.x_addr(tid));
+        // Announce + the durable-before-return drain (DetectableCore).
+        self.core.announce(tid, tag::set(node.to_word(), PUSH_PREP));
         Ok(())
     }
 
     fn flush_node(&self, node: PAddr) {
-        match self.pool.granularity() {
-            FlushGranularity::Line => self.pool.flush(node),
+        match self.core.pool.granularity() {
+            FlushGranularity::Line => self.core.pool.flush(node),
             FlushGranularity::Word => {
-                self.pool.flush(node.offset(F_VALUE));
-                self.pool.flush(node.offset(F_NEXT));
-                self.pool.flush(node.offset(F_POPPER));
+                self.core.pool.flush(node.offset(F_VALUE));
+                self.core.pool.flush(node.offset(F_NEXT));
+                self.core.pool.flush(node.offset(F_POPPER));
             }
         }
     }
@@ -417,7 +397,11 @@ impl<M: Memory> DssStack<M> {
     /// Targeted drain of a node's own flush units (cf. the queue's
     /// `drain_node`): everything else stays pended.
     fn drain_node(&self, node: PAddr) {
-        self.pool.drain_lines(&[node.offset(F_VALUE), node.offset(F_NEXT), node.offset(F_POPPER)]);
+        self.core.pool.drain_lines(&[
+            node.offset(F_VALUE),
+            node.offset(F_NEXT),
+            node.offset(F_POPPER),
+        ]);
     }
 
     /// **exec-push()**: links the prepared node as the new top and records
@@ -428,27 +412,26 @@ impl<M: Memory> DssStack<M> {
     /// Panics if no push is prepared for `tid`.
     pub fn exec_push(&self, h: ThreadHandle) {
         let tid = h.slot();
-        let _g = self.ebr.pin(tid);
+        let _g = self.core.pin(tid);
         let xa = self.x_addr(tid);
-        let x = self.pool.load(xa);
+        let x = self.core.pool.load(xa);
         assert!(tag::has(x, PUSH_PREP), "exec-push without a prepared push");
         let node = tag::addr_of(x);
         let mut bo = self.new_backoff();
         loop {
             let top = self.find_top(tid);
-            self.pool.store(node.offset(F_NEXT), top.to_word());
-            self.pool.flush(node.offset(F_NEXT));
+            self.core.pool.store(node.offset(F_NEXT), top.to_word());
+            self.core.pool.flush(node.offset(F_NEXT));
             // Ordering point: the announce and the node's linkage must be
             // persistent before the push can take effect.
-            self.pool.drain_lines(&[xa, node.offset(F_NEXT)]);
-            if self.pool.cas(self.top_addr(), top.to_word(), node.to_word()).is_ok() {
-                self.pool.flush(self.top_addr());
+            self.core.pool.drain_lines(&[xa, node.offset(F_NEXT)]);
+            if self.core.pool.cas(self.top_addr(), top.to_word(), node.to_word()).is_ok() {
+                self.core.pool.flush(self.top_addr());
                 // Ordering point: the completion mark must not persist
                 // ahead of the top pointer it certifies.
-                self.pool.drain_line(self.top_addr());
-                self.pool.store(xa, tag::set(x, PUSH_COMPL));
-                self.pool.flush(xa);
-                self.pool.drain();
+                self.core.pool.drain_line(self.top_addr());
+                self.core.complete(tid, tag::set(x, PUSH_COMPL));
+                self.core.pool.drain();
                 return;
             }
             bo.spin();
@@ -464,21 +447,21 @@ impl<M: Memory> DssStack<M> {
     pub fn push(&self, h: ThreadHandle, val: u64) -> Result<(), StackFull> {
         let tid = h.slot();
         let node = self.alloc(tid)?;
-        self.pool.store(node.offset(F_VALUE), val);
-        self.pool.store(node.offset(F_NEXT), PAddr::NULL.to_word());
-        self.pool.store(node.offset(F_POPPER), NO_POPPER);
+        self.core.pool.store(node.offset(F_VALUE), val);
+        self.core.pool.store(node.offset(F_NEXT), PAddr::NULL.to_word());
+        self.core.pool.store(node.offset(F_POPPER), NO_POPPER);
         self.flush_node(node);
-        let _g = self.ebr.pin(tid);
+        let _g = self.core.pin(tid);
         let mut bo = self.new_backoff();
         loop {
             let top = self.find_top(tid);
-            self.pool.store(node.offset(F_NEXT), top.to_word());
-            self.pool.flush(node.offset(F_NEXT));
+            self.core.pool.store(node.offset(F_NEXT), top.to_word());
+            self.core.pool.flush(node.offset(F_NEXT));
             // The node must be persistent before its linkage can be.
             self.drain_node(node);
-            if self.pool.cas(self.top_addr(), top.to_word(), node.to_word()).is_ok() {
-                self.pool.flush(self.top_addr());
-                self.pool.drain();
+            if self.core.pool.cas(self.top_addr(), top.to_word(), node.to_word()).is_ok() {
+                self.core.pool.flush(self.top_addr());
+                self.core.pool.drain();
                 return Ok(());
             }
             bo.spin();
@@ -487,10 +470,8 @@ impl<M: Memory> DssStack<M> {
 
     /// **prep-pop()**.
     pub fn prep_pop(&self, h: ThreadHandle) {
-        self.pool.store(self.x_addr(h.slot()), POP_PREP);
-        self.pool.flush(self.x_addr(h.slot()));
-        // Durable before returning: see prep_push.
-        self.pool.drain_line(self.x_addr(h.slot()));
+        // Announce + the durable-before-return drain (DetectableCore).
+        self.core.announce(h.slot(), POP_PREP);
     }
 
     /// **exec-pop()**: claims the top node by CAS-ing the thread ID into
@@ -502,7 +483,7 @@ impl<M: Memory> DssStack<M> {
     /// Panics if no pop is prepared for `tid`.
     pub fn exec_pop(&self, h: ThreadHandle) -> StackResp {
         let tid = h.slot();
-        let _g = self.ebr.pin(tid);
+        let _g = self.core.pin(tid);
         let xa = self.x_addr(tid);
         let elide = self.backoff_enabled();
         let mut bo = self.new_backoff();
@@ -513,31 +494,31 @@ impl<M: Memory> DssStack<M> {
         loop {
             let top = self.find_top(tid);
             if top.is_null() {
-                self.pool.store(xa, POP_PREP | EMPTY);
-                self.pool.flush(xa);
-                self.pool.drain();
+                // The EMPTY mark is this path's completion mark.
+                self.core.complete(tid, POP_PREP | EMPTY);
+                self.core.pool.drain();
                 return StackResp::Empty;
             }
             // Announce the node we are about to claim (cf. queue line 47).
             let announce = tag::set(top.to_word(), POP_PREP);
             if !elide || announced != announce {
-                self.pool.store(xa, announce);
-                self.pool.flush(xa);
+                self.core.pool.store(xa, announce);
+                self.core.pool.flush(xa);
                 announced = announce;
             }
             // Ordering point: the announced node must be persistent before
             // a claim on it can be — resolve interprets the claim through it.
-            self.pool.drain_line(xa);
-            if self.pool.cas(top.offset(F_POPPER), NO_POPPER, tid as u64).is_ok() {
-                self.pool.flush(top.offset(F_POPPER));
-                let next = self.pool.load(top.offset(F_NEXT));
+            self.core.pool.drain_line(xa);
+            if self.core.pool.cas(top.offset(F_POPPER), NO_POPPER, tid as u64).is_ok() {
+                self.core.pool.flush(top.offset(F_POPPER));
+                let next = self.core.pool.load(top.offset(F_NEXT));
                 // The top must not persist past an unpersisted claim.
-                self.pool.drain_line(top.offset(F_POPPER));
-                if self.pool.cas(self.top_addr(), top.to_word(), next).is_ok() {
+                self.core.pool.drain_line(top.offset(F_POPPER));
+                if self.core.pool.cas(self.top_addr(), top.to_word(), next).is_ok() {
                     self.retire(tid, top);
                 }
-                let val = self.pool.load(top.offset(F_VALUE));
-                self.pool.drain();
+                let val = self.core.pool.load(top.offset(F_VALUE));
+                self.core.pool.drain();
                 return StackResp::Value(val);
             }
             // Lost the claim race; find_top will help the winner.
@@ -550,24 +531,28 @@ impl<M: Memory> DssStack<M> {
     /// claim by the same thread (cf. queue §3.2).
     pub fn pop(&self, h: ThreadHandle) -> StackResp {
         let tid = h.slot();
-        let _g = self.ebr.pin(tid);
+        let _g = self.core.pin(tid);
         let mut bo = self.new_backoff();
         loop {
             let top = self.find_top(tid);
             if top.is_null() {
-                self.pool.drain();
+                self.core.pool.drain();
                 return StackResp::Empty;
             }
-            if self.pool.cas(top.offset(F_POPPER), NO_POPPER, tid as u64 | tag::NONDET_DEQ).is_ok()
+            if self
+                .core
+                .pool
+                .cas(top.offset(F_POPPER), NO_POPPER, tid as u64 | tag::NONDET_DEQ)
+                .is_ok()
             {
-                self.pool.flush(top.offset(F_POPPER));
-                let next = self.pool.load(top.offset(F_NEXT));
-                self.pool.drain_line(top.offset(F_POPPER));
-                if self.pool.cas(self.top_addr(), top.to_word(), next).is_ok() {
+                self.core.pool.flush(top.offset(F_POPPER));
+                let next = self.core.pool.load(top.offset(F_NEXT));
+                self.core.pool.drain_line(top.offset(F_POPPER));
+                if self.core.pool.cas(self.top_addr(), top.to_word(), next).is_ok() {
                     self.retire(tid, top);
                 }
-                let val = self.pool.load(top.offset(F_VALUE));
-                self.pool.drain();
+                let val = self.core.pool.load(top.offset(F_VALUE));
+                self.core.pool.drain();
                 return StackResp::Value(val);
             }
             bo.spin();
@@ -576,17 +561,17 @@ impl<M: Memory> DssStack<M> {
 
     fn retire(&self, tid: usize, node: PAddr) {
         if self.nodes.contains(node) {
-            self.ebr.retire(tid, node);
+            self.core.ebr.retire(tid, node);
         }
     }
 
     /// **resolve()**: the `(A[pᵢ], R[pᵢ])` pair for the stack.
     pub fn resolve(&self, h: ThreadHandle) -> StackResolved {
         let tid = h.slot();
-        let x = self.pool.load(self.x_addr(tid));
+        let x = self.core.pool.load(self.x_addr(tid));
         if tag::has(x, PUSH_PREP) {
             let node = tag::addr_of(x);
-            let value = self.pool.load(node.offset(F_VALUE));
+            let value = self.core.pool.load(node.offset(F_VALUE));
             StackResolved {
                 op: Some(StackResolvedOp::Push(value)),
                 resp: tag::has(x, PUSH_COMPL).then_some(StackResp::Ok),
@@ -595,8 +580,8 @@ impl<M: Memory> DssStack<M> {
             let node = tag::addr_of(x);
             let resp = if node.is_null() {
                 tag::has(x, EMPTY).then_some(StackResp::Empty)
-            } else if self.pool.load(node.offset(F_POPPER)) == tid as u64 {
-                Some(StackResp::Value(self.pool.load(node.offset(F_VALUE))))
+            } else if self.core.pool.load(node.offset(F_POPPER)) == tid as u64 {
+                Some(StackResp::Value(self.core.pool.load(node.offset(F_VALUE))))
             } else {
                 None
             };
@@ -610,23 +595,23 @@ impl<M: Memory> DssStack<M> {
     /// structural half of the stack's Figure 6).
     fn repair_top(&self) {
         loop {
-            let top_w = self.pool.load(self.top_addr());
+            let top_w = self.core.pool.load(self.top_addr());
             let top = tag::addr_of(top_w);
-            if top.is_null() || self.pool.load(top.offset(F_POPPER)) == NO_POPPER {
+            if top.is_null() || self.core.pool.load(top.offset(F_POPPER)) == NO_POPPER {
                 break;
             }
-            let next = self.pool.load(top.offset(F_NEXT));
-            self.pool.store(self.top_addr(), next);
+            let next = self.core.pool.load(top.offset(F_NEXT));
+            self.core.pool.store(self.top_addr(), next);
         }
-        self.pool.flush(self.top_addr());
+        self.core.pool.flush(self.top_addr());
     }
 
     fn reachable_set(&self) -> std::collections::HashSet<PAddr> {
         let mut set = std::collections::HashSet::new();
-        let mut cur = tag::addr_of(self.pool.load(self.top_addr()));
+        let mut cur = tag::addr_of(self.core.pool.load(self.top_addr()));
         while !cur.is_null() {
             set.insert(cur);
-            cur = tag::addr_of(self.pool.load(cur.offset(F_NEXT)));
+            cur = tag::addr_of(self.core.pool.load(cur.offset(F_NEXT)));
         }
         set
     }
@@ -635,7 +620,7 @@ impl<M: Memory> DssStack<M> {
     /// effect (node reachable, or already claimed off the stack).
     fn recover_x_entry(&self, i: usize, reachable: &std::collections::HashSet<PAddr>) {
         let xa = self.x_addr(i);
-        let x = self.pool.load(xa);
+        let x = self.core.pool.load(xa);
         if !tag::has(x, PUSH_PREP) || tag::has(x, PUSH_COMPL) {
             return;
         }
@@ -643,10 +628,10 @@ impl<M: Memory> DssStack<M> {
         if d.is_null() {
             return;
         }
-        let effective = reachable.contains(&d) || self.pool.load(d.offset(F_POPPER)) != NO_POPPER;
+        let effective =
+            reachable.contains(&d) || self.core.pool.load(d.offset(F_POPPER)) != NO_POPPER;
         if effective {
-            self.pool.store(xa, tag::set(x, PUSH_COMPL));
-            self.pool.flush(xa);
+            self.core.complete(i, tag::set(x, PUSH_COMPL));
         }
     }
 
@@ -656,15 +641,13 @@ impl<M: Memory> DssStack<M> {
     /// `PUSH_COMPL` tag. Returns the adopted handles; pre-crash handles
     /// remain usable (adoption re-LIVEs slots rather than freeing them).
     pub fn recover(&self) -> Vec<ThreadHandle> {
-        self.begin_recovery();
-        self.repair_top();
-        let reachable = self.reachable_set();
-        let adopted = self.adopt_orphans();
-        for h in &adopted {
-            self.recover_x_entry(h.slot(), &reachable);
-        }
-        self.pool.drain();
-        adopted
+        self.core.recover_adopting(
+            || {
+                self.repair_top();
+                self.reachable_set()
+            },
+            |slot, reachable| self.recover_x_entry(slot, reachable),
+        )
     }
 
     /// The pre-registry centralized recovery (every `X[i]` by index, no
@@ -674,43 +657,45 @@ impl<M: Memory> DssStack<M> {
     pub fn recover_centralized(&self) {
         self.repair_top();
         let reachable = self.reachable_set();
-        for i in 0..self.nthreads {
+        for i in 0..self.nthreads() {
             self.recover_x_entry(i, &reachable);
         }
-        self.pool.drain();
+        self.core.pool.drain();
     }
 
     /// Independent per-slot recovery (§3.3): repairs only this handle's
     /// `X` entry; `top` is repaired lazily by `find_top`'s helping path.
     pub fn recover_one(&self, h: ThreadHandle) {
-        let reachable = self.reachable_set();
-        self.recover_x_entry(h.slot(), &reachable);
-        self.pool.drain();
+        self.core.recover_one_with(
+            h,
+            || self.reachable_set(),
+            |slot, reachable| self.recover_x_entry(slot, reachable),
+        );
     }
 
     /// Rebuilds the volatile allocator after a crash (`X`-referenced
     /// nodes stay allocated for `resolve`).
     pub fn rebuild_allocator(&self) {
         let mut live = Vec::new();
-        let mut cur = tag::addr_of(self.pool.load(self.top_addr()));
+        let mut cur = tag::addr_of(self.core.pool.load(self.top_addr()));
         while !cur.is_null() {
             live.push(cur);
-            cur = tag::addr_of(self.pool.load(cur.offset(F_NEXT)));
+            cur = tag::addr_of(self.core.pool.load(cur.offset(F_NEXT)));
         }
         live.extend(self.x_referenced_nodes());
         self.nodes.rebuild(live);
-        self.ebr.reset();
+        self.core.ebr.reset();
     }
 
     /// Volatile snapshot, top first (test helper; skips claimed nodes).
     pub fn snapshot_values(&self) -> Vec<u64> {
         let mut out = Vec::new();
-        let mut cur = tag::addr_of(self.pool.peek(self.top_addr()));
+        let mut cur = tag::addr_of(self.core.pool.peek(self.top_addr()));
         while !cur.is_null() {
-            if self.pool.peek(cur.offset(F_POPPER)) == NO_POPPER {
-                out.push(self.pool.peek(cur.offset(F_VALUE)));
+            if self.core.pool.peek(cur.offset(F_POPPER)) == NO_POPPER {
+                out.push(self.core.pool.peek(cur.offset(F_VALUE)));
             }
-            cur = tag::addr_of(self.pool.peek(cur.offset(F_NEXT)));
+            cur = tag::addr_of(self.core.pool.peek(cur.offset(F_NEXT)));
         }
         out
     }
@@ -718,7 +703,7 @@ impl<M: Memory> DssStack<M> {
 
 impl<M: Memory> fmt::Debug for DssStack<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("DssStack").field("nthreads", &self.nthreads).finish_non_exhaustive()
+        f.debug_struct("DssStack").field("nthreads", &self.core.nthreads).finish_non_exhaustive()
     }
 }
 

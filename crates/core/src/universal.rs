@@ -33,9 +33,11 @@ use std::fmt;
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, AttachError, FlushGranularity, Memory, PAddr, PmemPool, Registry, SlotError, ThreadHandle,
-    WORDS_PER_LINE,
+    tag, AppKind, AttachError, FlushGranularity, Memory, PAddr, PmemPool, Registry, SlotError,
+    ThreadHandle, WORDS_PER_LINE,
 };
+
+use crate::detect::DetectableCore;
 use dss_spec::types::{
     CasOp, CasSpec, CounterOp, CounterSpec, QueueOp, QueueSpec, RegisterOp, RegisterSpec, StackOp,
     StackSpec,
@@ -83,7 +85,7 @@ const A_X_BASE: u64 = 2;
 /// superblock. The spec type `T` itself is not persisted — [`attach`]
 /// (Universal::attach) takes the spec value from the caller and trusts the
 /// caller to supply the same type the file was created with.
-pub const KIND_UNIVERSAL: u64 = 5;
+pub const KIND_UNIVERSAL: u64 = AppKind::Universal.word();
 
 /// The universal object's pool layout, derived from `(nthreads, max_ops)`
 /// alone (cf. the queue's `QueueLayout`).
@@ -129,13 +131,15 @@ impl UniversalLayout {
 /// ```
 pub struct Universal<T: SequentialSpec, M: Memory = PmemPool> {
     spec: T,
-    pool: Arc<M>,
-    nthreads: usize,
+    /// The shared detectability skeleton (see [`DetectableCore`]). The
+    /// universal construction packs its `X` words at stride 1 — the
+    /// history list dominates the footprint, so false sharing on `X` is
+    /// not worth a line per thread here.
+    core: DetectableCore<M>,
     origin: PAddr,
     slots_base: u64,
     slots: u64,
     next_slot: std::sync::atomic::AtomicU64,
-    registry: Registry<M>,
 }
 
 impl<T: OpWords> Universal<T> {
@@ -239,56 +243,50 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
     ) -> Self {
         Universal {
             spec,
-            pool,
-            nthreads,
+            core: DetectableCore::new(pool, registry, nthreads, A_X_BASE, 1),
             origin: PAddr::from_index(layout.origin),
             slots_base: layout.slots_base,
             slots: max_ops,
             next_slot: std::sync::atomic::AtomicU64::new(0),
-            registry,
         }
     }
 
     /// Writes and persists the initial object state (fresh pools only —
     /// never run on attach).
     fn format(&self) {
-        self.pool.store(self.origin.offset(F_NEXT), 0);
-        self.pool.flush(self.origin.offset(F_NEXT));
-        self.pool.store(PAddr::from_index(A_TAIL_HINT), self.origin.to_word());
-        self.pool.flush(PAddr::from_index(A_TAIL_HINT));
-        for i in 0..self.nthreads {
-            self.pool.store(self.x_addr(i), 0);
-            self.pool.flush(self.x_addr(i));
-        }
-        self.pool.drain();
+        self.core.pool.store(self.origin.offset(F_NEXT), 0);
+        self.core.pool.flush(self.origin.offset(F_NEXT));
+        self.core.pool.store(PAddr::from_index(A_TAIL_HINT), self.origin.to_word());
+        self.core.pool.flush(PAddr::from_index(A_TAIL_HINT));
+        self.core.format_x();
+        self.core.pool.drain();
     }
 
-    // Handles are valid by construction (the registry hands out only
-    // in-range slots), so the index needs no range check.
+    // Handle validity is the core's concern; see DetectableCore::x_addr.
     fn x_addr(&self, tid: usize) -> PAddr {
-        PAddr::from_index(A_X_BASE + tid as u64)
+        self.core.x_addr(tid)
     }
 
     /// The object's persistent-memory pool.
     pub fn pool(&self) -> &Arc<M> {
-        &self.pool
+        self.core.pool()
     }
 
     /// The persistent slot registry governing thread identity.
     pub fn registry(&self) -> &Registry<M> {
-        &self.registry
+        self.core.registry()
     }
 
     /// Claims a free slot and returns the [`ThreadHandle`] every operation
     /// requires. Fails with [`SlotError::Exhausted`] once all `nthreads`
     /// slots are taken.
     pub fn register_thread(&self) -> Result<ThreadHandle, SlotError> {
-        self.registry.acquire()
+        self.core.register_thread()
     }
 
     /// Returns a handle's slot to the free pool for reuse.
     pub fn release_thread(&self, h: ThreadHandle) -> Result<(), SlotError> {
-        self.registry.release(h)
+        self.core.release_thread(h)
     }
 
     /// Marks the crash boundary in the registry: every slot LIVE at the
@@ -298,17 +296,17 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
     /// slots can be reclaimed via [`adopt`](Self::adopt) /
     /// [`adopt_orphans`](Self::adopt_orphans).
     pub fn begin_recovery(&self) {
-        self.registry.begin_recovery();
+        self.core.begin_recovery();
     }
 
     /// Adopts one orphaned slot, re-LIVE-ing it under a fresh handle.
     pub fn adopt(&self, slot: usize) -> Result<ThreadHandle, SlotError> {
-        self.registry.adopt(slot)
+        self.core.adopt(slot)
     }
 
     /// Adopts every orphaned slot in ascending order.
     pub fn adopt_orphans(&self) -> Vec<ThreadHandle> {
-        self.registry.adopt_orphans()
+        self.core.adopt_orphans()
     }
 
     fn alloc(&self) -> PAddr {
@@ -331,15 +329,15 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
         };
         let mut cur = self.origin;
         loop {
-            let next = tag::addr_of(self.pool.load(cur.offset(F_NEXT)));
+            let next = tag::addr_of(self.core.pool.load(cur.offset(F_NEXT)));
             if next.is_null() {
                 break;
             }
             mark(next);
             cur = next;
         }
-        for i in 0..self.nthreads {
-            let d = tag::addr_of(self.pool.load(self.x_addr(i)));
+        for i in 0..self.core.nthreads() {
+            let d = tag::addr_of(self.core.pool.load(self.x_addr(i)));
             if !d.is_null() {
                 mark(d);
             }
@@ -349,13 +347,13 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
 
     fn init_node(&self, node: PAddr, pid: ProcId, seq: u64, op: &T::Op) {
         let w = T::encode(op);
-        self.pool.store(node.offset(F_NEXT), 0);
-        self.pool.store(node.offset(F_PID), pid as u64);
-        self.pool.store(node.offset(F_SEQ), seq);
-        self.pool.store(node.offset(F_OP0), w[0]);
-        self.pool.store(node.offset(F_OP1), w[1]);
-        self.pool.store(node.offset(F_OP2), w[2]);
-        self.pool.flush(node); // one line
+        self.core.pool.store(node.offset(F_NEXT), 0);
+        self.core.pool.store(node.offset(F_PID), pid as u64);
+        self.core.pool.store(node.offset(F_SEQ), seq);
+        self.core.pool.store(node.offset(F_OP0), w[0]);
+        self.core.pool.store(node.offset(F_OP1), w[1]);
+        self.core.pool.store(node.offset(F_OP2), w[2]);
+        self.core.pool.flush(node); // one line
     }
 
     /// Appends `node` to the history list (lock-free consensus per link),
@@ -363,26 +361,26 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
     fn append(&self, node: PAddr) {
         let hint = PAddr::from_index(A_TAIL_HINT);
         loop {
-            let last_w = self.pool.load(hint);
+            let last_w = self.core.pool.load(hint);
             let last = tag::addr_of(last_w);
-            let next_w = self.pool.load(last.offset(F_NEXT));
+            let next_w = self.core.pool.load(last.offset(F_NEXT));
             let next = tag::addr_of(next_w);
             if !next.is_null() {
                 // Help: persist the link before advancing the hint — the
                 // hint must never point past an unpersisted link, or a
                 // post-crash append could build on an unreachable node.
-                self.pool.flush(last.offset(F_NEXT));
-                self.pool.drain_line(last.offset(F_NEXT));
-                let _ = self.pool.cas(hint, last_w, next.to_word());
+                self.core.pool.flush(last.offset(F_NEXT));
+                self.core.pool.drain_line(last.offset(F_NEXT));
+                let _ = self.core.pool.cas(hint, last_w, next.to_word());
                 continue;
             }
             // The node's contents must be persistent before its link can
             // take effect — replay decodes whatever the line holds.
-            self.pool.drain_line(node.offset(F_NEXT));
-            if self.pool.cas(last.offset(F_NEXT), 0, node.to_word()).is_ok() {
-                self.pool.flush(last.offset(F_NEXT));
-                self.pool.drain_line(last.offset(F_NEXT));
-                let _ = self.pool.cas(hint, last_w, node.to_word());
+            self.core.pool.drain_line(node.offset(F_NEXT));
+            if self.core.pool.cas(last.offset(F_NEXT), 0, node.to_word()).is_ok() {
+                self.core.pool.flush(last.offset(F_NEXT));
+                self.core.pool.drain_line(last.offset(F_NEXT));
+                let _ = self.core.pool.cas(hint, last_w, node.to_word());
                 return;
             }
         }
@@ -395,15 +393,15 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
         let mut wanted = None;
         let mut cur = self.origin;
         loop {
-            let next = tag::addr_of(self.pool.load(cur.offset(F_NEXT)));
+            let next = tag::addr_of(self.core.pool.load(cur.offset(F_NEXT)));
             if next.is_null() {
                 return (state, wanted);
             }
-            let pid = self.pool.load(next.offset(F_PID)) as usize;
+            let pid = self.core.pool.load(next.offset(F_PID)) as usize;
             let op = T::decode([
-                self.pool.load(next.offset(F_OP0)),
-                self.pool.load(next.offset(F_OP1)),
-                self.pool.load(next.offset(F_OP2)),
+                self.core.pool.load(next.offset(F_OP0)),
+                self.core.pool.load(next.offset(F_OP1)),
+                self.core.pool.load(next.offset(F_OP2)),
             ]);
             let (s, r) = self
                 .spec
@@ -424,12 +422,9 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
         self.init_node(node, tid, seq, &op);
         // Ordering point: the announce must not persist ahead of the node
         // it names.
-        self.pool.drain_line(node.offset(F_NEXT));
-        self.pool.store(self.x_addr(tid), tag::set(node.to_word(), U_PREP));
-        self.pool.flush(self.x_addr(tid));
-        // Durable before prep returns: a crash that forgets a completed
-        // prep would make resolve report the previous operation.
-        self.pool.drain_line(self.x_addr(tid));
+        self.core.pool.drain_line(node.offset(F_NEXT));
+        // Announce + the durable-before-return drain (DetectableCore).
+        self.core.announce(tid, tag::set(node.to_word(), U_PREP));
     }
 
     /// **exec()**: appends the prepared operation to the history and
@@ -440,7 +435,7 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
     /// Panics if no operation is prepared (or it already executed).
     pub fn exec(&self, h: ThreadHandle) -> T::Resp {
         let xa = self.x_addr(h.slot());
-        let x = self.pool.load(xa);
+        let x = self.core.pool.load(xa);
         assert!(
             tag::has(x, U_PREP) && !tag::has(x, U_COMPL),
             "exec without a pending prepared operation"
@@ -448,10 +443,9 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
         let node = tag::addr_of(x);
         // The announce must be persistent before the link can take effect:
         // resolve reports the op's effect only through the announced node.
-        self.pool.drain_line(xa);
+        self.core.pool.drain_line(xa);
         self.append(node);
-        self.pool.store(xa, tag::set(x, U_COMPL));
-        self.pool.flush(xa);
+        self.core.complete(h.slot(), tag::set(x, U_COMPL));
         self.replay(Some(node)).1.expect("appended node is reachable")
     }
 
@@ -466,17 +460,17 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
     /// **resolve()**: reports the announced operation and, if its link
     /// persisted (it is reachable in the history), its recomputed response.
     pub fn resolve(&self, h: ThreadHandle) -> UniResolved<T> {
-        let x = self.pool.load(self.x_addr(h.slot()));
+        let x = self.core.pool.load(self.x_addr(h.slot()));
         if !tag::has(x, U_PREP) {
             return (None, None);
         }
         let node = tag::addr_of(x);
         let op = T::decode([
-            self.pool.load(node.offset(F_OP0)),
-            self.pool.load(node.offset(F_OP1)),
-            self.pool.load(node.offset(F_OP2)),
+            self.core.pool.load(node.offset(F_OP0)),
+            self.core.pool.load(node.offset(F_OP1)),
+            self.core.pool.load(node.offset(F_OP2)),
         ]);
-        let seq = self.pool.load(node.offset(F_SEQ));
+        let seq = self.core.pool.load(node.offset(F_SEQ));
         let resp = self.replay(Some(node)).1;
         (Some((op, seq)), resp)
     }
@@ -490,7 +484,7 @@ impl<T: OpWords, M: Memory> Universal<T, M> {
 impl<T: SequentialSpec, M: Memory> fmt::Debug for Universal<T, M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Universal")
-            .field("nthreads", &self.nthreads)
+            .field("nthreads", &self.core.nthreads())
             .field("slots", &self.slots)
             .finish_non_exhaustive()
     }

@@ -3,7 +3,7 @@
 //!
 //! Sweeps a crash over every pmem-operation index of each detectable
 //! operation, recovers, resolves, and validates the answer against the
-//! persisted queue state. `violations` must be zero.
+//! persisted state. `violations` must be zero.
 //!
 //! With `--partial-recovery on` it additionally runs the §3.3 partial
 //! restart mode: multi-threaded crash runs in which only a subset of
@@ -19,22 +19,28 @@
 //! resolve correctly. Swept across the coalesce × per-address flush
 //! regimes (the knobs that widen what a kill can destroy).
 //!
-//! The matrix runs on any of the three execution layers: CAS-racing
-//! (default), flat-combining (`--combining on`), or the log-fed
-//! replicated layer (`--replicated on`, which takes precedence).
+//! The matrix runs on any of the queue's three execution layers —
+//! CAS-racing (default), flat-combining, or log-fed replicated — or on
+//! the detectable hash map, selected with `--layer
+//! cas|combining|replicated|map` (the old `--combining on` /
+//! `--replicated on` spellings still work as deprecated aliases). The map
+//! sweeps interrupt insert / update / remove / remove-absent victims and
+//! validate `resolve` against the persisted bindings; its checked
+//! histories are verified per key through `check_partitioned`.
 //!
 //! ```text
 //! cargo run -p dss-harness --release --bin crash_matrix -- \
 //!     [--granularity word] [--adversary random --seed 7] \
 //!     [--partial-recovery on] [--multi-process on] \
-//!     [--combining on | --replicated on]
+//!     [--layer cas|combining|replicated|map]
 //! ```
 
-use dss_harness::cli;
+use dss_harness::cli::{self, Layer};
 use dss_harness::crashsim::{
-    multi_process_child, multi_process_sweep, partial_recovery_crash_run,
-    partial_recovery_crash_run_combining, partial_recovery_crash_run_replicated, sweep,
-    SweepConfig, VictimOp, MP_CHILD_FLAG,
+    map_sweep, multi_process_child, multi_process_map_sweep, multi_process_sweep,
+    partial_recovery_crash_run, partial_recovery_crash_run_combining,
+    partial_recovery_crash_run_replicated, partial_recovery_map_crash_run, sweep, MapVictimOp,
+    SweepConfig, SweepOutcome, VictimOp, MP_CHILD_FLAG,
 };
 
 fn main() {
@@ -52,11 +58,11 @@ fn main() {
             independent_recovery: independent,
             coalesce: args.coalesce,
             per_address: args.per_address,
-            combining: args.combining,
-            replicated: args.replicated,
+            combining: args.layer == Layer::Combining,
+            replicated: args.layer == Layer::Replicated,
         };
         println!(
-            "# E4 crash matrix: adversary={:?} granularity={:?} recovery={}{}{}{}{}",
+            "# E4 crash matrix: adversary={:?} granularity={:?} recovery={}{}{}{}",
             config.adversary,
             config.granularity,
             if independent { "independent (§3.3)" } else { "centralized (Fig. 6)" },
@@ -64,26 +70,36 @@ fn main() {
             // byte-identical to the recorded results/crash_matrix_*.txt.
             if config.coalesce { " coalesce=on" } else { "" },
             if config.per_address { " per-address=on" } else { "" },
-            if config.combining { " combining=on" } else { "" },
-            if config.replicated { " replicated=on" } else { "" },
+            match args.layer {
+                Layer::Combining => " combining=on",
+                Layer::Replicated => " replicated=on",
+                Layer::Map => " map=on",
+                Layer::Cas => "",
+            },
         );
         println!(
             "{:<15} {:>12} {:>13} {:>10} {:>8} {:>11}",
             "operation", "crash-points", "not-prepared", "no-effect", "effect", "violations"
         );
         let mut total_violations = 0;
-        for op in VictimOp::all() {
-            let out = sweep(op, &config);
+        let print_row = |op: String, out: &SweepOutcome| {
             println!(
                 "{:<15} {:>12} {:>13} {:>10} {:>8} {:>11}",
-                op.to_string(),
-                out.crash_points,
-                out.not_prepared,
-                out.no_effect,
-                out.effect,
-                out.violations
+                op, out.crash_points, out.not_prepared, out.no_effect, out.effect, out.violations
             );
-            total_violations += out.violations;
+        };
+        if args.layer == Layer::Map {
+            for op in MapVictimOp::all() {
+                let out = map_sweep(op, &config);
+                print_row(op.to_string(), &out);
+                total_violations += out.violations;
+            }
+        } else {
+            for op in VictimOp::all() {
+                let out = sweep(op, &config);
+                print_row(op.to_string(), &out);
+                total_violations += out.violations;
+            }
         }
         println!();
         assert_eq!(total_violations, 0, "detectability violations found!");
@@ -97,12 +113,17 @@ fn main() {
             const SEEDS: u64 = 8;
             let mut queued = 0usize;
             for seed in 0..SEEDS {
-                let run = if args.replicated {
-                    partial_recovery_crash_run_replicated(THREADS, survivors, args.seed + seed)
-                } else if args.combining {
-                    partial_recovery_crash_run_combining(THREADS, survivors, args.seed + seed)
-                } else {
-                    partial_recovery_crash_run(THREADS, survivors, args.seed + seed)
+                let run = match args.layer {
+                    Layer::Replicated => {
+                        partial_recovery_crash_run_replicated(THREADS, survivors, args.seed + seed)
+                    }
+                    Layer::Combining => {
+                        partial_recovery_crash_run_combining(THREADS, survivors, args.seed + seed)
+                    }
+                    Layer::Map => {
+                        partial_recovery_map_crash_run(THREADS, survivors, args.seed + seed)
+                    }
+                    Layer::Cas => partial_recovery_crash_run(THREADS, survivors, args.seed + seed),
                 };
                 match run {
                     Ok(n) => queued += n,
@@ -122,7 +143,7 @@ fn main() {
     if args.multi_process {
         let exe = std::env::current_exe().expect("locating this binary for self-spawn");
         println!("# E12 multi-process: victim child SIGKILLed mid-op; parent attaches the");
-        println!("# pool file with no in-process state and runs Figure-6 adopt-then-resolve");
+        println!("# pool file with no in-process state and runs the adopt-then-resolve restart");
         println!(
             "{:<15} {:>9} {:>12} {:>12} {:>13} {:>10} {:>8} {:>11}",
             "operation",
@@ -140,15 +161,14 @@ fn main() {
                 granularity: args.flush_granularity(),
                 coalesce,
                 per_address,
-                combining: args.combining,
-                replicated: args.replicated,
+                combining: args.layer == Layer::Combining,
+                replicated: args.layer == Layer::Replicated,
                 ..Default::default()
             };
-            for op in VictimOp::all() {
-                let out = multi_process_sweep(op, &config, &exe);
+            let mut print_row = |op: String, out: &SweepOutcome| {
                 println!(
                     "{:<15} {:>9} {:>12} {:>12} {:>13} {:>10} {:>8} {:>11}",
-                    op.to_string(),
+                    op,
                     if coalesce { "on" } else { "off" },
                     if per_address { "on" } else { "off" },
                     out.crash_points,
@@ -158,25 +178,42 @@ fn main() {
                     out.violations
                 );
                 total_violations += out.violations;
+            };
+            if args.layer == Layer::Map {
+                for op in MapVictimOp::all() {
+                    let out = multi_process_map_sweep(op, &config, &exe);
+                    print_row(op.to_string(), &out);
+                }
+            } else {
+                for op in VictimOp::all() {
+                    let out = multi_process_sweep(op, &config, &exe);
+                    print_row(op.to_string(), &out);
+                }
             }
         }
         println!();
         assert_eq!(total_violations, 0, "multi-process detectability violations found!");
     }
     checked_histories_epilogue(&args);
-    println!("ok: every crash point resolved consistently with D<queue>");
+    match args.layer {
+        Layer::Map => println!("ok: every crash point resolved consistently with D<map>"),
+        _ => println!("ok: every crash point resolved consistently with D<queue>"),
+    }
 }
 
 /// E13 rider: the matrix above validates each crash point's *resolve*
-/// against the persisted queue state; this epilogue additionally records
-/// whole crashing executions and verifies the full `D⟨queue⟩` history —
-/// every operation, no sampling — through the segmented pipeline under
-/// strict linearizability.
+/// against the persisted state; this epilogue additionally records whole
+/// crashing executions and verifies the full history — every operation,
+/// no sampling — through the segmented pipeline under strict
+/// linearizability. Queue layers check the `D⟨queue⟩` history directly;
+/// the map layer splits its `Keyed<KvSpec>` history per key
+/// (`check_partitioned`) and certifies each partition in full.
 fn checked_histories_epilogue(args: &cli::Args) {
     use dss_checker::{CheckOptions, Condition};
     use dss_harness::record::{
-        check_plain, check_recorded_full, record_combining_crash_execution,
+        check_map_history, check_plain, check_recorded_full, record_combining_crash_execution,
         record_combining_partial_recovery_execution, record_crash_execution,
+        record_map_crash_execution, record_map_execution, record_map_partial_recovery_execution,
         record_partial_recovery_execution, record_plain_combining_execution,
         record_plain_replicated_execution, record_replicated_crash_execution,
         record_replicated_partial_recovery_execution,
@@ -189,14 +226,68 @@ fn checked_histories_epilogue(args: &cli::Args) {
         "{:<22} {:>6} {:>8} {:>9} {:>12}",
         "workload", "seeds", "ops", "windows", "max-window"
     );
+    if args.layer == Layer::Map {
+        let (mut ops, mut windows, mut max_window) = (0usize, 0usize, 0usize);
+        for seed in 0..SEEDS {
+            let h = record_map_crash_execution(3, 30, args.seed + seed);
+            let stats = check_map_history(&h, Condition::StrictLinearizability, &options)
+                .unwrap_or_else(|e| panic!("map crash run seed {seed}: {e}"));
+            ops += stats.ops;
+            windows += stats.windows;
+            max_window = max_window.max(stats.max_window);
+        }
+        println!(
+            "{:<22} {:>6} {:>8} {:>9} {:>12}",
+            "map-system-crash", SEEDS, ops, windows, max_window
+        );
+        // A long crash-free run, split per key and certified in full —
+        // the P-compositionality counterpart of the queue's plain check.
+        let h = record_map_execution(3, 400, args.seed);
+        let stats = check_map_history(&h, Condition::Linearizability, &options)
+            .unwrap_or_else(|e| panic!("plain map run: {e}"));
+        println!(
+            "{:<22} {:>6} {:>8} {:>9} {:>12}",
+            "map-plain", 1, stats.ops, stats.windows, stats.max_window
+        );
+        if args.partial_recovery {
+            for survivors in 1..=3usize {
+                let (mut ops, mut windows, mut max_window) = (0usize, 0usize, 0usize);
+                for seed in 0..SEEDS {
+                    let h = record_map_partial_recovery_execution(
+                        3,
+                        survivors,
+                        20,
+                        args.seed + seed,
+                        args.coalesce,
+                        args.per_address,
+                    );
+                    let stats = check_map_history(&h, Condition::StrictLinearizability, &options)
+                        .unwrap_or_else(|e| {
+                            panic!("map partial recovery survivors={survivors} seed={seed}: {e}")
+                        });
+                    ops += stats.ops;
+                    windows += stats.windows;
+                    max_window = max_window.max(stats.max_window);
+                }
+                println!(
+                    "{:<22} {:>6} {:>8} {:>9} {:>12}",
+                    format!("map-partial s={survivors}"),
+                    SEEDS,
+                    ops,
+                    windows,
+                    max_window
+                );
+            }
+        }
+        println!();
+        return;
+    }
     let (mut ops, mut windows, mut max_window) = (0usize, 0usize, 0usize);
     for seed in 0..SEEDS {
-        let h = if args.replicated {
-            record_replicated_crash_execution(3, 30, args.seed + seed)
-        } else if args.combining {
-            record_combining_crash_execution(3, 30, args.seed + seed)
-        } else {
-            record_crash_execution(3, 30, args.seed + seed)
+        let h = match args.layer {
+            Layer::Replicated => record_replicated_crash_execution(3, 30, args.seed + seed),
+            Layer::Combining => record_combining_crash_execution(3, 30, args.seed + seed),
+            _ => record_crash_execution(3, 30, args.seed + seed),
         };
         let stats = check_recorded_full(&h, Condition::StrictLinearizability, &options)
             .unwrap_or_else(|e| panic!("crash run seed {seed}: {e}"));
@@ -205,7 +296,7 @@ fn checked_histories_epilogue(args: &cli::Args) {
         max_window = max_window.max(stats.max_window);
     }
     println!("{:<22} {:>6} {:>8} {:>9} {:>12}", "system-crash", SEEDS, ops, windows, max_window);
-    if args.replicated {
+    if args.layer == Layer::Replicated {
         // Appended batches serialize many operations per lease tenure;
         // verify a long crash-free log-fed history in full — every
         // operation, no sampling — against the sequential FIFO spec.
@@ -216,7 +307,7 @@ fn checked_histories_epilogue(args: &cli::Args) {
             "{:<22} {:>6} {:>8} {:>9} {:>12}",
             "replicated-plain", 1, stats.ops, stats.windows, stats.max_window
         );
-    } else if args.combining {
+    } else if args.layer == Layer::Combining {
         // Combined batches serialize many operations per lease tenure;
         // verify a long crash-free combined history in full — every
         // operation, no sampling — against the sequential FIFO spec.
@@ -232,33 +323,31 @@ fn checked_histories_epilogue(args: &cli::Args) {
         for survivors in 1..=3usize {
             let (mut ops, mut windows, mut max_window) = (0usize, 0usize, 0usize);
             for seed in 0..SEEDS {
-                let h = if args.replicated {
-                    record_replicated_partial_recovery_execution(
+                let h = match args.layer {
+                    Layer::Replicated => record_replicated_partial_recovery_execution(
                         3,
                         survivors,
                         20,
                         args.seed + seed,
                         args.coalesce,
                         args.per_address,
-                    )
-                } else if args.combining {
-                    record_combining_partial_recovery_execution(
+                    ),
+                    Layer::Combining => record_combining_partial_recovery_execution(
                         3,
                         survivors,
                         20,
                         args.seed + seed,
                         args.coalesce,
                         args.per_address,
-                    )
-                } else {
-                    record_partial_recovery_execution(
+                    ),
+                    _ => record_partial_recovery_execution(
                         3,
                         survivors,
                         20,
                         args.seed + seed,
                         args.coalesce,
                         args.per_address,
-                    )
+                    ),
                 };
                 let stats = check_recorded_full(&h, Condition::StrictLinearizability, &options)
                     .unwrap_or_else(|e| {

@@ -40,16 +40,12 @@ pub struct Args {
     /// mid-operation, and a fresh attach from the parent must recover and
     /// resolve every pre-crash operation. Default off.
     pub multi_process: bool,
-    /// Flat-combining execution layer (`--combining on|off`, experiment
-    /// E14): `exec` is served by a lease-holding combiner that
-    /// batch-applies every announced operation with one persist per batch
-    /// phase, instead of CAS-racing. Default off.
-    pub combining: bool,
-    /// Replicated execution layer (`--replicated on|off`, experiment
-    /// E15): writes go through a leased appender into a durable op log;
-    /// reads are served replica-locally from volatile log-fed replicas.
-    /// Takes precedence over `--combining`. Default off.
-    pub replicated: bool,
+    /// Execution layer / object family under test (`--layer
+    /// cas|combining|replicated|map`, `crash_matrix` only). The legacy
+    /// boolean spellings `--combining on|off` and `--replicated on|off`
+    /// are still accepted as deprecated aliases (with `--replicated`
+    /// taking precedence, as before). Default [`Layer::Cas`].
+    pub layer: Layer,
     /// Volatile replica count for the replicated layer
     /// (`--replicas <n>`, experiment E15). Default 2.
     pub replicas: usize,
@@ -62,6 +58,31 @@ pub struct Args {
     /// Override of the per-window operation bound (`--max-ops <n>`,
     /// `check_histories` only); `None` keeps the checker's default.
     pub max_ops: Option<usize>,
+}
+
+/// Which execution layer (or object family) `crash_matrix` sweeps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Layer {
+    /// The CAS-racing queue (the paper's baseline).
+    Cas,
+    /// The flat-combining queue (experiment E14).
+    Combining,
+    /// The log-fed replicated queue (experiment E15).
+    Replicated,
+    /// The detectable hash map (experiment E16's structure).
+    Map,
+}
+
+impl Layer {
+    fn parse(s: &str) -> Layer {
+        match s {
+            "cas" => Layer::Cas,
+            "combining" => Layer::Combining,
+            "replicated" => Layer::Replicated,
+            "map" => Layer::Map,
+            l => panic!("--layer {l}: expected cas|combining|replicated|map"),
+        }
+    }
 }
 
 /// Which checking pipeline `check_histories` runs.
@@ -90,8 +111,7 @@ impl Default for Args {
             backoff: false,
             partial_recovery: false,
             multi_process: false,
-            combining: false,
-            replicated: false,
+            layer: Layer::Cas,
             replicas: 2,
             mode: CheckMode::Partitioned,
             max_ops: None,
@@ -133,8 +153,26 @@ pub fn parse() -> Args {
                 args.partial_recovery = parse_switch("--partial-recovery", &val());
             }
             "--multi-process" => args.multi_process = parse_switch("--multi-process", &val()),
-            "--combining" => args.combining = parse_switch("--combining", &val()),
-            "--replicated" => args.replicated = parse_switch("--replicated", &val()),
+            "--layer" => args.layer = Layer::parse(&val()),
+            // Deprecated boolean aliases, kept so recorded invocations
+            // keep working; `--replicated on` beats `--combining on`
+            // whatever the flag order, matching the old precedence.
+            "--combining" => {
+                if parse_switch("--combining", &val()) {
+                    if args.layer != Layer::Replicated {
+                        args.layer = Layer::Combining;
+                    }
+                } else if args.layer == Layer::Combining {
+                    args.layer = Layer::Cas;
+                }
+            }
+            "--replicated" => {
+                if parse_switch("--replicated", &val()) {
+                    args.layer = Layer::Replicated;
+                } else if args.layer == Layer::Replicated {
+                    args.layer = Layer::Cas;
+                }
+            }
             "--replicas" => args.replicas = val().parse().expect("--replicas <usize>"),
             "--mode" => {
                 args.mode = match val().as_str() {
@@ -147,8 +185,8 @@ pub fn parse() -> Args {
             other => panic!(
                 "unknown flag {other}; known: --threads --ms --repeats --penalty \
                  --granularity --adversary --seed --backend --coalesce --per-address --backoff \
-                 --partial-recovery --multi-process --combining --replicated --replicas \
-                 --mode --max-ops"
+                 --partial-recovery --multi-process --layer --replicas \
+                 --mode --max-ops (deprecated: --combining --replicated)"
             ),
         }
     }
@@ -198,8 +236,7 @@ mod tests {
         assert!(!a.coalesce && !a.per_address && !a.backoff, "perf features default off");
         assert!(!a.partial_recovery, "partial-recovery mode defaults off");
         assert!(!a.multi_process, "multi-process mode defaults off");
-        assert!(!a.combining, "combining execution layer defaults off");
-        assert!(!a.replicated, "replicated execution layer defaults off");
+        assert_eq!(a.layer, Layer::Cas, "the CAS-racing layer is the default");
         assert_eq!(a.replicas, 2, "replica count defaults to 2");
         assert_eq!(a.mode, CheckMode::Partitioned, "full-length checking is the default");
         assert_eq!(a.max_ops, None);
@@ -209,6 +246,20 @@ mod tests {
     fn switch_values_parse() {
         assert!(parse_switch("--coalesce", "on"));
         assert!(!parse_switch("--backoff", "off"));
+    }
+
+    #[test]
+    fn layer_names_parse() {
+        assert_eq!(Layer::parse("cas"), Layer::Cas);
+        assert_eq!(Layer::parse("combining"), Layer::Combining);
+        assert_eq!(Layer::parse("replicated"), Layer::Replicated);
+        assert_eq!(Layer::parse("map"), Layer::Map);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected cas|combining|replicated|map")]
+    fn bad_layer_panics() {
+        Layer::parse("quantum");
     }
 
     #[test]

@@ -35,11 +35,14 @@ use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::sync::Arc;
 
-use dss_core::{CombiningQueue, DssQueue, QueueFull, ReplicatedQueue, Resolved, ResolvedOp};
+use dss_core::{
+    CombiningQueue, DetectableMap, DssQueue, QueueFull, ReplicatedQueue, Resolved, ResolvedMap,
+    ResolvedOp,
+};
 use dss_pmem::{
     CrashSignal, FlushGranularity, PmemPool, SlotError, ThreadHandle, WritebackAdversary,
 };
-use dss_spec::types::QueueResp;
+use dss_spec::types::{KvOp, KvResp, QueueResp};
 
 /// Which operation the sweep interrupts.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -639,7 +642,8 @@ pub const MP_CHILD_FLAG: &str = "--mp-child";
 ///
 /// `args` is the argv tail after [`MP_CHILD_FLAG`]:
 /// `<pool-path> <op> <k> <granularity> <coalesce> <per-address>
-/// <layer>` where `<layer>` is `cas`, `combining`, or `replicated`.
+/// <layer>` where `<layer>` is `cas`, `combining`, `replicated`, or
+/// `map` (whose `<op>` is a [`MapVictimOp`] name).
 ///
 /// Never returns: exits 0 after printing `DONE` when the operation
 /// completes before reaching `k`, parks forever after printing `READY`
@@ -654,13 +658,23 @@ pub fn multi_process_child(args: &[String]) -> ! {
             "{MP_CHILD_FLAG} <pool-path> <op> <k> <granularity> <coalesce> <per-address> <layer>"
         );
     };
-    let op = VictimOp::parse(op);
     let k: u64 = k.parse().expect("crash index must be a u64");
     let granularity = match granularity.as_str() {
         "line" => FlushGranularity::Line,
         "word" => FlushGranularity::Word,
         g => panic!("unknown granularity {g}"),
     };
+    if layer == "map" {
+        let m = DetectableMap::create_with(path, 1, 8, 8, granularity).expect("creating the pool");
+        multi_process_map_victim(
+            &m,
+            MapVictimOp::parse(op),
+            k,
+            coalesce == "on",
+            per_address == "on",
+        )
+    }
+    let op = VictimOp::parse(op);
     match layer.as_str() {
         "replicated" => {
             let q =
@@ -825,9 +839,529 @@ pub fn multi_process_sweep(op: VictimOp, config: &SweepConfig, exe: &Path) -> Sw
     out
 }
 
+// ---------------------------------------------------------------------------
+// Detectable-map crash drivers: the same Figure-2 sweeps, conservation
+// runs, partial-recovery runs, and SIGKILL multi-process sweeps, driven
+// over `D⟨map⟩`. The map recovers *independently* (§3.3): there is no
+// recovery phase to run, so the "centralized" arm of a sweep is just the
+// registry's begin-recovery + adopt-orphans restart protocol and the
+// "independent" arm is nothing at all — `resolve` answers from persisted
+// state alone either way, and both arms must classify identically.
+// ---------------------------------------------------------------------------
+
+/// The key every single-victim map sweep operates on.
+const MAP_KEY: u64 = 7;
+/// The prefill value bound to [`MAP_KEY`] before update/remove victims.
+const MAP_OLD: u64 = 7;
+/// The value the insert/update victims write.
+const MAP_NEW: u64 = 42;
+/// The §2.1 sequence tag the victim's prep carries.
+const MAP_SEQ: u64 = 1;
+
+/// Which map operation the sweep interrupts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MapVictimOp {
+    /// `prep-put(7, 42)` + `exec-put` on an empty map (fresh key: the
+    /// install allocates an entry node *and* a value node).
+    Insert,
+    /// `prep-put(7, 42)` + `exec-put` with `7 ↦ 7` prefilled (the install
+    /// marks the incumbent superseded before swinging the entry's vptr).
+    Update,
+    /// `prep-remove(7)` + `exec-remove` with `7 ↦ 7` prefilled (the
+    /// install swings the vptr to a tombstone value node).
+    Remove,
+    /// `prep-remove(7)` + `exec-remove` on an empty map (the trivial
+    /// effect: removing an absent key is already done).
+    RemoveAbsent,
+}
+
+impl MapVictimOp {
+    /// All sweep targets.
+    pub fn all() -> [MapVictimOp; 4] {
+        [MapVictimOp::Insert, MapVictimOp::Update, MapVictimOp::Remove, MapVictimOp::RemoveAbsent]
+    }
+
+    /// Inverse of [`fmt::Display`] (the multi-process driver passes the
+    /// victim op to the child through argv).
+    pub fn parse(s: &str) -> MapVictimOp {
+        match s {
+            "insert" => MapVictimOp::Insert,
+            "update" => MapVictimOp::Update,
+            "remove" => MapVictimOp::Remove,
+            "remove-absent" => MapVictimOp::RemoveAbsent,
+            other => panic!("unknown map victim op {other:?}"),
+        }
+    }
+}
+
+impl fmt::Display for MapVictimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MapVictimOp::Insert => "insert",
+            MapVictimOp::Update => "update",
+            MapVictimOp::Remove => "remove",
+            MapVictimOp::RemoveAbsent => "remove-absent",
+        };
+        f.write_str(s)
+    }
+}
+
+fn run_map_victim(m: &DetectableMap, h: ThreadHandle, op: MapVictimOp) {
+    match op {
+        MapVictimOp::Insert | MapVictimOp::Update => {
+            m.prep_put(h, MAP_KEY, MAP_NEW, MAP_SEQ);
+            let _ = m.exec_put(h);
+        }
+        MapVictimOp::Remove | MapVictimOp::RemoveAbsent => {
+            m.prep_remove(h, MAP_KEY, MAP_SEQ);
+            let _ = m.exec_remove(h);
+        }
+    }
+}
+
+/// [`sweep`] for the detectable map: every crash point of `op` on a fresh
+/// map, classified against `D⟨map⟩`'s Figure-2 outcomes and validated
+/// against the persisted bindings. `config.combining` / `replicated` are
+/// ignored (the map has one execution layer).
+pub fn map_sweep(op: MapVictimOp, config: &SweepConfig) -> SweepOutcome {
+    let mut out = SweepOutcome::default();
+    for k in 1.. {
+        let m: DetectableMap = DetectableMap::new_in(1, 8, 8, config.granularity);
+        if !map_sweep_point(&m, op, config, k, &mut out) {
+            break; // the operation completed before reaching k
+        }
+    }
+    out
+}
+
+fn map_sweep_point(
+    m: &DetectableMap,
+    op: MapVictimOp,
+    config: &SweepConfig,
+    k: u64,
+    out: &mut SweepOutcome,
+) -> bool {
+    let h0 = m.register_thread().unwrap();
+    m.pool().set_coalescing(config.coalesce);
+    m.pool().set_per_address_drains(config.per_address);
+    if matches!(op, MapVictimOp::Update | MapVictimOp::Remove) {
+        let _ = m.put(h0, MAP_KEY, MAP_OLD); // plain: leaves X alone (Axiom 4)
+    }
+    m.pool().arm_crash_after(k);
+    let r = catch_unwind(AssertUnwindSafe(|| run_map_victim(m, h0, op)));
+    m.pool().disarm_crash();
+    let crashed = match r {
+        Ok(()) => false,
+        Err(p) if p.downcast_ref::<CrashSignal>().is_some() => true,
+        Err(p) => resume_unwind(p),
+    };
+    if !crashed {
+        return false;
+    }
+    out.crash_points += 1;
+    m.pool().crash(&config.adversary);
+    if !config.independent_recovery {
+        // The full-restart protocol: mark the boundary, adopt the
+        // orphaned slot. No repair happens — the map has none.
+        m.begin_recovery();
+        let _ = m.adopt_orphans();
+    }
+    m.rebuild_allocator();
+    classify_map(m, op, m.resolve(h0), out);
+    true
+}
+
+fn classify_map(m: &DetectableMap, op: MapVictimOp, resolved: ResolvedMap, out: &mut SweepOutcome) {
+    let bound = m.snapshot().get(&MAP_KEY).copied();
+    // The binding a no-effect (or not-prepared) outcome must leave.
+    let old = match op {
+        MapVictimOp::Update | MapVictimOp::Remove => Some(MAP_OLD),
+        MapVictimOp::Insert | MapVictimOp::RemoveAbsent => None,
+    };
+    let expected_op = match op {
+        MapVictimOp::Insert | MapVictimOp::Update => KvOp::Put(MAP_NEW),
+        MapVictimOp::Remove | MapVictimOp::RemoveAbsent => KvOp::Remove,
+    };
+    let consistent = match resolved {
+        ResolvedMap { op: None, resp: None } => {
+            out.not_prepared += 1;
+            bound == old
+        }
+        ResolvedMap { op: Some((MAP_KEY, vop, MAP_SEQ)), resp } if vop == expected_op => match resp
+        {
+            Some(KvResp::Ok) => {
+                out.effect += 1;
+                match op {
+                    MapVictimOp::Insert | MapVictimOp::Update => bound == Some(MAP_NEW),
+                    MapVictimOp::Remove | MapVictimOp::RemoveAbsent => bound.is_none(),
+                }
+            }
+            None => {
+                out.no_effect += 1;
+                bound == old
+            }
+            Some(_) => false,
+        },
+        _ => false,
+    };
+    if !consistent {
+        out.violations += 1;
+    }
+}
+
+/// One map worker's surviving bookkeeping: confirmed ops in order as
+/// `(key, binding-after)` (`None` = removed), and the op in flight at the
+/// crash as `(seq, key, binding-after)`.
+type MapJournal = (Vec<(u64, Option<u64>)>, Option<(u64, u64, Option<u64>)>);
+
+/// Number of keys each map worker cycles through (disjoint per thread, so
+/// the post-crash bindings are exactly determined).
+const MAP_KEYS_PER_THREAD: u64 = 8;
+
+/// A multi-threaded map crash test: `threads` workers run detectable puts
+/// and removes over *disjoint* per-thread key ranges; each is armed to
+/// crash after a pseudo-randomly chosen number of pmem operations; after
+/// all have crashed, the pool crashes, the restart protocol and
+/// resolution run, and the surviving bindings are checked to be *exactly*
+/// the journals' expectation — every key's final value is the last
+/// confirmed write, amended by the in-flight op iff `resolve` reports it
+/// took effect.
+///
+/// Returns the number of live bindings on success.
+///
+/// # Errors
+///
+/// Returns a description of the violated invariant.
+pub fn concurrent_map_crash_run(threads: usize, seed: u64) -> Result<usize, String> {
+    let m: DetectableMap = DetectableMap::new_in(threads, 256, 16, FlushGranularity::Line);
+    let hs: Vec<ThreadHandle> = (0..threads).map(|_| m.register_thread().unwrap()).collect();
+    let results = run_map_workers_until_crash(&m, &hs, seed);
+
+    m.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
+    m.begin_recovery();
+    let _ = m.adopt_orphans();
+    m.rebuild_allocator();
+
+    check_map_conservation(&m, &hs, &results)
+}
+
+/// [`concurrent_map_crash_run`] with only `survivors` of the `threads`
+/// workers restarting (§3.3): each survivor re-adopts its own registry
+/// slot (no repair exists to run), survivor 0 adopts every slot nobody
+/// came back for, and the journals' expectation is checked over **all**
+/// threads — dead ones' in-flight ops are read through the adopted slots.
+///
+/// # Errors
+///
+/// Returns a description of the violated invariant.
+///
+/// # Panics
+///
+/// Panics if `survivors` is zero or exceeds `threads`.
+pub fn partial_recovery_map_crash_run(
+    threads: usize,
+    survivors: usize,
+    seed: u64,
+) -> Result<usize, String> {
+    assert!(survivors >= 1 && survivors <= threads, "need 1..=threads survivors");
+    let m: DetectableMap = DetectableMap::new_in(threads, 256, 16, FlushGranularity::Line);
+    let hs: Vec<ThreadHandle> = (0..threads).map(|_| m.register_thread().unwrap()).collect();
+    let results = run_map_workers_until_crash(&m, &hs, seed);
+
+    m.pool().crash(&WritebackAdversary::Random { seed, prob: 0.5 });
+
+    for h in hs.iter().take(survivors) {
+        m.begin_recovery();
+        m.adopt(h.slot()).map_err(|e| format!("re-adopting own slot: {e}"))?;
+    }
+    let adopted = m.adopt_orphans();
+    if adopted.len() != threads - survivors {
+        return Err(format!("expected {} orphans, adopted {}", threads - survivors, adopted.len()));
+    }
+    m.rebuild_allocator();
+
+    check_map_conservation(&m, &hs, &results)
+}
+
+fn run_map_workers_until_crash(
+    m: &DetectableMap,
+    hs: &[ThreadHandle],
+    seed: u64,
+) -> Vec<MapJournal> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = hs
+            .iter()
+            .enumerate()
+            .map(|(tid, &h)| {
+                scope.spawn(move || {
+                    let crash_after =
+                        20 + (seed.wrapping_mul(2654435761).wrapping_add(tid as u64 * 97)) % 400;
+                    m.pool().arm_crash_after(crash_after);
+                    let confirmed = std::cell::RefCell::new(Vec::new());
+                    let in_flight = std::cell::RefCell::new(None);
+                    let mut state =
+                        seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(tid as u64 + 1);
+                    let mut next = move || {
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        state
+                    };
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        for i in 1..u64::MAX {
+                            let key = ((tid as u64) << 32) | (next() % MAP_KEYS_PER_THREAD);
+                            if next() % 4 == 0 {
+                                *in_flight.borrow_mut() = Some((i, key, None));
+                                m.prep_remove(h, key, i);
+                                let _ = m.exec_remove(h);
+                                confirmed.borrow_mut().push((key, None));
+                            } else {
+                                let v = ((tid as u64) << 32) | i;
+                                *in_flight.borrow_mut() = Some((i, key, Some(v)));
+                                m.prep_put(h, key, v, i);
+                                let _ = m.exec_put(h);
+                                confirmed.borrow_mut().push((key, Some(v)));
+                            }
+                            *in_flight.borrow_mut() = None;
+                        }
+                    }));
+                    m.pool().disarm_crash();
+                    match r {
+                        Err(p) if p.downcast_ref::<CrashSignal>().is_some() => {}
+                        Err(p) => resume_unwind(p),
+                        Ok(()) => unreachable!("loop only ends by crashing"),
+                    }
+                    (confirmed.into_inner(), in_flight.into_inner())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Checks the post-crash bindings are exactly the journals' expectation.
+/// Per-thread key ranges are disjoint and each thread's ops are
+/// sequential, so the final binding of every key is fully determined by
+/// the confirmed journal plus `resolve`'s verdict on the in-flight op.
+fn check_map_conservation(
+    m: &DetectableMap,
+    hs: &[ThreadHandle],
+    results: &[MapJournal],
+) -> Result<usize, String> {
+    use std::collections::BTreeMap;
+
+    let mut expected: BTreeMap<u64, u64> = BTreeMap::new();
+    for (&h, (confirmed, in_flight)) in hs.iter().zip(results.iter()) {
+        let mut local: BTreeMap<u64, Option<u64>> = BTreeMap::new();
+        for &(key, after) in confirmed {
+            local.insert(key, after);
+        }
+        if let Some((seq, key, after)) = in_flight {
+            // resolve reports the slot's last *persisted* prep; if that is
+            // the in-flight op (matched by its unique seq tag), its resp
+            // decides the key's fate. Otherwise the in-flight announce
+            // never persisted, so the op cannot have taken effect.
+            let r = m.resolve(h);
+            match r.op {
+                Some((k2, _, s2)) if s2 == *seq && k2 == *key && r.resp.is_some() => {
+                    local.insert(*key, *after);
+                }
+                _ => {}
+            }
+        }
+        for (key, after) in local {
+            if let Some(v) = after {
+                expected.insert(key, v);
+            } else {
+                expected.remove(&key);
+            }
+        }
+    }
+
+    let snapshot = m.snapshot();
+    if snapshot != expected {
+        for (k, v) in &snapshot {
+            match expected.get(k) {
+                Some(e) if e == v => {}
+                Some(e) => return Err(format!("key {k:#x}: bound to {v:#x}, expected {e:#x}")),
+                None => return Err(format!("key {k:#x}: bound to {v:#x}, expected absent")),
+            }
+        }
+        for (k, e) in &expected {
+            if !snapshot.contains_key(k) {
+                return Err(format!("key {k:#x}: absent, expected {e:#x}"));
+            }
+        }
+        return Err("snapshot != expected (key sets differ)".into());
+    }
+    Ok(snapshot.len())
+}
+
+fn multi_process_map_victim(
+    m: &DetectableMap,
+    op: MapVictimOp,
+    k: u64,
+    coalesce: bool,
+    per_address: bool,
+) -> ! {
+    m.pool().set_coalescing(coalesce);
+    m.pool().set_per_address_drains(per_address);
+    let h0 = m.register_thread().unwrap();
+    if matches!(op, MapVictimOp::Update | MapVictimOp::Remove) {
+        let _ = m.put(h0, MAP_KEY, MAP_OLD);
+    }
+    m.pool().arm_crash_after(k);
+    std::panic::set_hook(Box::new(|_| {}));
+    let r = catch_unwind(AssertUnwindSafe(|| run_map_victim(m, h0, op)));
+    match r {
+        Ok(()) => {
+            println!("DONE");
+            std::io::stdout().flush().unwrap();
+            std::process::exit(0);
+        }
+        Err(p) if p.downcast_ref::<CrashSignal>().is_some() => {
+            println!("READY");
+            std::io::stdout().flush().unwrap();
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Err(p) => resume_unwind(p),
+    }
+}
+
+/// [`multi_process_sweep`] for the detectable map: the victim child
+/// creates a file-backed map, is SIGKILLed mid-operation, and the parent
+/// attaches the pool file with no in-process state, runs the restart
+/// protocol, and validates `resolve` through the adopted slot.
+///
+/// # Panics
+///
+/// As [`multi_process_sweep`].
+pub fn multi_process_map_sweep(op: MapVictimOp, config: &SweepConfig, exe: &Path) -> SweepOutcome {
+    let mut out = SweepOutcome::default();
+    for k in 1.. {
+        let path =
+            std::env::temp_dir().join(format!("dss-mp-map-{}-{op}-{k}.pool", std::process::id()));
+        let _guard = PoolFileGuard(path.clone());
+        let granularity = match config.granularity {
+            FlushGranularity::Line => "line",
+            FlushGranularity::Word => "word",
+        };
+        let onoff = |b| if b { "on" } else { "off" };
+        let mut child = Command::new(exe)
+            .arg(MP_CHILD_FLAG)
+            .arg(&path)
+            .arg(op.to_string())
+            .arg(k.to_string())
+            .arg(granularity)
+            .arg(onoff(config.coalesce))
+            .arg(onoff(config.per_address))
+            .arg("map")
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawning the victim child process");
+        let mut line = String::new();
+        BufReader::new(child.stdout.take().expect("child stdout is piped"))
+            .read_line(&mut line)
+            .expect("reading the child's handshake line");
+        match line.trim() {
+            "READY" => {
+                child.kill().expect("killing the parked child");
+                let _ = child.wait();
+            }
+            "DONE" => {
+                let _ = child.wait();
+                break;
+            }
+            other => panic!("unexpected child handshake {other:?} (crashed early?)"),
+        }
+        out.crash_points += 1;
+        let m = DetectableMap::attach(&path).expect("attaching the dead process's pool file");
+        m.begin_recovery();
+        let adopted = m.adopt_orphans();
+        assert_eq!(adopted.len(), 1, "the dead process's slot must be orphaned");
+        classify_map(&m, op, m.resolve(adopted[0]), &mut out);
+        assert_eq!(
+            out.violations, 0,
+            "multi-process map {op} crash at k={k} resolved inconsistently"
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn map_sweeps_have_no_violations_under_default_config() {
+        for op in MapVictimOp::all() {
+            let out = map_sweep(op, &SweepConfig::default());
+            assert!(out.crash_points > 0, "{op}: no crash points?");
+            assert_eq!(out.violations, 0, "{op}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn map_sweeps_have_no_violations_under_adversaries_and_granularities() {
+        for adversary in
+            [WritebackAdversary::All, WritebackAdversary::Random { seed: 9, prob: 0.3 }]
+        {
+            for granularity in [FlushGranularity::Line, FlushGranularity::Word] {
+                for independent in [false, true] {
+                    for coalesce in [false, true] {
+                        for per_address in [false, true] {
+                            if per_address && !coalesce {
+                                continue;
+                            }
+                            let config = SweepConfig {
+                                adversary: adversary.clone(),
+                                granularity,
+                                independent_recovery: independent,
+                                coalesce,
+                                per_address,
+                                combining: false,
+                                replicated: false,
+                            };
+                            for op in MapVictimOp::all() {
+                                let out = map_sweep(op, &config);
+                                assert_eq!(out.violations, 0, "{op} under {config:?}: {out:?}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_sweep_observes_all_three_outcome_classes_for_insert() {
+        let out = map_sweep(
+            MapVictimOp::Insert,
+            &SweepConfig { adversary: WritebackAdversary::All, ..Default::default() },
+        );
+        assert!(out.not_prepared > 0, "{out:?}");
+        assert!(out.no_effect > 0, "{out:?}");
+        assert!(out.effect > 0, "{out:?}");
+    }
+
+    #[test]
+    fn concurrent_map_crash_runs_leave_exactly_the_expected_bindings() {
+        for seed in 0..8 {
+            concurrent_map_crash_run(3, seed).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn partial_recovery_map_runs_leave_exactly_the_expected_bindings() {
+        for seed in 0..4 {
+            for survivors in [1, 2] {
+                partial_recovery_map_crash_run(3, survivors, seed)
+                    .unwrap_or_else(|e| panic!("seed {seed} survivors {survivors}: {e}"));
+            }
+        }
+    }
 
     #[test]
     fn sweeps_have_no_violations_under_default_config() {

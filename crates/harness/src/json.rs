@@ -174,6 +174,16 @@ fn render_string(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// The host's CPU count, as stamped into every envelope's `host` block.
+///
+/// The CPU-tiered CI gates (E15's read-scaling assert, E16's YCSB
+/// assert) key off the same probe, so a result file's `cpus` field always
+/// names the tier its run was gated at. Returns 1 when the parallelism
+/// query fails — a gate should degrade to its weakest tier, not crash.
+pub fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// The shared `BENCH_*.json` envelope: experiment identity, measurement
 /// unit, the recording host, experiment-specific meta keys, and the
 /// named data series.
@@ -211,9 +221,8 @@ impl Envelope {
 
     /// The host descriptor stamped into every file.
     fn host() -> Value {
-        let cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
         Value::object([
-            ("cpus", Value::Int(cpus as i64)),
+            ("cpus", Value::Int(host_cpus() as i64)),
             ("os", Value::str(std::env::consts::OS)),
             ("arch", Value::str(std::env::consts::ARCH)),
         ])

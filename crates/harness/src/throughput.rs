@@ -13,6 +13,8 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::time::{Duration, Instant};
 
+use dss_core::DetectableMap;
+
 use crate::adapter::{Backend, QueueKind};
 
 /// Parameters of one throughput measurement.
@@ -247,6 +249,175 @@ fn run_once_read_mix(kind: QueueKind, config: &ReadMixConfig) -> f64 {
     total_ops.into_inner() as f64 / secs / 1e6
 }
 
+/// Parameters of one E16 YCSB-style key-value measurement on the
+/// detectable hash map: each worker draws a key from a Zipfian (or
+/// uniform) distribution over `keyspace` pre-loaded keys and either reads
+/// it (probability `read_fraction`, a plain get) or updates it (a
+/// detectable prep/exec put pair — one logical KV operation).
+///
+/// The shape follows YCSB's core workloads: workload B is
+/// `read_fraction = 0.95`, workload A is `0.5`, both over the standard
+/// `zipf_theta = 0.99` request skew; `zipf_theta = 0.0` degenerates to
+/// uniform.
+#[derive(Clone, Debug)]
+pub struct KvMixConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Wall-clock duration of each run.
+    pub duration: Duration,
+    /// Number of measured runs to average.
+    pub repeats: usize,
+    /// Number of keys pre-loaded before the timed phase.
+    pub keyspace: u64,
+    /// Initial bucket count of the map (a power of two).
+    pub buckets: u64,
+    /// Pre-allocated value nodes per thread (updates recycle superseded
+    /// nodes through the epoch reclaimer, so this bounds in-flight
+    /// garbage, not total updates).
+    pub nodes_per_thread: u64,
+    /// Artificial flush latency in spin iterations.
+    pub flush_penalty: u64,
+    /// Probability in `[0, 1]` that an iteration is a read.
+    pub read_fraction: f64,
+    /// Zipfian skew parameter θ of the key-choice distribution
+    /// (YCSB's default is 0.99; 0 = uniform).
+    pub zipf_theta: f64,
+    /// Flush coalescing on the pool (E9's axis).
+    pub coalesce: bool,
+    /// Per-address dependency drains (E10's axis).
+    pub per_address: bool,
+}
+
+impl Default for KvMixConfig {
+    fn default() -> Self {
+        KvMixConfig {
+            threads: 1,
+            duration: Duration::from_millis(200),
+            repeats: 3,
+            keyspace: 1024,
+            buckets: 256,
+            nodes_per_thread: 4096,
+            flush_penalty: 20,
+            read_fraction: 0.95,
+            zipf_theta: 0.99,
+            coalesce: false,
+            per_address: false,
+        }
+    }
+}
+
+/// The precomputed CDF of a Zipfian distribution over ranks
+/// `0..keyspace`: weight of rank `r` is `1 / (r + 1)^theta`, sampled by
+/// binary search on one uniform draw. Precomputing the table keeps the
+/// hot loop at one multiply and a `partition_point` — no `pow` per op.
+struct ZipfCdf(Vec<f64>);
+
+impl ZipfCdf {
+    fn new(keyspace: u64, theta: f64) -> ZipfCdf {
+        assert!(keyspace > 0, "empty keyspace");
+        assert!(theta >= 0.0, "negative Zipf skew");
+        let mut cdf = Vec::with_capacity(keyspace as usize);
+        let mut acc = 0.0;
+        for rank in 0..keyspace {
+            acc += 1.0 / ((rank + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        ZipfCdf(cdf)
+    }
+
+    /// Maps one uniform draw in `[0, 1)` to a rank.
+    fn sample(&self, u: f64) -> u64 {
+        self.0.partition_point(|&p| p <= u) as u64
+    }
+}
+
+/// Runs the E16 YCSB-style read/update mix on a [`DetectableMap`]
+/// (pmem backend): pre-loads `keyspace` keys, then times Zipf-skewed
+/// plain gets and detectable puts. Every iteration is one operation.
+pub fn measure_kv_mix(config: &KvMixConfig) -> Throughput {
+    let mut samples = Vec::with_capacity(config.repeats);
+    for _ in 0..config.repeats {
+        samples.push(run_once_kv_mix(config));
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = if samples.len() > 1 {
+        samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64
+    } else {
+        0.0
+    };
+    Throughput { mops_mean: mean, mops_stddev: var.sqrt() }
+}
+
+fn run_once_kv_mix(config: &KvMixConfig) -> f64 {
+    assert!((0.0..=1.0).contains(&config.read_fraction), "read_fraction must be a probability");
+    let m: DetectableMap = DetectableMap::new_in(
+        config.threads,
+        config.nodes_per_thread,
+        config.buckets,
+        dss_pmem::FlushGranularity::Line,
+    );
+    m.pool().set_flush_penalty(config.flush_penalty);
+    m.pool().set_coalescing(config.coalesce);
+    m.pool().set_per_address_drains(config.per_address);
+    let hs: Vec<_> = (0..config.threads).map(|_| m.register_thread().unwrap()).collect();
+    // Load phase (untimed): bind every key so reads always hit. Keys are
+    // hashed into buckets, so sequential loading is not a best case.
+    for key in 0..config.keyspace {
+        m.put(hs[0], key, key + 1);
+    }
+    let zipf = ZipfCdf::new(config.keyspace, config.zipf_theta);
+    let read_threshold = (config.read_fraction * (1u64 << 32) as f64) as u64;
+    let stop = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let elapsed = std::sync::Mutex::new(Duration::ZERO);
+
+    std::thread::scope(|scope| {
+        let m = &m;
+        let zipf = &zipf;
+        let stop = &stop;
+        let total_ops = &total_ops;
+        for (tid, &h) in hs.iter().enumerate() {
+            scope.spawn(move || {
+                // SplitMix64, seeded per thread: deterministic mixes.
+                let mut state = 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(tid as u64 + 1);
+                let mut next = move || {
+                    state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                    z ^ (z >> 31)
+                };
+                let mut ops = 0u64;
+                let mut seq = 0u64;
+                while !stop.load(Relaxed) {
+                    let r = next();
+                    let key = zipf.sample((r >> 32) as f64 / (1u64 << 32) as f64);
+                    if r & 0xffff_ffff < read_threshold {
+                        std::hint::black_box(m.get(h, key));
+                    } else {
+                        seq += 1;
+                        m.prep_put(h, key, (tid as u64) << 32 | seq, seq);
+                        std::hint::black_box(m.exec_put(h));
+                    }
+                    ops += 1;
+                }
+                total_ops.fetch_add(ops, Relaxed);
+            });
+        }
+        let start = Instant::now();
+        std::thread::sleep(config.duration);
+        stop.store(true, Relaxed);
+        *elapsed.lock().unwrap() = start.elapsed();
+    });
+
+    let secs = elapsed.into_inner().unwrap().as_secs_f64();
+    total_ops.into_inner() as f64 / secs / 1e6
+}
+
 /// Prints one figure series (threads on the x-axis, Mops/s per queue) as
 /// an aligned text table, in the paper's layout.
 pub fn print_series(
@@ -362,6 +533,40 @@ mod tests {
                     kind.label()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn zipf_cdf_is_skewed_normalized_and_uniform_at_zero_theta() {
+        let z = ZipfCdf::new(100, 0.99);
+        assert_eq!(z.0.len(), 100);
+        assert!((z.0[99] - 1.0).abs() < 1e-12, "CDF ends at 1");
+        assert!(z.0[0] > 0.1, "rank 0 dominates under YCSB skew");
+        assert_eq!(z.sample(0.0), 0);
+        assert_eq!(z.sample(0.999_999_9), 99);
+        let u = ZipfCdf::new(4, 0.0);
+        for (i, p) in u.0.iter().enumerate() {
+            assert!((p - (i + 1) as f64 / 4.0).abs() < 1e-12, "theta 0 is uniform");
+        }
+    }
+
+    #[test]
+    fn kv_mix_measures_every_workload_shape() {
+        for (read_fraction, zipf_theta) in [(0.95, 0.99), (0.5, 0.99), (1.0, 0.0), (0.0, 0.0)] {
+            let config = KvMixConfig {
+                threads: 2,
+                duration: Duration::from_millis(20),
+                repeats: 1,
+                keyspace: 64,
+                buckets: 16,
+                nodes_per_thread: 512,
+                flush_penalty: 0,
+                read_fraction,
+                zipf_theta,
+                ..Default::default()
+            };
+            let t = measure_kv_mix(&config);
+            assert!(t.mops_mean > 0.0, "kv mix r={read_fraction} theta={zipf_theta}: no progress");
         }
     }
 

@@ -106,5 +106,5 @@ pub use hook::CrashSignal;
 pub use memory::Memory;
 pub use pool::{FlushGranularity, PmemPool, PoolMode, WritebackAdversary, WORDS_PER_LINE};
 pub use registry::{Registry, SlotError, SlotState, ThreadHandle};
-pub use seg::{plan_regions, region_segments, AttachError, PlacementPolicy};
+pub use seg::{plan_regions, region_segments, AppKind, AttachError, PlacementPolicy};
 pub use stats::{Stats, StatsSnapshot};

@@ -141,6 +141,92 @@ impl From<io::Error> for AttachError {
     }
 }
 
+/// Every data-structure kind that can own a pool file, with its
+/// application-kind word (the [`SB_APP_KIND`] superblock slot).
+///
+/// The tag values are the on-disk format: they were assigned in the order
+/// the structures landed and must never be renumbered. Structures expose
+/// `KIND_*` constants defined through [`AppKind::word`], and attach paths
+/// compare the file's kind word against their own, so a queue pool can
+/// never be misread as a stack pool (see
+/// [`AttachError::AppMismatch`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(u64)]
+pub enum AppKind {
+    /// The detectable DSS queue (`DssQueue`).
+    DssQueue = 1,
+    /// The detectable DSS stack (`DssStack`).
+    DssStack = 2,
+    /// The detectable single-word register.
+    DetectableRegister = 3,
+    /// The detectable compare-and-swap object.
+    DetectableCas = 4,
+    /// The universal detectable construction over an `OpWords` spec.
+    Universal = 5,
+    /// The durable (non-detectable) queue baseline.
+    DurableQueue = 6,
+    /// The log-structured queue baseline.
+    LogQueue = 7,
+    /// The plain Michael–Scott queue baseline.
+    MsQueue = 8,
+    /// The PMwCAS-style CWE queue.
+    CweQueue = 9,
+    /// The DSS queue under the flat-combining execution layer.
+    DssQueueCombining = 10,
+    /// The DSS queue under the log-fed replica execution layer.
+    DssQueueReplicated = 11,
+    /// The detectable bucket-chained hash map (`DetectableMap`).
+    DetectableMap = 12,
+}
+
+impl AppKind {
+    /// Every kind, in tag order. Kept exhaustive by the round-trip test.
+    pub const ALL: [AppKind; 12] = [
+        AppKind::DssQueue,
+        AppKind::DssStack,
+        AppKind::DetectableRegister,
+        AppKind::DetectableCas,
+        AppKind::Universal,
+        AppKind::DurableQueue,
+        AppKind::LogQueue,
+        AppKind::MsQueue,
+        AppKind::CweQueue,
+        AppKind::DssQueueCombining,
+        AppKind::DssQueueReplicated,
+        AppKind::DetectableMap,
+    ];
+
+    /// The application-kind word this kind stamps into a pool file.
+    pub const fn word(self) -> u64 {
+        self as u64
+    }
+
+    /// The kind a pool file's application-kind word names, if any.
+    pub fn from_word(word: u64) -> Option<AppKind> {
+        AppKind::ALL.iter().copied().find(|k| k.word() == word)
+    }
+}
+
+impl fmt::Display for AppKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            AppKind::DssQueue => "dss-queue",
+            AppKind::DssStack => "dss-stack",
+            AppKind::DetectableRegister => "detectable-register",
+            AppKind::DetectableCas => "detectable-cas",
+            AppKind::Universal => "universal",
+            AppKind::DurableQueue => "durable-queue",
+            AppKind::LogQueue => "log-queue",
+            AppKind::MsQueue => "ms-queue",
+            AppKind::CweQueue => "cwe-queue",
+            AppKind::DssQueueCombining => "dss-queue-combining",
+            AppKind::DssQueueReplicated => "dss-queue-replicated",
+            AppKind::DetectableMap => "detectable-map",
+        };
+        f.write_str(name)
+    }
+}
+
 /// Where a pool's persistence domain lives. See the [module docs](self).
 pub(crate) enum SegmentBacking {
     /// Persisted shadows in process DRAM (the historical behaviour).
@@ -526,6 +612,23 @@ impl<W> SegmentDirectory<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn app_kind_words_round_trip_exhaustively() {
+        // Every kind survives word() -> from_word(), the tag values are
+        // the historical on-disk assignment, and no two kinds collide.
+        for (i, kind) in AppKind::ALL.iter().copied().enumerate() {
+            assert_eq!(kind.word(), i as u64 + 1, "{kind} renumbered");
+            assert_eq!(AppKind::from_word(kind.word()), Some(kind));
+            assert!(!kind.to_string().is_empty());
+        }
+        let words: std::collections::BTreeSet<u64> =
+            AppKind::ALL.iter().map(|k| k.word()).collect();
+        assert_eq!(words.len(), AppKind::ALL.len(), "duplicate kind words");
+        // Unassigned words name no kind (0 is "no kind stamped yet").
+        assert_eq!(AppKind::from_word(0), None);
+        assert_eq!(AppKind::from_word(AppKind::ALL.len() as u64 + 1), None);
+    }
 
     #[test]
     fn rounds_initial_capacity_to_lines() {

@@ -5,8 +5,8 @@ use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::Arc;
 
 use dss_pmem::{
-    tag, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool, PAddr,
-    PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
+    tag, AppKind, AttachError, Backoff, BackoffTuner, Ebr, FlushGranularity, Memory, NodePool,
+    PAddr, PmemPool, Registry, SlotError, ThreadHandle, WORDS_PER_LINE,
 };
 use dss_spec::types::QueueResp;
 
@@ -36,7 +36,7 @@ const DESCS_PER_THREAD: u64 = 128;
 /// was created General or Fast is the third application-config word, and
 /// [`attach`](CasWithEffectQueue::attach) reconstructs whichever variant
 /// the file records.
-pub const KIND_CWE_QUEUE: u64 = 9;
+pub const KIND_CWE_QUEUE: u64 = AppKind::CweQueue.word();
 
 /// The CASWithEffect queue's pool layout, derived from
 /// `(nthreads, nodes_per_thread)` alone — which is exactly why those

@@ -287,6 +287,82 @@ impl SequentialSpec for StackSpec {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Key-value cell and the map built from it
+// ---------------------------------------------------------------------------
+
+/// Operations of one key's cell in a key-value map.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum KvOp {
+    /// Return the key's value, or report absence.
+    Get,
+    /// Bind the key to a value (insert or overwrite).
+    Put(u64),
+    /// Unbind the key. Removing an absent key is legal and acknowledged —
+    /// the map is total, like every other base type here.
+    Remove,
+}
+
+/// Responses of one key's cell.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum KvResp {
+    /// Acknowledgement of a put or remove.
+    Ok,
+    /// The value a get found.
+    Value(u64),
+    /// The key was absent.
+    Absent,
+}
+
+/// One key's cell: an optional value, initially absent. The map
+/// specification is the keyed family of these — see [`MapSpec`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct KvSpec;
+
+impl SequentialSpec for KvSpec {
+    type State = Option<u64>;
+    type Op = KvOp;
+    type Resp = KvResp;
+
+    fn initial(&self) -> Option<u64> {
+        None
+    }
+
+    fn apply(&self, s: &Option<u64>, op: &KvOp, _pid: ProcId) -> Option<(Option<u64>, KvResp)> {
+        Some(match op {
+            KvOp::Get => match s {
+                Some(v) => (*s, KvResp::Value(*v)),
+                None => (None, KvResp::Absent),
+            },
+            KvOp::Put(v) => (Some(*v), KvResp::Ok),
+            KvOp::Remove => (None, KvResp::Ok),
+        })
+    }
+}
+
+/// The key-value map specification: a keyed family of [`KvSpec`] cells.
+///
+/// Being a [`Keyed`](crate::Keyed) family it is
+/// [`Partitionable`](crate::Partitionable) for free, so a checker can
+/// verify each key's sub-history at full length instead of sampling — the
+/// decomposition the DSS map's crash matrix relies on.
+///
+/// # Examples
+///
+/// ```
+/// use dss_spec::types::{KvOp, KvResp, MapSpec};
+/// use dss_spec::{Keyed, SequentialSpec};
+///
+/// let m = MapSpec::default();
+/// let s = m.initial();
+/// let (s, _) = m.apply(&s, &(7, KvOp::Put(3)), 0).unwrap();
+/// let (_, r) = m.apply(&s, &(7, KvOp::Get), 1).unwrap();
+/// assert_eq!(r, KvResp::Value(3));
+/// let (_, r) = m.apply(&s, &(8, KvOp::Get), 1).unwrap();
+/// assert_eq!(r, KvResp::Absent);
+/// ```
+pub type MapSpec = crate::Keyed<KvSpec>;
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +427,37 @@ mod tests {
         }
         let (_, r) = st.apply(&s, &StackOp::Pop, 0).unwrap();
         assert_eq!(r, StackResp::Empty);
+    }
+
+    #[test]
+    fn kv_cell_put_get_remove() {
+        let kv = KvSpec;
+        assert_eq!(kv.initial(), None);
+        let (s, r) = kv.apply(&None, &KvOp::Get, 0).unwrap();
+        assert_eq!((s, r), (None, KvResp::Absent));
+        let (s, r) = kv.apply(&None, &KvOp::Put(5), 0).unwrap();
+        assert_eq!((s, r), (Some(5), KvResp::Ok));
+        let (s, r) = kv.apply(&Some(5), &KvOp::Get, 1).unwrap();
+        assert_eq!((s, r), (Some(5), KvResp::Value(5)));
+        let (s, r) = kv.apply(&Some(5), &KvOp::Remove, 0).unwrap();
+        assert_eq!((s, r), (None, KvResp::Ok));
+        let (s, r) = kv.apply(&None, &KvOp::Remove, 0).unwrap();
+        assert_eq!((s, r), (None, KvResp::Ok), "removing an absent key is legal");
+    }
+
+    #[test]
+    fn map_spec_keys_are_independent() {
+        use crate::Partitionable;
+        let m = MapSpec::default();
+        let s = m.initial();
+        let (s, _) = m.apply(&s, &(1, KvOp::Put(10)), 0).unwrap();
+        let (s, _) = m.apply(&s, &(2, KvOp::Put(20)), 0).unwrap();
+        let (s, _) = m.apply(&s, &(1, KvOp::Remove), 1).unwrap();
+        let (_, r1) = m.apply(&s, &(1, KvOp::Get), 1).unwrap();
+        let (_, r2) = m.apply(&s, &(2, KvOp::Get), 1).unwrap();
+        assert_eq!(r1, KvResp::Absent);
+        assert_eq!(r2, KvResp::Value(20));
+        assert_eq!(m.key_of(&(2, KvOp::Get)), 2);
     }
 
     #[test]
